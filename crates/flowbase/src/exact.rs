@@ -1,0 +1,159 @@
+//! The unbounded exact oracle.
+
+use crate::{HhhSummary, StreamSummary};
+use flowkey::{FlowKey, Schema};
+use std::collections::HashMap;
+
+/// Exact aggregation with no space bound: the accuracy oracle every
+/// bounded summary is measured against.
+#[derive(Debug, Clone)]
+pub struct ExactAggregator {
+    schema: Schema,
+    counts: HashMap<FlowKey, u64>,
+    total: u64,
+}
+
+impl ExactAggregator {
+    /// Creates an empty aggregator.
+    pub fn new(schema: Schema) -> ExactAggregator {
+        ExactAggregator {
+            schema,
+            counts: HashMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Total weight observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Distinct full keys observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates over `(flow, exact count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&FlowKey, u64)> {
+        self.counts.iter().map(|(k, w)| (k, *w))
+    }
+}
+
+impl StreamSummary for ExactAggregator {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn update(&mut self, key: &FlowKey, w: u64) {
+        let key = self.schema.canonicalize(key);
+        *self.counts.entry(key).or_insert(0) += w;
+        self.total += w;
+    }
+
+    fn estimate(&self, pattern: &FlowKey) -> f64 {
+        self.counts
+            .iter()
+            .filter(|(k, _)| pattern.contains(k))
+            .map(|(_, w)| *w)
+            .sum::<u64>() as f64
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.counts.len() * (std::mem::size_of::<FlowKey>() + 8 + 16)
+    }
+}
+
+impl HhhSummary for ExactAggregator {
+    /// Exact hierarchical heavy hitters over the canonical chain, by
+    /// exhaustive bottom-up discounting. O(#flows × depth) — an oracle,
+    /// not a streaming algorithm.
+    fn hhh(&self, phi: f64) -> Vec<(FlowKey, f64)> {
+        let threshold = phi * self.total as f64;
+        if threshold <= 0.0 {
+            return Vec::new();
+        }
+        // Aggregate counts at every chain depth, bottom-up; at each
+        // level, keys reaching the threshold are emitted and their mass
+        // removed before aggregating further up.
+        let mut current: HashMap<FlowKey, u64> = self.counts.clone();
+        let mut out = Vec::new();
+        let mut depth = current
+            .keys()
+            .map(|k| self.schema.depth(k))
+            .max()
+            .unwrap_or(0);
+        loop {
+            // Emit heavy keys at this depth.
+            let mut next: HashMap<FlowKey, u64> = HashMap::new();
+            for (k, w) in &current {
+                if self.schema.depth(k) == depth {
+                    if *w as f64 >= threshold {
+                        out.push((*k, *w as f64));
+                        continue; // discounted: do not propagate
+                    }
+                    if let Some(p) = self.schema.parent(k) {
+                        *next.entry(p).or_insert(0) += w;
+                        continue;
+                    }
+                }
+                *next.entry(*k).or_insert(0) += w;
+            }
+            current = next;
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+        }
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> FlowKey {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn estimate_is_exact() {
+        let mut e = ExactAggregator::new(Schema::one_feature_src());
+        e.update(&key("src=10.0.0.1/32"), 5);
+        e.update(&key("src=10.0.0.2/32"), 7);
+        e.update(&key("src=10.0.0.1/32"), 1);
+        assert_eq!(e.estimate(&key("src=10.0.0.1/32")), 6.0);
+        assert_eq!(e.estimate(&key("src=10.0.0.0/24")), 13.0);
+        assert_eq!(e.estimate(&FlowKey::ROOT), 13.0);
+        assert_eq!(e.total(), 13);
+        assert_eq!(e.distinct(), 2);
+    }
+
+    #[test]
+    fn hhh_discounts_covered_mass() {
+        let mut e = ExactAggregator::new(Schema::one_feature_src());
+        // One heavy host, nine light hosts under one /24.
+        e.update(&key("src=60.0.0.1/32"), 600);
+        for i in 0..9 {
+            e.update(&key(&format!("src=10.0.0.{i}/32")), 100);
+        }
+        let hhh = e.hhh(0.3); // threshold 450
+        let keys: Vec<String> = hhh.iter().map(|(k, _)| k.to_string()).collect();
+        assert!(keys.iter().any(|k| k.contains("60.0.0.1/32")), "{keys:?}");
+        // The nine 100s only qualify via an ancestor.
+        assert!(hhh.len() >= 2, "{keys:?}");
+        assert!(
+            hhh.iter().any(|(k, w)| *w >= 450.0
+                && k.src.depth() < 33
+                && !k.to_string().contains("60.0.0.1")),
+            "{keys:?}"
+        );
+    }
+
+    #[test]
+    fn hhh_empty_on_zero_threshold() {
+        let e = ExactAggregator::new(Schema::one_feature_src());
+        assert!(e.hhh(0.1).is_empty());
+    }
+}

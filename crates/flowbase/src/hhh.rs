@@ -1,0 +1,445 @@
+//! Hierarchical heavy hitters à la Cormode, Korn, Muthukrishnan &
+//! Srivastava (VLDB 2003 / SIGMOD 2004).
+//!
+//! Lossy-counting-style deterministic streaming HHH over a hierarchy
+//! ladder ([`LevelSet`]). Two strategies from the papers:
+//!
+//! * [`FullAncestry`] — every tracked node's ladder ancestors are
+//!   also tracked; compression rolls expired leaves into their parents.
+//! * [`PartialAncestry`] — ancestors materialize only when a leaf is
+//!   rolled up, using less space at slightly looser error bounds.
+//!
+//! Contrast with Flowtree (what the paper's §1 points out): these need
+//! the hierarchy (and its memory) *fixed up front*, answer only
+//! HHH-style questions, and are neither mergeable nor diffable.
+
+use crate::{HhhSummary, LevelSet, StreamSummary};
+use flowkey::FlowKey;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    g: u64,
+    delta: u64,
+}
+
+/// Shared engine for both ancestry strategies.
+#[derive(Debug, Clone)]
+struct Engine {
+    levels: LevelSet,
+    bucket_width: u64,
+    n: u64,
+    nodes: HashMap<FlowKey, Node>,
+    full_ancestry: bool,
+}
+
+impl Engine {
+    fn new(levels: LevelSet, epsilon: f64, full_ancestry: bool) -> Engine {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "0 < ε < 1");
+        Engine {
+            levels,
+            bucket_width: (1.0 / epsilon).ceil() as u64,
+            n: 0,
+            nodes: HashMap::new(),
+            full_ancestry,
+        }
+    }
+
+    fn bucket(&self) -> u64 {
+        self.n / self.bucket_width + 1
+    }
+
+    /// The ladder parent of a ladder key (`None` at the root).
+    fn parent(&self, key: &FlowKey) -> Option<FlowKey> {
+        let depth = self.levels.schema().depth(key);
+        let i = self.levels.level_at_or_above(depth);
+        if i == 0 {
+            return None;
+        }
+        Some(self.levels.ancestor(key, i - 1))
+    }
+
+    fn ensure_node(&mut self, key: FlowKey, g: u64, delta: u64) {
+        if self.nodes.contains_key(&key) {
+            if g > 0 {
+                self.nodes.get_mut(&key).expect("present").g += g;
+            }
+            return;
+        }
+        self.nodes.insert(key, Node { g, delta });
+        if self.full_ancestry {
+            if let Some(p) = self.parent(&key) {
+                let b = self.bucket();
+                self.ensure_node(p, 0, b.saturating_sub(1));
+            }
+        }
+    }
+
+    fn update(&mut self, key: &FlowKey, w: u64) {
+        let full = self.levels.ancestor(key, self.levels.len() - 1);
+        let before = self.bucket();
+        self.n += w;
+        let b = self.bucket();
+        let delta = b.saturating_sub(1);
+        self.ensure_node(
+            full,
+            w,
+            if self.nodes.contains_key(&full) {
+                0
+            } else {
+                delta
+            },
+        );
+        if self.bucket() != before {
+            self.compress();
+        }
+    }
+
+    /// Whether any tracked node has `key` as its nearest tracked ladder
+    /// ancestor (i.e. `key` is an internal node of the tracked forest).
+    fn leaves(&self) -> Vec<FlowKey> {
+        let mut internal: std::collections::HashSet<FlowKey> = std::collections::HashSet::new();
+        for key in self.nodes.keys() {
+            let mut cur = *key;
+            while let Some(p) = self.parent(&cur) {
+                if self.nodes.contains_key(&p) {
+                    internal.insert(p);
+                    break;
+                }
+                cur = p;
+            }
+        }
+        self.nodes
+            .keys()
+            .filter(|k| !internal.contains(*k) && !k.is_root())
+            .copied()
+            .collect()
+    }
+
+    /// Rolls up every leaf whose upper bound has expired.
+    fn compress(&mut self) {
+        let b = self.bucket();
+        loop {
+            let victims: Vec<FlowKey> = self
+                .leaves()
+                .into_iter()
+                .filter(|k| {
+                    let n = &self.nodes[k];
+                    n.g + n.delta <= b
+                })
+                .collect();
+            if victims.is_empty() {
+                return;
+            }
+            for v in victims {
+                let Some(node) = self.nodes.remove(&v) else {
+                    continue;
+                };
+                let Some(p) = self.parent(&v) else {
+                    continue;
+                };
+                if self.nodes.contains_key(&p) {
+                    self.nodes.get_mut(&p).expect("present").g += node.g;
+                } else {
+                    debug_assert!(!self.full_ancestry, "full ancestry keeps parents");
+                    // Partial ancestry: the parent materializes at
+                    // roll-up time, inheriting the child's mass.
+                    self.ensure_node(p, node.g, node.delta.min(b.saturating_sub(1)));
+                }
+            }
+        }
+    }
+
+    /// HHH output with the (φ − ε)-style lower threshold: bottom-up
+    /// discounted counts, a node qualifies when its discounted count
+    /// plus uncertainty reaches φ·N.
+    fn hhh(&self, phi: f64) -> Vec<(FlowKey, f64)> {
+        let threshold = phi * self.n as f64;
+        if threshold <= 0.0 || self.nodes.is_empty() {
+            return Vec::new();
+        }
+        // Order nodes deepest-first.
+        let mut order: Vec<FlowKey> = self.nodes.keys().copied().collect();
+        let schema = *self.levels.schema();
+        order.sort_by_key(|k| std::cmp::Reverse(schema.depth(k)));
+        let mut carry: HashMap<FlowKey, u64> = HashMap::new();
+        let mut out = Vec::new();
+        for key in order {
+            let node = &self.nodes[&key];
+            let disc = node.g + carry.get(&key).copied().unwrap_or(0);
+            if (disc + node.delta) as f64 >= threshold {
+                out.push((key, disc as f64));
+            } else if let Some(p) = self.parent(&key) {
+                // Propagate toward the nearest *tracked* ancestor.
+                let mut cur = p;
+                loop {
+                    if self.nodes.contains_key(&cur) {
+                        *carry.entry(cur).or_insert(0) += disc;
+                        break;
+                    }
+                    match self.parent(&cur) {
+                        Some(next) => cur = next,
+                        None => break,
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out
+    }
+
+    fn estimate(&self, pattern: &FlowKey) -> f64 {
+        // Sum of tracked mass inside the pattern (a lower-bound flavored
+        // answer; HHH structures are not general estimators).
+        self.nodes
+            .iter()
+            .filter(|(k, _)| pattern.contains(k))
+            .map(|(_, n)| n.g)
+            .sum::<u64>() as f64
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.nodes.len() * (std::mem::size_of::<FlowKey>() + std::mem::size_of::<Node>() + 16)
+    }
+}
+
+/// Cormode et al. full-ancestry streaming HHH.
+#[derive(Debug, Clone)]
+pub struct FullAncestry {
+    engine: Engine,
+}
+
+impl FullAncestry {
+    /// Creates the summary over `levels` with error target `epsilon`.
+    pub fn new(levels: LevelSet, epsilon: f64) -> FullAncestry {
+        FullAncestry {
+            engine: Engine::new(levels, epsilon, true),
+        }
+    }
+
+    /// Tracked node count.
+    pub fn len(&self) -> usize {
+        self.engine.nodes.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.engine.nodes.is_empty()
+    }
+
+    /// Total weight observed.
+    pub fn total(&self) -> u64 {
+        self.engine.n
+    }
+}
+
+impl StreamSummary for FullAncestry {
+    fn name(&self) -> &'static str {
+        "hhh-full-ancestry"
+    }
+
+    fn update(&mut self, key: &FlowKey, w: u64) {
+        self.engine.update(key, w);
+    }
+
+    fn estimate(&self, pattern: &FlowKey) -> f64 {
+        self.engine.estimate(pattern)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.engine.memory_bytes()
+    }
+}
+
+impl HhhSummary for FullAncestry {
+    fn hhh(&self, phi: f64) -> Vec<(FlowKey, f64)> {
+        self.engine.hhh(phi)
+    }
+}
+
+/// Cormode et al. partial-ancestry streaming HHH.
+#[derive(Debug, Clone)]
+pub struct PartialAncestry {
+    engine: Engine,
+}
+
+impl PartialAncestry {
+    /// Creates the summary over `levels` with error target `epsilon`.
+    pub fn new(levels: LevelSet, epsilon: f64) -> PartialAncestry {
+        PartialAncestry {
+            engine: Engine::new(levels, epsilon, false),
+        }
+    }
+
+    /// Tracked node count.
+    pub fn len(&self) -> usize {
+        self.engine.nodes.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.engine.nodes.is_empty()
+    }
+
+    /// Total weight observed.
+    pub fn total(&self) -> u64 {
+        self.engine.n
+    }
+}
+
+impl StreamSummary for PartialAncestry {
+    fn name(&self) -> &'static str {
+        "hhh-partial-ancestry"
+    }
+
+    fn update(&mut self, key: &FlowKey, w: u64) {
+        self.engine.update(key, w);
+    }
+
+    fn estimate(&self, pattern: &FlowKey) -> f64 {
+        self.engine.estimate(pattern)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.engine.memory_bytes()
+    }
+}
+
+impl HhhSummary for PartialAncestry {
+    fn hhh(&self, phi: f64) -> Vec<(FlowKey, f64)> {
+        self.engine.hhh(phi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactAggregator;
+    use flowkey::Schema;
+
+    fn key(s: &str) -> FlowKey {
+        s.parse().unwrap()
+    }
+
+    fn skewed_stream() -> Vec<(FlowKey, u64)> {
+        let mut out = Vec::new();
+        // Heavy host, heavy /24 of light hosts, background noise.
+        for _ in 0..400 {
+            out.push((key("src=60.0.0.1/32"), 1));
+        }
+        for i in 0..40u32 {
+            for _ in 0..10 {
+                out.push((key(&format!("src=10.0.0.{i}/32")), 1));
+            }
+        }
+        for i in 0..200u32 {
+            out.push((key(&format!("src=172.16.{}.{}/32", i / 100, i % 100)), 1));
+        }
+        out
+    }
+
+    fn recall_against_exact(summary_hhh: &[(FlowKey, f64)], exact_hhh: &[(FlowKey, f64)]) -> f64 {
+        if exact_hhh.is_empty() {
+            return 1.0;
+        }
+        let found = exact_hhh
+            .iter()
+            .filter(|(k, _)| summary_hhh.iter().any(|(s, _)| s == k))
+            .count();
+        found as f64 / exact_hhh.len() as f64
+    }
+
+    #[test]
+    fn full_ancestry_has_perfect_recall() {
+        let schema = Schema::one_feature_src();
+        let levels = LevelSet::byte_boundaries(schema);
+        let mut fa = FullAncestry::new(levels.clone(), 0.01);
+        let mut exact = ExactAggregator::new(schema);
+        for (k, w) in skewed_stream() {
+            fa.update(&k, w);
+            exact.update(&k, w);
+        }
+        // Exact HHH restricted to the same ladder granularity.
+        let phi = 0.3;
+        let got = fa.hhh(phi);
+        // The heavy host must be found.
+        assert!(
+            got.iter().any(|(k, _)| *k == key("src=60.0.0.1/32")),
+            "heavy host missing: {got:?}"
+        );
+        let ex: Vec<(FlowKey, f64)> = exact
+            .hhh(phi)
+            .into_iter()
+            .filter(|(k, _)| levels.contains_depth(schema.depth(k)))
+            .collect();
+        let recall = recall_against_exact(&got, &ex);
+        assert!(recall >= 0.99, "recall {recall}: got {got:?} vs {ex:?}");
+    }
+
+    #[test]
+    fn partial_ancestry_finds_the_heavy_host_with_less_state() {
+        let schema = Schema::one_feature_src();
+        let levels = LevelSet::byte_boundaries(schema);
+        let mut fa = FullAncestry::new(levels.clone(), 0.02);
+        let mut pa = PartialAncestry::new(levels, 0.02);
+        for (k, w) in skewed_stream() {
+            fa.update(&k, w);
+            pa.update(&k, w);
+        }
+        assert!(
+            pa.hhh(0.3)
+                .iter()
+                .any(|(k, _)| *k == key("src=60.0.0.1/32")),
+            "{:?}",
+            pa.hhh(0.3)
+        );
+        assert!(
+            pa.len() <= fa.len(),
+            "partial ({}) should not track more than full ({})",
+            pa.len(),
+            fa.len()
+        );
+    }
+
+    #[test]
+    fn space_stays_bounded_on_uniform_noise() {
+        let schema = Schema::one_feature_src();
+        let mut fa = FullAncestry::new(LevelSet::byte_boundaries(schema), 0.02);
+        for i in 0..50_000u32 {
+            let k = key(&format!(
+                "src={}.{}.{}.{}/32",
+                1 + (i % 64),
+                (i / 7) % 251,
+                (i / 3) % 251,
+                i % 251
+            ));
+            fa.update(&k, 1);
+        }
+        // Lossy counting bound: O(h/ε · log(εN)) nodes — loose check.
+        assert!(
+            fa.len() < 6_000,
+            "tracked nodes should stay bounded, got {}",
+            fa.len()
+        );
+        assert_eq!(fa.total(), 50_000);
+    }
+
+    #[test]
+    fn counts_never_lost_to_compression() {
+        // Everything rolled up must surface at the root estimate.
+        let schema = Schema::one_feature_src();
+        let mut fa = FullAncestry::new(LevelSet::byte_boundaries(schema), 0.1);
+        for i in 0..5_000u32 {
+            fa.update(
+                &key(&format!(
+                    "src=10.{}.{}.{}/32",
+                    i % 32,
+                    (i / 32) % 64,
+                    i % 250
+                )),
+                1,
+            );
+        }
+        assert_eq!(fa.estimate(&FlowKey::ROOT), 5_000.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Hierarchy level sets.
+//!
+//! The classic HHH literature works on hierarchies of modest height
+//! (e.g. byte-granularity IPv4 → 5 levels), not the bit-granularity
+//! chains Flowtree uses internally. A [`LevelSet`] picks a ladder of
+//! chain depths — root to full key — that the baseline algorithms
+//! treat as *their* hierarchy, which both matches the related work
+//! faithfully and keeps their per-update costs comparable to the
+//! published versions.
+
+use flowkey::{FlowKey, Schema};
+
+/// A ladder of chain depths, always starting at 0 (root) and ending at
+/// the full IPv4 key depth of the schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelSet {
+    schema: Schema,
+    depths: Vec<u32>,
+}
+
+impl LevelSet {
+    /// Builds a ladder with roughly `count` evenly spaced levels
+    /// (count ≥ 2; the root and the full depth are always included).
+    pub fn evenly_spaced(schema: Schema, count: usize) -> LevelSet {
+        let full = schema.full_depth_v4();
+        let count = count.max(2).min(full as usize + 1);
+        let mut depths: Vec<u32> = (0..count)
+            .map(|i| (i as u64 * full as u64 / (count as u64 - 1)) as u32)
+            .collect();
+        depths.dedup();
+        LevelSet { schema, depths }
+    }
+
+    /// The byte-boundary ladder used by the published HHH evaluations
+    /// (every 8 chain steps).
+    pub fn byte_boundaries(schema: Schema) -> LevelSet {
+        let full = schema.full_depth_v4();
+        let mut depths: Vec<u32> = (0..=full).step_by(8).collect();
+        if *depths.last().expect("non-empty") != full {
+            depths.push(full);
+        }
+        LevelSet { schema, depths }
+    }
+
+    /// The schema this ladder belongs to.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of levels.
+    pub fn len(&self) -> usize {
+        self.depths.len()
+    }
+
+    /// Whether the ladder is trivial (root only) — never true for
+    /// ladders built by the constructors.
+    pub fn is_empty(&self) -> bool {
+        self.depths.is_empty()
+    }
+
+    /// The chain depths, ascending (0 = root first).
+    pub fn depths(&self) -> &[u32] {
+        &self.depths
+    }
+
+    /// The ancestor of `key` at level `i` (0 = root).
+    pub fn ancestor(&self, key: &FlowKey, i: usize) -> FlowKey {
+        let d = self.depths[i].min(self.schema.depth(key));
+        self.schema.chain_ancestor(key, d)
+    }
+
+    /// The index of the deepest level whose depth is ≤ `depth`.
+    pub fn level_at_or_above(&self, depth: u32) -> usize {
+        match self.depths.binary_search(&depth) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Whether `depth` is exactly one of the ladder's levels.
+    pub fn contains_depth(&self, depth: u32) -> bool {
+        self.depths.binary_search(&depth).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evenly_spaced_covers_root_to_full() {
+        let schema = Schema::one_feature_src();
+        let l = LevelSet::evenly_spaced(schema, 5);
+        assert_eq!(l.depths().first(), Some(&0));
+        assert_eq!(l.depths().last(), Some(&33));
+        assert!(l.len() >= 2);
+        assert!(l.depths().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn byte_boundaries_of_src_hierarchy() {
+        let schema = Schema::one_feature_src();
+        let l = LevelSet::byte_boundaries(schema);
+        assert_eq!(l.depths(), &[0, 8, 16, 24, 32, 33]);
+    }
+
+    #[test]
+    fn ancestor_returns_ladder_keys() {
+        let schema = Schema::one_feature_src();
+        let l = LevelSet::byte_boundaries(schema);
+        let key: FlowKey = "src=1.2.3.4/32".parse().unwrap();
+        assert_eq!(l.ancestor(&key, 0), FlowKey::ROOT);
+        // Depth 25 = /24 in chain terms (len + 1)... depth 24 = /23.
+        let a = l.ancestor(&key, 3);
+        assert_eq!(schema.depth(&a), 24);
+        assert!(a.contains(&key));
+        assert_eq!(l.ancestor(&key, 5), key);
+    }
+
+    #[test]
+    fn level_lookup() {
+        let schema = Schema::one_feature_src();
+        let l = LevelSet::byte_boundaries(schema);
+        assert_eq!(l.level_at_or_above(0), 0);
+        assert_eq!(l.level_at_or_above(8), 1);
+        assert_eq!(l.level_at_or_above(9), 1);
+        assert_eq!(l.level_at_or_above(33), 5);
+        assert!(l.contains_depth(16));
+        assert!(!l.contains_depth(17));
+    }
+}

@@ -1,0 +1,63 @@
+//! # flowbase — baseline stream summaries
+//!
+//! The related work the paper positions Flowtree against ([1–3, 5] in
+//! its bibliography), implemented from scratch so the comparison
+//! benchmarks (experiment E11 in DESIGN.md) run against real algorithms
+//! rather than straw men:
+//!
+//! * [`ExactAggregator`] — the unbounded oracle.
+//! * [`SpaceSaving`] — Metwally et al.'s heavy-hitter summary
+//!   (flat, no hierarchy).
+//! * [`CountMin`] — the Cormode–Muthukrishnan sketch, with per-level
+//!   sketches ([`DyadicCountMin`]) for hierarchical point queries.
+//! * [`hhh::FullAncestry`] / [`hhh::PartialAncestry`] — Cormode et al.
+//!   2003 hierarchical heavy hitters over the canonical chain hierarchy.
+//! * [`Rhhh`] — Ben Basat et al. 2017 randomized constant-time HHH.
+//!
+//! All baselines speak the same [`StreamSummary`] interface and operate
+//! on [`FlowKey`]s over a [`flowkey::Schema`]'s canonical chain, so every summary
+//! sees exactly the same hierarchy Flowtree does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod countmin;
+pub mod exact;
+pub mod hhh;
+pub mod levels;
+pub mod rhhh;
+pub mod spacesaving;
+
+pub use countmin::{CountMin, DyadicCountMin};
+pub use exact::ExactAggregator;
+pub use levels::LevelSet;
+pub use rhhh::Rhhh;
+pub use spacesaving::SpaceSaving;
+
+use flowkey::FlowKey;
+
+/// A stream summary that can be updated with weighted flow keys and
+/// queried for (estimated) popularity.
+pub trait StreamSummary {
+    /// Human-readable algorithm name (used in benchmark tables).
+    fn name(&self) -> &'static str;
+
+    /// Feeds one fully-specified flow key with weight `w` (packets).
+    fn update(&mut self, key: &FlowKey, w: u64);
+
+    /// Estimated popularity of `pattern` (a key at any supported
+    /// hierarchy level; summaries without hierarchy support answer only
+    /// full keys and return 0 elsewhere — see each implementation).
+    fn estimate(&self, pattern: &FlowKey) -> f64;
+
+    /// Approximate memory footprint in bytes (for equal-memory
+    /// comparisons).
+    fn memory_bytes(&self) -> usize;
+}
+
+/// A summary that can enumerate hierarchical heavy hitters.
+pub trait HhhSummary {
+    /// Flows (generalized) whose discounted popularity is at least
+    /// `phi × total`, as `(key, estimated discounted count)`.
+    fn hhh(&self, phi: f64) -> Vec<(FlowKey, f64)>;
+}

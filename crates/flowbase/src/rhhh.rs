@@ -1,0 +1,182 @@
+//! RHHH — Randomized constant-time hierarchical heavy hitters
+//! (Ben Basat, Einziger, Friedman, Luizelli, Waisbard — SIGCOMM 2017).
+//!
+//! The insight: instead of updating every hierarchy level per packet
+//! (O(h)), update **one uniformly random level** (O(1)) and scale
+//! estimates by h at query time. Each level keeps its own Space-Saving
+//! instance. Reference \[1\] of the Flowtree paper.
+
+use crate::spacesaving::SpaceSaving;
+use crate::{HhhSummary, LevelSet, StreamSummary};
+use flowkey::FlowKey;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The RHHH summary.
+#[derive(Debug, Clone)]
+pub struct Rhhh {
+    levels: LevelSet,
+    per_level: Vec<SpaceSaving>,
+    rng: SmallRng,
+    total: u64,
+}
+
+impl Rhhh {
+    /// Creates the summary with `counters_per_level` Space-Saving
+    /// counters at each ladder level.
+    pub fn new(levels: LevelSet, counters_per_level: usize, seed: u64) -> Rhhh {
+        let per_level = (0..levels.len())
+            .map(|_| SpaceSaving::new(counters_per_level))
+            .collect();
+        Rhhh {
+            levels,
+            per_level,
+            rng: SmallRng::seed_from_u64(seed),
+            total: 0,
+        }
+    }
+
+    /// The level ladder.
+    pub fn levels(&self) -> &LevelSet {
+        &self.levels
+    }
+
+    /// Total weight observed (all levels combined, unscaled).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Scaled estimate of a ladder-level pattern.
+    fn level_estimate(&self, level: usize, key: &FlowKey) -> f64 {
+        let h = self.levels.len() as f64;
+        self.per_level[level].estimate(key) * h
+    }
+}
+
+impl StreamSummary for Rhhh {
+    fn name(&self) -> &'static str {
+        "rhhh"
+    }
+
+    /// O(1): one random level gets the update.
+    fn update(&mut self, key: &FlowKey, w: u64) {
+        self.total += w;
+        let level = self.rng.gen_range(0..self.levels.len());
+        let anc = self.levels.ancestor(key, level);
+        self.per_level[level].update(&anc, w);
+    }
+
+    fn estimate(&self, pattern: &FlowKey) -> f64 {
+        let depth = self.levels.schema().depth(pattern);
+        let level = self.levels.level_at_or_above(depth);
+        self.level_estimate(level, pattern)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.per_level.iter().map(|s| s.memory_bytes()).sum()
+    }
+}
+
+impl HhhSummary for Rhhh {
+    /// Bottom-up conditioned output: a candidate's estimate is reduced
+    /// by the (scaled) mass of already-output descendants before being
+    /// compared to φ·N.
+    fn hhh(&self, phi: f64) -> Vec<(FlowKey, f64)> {
+        let threshold = phi * self.total as f64;
+        if threshold <= 0.0 {
+            return Vec::new();
+        }
+        let mut out: Vec<(FlowKey, f64)> = Vec::new();
+        for level in (0..self.levels.len()).rev() {
+            for (key, count, _err) in self.per_level[level].items() {
+                let h = self.levels.len() as f64;
+                let scaled = count as f64 * h;
+                let discounted: f64 = scaled
+                    - out
+                        .iter()
+                        .filter(|(k, _)| key.contains(k) && k != key)
+                        .map(|(_, w)| *w)
+                        .sum::<f64>();
+                if discounted >= threshold {
+                    out.push((*key, discounted));
+                }
+            }
+        }
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowkey::Schema;
+
+    fn key(s: &str) -> FlowKey {
+        s.parse().unwrap()
+    }
+
+    fn ladder() -> LevelSet {
+        LevelSet::byte_boundaries(Schema::one_feature_src())
+    }
+
+    #[test]
+    fn update_touches_exactly_one_level() {
+        let mut r = Rhhh::new(ladder(), 64, 1);
+        r.update(&key("src=10.0.0.1/32"), 1);
+        let occupied: usize = r.per_level.iter().map(|s| s.len()).sum();
+        assert_eq!(occupied, 1);
+    }
+
+    #[test]
+    fn estimates_converge_with_samples() {
+        let mut r = Rhhh::new(ladder(), 512, 7);
+        // 60k updates of one heavy host among 40k noise updates.
+        for i in 0..40_000u32 {
+            r.update(&key(&format!("src=172.16.{}.{}/32", i % 128, i % 250)), 1);
+            if i < 30_000 {
+                r.update(&key("src=10.0.0.1/32"), 2);
+            }
+        }
+        let est = r.estimate(&key("src=10.0.0.1/32"));
+        let truth = 60_000.0;
+        assert!(
+            (est - truth).abs() / truth < 0.25,
+            "estimate {est} vs truth {truth}"
+        );
+        // The /8 aggregate is also answerable (level exists).
+        let agg = r.estimate(&key("src=10.0.0.0/7")); // depth 8 = ladder level
+        assert!(agg >= est * 0.7, "aggregate {agg} ≥ host share");
+    }
+
+    #[test]
+    fn hhh_finds_heavy_host_and_heavy_prefix() {
+        let mut r = Rhhh::new(ladder(), 256, 3);
+        for _ in 0..50_000 {
+            r.update(&key("src=60.0.0.1/32"), 1);
+        }
+        for i in 0..50u32 {
+            for _ in 0..600 {
+                r.update(&key(&format!("src=10.0.0.{i}/32")), 1);
+            }
+        }
+        let hhh = r.hhh(0.25);
+        assert!(
+            hhh.iter().any(|(k, _)| *k == key("src=60.0.0.1/32")),
+            "{hhh:?}"
+        );
+        // The 30k packets under 10.0.0.0/24 only qualify via a prefix.
+        assert!(
+            hhh.iter()
+                .any(|(k, _)| k.src.depth() < 33 && k.contains(&key("src=10.0.0.7/32"))),
+            "{hhh:?}"
+        );
+    }
+
+    #[test]
+    fn memory_is_levels_times_counters() {
+        let a = Rhhh::new(ladder(), 64, 1);
+        let b = Rhhh::new(ladder(), 128, 1);
+        assert_eq!(b.memory_bytes(), a.memory_bytes() * 2);
+    }
+}

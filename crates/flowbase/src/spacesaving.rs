@@ -1,0 +1,199 @@
+//! Space-Saving (Metwally, Agrawal, El Abbadi 2005).
+//!
+//! The canonical bounded heavy-hitter summary: `k` counters; a miss when
+//! full replaces the minimum counter, inheriting its count as error.
+//! Flat — it knows nothing about hierarchies — which is exactly why the
+//! paper argues it is insufficient ("keeping summaries of only the most
+//! popular flows misses information on less popular ones").
+
+use crate::{HhhSummary, StreamSummary};
+use flowkey::FlowKey;
+use std::collections::{BTreeSet, HashMap};
+
+/// The Space-Saving summary with `capacity` counters.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    /// key → (count, error)
+    counters: HashMap<FlowKey, (u64, u64)>,
+    /// (count, key) ordered set for O(log k) minimum maintenance.
+    order: BTreeSet<(u64, FlowKey)>,
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// Creates a summary with `capacity ≥ 1` counters.
+    pub fn new(capacity: usize) -> SpaceSaving {
+        assert!(capacity >= 1);
+        SpaceSaving {
+            capacity,
+            counters: HashMap::with_capacity(capacity + 1),
+            order: BTreeSet::new(),
+            total: 0,
+        }
+    }
+
+    /// Total weight observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of occupied counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counters are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// The tracked items as `(key, count, error)`; `count − error` is a
+    /// guaranteed lower bound on the true frequency.
+    pub fn items(&self) -> impl Iterator<Item = (&FlowKey, u64, u64)> {
+        self.counters.iter().map(|(k, (c, e))| (k, *c, *e))
+    }
+
+    fn bump(&mut self, key: FlowKey, add: u64, err: u64) {
+        let entry = self.counters.entry(key).or_insert((0, 0));
+        if entry.0 > 0 || err > 0 || add > 0 {
+            self.order.remove(&(entry.0, key));
+        }
+        entry.0 += add;
+        entry.1 += err;
+        self.order.insert((entry.0, key));
+    }
+}
+
+impl StreamSummary for SpaceSaving {
+    fn name(&self) -> &'static str {
+        "space-saving"
+    }
+
+    fn update(&mut self, key: &FlowKey, w: u64) {
+        self.total += w;
+        if self.counters.contains_key(key) {
+            self.bump(*key, w, 0);
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.bump(*key, w, 0);
+            return;
+        }
+        // Replace the minimum counter: the newcomer inherits its count
+        // as potential error.
+        let &(min_count, min_key) = self.order.iter().next().expect("non-empty at capacity");
+        self.order.remove(&(min_count, min_key));
+        self.counters.remove(&min_key);
+        self.counters.insert(*key, (min_count + w, min_count));
+        self.order.insert((min_count + w, *key));
+    }
+
+    fn estimate(&self, pattern: &FlowKey) -> f64 {
+        // Exact-key estimate when tracked; aggregate over tracked keys
+        // for coarser patterns (anything untracked estimates 0 — the
+        // blind spot the paper calls out).
+        if let Some((c, _)) = self.counters.get(pattern) {
+            return *c as f64;
+        }
+        self.counters
+            .iter()
+            .filter(|(k, _)| pattern.contains(k))
+            .map(|(_, (c, _))| *c)
+            .sum::<u64>() as f64
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.capacity * (std::mem::size_of::<FlowKey>() * 2 + 16 + 32)
+    }
+}
+
+impl HhhSummary for SpaceSaving {
+    /// Space-Saving has no hierarchy; its "HHH" answer is simply its
+    /// heavy hitters — included to make the recall gap measurable.
+    fn hhh(&self, phi: f64) -> Vec<(FlowKey, f64)> {
+        let threshold = phi * self.total as f64;
+        let mut out: Vec<(FlowKey, f64)> = self
+            .counters
+            .iter()
+            .filter(|(_, (c, _))| *c as f64 >= threshold)
+            .map(|(k, (c, _))| (*k, *c as f64))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u32) -> FlowKey {
+        format!("src=10.{}.{}.{}/32", i >> 16 & 255, i >> 8 & 255, i & 255)
+            .parse()
+            .unwrap()
+    }
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut ss = SpaceSaving::new(10);
+        for i in 0..5 {
+            for _ in 0..=i {
+                ss.update(&key(i), 1);
+            }
+        }
+        for i in 0..5 {
+            assert_eq!(ss.estimate(&key(i)), (i + 1) as f64);
+        }
+        assert_eq!(ss.len(), 5);
+    }
+
+    #[test]
+    fn overestimates_but_never_underestimates_heavy_keys() {
+        let mut ss = SpaceSaving::new(8);
+        // A heavy key among a stream of singletons.
+        for round in 0..200u32 {
+            ss.update(&key(0), 5);
+            ss.update(&key(1000 + round), 1);
+        }
+        let est = ss.estimate(&key(0));
+        assert!(est >= 1000.0, "count lower bound violated: {est}");
+        // Classic Space-Saving guarantee: error ≤ N / k.
+        assert!(est <= 1000.0 + ss.total() as f64 / 8.0);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut ss = SpaceSaving::new(16);
+        for i in 0..10_000 {
+            ss.update(&key(i), 1);
+        }
+        assert_eq!(ss.len(), 16);
+        assert_eq!(ss.total(), 10_000);
+    }
+
+    #[test]
+    fn min_replacement_inherits_error() {
+        let mut ss = SpaceSaving::new(2);
+        ss.update(&key(1), 10);
+        ss.update(&key(2), 20);
+        ss.update(&key(3), 1); // replaces key(1): count 11, error 10
+        let items: Vec<_> = ss.items().map(|(k, c, e)| (*k, c, e)).collect();
+        assert!(items.contains(&(key(3), 11, 10)));
+        assert!(items.contains(&(key(2), 20, 0)));
+    }
+
+    #[test]
+    fn hhh_is_flat_heavy_hitters() {
+        let mut ss = SpaceSaving::new(8);
+        for _ in 0..90 {
+            ss.update(&key(1), 1);
+        }
+        for i in 0..10 {
+            ss.update(&key(100 + i), 1);
+        }
+        let hhh = ss.hhh(0.5);
+        assert_eq!(hhh.len(), 1);
+        assert_eq!(hhh[0].0, key(1));
+    }
+}

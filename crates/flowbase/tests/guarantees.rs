@@ -1,0 +1,98 @@
+//! Property tests for the baselines' published guarantees.
+
+use flowbase::{CountMin, ExactAggregator, LevelSet, SpaceSaving, StreamSummary};
+use flowkey::{FlowKey, Schema};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u16, u64)>> {
+    // (flow id, weight) pairs from a small universe so collisions occur.
+    proptest::collection::vec((0u16..400, 1u64..50), 1..600)
+}
+
+fn key_of(id: u16) -> FlowKey {
+    format!("src=10.{}.{}.1/32", id / 200, id % 200)
+        .parse()
+        .unwrap()
+}
+
+proptest! {
+    /// Space-Saving never underestimates a tracked key, and its
+    /// overestimate is bounded by N/k.
+    #[test]
+    fn space_saving_error_bound(stream in arb_stream(), k in 4usize..64) {
+        let mut ss = SpaceSaving::new(k);
+        let mut truth: HashMap<u16, u64> = HashMap::new();
+        let mut total = 0u64;
+        for (id, w) in &stream {
+            ss.update(&key_of(*id), *w);
+            *truth.entry(*id).or_default() += w;
+            total += w;
+        }
+        for (id, c, e) in ss.items().map(|(k, c, e)| (k.clone(), c, e)) {
+            let actual = truth
+                .iter()
+                .find(|(tid, _)| key_of(**tid) == id)
+                .map(|(_, w)| *w)
+                .unwrap_or(0);
+            prop_assert!(c >= actual, "count {c} < actual {actual}");
+            prop_assert!(c - actual <= total / k as u64 + 49, "error bound");
+            prop_assert!(e <= c);
+        }
+    }
+
+    /// Count-Min never underestimates and respects its ε bound in
+    /// aggregate.
+    #[test]
+    fn count_min_never_underestimates(stream in arb_stream(), width in 16usize..256) {
+        let mut cm = CountMin::new(width, 4);
+        let mut truth: HashMap<u16, u64> = HashMap::new();
+        for (id, w) in &stream {
+            cm.add(&key_of(*id), *w);
+            *truth.entry(*id).or_default() += w;
+        }
+        for (id, actual) in &truth {
+            let est = cm.query(&key_of(*id));
+            prop_assert!(est >= *actual, "CM underestimated {id}");
+        }
+    }
+
+    /// The exact oracle's pattern estimates equal brute-force sums.
+    #[test]
+    fn exact_oracle_is_exact(stream in arb_stream()) {
+        let schema = Schema::one_feature_src();
+        let mut exact = ExactAggregator::new(schema);
+        let mut truth: HashMap<u16, u64> = HashMap::new();
+        for (id, w) in &stream {
+            exact.update(&key_of(*id), *w);
+            *truth.entry(*id).or_default() += w;
+        }
+        // Point queries.
+        for (id, actual) in &truth {
+            prop_assert_eq!(exact.estimate(&key_of(*id)) as u64, *actual);
+        }
+        // A /16-style aggregate.
+        let agg: u64 = truth
+            .iter()
+            .filter(|(id, _)| **id / 200 == 0)
+            .map(|(_, w)| *w)
+            .sum();
+        let pattern: FlowKey = "src=10.0.0.0/16".parse().unwrap();
+        prop_assert_eq!(exact.estimate(&pattern) as u64, agg);
+    }
+
+    /// Ladder ancestors are monotone: deeper levels are contained in
+    /// shallower ones, for every key.
+    #[test]
+    fn level_ladder_monotone(id in 0u16..400) {
+        let schema = Schema::one_feature_src();
+        let levels = LevelSet::byte_boundaries(schema);
+        let key = key_of(id);
+        for i in 1..levels.len() {
+            let shallow = levels.ancestor(&key, i - 1);
+            let deep = levels.ancestor(&key, i);
+            prop_assert!(shallow.contains(&deep));
+            prop_assert!(deep.contains(&key) || i == levels.len() - 1);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! E9 (Criterion) — the distributed operators: merge, diff, encode,
+//! decode. These set the cost of shipping and combining summaries
+//! across sites and windows.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flowkey::Schema;
+use flowtrace::{profile, TraceGen};
+use flowtree_core::{Config, FlowTree, Popularity};
+
+fn site_tree(seed: u64, budget: usize) -> FlowTree {
+    let mut cfg = profile::backbone(seed);
+    cfg.packets = 150_000;
+    cfg.flows = 40_000;
+    let mut tree = FlowTree::new(Schema::four_feature(), Config::with_budget(budget));
+    for p in TraceGen::new(cfg) {
+        tree.insert(&p.flow_key(), Popularity::packet(p.wire_len));
+    }
+    tree
+}
+
+fn bench_merge_diff(c: &mut Criterion) {
+    let a = site_tree(1, 40_000);
+    let b = site_tree(2, 40_000);
+    let mut group = c.benchmark_group("ops");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(b.len() as u64));
+    group.bench_function("merge_40k", |bch| {
+        bch.iter(|| FlowTree::merged(&a, &b).expect("same schema").len())
+    });
+    group.bench_function("diff_40k", |bch| {
+        bch.iter(|| FlowTree::diffed(&a, &b).expect("same schema").len())
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let tree = site_tree(3, 40_000);
+    let bytes = tree.encode();
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_40k", |b| b.iter(|| tree.encode().len()));
+    group.bench_function("decode_40k_validated", |b| {
+        b.iter(|| {
+            FlowTree::decode(&bytes, Config::with_budget(40_000))
+                .expect("valid")
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge_diff, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E8 (Criterion) — query cost: point queries stay flat, pattern
+//! queries scale with retained nodes ("time proportional to the tree
+//! nodes"), top-k and HHH are single passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flowkey::{FlowKey, Schema};
+use flowtrace::{profile, TraceGen};
+use flowtree_core::{Config, FlowTree, Metric, Popularity};
+
+fn build(budget: usize) -> FlowTree {
+    let mut cfg = profile::backbone(42);
+    cfg.packets = 400_000;
+    cfg.flows = 100_000;
+    let mut tree = FlowTree::new(Schema::four_feature(), Config::with_budget(budget));
+    for p in TraceGen::new(cfg) {
+        tree.insert(&p.flow_key(), Popularity::packet(p.wire_len));
+    }
+    tree
+}
+
+fn bench_point(c: &mut Criterion) {
+    let tree = build(40_000);
+    let key = *tree.iter().map(|v| v.key).nth(100).expect("populated");
+    c.bench_function("query/point_retained", |b| {
+        b.iter(|| tree.popularity(std::hint::black_box(&key)))
+    });
+}
+
+fn bench_pattern_scaling(c: &mut Criterion) {
+    let patterns: Vec<FlowKey> = ["src=10.0.0.0/8", "dst=128.0.0.0/2 dport=443"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let mut group = c.benchmark_group("query/pattern");
+    group.sample_size(20);
+    for budget in [10_000usize, 40_000, 160_000] {
+        let tree = build(budget);
+        group.bench_with_input(BenchmarkId::new("nodes", tree.len()), &tree, |b, tree| {
+            b.iter(|| {
+                patterns
+                    .iter()
+                    .map(|p| tree.estimate_pattern(p).packets)
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_analytics(c: &mut Criterion) {
+    let tree = build(40_000);
+    c.bench_function("query/top_k_100", |b| {
+        b.iter(|| tree.top_k(100, Metric::Packets).len())
+    });
+    c.bench_function("query/hhh_1pct", |b| {
+        b.iter(|| tree.hhh(0.01, Metric::Packets).len())
+    });
+}
+
+criterion_group!(benches, bench_point, bench_pattern_scaling, bench_analytics);
+criterion_main!(benches);

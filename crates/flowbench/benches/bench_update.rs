@@ -1,0 +1,75 @@
+//! E7 (Criterion) — update cost: hit path, miss path, and end-to-end
+//! trace ingestion at several node budgets. The paper's claim is
+//! amortized-constant updates; compare `ingest/budget=*` rows — they
+//! should be flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use flowkey::Schema;
+use flowtrace::{profile, TraceGen};
+use flowtree_core::{Config, FlowTree, Popularity};
+
+fn trace(packets: u64) -> Vec<(flowkey::FlowKey, Popularity)> {
+    let mut cfg = profile::backbone(42);
+    cfg.packets = packets;
+    cfg.flows = packets / 4;
+    TraceGen::new(cfg)
+        .map(|p| (p.flow_key(), Popularity::packet(p.wire_len)))
+        .collect()
+}
+
+fn bench_hit_path(c: &mut Criterion) {
+    let mut tree = FlowTree::new(Schema::four_feature(), Config::with_budget(40_000));
+    let key: flowkey::FlowKey = "src=10.1.2.3/32 dst=192.0.2.7/32 sport=49152 dport=443"
+        .parse()
+        .unwrap();
+    tree.insert(&key, Popularity::packet(100));
+    c.bench_function("update/hit", |b| {
+        b.iter(|| tree.insert(std::hint::black_box(&key), Popularity::packet(100)))
+    });
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let input = trace(200_000);
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(input.len() as u64));
+    for budget in [10_000usize, 40_000, 160_000] {
+        group.bench_with_input(BenchmarkId::new("budget", budget), &budget, |b, &budget| {
+            b.iter(|| {
+                let mut tree = FlowTree::new(Schema::four_feature(), Config::with_budget(budget));
+                for (k, p) in &input {
+                    tree.insert(k, *p);
+                }
+                tree.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_schemas(c: &mut Criterion) {
+    let input = trace(100_000);
+    let mut group = c.benchmark_group("ingest_schema");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(input.len() as u64));
+    for (name, schema) in [
+        ("src1", Schema::one_feature_src()),
+        ("srcdst2", Schema::two_feature()),
+        ("four", Schema::four_feature()),
+        ("five", Schema::five_feature()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("schema", name), &schema, |b, schema| {
+            b.iter(|| {
+                let mut tree = FlowTree::new(*schema, Config::with_budget(40_000));
+                for (k, p) in &input {
+                    tree.insert(k, *p);
+                }
+                tree.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hit_path, bench_ingest, bench_schemas);
+criterion_main!(benches);

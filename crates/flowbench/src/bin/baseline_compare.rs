@@ -1,0 +1,226 @@
+//! E11 — Flowtree against the related work, at equal memory.
+//!
+//! The paper's positioning: heavy-hitter-only structures "miss
+//! information on less popular flows". This harness measures that:
+//! every summary gets (approximately) the same memory budget, ingests
+//! the same trace, and is scored on
+//!
+//! * point-query relative error for **heavy**, **medium**, and **light**
+//!   flows (where the related work goes blind),
+//! * hierarchical-heavy-hitter recall/precision vs the exact oracle.
+//!
+//! ```sh
+//! cargo run --release -p flowbench --bin baseline_compare
+//! ```
+
+use flowbase::hhh::{FullAncestry, PartialAncestry};
+use flowbase::{
+    DyadicCountMin, ExactAggregator, HhhSummary, LevelSet, Rhhh, SpaceSaving, StreamSummary,
+};
+use flowbench::{Args, Table};
+use flowkey::{FlowKey, Schema};
+use flowtrace::{profile, TraceGen};
+use flowtree_core::{Config, FlowTree, Popularity};
+
+/// Adapter: Flowtree behind the baseline interface.
+struct FlowTreeSummary {
+    tree: FlowTree,
+}
+
+impl StreamSummary for FlowTreeSummary {
+    fn name(&self) -> &'static str {
+        "flowtree"
+    }
+    fn update(&mut self, key: &FlowKey, w: u64) {
+        self.tree.insert(key, Popularity::new(w as i64, 0, 0));
+    }
+    fn estimate(&self, pattern: &FlowKey) -> f64 {
+        self.tree.estimate_pattern(pattern).packets
+    }
+    fn memory_bytes(&self) -> usize {
+        // In-memory footprint (node + index entry), not the wire size —
+        // the other contenders report resident memory too.
+        self.tree.len() * (std::mem::size_of::<FlowKey>() * 2 + 80)
+    }
+}
+
+impl HhhSummary for FlowTreeSummary {
+    fn hhh(&self, phi: f64) -> Vec<(FlowKey, f64)> {
+        self.tree
+            .hhh(phi, flowtree_core::Metric::Packets)
+            .into_iter()
+            .map(|h| (h.key, h.discounted.packets as f64))
+            .collect()
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let seed: u64 = args.get("seed").unwrap_or(42);
+    let packets: u64 = args.get("packets").unwrap_or(600_000);
+    let phi: f64 = args.get("phi").unwrap_or(0.005);
+
+    let schema = Schema::two_feature(); // src × dst hierarchy, like [2-3]
+    let levels = LevelSet::byte_boundaries(schema);
+
+    // Budgets tuned to land every contender near ≈ 4 MiB resident
+    // (actual figure reported in the table).
+    let mut contenders: Vec<Box<dyn Contender>> = vec![
+        Box::new(FlowTreeSummary {
+            tree: FlowTree::new(schema, Config::with_budget(16_000)),
+        }),
+        Box::new(SpaceSaving::new(12_000)),
+        Box::new(NoHhh(DyadicCountMin::new(levels.clone(), 13_000, 4))),
+        Box::new(FullAncestry::new(levels.clone(), 0.0002)),
+        Box::new(PartialAncestry::new(levels.clone(), 0.0002)),
+        Box::new(Rhhh::new(levels.clone(), 1_400, seed)),
+    ];
+    let mut exact = ExactAggregator::new(schema);
+
+    let mut cfg = profile::backbone(seed);
+    cfg.packets = packets;
+    cfg.flows = cfg.flows.min(packets / 2);
+    eprintln!(
+        "ingesting {packets} packets into {} summaries …",
+        contenders.len() + 1
+    );
+    for pkt in TraceGen::new(cfg) {
+        let key = schema.canonicalize(&pkt.flow_key());
+        exact.update(&key, 1);
+        for c in contenders.iter_mut() {
+            c.update_one(&key);
+        }
+    }
+
+    // Query sets: heavy (top 0.1 %), medium (around the median rank),
+    // light (tail), plus /16 prefix aggregates.
+    let mut all: Vec<(FlowKey, f64)> = exact.iter().map(|(k, w)| (*k, w as f64)).collect();
+    all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+    let n = all.len();
+    let heavy: Vec<_> = all.iter().take((n / 1000).max(20)).cloned().collect();
+    let medium: Vec<_> = all.iter().skip(n / 10).take(200).cloned().collect();
+    let light: Vec<_> = all.iter().skip(n / 2).take(200).cloned().collect();
+    // Prefix aggregates at a ladder-aligned depth (16 = src /15), so
+    // level-based structures can answer at their native granularity.
+    let prefixes: Vec<(FlowKey, f64)> = {
+        let mut set = std::collections::BTreeSet::new();
+        for (k, _) in all.iter().take(2_000) {
+            if let Some(p) = k.dim_ancestor_at(flowkey::Dim::SrcIp, 16) {
+                set.insert(schema.canonicalize(&p.with_dst(flowkey::IpNet::Any)));
+            }
+        }
+        set.into_iter()
+            .take(50)
+            .map(|k| {
+                let e = exact.estimate(&k);
+                (k, e)
+            })
+            .collect()
+    };
+
+    let exact_hhh = exact.hhh(phi);
+    println!(
+        "\n== E11: equal-memory comparison ({packets} packets, {} distinct flows, φ={phi}) ==\n",
+        exact.distinct()
+    );
+    let t = Table::new(&[
+        "summary",
+        "memory",
+        "heavy err",
+        "medium err",
+        "light err",
+        "/16 agg err",
+        "hhh recall",
+        "hhh precision",
+    ]);
+    for c in &contenders {
+        let score = |set: &[(FlowKey, f64)]| -> f64 {
+            let mut err = 0.0;
+            for (k, truth) in set {
+                let est = c.estimate_one(k);
+                err += (est - truth).abs() / truth.max(1.0);
+            }
+            err / set.len().max(1) as f64
+        };
+        let got = c.hhh_one(phi);
+        // Fuzzy matching: the oracle reports bit-granularity keys while
+        // the ladder-based related work reports byte-granularity ones.
+        // An item counts as found if the summary localizes it to within
+        // one byte level (nested keys ≤ 8 chain steps apart).
+        let matches = |a: &FlowKey, b: &FlowKey| -> bool {
+            (a.contains(b) || b.contains(a)) && schema.depth(a).abs_diff(schema.depth(b)) <= 8
+        };
+        let recall = exact_hhh
+            .iter()
+            .filter(|(k, _)| got.iter().any(|(g, _)| matches(g, k)))
+            .count() as f64
+            / exact_hhh.len().max(1) as f64;
+        let precision = got
+            .iter()
+            .filter(|(g, _)| exact_hhh.iter().any(|(k, _)| matches(g, k)))
+            .count() as f64
+            / got.len().max(1) as f64;
+        t.row(&[
+            c.name_one(),
+            &format!("{:.2} MiB", c.memory_one() as f64 / (1 << 20) as f64),
+            &format!("{:.3}", score(&heavy)),
+            &format!("{:.3}", score(&medium)),
+            &format!("{:.3}", score(&light)),
+            &format!("{:.3}", score(&prefixes)),
+            &format!("{recall:.2}"),
+            &format!("{precision:.2}"),
+        ]);
+    }
+    println!("\n(err = mean relative error; the paper's point: only Flowtree keeps");
+    println!(" medium/light flows AND aggregates answerable in one mergeable structure)");
+}
+
+/// A summary that supports point queries but cannot enumerate HHHs
+/// (plain sketches) — reported as recall/precision 0 in the table,
+/// which is itself one of the paper's points.
+struct NoHhh<T: StreamSummary>(T);
+
+impl<T: StreamSummary> Contender for NoHhh<T> {
+    fn update_one(&mut self, key: &FlowKey) {
+        self.0.update(key, 1);
+    }
+    fn estimate_one(&self, key: &FlowKey) -> f64 {
+        self.0.estimate(key)
+    }
+    fn memory_one(&self) -> usize {
+        self.0.memory_bytes()
+    }
+    fn name_one(&self) -> &'static str {
+        self.0.name()
+    }
+    fn hhh_one(&self, _phi: f64) -> Vec<(FlowKey, f64)> {
+        Vec::new()
+    }
+}
+
+/// Object-safe facade over `StreamSummary + HhhSummary`.
+trait Contender {
+    fn update_one(&mut self, key: &FlowKey);
+    fn estimate_one(&self, key: &FlowKey) -> f64;
+    fn memory_one(&self) -> usize;
+    fn name_one(&self) -> &'static str;
+    fn hhh_one(&self, phi: f64) -> Vec<(FlowKey, f64)>;
+}
+
+impl<T: StreamSummary + HhhSummary> Contender for T {
+    fn update_one(&mut self, key: &FlowKey) {
+        self.update(key, 1);
+    }
+    fn estimate_one(&self, key: &FlowKey) -> f64 {
+        self.estimate(key)
+    }
+    fn memory_one(&self) -> usize {
+        self.memory_bytes()
+    }
+    fn name_one(&self) -> &'static str {
+        self.name()
+    }
+    fn hhh_one(&self, phi: f64) -> Vec<(FlowKey, f64)> {
+        self.hhh(phi)
+    }
+}

@@ -1,0 +1,144 @@
+//! E9 — the merge/diff operators at work.
+//!
+//! Three measurements:
+//!
+//! 1. **Merge exactness** — totals of k per-site trees add exactly, and
+//!    the merged tree answers aggregate queries like the centrally
+//!    built tree.
+//! 2. **Merge accuracy vs k** — with a fixed per-site budget, how close
+//!    the k-way merged tree stays to a central tree of the same budget.
+//! 3. **Full vs delta transfer** — a churn sweep: the fraction of
+//!    traffic that changes between consecutive windows decides whether
+//!    diff-based transfer wins (the paper's "difference of consecutive
+//!    summaries").
+//!
+//! ```sh
+//! cargo run --release -p flowbench --bin mergediff
+//! ```
+
+use flowbench::{Args, Table};
+use flowkey::Schema;
+use flowtrace::{profile, TraceGen};
+use flowtree_core::{fxhash, Config, FlowTree, Popularity};
+
+fn main() {
+    let args = Args::from_env();
+    let seed: u64 = args.get("seed").unwrap_or(42);
+    let packets: u64 = args.get("packets").unwrap_or(600_000);
+
+    // ---- 1 & 2: k-way merge vs central -----------------------------
+    println!("== E9a: k-way site merge vs central tree ({packets} packets) ==\n");
+    let schema = Schema::four_feature();
+    let budget = 20_000usize;
+    let t = Table::new(&[
+        "sites k",
+        "merged total",
+        "central total",
+        "mean |rel err| on /8 queries",
+    ]);
+    for k in [2usize, 5, 10] {
+        let mut cfg = profile::backbone(seed);
+        cfg.packets = packets;
+        cfg.flows = cfg.flows.min(packets / 2);
+        let mut central = FlowTree::new(schema, Config::with_budget(budget));
+        let mut sites: Vec<FlowTree> = (0..k)
+            .map(|_| FlowTree::new(schema, Config::with_budget(budget)))
+            .collect();
+        for pkt in TraceGen::new(cfg) {
+            let key = pkt.flow_key();
+            let pop = Popularity::packet(pkt.wire_len);
+            central.insert(&key, pop);
+            let site = (fxhash(&pkt.src) % k as u64) as usize;
+            sites[site].insert(&key, pop);
+        }
+        let mut merged = FlowTree::new(schema, Config::with_budget(budget));
+        for s in &sites {
+            merged.merge(s).expect("same schema");
+        }
+        // Aggregate query error across the busiest /8s.
+        let top8: Vec<_> = central
+            .top_k(200, flowtree_core::Metric::Packets)
+            .into_iter()
+            .filter(|(k, _)| k.src.depth() == 9 || k.src.depth() == 8)
+            .take(10)
+            .collect();
+        let mut err_sum = 0.0;
+        let mut err_n = 0u32;
+        for (key, _) in &top8 {
+            let a = central.estimate_pattern(key).packets;
+            let b = merged.estimate_pattern(key).packets;
+            if a > 0.0 {
+                err_sum += ((a - b) / a).abs();
+                err_n += 1;
+            }
+        }
+        t.row(&[
+            &k.to_string(),
+            &merged.total().packets.to_string(),
+            &central.total().packets.to_string(),
+            &format!("{:.4}", err_sum / err_n.max(1) as f64),
+        ]);
+        assert_eq!(
+            merged.total(),
+            central.total(),
+            "merge must be exact on totals"
+        );
+    }
+
+    // ---- 3: full vs delta transfer under churn ----------------------
+    println!("\n== E9b: full vs delta transfer volume vs window churn ==\n");
+    let t = Table::new(&[
+        "churn %",
+        "full B/window",
+        "delta B/window",
+        "delta/full",
+        "winner",
+    ]);
+    let windows = 8u64;
+    for churn_pct in [0u64, 5, 20, 50, 100] {
+        let mut prev: Option<FlowTree> = None;
+        let (mut full_bytes, mut delta_bytes) = (0u64, 0u64);
+        for w in 0..windows {
+            // A window: 3 000 stable flows plus `churn` fraction replaced
+            // by window-specific flows, constant per-flow counts.
+            let mut tree = FlowTree::new(schema, Config::with_budget(8_192));
+            for f in 0..3_000u64 {
+                let is_churned = (fxhash(&(w, f)) % 100) < churn_pct;
+                let id = if is_churned {
+                    (w + 1) * 1_000_000 + f
+                } else {
+                    f
+                };
+                let key = format!(
+                    "src=10.{}.{}.{}/32 dst=192.0.2.{}/32 sport={} dport=443",
+                    id % 200,
+                    (id / 200) % 200,
+                    (id / 40_000) % 200,
+                    id % 100,
+                    1024 + (id % 30_000),
+                )
+                .parse()
+                .unwrap();
+                tree.insert(&key, Popularity::new(5, 2_500, 1));
+            }
+            full_bytes += tree.encoded_size() as u64;
+            if let Some(prev) = &prev {
+                let delta = FlowTree::diffed(&tree, prev).expect("same schema");
+                delta_bytes += delta.encoded_size() as u64;
+            } else {
+                delta_bytes += tree.encoded_size() as u64; // first window ships full
+            }
+            prev = Some(tree);
+        }
+        let ratio = delta_bytes as f64 / full_bytes as f64;
+        t.row(&[
+            &churn_pct.to_string(),
+            &(full_bytes / windows).to_string(),
+            &(delta_bytes / windows).to_string(),
+            &format!("{ratio:.2}"),
+            if ratio < 1.0 { "delta" } else { "full" },
+        ]);
+    }
+    println!("\n(low churn → ship diffs; high churn → ship full summaries; the crossover");
+    println!(" is where a deployment should switch TransferMode)");
+}

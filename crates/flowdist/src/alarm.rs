@@ -1,0 +1,179 @@
+//! Window-over-window alarming.
+//!
+//! The paper's future-work system "enables … alarming when there are
+//! significant differences". The engine diffs consecutive window trees
+//! and reports the **most specific** generalized flows whose traffic
+//! changed by more than a threshold — drill-down localization for free,
+//! because the diff is itself a Flowtree.
+
+use flowkey::FlowKey;
+use flowtree_core::{FlowTree, Metric, Popularity};
+
+/// Alarm thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct AlarmConfig {
+    /// Minimum |change| as a fraction of the previous window's total
+    /// (e.g. 0.1 = a 10 % swing).
+    pub min_fraction: f64,
+    /// Absolute floor on |change| in packets, so quiet links do not
+    /// alarm on noise.
+    pub min_packets: i64,
+    /// At most this many events per window pair.
+    pub max_events: usize,
+}
+
+impl Default for AlarmConfig {
+    fn default() -> Self {
+        AlarmConfig {
+            min_fraction: 0.1,
+            min_packets: 1_000,
+            max_events: 16,
+        }
+    }
+}
+
+/// Direction of a change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Traffic increased.
+    Up,
+    /// Traffic decreased.
+    Down,
+}
+
+/// One significant change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlarmEvent {
+    /// The most specific generalized flow localizing the change.
+    pub key: FlowKey,
+    /// The signed change (current − previous).
+    pub delta: Popularity,
+    /// Up or down.
+    pub direction: Direction,
+}
+
+/// Diffs two window trees and reports the most specific significant
+/// changes (nodes above threshold with no above-threshold descendant).
+pub fn detect(prev: &FlowTree, current: &FlowTree, cfg: &AlarmConfig) -> Vec<AlarmEvent> {
+    let Ok(diff) = FlowTree::diffed(current, prev) else {
+        return Vec::new();
+    };
+    let base = prev.total().get(Metric::Packets).max(0) as f64;
+    let threshold = ((cfg.min_fraction * base) as i64).max(cfg.min_packets);
+
+    // Subtree change per node, then keep candidates whose children are
+    // all below threshold (deepest localization).
+    let mut events: Vec<AlarmEvent> = Vec::new();
+    let views: Vec<(FlowKey, Popularity)> = diff
+        .iter()
+        .map(|v| (*v.key, diff.subtree_popularity(v.key).expect("retained")))
+        .collect();
+    for (key, sub) in &views {
+        if sub.packets.abs() < threshold {
+            continue;
+        }
+        let has_hot_child = views.iter().any(|(other, osub)| {
+            other != key && key.contains(other) && osub.packets.abs() >= threshold
+        });
+        if has_hot_child {
+            continue;
+        }
+        events.push(AlarmEvent {
+            key: *key,
+            delta: *sub,
+            direction: if sub.packets >= 0 {
+                Direction::Up
+            } else {
+                Direction::Down
+            },
+        });
+    }
+    events.sort_by_key(|e| std::cmp::Reverse(e.delta.packets.abs()));
+    events.truncate(cfg.max_events);
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowkey::Schema;
+    use flowtree_core::Config;
+
+    fn key(s: &str) -> FlowKey {
+        s.parse().unwrap()
+    }
+
+    fn tree(entries: &[(&str, i64)]) -> FlowTree {
+        let mut t = FlowTree::new(Schema::two_feature(), Config::with_budget(512));
+        for (k, p) in entries {
+            t.insert(&key(k), Popularity::new(*p, p * 100, 1));
+        }
+        t
+    }
+
+    #[test]
+    fn no_alarm_when_windows_match() {
+        let a = tree(&[("src=10.0.0.1/32", 5_000), ("src=10.0.0.2/32", 3_000)]);
+        let b = a.clone();
+        assert!(detect(&a, &b, &AlarmConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn detects_and_localizes_a_spike() {
+        let prev = tree(&[("src=10.0.0.1/32", 5_000), ("src=10.0.0.2/32", 3_000)]);
+        let cur = tree(&[
+            ("src=10.0.0.1/32", 5_000),
+            ("src=10.0.0.2/32", 3_000),
+            ("src=6.6.6.6/32 dst=192.0.2.1/32", 50_000), // attack
+        ]);
+        let events = detect(&prev, &cur, &AlarmConfig::default());
+        assert!(!events.is_empty());
+        assert_eq!(events[0].direction, Direction::Up);
+        assert_eq!(events[0].delta.packets, 50_000);
+        assert!(
+            events[0]
+                .key
+                .contains(&key("src=6.6.6.6/32 dst=192.0.2.1/32")),
+            "localized at {}",
+            events[0].key
+        );
+        // The localization must be specific, not the root.
+        assert!(!events[0].key.is_root());
+    }
+
+    #[test]
+    fn detects_traffic_drops() {
+        let prev = tree(&[("src=10.0.0.1/32", 80_000)]);
+        let cur = tree(&[("src=10.0.0.1/32", 10_000)]);
+        let events = detect(&prev, &cur, &AlarmConfig::default());
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].direction, Direction::Down);
+        assert_eq!(events[0].delta.packets, -70_000);
+    }
+
+    #[test]
+    fn absolute_floor_suppresses_noise() {
+        let prev = tree(&[("src=10.0.0.1/32", 10)]);
+        let cur = tree(&[("src=10.0.0.1/32", 30)]);
+        // 200 % up but only 20 packets — below the absolute floor.
+        assert!(detect(&prev, &cur, &AlarmConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn event_count_is_capped() {
+        let prev = tree(&[]);
+        let entries: Vec<(String, i64)> = (0..50)
+            .map(|i| (format!("src=10.9.{i}.1/32"), 5_000i64))
+            .collect();
+        let mut cur = FlowTree::new(Schema::two_feature(), Config::with_budget(512));
+        for (k, p) in &entries {
+            cur.insert(&key(k), Popularity::new(*p, 0, 0));
+        }
+        let cfg = AlarmConfig {
+            max_events: 5,
+            ..AlarmConfig::default()
+        };
+        let events = detect(&prev, &cur, &cfg);
+        assert_eq!(events.len(), 5);
+    }
+}

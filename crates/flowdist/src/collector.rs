@@ -1,0 +1,527 @@
+//! The central collector ("database" in Fig. 1).
+//!
+//! Receives summaries from every site, reconstructs per-(site, window)
+//! Flowtrees (applying deltas to the previous window), accounts transfer
+//! volume, and serves the distributed queries: merge across any set of
+//! sites and any time range, pattern estimation, and the lifted
+//! time+site mega-tree for single-structure drill-down.
+
+use crate::summary::{Summary, SummaryKind};
+use crate::window::WindowId;
+use crate::DistError;
+use flowkey::{FlowKey, Schema, Site, TimeBucket};
+use flowtree_core::{Config, FlowTree, PopEst, Popularity};
+use std::collections::BTreeMap;
+
+/// Transfer-volume bookkeeping — the evidence for the paper's
+/// storage/transfer-reduction claims.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransferLedger {
+    /// Summary frames received.
+    pub summaries: u64,
+    /// Bytes of full summaries received.
+    pub full_bytes: u64,
+    /// Bytes of delta summaries received.
+    pub delta_bytes: u64,
+    /// Frames rejected (bad frames, schema mismatch, missing base…).
+    pub rejected: u64,
+}
+
+impl TransferLedger {
+    /// All summary bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.full_bytes + self.delta_bytes
+    }
+}
+
+/// The collector.
+#[derive(Debug)]
+pub struct Collector {
+    schema: Schema,
+    tree_cfg: Config,
+    /// (window start, site) → reconstructed tree.
+    windows: BTreeMap<(u64, u16), FlowTree>,
+    /// Per-site: last reconstructed window (base for deltas) and seq.
+    last: BTreeMap<u16, (u64, u64)>,
+    ledger: TransferLedger,
+}
+
+impl Collector {
+    /// Creates an empty collector for one schema.
+    pub fn new(schema: Schema, tree_cfg: Config) -> Collector {
+        Collector {
+            schema,
+            tree_cfg,
+            windows: BTreeMap::new(),
+            last: BTreeMap::new(),
+            ledger: TransferLedger::default(),
+        }
+    }
+
+    /// Transfer bookkeeping.
+    pub fn ledger(&self) -> &TransferLedger {
+        &self.ledger
+    }
+
+    /// Stored (window, site) count.
+    pub fn stored_windows(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The sites seen so far.
+    pub fn sites(&self) -> Vec<u16> {
+        let mut s: Vec<u16> = self.windows.keys().map(|(_, site)| *site).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// Decodes and applies one summary frame from the wire.
+    pub fn apply_bytes(&mut self, bytes: &[u8]) -> Result<(), DistError> {
+        let summary = match Summary::decode(bytes, self.tree_cfg) {
+            Ok(s) => s,
+            Err(e) => {
+                self.ledger.rejected += 1;
+                return Err(e);
+            }
+        };
+        let n = bytes.len() as u64;
+        match self.apply(summary) {
+            Ok(kind) => {
+                self.ledger.summaries += 1;
+                match kind {
+                    SummaryKind::Full => self.ledger.full_bytes += n,
+                    SummaryKind::Delta => self.ledger.delta_bytes += n,
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.ledger.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Applies an already-decoded summary; returns its kind.
+    pub fn apply(&mut self, summary: Summary) -> Result<SummaryKind, DistError> {
+        if *summary.tree.schema() != self.schema {
+            return Err(DistError::SchemaMismatch);
+        }
+        let kind = summary.kind;
+        let tree = match kind {
+            SummaryKind::Full => summary.tree,
+            SummaryKind::Delta => {
+                // A delta is defined against the site's *immediately
+                // preceding* summary. Verify continuity (sequence number
+                // must be consecutive) — applying a delta onto the wrong
+                // base would silently corrupt the reconstruction.
+                let Some(&(base_start, base_seq)) = self.last.get(&summary.site) else {
+                    return Err(DistError::MissingDeltaBase { site: summary.site });
+                };
+                if summary.seq != base_seq + 1 {
+                    return Err(DistError::MissingDeltaBase { site: summary.site });
+                }
+                let base = self
+                    .windows
+                    .get(&(base_start, summary.site))
+                    .ok_or(DistError::MissingDeltaBase { site: summary.site })?;
+                let mut rebuilt = base.clone();
+                rebuilt
+                    .merge(&summary.tree)
+                    .map_err(|_| DistError::SchemaMismatch)?;
+                rebuilt.prune_zeros();
+                rebuilt
+            }
+        };
+        self.last
+            .insert(summary.site, (summary.window.start_ms, summary.seq));
+        self.windows
+            .insert((summary.window.start_ms, summary.site), tree);
+        Ok(kind)
+    }
+
+    /// Tree for one (window, site), if stored.
+    pub fn window_tree(&self, window_start_ms: u64, site: u16) -> Option<&FlowTree> {
+        self.windows.get(&(window_start_ms, site))
+    }
+
+    /// All stored `(window start ms, site)` pairs, in time order.
+    pub fn window_keys(&self) -> Vec<(u64, u16)> {
+        self.windows.keys().copied().collect()
+    }
+
+    /// Merges every stored tree matching the site set and time range —
+    /// the paper's distributed `merge` in action. `sites = None` means
+    /// all sites; the range is `[from_ms, to_ms)`.
+    pub fn merged(&self, sites: Option<&[u16]>, from_ms: u64, to_ms: u64) -> FlowTree {
+        let mut out = FlowTree::new(self.schema, self.tree_cfg);
+        for ((start, site), tree) in &self.windows {
+            if *start < from_ms || *start >= to_ms {
+                continue;
+            }
+            if let Some(wanted) = sites {
+                if !wanted.contains(site) {
+                    continue;
+                }
+            }
+            out.merge(tree).expect("uniform schema in collector");
+        }
+        out
+    }
+
+    /// Estimates a pattern over a site set and time range.
+    pub fn query(
+        &self,
+        pattern: &FlowKey,
+        sites: Option<&[u16]>,
+        from_ms: u64,
+        to_ms: u64,
+    ) -> PopEst {
+        let mut acc = PopEst::ZERO;
+        for ((start, site), tree) in &self.windows {
+            if *start < from_ms || *start >= to_ms {
+                continue;
+            }
+            if let Some(wanted) = sites {
+                if !wanted.contains(site) {
+                    continue;
+                }
+            }
+            acc += tree.estimate_pattern(pattern);
+        }
+        acc
+    }
+
+    /// Builds the **lifted mega-tree**: every stored mass re-keyed with
+    /// its site and (dyadic) time bucket under the extended schema, so a
+    /// single Flowtree answers cross-site cross-time drill-downs — the
+    /// paper's "extends Flowtree by adding two features, namely time and
+    /// monitor location".
+    pub fn lifted(&self, budget: usize) -> FlowTree {
+        let mut out = FlowTree::new(Schema::extended(), Config::with_budget(budget));
+        for ((start, site), tree) in &self.windows {
+            // The finest dyadic bucket fully containing the window.
+            let span_s = (tree_window_span(tree, self).max(1000) / 1000).max(1);
+            let level = 64 - u64::leading_zeros(span_s.next_power_of_two()) as u8 - 1;
+            let time = TimeBucket::new(start / 1000, level.min(TimeBucket::MAX_LEVEL))
+                .unwrap_or(TimeBucket::ANY);
+            for v in tree.iter() {
+                if v.comp.is_zero() {
+                    continue;
+                }
+                let key = v.key.with_site(Site::Is(*site)).with_time(time);
+                out.insert(&key, v.comp);
+            }
+        }
+        out
+    }
+
+    /// Total mass stored across all windows/sites.
+    pub fn total(&self) -> Popularity {
+        self.windows.values().map(|t| t.total()).sum()
+    }
+
+    /// Sweeps one site's stored windows in time order and reports the
+    /// significant window-over-window changes (the future-work
+    /// "alarming when there are significant differences"). Returns
+    /// `(window that changed, events)` pairs; windows missing from the
+    /// store are skipped, so a lost summary never mis-attributes a
+    /// change to the wrong pair.
+    pub fn alarms(
+        &self,
+        site: u16,
+        cfg: &crate::alarm::AlarmConfig,
+    ) -> Vec<(WindowId, Vec<crate::alarm::AlarmEvent>)> {
+        let mut windows: Vec<(u64, &FlowTree)> = self
+            .windows
+            .iter()
+            .filter(|((_, s), _)| *s == site)
+            .map(|((start, _), tree)| (*start, tree))
+            .collect();
+        windows.sort_by_key(|(start, _)| *start);
+        let mut out = Vec::new();
+        for pair in windows.windows(2) {
+            let (prev_start, prev) = pair[0];
+            let (cur_start, cur) = pair[1];
+            // Only adjacent windows are comparable.
+            let span = cur_start - prev_start;
+            let events = crate::alarm::detect(prev, cur, cfg);
+            if !events.is_empty() {
+                out.push((
+                    WindowId {
+                        start_ms: cur_start,
+                        span_ms: span,
+                    },
+                    events,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Window span lookup helper: spans are uniform per deployment; derive
+/// from stored keys when possible (fallback 300 000 ms).
+fn tree_window_span(_tree: &FlowTree, c: &Collector) -> u64 {
+    // All windows share one span in this system; read it from any key.
+    c.windows
+        .keys()
+        .zip(c.windows.keys().skip(1))
+        .find(|((a, _), (b, _))| a != b)
+        .map(|((a, _), (b, _))| b - a)
+        .unwrap_or(300_000)
+}
+
+/// Convenience: the window id for a timestamp under a span.
+pub fn window_of(ts_ms: u64, span_ms: u64) -> WindowId {
+    WindowId::containing(ts_ms, span_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{DaemonConfig, SiteDaemon, TransferMode};
+    use flownet::FlowRecord;
+
+    fn record(ts_ms: u64, site_octet: u8, host: u8, packets: u64) -> FlowRecord {
+        let mut r = FlowRecord::v4(
+            [10, site_octet, 0, host],
+            [192, 0, 2, 1],
+            2000,
+            443,
+            6,
+            packets,
+            packets * 500,
+        );
+        r.first_ms = ts_ms;
+        r.last_ms = ts_ms;
+        r
+    }
+
+    fn site_daemon(site: u16, transfer: TransferMode) -> SiteDaemon {
+        let mut cfg = DaemonConfig::new(site);
+        cfg.window_ms = 1000;
+        cfg.tree = Config::with_budget(256);
+        cfg.schema = Schema::five_feature();
+        cfg.transfer = transfer;
+        SiteDaemon::new(cfg)
+    }
+
+    fn feed(collector: &mut Collector, summaries: Vec<Summary>) {
+        for s in summaries {
+            let bytes = s.encode();
+            collector.apply_bytes(&bytes).expect("valid summary");
+        }
+    }
+
+    #[test]
+    fn collects_and_merges_across_sites_and_windows() {
+        let mut collector = Collector::new(Schema::five_feature(), Config::with_budget(1024));
+        for site in 0..3u16 {
+            let mut d = site_daemon(site, TransferMode::Full);
+            let mut summaries = Vec::new();
+            for w in 0..4u64 {
+                for h in 0..5u8 {
+                    summaries.extend(d.ingest_record(&record(
+                        w * 1000 + 100 + h as u64,
+                        site as u8,
+                        h,
+                        2,
+                    )));
+                }
+            }
+            summaries.extend(d.flush());
+            feed(&mut collector, summaries);
+        }
+        assert_eq!(collector.sites(), vec![0, 1, 2]);
+        assert_eq!(collector.stored_windows(), 12);
+        // Everything: 3 sites × 4 windows × 5 hosts × 2 packets.
+        let all = collector.merged(None, 0, u64::MAX);
+        assert_eq!(all.total().packets, 120);
+        // One site, two windows.
+        let some = collector.merged(Some(&[1]), 1000, 3000);
+        assert_eq!(some.total().packets, 20);
+        // Pattern query across sites: traffic from 10.2.0.0/16 (site 2).
+        let est = collector.query(&"src=10.2.0.0/16".parse().unwrap(), None, 0, u64::MAX);
+        assert!((est.packets - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delta_pipeline_reconstructs_identically() {
+        // Run the same input through Full and Delta pipelines; the
+        // reconstructed trees must agree on every window.
+        let runs: Vec<Collector> = [TransferMode::Full, TransferMode::Delta]
+            .into_iter()
+            .map(|mode| {
+                let mut collector =
+                    Collector::new(Schema::five_feature(), Config::with_budget(1024));
+                let mut d = site_daemon(9, mode);
+                let mut summaries = Vec::new();
+                for w in 0..5u64 {
+                    for h in 0..8u8 {
+                        if (h as u64 + w) % 3 != 0 {
+                            summaries.extend(d.ingest_record(&record(
+                                w * 1000 + 50 + h as u64,
+                                9,
+                                h,
+                                1 + w,
+                            )));
+                        }
+                    }
+                }
+                summaries.extend(d.flush());
+                feed(&mut collector, summaries);
+                collector
+            })
+            .collect();
+        let (full, delta) = (&runs[0], &runs[1]);
+        assert_eq!(full.stored_windows(), delta.stored_windows());
+        for ((start, site), ftree) in &full.windows {
+            let dtree = delta.windows.get(&(*start, *site)).expect("same windows");
+            assert_eq!(ftree.total(), dtree.total(), "window {start}");
+            for v in ftree.iter() {
+                assert_eq!(
+                    dtree.subtree_popularity(v.key),
+                    ftree.subtree_popularity(v.key),
+                    "window {start} at {}",
+                    v.key
+                );
+            }
+        }
+        // Deltas were actually used. (Whether deltas are *cheaper*
+        // depends on window similarity — see the sim test with a
+        // periodic trace and the E9 churn-sweep benchmark.)
+        assert!(delta.ledger().delta_bytes > 0);
+    }
+
+    #[test]
+    fn delta_without_base_is_rejected() {
+        let mut collector = Collector::new(Schema::five_feature(), Config::with_budget(256));
+        let mut d = site_daemon(4, TransferMode::Delta);
+        d.ingest_record(&record(100, 4, 1, 1));
+        d.ingest_record(&record(1100, 4, 2, 1));
+        let summaries = d.flush();
+        assert_eq!(summaries[1].kind, SummaryKind::Delta);
+        // Apply the delta first (out of order): must fail cleanly.
+        let err = collector.apply_bytes(&summaries[1].encode());
+        assert!(matches!(err, Err(DistError::MissingDeltaBase { site: 4 })));
+        assert_eq!(collector.ledger().rejected, 1);
+        // Full then delta works.
+        collector.apply_bytes(&summaries[0].encode()).unwrap();
+        collector.apply_bytes(&summaries[1].encode()).unwrap();
+        assert_eq!(collector.stored_windows(), 2);
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let mut collector = Collector::new(Schema::two_feature(), Config::with_budget(256));
+        let mut d = site_daemon(1, TransferMode::Full);
+        d.ingest_record(&record(100, 1, 1, 1));
+        let s = d.flush().remove(0);
+        assert!(matches!(
+            collector.apply_bytes(&s.encode()),
+            Err(DistError::SchemaMismatch)
+        ));
+    }
+
+    #[test]
+    fn lifted_tree_answers_per_site_questions() {
+        let mut collector = Collector::new(Schema::five_feature(), Config::with_budget(1024));
+        for site in 0..2u16 {
+            let mut d = site_daemon(site, TransferMode::Full);
+            for h in 0..4u8 {
+                d.ingest_record(&record(500, site as u8, h, 3));
+            }
+            feed(&mut collector, d.flush());
+        }
+        let mega = collector.lifted(100_000);
+        assert_eq!(mega.total().packets, 24);
+        // Drill down to one site inside the single mega structure.
+        let site1: FlowKey = "site=1".parse().unwrap();
+        let est = mega.estimate_pattern(&site1);
+        assert!((est.packets - 12.0).abs() < 1e-6, "{}", est.packets);
+        // Site+prefix combination.
+        let combo: FlowKey = "src=10.1.0.0/16 site=1".parse().unwrap();
+        assert!((mega.estimate_pattern(&combo).packets - 12.0).abs() < 1e-6);
+        let cross: FlowKey = "src=10.0.0.0/16 site=1".parse().unwrap();
+        assert!(mega.estimate_pattern(&cross).packets < 1.0);
+    }
+
+    #[test]
+    fn corrupt_frames_are_counted() {
+        let mut collector = Collector::new(Schema::five_feature(), Config::with_budget(256));
+        assert!(collector.apply_bytes(b"garbage").is_err());
+        assert_eq!(collector.ledger().rejected, 1);
+        assert_eq!(collector.stored_windows(), 0);
+    }
+}
+
+#[cfg(test)]
+mod alarm_sweep_tests {
+    use super::*;
+    use crate::alarm::AlarmConfig;
+    use crate::daemon::{DaemonConfig, SiteDaemon, TransferMode};
+    use flowkey::Schema;
+    use flownet::FlowRecord;
+
+    #[test]
+    fn collector_alarm_sweep_localizes_the_changed_window() {
+        let mut collector = Collector::new(Schema::five_feature(), Config::with_budget(512));
+        let mut cfg = DaemonConfig::new(0);
+        cfg.window_ms = 1_000;
+        cfg.tree = Config::with_budget(512);
+        cfg.transfer = TransferMode::Full;
+        let mut d = SiteDaemon::new(cfg);
+        let mut summaries = Vec::new();
+        // Four quiet windows, then one with a 50 k-packet spike.
+        for w in 0..5u64 {
+            for h in 0..4u8 {
+                let mut r =
+                    FlowRecord::v4([10, 0, 0, h], [192, 0, 2, 1], 1000, 443, 6, 5_000, 500_000);
+                r.first_ms = w * 1_000 + 10 + h as u64;
+                r.last_ms = r.first_ms;
+                summaries.extend(d.ingest_record(&r));
+            }
+            if w == 3 {
+                let mut atk = FlowRecord::v4(
+                    [66, 6, 6, 6],
+                    [192, 0, 2, 1],
+                    4444,
+                    443,
+                    6,
+                    50_000,
+                    5_000_000,
+                );
+                atk.first_ms = w * 1_000 + 500;
+                atk.last_ms = atk.first_ms;
+                summaries.extend(d.ingest_record(&atk));
+            }
+        }
+        summaries.extend(d.flush());
+        for s in summaries {
+            collector.apply_bytes(&s.encode()).unwrap();
+        }
+        let alarms = collector.alarms(0, &AlarmConfig::default());
+        // Exactly two alarm points: the spike appearing (window 3) and
+        // disappearing (window 4).
+        assert_eq!(alarms.len(), 2, "{alarms:?}");
+        assert_eq!(alarms[0].0.start_ms, 3_000);
+        assert_eq!(alarms[1].0.start_ms, 4_000);
+        assert!(matches!(
+            alarms[0].1[0].direction,
+            crate::alarm::Direction::Up
+        ));
+        assert!(matches!(
+            alarms[1].1[0].direction,
+            crate::alarm::Direction::Down
+        ));
+        let atk_pattern = "src=66.6.6.6/32".parse().unwrap();
+        assert!(alarms[0].1[0].key.overlaps(&atk_pattern));
+    }
+
+    #[test]
+    fn alarm_sweep_on_unknown_site_is_empty() {
+        let collector = Collector::new(Schema::five_feature(), Config::with_budget(512));
+        assert!(collector.alarms(9, &AlarmConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! The per-site Flowtree daemon.
+//!
+//! Fig. 1 of the paper: "each router exports its data to a close-by
+//! Flowtree daemon … to continuously construct summaries of the active
+//! flows". A [`SiteDaemon`] ingests flow records (or per-packet masses),
+//! maintains one Flowtree per open time window, and emits a [`Summary`]
+//! whenever the event-time watermark closes a window — in full or as a
+//! delta against the previous window to cut transfer volume.
+
+use crate::summary::{Summary, SummaryKind};
+use crate::window::WindowId;
+use flowkey::Schema;
+use flownet::FlowRecord;
+use flowtree_core::{Config, FlowTree, Popularity};
+use std::collections::BTreeMap;
+
+/// Full-vs-delta transfer policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransferMode {
+    /// Ship each window's complete tree.
+    #[default]
+    Full,
+    /// Ship the first window in full, then per-window deltas.
+    Delta,
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DaemonConfig {
+    /// This site's id.
+    pub site: u16,
+    /// Window span in milliseconds (the paper's drill-down granularity).
+    pub window_ms: u64,
+    /// Flow schema of the site trees.
+    pub schema: Schema,
+    /// Tree budget/policies.
+    pub tree: Config,
+    /// Transfer policy.
+    pub transfer: TransferMode,
+    /// Windows kept open to absorb event-time disorder before a window
+    /// is considered closed (≥ 1).
+    pub open_windows: usize,
+}
+
+impl DaemonConfig {
+    /// A sensible default: 5-minute windows, paper-size trees.
+    pub fn new(site: u16) -> DaemonConfig {
+        DaemonConfig {
+            site,
+            window_ms: 300_000,
+            schema: Schema::five_feature(),
+            tree: Config::paper(),
+            transfer: TransferMode::Full,
+            open_windows: 2,
+        }
+    }
+}
+
+/// Counters the daemon keeps about its own work.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DaemonStats {
+    /// Flow records ingested.
+    pub records: u64,
+    /// Raw ingest volume (bytes of NetFlow v5 records equivalent).
+    pub raw_bytes: u64,
+    /// Summaries emitted.
+    pub summaries: u64,
+    /// Total encoded summary bytes emitted.
+    pub summary_bytes: u64,
+    /// Records dropped because they were older than any open window.
+    pub late_drops: u64,
+}
+
+/// The per-site summarization daemon.
+#[derive(Debug)]
+pub struct SiteDaemon {
+    cfg: DaemonConfig,
+    open: BTreeMap<u64, FlowTree>,
+    /// Last *emitted* window tree, base for delta encoding.
+    last_emitted: Option<(u64, FlowTree)>,
+    watermark_ms: u64,
+    seq: u64,
+    stats: DaemonStats,
+}
+
+impl SiteDaemon {
+    /// Creates an idle daemon.
+    pub fn new(cfg: DaemonConfig) -> SiteDaemon {
+        assert!(cfg.open_windows >= 1, "need at least one open window");
+        SiteDaemon {
+            cfg,
+            open: BTreeMap::new(),
+            last_emitted: None,
+            watermark_ms: 0,
+            seq: 0,
+            stats: DaemonStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.cfg
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> &DaemonStats {
+        &self.stats
+    }
+
+    /// Currently open windows (oldest first).
+    pub fn open_windows(&self) -> Vec<WindowId> {
+        self.open
+            .keys()
+            .map(|&start_ms| WindowId {
+                start_ms,
+                span_ms: self.cfg.window_ms,
+            })
+            .collect()
+    }
+
+    /// Ingests one flow record; returns summaries of any windows that
+    /// closed as a consequence of the advancing event time.
+    pub fn ingest_record(&mut self, r: &FlowRecord) -> Vec<Summary> {
+        self.stats.records += 1;
+        self.stats.raw_bytes += flownet::netflow5::RECORD_LEN as u64;
+        let key = r.flow_key();
+        let pop = Popularity::flow(r.packets, r.bytes);
+        self.ingest_mass(r.last_ms, &key, pop)
+    }
+
+    /// Ingests pre-keyed mass at an event time (per-packet path).
+    pub fn ingest_mass(
+        &mut self,
+        ts_ms: u64,
+        key: &flowkey::FlowKey,
+        pop: Popularity,
+    ) -> Vec<Summary> {
+        let window = WindowId::containing(ts_ms, self.cfg.window_ms);
+        let out = self.advance_watermark(ts_ms);
+        // Late data: older than every open window → dropped (counted).
+        let oldest_open = self.oldest_allowed();
+        if window.start_ms < oldest_open {
+            self.stats.late_drops += 1;
+            return out;
+        }
+        let tree = self
+            .open
+            .entry(window.start_ms)
+            .or_insert_with(|| FlowTree::new(self.cfg.schema, self.cfg.tree));
+        tree.insert(key, pop);
+        out
+    }
+
+    /// Advances event time, closing windows that fell behind the
+    /// allowed-open range.
+    pub fn advance_watermark(&mut self, ts_ms: u64) -> Vec<Summary> {
+        if ts_ms <= self.watermark_ms {
+            return Vec::new();
+        }
+        self.watermark_ms = ts_ms;
+        let oldest_allowed = self.oldest_allowed();
+        let to_close: Vec<u64> = self
+            .open
+            .keys()
+            .copied()
+            .filter(|&s| s < oldest_allowed)
+            .collect();
+        to_close.into_iter().map(|s| self.close_window(s)).collect()
+    }
+
+    fn oldest_allowed(&self) -> u64 {
+        let span = self.cfg.window_ms;
+        let current = self.watermark_ms / span * span;
+        current.saturating_sub(span * (self.cfg.open_windows as u64 - 1))
+    }
+
+    /// Closes every open window (shutdown / end of trace), oldest first.
+    pub fn flush(&mut self) -> Vec<Summary> {
+        let starts: Vec<u64> = self.open.keys().copied().collect();
+        starts.into_iter().map(|s| self.close_window(s)).collect()
+    }
+
+    fn close_window(&mut self, start_ms: u64) -> Summary {
+        let tree = self.open.remove(&start_ms).expect("window open");
+        let window = WindowId {
+            start_ms,
+            span_ms: self.cfg.window_ms,
+        };
+        let (kind, wire_tree) = match (self.cfg.transfer, &self.last_emitted) {
+            (TransferMode::Delta, Some((_, prev))) => {
+                let delta = FlowTree::diffed(&tree, prev).expect("same schema within one daemon");
+                (SummaryKind::Delta, delta)
+            }
+            _ => (SummaryKind::Full, tree.clone()),
+        };
+        if self.cfg.transfer == TransferMode::Delta {
+            self.last_emitted = Some((start_ms, tree));
+        }
+        self.seq += 1;
+        let summary = Summary {
+            site: self.cfg.site,
+            window,
+            seq: self.seq,
+            kind,
+            tree: wire_tree,
+        };
+        self.stats.summaries += 1;
+        self.stats.summary_bytes += summary.encode().len() as u64;
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowkey::FlowKey;
+
+    fn record(ts_ms: u64, host: u8, packets: u64) -> FlowRecord {
+        let mut r = FlowRecord::v4(
+            [10, 0, 0, host],
+            [192, 0, 2, 1],
+            1234,
+            443,
+            6,
+            packets,
+            packets * 100,
+        );
+        r.first_ms = ts_ms.saturating_sub(10);
+        r.last_ms = ts_ms;
+        r
+    }
+
+    fn daemon(window_ms: u64, transfer: TransferMode) -> SiteDaemon {
+        let mut cfg = DaemonConfig::new(1);
+        cfg.window_ms = window_ms;
+        cfg.transfer = transfer;
+        cfg.tree = Config::with_budget(512);
+        SiteDaemon::new(cfg)
+    }
+
+    #[test]
+    fn windows_close_as_time_advances() {
+        let mut d = daemon(1000, TransferMode::Full);
+        assert!(d.ingest_record(&record(100, 1, 5)).is_empty());
+        assert!(d.ingest_record(&record(900, 2, 3)).is_empty());
+        // Jump two windows ahead: window [0,1000) must close.
+        let out = d.ingest_record(&record(2500, 3, 1));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].window.start_ms, 0);
+        assert_eq!(out[0].kind, SummaryKind::Full);
+        assert_eq!(out[0].tree.total().packets, 8);
+        assert_eq!(out[0].seq, 1);
+    }
+
+    #[test]
+    fn flush_emits_all_open_windows_in_order() {
+        let mut d = daemon(1000, TransferMode::Full);
+        d.ingest_record(&record(500, 1, 1));
+        d.ingest_record(&record(1500, 2, 2));
+        let out = d.flush();
+        assert_eq!(out.len(), 2);
+        assert!(out[0].window.start_ms < out[1].window.start_ms);
+        assert_eq!(d.open_windows().len(), 0);
+    }
+
+    #[test]
+    fn out_of_order_within_open_range_is_absorbed() {
+        let mut d = daemon(1000, TransferMode::Full);
+        d.ingest_record(&record(1100, 1, 1)); // window 1
+        d.ingest_record(&record(900, 2, 1)); // window 0, still open
+        assert_eq!(d.open_windows().len(), 2);
+        assert_eq!(d.stats().late_drops, 0);
+        let all = d.flush();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn too_late_records_are_dropped_and_counted() {
+        let mut d = daemon(1000, TransferMode::Full);
+        d.ingest_record(&record(5000, 1, 1));
+        let out = d.ingest_record(&record(100, 2, 1)); // hopelessly late
+        assert!(out.is_empty());
+        assert_eq!(d.stats().late_drops, 1);
+        // The late record must not have contaminated any window.
+        let all = d.flush();
+        let total: i64 = all.iter().map(|s| s.tree.total().packets).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn delta_mode_emits_full_then_deltas_that_reconstruct() {
+        let mut d = daemon(1000, TransferMode::Delta);
+        // Window 0: hosts 1,2. Window 1: hosts 2,3 (overlap on 2).
+        d.ingest_record(&record(100, 1, 5));
+        d.ingest_record(&record(200, 2, 7));
+        d.ingest_record(&record(1100, 2, 7));
+        d.ingest_record(&record(1200, 3, 9));
+        let out = d.flush();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].kind, SummaryKind::Full);
+        assert_eq!(out[1].kind, SummaryKind::Delta);
+        // Reconstruct window 1 = window 0 + delta.
+        let mut w1 = out[0].tree.clone();
+        w1.merge(&out[1].tree).unwrap();
+        w1.prune_zeros();
+        assert_eq!(w1.total().packets, 16);
+        let k: FlowKey = "src=10.0.0.3/32 dst=192.0.2.1/32 sport=1234 dport=443 proto=tcp"
+            .parse()
+            .unwrap();
+        assert_eq!(
+            w1.subtree_popularity(&k).map(|p| p.packets),
+            Some(9),
+            "host 3 appears after reconstruction"
+        );
+        let gone: FlowKey = "src=10.0.0.1/32 dst=192.0.2.1/32 sport=1234 dport=443 proto=tcp"
+            .parse()
+            .unwrap();
+        assert!(
+            w1.subtree_popularity(&gone).map(|p| p.packets).unwrap_or(0) == 0,
+            "host 1 cancels out in window 1"
+        );
+    }
+
+    #[test]
+    fn stats_account_bytes() {
+        let mut d = daemon(1000, TransferMode::Full);
+        for i in 0..100 {
+            d.ingest_record(&record(i * 20, (i % 10) as u8, 1));
+        }
+        let _ = d.flush();
+        let s = d.stats();
+        assert_eq!(s.records, 100);
+        assert_eq!(s.raw_bytes, 100 * 48);
+        assert!(s.summaries >= 1);
+        assert!(s.summary_bytes > 0);
+    }
+}

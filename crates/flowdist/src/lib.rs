@@ -1,0 +1,84 @@
+//! # flowdist — the distributed flow-summarization system
+//!
+//! The system sketched in the paper's Fig. 1 and future-work section:
+//! routers export flows (NetFlow/IPFIX) to per-site **Flowtree
+//! daemons**, daemons maintain time-windowed trees and ship compact
+//! summaries — or deltas of consecutive summaries — to a central
+//! **collector**, which reconstructs, stores, and answers distributed
+//! queries across sites and time, and raises **alarms** on significant
+//! window-over-window differences.
+//!
+//! * [`SiteDaemon`] — windowed summarization at one site.
+//! * [`Summary`] — the wire artifact (full or delta), with a validated
+//!   codec.
+//! * [`Collector`] — storage, delta reconstruction, distributed merge
+//!   queries, transfer accounting, and the lifted time+site mega-tree.
+//! * [`alarm`] — change detection on diff trees.
+//! * [`sim`] — the whole pipeline end-to-end, single-threaded or one
+//!   thread per site.
+//! * [`store`] — the on-disk summary database (atomic writes,
+//!   re-validated loads, retention).
+//! * [`net`] — UDP NetFlow ingestion and TCP summary framing over real
+//!   sockets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alarm;
+pub mod collector;
+pub mod daemon;
+pub mod net;
+pub mod sim;
+pub mod store;
+pub mod summary;
+pub mod window;
+
+pub use alarm::{AlarmConfig, AlarmEvent, Direction};
+pub use collector::{Collector, TransferLedger};
+pub use daemon::{DaemonConfig, DaemonStats, SiteDaemon, TransferMode};
+pub use sim::{SimConfig, SimReport};
+pub use store::{LoadReport, SummaryStore};
+pub use summary::{Summary, SummaryKind};
+pub use window::WindowId;
+
+use flowtree_core::CodecError;
+
+/// Errors of the distributed layer.
+#[derive(Debug)]
+pub enum DistError {
+    /// A frame failed structural validation.
+    BadFrame(&'static str),
+    /// The inner tree failed to decode.
+    Codec(CodecError),
+    /// Summary schema does not match the collector's schema.
+    SchemaMismatch,
+    /// A delta arrived with no reconstructed base window for its site.
+    MissingDeltaBase {
+        /// The site whose base is missing.
+        site: u16,
+    },
+    /// Socket-level failure.
+    Io(std::io::Error),
+}
+
+impl From<CodecError> for DistError {
+    fn from(e: CodecError) -> Self {
+        DistError::Codec(e)
+    }
+}
+
+impl core::fmt::Display for DistError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DistError::BadFrame(w) => write!(f, "bad frame: {w}"),
+            DistError::Codec(e) => write!(f, "tree codec: {e}"),
+            DistError::SchemaMismatch => f.write_str("schema mismatch"),
+            DistError::MissingDeltaBase { site } => {
+                write!(f, "delta without base window for site {site}")
+            }
+            DistError::Io(e) => write!(f, "i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}

@@ -1,0 +1,289 @@
+//! The on-disk summary store — Fig. 1's "database".
+//!
+//! Summaries are append-only historical data: one file per
+//! (site, window) under a directory, named so that plain `ls` sorts by
+//! time. Writes go through a temp-file + rename so a crash never leaves
+//! a half-written summary behind, and loading re-validates every frame
+//! (disk content is as untrusted as network content — bit rot, partial
+//! writes, tampering).
+//!
+//! ```text
+//! <root>/
+//!   s00003/
+//!     w00000000001700000000000.fsum     (site 3, window start 1.7e12 ms)
+//!     w00000000001700000300000.fsum
+//! ```
+
+use crate::summary::Summary;
+use crate::{Collector, DistError};
+use flowtree_core::Config;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The file extension of stored summary frames.
+pub const EXT: &str = "fsum";
+
+/// An on-disk store of summary frames.
+#[derive(Debug)]
+pub struct SummaryStore {
+    root: PathBuf,
+}
+
+/// Outcome counters of a [`SummaryStore::load_into`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Frames applied to the collector.
+    pub loaded: usize,
+    /// Files that failed validation or application (left on disk for
+    /// inspection, counted here and in the collector ledger).
+    pub rejected: usize,
+}
+
+impl SummaryStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<SummaryStore, DistError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(DistError::Io)?;
+        Ok(SummaryStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn site_dir(&self, site: u16) -> PathBuf {
+        self.root.join(format!("s{site:05}"))
+    }
+
+    fn window_path(&self, site: u16, start_ms: u64) -> PathBuf {
+        self.site_dir(site).join(format!("w{start_ms:023}.{EXT}"))
+    }
+
+    /// Persists one summary atomically (temp file + rename). A summary
+    /// for the same (site, window) replaces the previous one.
+    pub fn put(&self, summary: &Summary) -> Result<PathBuf, DistError> {
+        let dir = self.site_dir(summary.site);
+        fs::create_dir_all(&dir).map_err(DistError::Io)?;
+        let bytes = summary.encode();
+        let tmp = dir.join(format!(".tmp-{}-{}", summary.window.start_ms, summary.seq));
+        {
+            let mut f = fs::File::create(&tmp).map_err(DistError::Io)?;
+            f.write_all(&bytes).map_err(DistError::Io)?;
+            f.sync_all().map_err(DistError::Io)?;
+        }
+        let final_path = self.window_path(summary.site, summary.window.start_ms);
+        fs::rename(&tmp, &final_path).map_err(DistError::Io)?;
+        Ok(final_path)
+    }
+
+    /// Lists stored (site, window-start) pairs, sorted.
+    pub fn list(&self) -> Result<Vec<(u16, u64)>, DistError> {
+        let mut out = Vec::new();
+        let entries = match fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(DistError::Io(e)),
+        };
+        for site_entry in entries {
+            let site_entry = site_entry.map_err(DistError::Io)?;
+            let name = site_entry.file_name();
+            let Some(site) = name
+                .to_str()
+                .and_then(|s| s.strip_prefix('s'))
+                .and_then(|s| s.parse::<u16>().ok())
+            else {
+                continue; // foreign file; ignore
+            };
+            for w in fs::read_dir(site_entry.path()).map_err(DistError::Io)? {
+                let w = w.map_err(DistError::Io)?;
+                let fname = w.file_name();
+                let Some(start) = fname
+                    .to_str()
+                    .and_then(|s| s.strip_prefix('w'))
+                    .and_then(|s| s.strip_suffix(&format!(".{EXT}")))
+                    .and_then(|s| s.parse::<u64>().ok())
+                else {
+                    continue;
+                };
+                out.push((site, start));
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Reads one stored summary back (fully re-validated).
+    pub fn get(&self, site: u16, start_ms: u64, cfg: Config) -> Result<Summary, DistError> {
+        let bytes = fs::read(self.window_path(site, start_ms)).map_err(DistError::Io)?;
+        Summary::decode(&bytes, cfg)
+    }
+
+    /// Loads every stored frame into a collector, oldest first per
+    /// site. Invalid files are counted, not fatal.
+    pub fn load_into(&self, collector: &mut Collector) -> Result<LoadReport, DistError> {
+        let mut report = LoadReport::default();
+        // Per-site time order so delta chains (if stored) reconstruct.
+        let mut items = self.list()?;
+        items.sort_by_key(|(site, start)| (*site, *start));
+        for (site, start) in items {
+            let path = self.window_path(site, start);
+            match fs::read(&path) {
+                Ok(bytes) => match collector.apply_bytes(&bytes) {
+                    Ok(()) => report.loaded += 1,
+                    Err(_) => report.rejected += 1,
+                },
+                Err(_) => report.rejected += 1,
+            }
+        }
+        Ok(report)
+    }
+
+    /// Deletes windows strictly older than `cutoff_ms` (retention).
+    /// Returns how many files were removed.
+    pub fn expire_before(&self, cutoff_ms: u64) -> Result<usize, DistError> {
+        let mut removed = 0;
+        for (site, start) in self.list()? {
+            if start < cutoff_ms {
+                fs::remove_file(self.window_path(site, start)).map_err(DistError::Io)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{DaemonConfig, SiteDaemon, TransferMode};
+    use crate::window::WindowId;
+    use flowkey::Schema;
+    use flownet::FlowRecord;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("flowtree-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn summaries(site: u16, windows: u64) -> Vec<Summary> {
+        let mut cfg = DaemonConfig::new(site);
+        cfg.window_ms = 1_000;
+        cfg.schema = Schema::five_feature();
+        cfg.tree = Config::with_budget(256);
+        cfg.transfer = TransferMode::Full;
+        let mut d = SiteDaemon::new(cfg);
+        let mut out = Vec::new();
+        for w in 0..windows {
+            for h in 0..4u8 {
+                let mut r =
+                    FlowRecord::v4([10, site as u8, 0, h], [192, 0, 2, 1], 999, 443, 6, 3, 300);
+                r.first_ms = w * 1_000 + 10;
+                r.last_ms = r.first_ms;
+                out.extend(d.ingest_record(&r));
+            }
+        }
+        out.extend(d.flush());
+        out
+    }
+
+    #[test]
+    fn put_list_get_roundtrip() {
+        let store = SummaryStore::open(tmpdir("roundtrip")).unwrap();
+        for s in summaries(3, 3) {
+            store.put(&s).unwrap();
+        }
+        let listed = store.list().unwrap();
+        assert_eq!(listed, vec![(3, 0), (3, 1_000), (3, 2_000)]);
+        let s = store.get(3, 1_000, Config::with_budget(256)).unwrap();
+        assert_eq!(s.site, 3);
+        assert_eq!(
+            s.window,
+            WindowId {
+                start_ms: 1_000,
+                span_ms: 1_000
+            }
+        );
+        assert_eq!(s.tree.total().packets, 12);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn load_into_rebuilds_the_collector() {
+        let store = SummaryStore::open(tmpdir("load")).unwrap();
+        for site in [1u16, 2] {
+            for s in summaries(site, 4) {
+                store.put(&s).unwrap();
+            }
+        }
+        let mut collector = Collector::new(Schema::five_feature(), Config::with_budget(256));
+        let report = store.load_into(&mut collector).unwrap();
+        assert_eq!(
+            report,
+            LoadReport {
+                loaded: 8,
+                rejected: 0
+            }
+        );
+        assert_eq!(collector.stored_windows(), 8);
+        assert_eq!(collector.merged(None, 0, u64::MAX).total().packets, 8 * 12);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupt_files_are_counted_not_fatal() {
+        let store = SummaryStore::open(tmpdir("corrupt")).unwrap();
+        let all = summaries(5, 2);
+        store.put(&all[0]).unwrap();
+        store.put(&all[1]).unwrap();
+        // Flip a byte in the middle of the second file (bit rot).
+        let path = store.window_path(5, 1_000);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, bytes).unwrap();
+        let mut collector = Collector::new(Schema::five_feature(), Config::with_budget(256));
+        let report = store.load_into(&mut collector).unwrap();
+        assert_eq!(report.loaded, 1);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(collector.stored_windows(), 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn retention_expires_old_windows() {
+        let store = SummaryStore::open(tmpdir("retention")).unwrap();
+        for s in summaries(1, 5) {
+            store.put(&s).unwrap();
+        }
+        let removed = store.expire_before(3_000).unwrap();
+        assert_eq!(removed, 3);
+        assert_eq!(store.list().unwrap(), vec![(1, 3_000), (1, 4_000)]);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn rewrite_replaces_same_window() {
+        let store = SummaryStore::open(tmpdir("rewrite")).unwrap();
+        let all = summaries(2, 1);
+        store.put(&all[0]).unwrap();
+        store.put(&all[0]).unwrap(); // idempotent
+        assert_eq!(store.list().unwrap().len(), 1);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn foreign_files_are_ignored() {
+        let store = SummaryStore::open(tmpdir("foreign")).unwrap();
+        fs::write(store.root().join("README"), b"not a summary").unwrap();
+        fs::create_dir_all(store.root().join("sXYZ")).unwrap();
+        for s in summaries(1, 1) {
+            store.put(&s).unwrap();
+        }
+        fs::write(store.site_dir(1).join("notes.txt"), b"also not a summary").unwrap();
+        assert_eq!(store.list().unwrap(), vec![(1, 0)]);
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

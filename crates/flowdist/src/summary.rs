@@ -1,0 +1,204 @@
+//! Site summaries and their wire encoding.
+//!
+//! A [`Summary`] is what crosses the network in Fig. 1: one site's
+//! Flowtree for one closed window, either in full or as a **delta**
+//! against the site's previous window (the paper: "allowing transfer of
+//! only summaries or even difference of consecutive summaries").
+//!
+//! Frame layout (after the 4-byte magic):
+//!
+//! ```text
+//! magic    4  "FSUM"
+//! version  1  = 1
+//! kind     1  0 = full, 1 = delta
+//! site     2  big-endian site id
+//! start    varint  window start (ms)
+//! span     varint  window span (ms)
+//! seq      varint  per-site sequence number
+//! tree     flowtree-core codec frame
+//! ```
+
+use crate::window::WindowId;
+use crate::DistError;
+use flowkey::pack::{read_varint, write_varint};
+use flowtree_core::{Config, FlowTree};
+
+/// Frame magic for summaries.
+pub const SUMMARY_MAGIC: [u8; 4] = *b"FSUM";
+/// Current summary frame version.
+pub const SUMMARY_VERSION: u8 = 1;
+
+/// Whether a summary carries the whole window or a delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SummaryKind {
+    /// The complete window tree.
+    Full,
+    /// The difference against the site's previous window tree.
+    Delta,
+}
+
+/// One site's summary of one window.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Producing site.
+    pub site: u16,
+    /// The summarized window.
+    pub window: WindowId,
+    /// Per-site sequence number (collector uses it to detect gaps).
+    pub seq: u64,
+    /// Full or delta.
+    pub kind: SummaryKind,
+    /// The tree (for deltas: comp-popularity differences, possibly
+    /// negative).
+    pub tree: FlowTree,
+}
+
+impl Summary {
+    /// Encodes the summary frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&SUMMARY_MAGIC);
+        out.push(SUMMARY_VERSION);
+        out.push(match self.kind {
+            SummaryKind::Full => 0,
+            SummaryKind::Delta => 1,
+        });
+        out.extend_from_slice(&self.site.to_be_bytes());
+        write_varint(&mut out, self.window.start_ms);
+        write_varint(&mut out, self.window.span_ms);
+        write_varint(&mut out, self.seq);
+        out.extend_from_slice(&self.tree.encode());
+        out
+    }
+
+    /// Decodes and validates a summary frame. The tree inside is fully
+    /// re-validated by the flowtree codec (untrusted network input).
+    pub fn decode(bytes: &[u8], tree_cfg: Config) -> Result<Summary, DistError> {
+        if bytes.len() < 8 {
+            return Err(DistError::BadFrame("short summary frame"));
+        }
+        if bytes[..4] != SUMMARY_MAGIC {
+            return Err(DistError::BadFrame("summary magic"));
+        }
+        if bytes[4] != SUMMARY_VERSION {
+            return Err(DistError::BadFrame("summary version"));
+        }
+        let kind = match bytes[5] {
+            0 => SummaryKind::Full,
+            1 => SummaryKind::Delta,
+            _ => return Err(DistError::BadFrame("summary kind")),
+        };
+        let site = u16::from_be_bytes([bytes[6], bytes[7]]);
+        let mut pos = 8usize;
+        let mut next = || -> Result<u64, DistError> {
+            let (v, n) =
+                read_varint(&bytes[pos..]).map_err(|_| DistError::BadFrame("summary varint"))?;
+            pos += n;
+            Ok(v)
+        };
+        let start_ms = next()?;
+        let span_ms = next()?;
+        let seq = next()?;
+        if span_ms == 0 {
+            return Err(DistError::BadFrame("zero window span"));
+        }
+        if start_ms % span_ms != 0 {
+            return Err(DistError::BadFrame("unaligned window"));
+        }
+        let (tree, used) = FlowTree::decode_prefix(&bytes[pos..], tree_cfg)?;
+        if pos + used != bytes.len() {
+            return Err(DistError::BadFrame("trailing bytes"));
+        }
+        Ok(Summary {
+            site,
+            window: WindowId { start_ms, span_ms },
+            seq,
+            kind,
+            tree,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowkey::Schema;
+    use flowtree_core::Popularity;
+
+    fn sample() -> Summary {
+        let mut tree = FlowTree::new(Schema::two_feature(), Config::with_budget(128));
+        for i in 0..20u32 {
+            tree.insert(
+                &format!("src=10.0.0.{i}/32 dst=192.0.2.1/32")
+                    .parse()
+                    .unwrap(),
+                Popularity::new(i as i64 + 1, 100, 1),
+            );
+        }
+        Summary {
+            site: 3,
+            window: WindowId::containing(1_700_000_123_456, 300_000),
+            seq: 17,
+            kind: SummaryKind::Full,
+            tree,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        let bytes = s.encode();
+        let back = Summary::decode(&bytes, Config::with_budget(128)).unwrap();
+        assert_eq!(back.site, 3);
+        assert_eq!(back.window, s.window);
+        assert_eq!(back.seq, 17);
+        assert_eq!(back.kind, SummaryKind::Full);
+        assert_eq!(back.tree.total(), s.tree.total());
+        assert_eq!(back.tree.len(), s.tree.len());
+    }
+
+    #[test]
+    fn rejects_malformed_frames() {
+        let s = sample();
+        let bytes = s.encode();
+        // Magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(Summary::decode(&bad, Config::paper()).is_err());
+        // Version.
+        let mut bad = bytes.clone();
+        bad[4] = 7;
+        assert!(Summary::decode(&bad, Config::paper()).is_err());
+        // Kind.
+        let mut bad = bytes.clone();
+        bad[5] = 9;
+        assert!(Summary::decode(&bad, Config::paper()).is_err());
+        // Truncations.
+        for cut in [0, 4, 8, 12, bytes.len() - 1] {
+            assert!(Summary::decode(&bytes[..cut], Config::paper()).is_err());
+        }
+        // Trailing garbage.
+        let mut bad = bytes;
+        bad.push(0);
+        assert!(Summary::decode(&bad, Config::paper()).is_err());
+    }
+
+    #[test]
+    fn rejects_unaligned_window() {
+        let mut s = sample();
+        s.window.start_ms += 7;
+        let bytes = s.encode();
+        assert!(matches!(
+            Summary::decode(&bytes, Config::paper()),
+            Err(DistError::BadFrame("unaligned window"))
+        ));
+    }
+
+    #[test]
+    fn delta_kind_roundtrips() {
+        let mut s = sample();
+        s.kind = SummaryKind::Delta;
+        let back = Summary::decode(&s.encode(), Config::with_budget(128)).unwrap();
+        assert_eq!(back.kind, SummaryKind::Delta);
+    }
+}

@@ -1,0 +1,408 @@
+//! Canonical byte packing of flow keys.
+//!
+//! This is the wire format used by the Flowtree codec and by anything
+//! that needs a stable, compact byte representation of a [`FlowKey`]
+//! (summaries are shipped between sites, so the format must not depend
+//! on platform or compiler details).
+//!
+//! Layout: one presence byte (bit *i* set ⇔ dimension *i* is not at its
+//! wildcard), followed by the per-dimension encodings of the present
+//! dimensions in [`Dim::ALL`] order:
+//!
+//! * IP prefix — tag byte (`len` for IPv4, `64 + len` for IPv6), then
+//!   the `ceil(len/8)` leading address bytes.
+//! * Port range — `plen` byte, then the base as big-endian `u16`
+//!   (omitted when `plen == 0`, which never happens for present dims).
+//! * Protocol — one byte.
+//! * Time bucket — `level` byte, then the start as a varint.
+//! * Site — tag byte (0 = region, 1 = site), then the value.
+//!
+//! Varints are unsigned LEB128; [`write_varint`]/[`read_varint`] are also
+//! used by the tree codec for counters.
+
+use crate::{Dim, FlowKey, IpNet, Ipv4Net, Ipv6Net, PortRange, Proto, Site, TimeBucket};
+use core::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Errors from [`unpack_key`] / varint decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnpackError {
+    /// Input ended before the encoding was complete.
+    Truncated,
+    /// A tag or length field had an invalid value.
+    Invalid,
+}
+
+impl fmt::Display for UnpackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnpackError::Truncated => f.write_str("truncated key encoding"),
+            UnpackError::Invalid => f.write_str("invalid key encoding"),
+        }
+    }
+}
+
+impl std::error::Error for UnpackError {}
+
+/// Appends an unsigned LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint, returning `(value, bytes_consumed)`.
+pub fn read_varint(buf: &[u8]) -> Result<(u64, usize), UnpackError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    for (i, &b) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return Err(UnpackError::Invalid);
+        }
+        let low = (b & 0x7f) as u64;
+        if shift == 63 && low > 1 {
+            return Err(UnpackError::Invalid); // overflow past u64
+        }
+        v |= low << shift;
+        if b & 0x80 == 0 {
+            return Ok((v, i + 1));
+        }
+        shift += 7;
+    }
+    Err(UnpackError::Truncated)
+}
+
+/// Appends a zigzag-encoded signed varint (small magnitudes stay small).
+pub fn write_varint_signed(out: &mut Vec<u8>, v: i64) {
+    write_varint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Reads a zigzag-encoded signed varint.
+pub fn read_varint_signed(buf: &[u8]) -> Result<(i64, usize), UnpackError> {
+    let (raw, n) = read_varint(buf)?;
+    Ok((((raw >> 1) as i64) ^ -((raw & 1) as i64), n))
+}
+
+/// Appends the canonical encoding of `key`.
+pub fn pack_key(out: &mut Vec<u8>, key: &FlowKey) {
+    let mut presence = 0u8;
+    for dim in Dim::ALL {
+        if key.dim_depth(dim) > 0 {
+            presence |= 1 << dim.index();
+        }
+    }
+    out.push(presence);
+    if presence & (1 << Dim::SrcIp.index()) != 0 {
+        pack_ipnet(out, &key.src);
+    }
+    if presence & (1 << Dim::DstIp.index()) != 0 {
+        pack_ipnet(out, &key.dst);
+    }
+    if presence & (1 << Dim::SrcPort.index()) != 0 {
+        pack_port(out, &key.sport);
+    }
+    if presence & (1 << Dim::DstPort.index()) != 0 {
+        pack_port(out, &key.dport);
+    }
+    if presence & (1 << Dim::Proto.index()) != 0 {
+        match key.proto {
+            Proto::Is(p) => out.push(p),
+            Proto::Any => unreachable!("presence bit set for wildcard proto"),
+        }
+    }
+    if presence & (1 << Dim::Time.index()) != 0 {
+        out.push(key.time.level());
+        write_varint(out, key.time.start());
+    }
+    if presence & (1 << Dim::Site.index()) != 0 {
+        match key.site {
+            Site::Region(r) => {
+                out.push(0);
+                out.push(r);
+            }
+            Site::Is(s) => {
+                out.push(1);
+                out.extend_from_slice(&s.to_be_bytes());
+            }
+            Site::Any => unreachable!("presence bit set for wildcard site"),
+        }
+    }
+}
+
+fn pack_ipnet(out: &mut Vec<u8>, net: &IpNet) {
+    match net {
+        IpNet::Any => unreachable!("wildcard IPs are absent dims"),
+        IpNet::V4(p) => {
+            out.push(p.len());
+            let bytes = p.bits().to_be_bytes();
+            out.extend_from_slice(&bytes[..prefix_bytes(p.len())]);
+        }
+        IpNet::V6(p) => {
+            out.push(64 + p.len());
+            let bytes = p.bits().to_be_bytes();
+            out.extend_from_slice(&bytes[..prefix_bytes(p.len())]);
+        }
+    }
+}
+
+fn pack_port(out: &mut Vec<u8>, r: &PortRange) {
+    out.push(r.plen());
+    out.extend_from_slice(&r.lo().to_be_bytes());
+}
+
+#[inline]
+fn prefix_bytes(len: u8) -> usize {
+    (len as usize).div_ceil(8)
+}
+
+/// Decodes a key, returning `(key, bytes_consumed)`.
+pub fn unpack_key(buf: &[u8]) -> Result<(FlowKey, usize), UnpackError> {
+    let presence = *buf.first().ok_or(UnpackError::Truncated)?;
+    if presence & 0x80 != 0 {
+        return Err(UnpackError::Invalid);
+    }
+    let mut pos = 1usize;
+    let mut key = FlowKey::ROOT;
+    if presence & (1 << Dim::SrcIp.index()) != 0 {
+        let (net, n) = unpack_ipnet(&buf[pos..])?;
+        key.src = net;
+        pos += n;
+    }
+    if presence & (1 << Dim::DstIp.index()) != 0 {
+        let (net, n) = unpack_ipnet(&buf[pos..])?;
+        key.dst = net;
+        pos += n;
+    }
+    if presence & (1 << Dim::SrcPort.index()) != 0 {
+        let (r, n) = unpack_port(&buf[pos..])?;
+        key.sport = r;
+        pos += n;
+    }
+    if presence & (1 << Dim::DstPort.index()) != 0 {
+        let (r, n) = unpack_port(&buf[pos..])?;
+        key.dport = r;
+        pos += n;
+    }
+    if presence & (1 << Dim::Proto.index()) != 0 {
+        let p = *buf.get(pos).ok_or(UnpackError::Truncated)?;
+        key.proto = Proto::Is(p);
+        pos += 1;
+    }
+    if presence & (1 << Dim::Time.index()) != 0 {
+        let level = *buf.get(pos).ok_or(UnpackError::Truncated)?;
+        pos += 1;
+        let (start, n) = read_varint(&buf[pos..])?;
+        pos += n;
+        let b = TimeBucket::new(start, level).ok_or(UnpackError::Invalid)?;
+        if b.start() != start || b.is_any() {
+            return Err(UnpackError::Invalid);
+        }
+        key.time = b;
+        pos += 0;
+    }
+    if presence & (1 << Dim::Site.index()) != 0 {
+        let tag = *buf.get(pos).ok_or(UnpackError::Truncated)?;
+        pos += 1;
+        match tag {
+            0 => {
+                let r = *buf.get(pos).ok_or(UnpackError::Truncated)?;
+                key.site = Site::Region(r);
+                pos += 1;
+            }
+            1 => {
+                let hi = *buf.get(pos).ok_or(UnpackError::Truncated)?;
+                let lo = *buf.get(pos + 1).ok_or(UnpackError::Truncated)?;
+                key.site = Site::Is(u16::from_be_bytes([hi, lo]));
+                pos += 2;
+            }
+            _ => return Err(UnpackError::Invalid),
+        }
+    }
+    Ok((key, pos))
+}
+
+fn unpack_ipnet(buf: &[u8]) -> Result<(IpNet, usize), UnpackError> {
+    let tag = *buf.first().ok_or(UnpackError::Truncated)?;
+    if tag == 0 || tag == 64 {
+        // /0 prefixes have depth 1 but the presence encoding keeps them
+        // representable: zero prefix bytes follow.
+        let net = if tag == 0 {
+            IpNet::V4(Ipv4Net::ZERO)
+        } else {
+            IpNet::V6(Ipv6Net::ZERO)
+        };
+        return Ok((net, 1));
+    }
+    if tag <= 32 {
+        let nb = prefix_bytes(tag);
+        let raw = buf.get(1..1 + nb).ok_or(UnpackError::Truncated)?;
+        let mut bytes = [0u8; 4];
+        bytes[..nb].copy_from_slice(raw);
+        let net = Ipv4Net::new(Ipv4Addr::from(bytes), tag).ok_or(UnpackError::Invalid)?;
+        // Reject non-canonical encodings (host bits set in trailing byte).
+        if net.bits() != u32::from_be_bytes(bytes) {
+            return Err(UnpackError::Invalid);
+        }
+        Ok((IpNet::V4(net), 1 + nb))
+    } else if (65..=192).contains(&tag) {
+        let len = tag - 64;
+        let nb = prefix_bytes(len);
+        let raw = buf.get(1..1 + nb).ok_or(UnpackError::Truncated)?;
+        let mut bytes = [0u8; 16];
+        bytes[..nb].copy_from_slice(raw);
+        let net = Ipv6Net::new(Ipv6Addr::from(bytes), len).ok_or(UnpackError::Invalid)?;
+        if net.bits() != u128::from_be_bytes(bytes) {
+            return Err(UnpackError::Invalid);
+        }
+        Ok((IpNet::V6(net), 1 + nb))
+    } else {
+        Err(UnpackError::Invalid)
+    }
+}
+
+fn unpack_port(buf: &[u8]) -> Result<(PortRange, usize), UnpackError> {
+    let plen = *buf.first().ok_or(UnpackError::Truncated)?;
+    let hi = *buf.get(1).ok_or(UnpackError::Truncated)?;
+    let lo = *buf.get(2).ok_or(UnpackError::Truncated)?;
+    let base = u16::from_be_bytes([hi, lo]);
+    let r = PortRange::new(base, plen).ok_or(UnpackError::Invalid)?;
+    if r.lo() != base {
+        return Err(UnpackError::Invalid); // non-canonical base
+    }
+    Ok((r, 3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> FlowKey {
+        s.parse().unwrap()
+    }
+
+    fn roundtrip(k: &FlowKey) -> usize {
+        let mut buf = Vec::new();
+        pack_key(&mut buf, k);
+        let (back, n) = unpack_key(&buf).expect("roundtrip");
+        assert_eq!(&back, k, "roundtrip of {k}");
+        assert_eq!(n, buf.len(), "all bytes consumed for {k}");
+        buf.len()
+    }
+
+    #[test]
+    fn roundtrip_various_keys() {
+        for s in [
+            "*",
+            "src=1.2.3.0/24",
+            "src=0.0.0.0/0",
+            "src=1.2.3.4/32 dst=9.8.7.6/32 sport=1234 dport=80 proto=tcp",
+            "dst=2001:db8::/32 proto=udp",
+            "src=1.0.0.0/8 time=1024+256s site=7",
+            "site=r3",
+            "dport=1024-2047",
+        ] {
+            roundtrip(&key(s));
+        }
+    }
+
+    #[test]
+    fn root_packs_to_one_byte() {
+        let mut buf = Vec::new();
+        pack_key(&mut buf, &FlowKey::ROOT);
+        assert_eq!(buf, vec![0]);
+    }
+
+    #[test]
+    fn prefix_packing_is_compact() {
+        // A /8 prefix needs 1 presence + 1 tag + 1 address byte.
+        let mut buf = Vec::new();
+        pack_key(&mut buf, &key("src=10.0.0.0/8"));
+        assert_eq!(buf.len(), 3);
+        // A full 5-tuple stays well under 20 bytes.
+        assert!(
+            roundtrip(&key(
+                "src=1.2.3.4/32 dst=9.8.7.6/32 sport=1234 dport=80 proto=tcp"
+            )) <= 18
+        );
+    }
+
+    #[test]
+    fn truncated_inputs_error_not_panic() {
+        let mut buf = Vec::new();
+        pack_key(
+            &mut buf,
+            &key("src=1.2.3.4/32 dst=9.8.7.6/32 sport=1234 dport=80 proto=tcp"),
+        );
+        for cut in 0..buf.len() {
+            assert!(
+                unpack_key(&buf[..cut]).is_err(),
+                "cut at {cut} must be an error"
+            );
+        }
+    }
+
+    #[test]
+    fn non_canonical_encodings_rejected() {
+        // src=/23 with the 24th bit (a host bit) set in the third byte.
+        let bad = vec![0b0000_0001, 23, 1, 2, 3];
+        assert_eq!(unpack_key(&bad).unwrap_err(), UnpackError::Invalid);
+        // Port with non-canonical base.
+        let bad = vec![0b0000_0100, 8, 0x00, 0x01];
+        assert_eq!(unpack_key(&bad).unwrap_err(), UnpackError::Invalid);
+        // Reserved presence bit.
+        assert_eq!(unpack_key(&[0x80]).unwrap_err(), UnpackError::Invalid);
+        // Bad IP tag.
+        let bad = vec![0b0000_0001, 200];
+        assert_eq!(unpack_key(&bad).unwrap_err(), UnpackError::Invalid);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for v in values {
+            buf.clear();
+            write_varint(&mut buf, v);
+            let (back, n) = read_varint(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(n, buf.len());
+        }
+        assert!(read_varint(&[0x80]).is_err());
+        assert!(read_varint(&[]).is_err());
+        // Overlong encoding that would overflow u64.
+        let overflow = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f];
+        assert!(read_varint(&overflow).is_err());
+    }
+
+    #[test]
+    fn signed_varint_roundtrip() {
+        let mut buf = Vec::new();
+        for v in [
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            1 << 40,
+            -(1 << 40),
+            i64::MAX,
+            i64::MIN,
+        ] {
+            buf.clear();
+            write_varint_signed(&mut buf, v);
+            let (back, n) = read_varint_signed(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(n, buf.len());
+        }
+        // Small magnitudes use one byte.
+        buf.clear();
+        write_varint_signed(&mut buf, -2);
+        assert_eq!(buf.len(), 1);
+    }
+}

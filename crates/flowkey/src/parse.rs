@@ -1,0 +1,115 @@
+//! Textual syntax for flow keys.
+//!
+//! The syntax is a space- (or comma-) separated list of `dim=value`
+//! components, mirroring how the paper's queries are phrased:
+//!
+//! ```text
+//! src=1.1.1.0/24 dport=443 proto=tcp
+//! src=2001:db8::/32, sport=1024-2047
+//! *
+//! ```
+//!
+//! Omitted dimensions are wildcards; `*` alone is the root key. The
+//! same syntax is produced by [`FlowKey`]'s `Display` impl, and is used
+//! by the `flowquery` language for flow patterns.
+
+use crate::{Dim, FlowKey, ParseError};
+use core::str::FromStr;
+
+impl FromStr for FlowKey {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "*" {
+            return Ok(FlowKey::ROOT);
+        }
+        let mut key = FlowKey::ROOT;
+        let mut seen = [false; crate::NUM_DIMS];
+        for comp in s.split([' ', ',']).filter(|c| !c.is_empty()) {
+            let (name, value) = comp
+                .split_once('=')
+                .ok_or_else(|| ParseError::BadComponent(comp.to_string()))?;
+            let dim = match name {
+                "src" => Dim::SrcIp,
+                "dst" => Dim::DstIp,
+                "sport" => Dim::SrcPort,
+                "dport" => Dim::DstPort,
+                "proto" => Dim::Proto,
+                "time" => Dim::Time,
+                "site" => Dim::Site,
+                _ => return Err(ParseError::BadComponent(comp.to_string())),
+            };
+            if seen[dim.index()] {
+                return Err(ParseError::DuplicateDim(dim));
+            }
+            seen[dim.index()] = true;
+            match dim {
+                Dim::SrcIp => key.src = value.parse()?,
+                Dim::DstIp => key.dst = value.parse()?,
+                Dim::SrcPort => key.sport = value.parse()?,
+                Dim::DstPort => key.dport = value.parse()?,
+                Dim::Proto => key.proto = value.parse()?,
+                Dim::Time => key.time = value.parse()?,
+                Dim::Site => key.site = value.parse()?,
+            }
+        }
+        Ok(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IpNet, PortRange, Proto};
+
+    #[test]
+    fn parses_subset_of_dims() {
+        let k: FlowKey = "src=1.1.0.0/16 dport=443".parse().unwrap();
+        assert_eq!(k.src, "1.1.0.0/16".parse::<IpNet>().unwrap());
+        assert_eq!(k.dport, PortRange::port(443));
+        assert_eq!(k.proto, Proto::Any);
+        assert_eq!(k.dst, IpNet::Any);
+    }
+
+    #[test]
+    fn accepts_commas_and_extra_spaces() {
+        let a: FlowKey = "src=1.0.0.0/8,dst=2.0.0.0/8".parse().unwrap();
+        let b: FlowKey = "  src=1.0.0.0/8   dst=2.0.0.0/8 ".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn star_and_empty_are_root() {
+        assert_eq!("*".parse::<FlowKey>().unwrap(), FlowKey::ROOT);
+        assert_eq!("".parse::<FlowKey>().unwrap(), FlowKey::ROOT);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for s in [
+            "*",
+            "src=1.1.1.0/24",
+            "src=1.2.3.4/32 dst=9.8.7.6/32 sport=1234 dport=80 proto=tcp",
+            "dst=2001:db8::/32 proto=udp",
+            "src=1.0.0.0/8 time=1024+256s site=7",
+            "dport=1024-2047 site=r2",
+        ] {
+            let k: FlowKey = s.parse().unwrap();
+            let printed = k.to_string();
+            let again: FlowKey = printed.parse().unwrap();
+            assert_eq!(k, again, "via {printed}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_components() {
+        assert!("bogus=1".parse::<FlowKey>().is_err());
+        assert!("src".parse::<FlowKey>().is_err());
+        assert!("src=1.2.3.4/40".parse::<FlowKey>().is_err());
+        assert!(matches!(
+            "src=1.0.0.0/8 src=2.0.0.0/8".parse::<FlowKey>(),
+            Err(ParseError::DuplicateDim(Dim::SrcIp))
+        ));
+    }
+}

@@ -1,0 +1,74 @@
+//! Golden tests pinning the canonical generalization schedule.
+//!
+//! The chain schedule is part of the wire format: two parties exchanging
+//! summaries must agree on every key's canonical chain, and a serialized
+//! tree's parent references encode chain relationships. If one of these
+//! tests fails, the schedule changed — bump the codec version and treat
+//! old summaries as unreadable.
+
+use flowkey::{FlowKey, Schema};
+
+#[test]
+fn five_feature_chain_prefix_is_stable() {
+    let schema = Schema::five_feature();
+    let key: FlowKey = "src=10.1.2.3/32 dst=192.0.2.9/32 sport=49152 dport=443 proto=tcp"
+        .parse()
+        .unwrap();
+    let chain: Vec<String> = schema
+        .chain_up(&key)
+        .take(12)
+        .map(|k| k.to_string())
+        .collect();
+    assert_eq!(
+        chain,
+        [
+            "src=10.1.2.3/32 dst=192.0.2.9/32 sport=49152-49153 dport=443 proto=tcp",
+            "src=10.1.2.3/32 dst=192.0.2.9/32 sport=49152-49153 dport=442-443 proto=tcp",
+            "src=10.1.2.3/32 dst=192.0.2.9/32 sport=49152-49153 dport=442-443",
+            "src=10.1.2.2/31 dst=192.0.2.9/32 sport=49152-49153 dport=442-443",
+            "src=10.1.2.2/31 dst=192.0.2.8/31 sport=49152-49153 dport=442-443",
+            "src=10.1.2.0/30 dst=192.0.2.8/31 sport=49152-49153 dport=442-443",
+            "src=10.1.2.0/30 dst=192.0.2.8/30 sport=49152-49153 dport=442-443",
+            "src=10.1.2.0/29 dst=192.0.2.8/30 sport=49152-49153 dport=442-443",
+            "src=10.1.2.0/29 dst=192.0.2.8/29 sport=49152-49153 dport=442-443",
+            "src=10.1.2.0/29 dst=192.0.2.8/29 sport=49152-49155 dport=442-443",
+            "src=10.1.2.0/29 dst=192.0.2.8/29 sport=49152-49155 dport=440-443",
+            "src=10.1.2.0/28 dst=192.0.2.8/29 sport=49152-49155 dport=440-443",
+        ],
+        "the canonical schedule changed — this breaks serialized summaries"
+    );
+}
+
+#[test]
+fn one_feature_chain_is_one_bit_per_step() {
+    let schema = Schema::one_feature_src();
+    let key: FlowKey = "src=192.0.2.133/32".parse().unwrap();
+    let chain: Vec<FlowKey> = schema.chain_up(&key).collect();
+    assert_eq!(chain.len(), 33);
+    assert_eq!(chain[0].to_string(), "src=192.0.2.132/31");
+    assert_eq!(chain[7].to_string(), "src=192.0.2.0/24");
+    assert_eq!(chain[31].to_string(), "src=0.0.0.0/0");
+    assert!(chain[32].is_root());
+}
+
+#[test]
+fn chain_up_agrees_with_chain_ancestor_everywhere() {
+    for schema in [
+        Schema::one_feature_src(),
+        Schema::four_feature(),
+        Schema::extended(),
+    ] {
+        let key: FlowKey = "src=172.16.5.9/32 dst=198.51.100.23/32 sport=55555 dport=8080 \
+                            proto=udp time=1700000000+1s site=17"
+            .parse()
+            .unwrap();
+        let key = schema.canonicalize(&key);
+        let full = schema.depth(&key);
+        let chain: Vec<FlowKey> = schema.chain_up(&key).collect();
+        assert_eq!(chain.len() as u32, full);
+        for (i, k) in chain.iter().enumerate() {
+            let want = schema.chain_ancestor(&key, full - 1 - i as u32);
+            assert_eq!(*k, want, "step {i} under {schema:?}");
+        }
+    }
+}

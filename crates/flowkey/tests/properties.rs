@@ -1,0 +1,211 @@
+//! Property-based tests for the feature lattice and the canonical chain.
+
+use flowkey::pack::{pack_key, unpack_key};
+use flowkey::{Dim, FlowKey, IpNet, Ipv4Net, Ipv6Net, PortRange, Proto, Schema, Site, TimeBucket};
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_ipnet() -> impl Strategy<Value = IpNet> {
+    prop_oneof![
+        1 => Just(IpNet::Any),
+        8 => (any::<u32>(), 0u8..=32)
+            .prop_map(|(a, l)| IpNet::V4(Ipv4Net::new(Ipv4Addr::from(a), l).unwrap())),
+        3 => (any::<u128>(), 0u8..=128)
+            .prop_map(|(a, l)| IpNet::V6(Ipv6Net::new(Ipv6Addr::from(a), l).unwrap())),
+    ]
+}
+
+fn arb_port() -> impl Strategy<Value = PortRange> {
+    (any::<u16>(), 0u8..=16).prop_map(|(b, l)| PortRange::new(b, l).unwrap())
+}
+
+fn arb_proto() -> impl Strategy<Value = Proto> {
+    prop_oneof![Just(Proto::Any), any::<u8>().prop_map(Proto::Is)]
+}
+
+fn arb_time() -> impl Strategy<Value = TimeBucket> {
+    (0u64..(1 << 36), 0u8..=TimeBucket::MAX_LEVEL)
+        .prop_map(|(s, l)| TimeBucket::new(s % (1 << 36), l).unwrap())
+}
+
+fn arb_site() -> impl Strategy<Value = Site> {
+    prop_oneof![
+        Just(Site::Any),
+        any::<u8>().prop_map(Site::Region),
+        any::<u16>().prop_map(Site::Is),
+    ]
+}
+
+prop_compose! {
+    fn arb_key()(
+        src in arb_ipnet(),
+        dst in arb_ipnet(),
+        sport in arb_port(),
+        dport in arb_port(),
+        proto in arb_proto(),
+        time in arb_time(),
+        site in arb_site(),
+    ) -> FlowKey {
+        FlowKey { src, dst, sport, dport, proto, time, site }
+    }
+}
+
+fn schemas() -> Vec<Schema> {
+    vec![
+        Schema::one_feature_src(),
+        Schema::two_feature(),
+        Schema::four_feature(),
+        Schema::five_feature(),
+        Schema::extended(),
+    ]
+}
+
+proptest! {
+    /// Containment is a partial order: reflexive, antisymmetric, transitive.
+    #[test]
+    fn containment_partial_order(a in arb_key(), b in arb_key(), c in arb_key()) {
+        prop_assert!(a.contains(&a));
+        if a.contains(&b) && b.contains(&a) {
+            prop_assert_eq!(a, b);
+        }
+        if a.contains(&b) && b.contains(&c) {
+            prop_assert!(a.contains(&c));
+        }
+    }
+
+    /// The join contains both operands; the meet is contained in both
+    /// (or the keys are disjoint, in which case they must not overlap in
+    /// some dimension).
+    #[test]
+    fn join_meet_bounds(a in arb_key(), b in arb_key()) {
+        let j = a.join(&b);
+        prop_assert!(j.contains(&a));
+        prop_assert!(j.contains(&b));
+        match a.meet(&b) {
+            Some(m) => {
+                prop_assert!(a.contains(&m));
+                prop_assert!(b.contains(&m));
+                prop_assert!(a.overlaps(&b));
+            }
+            None => prop_assert!(!a.overlaps(&b)),
+        }
+    }
+
+    /// Meet is idempotent, commutative, and absorbs containment.
+    #[test]
+    fn meet_laws(a in arb_key(), b in arb_key()) {
+        prop_assert_eq!(a.meet(&a), Some(a));
+        prop_assert_eq!(a.meet(&b), b.meet(&a));
+        if a.contains(&b) {
+            prop_assert_eq!(a.meet(&b), Some(b));
+        }
+    }
+
+    /// The canonical parent chain terminates at the root, shrinks depth
+    /// by exactly one per step, and every chain key contains the start.
+    #[test]
+    fn chain_terminates_and_is_monotone(key in arb_key()) {
+        for schema in schemas() {
+            let key = schema.canonicalize(&key);
+            let mut cur = key;
+            let mut depth = schema.depth(&cur);
+            let mut guard = 0u32;
+            while let Some(p) = schema.parent(&cur) {
+                prop_assert!(p.contains(&cur));
+                prop_assert!(p.contains(&key));
+                prop_assert_eq!(schema.depth(&p), depth - 1);
+                cur = p;
+                depth -= 1;
+                guard += 1;
+                prop_assert!(guard <= 512, "runaway chain");
+            }
+            prop_assert!(cur.is_root());
+        }
+    }
+
+    /// chain_ancestor is consistent: the ancestor-of-an-ancestor equals
+    /// the direct ancestor at the shallower depth.
+    #[test]
+    fn chain_ancestor_consistency(key in arb_key(), d1 in 0u32..200, d2 in 0u32..200) {
+        for schema in schemas() {
+            let key = schema.canonicalize(&key);
+            let full = schema.depth(&key);
+            let (lo, hi) = (d1.min(d2) % (full + 1), d1.max(d2) % (full + 1));
+            let (lo, hi) = (lo.min(hi), lo.max(hi));
+            let mid = schema.chain_ancestor(&key, hi);
+            let via_mid = schema.chain_ancestor(&mid, lo);
+            let direct = schema.chain_ancestor(&key, lo);
+            prop_assert_eq!(via_mid, direct);
+        }
+    }
+
+    /// The LCCA is on both chains and is the deepest such key.
+    #[test]
+    fn lcca_is_lowest_common(a in arb_key(), b in arb_key()) {
+        for schema in schemas() {
+            let a = schema.canonicalize(&a);
+            let b = schema.canonicalize(&b);
+            let l = schema.lcca(&a, &b);
+            prop_assert!(schema.is_chain_ancestor(&l, &a));
+            prop_assert!(schema.is_chain_ancestor(&l, &b));
+            let dl = schema.depth(&l);
+            if dl < schema.depth(&a) {
+                let deeper = schema.chain_ancestor(&a, dl + 1);
+                prop_assert!(!schema.is_chain_ancestor(&deeper, &b));
+            }
+        }
+    }
+
+    /// Canonical packing roundtrips and consumes exactly its bytes.
+    #[test]
+    fn pack_roundtrip(key in arb_key()) {
+        let mut buf = Vec::new();
+        pack_key(&mut buf, &key);
+        let (back, n) = unpack_key(&buf).unwrap();
+        prop_assert_eq!(back, key);
+        prop_assert_eq!(n, buf.len());
+        // With trailing garbage the decoder must stop at the key's end.
+        buf.push(0xAB);
+        let (back2, n2) = unpack_key(&buf).unwrap();
+        prop_assert_eq!(back2, key);
+        prop_assert_eq!(n2, buf.len() - 1);
+    }
+
+    /// Truncating any packed key must yield an error, never a panic.
+    #[test]
+    fn pack_truncation_errors(key in arb_key(), cut in 0usize..64) {
+        let mut buf = Vec::new();
+        pack_key(&mut buf, &key);
+        if cut < buf.len() {
+            prop_assert!(unpack_key(&buf[..cut]).is_err());
+        }
+    }
+
+    /// Unpacking arbitrary bytes never panics.
+    #[test]
+    fn unpack_fuzz_no_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = unpack_key(&bytes);
+    }
+
+    /// Display → FromStr roundtrips for every key.
+    #[test]
+    fn display_parse_roundtrip(key in arb_key()) {
+        let s = key.to_string();
+        let back: FlowKey = s.parse().unwrap();
+        prop_assert_eq!(back, key);
+    }
+
+    /// Generalizing any single dimension yields a strict container.
+    #[test]
+    fn generalize_dim_contains(key in arb_key()) {
+        for dim in Dim::ALL {
+            if let Some(up) = key.generalize(dim) {
+                prop_assert!(up.contains(&key));
+                prop_assert!(up != key);
+                prop_assert_eq!(up.dim_depth(dim) + 1, key.dim_depth(dim));
+            } else {
+                prop_assert_eq!(key.dim_depth(dim), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Ethernet II frames (zero-copy view).
+
+use crate::ParseError;
+use core::fmt;
+
+/// Minimum Ethernet header length (dst + src + ethertype).
+pub const HEADER_LEN: usize = 14;
+
+/// EtherType values this crate understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// IPv6 (0x86DD).
+    Ipv6,
+    /// ARP (0x0806) — recognized but not parsed further.
+    Arp,
+    /// Anything else.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x86DD => EtherType::Ipv6,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(v: EtherType) -> u16 {
+        match v {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Ipv6 => 0x86DD,
+            EtherType::Arp => 0x0806,
+            EtherType::Other(o) => o,
+        }
+    }
+}
+
+/// A zero-copy view of an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wraps `buffer` after verifying it is long enough for the header.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        Ok(EthernetFrame { buffer })
+    }
+
+    /// Destination MAC address.
+    pub fn dst_mac(&self) -> [u8; 6] {
+        self.buffer.as_ref()[0..6].try_into().expect("checked len")
+    }
+
+    /// Source MAC address.
+    pub fn src_mac(&self) -> [u8; 6] {
+        self.buffer.as_ref()[6..12].try_into().expect("checked len")
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        let b = self.buffer.as_ref();
+        EtherType::from(u16::from_be_bytes([b[12], b[13]]))
+    }
+
+    /// The L3 payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Consumes the view, returning the buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Sets the destination MAC.
+    pub fn set_dst_mac(&mut self, mac: [u8; 6]) {
+        self.buffer.as_mut()[0..6].copy_from_slice(&mac);
+    }
+
+    /// Sets the source MAC.
+    pub fn set_src_mac(&mut self, mac: [u8; 6]) {
+        self.buffer.as_mut()[6..12].copy_from_slice(&mac);
+    }
+
+    /// Sets the EtherType.
+    pub fn set_ethertype(&mut self, ty: EtherType) {
+        self.buffer.as_mut()[12..14].copy_from_slice(&u16::from(ty).to_be_bytes());
+    }
+
+    /// Mutable access to the payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]>> fmt::Display for EthernetFrame<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.src_mac();
+        let d = self.dst_mac();
+        write!(
+            f,
+            "eth {:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x} > {:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x} {:?}",
+            s[0], s[1], s[2], s[3], s[4], s[5], d[0], d[1], d[2], d[3], d[4], d[5],
+            self.ethertype()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut f = vec![0u8; HEADER_LEN + 4];
+        f[0..6].copy_from_slice(&[0xff; 6]);
+        f[6..12].copy_from_slice(&[2, 0, 0, 0, 0, 1]);
+        f[12..14].copy_from_slice(&0x0800u16.to_be_bytes());
+        f[14..18].copy_from_slice(b"data");
+        f
+    }
+
+    #[test]
+    fn parses_fields() {
+        let frame = EthernetFrame::new_checked(sample()).unwrap();
+        assert_eq!(frame.dst_mac(), [0xff; 6]);
+        assert_eq!(frame.src_mac(), [2, 0, 0, 0, 0, 1]);
+        assert_eq!(frame.ethertype(), EtherType::Ipv4);
+        assert_eq!(frame.payload(), b"data");
+    }
+
+    #[test]
+    fn rejects_short_frames() {
+        for n in 0..HEADER_LEN {
+            assert_eq!(
+                EthernetFrame::new_checked(vec![0u8; n]).unwrap_err(),
+                ParseError::Truncated
+            );
+        }
+    }
+
+    #[test]
+    fn setters_roundtrip() {
+        let mut frame = EthernetFrame::new_checked(vec![0u8; 18]).unwrap();
+        frame.set_dst_mac([1; 6]);
+        frame.set_src_mac([2; 6]);
+        frame.set_ethertype(EtherType::Ipv6);
+        frame.payload_mut().copy_from_slice(b"abcd");
+        assert_eq!(frame.dst_mac(), [1; 6]);
+        assert_eq!(frame.src_mac(), [2; 6]);
+        assert_eq!(frame.ethertype(), EtherType::Ipv6);
+        assert_eq!(frame.payload(), b"abcd");
+    }
+
+    #[test]
+    fn ethertype_mapping() {
+        assert_eq!(EtherType::from(0x0806), EtherType::Arp);
+        assert_eq!(u16::from(EtherType::Other(0x1234)), 0x1234);
+    }
+}

@@ -1,0 +1,575 @@
+//! IPFIX (RFC 7011) — message framing, templates, and flow data sets.
+//!
+//! Implemented subset, enough to interoperate with a standard exporter
+//! sending 5-tuple + counter records:
+//!
+//! * message header, template sets (id 2), data sets (id ≥ 256);
+//! * a decode-side **template cache** keyed by (observation domain,
+//!   template id) — data sets arriving before their template are
+//!   counted, not crashed on;
+//! * the standard information elements for the 5-tuple
+//!   (IPv4 *and* IPv6), packet/octet delta counts, and
+//!   flowStart/EndMilliseconds; unknown fixed-length elements are
+//!   skipped by length, variable-length elements are skipped per
+//!   RFC 7011 §7;
+//! * options template sets (id 3) are skipped gracefully.
+
+use crate::record::FlowRecord;
+use crate::ParseError;
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// IPFIX protocol version.
+pub const VERSION: u16 = 10;
+/// Message header length.
+pub const HEADER_LEN: usize = 16;
+
+/// Standard information element ids used by this implementation.
+pub mod ie {
+    /// octetDeltaCount (unsigned64).
+    pub const OCTET_DELTA_COUNT: u16 = 1;
+    /// packetDeltaCount (unsigned64).
+    pub const PACKET_DELTA_COUNT: u16 = 2;
+    /// protocolIdentifier (unsigned8).
+    pub const PROTOCOL_IDENTIFIER: u16 = 4;
+    /// sourceTransportPort (unsigned16).
+    pub const SOURCE_TRANSPORT_PORT: u16 = 7;
+    /// sourceIPv4Address.
+    pub const SOURCE_IPV4_ADDRESS: u16 = 8;
+    /// destinationTransportPort (unsigned16).
+    pub const DESTINATION_TRANSPORT_PORT: u16 = 11;
+    /// destinationIPv4Address.
+    pub const DESTINATION_IPV4_ADDRESS: u16 = 12;
+    /// sourceIPv6Address.
+    pub const SOURCE_IPV6_ADDRESS: u16 = 27;
+    /// destinationIPv6Address.
+    pub const DESTINATION_IPV6_ADDRESS: u16 = 28;
+    /// flowStartMilliseconds (dateTimeMilliseconds).
+    pub const FLOW_START_MILLISECONDS: u16 = 152;
+    /// flowEndMilliseconds (dateTimeMilliseconds).
+    pub const FLOW_END_MILLISECONDS: u16 = 153;
+}
+
+/// Template id used by our IPv4 encoder.
+pub const TEMPLATE_V4: u16 = 256;
+/// Template id used by our IPv6 encoder.
+pub const TEMPLATE_V6: u16 = 257;
+
+const FIELDS_V4: &[(u16, u16)] = &[
+    (ie::SOURCE_IPV4_ADDRESS, 4),
+    (ie::DESTINATION_IPV4_ADDRESS, 4),
+    (ie::SOURCE_TRANSPORT_PORT, 2),
+    (ie::DESTINATION_TRANSPORT_PORT, 2),
+    (ie::PROTOCOL_IDENTIFIER, 1),
+    (ie::PACKET_DELTA_COUNT, 8),
+    (ie::OCTET_DELTA_COUNT, 8),
+    (ie::FLOW_START_MILLISECONDS, 8),
+    (ie::FLOW_END_MILLISECONDS, 8),
+];
+
+const FIELDS_V6: &[(u16, u16)] = &[
+    (ie::SOURCE_IPV6_ADDRESS, 16),
+    (ie::DESTINATION_IPV6_ADDRESS, 16),
+    (ie::SOURCE_TRANSPORT_PORT, 2),
+    (ie::DESTINATION_TRANSPORT_PORT, 2),
+    (ie::PROTOCOL_IDENTIFIER, 1),
+    (ie::PACKET_DELTA_COUNT, 8),
+    (ie::OCTET_DELTA_COUNT, 8),
+    (ie::FLOW_START_MILLISECONDS, 8),
+    (ie::FLOW_END_MILLISECONDS, 8),
+];
+
+/// A parsed template: field (ie, length) pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Template {
+    fields: Vec<(u16, u16)>,
+    record_len: usize,
+    has_varlen: bool,
+}
+
+/// Summary of one decoded message.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MessageInfo {
+    /// Export time (seconds since the epoch) from the header.
+    pub export_time: u32,
+    /// Sequence number from the header.
+    pub sequence: u32,
+    /// Observation domain id.
+    pub domain: u32,
+    /// Templates learned from this message.
+    pub templates_learned: usize,
+    /// Data records decoded into flow records.
+    pub records_decoded: usize,
+    /// Data records skipped (unknown template / missing addresses).
+    pub records_skipped: usize,
+}
+
+/// Encodes flow records as one IPFIX message.
+///
+/// When `with_templates` is set the message leads with the template set
+/// (send it on the first message and periodically, like a real
+/// exporter). Records are split into v4/v6 data sets automatically.
+pub fn encode_message(
+    records: &[FlowRecord],
+    export_time: u32,
+    sequence: u32,
+    domain: u32,
+    with_templates: bool,
+) -> Vec<u8> {
+    let mut body = Vec::new();
+    if with_templates {
+        let mut tset = Vec::new();
+        for (tid, fields) in [(TEMPLATE_V4, FIELDS_V4), (TEMPLATE_V6, FIELDS_V6)] {
+            tset.extend_from_slice(&tid.to_be_bytes());
+            tset.extend_from_slice(&(fields.len() as u16).to_be_bytes());
+            for (id, len) in fields {
+                tset.extend_from_slice(&id.to_be_bytes());
+                tset.extend_from_slice(&len.to_be_bytes());
+            }
+        }
+        push_set(&mut body, 2, &tset);
+    }
+    let mut v4 = Vec::new();
+    let mut v6 = Vec::new();
+    for r in records {
+        match (r.src, r.dst) {
+            (IpAddr::V4(s), IpAddr::V4(d)) => {
+                v4.extend_from_slice(&s.octets());
+                v4.extend_from_slice(&d.octets());
+                push_common(&mut v4, r);
+            }
+            (IpAddr::V6(s), IpAddr::V6(d)) => {
+                v6.extend_from_slice(&s.octets());
+                v6.extend_from_slice(&d.octets());
+                push_common(&mut v6, r);
+            }
+            _ => {
+                // Mixed-family records cannot exist on the wire; encode
+                // as v6-mapped would be misleading, so skip.
+            }
+        }
+    }
+    if !v4.is_empty() {
+        push_set(&mut body, TEMPLATE_V4, &v4);
+    }
+    if !v6.is_empty() {
+        push_set(&mut body, TEMPLATE_V6, &v6);
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&VERSION.to_be_bytes());
+    out.extend_from_slice(&((HEADER_LEN + body.len()) as u16).to_be_bytes());
+    out.extend_from_slice(&export_time.to_be_bytes());
+    out.extend_from_slice(&sequence.to_be_bytes());
+    out.extend_from_slice(&domain.to_be_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+fn push_common(buf: &mut Vec<u8>, r: &FlowRecord) {
+    buf.extend_from_slice(&r.sport.to_be_bytes());
+    buf.extend_from_slice(&r.dport.to_be_bytes());
+    buf.push(r.proto);
+    buf.extend_from_slice(&r.packets.to_be_bytes());
+    buf.extend_from_slice(&r.bytes.to_be_bytes());
+    buf.extend_from_slice(&r.first_ms.to_be_bytes());
+    buf.extend_from_slice(&r.last_ms.to_be_bytes());
+}
+
+fn push_set(body: &mut Vec<u8>, set_id: u16, content: &[u8]) {
+    body.extend_from_slice(&set_id.to_be_bytes());
+    body.extend_from_slice(&((content.len() + 4) as u16).to_be_bytes());
+    body.extend_from_slice(content);
+}
+
+/// A stateful IPFIX decoder with a template cache.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    templates: HashMap<(u32, u16), Template>,
+}
+
+impl Decoder {
+    /// Creates an empty decoder (no templates known yet).
+    pub fn new() -> Decoder {
+        Decoder::default()
+    }
+
+    /// Number of cached templates.
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Decodes one message, learning templates and extracting flow
+    /// records. Unknown templates and elements degrade gracefully into
+    /// `records_skipped`; structural violations return errors.
+    pub fn decode_message(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<(Vec<FlowRecord>, MessageInfo), ParseError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let rd16 = |o: usize| u16::from_be_bytes([bytes[o], bytes[o + 1]]);
+        let rd32 =
+            |o: usize| u32::from_be_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
+        if rd16(0) != VERSION {
+            return Err(ParseError::Malformed("ipfix version"));
+        }
+        let msg_len = rd16(2) as usize;
+        if msg_len < HEADER_LEN || msg_len > bytes.len() {
+            return Err(ParseError::Malformed("ipfix message length"));
+        }
+        let mut info = MessageInfo {
+            export_time: rd32(4),
+            sequence: rd32(8),
+            domain: rd32(12),
+            ..MessageInfo::default()
+        };
+        let mut records = Vec::new();
+        let mut pos = HEADER_LEN;
+        while pos < msg_len {
+            if msg_len - pos < 4 {
+                return Err(ParseError::Malformed("ipfix set header"));
+            }
+            let set_id = rd16(pos);
+            let set_len = rd16(pos + 2) as usize;
+            if set_len < 4 || pos + set_len > msg_len {
+                return Err(ParseError::Malformed("ipfix set length"));
+            }
+            let content = &bytes[pos + 4..pos + set_len];
+            match set_id {
+                2 => info.templates_learned += self.learn_templates(info.domain, content)?,
+                3 => { /* options templates: valid, ignored */ }
+                0 | 1 | 4..=255 => return Err(ParseError::Malformed("reserved set id")),
+                tid => self.decode_data_set(info.domain, tid, content, &mut records, &mut info),
+            }
+            pos += set_len;
+        }
+        info.records_decoded = records.len();
+        Ok((records, info))
+    }
+
+    fn learn_templates(&mut self, domain: u32, mut content: &[u8]) -> Result<usize, ParseError> {
+        let mut learned = 0;
+        // Trailing padding shorter than a template header is legal.
+        while content.len() >= 4 {
+            let tid = u16::from_be_bytes([content[0], content[1]]);
+            let field_count = u16::from_be_bytes([content[2], content[3]]) as usize;
+            if tid < 256 {
+                return Err(ParseError::Malformed("template id < 256"));
+            }
+            if field_count == 0 {
+                // Template withdrawal (RFC 7011 §8.1).
+                self.templates.remove(&(domain, tid));
+                content = &content[4..];
+                continue;
+            }
+            let mut fields = Vec::with_capacity(field_count);
+            let mut off = 4;
+            let mut record_len = 0usize;
+            let mut has_varlen = false;
+            for _ in 0..field_count {
+                if content.len() < off + 4 {
+                    return Err(ParseError::Truncated);
+                }
+                let raw_id = u16::from_be_bytes([content[off], content[off + 1]]);
+                let len = u16::from_be_bytes([content[off + 2], content[off + 3]]);
+                off += 4;
+                if raw_id & 0x8000 != 0 {
+                    // Enterprise element: 4 more bytes of enterprise id;
+                    // we skip its semantics but honor its length.
+                    if content.len() < off + 4 {
+                        return Err(ParseError::Truncated);
+                    }
+                    off += 4;
+                    fields.push((0xffff, len)); // opaque
+                } else {
+                    fields.push((raw_id, len));
+                }
+                if len == 0xffff {
+                    has_varlen = true;
+                } else {
+                    record_len += len as usize;
+                }
+            }
+            self.templates.insert(
+                (domain, tid),
+                Template {
+                    fields,
+                    record_len,
+                    has_varlen,
+                },
+            );
+            learned += 1;
+            content = &content[off..];
+        }
+        Ok(learned)
+    }
+
+    fn decode_data_set(
+        &self,
+        domain: u32,
+        tid: u16,
+        mut content: &[u8],
+        records: &mut Vec<FlowRecord>,
+        info: &mut MessageInfo,
+    ) {
+        let Some(template) = self.templates.get(&(domain, tid)) else {
+            // Data before its template: count every byte as skipped work.
+            info.records_skipped += 1;
+            return;
+        };
+        let min_len = if template.has_varlen {
+            template.record_len + 1
+        } else {
+            template.record_len
+        };
+        while content.len() >= min_len && min_len > 0 {
+            match decode_record(template, content) {
+                Some((rec, used)) => {
+                    if let Some(r) = rec {
+                        records.push(r);
+                    } else {
+                        info.records_skipped += 1;
+                    }
+                    content = &content[used..];
+                }
+                None => {
+                    info.records_skipped += 1;
+                    return; // malformed varlen tail: stop this set
+                }
+            }
+        }
+    }
+}
+
+/// Decodes one record; returns (record-or-skip, bytes consumed), or
+/// `None` when the buffer cannot hold the record.
+fn decode_record(template: &Template, buf: &[u8]) -> Option<(Option<FlowRecord>, usize)> {
+    let mut pos = 0usize;
+    let mut src: Option<IpAddr> = None;
+    let mut dst: Option<IpAddr> = None;
+    let mut rec = FlowRecord {
+        src: IpAddr::V4(Ipv4Addr::UNSPECIFIED),
+        dst: IpAddr::V4(Ipv4Addr::UNSPECIFIED),
+        sport: 0,
+        dport: 0,
+        proto: 0,
+        packets: 0,
+        bytes: 0,
+        first_ms: 0,
+        last_ms: 0,
+    };
+    for &(id, len) in &template.fields {
+        let flen = if len == 0xffff {
+            // RFC 7011 §7: variable length, 1-byte (or 3-byte) prefix.
+            let first = *buf.get(pos)? as usize;
+            if first < 255 {
+                pos += 1;
+                first
+            } else {
+                let hi = *buf.get(pos + 1)? as usize;
+                let lo = *buf.get(pos + 2)? as usize;
+                pos += 3;
+                (hi << 8) | lo
+            }
+        } else {
+            len as usize
+        };
+        let field = buf.get(pos..pos + flen)?;
+        pos += flen;
+        match (id, flen) {
+            (ie::SOURCE_IPV4_ADDRESS, 4) => {
+                src = Some(IpAddr::V4(Ipv4Addr::new(
+                    field[0], field[1], field[2], field[3],
+                )));
+            }
+            (ie::DESTINATION_IPV4_ADDRESS, 4) => {
+                dst = Some(IpAddr::V4(Ipv4Addr::new(
+                    field[0], field[1], field[2], field[3],
+                )));
+            }
+            (ie::SOURCE_IPV6_ADDRESS, 16) => {
+                let o: [u8; 16] = field.try_into().ok()?;
+                src = Some(IpAddr::V6(Ipv6Addr::from(o)));
+            }
+            (ie::DESTINATION_IPV6_ADDRESS, 16) => {
+                let o: [u8; 16] = field.try_into().ok()?;
+                dst = Some(IpAddr::V6(Ipv6Addr::from(o)));
+            }
+            (ie::SOURCE_TRANSPORT_PORT, _) => rec.sport = be_uint(field) as u16,
+            (ie::DESTINATION_TRANSPORT_PORT, _) => rec.dport = be_uint(field) as u16,
+            (ie::PROTOCOL_IDENTIFIER, _) => rec.proto = be_uint(field) as u8,
+            (ie::PACKET_DELTA_COUNT, _) => rec.packets = be_uint(field),
+            (ie::OCTET_DELTA_COUNT, _) => rec.bytes = be_uint(field),
+            (ie::FLOW_START_MILLISECONDS, _) => rec.first_ms = be_uint(field),
+            (ie::FLOW_END_MILLISECONDS, _) => rec.last_ms = be_uint(field),
+            _ => { /* unknown or opaque: skipped by length */ }
+        }
+    }
+    match (src, dst) {
+        (Some(s), Some(d)) => {
+            rec.src = s;
+            rec.dst = d;
+            Some((Some(rec), pos))
+        }
+        _ => Some((None, pos)), // a record without addresses is not a flow
+    }
+}
+
+/// Big-endian unsigned integer of 1..=8 bytes (RFC 7011 reduced-size).
+fn be_uint(field: &[u8]) -> u64 {
+    let mut v = 0u64;
+    for &b in field.iter().take(8) {
+        v = (v << 8) | b as u64;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<FlowRecord> {
+        let mut v4 = FlowRecord::v4([10, 1, 2, 3], [192, 0, 2, 9], 5000, 443, 6, 12, 3400);
+        v4.first_ms = 1_700_000_000_123;
+        v4.last_ms = 1_700_000_005_456;
+        let v6 = FlowRecord {
+            src: "2001:db8::1".parse().unwrap(),
+            dst: "2001:db8::2".parse().unwrap(),
+            sport: 1234,
+            dport: 53,
+            proto: 17,
+            packets: 2,
+            bytes: 300,
+            first_ms: 5,
+            last_ms: 6,
+        };
+        vec![v4, v6]
+    }
+
+    #[test]
+    fn roundtrip_v4_and_v6() {
+        let records = sample_records();
+        let msg = encode_message(&records, 1_700_000_000, 7, 99, true);
+        let mut dec = Decoder::new();
+        let (got, info) = dec.decode_message(&msg).unwrap();
+        assert_eq!(info.templates_learned, 2);
+        assert_eq!(info.domain, 99);
+        assert_eq!(info.sequence, 7);
+        assert_eq!(got, records);
+        assert_eq!(info.records_decoded, 2);
+        assert_eq!(info.records_skipped, 0);
+    }
+
+    #[test]
+    fn data_before_template_is_skipped_then_recovers() {
+        let records = sample_records();
+        let with_t = encode_message(&records, 0, 0, 5, true);
+        let without_t = encode_message(&records, 0, 1, 5, false);
+        let mut dec = Decoder::new();
+        // Data-only message first: nothing decodable.
+        let (got, info) = dec.decode_message(&without_t).unwrap();
+        assert!(got.is_empty());
+        assert!(info.records_skipped > 0);
+        // Template message: learns and decodes.
+        let (got, _) = dec.decode_message(&with_t).unwrap();
+        assert_eq!(got.len(), 2);
+        // Subsequent data-only messages decode fine.
+        let (got, info) = dec.decode_message(&without_t).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(info.records_skipped, 0);
+    }
+
+    #[test]
+    fn template_withdrawal_forgets() {
+        let mut dec = Decoder::new();
+        let msg = encode_message(&sample_records(), 0, 0, 5, true);
+        dec.decode_message(&msg).unwrap();
+        assert_eq!(dec.template_count(), 2);
+        // Hand-build a withdrawal for TEMPLATE_V4 (field count 0).
+        let mut body = Vec::new();
+        let mut tset = Vec::new();
+        tset.extend_from_slice(&TEMPLATE_V4.to_be_bytes());
+        tset.extend_from_slice(&0u16.to_be_bytes());
+        push_set(&mut body, 2, &tset);
+        let mut msg = Vec::new();
+        msg.extend_from_slice(&VERSION.to_be_bytes());
+        msg.extend_from_slice(&((HEADER_LEN + body.len()) as u16).to_be_bytes());
+        msg.extend_from_slice(&[0; 12]);
+        // Fix domain = 5 (bytes 12..16).
+        msg[12..16].copy_from_slice(&5u32.to_be_bytes());
+        msg.extend_from_slice(&body);
+        dec.decode_message(&msg).unwrap();
+        assert_eq!(dec.template_count(), 1);
+    }
+
+    #[test]
+    fn unknown_elements_are_skipped_by_length() {
+        // Template with an unknown IE in the middle.
+        let mut tset = Vec::new();
+        tset.extend_from_slice(&300u16.to_be_bytes());
+        tset.extend_from_slice(&4u16.to_be_bytes());
+        for (id, len) in [
+            (ie::SOURCE_IPV4_ADDRESS, 4u16),
+            (9999u16, 6), // unknown, 6 bytes
+            (ie::DESTINATION_IPV4_ADDRESS, 4),
+            (ie::PACKET_DELTA_COUNT, 4), // reduced-size counter
+        ] {
+            tset.extend_from_slice(&id.to_be_bytes());
+            tset.extend_from_slice(&len.to_be_bytes());
+        }
+        let mut data = Vec::new();
+        data.extend_from_slice(&[10, 0, 0, 1]);
+        data.extend_from_slice(&[0xAA; 6]);
+        data.extend_from_slice(&[192, 0, 2, 1]);
+        data.extend_from_slice(&77u32.to_be_bytes());
+        let mut body = Vec::new();
+        push_set(&mut body, 2, &tset);
+        push_set(&mut body, 300, &data);
+        let mut msg = Vec::new();
+        msg.extend_from_slice(&VERSION.to_be_bytes());
+        msg.extend_from_slice(&((HEADER_LEN + body.len()) as u16).to_be_bytes());
+        msg.extend_from_slice(&[0; 12]);
+        msg.extend_from_slice(&body);
+        let mut dec = Decoder::new();
+        let (got, _) = dec.decode_message(&msg).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].src, "10.0.0.1".parse::<IpAddr>().unwrap());
+        assert_eq!(got[0].packets, 77);
+    }
+
+    #[test]
+    fn structural_garbage_is_rejected() {
+        let msg = encode_message(&sample_records(), 0, 0, 0, true);
+        // Wrong version (0x000A → 0x0009).
+        let mut bad = msg.clone();
+        bad[1] = 9;
+        assert!(Decoder::new().decode_message(&bad).is_err());
+        // Message length beyond buffer.
+        let mut bad = msg.clone();
+        bad[2..4].copy_from_slice(&(msg.len() as u16 + 50).to_be_bytes());
+        assert!(Decoder::new().decode_message(&bad).is_err());
+        // Set length overflow.
+        let mut bad = msg.clone();
+        bad[HEADER_LEN + 2..HEADER_LEN + 4].copy_from_slice(&0xffffu16.to_be_bytes());
+        assert!(Decoder::new().decode_message(&bad).is_err());
+        // Reserved set id.
+        let mut bad = msg;
+        bad[HEADER_LEN..HEADER_LEN + 2].copy_from_slice(&9u16.to_be_bytes());
+        assert!(Decoder::new().decode_message(&bad).is_err());
+        // Truncated header.
+        assert!(Decoder::new().decode_message(&[0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn fuzz_decoder_never_panics() {
+        let msg = encode_message(&sample_records(), 1, 2, 3, true);
+        let mut dec = Decoder::new();
+        for i in 0..msg.len() {
+            let mut m = msg.clone();
+            m[i] ^= 0xff;
+            let _ = dec.decode_message(&m);
+            let _ = dec.decode_message(&m[..i]);
+        }
+    }
+}

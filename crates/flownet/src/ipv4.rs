@@ -1,0 +1,279 @@
+//! IPv4 packets (zero-copy view) with header checksum support.
+
+use crate::{internet_checksum, ParseError};
+use std::net::Ipv4Addr;
+
+/// Minimum IPv4 header length.
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// A zero-copy view of an IPv4 packet.
+#[derive(Debug, Clone)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wraps `buffer`, validating version, header length, and total
+    /// length against the buffer.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        let len = buffer.as_ref().len();
+        if len < MIN_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let pkt = Ipv4Packet { buffer };
+        let b = pkt.buffer.as_ref();
+        if b[0] >> 4 != 4 {
+            return Err(ParseError::Malformed("IPv4 version"));
+        }
+        let ihl = pkt.header_len();
+        if ihl < MIN_HEADER_LEN || ihl > len {
+            return Err(ParseError::Malformed("IPv4 IHL"));
+        }
+        let total = pkt.total_len() as usize;
+        if total < ihl || total > len {
+            return Err(ParseError::Malformed("IPv4 total length"));
+        }
+        Ok(pkt)
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        ((self.buffer.as_ref()[0] & 0x0f) as usize) * 4
+    }
+
+    /// Total length field.
+    pub fn total_len(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// DSCP/ECN byte.
+    pub fn tos(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Whether the More-Fragments flag is set or the fragment offset is
+    /// non-zero (i.e. this is not a standalone datagram).
+    pub fn is_fragment(&self) -> bool {
+        let b = self.buffer.as_ref();
+        let flags_frag = u16::from_be_bytes([b[6], b[7]]);
+        (flags_frag & 0x2000) != 0 || (flags_frag & 0x1fff) != 0
+    }
+
+    /// Time-to-live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[8]
+    }
+
+    /// Protocol number (6 = TCP, 17 = UDP, …).
+    pub fn protocol(&self) -> u8 {
+        self.buffer.as_ref()[9]
+    }
+
+    /// Header checksum field.
+    pub fn checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[10], b[11]])
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::new(b[12], b[13], b[14], b[15])
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv4Addr {
+        let b = self.buffer.as_ref();
+        Ipv4Addr::new(b[16], b[17], b[18], b[19])
+    }
+
+    /// Whether the header checksum verifies.
+    pub fn verify_checksum(&self) -> bool {
+        let hl = self.header_len();
+        internet_checksum(&self.buffer.as_ref()[..hl], 0) == 0
+    }
+
+    /// The L4 payload (bounded by the total-length field).
+    pub fn payload(&self) -> &[u8] {
+        let b = self.buffer.as_ref();
+        &b[self.header_len()..self.total_len() as usize]
+    }
+
+    /// Pseudo-header partial sum for TCP/UDP checksums.
+    pub fn pseudo_header_sum(&self, l4_len: u16) -> u32 {
+        let b = self.buffer.as_ref();
+        let mut sum = 0u32;
+        for chunk in b[12..20].chunks_exact(2) {
+            sum += u16::from_be_bytes([chunk[0], chunk[1]]) as u32;
+        }
+        sum += self.protocol() as u32;
+        sum += l4_len as u32;
+        sum
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Initializes a minimal header (version 4, IHL 5, TTL 64) in place.
+    /// The caller sets addresses/lengths afterwards and then
+    /// [`fill_checksum`](Self::fill_checksum).
+    pub fn init(buffer: T) -> Result<Self, ParseError> {
+        if buffer.as_ref().len() < MIN_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let mut pkt = Ipv4Packet { buffer };
+        let len = pkt.buffer.as_ref().len().min(u16::MAX as usize) as u16;
+        let b = pkt.buffer.as_mut();
+        b[0] = 0x45;
+        b[1] = 0;
+        b[2..4].copy_from_slice(&len.to_be_bytes());
+        b[4..8].fill(0);
+        b[8] = 64;
+        b[9] = 0;
+        b[10..12].fill(0);
+        Ok(pkt)
+    }
+
+    /// Sets the total length.
+    pub fn set_total_len(&mut self, len: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Sets the protocol.
+    pub fn set_protocol(&mut self, proto: u8) {
+        self.buffer.as_mut()[9] = proto;
+    }
+
+    /// Sets the TTL.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[8] = ttl;
+    }
+
+    /// Sets the source address.
+    pub fn set_src_addr(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[12..16].copy_from_slice(&a.octets());
+    }
+
+    /// Sets the destination address.
+    pub fn set_dst_addr(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[16..20].copy_from_slice(&a.octets());
+    }
+
+    /// Computes and writes the header checksum.
+    pub fn fill_checksum(&mut self) {
+        let hl = self.header_len();
+        self.buffer.as_mut()[10..12].fill(0);
+        let ck = internet_checksum(&self.buffer.as_ref()[..hl], 0);
+        self.buffer.as_mut()[10..12].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let hl = self.header_len();
+        let total = self.total_len() as usize;
+        &mut self.buffer.as_mut()[hl..total]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; MIN_HEADER_LEN + payload.len()];
+        let mut pkt = Ipv4Packet::init(&mut buf[..]).unwrap();
+        pkt.set_protocol(17);
+        pkt.set_src_addr(Ipv4Addr::new(10, 0, 0, 1));
+        pkt.set_dst_addr(Ipv4Addr::new(192, 0, 2, 7));
+        pkt.payload_mut().copy_from_slice(payload);
+        pkt.fill_checksum();
+        buf
+    }
+
+    #[test]
+    fn build_then_parse() {
+        let buf = sample(b"hello");
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.src_addr(), Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(pkt.dst_addr(), Ipv4Addr::new(192, 0, 2, 7));
+        assert_eq!(pkt.protocol(), 17);
+        assert_eq!(pkt.ttl(), 64);
+        assert_eq!(pkt.payload(), b"hello");
+        assert!(pkt.verify_checksum());
+        assert!(!pkt.is_fragment());
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let mut buf = sample(b"hello");
+        buf[12] ^= 0xff; // flip a source-address byte
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(!pkt.verify_checksum());
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = sample(b"");
+        buf[0] = 0x65; // version 6
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).unwrap_err(),
+            ParseError::Malformed("IPv4 version")
+        );
+    }
+
+    #[test]
+    fn rejects_bad_ihl() {
+        let mut buf = sample(b"");
+        buf[0] = 0x44; // IHL 4 → 16 bytes < minimum
+        assert!(Ipv4Packet::new_checked(&buf[..]).is_err());
+        let mut buf = sample(b"");
+        buf[0] = 0x4f; // IHL 15 → 60 bytes > buffer
+        assert!(Ipv4Packet::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_total_len_beyond_buffer() {
+        let mut buf = sample(b"hi");
+        buf[2..4].copy_from_slice(&100u16.to_be_bytes());
+        assert!(Ipv4Packet::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        for n in 0..MIN_HEADER_LEN {
+            assert_eq!(
+                Ipv4Packet::new_checked(vec![0u8; n]).unwrap_err(),
+                ParseError::Truncated
+            );
+        }
+    }
+
+    #[test]
+    fn payload_respects_total_len() {
+        // Buffer longer than total_len (e.g. Ethernet padding).
+        let mut buf = sample(b"abcdef");
+        buf.extend_from_slice(&[0xAA; 10]); // trailing padding
+        let total = (MIN_HEADER_LEN + 6) as u16;
+        buf[2..4].copy_from_slice(&total.to_be_bytes());
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.payload(), b"abcdef");
+    }
+
+    #[test]
+    fn fragment_detection() {
+        let mut buf = sample(b"hi");
+        buf[6] = 0x20; // more fragments
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(pkt.is_fragment());
+        let mut buf = sample(b"hi");
+        buf[7] = 0x08; // offset 8
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(pkt.is_fragment());
+    }
+}

@@ -1,0 +1,207 @@
+//! IPv6 packets (zero-copy view). Extension headers beyond what flow
+//! summarization needs are skipped, not interpreted.
+
+use crate::ParseError;
+use std::net::Ipv6Addr;
+
+/// Fixed IPv6 header length.
+pub const HEADER_LEN: usize = 40;
+
+/// A zero-copy view of an IPv6 packet.
+#[derive(Debug, Clone)]
+pub struct Ipv6Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv6Packet<T> {
+    /// Wraps `buffer`, validating version and payload length.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let pkt = Ipv6Packet { buffer };
+        if pkt.buffer.as_ref()[0] >> 4 != 6 {
+            return Err(ParseError::Malformed("IPv6 version"));
+        }
+        if HEADER_LEN + pkt.payload_len() as usize > len {
+            return Err(ParseError::Malformed("IPv6 payload length"));
+        }
+        Ok(pkt)
+    }
+
+    /// Payload length field.
+    pub fn payload_len(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Next-header field of the fixed header.
+    pub fn next_header(&self) -> u8 {
+        self.buffer.as_ref()[6]
+    }
+
+    /// Hop limit.
+    pub fn hop_limit(&self) -> u8 {
+        self.buffer.as_ref()[7]
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv6Addr {
+        let b: [u8; 16] = self.buffer.as_ref()[8..24].try_into().expect("checked");
+        Ipv6Addr::from(b)
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv6Addr {
+        let b: [u8; 16] = self.buffer.as_ref()[24..40].try_into().expect("checked");
+        Ipv6Addr::from(b)
+    }
+
+    /// The payload after the fixed header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..HEADER_LEN + self.payload_len() as usize]
+    }
+
+    /// Resolves the transport protocol by skipping the hop-by-hop,
+    /// routing, and destination-options extension headers. Returns the
+    /// final protocol number and its payload offset within
+    /// [`payload`](Self::payload).
+    pub fn upper_layer(&self) -> Result<(u8, usize), ParseError> {
+        let mut next = self.next_header();
+        let payload = self.payload();
+        let mut off = 0usize;
+        // 0 = hop-by-hop, 43 = routing, 60 = destination options.
+        let mut guard = 0;
+        while matches!(next, 0 | 43 | 60) {
+            guard += 1;
+            if guard > 8 {
+                return Err(ParseError::Malformed("IPv6 extension chain too long"));
+            }
+            if payload.len() < off + 2 {
+                return Err(ParseError::Truncated);
+            }
+            let hdr_len = 8 + payload[off + 1] as usize * 8;
+            next = payload[off];
+            if payload.len() < off + hdr_len {
+                return Err(ParseError::Truncated);
+            }
+            off += hdr_len;
+        }
+        Ok((next, off))
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv6Packet<T> {
+    /// Initializes a minimal fixed header (version 6, hop limit 64).
+    pub fn init(buffer: T) -> Result<Self, ParseError> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let mut pkt = Ipv6Packet { buffer };
+        let payload = (pkt.buffer.as_ref().len() - HEADER_LEN).min(u16::MAX as usize) as u16;
+        let b = pkt.buffer.as_mut();
+        b[..HEADER_LEN].fill(0);
+        b[0] = 0x60;
+        b[4..6].copy_from_slice(&payload.to_be_bytes());
+        b[7] = 64;
+        Ok(pkt)
+    }
+
+    /// Sets the next-header protocol.
+    pub fn set_next_header(&mut self, proto: u8) {
+        self.buffer.as_mut()[6] = proto;
+    }
+
+    /// Sets the source address.
+    pub fn set_src_addr(&mut self, a: Ipv6Addr) {
+        self.buffer.as_mut()[8..24].copy_from_slice(&a.octets());
+    }
+
+    /// Sets the destination address.
+    pub fn set_dst_addr(&mut self, a: Ipv6Addr) {
+        self.buffer.as_mut()[24..40].copy_from_slice(&a.octets());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let n = self.payload_len() as usize;
+        &mut self.buffer.as_mut()[HEADER_LEN..HEADER_LEN + n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u16) -> Ipv6Addr {
+        Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, n)
+    }
+
+    fn sample(payload: &[u8]) -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + payload.len()];
+        let mut pkt = Ipv6Packet::init(&mut buf[..]).unwrap();
+        pkt.set_next_header(17);
+        pkt.set_src_addr(addr(1));
+        pkt.set_dst_addr(addr(2));
+        pkt.payload_mut().copy_from_slice(payload);
+        buf
+    }
+
+    #[test]
+    fn build_then_parse() {
+        let buf = sample(b"payload");
+        let pkt = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.src_addr(), addr(1));
+        assert_eq!(pkt.dst_addr(), addr(2));
+        assert_eq!(pkt.next_header(), 17);
+        assert_eq!(pkt.hop_limit(), 64);
+        assert_eq!(pkt.payload(), b"payload");
+        assert_eq!(pkt.upper_layer().unwrap(), (17, 0));
+    }
+
+    #[test]
+    fn rejects_bad_version_and_truncation() {
+        let mut buf = sample(b"");
+        buf[0] = 0x40;
+        assert!(Ipv6Packet::new_checked(&buf[..]).is_err());
+        for n in 0..HEADER_LEN {
+            assert!(Ipv6Packet::new_checked(vec![0u8; n]).is_err());
+        }
+    }
+
+    #[test]
+    fn skips_extension_headers() {
+        // hop-by-hop (8 bytes) then UDP.
+        let mut inner = vec![0u8; 8 + 4];
+        inner[0] = 17; // next header after hop-by-hop = UDP
+        inner[1] = 0; // length 0 → 8 bytes
+        let mut buf = sample(&inner);
+        let hbh = 0u8;
+        buf[6] = hbh;
+        let pkt = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.upper_layer().unwrap(), (17, 8));
+    }
+
+    #[test]
+    fn extension_loop_bounded() {
+        // A self-referencing hop-by-hop chain must error, not spin.
+        let mut inner = vec![0u8; 64];
+        for i in (0..64).step_by(8) {
+            inner[i] = 0; // next = hop-by-hop again
+            inner[i + 1] = 0;
+        }
+        let mut buf = sample(&inner);
+        buf[6] = 0;
+        let pkt = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        assert!(pkt.upper_layer().is_err());
+    }
+
+    #[test]
+    fn truncated_extension_errors() {
+        let mut buf = sample(&[17u8, 3]); // claims 8+24 bytes, has 2
+        buf[6] = 0;
+        let pkt = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.upper_layer().unwrap_err(), ParseError::Truncated);
+    }
+}

@@ -1,0 +1,138 @@
+//! # flownet — packet formats, captures, and flow export
+//!
+//! The substrate the paper's system sits on: everything between raw
+//! bytes on the wire and the normalized [`FlowRecord`]s a Flowtree
+//! daemon consumes.
+//!
+//! * Zero-copy header views in the smoltcp idiom —
+//!   [`EthernetFrame`], [`Ipv4Packet`], [`Ipv6Packet`], [`TcpSegment`],
+//!   [`UdpDatagram`] — wrapping `&[u8]`/`&mut [u8]` with checked
+//!   constructors (`new_checked`) and field accessors. Malformed input
+//!   returns [`ParseError`]; it never panics.
+//! * [`pcap`] — classic libpcap capture files (both byte orders,
+//!   microsecond and nanosecond variants), reader and writer.
+//! * [`netflow5`] — NetFlow version 5 export packets, the format the
+//!   paper's Fig. 1 routers speak.
+//! * [`netflow9`] — template-based NetFlow version 9 (RFC 3954), the
+//!   other widely deployed export dialect.
+//! * [`ipfix`] — an RFC 7011 subset: message/set framing, template
+//!   records, and a template cache on the decode side.
+//! * [`exporter`] — a router's flow cache: aggregates a packet stream
+//!   into flow records with active/idle timeouts.
+//!
+//! ```
+//! use flownet::{parse_ethernet, PacketMeta};
+//!
+//! // Parse a captured Ethernet frame into flow metadata:
+//! let frame = flownet::testpkt::udp4([10, 0, 0, 1], [192, 0, 2, 7], 5353, 53, b"hi");
+//! let meta = parse_ethernet(&frame, 1_700_000_000_000_000, frame.len() as u32).unwrap();
+//! assert_eq!(meta.dport, 53);
+//! let key = meta.flow_key();
+//! assert_eq!(key.to_string(),
+//!     "src=10.0.0.1/32 dst=192.0.2.7/32 sport=5353 dport=53 proto=udp");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ethernet;
+pub mod exporter;
+pub mod ipfix;
+pub mod ipv4;
+pub mod ipv6;
+pub mod netflow5;
+pub mod netflow9;
+pub mod pcap;
+pub mod record;
+pub mod tcp;
+pub mod testpkt;
+pub mod udp;
+
+mod meta;
+
+pub use ethernet::{EtherType, EthernetFrame};
+pub use exporter::{FlowCache, FlowCacheConfig};
+pub use ipv4::Ipv4Packet;
+pub use ipv6::Ipv6Packet;
+pub use meta::{parse_ethernet, parse_ip, PacketMeta};
+pub use record::FlowRecord;
+pub use tcp::TcpSegment;
+pub use udp::UdpDatagram;
+
+use core::fmt;
+
+/// Errors raised while parsing wire formats. Parsing never panics on
+/// malformed input; it returns one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the format requires.
+    Truncated,
+    /// A length/field value is inconsistent with the buffer.
+    Malformed(&'static str),
+    /// Valid but not supported by this implementation.
+    Unsupported(&'static str),
+    /// A checksum did not verify.
+    BadChecksum,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated => f.write_str("truncated packet"),
+            ParseError::Malformed(what) => write!(f, "malformed packet: {what}"),
+            ParseError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            ParseError::BadChecksum => f.write_str("bad checksum"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// RFC 1071 Internet checksum over `data`, folded, starting from an
+/// `initial` unfolded partial sum (use 0, or a pseudo-header sum).
+pub fn internet_checksum(data: &[u8], initial: u32) -> u16 {
+    let mut sum = initial;
+    let mut chunks = data.chunks_exact(2);
+    for c in chunks.by_ref() {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += (*last as u32) << 8;
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_of_zeroes_is_ffff() {
+        assert_eq!(internet_checksum(&[0, 0, 0, 0], 0), 0xffff);
+    }
+
+    #[test]
+    fn checksum_odd_length_pads_right() {
+        let even = internet_checksum(&[0x12, 0x34, 0xab, 0x00], 0);
+        let odd = internet_checksum(&[0x12, 0x34, 0xab], 0);
+        assert_eq!(even, odd);
+    }
+
+    #[test]
+    fn checksum_verifies_to_zero() {
+        // A buffer containing its own checksum verifies (sum == 0).
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x00, 0x00];
+        let ck = internet_checksum(&data, 0);
+        data.extend_from_slice(&ck.to_be_bytes());
+        assert_eq!(internet_checksum(&data, 0), 0);
+    }
+
+    #[test]
+    fn checksum_known_value() {
+        // Hand-computed: 0x0001 + 0x0203 = 0x0204 → !0x0204 = 0xfdfb.
+        assert_eq!(internet_checksum(&[0x00, 0x01, 0x02, 0x03], 0), 0xfdfb);
+    }
+}

@@ -1,0 +1,206 @@
+//! Packet metadata extraction: raw frames → [`PacketMeta`] → [`FlowKey`].
+
+use crate::ethernet::{EtherType, EthernetFrame};
+use crate::ipv4::Ipv4Packet;
+use crate::ipv6::Ipv6Packet;
+use crate::tcp::TcpSegment;
+use crate::udp::UdpDatagram;
+use crate::ParseError;
+use flowkey::{FlowKey, IpNet, PortRange, Proto};
+use std::net::IpAddr;
+
+/// The flow-relevant metadata of one captured packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketMeta {
+    /// Capture timestamp in microseconds since the Unix epoch.
+    pub ts_micros: u64,
+    /// Source address.
+    pub src: IpAddr,
+    /// Destination address.
+    pub dst: IpAddr,
+    /// Source port (0 when the protocol has none or the packet is a
+    /// non-first fragment).
+    pub sport: u16,
+    /// Destination port (0 when absent).
+    pub dport: u16,
+    /// IP protocol number.
+    pub proto: u8,
+    /// Original wire length in bytes (not the captured snap length).
+    pub wire_len: u32,
+}
+
+impl PacketMeta {
+    /// The fully-specified 5-tuple flow key of this packet.
+    pub fn flow_key(&self) -> FlowKey {
+        let src = match self.src {
+            IpAddr::V4(a) => IpNet::v4_host(a),
+            IpAddr::V6(a) => IpNet::v6_host(a),
+        };
+        let dst = match self.dst {
+            IpAddr::V4(a) => IpNet::v4_host(a),
+            IpAddr::V6(a) => IpNet::v6_host(a),
+        };
+        FlowKey {
+            src,
+            dst,
+            sport: PortRange::port(self.sport),
+            dport: PortRange::port(self.dport),
+            proto: Proto::Is(self.proto),
+            ..FlowKey::ROOT
+        }
+    }
+
+    /// The capture timestamp in whole seconds.
+    pub fn ts_secs(&self) -> u64 {
+        self.ts_micros / 1_000_000
+    }
+}
+
+/// Parses an Ethernet frame into flow metadata.
+///
+/// `ts_micros` and `wire_len` come from the capture layer (pcap record
+/// header or live capture). Non-IP frames yield
+/// `Err(Unsupported)`; malformed IP yields the specific parse error.
+pub fn parse_ethernet(
+    frame: &[u8],
+    ts_micros: u64,
+    wire_len: u32,
+) -> Result<PacketMeta, ParseError> {
+    let eth = EthernetFrame::new_checked(frame)?;
+    match eth.ethertype() {
+        EtherType::Ipv4 | EtherType::Ipv6 => parse_ip(eth.payload(), ts_micros, wire_len),
+        EtherType::Arp => Err(ParseError::Unsupported("ARP")),
+        EtherType::Other(_) => Err(ParseError::Unsupported("non-IP ethertype")),
+    }
+}
+
+/// Parses a raw IP packet (v4 or v6, detected from the version nibble)
+/// into flow metadata.
+pub fn parse_ip(packet: &[u8], ts_micros: u64, wire_len: u32) -> Result<PacketMeta, ParseError> {
+    let version = packet.first().ok_or(ParseError::Truncated)? >> 4;
+    match version {
+        4 => {
+            let ip = Ipv4Packet::new_checked(packet)?;
+            let (sport, dport) = if ip.is_fragment() {
+                // Ports live only in the first fragment; later fragments
+                // are accounted against the port-wildcard flow.
+                (0, 0)
+            } else {
+                ports(ip.protocol(), ip.payload())
+            };
+            Ok(PacketMeta {
+                ts_micros,
+                src: IpAddr::V4(ip.src_addr()),
+                dst: IpAddr::V4(ip.dst_addr()),
+                sport,
+                dport,
+                proto: ip.protocol(),
+                wire_len,
+            })
+        }
+        6 => {
+            let ip = Ipv6Packet::new_checked(packet)?;
+            let (proto, off) = ip.upper_layer()?;
+            let (sport, dport) = ports(proto, &ip.payload()[off..]);
+            Ok(PacketMeta {
+                ts_micros,
+                src: IpAddr::V6(ip.src_addr()),
+                dst: IpAddr::V6(ip.dst_addr()),
+                sport,
+                dport,
+                proto,
+                wire_len,
+            })
+        }
+        _ => Err(ParseError::Malformed("IP version")),
+    }
+}
+
+/// Extracts ports for protocols that have them; anything else is (0, 0).
+/// Truncated transport headers degrade to (0, 0) rather than dropping
+/// the packet — the IP-level information is still valuable to a
+/// summarizer.
+fn ports(proto: u8, l4: &[u8]) -> (u16, u16) {
+    match proto {
+        6 => TcpSegment::new_checked(l4)
+            .map(|t| (t.src_port(), t.dst_port()))
+            .unwrap_or((0, 0)),
+        17 => UdpDatagram::new_checked(l4)
+            .map(|u| (u.src_port(), u.dst_port()))
+            .unwrap_or((0, 0)),
+        _ => (0, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testpkt;
+
+    #[test]
+    fn udp4_frame_to_key() {
+        let frame = testpkt::udp4([10, 0, 0, 1], [192, 0, 2, 7], 5353, 53, b"q");
+        let meta = parse_ethernet(&frame, 42_000_000, frame.len() as u32).unwrap();
+        assert_eq!(meta.proto, 17);
+        assert_eq!((meta.sport, meta.dport), (5353, 53));
+        assert_eq!(meta.ts_secs(), 42);
+        assert_eq!(
+            meta.flow_key().to_string(),
+            "src=10.0.0.1/32 dst=192.0.2.7/32 sport=5353 dport=53 proto=udp"
+        );
+    }
+
+    #[test]
+    fn tcp4_frame_to_key() {
+        let frame = testpkt::tcp4([172, 16, 0, 9], [198, 51, 100, 1], 50000, 443, b"hello");
+        let meta = parse_ethernet(&frame, 0, frame.len() as u32).unwrap();
+        assert_eq!(meta.proto, 6);
+        assert_eq!((meta.sport, meta.dport), (50000, 443));
+    }
+
+    #[test]
+    fn udp6_frame_to_key() {
+        let frame = testpkt::udp6(1, 2, 1111, 53, b"x");
+        let meta = parse_ethernet(&frame, 0, frame.len() as u32).unwrap();
+        assert_eq!(meta.proto, 17);
+        assert!(matches!(meta.src, IpAddr::V6(_)));
+        assert_eq!(meta.dport, 53);
+    }
+
+    #[test]
+    fn icmp_has_no_ports() {
+        let frame = testpkt::ipv4_proto([1, 1, 1, 1], [2, 2, 2, 2], 1, &[8, 0, 0, 0]);
+        let meta = parse_ethernet(&frame, 0, frame.len() as u32).unwrap();
+        assert_eq!(meta.proto, 1);
+        assert_eq!((meta.sport, meta.dport), (0, 0));
+    }
+
+    #[test]
+    fn arp_and_garbage_rejected() {
+        let mut arp = testpkt::udp4([1, 1, 1, 1], [2, 2, 2, 2], 1, 1, b"");
+        arp[12..14].copy_from_slice(&0x0806u16.to_be_bytes());
+        assert_eq!(
+            parse_ethernet(&arp, 0, 60).unwrap_err(),
+            ParseError::Unsupported("ARP")
+        );
+        assert!(parse_ethernet(&[0u8; 5], 0, 5).is_err());
+        assert!(parse_ip(&[], 0, 0).is_err());
+        assert!(parse_ip(&[0x55; 40], 0, 40).is_err()); // version 5
+    }
+
+    #[test]
+    fn fragment_loses_ports_not_packet() {
+        let mut frame = testpkt::udp4([10, 0, 0, 1], [10, 0, 0, 2], 7, 7, b"frag");
+        // Set fragment offset on the IPv4 header inside the frame.
+        frame[14 + 7] = 0x10;
+        // Recompute the IP checksum so the packet stays valid.
+        let (ip_start, ihl) = (14, 20);
+        frame[ip_start + 10] = 0;
+        frame[ip_start + 11] = 0;
+        let ck = crate::internet_checksum(&frame[ip_start..ip_start + ihl], 0);
+        frame[ip_start + 10..ip_start + 12].copy_from_slice(&ck.to_be_bytes());
+        let meta = parse_ethernet(&frame, 0, frame.len() as u32).unwrap();
+        assert_eq!((meta.sport, meta.dport), (0, 0));
+        assert_eq!(meta.proto, 17);
+    }
+}

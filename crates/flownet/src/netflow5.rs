@@ -1,0 +1,235 @@
+//! NetFlow version 5 export packets.
+//!
+//! The fixed-format flow export protocol spoken by the routers in the
+//! paper's Fig. 1 ("each router exports its data to a close-by Flowtree
+//! daemon using APIs such as NetFlow"). A v5 packet is a 24-byte header
+//! followed by 1–30 records of 48 bytes each; IPv4 only.
+
+use crate::record::FlowRecord;
+use crate::ParseError;
+use std::net::{IpAddr, Ipv4Addr};
+
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 24;
+/// Record length in bytes.
+pub const RECORD_LEN: usize = 48;
+/// Maximum records per packet, per the v5 specification.
+pub const MAX_RECORDS: usize = 30;
+
+/// A decoded NetFlow v5 packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Records in this packet.
+    pub count: u16,
+    /// Milliseconds since the export device booted.
+    pub sys_uptime_ms: u32,
+    /// Export timestamp, seconds since the epoch.
+    pub unix_secs: u32,
+    /// Export timestamp, residual nanoseconds.
+    pub unix_nsecs: u32,
+    /// Total flows seen by the exporter before this packet.
+    pub flow_sequence: u32,
+    /// Engine type / slot.
+    pub engine_type: u8,
+    /// Engine id.
+    pub engine_id: u8,
+    /// Sampling mode and interval.
+    pub sampling: u16,
+}
+
+/// Encodes `records` into one v5 packet.
+///
+/// `base_ms` is the exporter's epoch-milliseconds at export time; record
+/// first/last timestamps are expressed relative to it as sysuptime.
+/// Panics if `records` is empty or exceeds [`MAX_RECORDS`], or if any
+/// record is not IPv4 (v5 cannot carry IPv6 — use IPFIX).
+pub fn encode(records: &[FlowRecord], base_ms: u64, flow_sequence: u32) -> Vec<u8> {
+    assert!(
+        !records.is_empty() && records.len() <= MAX_RECORDS,
+        "netflow5 packets carry 1..=30 records"
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + records.len() * RECORD_LEN);
+    let uptime_ms: u32 = 3_600_000; // pretend the box has been up an hour
+    out.extend_from_slice(&5u16.to_be_bytes());
+    out.extend_from_slice(&(records.len() as u16).to_be_bytes());
+    out.extend_from_slice(&uptime_ms.to_be_bytes());
+    out.extend_from_slice(&((base_ms / 1000) as u32).to_be_bytes());
+    out.extend_from_slice(&(((base_ms % 1000) * 1_000_000) as u32).to_be_bytes());
+    out.extend_from_slice(&flow_sequence.to_be_bytes());
+    out.push(0); // engine type
+    out.push(0); // engine id
+    out.extend_from_slice(&0u16.to_be_bytes()); // sampling
+    for r in records {
+        let (IpAddr::V4(src), IpAddr::V4(dst)) = (r.src, r.dst) else {
+            panic!("netflow v5 carries IPv4 flows only; use IPFIX for IPv6");
+        };
+        out.extend_from_slice(&src.octets());
+        out.extend_from_slice(&dst.octets());
+        out.extend_from_slice(&[0u8; 4]); // nexthop
+        out.extend_from_slice(&0u16.to_be_bytes()); // input if
+        out.extend_from_slice(&0u16.to_be_bytes()); // output if
+        out.extend_from_slice(&(r.packets.min(u32::MAX as u64) as u32).to_be_bytes());
+        out.extend_from_slice(&(r.bytes.min(u32::MAX as u64) as u32).to_be_bytes());
+        // first/last as sysuptime: uptime - (base - t).
+        let rel = |t_ms: u64| -> u32 {
+            let behind = base_ms.saturating_sub(t_ms);
+            (uptime_ms as u64).saturating_sub(behind) as u32
+        };
+        out.extend_from_slice(&rel(r.first_ms).to_be_bytes());
+        out.extend_from_slice(&rel(r.last_ms).to_be_bytes());
+        out.extend_from_slice(&r.sport.to_be_bytes());
+        out.extend_from_slice(&r.dport.to_be_bytes());
+        out.push(0); // pad
+        out.push(0); // tcp flags (not tracked at this layer)
+        out.push(r.proto);
+        out.push(0); // tos
+        out.extend_from_slice(&0u16.to_be_bytes()); // src as
+        out.extend_from_slice(&0u16.to_be_bytes()); // dst as
+        out.push(32); // src mask
+        out.push(32); // dst mask
+        out.extend_from_slice(&0u16.to_be_bytes()); // pad2
+    }
+    out
+}
+
+/// Decodes one v5 packet into its header and records.
+pub fn decode(bytes: &[u8]) -> Result<(Header, Vec<FlowRecord>), ParseError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ParseError::Truncated);
+    }
+    let rd16 = |o: usize| u16::from_be_bytes([bytes[o], bytes[o + 1]]);
+    let rd32 = |o: usize| u32::from_be_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
+    if rd16(0) != 5 {
+        return Err(ParseError::Malformed("netflow version"));
+    }
+    let count = rd16(2);
+    if count == 0 || count as usize > MAX_RECORDS {
+        return Err(ParseError::Malformed("netflow record count"));
+    }
+    let need = HEADER_LEN + count as usize * RECORD_LEN;
+    if bytes.len() < need {
+        return Err(ParseError::Truncated);
+    }
+    let header = Header {
+        count,
+        sys_uptime_ms: rd32(4),
+        unix_secs: rd32(8),
+        unix_nsecs: rd32(12),
+        flow_sequence: rd32(16),
+        engine_type: bytes[20],
+        engine_id: bytes[21],
+        sampling: rd16(22),
+    };
+    // Reconstruct epoch milliseconds of the export moment.
+    let base_ms = header.unix_secs as u64 * 1000 + (header.unix_nsecs as u64 / 1_000_000);
+    let uptime = header.sys_uptime_ms as u64;
+    let mut records = Vec::with_capacity(count as usize);
+    for i in 0..count as usize {
+        let o = HEADER_LEN + i * RECORD_LEN;
+        let src = Ipv4Addr::new(bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]);
+        let dst = Ipv4Addr::new(bytes[o + 4], bytes[o + 5], bytes[o + 6], bytes[o + 7]);
+        let packets = rd32(o + 16) as u64;
+        let bytes_cnt = rd32(o + 20) as u64;
+        let first_up = rd32(o + 24) as u64;
+        let last_up = rd32(o + 28) as u64;
+        let to_epoch = |up: u64| base_ms.saturating_sub(uptime.saturating_sub(up));
+        records.push(FlowRecord {
+            src: IpAddr::V4(src),
+            dst: IpAddr::V4(dst),
+            sport: rd16(o + 32),
+            dport: rd16(o + 34),
+            proto: bytes[o + 38],
+            packets,
+            bytes: bytes_cnt,
+            first_ms: to_epoch(first_up),
+            last_ms: to_epoch(last_up),
+        });
+    }
+    Ok((header, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records(n: usize) -> Vec<FlowRecord> {
+        (0..n)
+            .map(|i| {
+                let mut r = FlowRecord::v4(
+                    [10, 0, (i / 256) as u8, (i % 256) as u8],
+                    [192, 0, 2, (i % 100) as u8],
+                    1024 + i as u16,
+                    if i % 2 == 0 { 80 } else { 443 },
+                    if i % 3 == 0 { 17 } else { 6 },
+                    10 + i as u64,
+                    1000 * (i as u64 + 1),
+                );
+                r.first_ms = 1_700_000_000_000 + i as u64 * 10;
+                r.last_ms = r.first_ms + 500;
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_flow_fields() {
+        let records = sample_records(7);
+        let base_ms = 1_700_000_001_000;
+        let bytes = encode(&records, base_ms, 42);
+        assert_eq!(bytes.len(), HEADER_LEN + 7 * RECORD_LEN);
+        let (hdr, back) = decode(&bytes).unwrap();
+        assert_eq!(hdr.count, 7);
+        assert_eq!(hdr.flow_sequence, 42);
+        assert_eq!(back.len(), 7);
+        for (a, b) in records.iter().zip(&back) {
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.dst, b.dst);
+            assert_eq!((a.sport, a.dport, a.proto), (b.sport, b.dport, b.proto));
+            assert_eq!((a.packets, a.bytes), (b.packets, b.bytes));
+            // Timestamps survive to millisecond precision.
+            assert_eq!(a.first_ms, b.first_ms);
+            assert_eq!(a.last_ms, b.last_ms);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_counts() {
+        let mut bytes = encode(&sample_records(1), 0, 0);
+        bytes[1] = 9;
+        assert!(decode(&bytes).is_err());
+        let mut bytes = encode(&sample_records(1), 0, 0);
+        bytes[2..4].copy_from_slice(&0u16.to_be_bytes());
+        assert!(decode(&bytes).is_err());
+        let mut bytes = encode(&sample_records(1), 0, 0);
+        bytes[2..4].copy_from_slice(&31u16.to_be_bytes());
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_packets_error() {
+        let bytes = encode(&sample_records(3), 0, 0);
+        for cut in [
+            0,
+            10,
+            HEADER_LEN,
+            HEADER_LEN + RECORD_LEN + 5,
+            bytes.len() - 1,
+        ] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=30")]
+    fn encode_rejects_oversized_batches() {
+        let _ = encode(&sample_records(31), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "IPv4")]
+    fn encode_rejects_ipv6() {
+        let mut r = sample_records(1);
+        r[0].src = "2001:db8::1".parse().unwrap();
+        let _ = encode(&r, 0, 0);
+    }
+}

@@ -1,0 +1,438 @@
+//! NetFlow version 9 (RFC 3954) — the template-based predecessor of
+//! IPFIX that a large share of deployed routers still speak.
+//!
+//! v9 shares IPFIX's template/data-set shape but differs in the header
+//! (20 bytes, with a sysuptime field and a *record* count instead of a
+//! byte length) and in set framing details (template flowset id 0,
+//! options 1, data ≥ 256). Field type numbers below 128 coincide with
+//! IPFIX information elements, so the record decoding logic is shared
+//! in spirit with [`crate::ipfix`] but implemented against v9 framing.
+
+use crate::record::FlowRecord;
+use crate::ParseError;
+use std::collections::HashMap;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// NetFlow v9 version number.
+pub const VERSION: u16 = 9;
+/// v9 packet header length.
+pub const HEADER_LEN: usize = 20;
+
+/// v9 field types this implementation understands (== low IPFIX IEs).
+pub mod field {
+    /// IN_BYTES.
+    pub const IN_BYTES: u16 = 1;
+    /// IN_PKTS.
+    pub const IN_PKTS: u16 = 2;
+    /// PROTOCOL.
+    pub const PROTOCOL: u16 = 4;
+    /// L4_SRC_PORT.
+    pub const L4_SRC_PORT: u16 = 7;
+    /// IPV4_SRC_ADDR.
+    pub const IPV4_SRC_ADDR: u16 = 8;
+    /// L4_DST_PORT.
+    pub const L4_DST_PORT: u16 = 11;
+    /// IPV4_DST_ADDR.
+    pub const IPV4_DST_ADDR: u16 = 12;
+    /// LAST_SWITCHED (sysuptime ms).
+    pub const LAST_SWITCHED: u16 = 21;
+    /// FIRST_SWITCHED (sysuptime ms).
+    pub const FIRST_SWITCHED: u16 = 22;
+    /// IPV6_SRC_ADDR.
+    pub const IPV6_SRC_ADDR: u16 = 27;
+    /// IPV6_DST_ADDR.
+    pub const IPV6_DST_ADDR: u16 = 28;
+}
+
+/// Template id used by our v4 encoder.
+pub const TEMPLATE_V4: u16 = 260;
+
+const FIELDS_V4: &[(u16, u16)] = &[
+    (field::IPV4_SRC_ADDR, 4),
+    (field::IPV4_DST_ADDR, 4),
+    (field::L4_SRC_PORT, 2),
+    (field::L4_DST_PORT, 2),
+    (field::PROTOCOL, 1),
+    (field::IN_PKTS, 4),
+    (field::IN_BYTES, 4),
+    (field::FIRST_SWITCHED, 4),
+    (field::LAST_SWITCHED, 4),
+];
+
+/// A learned v9 template.
+#[derive(Debug, Clone)]
+struct Template {
+    fields: Vec<(u16, u16)>,
+    record_len: usize,
+}
+
+/// Summary of one decoded v9 packet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PacketInfo {
+    /// sysuptime at export (ms).
+    pub sys_uptime_ms: u32,
+    /// Export time (seconds since epoch).
+    pub unix_secs: u32,
+    /// Packet sequence number.
+    pub sequence: u32,
+    /// Source id (like an IPFIX observation domain).
+    pub source_id: u32,
+    /// Templates learned from this packet.
+    pub templates_learned: usize,
+    /// Records skipped (unknown template).
+    pub records_skipped: usize,
+}
+
+/// Encodes `records` as one v9 packet with the template flowset
+/// included. `base_ms` is the epoch time of export; timestamps are
+/// carried as sysuptime offsets like real routers do.
+pub fn encode(records: &[FlowRecord], base_ms: u64, sequence: u32, source_id: u32) -> Vec<u8> {
+    let uptime_ms: u32 = 3_600_000;
+    let mut body = Vec::new();
+
+    // Template flowset (id 0).
+    let mut tset = Vec::new();
+    tset.extend_from_slice(&TEMPLATE_V4.to_be_bytes());
+    tset.extend_from_slice(&(FIELDS_V4.len() as u16).to_be_bytes());
+    for (id, len) in FIELDS_V4 {
+        tset.extend_from_slice(&id.to_be_bytes());
+        tset.extend_from_slice(&len.to_be_bytes());
+    }
+    push_set(&mut body, 0, &tset);
+
+    // Data flowset.
+    let mut data = Vec::new();
+    let mut count = 0u16;
+    let rel = |t_ms: u64| -> u32 {
+        (uptime_ms as u64).saturating_sub(base_ms.saturating_sub(t_ms)) as u32
+    };
+    for r in records {
+        let (IpAddr::V4(src), IpAddr::V4(dst)) = (r.src, r.dst) else {
+            continue; // our v9 template is IPv4; v6 travels via IPFIX
+        };
+        data.extend_from_slice(&src.octets());
+        data.extend_from_slice(&dst.octets());
+        data.extend_from_slice(&r.sport.to_be_bytes());
+        data.extend_from_slice(&r.dport.to_be_bytes());
+        data.push(r.proto);
+        data.extend_from_slice(&(r.packets.min(u32::MAX as u64) as u32).to_be_bytes());
+        data.extend_from_slice(&(r.bytes.min(u32::MAX as u64) as u32).to_be_bytes());
+        data.extend_from_slice(&rel(r.first_ms).to_be_bytes());
+        data.extend_from_slice(&rel(r.last_ms).to_be_bytes());
+        count += 1;
+    }
+    if !data.is_empty() {
+        push_set(&mut body, TEMPLATE_V4, &data);
+    }
+
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&VERSION.to_be_bytes());
+    out.extend_from_slice(&(count + 1).to_be_bytes()); // records + template
+    out.extend_from_slice(&uptime_ms.to_be_bytes());
+    out.extend_from_slice(&((base_ms / 1000) as u32).to_be_bytes());
+    out.extend_from_slice(&sequence.to_be_bytes());
+    out.extend_from_slice(&source_id.to_be_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+fn push_set(body: &mut Vec<u8>, id: u16, content: &[u8]) {
+    // v9 flowsets are padded to 4-byte alignment.
+    let pad = (4 - (content.len() + 4) % 4) % 4;
+    body.extend_from_slice(&id.to_be_bytes());
+    body.extend_from_slice(&((content.len() + 4 + pad) as u16).to_be_bytes());
+    body.extend_from_slice(content);
+    body.extend(std::iter::repeat_n(0u8, pad));
+}
+
+/// Stateful v9 decoder with a per-source template cache.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    templates: HashMap<(u32, u16), Template>,
+}
+
+impl Decoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Decoder {
+        Decoder::default()
+    }
+
+    /// Cached template count.
+    pub fn template_count(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Decodes one packet into records plus packet info.
+    pub fn decode(&mut self, bytes: &[u8]) -> Result<(Vec<FlowRecord>, PacketInfo), ParseError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let rd16 = |o: usize| u16::from_be_bytes([bytes[o], bytes[o + 1]]);
+        let rd32 =
+            |o: usize| u32::from_be_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
+        if rd16(0) != VERSION {
+            return Err(ParseError::Malformed("netflow9 version"));
+        }
+        let mut info = PacketInfo {
+            sys_uptime_ms: rd32(4),
+            unix_secs: rd32(8),
+            sequence: rd32(12),
+            source_id: rd32(16),
+            ..PacketInfo::default()
+        };
+        let base_ms = info.unix_secs as u64 * 1000;
+        let uptime = info.sys_uptime_ms as u64;
+        let mut records = Vec::new();
+        let mut pos = HEADER_LEN;
+        while pos + 4 <= bytes.len() {
+            let set_id = rd16(pos);
+            let set_len = rd16(pos + 2) as usize;
+            if set_len < 4 || pos + set_len > bytes.len() {
+                return Err(ParseError::Malformed("netflow9 flowset length"));
+            }
+            let content = &bytes[pos + 4..pos + set_len];
+            match set_id {
+                0 => info.templates_learned += self.learn(info.source_id, content)?,
+                1 => { /* options templates: ignored */ }
+                2..=255 => return Err(ParseError::Malformed("reserved flowset id")),
+                tid => self.decode_data(
+                    info.source_id,
+                    tid,
+                    content,
+                    base_ms,
+                    uptime,
+                    &mut records,
+                    &mut info,
+                ),
+            }
+            pos += set_len;
+        }
+        Ok((records, info))
+    }
+
+    fn learn(&mut self, source: u32, mut content: &[u8]) -> Result<usize, ParseError> {
+        let mut learned = 0;
+        while content.len() >= 4 {
+            let tid = u16::from_be_bytes([content[0], content[1]]);
+            let count = u16::from_be_bytes([content[2], content[3]]) as usize;
+            if tid < 256 {
+                return Err(ParseError::Malformed("template id < 256"));
+            }
+            if count == 0 {
+                // Padding reached (templates always have fields in v9).
+                break;
+            }
+            if content.len() < 4 + count * 4 {
+                return Err(ParseError::Truncated);
+            }
+            let mut fields = Vec::with_capacity(count);
+            let mut record_len = 0usize;
+            for i in 0..count {
+                let o = 4 + i * 4;
+                let id = u16::from_be_bytes([content[o], content[o + 1]]);
+                let len = u16::from_be_bytes([content[o + 2], content[o + 3]]);
+                fields.push((id, len));
+                record_len += len as usize;
+            }
+            if record_len == 0 {
+                return Err(ParseError::Malformed("empty template record"));
+            }
+            self.templates
+                .insert((source, tid), Template { fields, record_len });
+            learned += 1;
+            content = &content[4 + count * 4..];
+        }
+        Ok(learned)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn decode_data(
+        &self,
+        source: u32,
+        tid: u16,
+        mut content: &[u8],
+        base_ms: u64,
+        uptime: u64,
+        records: &mut Vec<FlowRecord>,
+        info: &mut PacketInfo,
+    ) {
+        let Some(template) = self.templates.get(&(source, tid)) else {
+            info.records_skipped += 1;
+            return;
+        };
+        let to_epoch = |up: u64| base_ms.saturating_sub(uptime.saturating_sub(up));
+        while content.len() >= template.record_len {
+            let mut pos = 0usize;
+            let mut src: Option<IpAddr> = None;
+            let mut dst: Option<IpAddr> = None;
+            let mut rec = FlowRecord {
+                src: IpAddr::V4(Ipv4Addr::UNSPECIFIED),
+                dst: IpAddr::V4(Ipv4Addr::UNSPECIFIED),
+                sport: 0,
+                dport: 0,
+                proto: 0,
+                packets: 0,
+                bytes: 0,
+                first_ms: 0,
+                last_ms: 0,
+            };
+            for &(id, len) in &template.fields {
+                let f = &content[pos..pos + len as usize];
+                pos += len as usize;
+                match (id, len) {
+                    (field::IPV4_SRC_ADDR, 4) => {
+                        src = Some(IpAddr::V4(Ipv4Addr::new(f[0], f[1], f[2], f[3])))
+                    }
+                    (field::IPV4_DST_ADDR, 4) => {
+                        dst = Some(IpAddr::V4(Ipv4Addr::new(f[0], f[1], f[2], f[3])))
+                    }
+                    (field::IPV6_SRC_ADDR, 16) => {
+                        let o: [u8; 16] = f.try_into().expect("len 16");
+                        src = Some(IpAddr::V6(Ipv6Addr::from(o)));
+                    }
+                    (field::IPV6_DST_ADDR, 16) => {
+                        let o: [u8; 16] = f.try_into().expect("len 16");
+                        dst = Some(IpAddr::V6(Ipv6Addr::from(o)));
+                    }
+                    (field::L4_SRC_PORT, _) => rec.sport = be(f) as u16,
+                    (field::L4_DST_PORT, _) => rec.dport = be(f) as u16,
+                    (field::PROTOCOL, _) => rec.proto = be(f) as u8,
+                    (field::IN_PKTS, _) => rec.packets = be(f),
+                    (field::IN_BYTES, _) => rec.bytes = be(f),
+                    (field::FIRST_SWITCHED, _) => rec.first_ms = to_epoch(be(f)),
+                    (field::LAST_SWITCHED, _) => rec.last_ms = to_epoch(be(f)),
+                    _ => { /* unknown field: skipped by length */ }
+                }
+            }
+            content = &content[template.record_len..];
+            match (src, dst) {
+                (Some(s), Some(d)) => {
+                    rec.src = s;
+                    rec.dst = d;
+                    records.push(rec);
+                }
+                _ => info.records_skipped += 1,
+            }
+        }
+    }
+}
+
+fn be(f: &[u8]) -> u64 {
+    let mut v = 0u64;
+    for &b in f.iter().take(8) {
+        v = (v << 8) | b as u64;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records(n: usize) -> Vec<FlowRecord> {
+        (0..n)
+            .map(|i| {
+                let mut r = FlowRecord::v4(
+                    [10, 0, 0, (i % 250) as u8],
+                    [192, 0, 2, (i % 100) as u8],
+                    1024 + i as u16,
+                    443,
+                    6,
+                    5 + i as u64,
+                    700,
+                );
+                r.first_ms = 1_700_000_000_000 + i as u64;
+                r.last_ms = r.first_ms + 100;
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let records = sample_records(7);
+        let pkt = encode(&records, 1_700_000_001_000, 42, 9);
+        let mut dec = Decoder::new();
+        let (got, info) = dec.decode(&pkt).unwrap();
+        assert_eq!(info.sequence, 42);
+        assert_eq!(info.source_id, 9);
+        assert_eq!(info.templates_learned, 1);
+        assert_eq!(got.len(), 7);
+        for (a, b) in records.iter().zip(&got) {
+            assert_eq!(a.src, b.src);
+            assert_eq!(a.dst, b.dst);
+            assert_eq!((a.sport, a.dport, a.proto), (b.sport, b.dport, b.proto));
+            assert_eq!((a.packets, a.bytes), (b.packets, b.bytes));
+            // v9 carries seconds-resolution export time; ms offsets
+            // survive within the uptime horizon to second precision.
+            assert!(
+                a.first_ms.abs_diff(b.first_ms) < 1_000,
+                "{} vs {}",
+                a.first_ms,
+                b.first_ms
+            );
+        }
+    }
+
+    #[test]
+    fn data_before_template_is_skipped() {
+        let records = sample_records(3);
+        let pkt = encode(&records, 1_700_000_001_000, 1, 5);
+        // Strip the template flowset: header + first set.
+        let tset_len = u16::from_be_bytes([pkt[HEADER_LEN + 2], pkt[HEADER_LEN + 3]]) as usize;
+        let mut data_only = pkt[..HEADER_LEN].to_vec();
+        data_only.extend_from_slice(&pkt[HEADER_LEN + tset_len..]);
+        let mut dec = Decoder::new();
+        let (got, info) = dec.decode(&data_only).unwrap();
+        assert!(got.is_empty());
+        assert!(info.records_skipped > 0);
+        // After learning the template, the same data decodes.
+        dec.decode(&pkt).unwrap();
+        let (got, _) = dec.decode(&data_only).unwrap();
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn rejects_structural_garbage() {
+        let pkt = encode(&sample_records(1), 0, 0, 0);
+        let mut bad = pkt.clone();
+        bad[1] = 5; // version 5 ≠ 9
+        assert!(Decoder::new().decode(&bad).is_err());
+        let mut bad = pkt.clone();
+        bad[HEADER_LEN + 2..HEADER_LEN + 4].copy_from_slice(&3u16.to_be_bytes());
+        assert!(Decoder::new().decode(&bad).is_err());
+        assert!(Decoder::new().decode(&pkt[..10]).is_err());
+    }
+
+    #[test]
+    fn fuzz_never_panics() {
+        let pkt = encode(&sample_records(4), 123_456_789, 7, 7);
+        let mut dec = Decoder::new();
+        for i in 0..pkt.len() {
+            let mut m = pkt.clone();
+            m[i] ^= 0xA5;
+            let _ = dec.decode(&m);
+            let _ = dec.decode(&m[..i]);
+        }
+    }
+
+    #[test]
+    fn v6_records_are_not_encoded_by_the_v4_template() {
+        let mut records = sample_records(2);
+        records.push(FlowRecord {
+            src: "2001:db8::1".parse().unwrap(),
+            dst: "2001:db8::2".parse().unwrap(),
+            sport: 1,
+            dport: 2,
+            proto: 17,
+            packets: 1,
+            bytes: 1,
+            first_ms: 0,
+            last_ms: 0,
+        });
+        let pkt = encode(&records, 1_700_000_001_000, 0, 0);
+        let mut dec = Decoder::new();
+        let (got, _) = dec.decode(&pkt).unwrap();
+        assert_eq!(got.len(), 2, "the v6 record is skipped, not mangled");
+    }
+}

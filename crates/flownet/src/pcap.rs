@@ -1,0 +1,339 @@
+//! Classic libpcap capture files.
+//!
+//! Supports both byte orders and both timestamp resolutions
+//! (`0xA1B2C3D4` microseconds, `0xA1B23C4D` nanoseconds), link types
+//! Ethernet (1) and raw IP (101). This is the on-disk format the paper's
+//! "existing captures" come in.
+
+use crate::ParseError;
+use std::io::{self, Read, Write};
+
+/// Classic pcap magic, microsecond timestamps.
+pub const MAGIC_MICROS: u32 = 0xA1B2_C3D4;
+/// Classic pcap magic, nanosecond timestamps.
+pub const MAGIC_NANOS: u32 = 0xA1B2_3C4D;
+
+/// Link type: Ethernet.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+/// Link type: raw IPv4/IPv6.
+pub const LINKTYPE_RAW: u32 = 101;
+
+/// Errors from reading a capture file.
+#[derive(Debug)]
+pub enum PcapError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The global header is not a known pcap format.
+    BadMagic(u32),
+    /// A structural problem in the file.
+    Malformed(&'static str),
+}
+
+impl From<io::Error> for PcapError {
+    fn from(e: io::Error) -> Self {
+        PcapError::Io(e)
+    }
+}
+
+impl core::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PcapError::Io(e) => write!(f, "pcap i/o: {e}"),
+            PcapError::BadMagic(m) => write!(f, "not a pcap file (magic {m:#010x})"),
+            PcapError::Malformed(w) => write!(f, "malformed pcap: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+impl From<PcapError> for ParseError {
+    fn from(_: PcapError) -> Self {
+        ParseError::Malformed("pcap")
+    }
+}
+
+/// One captured packet: capture timestamp plus the captured bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapPacket {
+    /// Timestamp in microseconds since the Unix epoch.
+    pub ts_micros: u64,
+    /// Original length on the wire.
+    pub orig_len: u32,
+    /// Captured data (may be shorter than `orig_len` if snapped).
+    pub data: Vec<u8>,
+}
+
+/// Streaming pcap reader.
+#[derive(Debug)]
+pub struct PcapReader<R: Read> {
+    inner: R,
+    swapped: bool,
+    nanos: bool,
+    linktype: u32,
+    snaplen: u32,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Reads and validates the global header.
+    pub fn new(mut inner: R) -> Result<Self, PcapError> {
+        let mut hdr = [0u8; 24];
+        inner.read_exact(&mut hdr)?;
+        let magic = u32::from_le_bytes(hdr[0..4].try_into().expect("4 bytes"));
+        let (swapped, nanos) = match magic {
+            MAGIC_MICROS => (false, false),
+            MAGIC_NANOS => (false, true),
+            m if m.swap_bytes() == MAGIC_MICROS => (true, false),
+            m if m.swap_bytes() == MAGIC_NANOS => (true, true),
+            m => return Err(PcapError::BadMagic(m)),
+        };
+        let rd32 = |b: &[u8]| {
+            let v = u32::from_le_bytes(b.try_into().expect("4 bytes"));
+            if swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let snaplen = rd32(&hdr[16..20]);
+        let linktype = rd32(&hdr[20..24]);
+        if snaplen == 0 || snaplen > 256 * 1024 * 1024 {
+            return Err(PcapError::Malformed("snaplen"));
+        }
+        Ok(PcapReader {
+            inner,
+            swapped,
+            nanos,
+            linktype,
+            snaplen,
+        })
+    }
+
+    /// The capture's link type (1 = Ethernet, 101 = raw IP).
+    pub fn linktype(&self) -> u32 {
+        self.linktype
+    }
+
+    /// The capture's snap length.
+    pub fn snaplen(&self) -> u32 {
+        self.snaplen
+    }
+
+    /// Reads the next packet; `Ok(None)` at a clean end of file.
+    pub fn next_packet(&mut self) -> Result<Option<PcapPacket>, PcapError> {
+        let mut hdr = [0u8; 16];
+        match self.inner.read_exact(&mut hdr) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let rd32 = |b: &[u8]| {
+            let v = u32::from_le_bytes(b.try_into().expect("4 bytes"));
+            if self.swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let ts_sec = rd32(&hdr[0..4]) as u64;
+        let ts_frac = rd32(&hdr[4..8]) as u64;
+        let incl_len = rd32(&hdr[8..12]);
+        let orig_len = rd32(&hdr[12..16]);
+        if incl_len > self.snaplen.max(65_535) {
+            return Err(PcapError::Malformed("incl_len exceeds snaplen"));
+        }
+        let mut data = vec![0u8; incl_len as usize];
+        self.inner.read_exact(&mut data)?;
+        let ts_micros = if self.nanos {
+            ts_sec * 1_000_000 + ts_frac / 1_000
+        } else {
+            ts_sec * 1_000_000 + ts_frac
+        };
+        Ok(Some(PcapPacket {
+            ts_micros,
+            orig_len,
+            data,
+        }))
+    }
+
+    /// Iterator over all remaining packets.
+    pub fn packets(self) -> PcapIter<R> {
+        PcapIter { reader: self }
+    }
+}
+
+/// Iterator adapter for [`PcapReader`].
+#[derive(Debug)]
+pub struct PcapIter<R: Read> {
+    reader: PcapReader<R>,
+}
+
+impl<R: Read> Iterator for PcapIter<R> {
+    type Item = Result<PcapPacket, PcapError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.reader.next_packet().transpose()
+    }
+}
+
+/// Streaming pcap writer (classic microsecond format, native byte order
+/// = little-endian as written by this implementation).
+#[derive(Debug)]
+pub struct PcapWriter<W: Write> {
+    inner: W,
+    snaplen: u32,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Writes the global header for the given link type.
+    pub fn new(mut inner: W, linktype: u32) -> Result<Self, PcapError> {
+        let snaplen: u32 = 65_535;
+        inner.write_all(&MAGIC_MICROS.to_le_bytes())?;
+        inner.write_all(&2u16.to_le_bytes())?; // version major
+        inner.write_all(&4u16.to_le_bytes())?; // version minor
+        inner.write_all(&0i32.to_le_bytes())?; // thiszone
+        inner.write_all(&0u32.to_le_bytes())?; // sigfigs
+        inner.write_all(&snaplen.to_le_bytes())?;
+        inner.write_all(&linktype.to_le_bytes())?;
+        Ok(PcapWriter { inner, snaplen })
+    }
+
+    /// Appends one packet, snapping to the writer's snap length.
+    pub fn write_packet(&mut self, ts_micros: u64, data: &[u8]) -> Result<(), PcapError> {
+        let incl = data.len().min(self.snaplen as usize);
+        self.inner
+            .write_all(&((ts_micros / 1_000_000) as u32).to_le_bytes())?;
+        self.inner
+            .write_all(&((ts_micros % 1_000_000) as u32).to_le_bytes())?;
+        self.inner.write_all(&(incl as u32).to_le_bytes())?;
+        self.inner.write_all(&(data.len() as u32).to_le_bytes())?;
+        self.inner.write_all(&data[..incl])?;
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> Result<W, PcapError> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testpkt;
+
+    fn roundtrip_packets() -> Vec<Vec<u8>> {
+        vec![
+            testpkt::udp4([10, 0, 0, 1], [10, 0, 0, 2], 1000, 53, b"a"),
+            testpkt::tcp4([10, 0, 0, 3], [10, 0, 0, 4], 2000, 80, b"bb"),
+            testpkt::udp6(1, 2, 3000, 443, b"ccc"),
+        ]
+    }
+
+    #[test]
+    fn write_then_read_back() {
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf, LINKTYPE_ETHERNET).unwrap();
+            for (i, p) in roundtrip_packets().iter().enumerate() {
+                w.write_packet(1_700_000_000_000_000 + i as u64, p).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let r = PcapReader::new(&buf[..]).unwrap();
+        assert_eq!(r.linktype(), LINKTYPE_ETHERNET);
+        let got: Vec<_> = r.packets().map(|p| p.unwrap()).collect();
+        assert_eq!(got.len(), 3);
+        for (i, (g, want)) in got.iter().zip(roundtrip_packets()).enumerate() {
+            assert_eq!(g.data, want, "packet {i}");
+            assert_eq!(g.ts_micros, 1_700_000_000_000_000 + i as u64);
+            assert_eq!(g.orig_len as usize, want.len());
+        }
+    }
+
+    #[test]
+    fn reads_big_endian_captures() {
+        // Hand-build a big-endian capture with one raw-IP packet.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_MICROS.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        buf.extend_from_slice(&65535u32.to_be_bytes());
+        buf.extend_from_slice(&LINKTYPE_RAW.to_be_bytes());
+        let payload = [0x45u8, 0, 0, 20];
+        buf.extend_from_slice(&7u32.to_be_bytes()); // ts_sec
+        buf.extend_from_slice(&500_000u32.to_be_bytes()); // ts_usec
+        buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        buf.extend_from_slice(&payload);
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert_eq!(r.linktype(), LINKTYPE_RAW);
+        let p = r.next_packet().unwrap().unwrap();
+        assert_eq!(p.ts_micros, 7_500_000);
+        assert_eq!(p.data, payload);
+        assert!(r.next_packet().unwrap().is_none());
+    }
+
+    #[test]
+    fn nanosecond_magic_scales_timestamps() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_NANOS.to_le_bytes());
+        buf.extend_from_slice(&2u16.to_le_bytes());
+        buf.extend_from_slice(&4u16.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&65535u32.to_le_bytes());
+        buf.extend_from_slice(&LINKTYPE_RAW.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&999_999_000u32.to_le_bytes()); // ns
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(0x45);
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        let p = r.next_packet().unwrap().unwrap();
+        assert_eq!(p.ts_micros, 1_999_999);
+    }
+
+    #[test]
+    fn rejects_non_pcap() {
+        assert!(matches!(
+            PcapReader::new(&b"not a pcap file at all...."[..]),
+            Err(PcapError::BadMagic(_))
+        ));
+        // Truncated global header is an I/O error.
+        assert!(PcapReader::new(&[0u8; 10][..]).is_err());
+    }
+
+    #[test]
+    fn truncated_record_is_an_error_not_a_packet() {
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf, LINKTYPE_ETHERNET).unwrap();
+            w.write_packet(0, &roundtrip_packets()[0]).unwrap();
+            w.finish().unwrap();
+        }
+        buf.truncate(buf.len() - 5);
+        let r = PcapReader::new(&buf[..]).unwrap();
+        let results: Vec<_> = r.packets().collect();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_err());
+    }
+
+    #[test]
+    fn hostile_incl_len_rejected() {
+        let mut buf = Vec::new();
+        {
+            let mut w = PcapWriter::new(&mut buf, LINKTYPE_ETHERNET).unwrap();
+            w.write_packet(0, b"x").unwrap();
+            w.finish().unwrap();
+        }
+        // Overwrite incl_len with something absurd.
+        let off = 24 + 8;
+        buf[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = PcapReader::new(&buf[..]).unwrap();
+        assert!(matches!(r.next_packet(), Err(PcapError::Malformed(_))));
+    }
+}

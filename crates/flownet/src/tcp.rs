@@ -1,0 +1,198 @@
+//! TCP segments (zero-copy view) — the fields flow summarization needs.
+
+use crate::{internet_checksum, ParseError};
+
+/// Minimum TCP header length.
+pub const MIN_HEADER_LEN: usize = 20;
+
+/// TCP flag bits (subset).
+pub mod flags {
+    /// FIN.
+    pub const FIN: u8 = 0x01;
+    /// SYN.
+    pub const SYN: u8 = 0x02;
+    /// RST.
+    pub const RST: u8 = 0x04;
+    /// PSH.
+    pub const PSH: u8 = 0x08;
+    /// ACK.
+    pub const ACK: u8 = 0x10;
+}
+
+/// A zero-copy view of a TCP segment.
+#[derive(Debug, Clone)]
+pub struct TcpSegment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpSegment<T> {
+    /// Wraps `buffer`, validating the data offset.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        let len = buffer.as_ref().len();
+        if len < MIN_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let seg = TcpSegment { buffer };
+        let off = seg.header_len();
+        if off < MIN_HEADER_LEN || off > len {
+            return Err(ParseError::Malformed("TCP data offset"));
+        }
+        Ok(seg)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[4], b[5], b[6], b[7]])
+    }
+
+    /// Acknowledgment number.
+    pub fn ack(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[8], b[9], b[10], b[11]])
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        ((self.buffer.as_ref()[12] >> 4) as usize) * 4
+    }
+
+    /// Flag byte (CWR/ECE excluded — low 6 bits).
+    pub fn flags(&self) -> u8 {
+        self.buffer.as_ref()[13] & 0x3f
+    }
+
+    /// Receive window.
+    pub fn window(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[14], b[15]])
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[16], b[17]])
+    }
+
+    /// The segment payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+
+    /// Verifies the checksum given the pseudo-header partial sum.
+    pub fn verify_checksum(&self, pseudo_sum: u32) -> bool {
+        internet_checksum(self.buffer.as_ref(), pseudo_sum) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpSegment<T> {
+    /// Initializes a minimal header (data offset 5).
+    pub fn init(buffer: T) -> Result<Self, ParseError> {
+        if buffer.as_ref().len() < MIN_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let mut seg = TcpSegment { buffer };
+        let b = seg.buffer.as_mut();
+        b[..MIN_HEADER_LEN].fill(0);
+        b[12] = 5 << 4;
+        seg.buffer.as_mut()[14..16].copy_from_slice(&65535u16.to_be_bytes());
+        Ok(seg)
+    }
+
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the sequence number.
+    pub fn set_seq(&mut self, v: u32) {
+        self.buffer.as_mut()[4..8].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Sets the flag byte.
+    pub fn set_flags(&mut self, f: u8) {
+        self.buffer.as_mut()[13] = f & 0x3f;
+    }
+
+    /// Computes and writes the checksum given the pseudo-header sum.
+    pub fn fill_checksum(&mut self, pseudo_sum: u32) {
+        self.buffer.as_mut()[16..18].fill(0);
+        let ck = internet_checksum(self.buffer.as_ref(), pseudo_sum);
+        self.buffer.as_mut()[16..18].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let off = self.header_len();
+        &mut self.buffer.as_mut()[off..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_then_parse() {
+        let mut buf = vec![0u8; MIN_HEADER_LEN + 3];
+        let mut seg = TcpSegment::init(&mut buf[..]).unwrap();
+        seg.set_src_port(443);
+        seg.set_dst_port(51000);
+        seg.set_seq(0xdeadbeef);
+        seg.set_flags(flags::SYN | flags::ACK);
+        seg.payload_mut().copy_from_slice(b"abc");
+        seg.fill_checksum(0);
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert_eq!(seg.src_port(), 443);
+        assert_eq!(seg.dst_port(), 51000);
+        assert_eq!(seg.seq(), 0xdeadbeef);
+        assert_eq!(seg.flags(), flags::SYN | flags::ACK);
+        assert_eq!(seg.payload(), b"abc");
+        assert!(seg.verify_checksum(0));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum() {
+        let mut buf = vec![0u8; MIN_HEADER_LEN + 4];
+        let mut seg = TcpSegment::init(&mut buf[..]).unwrap();
+        seg.payload_mut().copy_from_slice(b"data");
+        seg.fill_checksum(1234);
+        buf[MIN_HEADER_LEN] ^= 0x01;
+        let seg = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert!(!seg.verify_checksum(1234));
+    }
+
+    #[test]
+    fn rejects_bad_data_offset() {
+        let mut buf = vec![0u8; MIN_HEADER_LEN];
+        buf[12] = 4 << 4; // 16 bytes < min
+        assert!(TcpSegment::new_checked(&buf[..]).is_err());
+        buf[12] = 15 << 4; // 60 bytes > buffer
+        assert!(TcpSegment::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(
+            TcpSegment::new_checked(&[0u8; 10][..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+}

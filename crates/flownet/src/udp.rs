@@ -1,0 +1,161 @@
+//! UDP datagrams (zero-copy view).
+
+use crate::{internet_checksum, ParseError};
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A zero-copy view of a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wraps `buffer`, validating the length field.
+    pub fn new_checked(buffer: T) -> Result<Self, ParseError> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let dg = UdpDatagram { buffer };
+        let l = dg.len_field() as usize;
+        if l < HEADER_LEN || l > len {
+            return Err(ParseError::Malformed("UDP length"));
+        }
+        Ok(dg)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Length field (header + payload).
+    pub fn len_field(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    /// Checksum field (0 = absent for IPv4).
+    pub fn checksum(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[6], b[7]])
+    }
+
+    /// The datagram payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..self.len_field() as usize]
+    }
+
+    /// Verifies the checksum with the pseudo-header sum; a zero checksum
+    /// (legal over IPv4) verifies trivially.
+    pub fn verify_checksum(&self, pseudo_sum: u32) -> bool {
+        if self.checksum() == 0 {
+            return true;
+        }
+        internet_checksum(
+            &self.buffer.as_ref()[..self.len_field() as usize],
+            pseudo_sum,
+        ) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Initializes the header with the buffer's length.
+    pub fn init(buffer: T) -> Result<Self, ParseError> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let mut dg = UdpDatagram { buffer };
+        let l = dg.buffer.as_ref().len().min(u16::MAX as usize) as u16;
+        let b = dg.buffer.as_mut();
+        b[..HEADER_LEN].fill(0);
+        b[4..6].copy_from_slice(&l.to_be_bytes());
+        Ok(dg)
+    }
+
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Computes and writes the checksum (0x0000 results are emitted as
+    /// 0xFFFF per RFC 768).
+    pub fn fill_checksum(&mut self, pseudo_sum: u32) {
+        self.buffer.as_mut()[6..8].fill(0);
+        let l = self.len_field() as usize;
+        let mut ck = internet_checksum(&self.buffer.as_ref()[..l], pseudo_sum);
+        if ck == 0 {
+            ck = 0xffff;
+        }
+        self.buffer.as_mut()[6..8].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let l = self.len_field() as usize;
+        &mut self.buffer.as_mut()[HEADER_LEN..l]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_then_parse() {
+        let mut buf = vec![0u8; HEADER_LEN + 5];
+        let mut dg = UdpDatagram::init(&mut buf[..]).unwrap();
+        dg.set_src_port(5353);
+        dg.set_dst_port(53);
+        dg.payload_mut().copy_from_slice(b"query");
+        dg.fill_checksum(99);
+        let dg = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(dg.src_port(), 5353);
+        assert_eq!(dg.dst_port(), 53);
+        assert_eq!(dg.payload(), b"query");
+        assert!(dg.verify_checksum(99));
+        assert!(!dg.verify_checksum(98));
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let mut buf = vec![0u8; HEADER_LEN];
+        let _ = UdpDatagram::init(&mut buf[..]).unwrap();
+        let dg = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(dg.checksum(), 0);
+        assert!(dg.verify_checksum(12345));
+    }
+
+    #[test]
+    fn rejects_bad_length() {
+        let mut buf = vec![0u8; HEADER_LEN + 2];
+        buf[4..6].copy_from_slice(&4u16.to_be_bytes()); // < header
+        assert!(UdpDatagram::new_checked(&buf[..]).is_err());
+        buf[4..6].copy_from_slice(&100u16.to_be_bytes()); // > buffer
+        assert!(UdpDatagram::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn payload_respects_length_field() {
+        let mut buf = vec![0u8; HEADER_LEN + 10];
+        let mut dg = UdpDatagram::init(&mut buf[..]).unwrap();
+        dg.payload_mut().copy_from_slice(b"0123456789");
+        buf[4..6].copy_from_slice(&((HEADER_LEN + 4) as u16).to_be_bytes());
+        let dg = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(dg.payload(), b"0123");
+    }
+}

@@ -1,0 +1,100 @@
+//! Query AST.
+//!
+//! The queries from the paper's introduction, as data:
+//!
+//! * "what is the total volume of traffic sent by one of its peers to
+//!   all of five ISP sites in the last 24 hours" → [`Query::Pop`] with a
+//!   source-prefix pattern, a site set, and a time range;
+//! * "IP address range X/8 has received a lot of traffic … is it due to
+//!   a specific IP, a specific /24, or what is happening" →
+//!   [`Query::Drill`] / [`Query::TopK`];
+//! * "flows above 1 % of the packets" → [`Query::Hhh`].
+
+use flowkey::{Dim, FlowKey};
+use flowtree_core::Metric;
+
+/// Which sites and what time range a query covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scope {
+    /// `None` = all sites.
+    pub sites: Option<Vec<u16>>,
+    /// Inclusive lower bound, epoch ms.
+    pub from_ms: u64,
+    /// Exclusive upper bound, epoch ms.
+    pub to_ms: u64,
+}
+
+impl Default for Scope {
+    fn default() -> Self {
+        Scope {
+            sites: None,
+            from_ms: 0,
+            to_ms: u64::MAX,
+        }
+    }
+}
+
+/// A drill-down query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Popularity of one hierarchical pattern.
+    Pop {
+        /// The pattern.
+        pattern: FlowKey,
+        /// Site/time scope.
+        scope: Scope,
+    },
+    /// The `k` most popular refinements of `under` along `dim`.
+    TopK {
+        /// How many rows.
+        k: usize,
+        /// The pattern to refine (e.g. `src=10.0.0.0/8`).
+        under: FlowKey,
+        /// The dimension to refine along.
+        dim: Dim,
+        /// Ranking metric.
+        metric: Metric,
+        /// Site/time scope.
+        scope: Scope,
+    },
+    /// One-level expansion of `under` along `dim` (all refinements at
+    /// the next natural granularity with their shares).
+    Drill {
+        /// The pattern to expand.
+        under: FlowKey,
+        /// The dimension to expand along.
+        dim: Dim,
+        /// Site/time scope.
+        scope: Scope,
+    },
+    /// Hierarchical heavy hitters at threshold `phi`.
+    Hhh {
+        /// Fraction of total mass (e.g. 0.01).
+        phi: f64,
+        /// Ranking metric.
+        metric: Metric,
+        /// Site/time scope.
+        scope: Scope,
+    },
+    /// Per-site breakdown of one pattern (the intro's "volume sent by a
+    /// peer to all of five ISP sites", as one query).
+    BySite {
+        /// The pattern.
+        pattern: FlowKey,
+        /// Site/time scope (the site set limits which sites appear).
+        scope: Scope,
+    },
+}
+
+impl Query {
+    /// This query's scope.
+    pub fn scope(&self) -> &Scope {
+        match self {
+            Query::Pop { scope, .. }
+            | Query::TopK { scope, .. }
+            | Query::Drill { scope, .. }
+            | Query::Hhh { scope, .. }
+            | Query::BySite { scope, .. } => scope,
+        }
+    }
+}

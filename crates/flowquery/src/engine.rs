@@ -1,0 +1,424 @@
+//! Query execution over a [`Collector`].
+//!
+//! The planner is merge-based, exactly as the paper intends: pick the
+//! (site, window) summaries in scope, merge them into one Flowtree, and
+//! evaluate the question on the merged tree. Refinement candidates for
+//! `top`/`drill` come from the merged tree's retained nodes, so the
+//! engine never has to enumerate the (astronomic) key space.
+
+use crate::ast::{Query, Scope};
+use flowdist::Collector;
+use flowkey::{Dim, FlowKey};
+use flowtree_core::{FlowTree, Metric, PopEst};
+use std::collections::BTreeMap;
+
+/// One result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// The generalized flow the row describes.
+    pub key: FlowKey,
+    /// Its estimated popularity in scope.
+    pub est: PopEst,
+    /// Share of the scoped total (0..=1) by the ranking metric.
+    pub share: f64,
+}
+
+/// Result of running a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutput {
+    /// A single estimate (for `pop`).
+    Pop(PopEst),
+    /// Ranked rows (for `top`, `drill`, `hhh`).
+    Table(Vec<Row>),
+}
+
+impl QueryOutput {
+    /// Renders a human-readable report.
+    pub fn render(&self, metric: Metric) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        match self {
+            QueryOutput::Pop(est) => {
+                let _ = writeln!(
+                    out,
+                    "popularity: {:.0} packets, {:.0} bytes, {:.0} flows",
+                    est.packets, est.bytes, est.flows
+                );
+            }
+            QueryOutput::Table(rows) => {
+                for r in rows {
+                    let _ = writeln!(
+                        out,
+                        "{:>12.0}  {:>6.2}%  {}",
+                        r.est.get(metric),
+                        r.share * 100.0,
+                        r.key
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Executes queries against a collector.
+#[derive(Debug)]
+pub struct QueryEngine<'a> {
+    collector: &'a Collector,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Wraps a collector.
+    pub fn new(collector: &'a Collector) -> QueryEngine<'a> {
+        QueryEngine { collector }
+    }
+
+    /// Runs one query.
+    pub fn run(&self, query: &Query) -> QueryOutput {
+        match query {
+            Query::Pop { pattern, scope } => QueryOutput::Pop(self.scoped_estimate(pattern, scope)),
+            Query::TopK {
+                k,
+                under,
+                dim,
+                metric,
+                scope,
+            } => {
+                let mut rows = self.refine(under, *dim, scope, *metric);
+                rows.truncate(*k);
+                QueryOutput::Table(rows)
+            }
+            Query::Drill { under, dim, scope } => {
+                QueryOutput::Table(self.refine(under, *dim, scope, Metric::Packets))
+            }
+            Query::BySite { pattern, scope } => {
+                let sites = match &scope.sites {
+                    Some(s) => s.clone(),
+                    None => self.collector.sites(),
+                };
+                let total = self
+                    .scoped_estimate(pattern, scope)
+                    .get(Metric::Packets)
+                    .abs()
+                    .max(f64::MIN_POSITIVE);
+                let mut rows: Vec<Row> = sites
+                    .into_iter()
+                    .map(|site| {
+                        let est = self.collector.query(
+                            pattern,
+                            Some(&[site]),
+                            scope.from_ms,
+                            scope.to_ms,
+                        );
+                        Row {
+                            key: pattern.with_site(flowkey::Site::Is(site)),
+                            est,
+                            share: est.get(Metric::Packets) / total,
+                        }
+                    })
+                    .collect();
+                rows.sort_by(|a, b| {
+                    b.est
+                        .packets
+                        .partial_cmp(&a.est.packets)
+                        .expect("finite")
+                        .then(a.key.cmp(&b.key))
+                });
+                QueryOutput::Table(rows)
+            }
+            Query::Hhh { phi, metric, scope } => {
+                let merged = self.merged(scope);
+                let total = merged.total().get(*metric).max(1) as f64;
+                let rows = merged
+                    .hhh(*phi, *metric)
+                    .into_iter()
+                    .map(|h| Row {
+                        key: h.key,
+                        est: PopEst::from(h.discounted),
+                        share: h.discounted.get(*metric) as f64 / total,
+                    })
+                    .collect();
+                QueryOutput::Table(rows)
+            }
+        }
+    }
+
+    fn merged(&self, scope: &Scope) -> FlowTree {
+        self.collector
+            .merged(scope.sites.as_deref(), scope.from_ms, scope.to_ms)
+    }
+
+    fn scoped_estimate(&self, pattern: &FlowKey, scope: &Scope) -> PopEst {
+        self.collector
+            .query(pattern, scope.sites.as_deref(), scope.from_ms, scope.to_ms)
+    }
+
+    /// Expands `under` one natural granularity step along `dim`: the
+    /// candidates are derived from the merged tree's retained nodes, each
+    /// estimated and ranked.
+    fn refine(&self, under: &FlowKey, dim: Dim, scope: &Scope, metric: Metric) -> Vec<Row> {
+        let merged = self.merged(scope);
+        let target_depth = refine_depth(under, dim);
+        let mut candidates: BTreeMap<FlowKey, ()> = BTreeMap::new();
+        for node in merged.iter() {
+            if !under.contains(node.key) {
+                continue;
+            }
+            // Project the node's dim-feature up to the target granularity
+            // and substitute it into the `under` pattern.
+            if node.key.dim_depth(dim) < target_depth {
+                continue; // too coarse to name a refinement
+            }
+            if let Some(projected) = node.key.dim_ancestor_at(dim, target_depth) {
+                let mut refined = *under;
+                match dim {
+                    Dim::SrcIp => refined.src = projected.src,
+                    Dim::DstIp => refined.dst = projected.dst,
+                    Dim::SrcPort => refined.sport = projected.sport,
+                    Dim::DstPort => refined.dport = projected.dport,
+                    Dim::Proto => refined.proto = projected.proto,
+                    Dim::Time => refined.time = projected.time,
+                    Dim::Site => refined.site = projected.site,
+                }
+                candidates.insert(refined, ());
+            }
+        }
+        let total = merged
+            .estimate_pattern(under)
+            .get(metric)
+            .abs()
+            .max(f64::MIN_POSITIVE);
+        let mut rows: Vec<Row> = candidates
+            .into_keys()
+            .map(|key| {
+                let est = merged.estimate_pattern(&key);
+                Row {
+                    key,
+                    est,
+                    share: est.get(metric) / total,
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.est
+                .get(metric)
+                .partial_cmp(&a.est.get(metric))
+                .expect("finite")
+                .then(a.key.cmp(&b.key))
+        });
+        rows
+    }
+}
+
+/// The next natural granularity below `under` along `dim`: +8 bits for
+/// IP prefixes (the /8 → /16 → /24 ladder operators drill along),
+/// +4 bits for ports, one hierarchy step otherwise.
+fn refine_depth(under: &FlowKey, dim: Dim) -> u16 {
+    let cur = under.dim_depth(dim);
+    let (step, max) = match dim {
+        Dim::SrcIp | Dim::DstIp => (8, 33),
+        Dim::SrcPort | Dim::DstPort => (4, 16),
+        Dim::Proto => (1, 1),
+        Dim::Time => (8, 36),
+        Dim::Site => (1, 2),
+    };
+    // IP depth 0 = Any; the first refinement is /8 (depth 9).
+    let next = if matches!(dim, Dim::SrcIp | Dim::DstIp) && cur == 0 {
+        9
+    } else {
+        cur + step
+    };
+    next.min(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use flowdist::{Collector, DaemonConfig, SiteDaemon, TransferMode};
+    use flowkey::Schema;
+    use flownet::FlowRecord;
+    use flowtree_core::Config;
+
+    /// Two sites, two windows; site 0 carries the heavy /24.
+    fn collector() -> Collector {
+        let mut collector = Collector::new(Schema::five_feature(), Config::with_budget(4096));
+        for site in 0..2u16 {
+            let mut cfg = DaemonConfig::new(site);
+            cfg.window_ms = 1_000;
+            cfg.schema = Schema::five_feature();
+            cfg.tree = Config::with_budget(4096);
+            cfg.transfer = TransferMode::Full;
+            let mut d = SiteDaemon::new(cfg);
+            let mut summaries = Vec::new();
+            for w in 0..2u64 {
+                for h in 0..10u8 {
+                    let packets = if site == 0 && h < 5 { 100 } else { 3 };
+                    let mut r = FlowRecord::v4(
+                        [10, site as u8, 7, h],
+                        [192, 0, 2, h % 3],
+                        40_000 + h as u16,
+                        if h % 2 == 0 { 443 } else { 53 },
+                        6,
+                        packets,
+                        packets * 100,
+                    );
+                    r.first_ms = w * 1000 + 10 + h as u64;
+                    r.last_ms = r.first_ms;
+                    summaries.extend(d.ingest_record(&r));
+                }
+            }
+            summaries.extend(d.flush());
+            for s in summaries {
+                collector.apply_bytes(&s.encode()).unwrap();
+            }
+        }
+        collector
+    }
+
+    #[test]
+    fn pop_scopes_by_site_and_time() {
+        let c = collector();
+        let e = QueryEngine::new(&c);
+        // All traffic.
+        let q = parse("pop", u64::MAX - 1).unwrap();
+        let QueryOutput::Pop(all) = e.run(&q) else {
+            panic!()
+        };
+        // site0: (5×100 + 5×3) ×2 windows + site1: 10×3×2 = 1030+60.
+        assert!((all.packets - 1090.0).abs() < 1e-6, "{}", all.packets);
+        // Site 1 only.
+        let q = parse("pop sites=1", u64::MAX - 1).unwrap();
+        let QueryOutput::Pop(s1) = e.run(&q) else {
+            panic!()
+        };
+        assert!((s1.packets - 60.0).abs() < 1e-6, "{}", s1.packets);
+        // First window only.
+        let q = parse("pop from=0 to=1000", u64::MAX - 1).unwrap();
+        let QueryOutput::Pop(w0) = e.run(&q) else {
+            panic!()
+        };
+        assert!((w0.packets - 545.0).abs() < 1e-6, "{}", w0.packets);
+    }
+
+    #[test]
+    fn drill_finds_the_hot_prefix() {
+        let c = collector();
+        let e = QueryEngine::new(&c);
+        let q = parse("drill src", u64::MAX - 1).unwrap();
+        let QueryOutput::Table(rows) = e.run(&q) else {
+            panic!()
+        };
+        assert!(!rows.is_empty());
+        // The hot /8 is 10.0.0.0/8 (all traffic).
+        assert_eq!(rows[0].key.to_string(), "src=10.0.0.0/8");
+        assert!(rows[0].share > 0.99);
+        // Drill further: under 10/8, the /16 of site 0 dominates.
+        let q = parse("drill src under src=10.0.0.0/8", u64::MAX - 1).unwrap();
+        let QueryOutput::Table(rows) = e.run(&q) else {
+            panic!()
+        };
+        assert_eq!(rows[0].key.to_string(), "src=10.0.0.0/16");
+        assert!(rows[0].share > 0.9, "{}", rows[0].share);
+    }
+
+    #[test]
+    fn topk_ranks_and_truncates() {
+        let c = collector();
+        let e = QueryEngine::new(&c);
+        let q = parse("top 3 dport under src=10.0.0.0/8", u64::MAX - 1).unwrap();
+        let QueryOutput::Table(rows) = e.run(&q) else {
+            panic!()
+        };
+        assert!(rows.len() <= 3);
+        assert!(rows[0].est.packets >= rows[rows.len() - 1].est.packets);
+    }
+
+    #[test]
+    fn hhh_returns_shares() {
+        let c = collector();
+        let e = QueryEngine::new(&c);
+        let q = parse("hhh 0.2 by packets", u64::MAX - 1).unwrap();
+        let QueryOutput::Table(rows) = e.run(&q) else {
+            panic!()
+        };
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.share >= 0.2 - 1e-9, "{} at {}", r.share, r.key);
+        }
+    }
+
+    #[test]
+    fn render_is_humane() {
+        let c = collector();
+        let e = QueryEngine::new(&c);
+        let q = parse("drill src", u64::MAX - 1).unwrap();
+        let out = e.run(&q).render(Metric::Packets);
+        assert!(out.contains("src=10.0.0.0/8"));
+        assert!(out.contains('%'));
+    }
+}
+
+#[cfg(test)]
+mod bysite_tests {
+    use super::*;
+    use crate::parse::parse;
+    use flowdist::{Collector, DaemonConfig, SiteDaemon, TransferMode};
+    use flowkey::Schema;
+    use flownet::FlowRecord;
+    use flowtree_core::Config;
+
+    #[test]
+    fn bysite_breaks_down_the_peer_question() {
+        let mut collector = Collector::new(Schema::five_feature(), Config::with_budget(1024));
+        for site in 0..3u16 {
+            let mut cfg = DaemonConfig::new(site);
+            cfg.window_ms = 1_000;
+            cfg.schema = Schema::five_feature();
+            cfg.tree = Config::with_budget(1024);
+            cfg.transfer = TransferMode::Full;
+            let mut d = SiteDaemon::new(cfg);
+            let mut summaries = Vec::new();
+            // The peer sends (site+1) × 10 packets to each site.
+            let mut r = FlowRecord::v4(
+                [203, 0, 113, 9],
+                [10, site as u8, 0, 1],
+                5555,
+                443,
+                6,
+                (site as u64 + 1) * 10,
+                1_000,
+            );
+            r.first_ms = 100;
+            r.last_ms = 100;
+            summaries.extend(d.ingest_record(&r));
+            summaries.extend(d.flush());
+            for s in summaries {
+                collector.apply_bytes(&s.encode()).unwrap();
+            }
+        }
+        let engine = QueryEngine::new(&collector);
+        let q = parse("bysite src=203.0.113.0/24", u64::MAX - 1).unwrap();
+        let QueryOutput::Table(rows) = engine.run(&q) else {
+            panic!()
+        };
+        assert_eq!(rows.len(), 3);
+        // Sorted by volume: site 2 (30) first.
+        assert_eq!(rows[0].est.packets, 30.0);
+        assert_eq!(rows[2].est.packets, 10.0);
+        assert!(
+            rows[0].key.to_string().contains("site=2"),
+            "{}",
+            rows[0].key
+        );
+        let share_sum: f64 = rows.iter().map(|r| r.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        // Restricting the scope restricts the rows.
+        let q = parse("bysite src=203.0.113.0/24 sites=1", u64::MAX - 1).unwrap();
+        let QueryOutput::Table(rows) = engine.run(&q) else {
+            panic!()
+        };
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].est.packets, 20.0);
+    }
+}

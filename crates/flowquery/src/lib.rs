@@ -1,0 +1,24 @@
+//! # flowquery — drill-down queries over distributed summaries
+//!
+//! The query layer for the paper's motivating scenarios: a small text
+//! language ([`parse()`]), an AST ([`Query`]), and a merge-based execution
+//! engine ([`QueryEngine`]) over the [`flowdist::Collector`]'s stored
+//! summaries.
+//!
+//! ```text
+//! pop src=203.0.113.0/24 sites=* last=24h   # peer volume across sites
+//! drill dst under dst=10.0.0.0/8            # which /16 under X/8 is hot?
+//! top 10 dport under src=10.0.0.0/8 by bytes
+//! hhh 0.01 by packets                       # flows above 1 % of traffic
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod engine;
+pub mod parse;
+
+pub use ast::{Query, Scope};
+pub use engine::{QueryEngine, QueryOutput, Row};
+pub use parse::{parse, QueryParseError};

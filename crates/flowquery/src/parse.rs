@@ -1,0 +1,312 @@
+//! The textual query language.
+//!
+//! ```text
+//! pop    <pattern…> [sites=…] [last=…|from=…ms to=…ms]
+//! bysite <pattern…> [scope…]          # per-site breakdown
+//! top   <k> <dim> under <pattern…> [by packets|bytes|flows] [scope…]
+//! drill <dim> under <pattern…> [scope…]
+//! hhh   <phi> [by packets|bytes|flows] [scope…]
+//! ```
+//!
+//! Patterns use the `flowkey` component syntax (`src=10.0.0.0/8
+//! dport=443`). Scopes: `sites=*` (default) or `sites=1,2,5`;
+//! `last=24h` (relative to the `now_ms` given to the parser) or
+//! absolute `from=<ms> to=<ms>`. Durations take `s`, `m`, `h`, `d`.
+//!
+//! Examples from the paper's introduction:
+//!
+//! ```text
+//! pop src=203.0.113.0/24 sites=* last=24h      # peer volume, all sites
+//! drill dst under dst=10.0.0.0/8 last=1h       # who inside X/8 is hot?
+//! hhh 0.01 by packets                          # flows above 1 % of packets
+//! ```
+
+use crate::ast::{Query, Scope};
+use flowkey::{Dim, FlowKey};
+use flowtree_core::Metric;
+
+/// Query parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError(pub String);
+
+impl core::fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "query parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, QueryParseError> {
+    Err(QueryParseError(msg.into()))
+}
+
+/// Parses one query. `now_ms` anchors relative time ranges (`last=…`).
+pub fn parse(input: &str, now_ms: u64) -> Result<Query, QueryParseError> {
+    let mut tokens: Vec<&str> = input.split_whitespace().collect();
+    if tokens.is_empty() {
+        return err("empty query");
+    }
+    let head = tokens.remove(0);
+    // Split off scope tokens from anywhere in the remainder.
+    let (scope, rest) = take_scope(&tokens, now_ms)?;
+    match head {
+        "pop" => {
+            let pattern = parse_pattern(&rest)?;
+            Ok(Query::Pop { pattern, scope })
+        }
+        "bysite" => {
+            let pattern = parse_pattern(&rest)?;
+            Ok(Query::BySite { pattern, scope })
+        }
+        "top" => {
+            if rest.len() < 2 {
+                return err("top needs: top <k> <dim> under <pattern>");
+            }
+            let k: usize = rest[0]
+                .parse()
+                .map_err(|_| QueryParseError(format!("bad k: {}", rest[0])))?;
+            let dim = parse_dim(&rest[1])?;
+            let (metric, rest2) = take_metric(&rest[2..])?;
+            let under = parse_under(&rest2)?;
+            Ok(Query::TopK {
+                k,
+                under,
+                dim,
+                metric,
+                scope,
+            })
+        }
+        "drill" => {
+            if rest.is_empty() {
+                return err("drill needs: drill <dim> under <pattern>");
+            }
+            let dim = parse_dim(&rest[0])?;
+            let under = parse_under(&rest[1..])?;
+            Ok(Query::Drill { under, dim, scope })
+        }
+        "hhh" => {
+            if rest.is_empty() {
+                return err("hhh needs a threshold, e.g. hhh 0.01");
+            }
+            let phi: f64 = rest[0]
+                .parse()
+                .map_err(|_| QueryParseError(format!("bad phi: {}", rest[0])))?;
+            if !(0.0..=1.0).contains(&phi) {
+                return err("phi must be in [0, 1]");
+            }
+            let (metric, rest2) = take_metric(&rest[1..])?;
+            if !rest2.is_empty() {
+                return err(format!("unexpected tokens: {rest2:?}"));
+            }
+            Ok(Query::Hhh { phi, metric, scope })
+        }
+        other => err(format!("unknown query verb: {other}")),
+    }
+}
+
+fn parse_dim(s: &str) -> Result<Dim, QueryParseError> {
+    Dim::ALL
+        .into_iter()
+        .find(|d| d.name() == s)
+        .ok_or_else(|| QueryParseError(format!("unknown dimension: {s}")))
+}
+
+fn parse_pattern(tokens: &[String]) -> Result<FlowKey, QueryParseError> {
+    let joined = tokens.join(" ");
+    joined
+        .parse::<FlowKey>()
+        .map_err(|e| QueryParseError(format!("bad pattern `{joined}`: {e}")))
+}
+
+/// `under <pattern…>` (the pattern may be empty = root).
+fn parse_under(tokens: &[String]) -> Result<FlowKey, QueryParseError> {
+    match tokens.first().map(String::as_str) {
+        Some("under") => parse_pattern(&tokens[1..]),
+        None => Ok(FlowKey::ROOT),
+        Some(other) => err(format!("expected `under`, got `{other}`")),
+    }
+}
+
+/// Optional `by <metric>` prefix.
+fn take_metric(tokens: &[String]) -> Result<(Metric, Vec<String>), QueryParseError> {
+    if tokens.first().map(String::as_str) == Some("by") {
+        let m = match tokens.get(1).map(String::as_str) {
+            Some("packets") => Metric::Packets,
+            Some("bytes") => Metric::Bytes,
+            Some("flows") => Metric::Flows,
+            other => return err(format!("unknown metric: {other:?}")),
+        };
+        Ok((m, tokens[2..].to_vec()))
+    } else {
+        Ok((Metric::Packets, tokens.to_vec()))
+    }
+}
+
+/// Extracts `sites=…`, `last=…`, `from=…`, `to=…` from anywhere in the
+/// token list; returns the scope and the remaining tokens in order.
+fn take_scope(tokens: &[&str], now_ms: u64) -> Result<(Scope, Vec<String>), QueryParseError> {
+    let mut scope = Scope::default();
+    let mut rest = Vec::new();
+    let mut saw_last = false;
+    for t in tokens {
+        if let Some(v) = t.strip_prefix("sites=") {
+            if v == "*" {
+                scope.sites = None;
+            } else {
+                let sites: Result<Vec<u16>, _> = v.split(',').map(|s| s.parse::<u16>()).collect();
+                scope.sites = Some(sites.map_err(|_| QueryParseError(format!("bad sites: {v}")))?);
+            }
+        } else if let Some(v) = t.strip_prefix("last=") {
+            let dur = parse_duration_ms(v)?;
+            scope.from_ms = now_ms.saturating_sub(dur);
+            scope.to_ms = now_ms.saturating_add(1);
+            saw_last = true;
+        } else if let Some(v) = t.strip_prefix("from=") {
+            if saw_last {
+                return err("use either last= or from=/to=");
+            }
+            scope.from_ms = v
+                .parse()
+                .map_err(|_| QueryParseError(format!("bad from: {v}")))?;
+        } else if let Some(v) = t.strip_prefix("to=") {
+            if saw_last {
+                return err("use either last= or from=/to=");
+            }
+            scope.to_ms = v
+                .parse()
+                .map_err(|_| QueryParseError(format!("bad to: {v}")))?;
+        } else {
+            rest.push((*t).to_string());
+        }
+    }
+    if scope.from_ms >= scope.to_ms {
+        return err("empty time range");
+    }
+    Ok((scope, rest))
+}
+
+fn parse_duration_ms(s: &str) -> Result<u64, QueryParseError> {
+    let (num, unit) = s.split_at(s.len().saturating_sub(1));
+    let n: u64 = num
+        .parse()
+        .map_err(|_| QueryParseError(format!("bad duration: {s}")))?;
+    let ms = match unit {
+        "s" => n * 1_000,
+        "m" => n * 60_000,
+        "h" => n * 3_600_000,
+        "d" => n * 86_400_000,
+        _ => return err(format!("bad duration unit in: {s}")),
+    };
+    Ok(ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NOW: u64 = 1_700_000_000_000;
+
+    #[test]
+    fn parses_the_paper_intro_queries() {
+        let q = parse("pop src=203.0.113.0/24 sites=* last=24h", NOW).unwrap();
+        match q {
+            Query::Pop { pattern, scope } => {
+                assert_eq!(pattern.to_string(), "src=203.0.113.0/24");
+                assert_eq!(scope.sites, None);
+                assert_eq!(scope.from_ms, NOW - 86_400_000);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let q = parse("drill dst under dst=10.0.0.0/8 last=1h", NOW).unwrap();
+        match q {
+            Query::Drill { under, dim, .. } => {
+                assert_eq!(dim, Dim::DstIp);
+                assert_eq!(under.to_string(), "dst=10.0.0.0/8");
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let q = parse("hhh 0.01 by packets", NOW).unwrap();
+        match q {
+            Query::Hhh { phi, metric, .. } => {
+                assert_eq!(phi, 0.01);
+                assert_eq!(metric, Metric::Packets);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_topk_with_sites_and_metric() {
+        let q = parse(
+            "top 5 dst by bytes under src=10.0.0.0/8 dport=443 sites=1,3",
+            NOW,
+        )
+        .unwrap();
+        match q {
+            Query::TopK {
+                k,
+                under,
+                dim,
+                metric,
+                scope,
+            } => {
+                assert_eq!(k, 5);
+                assert_eq!(dim, Dim::DstIp);
+                assert_eq!(metric, Metric::Bytes);
+                assert_eq!(under.to_string(), "src=10.0.0.0/8 dport=443");
+                assert_eq!(scope.sites, Some(vec![1, 3]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn absolute_ranges() {
+        let q = parse("pop src=1.0.0.0/8 from=1000 to=5000", NOW).unwrap();
+        let s = q.scope();
+        assert_eq!((s.from_ms, s.to_ms), (1000, 5000));
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(parse_duration_ms("90s").unwrap(), 90_000);
+        assert_eq!(parse_duration_ms("5m").unwrap(), 300_000);
+        assert_eq!(parse_duration_ms("2h").unwrap(), 7_200_000);
+        assert_eq!(parse_duration_ms("1d").unwrap(), 86_400_000);
+        assert!(parse_duration_ms("5x").is_err());
+        assert!(parse_duration_ms("h").is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "frobnicate src=1.0.0.0/8",
+            "pop src=1.0.0.0/33",
+            "top x dst under src=1.0.0.0/8",
+            "top 5 bogusdim under src=1.0.0.0/8",
+            "hhh 1.5",
+            "hhh",
+            "pop src=1.0.0.0/8 from=10 to=5",
+            "pop src=1.0.0.0/8 last=1h from=0",
+            "drill dst over dst=1.0.0.0/8",
+        ] {
+            assert!(parse(bad, NOW).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn drill_defaults_to_root() {
+        let q = parse("drill src", NOW).unwrap();
+        match q {
+            Query::Drill { under, dim, .. } => {
+                assert!(under.is_root());
+                assert_eq!(dim, Dim::SrcIp);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

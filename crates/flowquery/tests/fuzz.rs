@@ -1,0 +1,50 @@
+//! Parser robustness: arbitrary input must never panic, valid queries
+//! must round-trip through their components.
+
+use flowquery::parse;
+use proptest::prelude::*;
+
+proptest! {
+    /// The parser never panics, whatever the input.
+    #[test]
+    fn parser_never_panics(input in ".{0,120}") {
+        let _ = parse(&input, 1_700_000_000_000);
+    }
+
+    /// Structured garbage around valid verbs never panics either.
+    #[test]
+    fn structured_fuzz(
+        verb in prop::sample::select(vec!["pop", "top", "drill", "hhh", "zap"]),
+        k in any::<u32>(),
+        dim in prop::sample::select(vec!["src", "dst", "sport", "dport", "proto", "x"]),
+        oct in any::<[u8; 4]>(),
+        len in 0u8..=40,
+        dur in any::<u16>(),
+        unit in prop::sample::select(vec!["s", "m", "h", "d", "q"]),
+    ) {
+        let q = format!(
+            "{verb} {k} {dim} under src={}.{}.{}.{}/{len} last={dur}{unit}",
+            oct[0], oct[1], oct[2], oct[3]
+        );
+        let _ = parse(&q, u64::MAX / 2);
+    }
+
+    /// Every syntactically valid pop query parses and scopes correctly.
+    #[test]
+    fn valid_pop_queries_parse(
+        oct in any::<[u8; 4]>(),
+        len in 0u8..=32,
+        port in any::<u16>(),
+        hours in 1u64..10_000,
+    ) {
+        let now = 1_700_000_000_000u64;
+        let q = format!(
+            "pop src={}.{}.{}.{}/{len} dport={port} last={hours}h",
+            oct[0], oct[1], oct[2], oct[3]
+        );
+        let parsed = parse(&q, now).expect("valid query");
+        let scope = parsed.scope();
+        prop_assert_eq!(scope.to_ms, now + 1);
+        prop_assert_eq!(scope.from_ms, now.saturating_sub(hours * 3_600_000));
+    }
+}

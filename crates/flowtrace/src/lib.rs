@@ -1,0 +1,50 @@
+//! # flowtrace — synthetic workloads and exact ground truth
+//!
+//! The paper evaluates Flowtree on a CAIDA Equinix-Chicago backbone
+//! capture and a MAWI transit capture (6 M packets each). Those traces
+//! are not redistributable, so this crate generates **statistically
+//! equivalent workloads**: Zipf flow popularity, hierarchical prefix
+//! locality, realistic port/protocol/size mixes (see DESIGN.md §2 for
+//! the substitution argument). Everything is seeded and deterministic.
+//!
+//! * [`profile`] — the workload profiles: [`profile::backbone`]
+//!   (Equinix-Chicago-like), [`profile::transit`] (MAWI-like), plus
+//!   `ddos` / `scan` / `uniform` stress shapes.
+//! * [`TraceGen`] — the packet process: an iterator of
+//!   [`flownet::PacketMeta`], or byte-accurate Ethernet frames.
+//! * [`GroundTruth`] — exact per-flow counters and the per-node
+//!   "actual popularity" oracle used to regenerate Fig. 3.
+//! * [`Zipf`] — rejection-inversion Zipf sampling (no tables).
+//!
+//! ```
+//! use flowtrace::{profile, TraceGen, GroundTruth};
+//! use flowtree_core::{FlowTree, Config, Popularity};
+//! use flowkey::Schema;
+//!
+//! let mut cfg = profile::backbone(42);
+//! cfg.packets = 10_000; // scale down for the doctest
+//! cfg.flows = 2_000;
+//! let mut tree = FlowTree::new(Schema::four_feature(), Config::with_budget(1_000));
+//! let mut truth = GroundTruth::new();
+//! for pkt in TraceGen::new(cfg) {
+//!     let key = pkt.flow_key();
+//!     tree.insert(&key, Popularity::packet(pkt.wire_len));
+//!     truth.observe(tree.schema().canonicalize(&key), Popularity::packet(pkt.wire_len));
+//! }
+//! assert_eq!(tree.total().packets, 10_000);
+//! assert_eq!(truth.total().packets, 10_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod model;
+pub mod profile;
+pub mod truth;
+pub mod zipf;
+
+pub use gen::{FlowSpec, TraceConfig, TraceGen};
+pub use model::{AddrModel, PortModel, ProtoMix, SizeModel};
+pub use truth::GroundTruth;
+pub use zipf::Zipf;

@@ -1,0 +1,301 @@
+//! Address, port, size, and protocol models for synthetic traces.
+//!
+//! The accuracy behavior of a Flowtree depends on the *shape* of the
+//! traffic — the popularity skew and the prefix locality — not on the
+//! literal addresses. These models reproduce that shape:
+//!
+//! * [`AddrModel`] draws addresses hierarchically (/8 → /16 → /24 →
+//!   host) with per-level Zipf skew, giving the prefix locality real
+//!   traces have (a few hot /8s, hot /16s inside them, …).
+//! * [`PortModel`] mixes Zipf-weighted well-known service ports with
+//!   uniform ephemeral ports.
+//! * [`SizeModel`] is the classic tri-modal packet-size mixture
+//!   (ACK-sized, mid, MTU-sized).
+
+use crate::zipf::Zipf;
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// Deterministic octet scrambling: maps (seed, level, parent, rank) to an
+/// octet so that rank 1 of one parent differs from rank 1 of another,
+/// without any state.
+fn scramble(seed: u64, level: u8, parent: u32, rank: u64) -> u8 {
+    let mut x = seed
+        ^ (level as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (parent as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ rank.wrapping_mul(0x1656_67B1_9E37_79F9);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    (x & 0xff) as u8
+}
+
+/// Hierarchical IPv4 address model.
+#[derive(Debug, Clone, Copy)]
+pub struct AddrModel {
+    /// Seed of the model's deterministic address universe.
+    pub seed: u64,
+    /// Distinct active /8s and the Zipf skew across them.
+    pub l8: (u64, f64),
+    /// Distinct /16s per /8 and their skew.
+    pub l16: (u64, f64),
+    /// Distinct /24s per /16 and their skew.
+    pub l24: (u64, f64),
+    /// Distinct hosts per /24 and their skew.
+    pub l32: (u64, f64),
+}
+
+impl AddrModel {
+    /// A backbone-like model: wide but skewed.
+    pub fn backbone(seed: u64) -> AddrModel {
+        AddrModel {
+            seed,
+            l8: (48, 0.9),
+            l16: (120, 1.0),
+            l24: (96, 1.0),
+            l32: (64, 0.8),
+        }
+    }
+
+    /// A transit-link model: fewer hot networks, longer thin tail.
+    pub fn transit(seed: u64) -> AddrModel {
+        AddrModel {
+            seed,
+            l8: (24, 1.2),
+            l16: (200, 0.8),
+            l24: (150, 0.7),
+            l32: (128, 0.6),
+        }
+    }
+
+    /// A narrow model (e.g. one enterprise's own address space).
+    pub fn narrow(seed: u64) -> AddrModel {
+        AddrModel {
+            seed,
+            l8: (2, 0.5),
+            l16: (8, 0.9),
+            l24: (32, 1.0),
+            l32: (200, 0.7),
+        }
+    }
+
+    /// Draws one address.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Ipv4Addr {
+        let r8 = Zipf::new(self.l8.0, self.l8.1).sample(rng);
+        let o1 = scramble(self.seed, 1, 0, r8);
+        let r16 = Zipf::new(self.l16.0, self.l16.1).sample(rng);
+        let o2 = scramble(self.seed, 2, o1 as u32, r16);
+        let r24 = Zipf::new(self.l24.0, self.l24.1).sample(rng);
+        let o3 = scramble(self.seed, 3, (o1 as u32) << 8 | o2 as u32, r24);
+        let r32 = Zipf::new(self.l32.0, self.l32.1).sample(rng);
+        let o4 = scramble(
+            self.seed,
+            4,
+            (o1 as u32) << 16 | (o2 as u32) << 8 | o3 as u32,
+            r32,
+        );
+        Ipv4Addr::new(o1, o2, o3, o4)
+    }
+}
+
+/// Port model: service ports vs ephemeral range.
+#[derive(Debug, Clone)]
+pub struct PortModel {
+    /// Probability of drawing a well-known service port.
+    pub service_prob: f64,
+    /// The service ports ranked by popularity (Zipf with `service_s`).
+    pub services: Vec<u16>,
+    /// Zipf exponent across the service ports.
+    pub service_s: f64,
+}
+
+impl PortModel {
+    /// Typical destination-port mix (web-heavy, then DNS, mail, SSH…).
+    pub fn server_side() -> PortModel {
+        PortModel {
+            service_prob: 0.85,
+            services: vec![443, 80, 53, 22, 25, 123, 8080, 993, 3389, 1935, 8443, 21],
+            service_s: 1.1,
+        }
+    }
+
+    /// Typical source-port mix (almost all ephemeral).
+    pub fn client_side() -> PortModel {
+        PortModel {
+            service_prob: 0.05,
+            services: vec![53, 123, 443],
+            service_s: 1.0,
+        }
+    }
+
+    /// Draws one port.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u16 {
+        if !self.services.is_empty() && rng.gen::<f64>() < self.service_prob {
+            let rank = Zipf::new(self.services.len() as u64, self.service_s).sample(rng);
+            self.services[(rank - 1) as usize]
+        } else {
+            rng.gen_range(32_768..=65_535)
+        }
+    }
+}
+
+/// Tri-modal packet-size model.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeModel {
+    /// Probability of an ACK-sized packet (40–80 B).
+    pub p_small: f64,
+    /// Probability of an MTU-sized packet (1400–1500 B); the remainder
+    /// is mid-sized (200–1000 B).
+    pub p_full: f64,
+}
+
+impl SizeModel {
+    /// The classic bimodal-with-midrange internet mix.
+    pub fn internet() -> SizeModel {
+        SizeModel {
+            p_small: 0.45,
+            p_full: 0.35,
+        }
+    }
+
+    /// Draws one wire length.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u = rng.gen::<f64>();
+        if u < self.p_small {
+            rng.gen_range(40..=80)
+        } else if u < self.p_small + self.p_full {
+            rng.gen_range(1400..=1500)
+        } else {
+            rng.gen_range(200..=1000)
+        }
+    }
+}
+
+/// Protocol mixture: (protocol number, weight).
+#[derive(Debug, Clone)]
+pub struct ProtoMix {
+    entries: Vec<(u8, f64)>,
+    total: f64,
+}
+
+impl ProtoMix {
+    /// Builds a mixture; weights need not sum to 1.
+    pub fn new(entries: Vec<(u8, f64)>) -> ProtoMix {
+        assert!(!entries.is_empty());
+        let total = entries.iter().map(|(_, w)| *w).sum();
+        ProtoMix { entries, total }
+    }
+
+    /// TCP-dominant internet mix.
+    pub fn internet() -> ProtoMix {
+        ProtoMix::new(vec![(6, 0.82), (17, 0.15), (1, 0.02), (47, 0.01)])
+    }
+
+    /// UDP/scan-heavier transit mix.
+    pub fn transit() -> ProtoMix {
+        ProtoMix::new(vec![(6, 0.65), (17, 0.30), (1, 0.04), (50, 0.01)])
+    }
+
+    /// Draws one protocol number.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u8 {
+        let mut u = rng.gen::<f64>() * self.total;
+        for (p, w) in &self.entries {
+            if u < *w {
+                return *p;
+            }
+            u -= w;
+        }
+        self.entries.last().expect("non-empty").0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn addr_model_shows_prefix_locality() {
+        let m = AddrModel::backbone(42);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut first_octets = HashSet::new();
+        let mut hosts = HashSet::new();
+        for _ in 0..20_000 {
+            let a = m.sample(&mut rng);
+            first_octets.insert(a.octets()[0]);
+            hosts.insert(a);
+        }
+        // Far fewer active /8s than hosts: locality exists.
+        assert!(first_octets.len() <= 48);
+        assert!(first_octets.len() >= 8, "{}", first_octets.len());
+        assert!(hosts.len() > 2_000, "host diversity: {}", hosts.len());
+    }
+
+    #[test]
+    fn addr_model_is_deterministic_per_seed() {
+        let m = AddrModel::backbone(7);
+        let a: Vec<_> = {
+            let mut rng = SmallRng::seed_from_u64(3);
+            (0..100).map(|_| m.sample(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = SmallRng::seed_from_u64(3);
+            (0..100).map(|_| m.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+        // Different model seeds give different address universes.
+        let m2 = AddrModel::backbone(8);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let c: Vec<_> = (0..100).map(|_| m2.sample(&mut rng)).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn port_model_mixes_service_and_ephemeral() {
+        let m = PortModel::server_side();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (mut service, mut ephemeral) = (0, 0);
+        for _ in 0..10_000 {
+            let p = m.sample(&mut rng);
+            if m.services.contains(&p) {
+                service += 1;
+            } else {
+                assert!(p >= 32_768);
+                ephemeral += 1;
+            }
+        }
+        assert!(service > 7_000, "{service}");
+        assert!(ephemeral > 500, "{ephemeral}");
+    }
+
+    #[test]
+    fn size_model_is_trimodal() {
+        let m = SizeModel::internet();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (mut small, mut mid, mut full) = (0, 0, 0);
+        for _ in 0..10_000 {
+            match m.sample(&mut rng) {
+                40..=80 => small += 1,
+                1400..=1500 => full += 1,
+                200..=1000 => mid += 1,
+                other => panic!("size {other} outside all modes"),
+            }
+        }
+        assert!(small > 3_500 && full > 2_500 && mid > 1_000);
+    }
+
+    #[test]
+    fn proto_mix_respects_weights() {
+        let m = ProtoMix::internet();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut tcp = 0;
+        for _ in 0..10_000 {
+            if m.sample(&mut rng) == 6 {
+                tcp += 1;
+            }
+        }
+        assert!((7_500..9_000).contains(&tcp), "tcp share {tcp}");
+    }
+}

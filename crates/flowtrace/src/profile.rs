@@ -1,0 +1,169 @@
+//! Workload profiles — the paper-trace substitutions.
+//!
+//! The paper evaluates on a CAIDA Equinix-Chicago backbone capture and a
+//! MAWI transit-link capture, 6 M packets each. Neither is
+//! redistributable, so these profiles reproduce the *statistical shape*
+//! that drives Flowtree accuracy (see DESIGN.md §2):
+//!
+//! * [`backbone`] (Equinix-Chicago-like): very large flow universe,
+//!   pronounced Zipf head, strong prefix locality, TCP-dominant.
+//! * [`transit`] (MAWI-like): smaller hot set, flatter tail with far
+//!   more single-packet flows (scans, DNS), more UDP.
+//!
+//! Stress profiles exercise the self-adjustment machinery:
+//! [`ddos`] (many sources, one destination), [`scan`] (one source,
+//! many destinations), [`uniform`] (no skew at all — the worst case for
+//! any popularity-based summary).
+
+use crate::gen::TraceConfig;
+use crate::model::{AddrModel, PortModel, ProtoMix, SizeModel};
+
+/// Paper evaluation scale: 6 M packets.
+pub const PAPER_PACKETS: u64 = 6_000_000;
+
+fn base(name: &'static str, seed: u64) -> TraceConfig {
+    TraceConfig {
+        name,
+        seed,
+        packets: PAPER_PACKETS,
+        flows: 1_500_000,
+        zipf_s: 1.05,
+        start_micros: 1_700_000_000_000_000,
+        mean_pps: 120_000.0,
+        src_model: AddrModel::backbone(seed ^ 0xA),
+        dst_model: AddrModel::backbone(seed ^ 0xB),
+        sport_model: PortModel::client_side(),
+        dport_model: PortModel::server_side(),
+        proto_mix: ProtoMix::internet(),
+        size_model: SizeModel::internet(),
+    }
+}
+
+/// Equinix-Chicago-like backbone workload.
+pub fn backbone(seed: u64) -> TraceConfig {
+    base("backbone", seed)
+}
+
+/// MAWI-like transit workload: flatter popularity (more mass in the
+/// tail), higher flow diversity per packet, UDP-heavier.
+pub fn transit(seed: u64) -> TraceConfig {
+    let mut cfg = base("transit", seed);
+    cfg.zipf_s = 0.85;
+    cfg.flows = 2_500_000;
+    cfg.src_model = AddrModel::transit(seed ^ 0xA);
+    cfg.dst_model = AddrModel::transit(seed ^ 0xB);
+    cfg.proto_mix = ProtoMix::transit();
+    cfg
+}
+
+/// Volumetric attack: huge source diversity against one service.
+pub fn ddos(seed: u64) -> TraceConfig {
+    let mut cfg = base("ddos", seed);
+    cfg.flows = 800_000;
+    cfg.zipf_s = 0.3; // every bot sends at a similar rate
+    cfg.src_model = AddrModel::transit(seed ^ 0xA);
+    // The victim is a handful of load-balanced hosts in one /24.
+    cfg.dst_model = AddrModel {
+        l8: (1, 1.0),
+        l16: (1, 1.0),
+        l24: (2, 1.0),
+        l32: (32, 0.5),
+        ..AddrModel::narrow(seed ^ 0xB)
+    };
+    cfg.dport_model = PortModel {
+        service_prob: 0.98,
+        services: vec![443],
+        service_s: 1.0,
+    };
+    cfg
+}
+
+/// Horizontal scan: one prefix probing a vast destination space.
+pub fn scan(seed: u64) -> TraceConfig {
+    let mut cfg = base("scan", seed);
+    cfg.flows = 2_000_000;
+    cfg.zipf_s = 0.1; // almost every flow is 1–2 packets
+    cfg.src_model = AddrModel::narrow(seed ^ 0xA);
+    cfg.dst_model = AddrModel::transit(seed ^ 0xB);
+    cfg.size_model = SizeModel {
+        p_small: 0.95,
+        p_full: 0.01,
+    };
+    cfg
+}
+
+/// No skew at all: uniform flow popularity (adversarial for Flowtree).
+pub fn uniform(seed: u64) -> TraceConfig {
+    let mut cfg = base("uniform", seed);
+    cfg.zipf_s = 0.0;
+    cfg.flows = 1_000_000;
+    cfg
+}
+
+/// Profile by name (for CLI harnesses).
+pub fn by_name(name: &str, seed: u64) -> Option<TraceConfig> {
+    Some(match name {
+        "backbone" => backbone(seed),
+        "transit" => transit(seed),
+        "ddos" => ddos(seed),
+        "scan" => scan(seed),
+        "uniform" => uniform(seed),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::TraceGen;
+    use std::collections::HashSet;
+
+    #[test]
+    fn by_name_knows_all_profiles() {
+        for n in ["backbone", "transit", "ddos", "scan", "uniform"] {
+            assert!(by_name(n, 1).is_some(), "{n}");
+        }
+        assert!(by_name("bogus", 1).is_none());
+    }
+
+    #[test]
+    fn transit_has_higher_flow_diversity_than_backbone() {
+        let count_distinct = |cfg: TraceConfig| {
+            let mut cfg = cfg;
+            cfg.packets = 60_000;
+            let mut set = HashSet::new();
+            for p in TraceGen::new(cfg) {
+                set.insert((p.src, p.dst, p.sport, p.dport, p.proto));
+            }
+            set.len()
+        };
+        let b = count_distinct(backbone(3));
+        let t = count_distinct(transit(3));
+        assert!(
+            t as f64 > b as f64 * 1.15,
+            "transit {t} flows vs backbone {b}"
+        );
+    }
+
+    #[test]
+    fn ddos_concentrates_destinations() {
+        let mut cfg = ddos(4);
+        cfg.packets = 30_000;
+        let mut dsts = HashSet::new();
+        let mut dports = HashSet::new();
+        for p in TraceGen::new(cfg) {
+            dsts.insert(p.dst);
+            dports.insert(p.dport);
+        }
+        assert!(dsts.len() < 3_000, "victim space is narrow: {}", dsts.len());
+        assert!(dports.contains(&443));
+    }
+
+    #[test]
+    fn scan_is_mostly_tiny_packets() {
+        let mut cfg = scan(5);
+        cfg.packets = 20_000;
+        let small = TraceGen::new(cfg).filter(|p| p.wire_len <= 80).count();
+        assert!(small > 17_000, "small packets: {small}");
+    }
+}

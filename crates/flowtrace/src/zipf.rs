@@ -1,0 +1,168 @@
+//! Zipf-distributed sampling.
+//!
+//! Flow popularity in real traces is heavy-tailed; the standard model is
+//! Zipf: the k-th most popular flow has probability ∝ k^−s. Implemented
+//! with Hörmann & Derflinger's rejection-inversion method (the same
+//! algorithm `rand_distr` uses), which samples in O(1) expected time for
+//! any n without precomputing tables — essential for the multi-million
+//! flow universes of the backbone profiles.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s ≥ 0`.
+#[derive(Debug, Clone, Copy)]
+pub struct Zipf {
+    n: u64,
+    q: f64,
+    h_x0: f64,
+    h_tail: f64,
+}
+
+impl Zipf {
+    /// Creates the distribution. Panics if `n == 0` or `s < 0` or not
+    /// finite.
+    pub fn new(n: u64, s: f64) -> Zipf {
+        assert!(n > 0, "zipf needs a non-empty domain");
+        assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be ≥ 0");
+        let q = s;
+        Zipf {
+            n,
+            q,
+            h_x0: h_integral(0.5, q),
+            h_tail: h_integral(n as f64 + 0.5, q),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The exponent.
+    pub fn s(&self) -> f64 {
+        self.q
+    }
+
+    /// Samples a rank in `1..=n` (1 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_x0 + rng.gen::<f64>() * (self.h_tail - self.h_x0);
+            let x = h_integral_inv(u, self.q);
+            let k = (x + 0.5).floor().clamp(1.0, self.n as f64) as u64;
+            // Accept with the exact point probability against the
+            // envelope: u ≥ H(k + ½) − h(k).
+            if u >= h_integral(k as f64 + 0.5, self.q) - h(k as f64, self.q) {
+                return k;
+            }
+        }
+    }
+
+    /// The unnormalized weight of rank `k`.
+    pub fn weight(&self, k: u64) -> f64 {
+        h(k as f64, self.q)
+    }
+}
+
+/// h(x) = x^−q.
+fn h(x: f64, q: f64) -> f64 {
+    (-q * x.ln()).exp()
+}
+
+/// H(x) = ∫ x^−q dx, the antiderivative (monotone increasing).
+fn h_integral(x: f64, q: f64) -> f64 {
+    let log_x = x.ln();
+    if (q - 1.0).abs() < 1e-12 {
+        log_x
+    } else {
+        ((1.0 - q) * log_x).exp_m1() / (1.0 - q)
+    }
+}
+
+/// Inverse of [`h_integral`].
+fn h_integral_inv(y: f64, q: f64) -> f64 {
+    if (q - 1.0).abs() < 1e-12 {
+        y.exp()
+    } else {
+        let t = (y * (1.0 - q)).max(-1.0);
+        (t.ln_1p() / (1.0 - q)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn frequencies(n: u64, s: f64, samples: usize) -> Vec<f64> {
+        let z = Zipf::new(n, s);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..samples {
+            let k = z.sample(&mut rng);
+            assert!((1..=n).contains(&k));
+            counts[k as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / samples as f64).collect()
+    }
+
+    #[test]
+    fn matches_expected_ratios_small_n() {
+        // n = 4, s = 1: weights 1, 1/2, 1/3, 1/4 → probabilities
+        // normalized by 25/12.
+        let f = frequencies(4, 1.0, 400_000);
+        let norm = 1.0 + 0.5 + 1.0 / 3.0 + 0.25;
+        for k in 1..=4usize {
+            let expect = (1.0 / k as f64) / norm;
+            assert!(
+                (f[k] - expect).abs() < 0.01,
+                "rank {k}: got {:.4}, want {expect:.4}",
+                f[k]
+            );
+        }
+    }
+
+    #[test]
+    fn s_zero_is_uniform() {
+        let f = frequencies(10, 0.0, 200_000);
+        for k in 1..=10usize {
+            assert!((f[k] - 0.1).abs() < 0.01, "rank {k}: {:.4}", f[k]);
+        }
+    }
+
+    #[test]
+    fn heavier_exponent_concentrates_head() {
+        let f1 = frequencies(1000, 0.8, 100_000);
+        let f2 = frequencies(1000, 1.6, 100_000);
+        assert!(f2[1] > f1[1], "s=1.6 must put more mass on rank 1");
+        assert!(f2[1] > 0.3, "rank 1 at s=1.6 should dominate: {}", f2[1]);
+    }
+
+    #[test]
+    fn large_domain_samples_in_range() {
+        let z = Zipf::new(10_000_000, 1.1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen_big = false;
+        for _ in 0..20_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=10_000_000).contains(&k));
+            seen_big |= k > 100_000;
+        }
+        assert!(seen_big, "the tail must be reachable");
+    }
+
+    #[test]
+    fn non_integer_exponent_close_to_one() {
+        // Numerical stability around the s = 1 branch point.
+        for s in [0.999, 1.0, 1.001] {
+            let f = frequencies(100, s, 50_000);
+            assert!(f[1] > f[2] && f[2] > f[5], "monotone at s={s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "domain")]
+    fn zero_domain_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

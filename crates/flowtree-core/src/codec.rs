@@ -1,0 +1,434 @@
+//! Compact binary serialization of Flowtrees.
+//!
+//! Summaries are what the distributed system ships between sites, so the
+//! encoding must be small (that is the point of the paper) and safe to
+//! decode from untrusted bytes (the guides' rule: network input is
+//! hostile until proven otherwise — every structural claim in the stream
+//! is re-verified on decode).
+//!
+//! Format (all integers little-endian or LEB128 varints):
+//!
+//! ```text
+//! magic   4 bytes  "FTR1"
+//! version 1 byte   = 1
+//! schema  1 byte   SchemaKind discriminant
+//! count   varint   number of nodes, ≥ 1
+//! nodes   count ×  (pre-order; node 0 must be the root)
+//!   parent  varint   position of the parent in this stream (< own pos);
+//!                    node 0 encodes 0
+//!   key     packed   flowkey::pack
+//!   comp    3 × signed varint (packets, bytes, flows)
+//! ```
+
+use crate::pop::Popularity;
+use crate::tree::FlowTree;
+use crate::Config;
+use core::fmt;
+use flowkey::pack::{pack_key, read_varint, unpack_key, write_varint, write_varint_signed};
+use flowkey::{FlowKey, Schema, SchemaKind};
+
+/// Magic bytes of the Flowtree wire format.
+pub const MAGIC: [u8; 4] = *b"FTR1";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// Hard ceiling on the node count accepted from the wire, protecting the
+/// decoder from resource-exhaustion frames.
+pub const MAX_WIRE_NODES: usize = 4_000_000;
+
+/// Errors produced while decoding a Flowtree frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The frame does not start with [`MAGIC`].
+    BadMagic,
+    /// The version byte is not supported.
+    BadVersion(u8),
+    /// The schema byte is not a known [`SchemaKind`].
+    BadSchema(u8),
+    /// The frame ended early.
+    Truncated,
+    /// A key failed to decode.
+    BadKey,
+    /// The node count exceeds [`MAX_WIRE_NODES`] or is zero.
+    BadCount(u64),
+    /// A structural claim in the stream was false (bad parent reference,
+    /// non-root first node, parent not a chain ancestor, duplicate key…).
+    BadStructure(&'static str),
+    /// Trailing bytes after a complete tree.
+    TrailingBytes,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => f.write_str("bad magic"),
+            CodecError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            CodecError::BadSchema(s) => write!(f, "unknown schema {s}"),
+            CodecError::Truncated => f.write_str("truncated frame"),
+            CodecError::BadKey => f.write_str("malformed key"),
+            CodecError::BadCount(n) => write!(f, "implausible node count {n}"),
+            CodecError::BadStructure(s) => write!(f, "bad structure: {s}"),
+            CodecError::TrailingBytes => f.write_str("trailing bytes after tree"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn schema_byte(kind: SchemaKind) -> u8 {
+    match kind {
+        SchemaKind::Src1 => 0,
+        SchemaKind::SrcDst2 => 1,
+        SchemaKind::Four => 2,
+        SchemaKind::Five => 3,
+        SchemaKind::Extended => 4,
+    }
+}
+
+fn schema_from_byte(b: u8) -> Option<SchemaKind> {
+    Some(match b {
+        0 => SchemaKind::Src1,
+        1 => SchemaKind::SrcDst2,
+        2 => SchemaKind::Four,
+        3 => SchemaKind::Five,
+        4 => SchemaKind::Extended,
+        _ => return None,
+    })
+}
+
+impl FlowTree {
+    /// Encodes the tree into the compact wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let order = self.preorder();
+        // Position of each node id in the emitted stream.
+        let mut pos = vec![0u32; self.capacity()];
+        for (i, &id) in order.iter().enumerate() {
+            pos[id as usize] = i as u32;
+        }
+        let mut out = Vec::with_capacity(16 + order.len() * 16);
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(schema_byte(self.schema().kind()));
+        write_varint(&mut out, order.len() as u64);
+        for (i, &id) in order.iter().enumerate() {
+            let node = self.node(id);
+            let parent_pos = if i == 0 {
+                0
+            } else {
+                pos[node.parent as usize] as u64
+            };
+            write_varint(&mut out, parent_pos);
+            pack_key(&mut out, &node.key);
+            write_varint_signed(&mut out, node.comp.packets);
+            write_varint_signed(&mut out, node.comp.bytes);
+            write_varint_signed(&mut out, node.comp.flows);
+        }
+        out
+    }
+
+    /// Size in bytes of the encoded tree (what a site would transfer).
+    pub fn encoded_size(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Decodes and fully validates a frame produced by [`encode`].
+    ///
+    /// Every structural claim is re-verified: the first node must be the
+    /// root, every parent reference must point backwards to a node whose
+    /// key is a canonical-chain ancestor of the child, and keys must be
+    /// unique. The node budget of `cfg` is raised to the decoded size if
+    /// necessary, so a faithfully transferred summary is never mutated by
+    /// the act of decoding.
+    ///
+    /// [`encode`]: FlowTree::encode
+    pub fn decode(bytes: &[u8], cfg: Config) -> Result<FlowTree, CodecError> {
+        let (tree, used) = Self::decode_prefix(bytes, cfg)?;
+        if used != bytes.len() {
+            return Err(CodecError::TrailingBytes);
+        }
+        Ok(tree)
+    }
+
+    /// Like [`decode`](FlowTree::decode) but tolerates trailing bytes,
+    /// returning the tree and the number of bytes consumed (for framed
+    /// streams carrying several trees).
+    pub fn decode_prefix(bytes: &[u8], cfg: Config) -> Result<(FlowTree, usize), CodecError> {
+        if bytes.len() < 6 {
+            return Err(CodecError::Truncated);
+        }
+        if bytes[..4] != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        if bytes[4] != VERSION {
+            return Err(CodecError::BadVersion(bytes[4]));
+        }
+        let kind = schema_from_byte(bytes[5]).ok_or(CodecError::BadSchema(bytes[5]))?;
+        let schema = Schema::from_kind(kind);
+        let mut pos = 6usize;
+        let (count, n) = read_varint(&bytes[pos..]).map_err(|_| CodecError::Truncated)?;
+        pos += n;
+        if count == 0 || count as usize > MAX_WIRE_NODES {
+            return Err(CodecError::BadCount(count));
+        }
+        let count = count as usize;
+
+        let mut cfg = cfg;
+        cfg.node_budget = cfg.node_budget.max(count);
+        let mut tree = FlowTree::new(schema, cfg);
+        // Keys in stream order, so parent references can be resolved.
+        let mut keys: Vec<FlowKey> = Vec::with_capacity(count);
+
+        for i in 0..count {
+            let (parent_pos, n) = read_varint(&bytes[pos..]).map_err(|_| CodecError::Truncated)?;
+            pos += n;
+            let (key, n) = unpack_key(&bytes[pos..]).map_err(|e| match e {
+                flowkey::pack::UnpackError::Truncated => CodecError::Truncated,
+                flowkey::pack::UnpackError::Invalid => CodecError::BadKey,
+            })?;
+            pos += n;
+            let mut comp = Popularity::ZERO;
+            for field in [&mut comp.packets, &mut comp.bytes, &mut comp.flows] {
+                let (v, n) = flowkey::pack::read_varint_signed(&bytes[pos..])
+                    .map_err(|_| CodecError::Truncated)?;
+                *field = v;
+                pos += n;
+            }
+
+            if !schema.conforms(&key) {
+                return Err(CodecError::BadStructure("key outside schema"));
+            }
+            if i == 0 {
+                if !key.is_root() {
+                    return Err(CodecError::BadStructure("first node is not the root"));
+                }
+                if parent_pos != 0 {
+                    return Err(CodecError::BadStructure("root parent reference"));
+                }
+                tree.set_root_comp(comp);
+            } else {
+                if parent_pos as usize >= i {
+                    return Err(CodecError::BadStructure("forward parent reference"));
+                }
+                let parent_key = keys[parent_pos as usize];
+                if !schema.is_chain_ancestor(&parent_key, &key) || parent_key == key {
+                    return Err(CodecError::BadStructure("parent not a chain ancestor"));
+                }
+                if tree.contains_key(&key) {
+                    return Err(CodecError::BadStructure("duplicate key"));
+                }
+                // Rebuilding via the ordinary insert path re-derives the
+                // Patricia structure, so a hostile stream cannot smuggle
+                // in an invariant-breaking shape.
+                tree.add_mass(key, comp);
+            }
+            keys.push(key);
+        }
+        Ok((tree, pos))
+    }
+
+    pub(crate) fn set_root_comp(&mut self, comp: Popularity) {
+        let root = self.root;
+        self.nodes[root as usize].comp = comp;
+        self.total += comp;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Config;
+
+    fn sample_tree() -> FlowTree {
+        let mut tree = FlowTree::new(Schema::four_feature(), Config::with_budget(256));
+        for i in 0..100u32 {
+            let key: FlowKey = format!(
+                "src=10.0.{}.{}/32 dst=192.0.2.{}/32 sport={} dport=443",
+                i / 16,
+                i % 16,
+                i % 8,
+                1024 + i
+            )
+            .parse()
+            .unwrap();
+            tree.insert(&key, Popularity::new(1 + i as i64, 100, 1));
+        }
+        tree
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let tree = sample_tree();
+        let bytes = tree.encode();
+        let back = FlowTree::decode(&bytes, Config::with_budget(256)).unwrap();
+        back.validate();
+        assert_eq!(back.len(), tree.len());
+        assert_eq!(back.total(), tree.total());
+        for view in tree.iter() {
+            assert_eq!(back.comp_of(view.key), Some(view.comp), "at {}", view.key);
+        }
+    }
+
+    #[test]
+    fn empty_tree_roundtrips() {
+        let tree = FlowTree::new(Schema::five_feature(), Config::with_budget(64));
+        let bytes = tree.encode();
+        let back = FlowTree::decode(&bytes, Config::with_budget(64)).unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(back.total().is_zero());
+    }
+
+    #[test]
+    fn negative_masses_roundtrip() {
+        let mut a = sample_tree();
+        let b = sample_tree();
+        a.diff(&b).unwrap();
+        // a now holds zero/negative-free mass; force a real negative node.
+        a.add_mass(
+            "src=1.2.3.4/32".parse().unwrap(),
+            Popularity::new(-7, -9, 0),
+        );
+        let bytes = a.encode();
+        let back = FlowTree::decode(&bytes, Config::with_budget(256)).unwrap();
+        assert_eq!(
+            back.comp_of(&"src=1.2.3.4/32".parse().unwrap()),
+            Some(Popularity::new(-7, -9, 0))
+        );
+    }
+
+    #[test]
+    fn truncation_always_errors() {
+        let bytes = sample_tree().encode();
+        for cut in 0..bytes.len().min(64) {
+            assert!(FlowTree::decode(&bytes[..cut], Config::paper()).is_err());
+        }
+        // And a cut in the middle of the node list.
+        let cut = bytes.len() - 3;
+        assert!(FlowTree::decode(&bytes[..cut], Config::paper()).is_err());
+    }
+
+    #[test]
+    fn header_errors() {
+        let mut bytes = sample_tree().encode();
+        bytes[0] = b'X';
+        assert_eq!(
+            FlowTree::decode(&bytes, Config::paper()).unwrap_err(),
+            CodecError::BadMagic
+        );
+        let mut bytes = sample_tree().encode();
+        bytes[4] = 9;
+        assert_eq!(
+            FlowTree::decode(&bytes, Config::paper()).unwrap_err(),
+            CodecError::BadVersion(9)
+        );
+        let mut bytes = sample_tree().encode();
+        bytes[5] = 99;
+        assert_eq!(
+            FlowTree::decode(&bytes, Config::paper()).unwrap_err(),
+            CodecError::BadSchema(99)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_but_prefix_ok() {
+        let mut bytes = sample_tree().encode();
+        let clean = bytes.len();
+        bytes.push(0xAA);
+        assert_eq!(
+            FlowTree::decode(&bytes, Config::paper()).unwrap_err(),
+            CodecError::TrailingBytes
+        );
+        let (tree, used) = FlowTree::decode_prefix(&bytes, Config::paper()).unwrap();
+        assert_eq!(used, clean);
+        assert_eq!(tree.len(), sample_tree().len());
+    }
+
+    #[test]
+    fn hostile_count_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(0);
+        flowkey::pack::write_varint(&mut bytes, u64::MAX);
+        assert!(matches!(
+            FlowTree::decode(&bytes, Config::paper()).unwrap_err(),
+            CodecError::BadCount(_)
+        ));
+    }
+
+    #[test]
+    fn non_root_first_node_rejected() {
+        // Hand-build: count=1 but key non-root.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(0); // Src1
+        flowkey::pack::write_varint(&mut bytes, 1);
+        flowkey::pack::write_varint(&mut bytes, 0);
+        pack_key(&mut bytes, &"src=1.0.0.0/8".parse().unwrap());
+        for _ in 0..3 {
+            flowkey::pack::write_varint_signed(&mut bytes, 0);
+        }
+        assert!(matches!(
+            FlowTree::decode(&bytes, Config::paper()).unwrap_err(),
+            CodecError::BadStructure(_)
+        ));
+    }
+
+    #[test]
+    fn bogus_parent_reference_rejected() {
+        // Two nodes where the second claims an off-chain parent.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(1); // SrcDst2
+        flowkey::pack::write_varint(&mut bytes, 3);
+        // Root.
+        flowkey::pack::write_varint(&mut bytes, 0);
+        pack_key(&mut bytes, &FlowKey::ROOT);
+        for _ in 0..3 {
+            flowkey::pack::write_varint_signed(&mut bytes, 0);
+        }
+        // A deep node under root: fine.
+        flowkey::pack::write_varint(&mut bytes, 0);
+        pack_key(&mut bytes, &"src=1.0.0.0/8 dst=2.0.0.0/8".parse().unwrap());
+        for _ in 0..3 {
+            flowkey::pack::write_varint_signed(&mut bytes, 1);
+        }
+        // A node claiming node 1 as parent although it is not an ancestor.
+        flowkey::pack::write_varint(&mut bytes, 1);
+        pack_key(&mut bytes, &"src=9.0.0.0/8 dst=8.0.0.0/8".parse().unwrap());
+        for _ in 0..3 {
+            flowkey::pack::write_varint_signed(&mut bytes, 1);
+        }
+        assert_eq!(
+            FlowTree::decode(&bytes, Config::paper()).unwrap_err(),
+            CodecError::BadStructure("parent not a chain ancestor")
+        );
+    }
+
+    #[test]
+    fn decode_raises_budget_to_fit() {
+        let tree = sample_tree();
+        let bytes = tree.encode();
+        let back = FlowTree::decode(&bytes, Config::with_budget(16)).unwrap();
+        assert_eq!(back.len(), tree.len(), "decode must not compact away nodes");
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let tree = sample_tree();
+        let per_node = tree.encoded_size() as f64 / tree.len() as f64;
+        assert!(per_node < 32.0, "expected < 32 B/node, got {per_node:.1}");
+    }
+
+    #[test]
+    fn fuzz_decode_never_panics() {
+        let bytes = sample_tree().encode();
+        // Flip each byte and decode; must never panic.
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0x5A;
+            let _ = FlowTree::decode(&mutated, Config::paper());
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! A fast, non-cryptographic hasher for flow keys.
+//!
+//! Flowtree updates are dominated by hash-map probes on [`FlowKey`]s, so
+//! the default SipHash is needless overhead (keys are not
+//! attacker-controlled map inputs in the threat model of a summarizer —
+//! worst case an adversary degrades their own summary's accuracy, not
+//! memory safety). This is the well-known Fx multiply-rotate hash used
+//! by rustc, implemented locally to keep the offline dependency set
+//! small.
+//!
+//! [`FlowKey`]: flowkey::FlowKey
+
+use core::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fx hasher state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.mix(v as u64);
+        self.mix((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type BuildFx = BuildHasherDefault<FxHasher>;
+
+/// Hashes any `Hash` value with [`FxHasher`] (used for child step hashes).
+#[inline]
+pub fn fxhash<T: core::hash::Hash>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowkey::FlowKey;
+
+    #[test]
+    fn deterministic_and_distinguishing() {
+        let a: FlowKey = "src=1.1.1.0/24".parse().unwrap();
+        let b: FlowKey = "src=1.1.2.0/24".parse().unwrap();
+        assert_eq!(fxhash(&a), fxhash(&a));
+        assert_ne!(fxhash(&a), fxhash(&b));
+        assert_ne!(fxhash(&a), fxhash(&FlowKey::ROOT));
+    }
+
+    #[test]
+    fn byte_writes_cover_remainders() {
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 0]); // zero-padded but different length marker
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn collision_rate_is_sane_on_sequential_keys() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0u32..10_000 {
+            let key: FlowKey = format!(
+                "src={}.{}.{}.{}/32",
+                i >> 24,
+                (i >> 16) & 255,
+                (i >> 8) & 255,
+                i & 255
+            )
+            .parse()
+            .unwrap();
+            seen.insert(fxhash(&key));
+        }
+        // All 10k sequential host keys should hash distinctly.
+        assert_eq!(seen.len(), 10_000);
+    }
+}

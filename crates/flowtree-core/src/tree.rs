@@ -1,0 +1,786 @@
+//! The Flowtree data structure.
+//!
+//! A Flowtree is a **self-adjusting, bounded-size tree of generalized
+//! flows**. Structurally it is a path-compressed trie over the canonical
+//! generalization chains of [`flowkey`]: every node's tree parent is its
+//! nearest retained chain ancestor, and internal *join* nodes are created
+//! at the lowest common chain ancestor of diverging keys (exactly like a
+//! Patricia trie creates branch nodes). Each node stores its
+//! **complementary popularity** — the mass observed at that key that is
+//! *not* attributed to any retained descendant — which makes node values
+//! additive and therefore the whole structure mergeable and diffable by
+//! plain node-wise addition/subtraction (the paper's `merge`/`diff`
+//! operators).
+//!
+//! * **Update** (paper §2): existing key → increment its counter.
+//!   Missing key → walk the key's canonical chain upward to the nearest
+//!   retained ancestor ("longest matching parent") and splice the node
+//!   in. No counts are aggregated up the tree on the hot path, giving
+//!   the paper's amortized-constant update.
+//! * **Self-adjustment**: when the node count exceeds the budget, the
+//!   leaves with the smallest complementary popularity are folded into
+//!   their parents until the tree is back under the low-water mark —
+//!   "keeping the popular flows and summarizing the less-popular ones".
+//! * **Queries** run either in `O(subtree)` for retained keys or in
+//!   `O(tree)` for arbitrary hierarchical patterns (paper: "time
+//!   proportional to the tree nodes"); see [`crate::query`].
+
+use crate::config::{Config, EvictionPolicy};
+use crate::hasher::{fxhash, BuildFx};
+use crate::pop::Popularity;
+use flowkey::{FlowKey, Schema};
+use std::collections::{BinaryHeap, HashMap};
+
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// Errors from Flowtree operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// `merge`/`diff` was attempted between trees of different schemas.
+    SchemaMismatch,
+}
+
+impl core::fmt::Display for TreeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TreeError::SchemaMismatch => f.write_str("flowtrees have different schemas"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub(crate) key: FlowKey,
+    pub(crate) depth: u32,
+    pub(crate) parent: u32,
+    pub(crate) first_child: u32,
+    pub(crate) next_sibling: u32,
+    pub(crate) prev_sibling: u32,
+    /// Hash of this node's chain step at `parent.depth + 1`; lets sibling
+    /// scans compare one word instead of recomputing chain ancestors.
+    pub(crate) step_hash: u64,
+    pub(crate) comp: Popularity,
+    pub(crate) touch: u64,
+    pub(crate) generation: u32,
+    pub(crate) alive: bool,
+}
+
+/// Counters describing the work a Flowtree has done — used by the
+/// benchmarks to demonstrate the amortized-constant update cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Total mass-insert operations (updates).
+    pub inserts: u64,
+    /// Updates that hit an existing node.
+    pub hits: u64,
+    /// Updates that created a node.
+    pub misses: u64,
+    /// Total chain steps walked while searching longest matching parents.
+    pub chain_steps: u64,
+    /// Join (branch) nodes created.
+    pub joins_created: u64,
+    /// Compaction runs.
+    pub compactions: u64,
+    /// Leaves folded into their parents by compactions.
+    pub evictions: u64,
+    /// Pass-through nodes contracted away.
+    pub contractions: u64,
+}
+
+impl Stats {
+    /// Mean chain steps per update — the "amortized constant" the paper
+    /// claims; stays small and flat as the trace grows.
+    pub fn mean_chain_steps(&self) -> f64 {
+        if self.inserts == 0 {
+            0.0
+        } else {
+            self.chain_steps as f64 / self.inserts as f64
+        }
+    }
+}
+
+/// A read-only view of one tree node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeView<'a> {
+    /// The generalized flow this node summarizes.
+    pub key: &'a FlowKey,
+    /// Complementary popularity: mass at `key` not attributed to any
+    /// retained descendant.
+    pub comp: Popularity,
+    /// Chain depth of the key.
+    pub depth: u32,
+    /// Key of the tree parent (`None` for the root).
+    pub parent: Option<&'a FlowKey>,
+    /// Whether the node currently has no children.
+    pub is_leaf: bool,
+}
+
+/// The self-adjusting flow summary of Saidi et al. (SIGCOMM 2018).
+///
+/// See the crate-level docs for the design. Typical use:
+///
+/// ```
+/// use flowtree_core::{Config, FlowTree, Popularity};
+/// use flowkey::Schema;
+///
+/// let mut tree = FlowTree::new(Schema::two_feature(), Config::with_budget(1024));
+/// let key = "src=10.0.0.1/32 dst=192.0.2.9/32".parse().unwrap();
+/// tree.insert(&key, Popularity::packet(1500));
+/// let answer = tree.popularity(&key);
+/// assert_eq!(answer.est.packets, 1.0);
+/// assert!(answer.tracked);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowTree {
+    pub(crate) schema: Schema,
+    pub(crate) cfg: Config,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) free: Vec<u32>,
+    pub(crate) index: HashMap<FlowKey, u32, BuildFx>,
+    pub(crate) root: u32,
+    pub(crate) live: usize,
+    pub(crate) clock: u64,
+    pub(crate) total: Popularity,
+    pub(crate) stats: Stats,
+}
+
+impl FlowTree {
+    /// Creates an empty Flowtree (just the all-wildcard root).
+    pub fn new(schema: Schema, cfg: Config) -> FlowTree {
+        let root_key = schema.root();
+        let root = Node {
+            key: root_key,
+            depth: 0,
+            parent: NIL,
+            first_child: NIL,
+            next_sibling: NIL,
+            prev_sibling: NIL,
+            step_hash: 0,
+            comp: Popularity::ZERO,
+            touch: 0,
+            generation: 0,
+            alive: true,
+        };
+        // Pre-size for the budget, but cap so huge budgets (used by
+        // tests and oracles) do not pay an up-front allocation.
+        let cap = cfg.node_budget.saturating_add(16).min(65_536);
+        let mut index = HashMap::with_capacity_and_hasher(cap, BuildFx::default());
+        index.insert(root_key, 0);
+        FlowTree {
+            schema,
+            cfg,
+            nodes: vec![root],
+            free: Vec::new(),
+            index,
+            root: 0,
+            live: 1,
+            clock: 0,
+            total: Popularity::ZERO,
+            stats: Stats::default(),
+        }
+    }
+
+    /// Creates a Flowtree with the paper's evaluation configuration
+    /// (40 K nodes).
+    pub fn with_schema(schema: Schema) -> FlowTree {
+        FlowTree::new(schema, Config::paper())
+    }
+
+    /// The flow schema of this tree.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The configuration of this tree.
+    #[inline]
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Current number of nodes (including root and join nodes).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the tree holds only the root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 1
+    }
+
+    /// Total mass ever inserted (conserved by compaction; adjusted by
+    /// merge/diff).
+    #[inline]
+    pub fn total(&self) -> Popularity {
+        self.total
+    }
+
+    /// Work counters.
+    #[inline]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Whether `key` is currently retained as a node.
+    pub fn contains_key(&self, key: &FlowKey) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// The complementary popularity stored at `key`, if retained.
+    pub fn comp_of(&self, key: &FlowKey) -> Option<Popularity> {
+        self.index.get(key).map(|&id| self.nodes[id as usize].comp)
+    }
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+
+    /// Records `pop` mass for `key` (the paper's *update* operation) and
+    /// compacts if the node budget is exceeded.
+    ///
+    /// `key` is canonicalized to the tree's schema (inactive dimensions
+    /// forced to wildcards), so callers can pass full 5-tuple keys to any
+    /// tree.
+    pub fn insert(&mut self, key: &FlowKey, pop: Popularity) {
+        let key = self.schema.canonicalize(key);
+        self.add_mass(key, pop);
+        if self.live > self.cfg.node_budget {
+            self.compact();
+        }
+    }
+
+    /// Convenience: record one packet of `bytes` bytes for `key`.
+    pub fn record_packet(&mut self, key: &FlowKey, bytes: u32) {
+        self.insert(key, Popularity::packet(bytes));
+    }
+
+    /// Convenience: record one flow record for `key`.
+    pub fn record_flow(&mut self, key: &FlowKey, packets: u64, bytes: u64) {
+        self.insert(key, Popularity::flow(packets, bytes));
+    }
+
+    /// Inserts mass without triggering compaction (used by merge/diff,
+    /// which compact once at the end). Returns the node id.
+    pub(crate) fn add_mass(&mut self, key: FlowKey, pop: Popularity) -> u32 {
+        debug_assert!(self.schema.conforms(&key));
+        self.clock += 1;
+        self.stats.inserts += 1;
+        self.total += pop;
+
+        if let Some(&id) = self.index.get(&key) {
+            self.stats.hits += 1;
+            let node = &mut self.nodes[id as usize];
+            node.comp += pop;
+            node.touch = self.clock;
+            return id;
+        }
+        self.stats.misses += 1;
+
+        // Longest matching parent: walk the canonical chain upward until
+        // an existing node is found. The root always exists, so this
+        // terminates; the expected walk is short because popular
+        // ancestors are retained.
+        let key_depth = self.schema.depth(&key);
+        let mut anchor = self.root;
+        for p in self.schema.chain_up(&key) {
+            self.stats.chain_steps += 1;
+            if let Some(&id) = self.index.get(&p) {
+                anchor = id;
+                break;
+            }
+        }
+
+        let nid = self.alloc(key, key_depth, pop);
+        self.index.insert(key, nid);
+
+        let a_depth = self.nodes[anchor as usize].depth;
+        let step_n = self.schema.chain_ancestor(&key, a_depth + 1);
+        let hash_n = fxhash(&step_n);
+        match self.find_child_by_step(anchor, &step_n, hash_n) {
+            None => self.attach(nid, anchor, hash_n),
+            Some(cid) => {
+                let ckey = self.nodes[cid as usize].key;
+                let join = self.schema.lcca(&key, &ckey);
+                debug_assert_ne!(join, ckey, "a chain-ancestor child would have anchored");
+                if join == key {
+                    // The new key lies on the child's chain: splice between.
+                    self.detach(cid);
+                    self.attach(nid, anchor, hash_n);
+                    let step_c = self.schema.chain_ancestor(&ckey, key_depth + 1);
+                    self.attach(cid, nid, fxhash(&step_c));
+                } else {
+                    // Keys diverge below the anchor: branch at their LCCA.
+                    let jdepth = self.schema.depth(&join);
+                    let jid = self.alloc(join, jdepth, Popularity::ZERO);
+                    self.index.insert(join, jid);
+                    self.stats.joins_created += 1;
+                    self.detach(cid);
+                    self.attach(jid, anchor, hash_n);
+                    let step_c = self.schema.chain_ancestor(&ckey, jdepth + 1);
+                    self.attach(cid, jid, fxhash(&step_c));
+                    let step_k = self.schema.chain_ancestor(&key, jdepth + 1);
+                    self.attach(nid, jid, fxhash(&step_k));
+                }
+            }
+        }
+        nid
+    }
+
+    // ------------------------------------------------------------------
+    // Merge / diff (paper §2, "Flowtree Operators")
+    // ------------------------------------------------------------------
+
+    /// Adds every node mass of `other` into `self` (the paper's `merge`:
+    /// "adding the nodes of A to B ... the update is only done on the
+    /// complementary popularities"). Compacts once at the end.
+    pub fn merge(&mut self, other: &FlowTree) -> Result<(), TreeError> {
+        if self.schema != other.schema {
+            return Err(TreeError::SchemaMismatch);
+        }
+        for node in other.nodes.iter().filter(|n| n.alive) {
+            if !node.comp.is_zero() {
+                self.add_mass(node.key, node.comp);
+            }
+        }
+        if self.live > self.cfg.node_budget {
+            self.compact();
+        }
+        Ok(())
+    }
+
+    /// Subtracts every node mass of `other` from `self` (the paper's
+    /// `diff`). The result can legitimately contain negative masses —
+    /// that is what makes diff summaries useful for change detection and
+    /// diff-based transfer. Zero-mass leaves are pruned afterwards.
+    pub fn diff(&mut self, other: &FlowTree) -> Result<(), TreeError> {
+        if self.schema != other.schema {
+            return Err(TreeError::SchemaMismatch);
+        }
+        for node in other.nodes.iter().filter(|n| n.alive) {
+            if !node.comp.is_zero() {
+                self.add_mass(node.key, -node.comp);
+            }
+        }
+        self.prune_zeros();
+        if self.live > self.cfg.node_budget {
+            self.compact();
+        }
+        Ok(())
+    }
+
+    /// The merge of two trees, leaving both inputs untouched.
+    pub fn merged(a: &FlowTree, b: &FlowTree) -> Result<FlowTree, TreeError> {
+        let mut out = a.clone();
+        out.merge(b)?;
+        Ok(out)
+    }
+
+    /// `a - b` as a fresh diff tree.
+    pub fn diffed(a: &FlowTree, b: &FlowTree) -> Result<FlowTree, TreeError> {
+        let mut out = a.clone();
+        out.diff(b)?;
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Self-adjustment
+    // ------------------------------------------------------------------
+
+    /// Folds the least-popular leaves into their parents until the tree
+    /// is at the low-water mark. Mass is conserved: an evicted leaf's
+    /// complementary popularity moves to its parent, which is exactly the
+    /// paper's "summarize the unpopular flows".
+    pub fn compact(&mut self) {
+        let target = self.cfg.compaction_target().min(self.cfg.node_budget);
+        if self.live <= target {
+            return;
+        }
+        self.stats.compactions += 1;
+
+        // Min-heap of (rank, id, generation) with lazy revalidation.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u64, u32, u32)>> = BinaryHeap::new();
+        let push = |heap: &mut BinaryHeap<std::cmp::Reverse<(u64, u64, u32, u32)>>,
+                    node: &Node,
+                    id: u32,
+                    cfg: &Config| {
+            let (a, b) = rank(node, cfg);
+            heap.push(std::cmp::Reverse((a, b, id, node.generation)));
+        };
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.alive && n.first_child == NIL && i as u32 != self.root {
+                push(&mut heap, n, i as u32, &self.cfg);
+            }
+        }
+
+        while self.live > target {
+            let Some(std::cmp::Reverse((a, b, id, generation))) = heap.pop() else {
+                break; // only the root is left
+            };
+            let node = &self.nodes[id as usize];
+            if !node.alive || node.generation != generation {
+                continue; // slot was reused
+            }
+            if node.first_child != NIL {
+                continue; // no longer a leaf (cannot happen, but be safe)
+            }
+            let (ca, cb) = rank(node, &self.cfg);
+            if (ca, cb) != (a, b) {
+                // Weight changed since the entry was pushed (the node
+                // absorbed an evicted child); re-rank it.
+                push(&mut heap, node, id, &self.cfg);
+                continue;
+            }
+
+            let parent = node.parent;
+            debug_assert_ne!(parent, NIL, "only the root has no parent");
+            let comp = node.comp;
+            self.remove_leaf(id);
+            self.stats.evictions += 1;
+
+            let pnode = &mut self.nodes[parent as usize];
+            pnode.comp += comp;
+            if pnode.first_child == NIL && parent != self.root {
+                // Parent became a leaf: now a candidate itself.
+                push(&mut heap, &self.nodes[parent as usize], parent, &self.cfg);
+            } else {
+                self.contract_if_passthrough(parent);
+            }
+        }
+    }
+
+    /// Removes leaves whose mass cancelled to zero (after `diff`) and
+    /// contracts the resulting pass-through chains.
+    pub fn prune_zeros(&mut self) {
+        // Children before parents: process by descending depth.
+        let mut order: Vec<u32> = (0..self.nodes.len() as u32)
+            .filter(|&i| self.nodes[i as usize].alive && i != self.root)
+            .collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.nodes[i as usize].depth));
+        for id in order {
+            let node = &self.nodes[id as usize];
+            if !node.alive {
+                continue;
+            }
+            if node.first_child == NIL && node.comp.is_zero() {
+                let parent = node.parent;
+                self.remove_leaf(id);
+                if parent != self.root {
+                    self.contract_if_passthrough(parent);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Structure helpers
+    // ------------------------------------------------------------------
+
+    fn alloc(&mut self, key: FlowKey, depth: u32, comp: Popularity) -> u32 {
+        self.live += 1;
+        let touch = self.clock;
+        if let Some(id) = self.free.pop() {
+            let generation = self.nodes[id as usize].generation.wrapping_add(1);
+            self.nodes[id as usize] = Node {
+                key,
+                depth,
+                parent: NIL,
+                first_child: NIL,
+                next_sibling: NIL,
+                prev_sibling: NIL,
+                step_hash: 0,
+                comp,
+                touch,
+                generation,
+                alive: true,
+            };
+            id
+        } else {
+            self.nodes.push(Node {
+                key,
+                depth,
+                parent: NIL,
+                first_child: NIL,
+                next_sibling: NIL,
+                prev_sibling: NIL,
+                step_hash: 0,
+                comp,
+                touch,
+                generation: 0,
+                alive: true,
+            });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn attach(&mut self, child: u32, parent: u32, step_hash: u64) {
+        let head = self.nodes[parent as usize].first_child;
+        {
+            let c = &mut self.nodes[child as usize];
+            c.parent = parent;
+            c.step_hash = step_hash;
+            c.prev_sibling = NIL;
+            c.next_sibling = head;
+        }
+        if head != NIL {
+            self.nodes[head as usize].prev_sibling = child;
+        }
+        self.nodes[parent as usize].first_child = child;
+    }
+
+    fn detach(&mut self, id: u32) {
+        let (parent, prev, next) = {
+            let n = &self.nodes[id as usize];
+            (n.parent, n.prev_sibling, n.next_sibling)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next_sibling = next;
+        } else if parent != NIL {
+            self.nodes[parent as usize].first_child = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev_sibling = prev;
+        }
+        let n = &mut self.nodes[id as usize];
+        n.parent = NIL;
+        n.prev_sibling = NIL;
+        n.next_sibling = NIL;
+    }
+
+    /// Removes a leaf node entirely (caller handles its mass).
+    fn remove_leaf(&mut self, id: u32) {
+        debug_assert_eq!(self.nodes[id as usize].first_child, NIL);
+        self.detach(id);
+        let key = self.nodes[id as usize].key;
+        let removed = self.index.remove(&key);
+        debug_assert_eq!(removed, Some(id));
+        self.nodes[id as usize].alive = false;
+        self.free.push(id);
+        self.live -= 1;
+    }
+
+    /// Contracts `id` if it is a zero-mass pass-through (exactly one
+    /// child, no mass, not the root): the child is re-attached to the
+    /// grandparent. Join nodes whose purpose disappeared go away here.
+    fn contract_if_passthrough(&mut self, id: u32) {
+        if id == self.root {
+            return;
+        }
+        let (only_child, comp_zero, parent) = {
+            let n = &self.nodes[id as usize];
+            if !n.alive {
+                return;
+            }
+            let fc = n.first_child;
+            let single = fc != NIL && self.nodes[fc as usize].next_sibling == NIL;
+            (if single { fc } else { NIL }, n.comp.is_zero(), n.parent)
+        };
+        if only_child == NIL || !comp_zero {
+            return;
+        }
+        // The child's chain passes through `id`, whose chain passes
+        // through `parent`, so the child's step at the grandparent level
+        // equals `id`'s step — the sibling-step invariant is preserved.
+        let step_hash = self.nodes[id as usize].step_hash;
+        self.detach(only_child);
+        self.detach(id);
+        let key = self.nodes[id as usize].key;
+        self.index.remove(&key);
+        self.nodes[id as usize].alive = false;
+        self.free.push(id);
+        self.live -= 1;
+        self.stats.contractions += 1;
+        self.attach(only_child, parent, step_hash);
+    }
+
+    /// Finds the child of `parent` whose chain step at
+    /// `parent.depth + 1` equals `step` (at most one exists, by the
+    /// sibling-step invariant).
+    fn find_child_by_step(&self, parent: u32, step: &FlowKey, step_hash: u64) -> Option<u32> {
+        let target_depth = self.nodes[parent as usize].depth + 1;
+        let mut cur = self.nodes[parent as usize].first_child;
+        while cur != NIL {
+            let node = &self.nodes[cur as usize];
+            if node.step_hash == step_hash
+                && self.schema.chain_ancestor(&node.key, target_depth) == *step
+            {
+                return Some(cur);
+            }
+            cur = node.next_sibling;
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Read access
+    // ------------------------------------------------------------------
+
+    /// The true (subtree-summed) popularity of a retained key:
+    /// complementary popularities summed over the node's subtree.
+    pub fn subtree_popularity(&self, key: &FlowKey) -> Option<Popularity> {
+        let &id = self.index.get(key)?;
+        Some(self.subtree_sum(id))
+    }
+
+    pub(crate) fn subtree_sum(&self, id: u32) -> Popularity {
+        let mut acc = Popularity::ZERO;
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            let node = &self.nodes[cur as usize];
+            acc += node.comp;
+            let mut c = node.first_child;
+            while c != NIL {
+                stack.push(c);
+                c = self.nodes[c as usize].next_sibling;
+            }
+        }
+        acc
+    }
+
+    /// Iterates over all retained nodes (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = NodeView<'_>> {
+        self.nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(move |n| NodeView {
+                key: &n.key,
+                comp: n.comp,
+                depth: n.depth,
+                parent: if n.parent == NIL {
+                    None
+                } else {
+                    Some(&self.nodes[n.parent as usize].key)
+                },
+                is_leaf: n.first_child == NIL,
+            })
+    }
+
+    /// The retained children of `key`, if `key` is retained.
+    pub fn children_of(&self, key: &FlowKey) -> Option<Vec<NodeView<'_>>> {
+        let &id = self.index.get(key)?;
+        let mut out = Vec::new();
+        let mut c = self.nodes[id as usize].first_child;
+        while c != NIL {
+            let n = &self.nodes[c as usize];
+            out.push(NodeView {
+                key: &n.key,
+                comp: n.comp,
+                depth: n.depth,
+                parent: Some(&self.nodes[id as usize].key),
+                is_leaf: n.first_child == NIL,
+            });
+            c = n.next_sibling;
+        }
+        Some(out)
+    }
+
+    /// Ids of live nodes in an order where parents precede children
+    /// (pre-order DFS from the root) — used by the codec and analytics.
+    pub(crate) fn preorder(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.live);
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            let mut c = self.nodes[id as usize].first_child;
+            while c != NIL {
+                stack.push(c);
+                c = self.nodes[c as usize].next_sibling;
+            }
+        }
+        out
+    }
+
+    /// Validates every structural invariant; panics with a description on
+    /// violation. Test/debug aid — O(n · depth).
+    pub fn validate(&self) {
+        let mut seen = 0usize;
+        let mut mass = Popularity::ZERO;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !n.alive {
+                continue;
+            }
+            seen += 1;
+            mass += n.comp;
+            let id = i as u32;
+            assert_eq!(self.index.get(&n.key), Some(&id), "index maps {}", n.key);
+            assert_eq!(
+                self.schema.depth(&n.key),
+                n.depth,
+                "cached depth of {}",
+                n.key
+            );
+            if id == self.root {
+                assert_eq!(n.parent, NIL);
+                assert!(n.key.is_root());
+            } else {
+                assert_ne!(n.parent, NIL, "non-root {} must have a parent", n.key);
+                let p = &self.nodes[n.parent as usize];
+                assert!(p.alive, "parent of {} is dead", n.key);
+                assert!(p.depth < n.depth, "parent deeper than child at {}", n.key);
+                assert!(
+                    self.schema.is_chain_ancestor(&p.key, &n.key),
+                    "parent {} is not a chain ancestor of {}",
+                    p.key,
+                    n.key
+                );
+                let step = self.schema.chain_ancestor(&n.key, p.depth + 1);
+                assert_eq!(n.step_hash, fxhash(&step), "stale step hash at {}", n.key);
+            }
+            // Sibling-step uniqueness and linkage.
+            let mut steps = std::collections::HashSet::new();
+            let mut c = n.first_child;
+            let mut prev = NIL;
+            while c != NIL {
+                let ch = &self.nodes[c as usize];
+                assert_eq!(ch.parent, id, "child link broken at {}", ch.key);
+                assert_eq!(ch.prev_sibling, prev, "prev link broken at {}", ch.key);
+                let step = self.schema.chain_ancestor(&ch.key, n.depth + 1);
+                assert!(steps.insert(step), "duplicate sibling step under {}", n.key);
+                prev = c;
+                c = ch.next_sibling;
+            }
+        }
+        assert_eq!(seen, self.live, "live count drift");
+        assert_eq!(
+            self.index.len(),
+            self.live,
+            "index size must equal live nodes"
+        );
+        assert_eq!(mass, self.total, "mass conservation violated");
+    }
+
+    /// Looks up a node id by key (for crate-internal query paths).
+    pub(crate) fn node_id(&self, key: &FlowKey) -> Option<u32> {
+        self.index.get(key).copied()
+    }
+
+    /// Rebuilds a tree from `(key, comp)` masses (used by serde and the
+    /// trusted decode path). Keys are canonicalized; masses at identical
+    /// keys accumulate.
+    pub fn from_masses<I>(schema: Schema, cfg: Config, masses: I) -> FlowTree
+    where
+        I: IntoIterator<Item = (FlowKey, Popularity)>,
+    {
+        let mut tree = FlowTree::new(schema, cfg);
+        for (key, comp) in masses {
+            let key = schema.canonicalize(&key);
+            tree.add_mass(key, comp);
+        }
+        if tree.live > tree.cfg.node_budget {
+            tree.compact();
+        }
+        tree
+    }
+}
+
+/// Eviction rank: smaller evicts first.
+fn rank(node: &Node, cfg: &Config) -> (u64, u64) {
+    let weight = node.comp.weight(cfg.metric);
+    match cfg.eviction {
+        EvictionPolicy::SmallestFirst => (weight, node.touch),
+        EvictionPolicy::ColdFirst => (node.touch, weight),
+    }
+}

@@ -1,0 +1,158 @@
+//! Coverage for the hierarchies beyond plain IPv4 5-tuples: IPv6 flows,
+//! mixed-family traffic, and the extended schema with time and site
+//! features (the paper's future-work system).
+
+use flowkey::{FlowKey, Schema, Site, TimeBucket};
+use flowtree_core::{Config, FlowTree, Popularity};
+
+fn key(s: &str) -> FlowKey {
+    s.parse().unwrap()
+}
+
+fn pkts(n: i64) -> Popularity {
+    Popularity::new(n, n * 100, 1)
+}
+
+#[test]
+fn ipv6_flows_build_and_query() {
+    let mut t = FlowTree::new(Schema::two_feature(), Config::with_budget(1_024));
+    for i in 0..64u32 {
+        let k = key(&format!(
+            "src=2001:db8:{:x}::{:x}/128 dst=2001:db8:ffff::1/128",
+            i % 8,
+            i
+        ));
+        t.insert(&k, pkts(1 + i as i64));
+    }
+    t.validate();
+    let est = t.estimate_pattern(&key("src=2001:db8::/32"));
+    let total: i64 = (1..=64).sum();
+    assert!((est.packets - total as f64).abs() < 1e-6, "{}", est.packets);
+    // Sub-prefix drill-down.
+    let sub = t.estimate_pattern(&key("src=2001:db8:1::/48"));
+    assert!(sub.packets > 0.0 && sub.packets < total as f64);
+}
+
+#[test]
+fn mixed_v4_v6_traffic_coexists() {
+    let mut t = FlowTree::new(Schema::two_feature(), Config::with_budget(2_048));
+    for i in 0..32u32 {
+        t.insert(
+            &key(&format!("src=10.0.0.{i}/32 dst=192.0.2.1/32")),
+            pkts(2),
+        );
+        t.insert(
+            &key(&format!("src=2001:db8::{:x}/128 dst=2001:db8::ffff/128", i)),
+            pkts(3),
+        );
+    }
+    t.validate();
+    assert_eq!(t.total().packets, 32 * 5);
+    // Families answer separately.
+    assert!((t.estimate_pattern(&key("src=10.0.0.0/8")).packets - 64.0).abs() < 1e-6);
+    assert!((t.estimate_pattern(&key("src=2001:db8::/32")).packets - 96.0).abs() < 1e-6);
+    // And cross-family compaction keeps both under the root.
+    let mut tight = FlowTree::new(Schema::two_feature(), Config::with_budget(24));
+    for v in t.iter() {
+        if !v.comp.is_zero() {
+            tight.insert(v.key, v.comp);
+        }
+    }
+    tight.validate();
+    assert_eq!(tight.total().packets, 32 * 5);
+}
+
+#[test]
+fn extended_schema_with_time_and_site() {
+    let schema = Schema::extended();
+    let mut t = FlowTree::new(schema, Config::with_budget(8_192));
+    // Two sites, four hours, one flow per (site, hour).
+    for site in 0..2u16 {
+        for hour in 0..4u64 {
+            let base = 1_700_000_000u64 + hour * 3_600;
+            let k = FlowKey::five_tuple(
+                "10.0.0.1/32".parse().unwrap(),
+                "192.0.2.9/32".parse().unwrap(),
+                40_000,
+                443,
+                6,
+            )
+            .with_time(TimeBucket::new(base, 0).unwrap())
+            .with_site(Site::Is(site));
+            t.insert(&k, pkts(10));
+        }
+    }
+    t.validate();
+    assert_eq!(t.total().packets, 80);
+    // Drill by site.
+    assert!((t.estimate_pattern(&key("site=0")).packets - 40.0).abs() < 1e-6);
+    assert!((t.estimate_pattern(&key("site=r0")).packets - 80.0).abs() < 1e-6);
+    // Drill by time: the first two hours.
+    let first_two = FlowKey::ROOT.with_time(
+        TimeBucket::new(1_700_000_000, 0)
+            .unwrap()
+            .ancestor_at(TimeBucket::MAX_LEVEL as u16 - 13)
+            .unwrap(),
+    );
+    let est = t.estimate_pattern(&first_two);
+    assert!(
+        est.packets >= 20.0 && est.packets <= 80.0,
+        "time bucket share: {}",
+        est.packets
+    );
+    // Combined: site 1 AND the host prefix.
+    let combo = key("src=10.0.0.0/24 site=1");
+    assert!((t.estimate_pattern(&combo).packets - 40.0).abs() < 1e-6);
+}
+
+#[test]
+fn extended_merge_across_sites() {
+    let schema = Schema::extended();
+    let mk = |site: u16| {
+        let mut t = FlowTree::new(schema, Config::with_budget(4_096));
+        for h in 0..8u8 {
+            let k = FlowKey::five_tuple(
+                format!("10.{}.0.{h}/32", site % 200).parse().unwrap(),
+                "198.51.100.7/32".parse().unwrap(),
+                30_000 + h as u16,
+                53,
+                17,
+            )
+            .with_site(Site::Is(site));
+            t.insert(&k, pkts(4));
+        }
+        t
+    };
+    let a = mk(0);
+    let b = mk(300); // different region
+    let merged = FlowTree::merged(&a, &b).unwrap();
+    merged.validate();
+    assert_eq!(merged.total().packets, 64);
+    // Region-level drill-down separates them.
+    assert!((merged.estimate_pattern(&key("site=r0")).packets - 32.0).abs() < 1e-6);
+    assert!((merged.estimate_pattern(&key("site=r1")).packets - 32.0).abs() < 1e-6);
+}
+
+#[test]
+fn one_feature_schema_ignores_other_dims_entirely() {
+    let mut t = FlowTree::new(Schema::one_feature_src(), Config::with_budget(256));
+    // Same src, different everything else: must collapse to one node.
+    for port in [80u16, 443, 8080] {
+        let k = FlowKey::five_tuple(
+            "203.0.113.7/32".parse().unwrap(),
+            format!("192.0.2.{}/32", port % 10).parse().unwrap(),
+            port,
+            port,
+            6,
+        );
+        t.insert(&k, pkts(1));
+    }
+    t.validate();
+    assert_eq!(t.len(), 2, "root + one src node");
+    assert_eq!(
+        t.subtree_popularity(&key("src=203.0.113.7/32"))
+            .unwrap()
+            .packets,
+        3
+    );
+}

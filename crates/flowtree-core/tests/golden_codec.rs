@@ -1,0 +1,48 @@
+//! Golden test pinning the wire format.
+//!
+//! Sites exchange encoded summaries, so the byte format is a protocol:
+//! if this test fails, the format changed and `codec::VERSION` must be
+//! bumped (old summaries become unreadable by honest version refusal,
+//! not by silent misdecoding).
+
+use flowkey::Schema;
+use flowtree_core::{Config, FlowTree, Popularity};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[test]
+fn encoded_bytes_are_stable() {
+    let mut tree = FlowTree::new(Schema::one_feature_src(), Config::with_budget(64));
+    tree.insert(
+        &"src=1.1.1.12/30".parse().unwrap(),
+        Popularity::new(2, 120, 1),
+    );
+    tree.insert(
+        &"src=1.1.1.20/30".parse().unwrap(),
+        Popularity::new(6, 360, 2),
+    );
+    let bytes = tree.encode();
+    // magic "FTR1", version 1, schema 0 (Src1), count 4 (root + join +
+    // two leaves), then pre-order nodes with packed keys and zigzag
+    // varint counters.
+    assert_eq!(
+        hex(&bytes),
+        "46545231010004000000000000011b0101010000000001011e0101010c04f001\
+         0201011e010101140cd00504",
+        "wire format drifted — bump flowtree_core::VERSION"
+    );
+    // And of course it still decodes to the same tree.
+    let back = FlowTree::decode(&bytes, Config::with_budget(64)).unwrap();
+    assert_eq!(back.total(), Popularity::new(8, 480, 3));
+    assert_eq!(back.len(), 4);
+}
+
+#[test]
+fn header_prefix_is_the_documented_magic() {
+    let tree = FlowTree::new(Schema::five_feature(), Config::with_budget(64));
+    let bytes = tree.encode();
+    assert_eq!(&bytes[..4], b"FTR1");
+    assert_eq!(bytes[4], flowtree_core::VERSION);
+}

@@ -1,0 +1,216 @@
+//! Property-based tests of Flowtree invariants under randomized
+//! workloads: conservation, budget enforcement, merge/diff algebra,
+//! query exactness, and codec round-trips.
+
+use flowkey::{FlowKey, Schema};
+use flowtree_core::{Config, Estimator, FlowTree, Popularity};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Keys drawn from a small universe so random sequences hit, nest, and
+/// fork with realistic frequency.
+fn arb_host_key() -> impl Strategy<Value = FlowKey> {
+    (0u8..4, 0u8..8, 0u8..16, 0u8..2, 1u16..5).prop_map(|(a, b, c, d, port)| {
+        format!(
+            "src=10.{a}.{b}.{c}/32 dst=192.0.2.{d}/32 sport={} dport=443",
+            40000 + port
+        )
+        .parse()
+        .unwrap()
+    })
+}
+
+/// Arbitrary chain keys (hosts generalized a few canonical steps) so the
+/// tree also receives interior-mass inserts, like a merge would produce.
+fn arb_any_key() -> impl Strategy<Value = FlowKey> {
+    (arb_host_key(), 0u32..40).prop_map(|(k, up)| {
+        let schema = Schema::four_feature();
+        let depth = schema.depth(&k);
+        schema.chain_ancestor(&k, depth.saturating_sub(up))
+    })
+}
+
+fn arb_pop() -> impl Strategy<Value = Popularity> {
+    (1i64..100, 1i64..5000).prop_map(|(p, b)| Popularity::new(p, b, 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mass is conserved through any insert sequence and any budget:
+    /// the root's subtree sum equals the inserted total.
+    #[test]
+    fn conservation_under_compaction(
+        inserts in proptest::collection::vec((arb_any_key(), arb_pop()), 1..400),
+        budget in 16usize..128,
+    ) {
+        let mut tree = FlowTree::new(Schema::four_feature(), Config::with_budget(budget));
+        let mut expect = Popularity::ZERO;
+        for (k, p) in &inserts {
+            tree.insert(k, *p);
+            expect += *p;
+            prop_assert!(tree.len() <= budget.max(Config::MIN_BUDGET));
+        }
+        tree.validate();
+        prop_assert_eq!(tree.total(), expect);
+        prop_assert_eq!(tree.subtree_popularity(&FlowKey::ROOT).unwrap(), expect);
+        // Pattern query over everything must see the full mass.
+        let est = tree.estimate_pattern(&FlowKey::ROOT);
+        prop_assert!((est.packets - expect.packets as f64).abs() < 1e-6);
+    }
+
+    /// With an unbounded budget, tracked point queries equal an exact
+    /// hash-map aggregation of the input.
+    #[test]
+    fn unbounded_tree_is_exact(
+        inserts in proptest::collection::vec((arb_host_key(), arb_pop()), 1..300),
+    ) {
+        let mut tree = FlowTree::new(Schema::four_feature(), Config::with_budget(1_000_000));
+        let mut truth: HashMap<FlowKey, Popularity> = HashMap::new();
+        for (k, p) in &inserts {
+            tree.insert(k, *p);
+            *truth.entry(*k).or_insert(Popularity::ZERO) += *p;
+        }
+        tree.validate();
+        for (k, expect) in &truth {
+            let got = tree.popularity(k);
+            prop_assert!(got.tracked, "{} must be retained", k);
+            prop_assert!((got.est.packets - expect.packets as f64).abs() < 1e-9);
+            prop_assert!((got.est.bytes - expect.bytes as f64).abs() < 1e-9);
+        }
+    }
+
+    /// Merge adds totals exactly and, without eviction, adds per-key
+    /// subtree sums exactly; diff inverts it.
+    #[test]
+    fn merge_diff_algebra(
+        xs in proptest::collection::vec((arb_any_key(), arb_pop()), 1..150),
+        ys in proptest::collection::vec((arb_any_key(), arb_pop()), 1..150),
+    ) {
+        let big = Config::with_budget(1_000_000);
+        let mut a = FlowTree::new(Schema::four_feature(), big);
+        for (k, p) in &xs { a.insert(k, *p); }
+        let mut b = FlowTree::new(Schema::four_feature(), big);
+        for (k, p) in &ys { b.insert(k, *p); }
+
+        let merged = FlowTree::merged(&a, &b).unwrap();
+        merged.validate();
+        prop_assert_eq!(merged.total(), a.total() + b.total());
+        // When both sides retain a key, the merged subtree sum must be
+        // the exact sum of the two subtree sums.
+        for v in a.iter() {
+            if b.contains_key(v.key) {
+                let expect = a.subtree_popularity(v.key).unwrap()
+                    + b.subtree_popularity(v.key).unwrap();
+                prop_assert_eq!(
+                    merged.subtree_popularity(v.key),
+                    Some(expect),
+                    "merge sum at {}",
+                    v.key
+                );
+            }
+        }
+
+        let mut back = merged.clone();
+        back.diff(&b).unwrap();
+        back.validate();
+        prop_assert_eq!(back.total(), a.total());
+        for v in a.iter() {
+            prop_assert_eq!(
+                back.subtree_popularity(v.key),
+                a.subtree_popularity(v.key),
+                "diff must restore {}", v.key
+            );
+        }
+    }
+
+    /// Self-diff cancels to nothing even for compacted trees.
+    #[test]
+    fn self_diff_cancels(
+        inserts in proptest::collection::vec((arb_any_key(), arb_pop()), 1..200),
+        budget in 20usize..200,
+    ) {
+        let mut a = FlowTree::new(Schema::four_feature(), Config::with_budget(budget));
+        for (k, p) in &inserts { a.insert(k, *p); }
+        let mut d = a.clone();
+        d.diff(&a).unwrap();
+        d.validate();
+        prop_assert!(d.total().is_zero());
+        prop_assert_eq!(d.len(), 1);
+    }
+
+    /// Estimator policies bracket each other on arbitrary patterns.
+    #[test]
+    fn estimators_are_ordered(
+        inserts in proptest::collection::vec((arb_any_key(), arb_pop()), 1..200),
+        pattern in arb_any_key(),
+        budget in 16usize..96,
+    ) {
+        let mk = |est: Estimator| {
+            let mut cfg = Config::with_budget(budget);
+            cfg.estimator = est;
+            let mut t = FlowTree::new(Schema::four_feature(), cfg);
+            for (k, p) in &inserts { t.insert(k, *p); }
+            t.estimate_pattern(&pattern).packets
+        };
+        let c = mk(Estimator::Conservative);
+        let u = mk(Estimator::Uniform);
+        let o = mk(Estimator::Optimistic);
+        prop_assert!(c <= u + 1e-9, "conservative {c} > uniform {u}");
+        prop_assert!(u <= o + 1e-9, "uniform {u} > optimistic {o}");
+    }
+
+    /// The wire codec round-trips arbitrary (even diffed) trees exactly.
+    #[test]
+    fn codec_roundtrip(
+        xs in proptest::collection::vec((arb_any_key(), arb_pop()), 1..150),
+        ys in proptest::collection::vec((arb_any_key(), arb_pop()), 0..100),
+        budget in 24usize..200,
+    ) {
+        let mut a = FlowTree::new(Schema::four_feature(), Config::with_budget(budget));
+        for (k, p) in &xs { a.insert(k, *p); }
+        if !ys.is_empty() {
+            // Mix in negative masses via diff to stress the signed path.
+            let mut b = FlowTree::new(Schema::four_feature(), Config::with_budget(budget));
+            for (k, p) in &ys { b.insert(k, *p); }
+            a.diff(&b).unwrap();
+        }
+        let bytes = a.encode();
+        let back = FlowTree::decode(&bytes, Config::with_budget(budget)).unwrap();
+        back.validate();
+        prop_assert_eq!(back.len(), a.len());
+        prop_assert_eq!(back.total(), a.total());
+        for v in a.iter() {
+            prop_assert_eq!(back.comp_of(v.key), Some(v.comp), "at {}", v.key);
+        }
+    }
+
+    /// Tracked answers never lose mass relative to what remains under a
+    /// key after compaction (folding moves mass upward, never below).
+    #[test]
+    fn folding_moves_mass_upward_only(
+        inserts in proptest::collection::vec((arb_host_key(), arb_pop()), 1..300),
+        budget in 16usize..64,
+    ) {
+        let mut small = FlowTree::new(Schema::four_feature(), Config::with_budget(budget));
+        let mut exact = FlowTree::new(Schema::four_feature(), Config::with_budget(1_000_000));
+        for (k, p) in &inserts {
+            small.insert(k, *p);
+            exact.insert(k, *p);
+        }
+        // Every key still retained in the compacted tree reports at most
+        // the exact subtree mass (mass can only have been folded *into*
+        // it from below, which stays inside the subtree, or folded out
+        // to an ancestor — never conjured).
+        for v in small.iter() {
+            let got = small.subtree_popularity(v.key).unwrap();
+            // All mass in `exact` sits at fully-specified host keys, so
+            // its pattern estimate is the exact ground truth.
+            let truth = exact.estimate_pattern(v.key).packets;
+            prop_assert!(
+                got.packets as f64 <= truth + 1e-6,
+                "{}: compacted {} > exact {}", v.key, got.packets, truth
+            );
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! Behavioral tests of the Flowtree data structure: insertion paths,
+//! self-adjustment, operators, and queries on hand-computable scenarios.
+
+use flowkey::{FlowKey, Schema};
+use flowtree_core::{Config, Estimator, EvictionPolicy, FlowTree, Metric, Popularity};
+
+fn key(s: &str) -> FlowKey {
+    s.parse().unwrap()
+}
+
+fn pkts(n: i64) -> Popularity {
+    Popularity::new(n, n * 1000, 0)
+}
+
+// ---------------------------------------------------------------------
+// Insertion structure
+// ---------------------------------------------------------------------
+
+#[test]
+fn first_insert_hangs_off_root() {
+    let mut t = FlowTree::new(Schema::one_feature_src(), Config::with_budget(64));
+    t.insert(&key("src=1.1.1.1/32"), pkts(5));
+    t.validate();
+    assert_eq!(t.len(), 2);
+    let children = t.children_of(&FlowKey::ROOT).unwrap();
+    assert_eq!(children.len(), 1);
+    assert_eq!(children[0].key, &key("src=1.1.1.1/32"));
+}
+
+#[test]
+fn duplicate_insert_increments_in_place() {
+    let mut t = FlowTree::new(Schema::one_feature_src(), Config::with_budget(64));
+    t.insert(&key("src=1.1.1.1/32"), pkts(5));
+    t.insert(&key("src=1.1.1.1/32"), pkts(7));
+    t.validate();
+    assert_eq!(t.len(), 2);
+    assert_eq!(t.comp_of(&key("src=1.1.1.1/32")), Some(pkts(12)));
+    assert_eq!(t.stats().hits, 1);
+    assert_eq!(t.stats().misses, 1);
+}
+
+#[test]
+fn diverging_keys_create_a_join_node() {
+    let mut t = FlowTree::new(Schema::one_feature_src(), Config::with_budget(64));
+    // Fig. 2a flavor: two /32s inside 1.1.1.0/27 fork below the root.
+    t.insert(&key("src=1.1.1.12/32"), pkts(2));
+    t.insert(&key("src=1.1.1.20/32"), pkts(6));
+    t.validate();
+    // root + join(1.1.1.0/27) + two leaves.
+    assert_eq!(t.len(), 4);
+    assert!(t.contains_key(&key("src=1.1.1.0/27")));
+    assert_eq!(t.comp_of(&key("src=1.1.1.0/27")), Some(Popularity::ZERO));
+    assert_eq!(t.stats().joins_created, 1);
+    let children = t.children_of(&key("src=1.1.1.0/27")).unwrap();
+    assert_eq!(children.len(), 2);
+}
+
+#[test]
+fn inserting_a_chain_ancestor_splices_between() {
+    let mut t = FlowTree::new(Schema::one_feature_src(), Config::with_budget(64));
+    t.insert(&key("src=1.1.1.1/32"), pkts(3));
+    // /24 lies on the /32's canonical chain, between root and leaf.
+    t.insert(&key("src=1.1.1.0/24"), pkts(10));
+    t.validate();
+    assert_eq!(t.len(), 3);
+    let mid = t.children_of(&FlowKey::ROOT).unwrap();
+    assert_eq!(mid.len(), 1);
+    assert_eq!(mid[0].key, &key("src=1.1.1.0/24"));
+    let deep = t.children_of(&key("src=1.1.1.0/24")).unwrap();
+    assert_eq!(deep.len(), 1);
+    assert_eq!(deep[0].key, &key("src=1.1.1.1/32"));
+}
+
+#[test]
+fn inserting_descendant_lands_under_existing_ancestor() {
+    let mut t = FlowTree::new(Schema::one_feature_src(), Config::with_budget(64));
+    t.insert(&key("src=1.1.1.0/24"), pkts(10));
+    t.insert(&key("src=1.1.1.1/32"), pkts(3));
+    t.validate();
+    assert_eq!(t.len(), 3);
+    let deep = t.children_of(&key("src=1.1.1.0/24")).unwrap();
+    assert_eq!(deep.len(), 1);
+    assert_eq!(deep[0].key, &key("src=1.1.1.1/32"));
+}
+
+#[test]
+fn fig2a_example_structure() {
+    // Build something shaped like the paper's Fig. 2a: traffic in two
+    // /30s under 1.1.1.0/24 plus bulk /24 and /8 traffic.
+    let mut t = FlowTree::new(Schema::one_feature_src(), Config::with_budget(64));
+    t.insert(&key("src=1.1.1.12/30"), pkts(2));
+    t.insert(&key("src=1.1.1.20/30"), pkts(6));
+    t.insert(&key("src=1.1.1.0/24"), pkts(4179));
+    t.insert(&key("src=1.0.0.0/8"), pkts(1_995_813));
+    t.validate();
+    // /24's subtree popularity = 4179 + 2 + 6 = 4187 as in the figure.
+    assert_eq!(
+        t.subtree_popularity(&key("src=1.1.1.0/24")).unwrap(),
+        pkts(4187)
+    );
+    // /8 subtree = 2,000,000.
+    assert_eq!(
+        t.subtree_popularity(&key("src=1.0.0.0/8")).unwrap(),
+        pkts(2_000_000)
+    );
+    // Total conserved at the root.
+    assert_eq!(t.subtree_popularity(&FlowKey::ROOT).unwrap(), t.total());
+}
+
+#[test]
+fn multi_feature_inserts_validate() {
+    let mut t = FlowTree::new(Schema::five_feature(), Config::with_budget(256));
+    for i in 0..64u32 {
+        let k = key(&format!(
+            "src=10.{}.{}.{}/32 dst=192.0.2.{}/32 sport={} dport={} proto={}",
+            i % 4,
+            i % 8,
+            i,
+            i % 16,
+            40000 + i,
+            if i % 2 == 0 { 80 } else { 443 },
+            if i % 3 == 0 { "tcp" } else { "udp" },
+        ));
+        t.insert(&k, pkts(1 + i as i64));
+    }
+    t.validate();
+    assert!(t.len() <= 256);
+    assert_eq!(t.total(), (0..64).map(|i| pkts(1 + i as i64)).sum());
+}
+
+// ---------------------------------------------------------------------
+// Self-adjustment (compaction)
+// ---------------------------------------------------------------------
+
+#[test]
+fn budget_is_enforced_and_mass_conserved() {
+    let cfg = Config::with_budget(64);
+    let mut t = FlowTree::new(Schema::one_feature_src(), cfg);
+    let mut expect = Popularity::ZERO;
+    for i in 0..10_000u32 {
+        let k = key(&format!(
+            "src={}.{}.{}.{}/32",
+            10 + (i % 4),
+            i / 251 % 251,
+            i % 251,
+            i % 13
+        ));
+        let p = pkts(1 + (i % 7) as i64);
+        expect += p;
+        t.insert(&k, p);
+        assert!(t.len() <= 64, "budget exceeded at insert {i}");
+    }
+    t.validate();
+    assert_eq!(t.total(), expect);
+    assert_eq!(t.subtree_popularity(&FlowKey::ROOT).unwrap(), expect);
+    assert!(t.stats().compactions > 0);
+    assert!(t.stats().evictions > 0);
+}
+
+#[test]
+fn compaction_keeps_the_popular_evicts_the_unpopular() {
+    let mut t = FlowTree::new(Schema::one_feature_src(), Config::with_budget(32));
+    let heavy = key("src=9.9.9.9/32");
+    t.insert(&heavy, pkts(1_000_000));
+    for i in 0..2000u32 {
+        let k = key(&format!("src=10.0.{}.{}/32", i / 250, i % 250));
+        t.insert(&k, pkts(1));
+    }
+    t.validate();
+    assert!(
+        t.contains_key(&heavy),
+        "the heavy hitter must survive compaction"
+    );
+    // Its count must be fully intact (never folded).
+    assert!(t.comp_of(&heavy).unwrap().packets == 1_000_000);
+}
+
+#[test]
+fn eviction_folds_counts_into_parents_not_away() {
+    let mut t = FlowTree::new(Schema::one_feature_src(), Config::with_budget(20));
+    // 100 singletons inside one /24: they must collapse into ancestors
+    // that keep the aggregate count queryable.
+    for i in 0..100u32 {
+        t.insert(&key(&format!("src=1.1.1.{i}/32")), pkts(1));
+    }
+    t.validate();
+    assert!(t.len() <= 20);
+    let agg = t.estimate_pattern(&key("src=1.1.1.0/24"));
+    assert!(
+        agg.packets >= 99.0,
+        "aggregate under /24 must be preserved, got {}",
+        agg.packets
+    );
+}
+
+#[test]
+fn cold_first_policy_prefers_stale_leaves() {
+    let mut cfg = Config::with_budget(24);
+    cfg.eviction = EvictionPolicy::ColdFirst;
+    let mut t = FlowTree::new(Schema::one_feature_src(), cfg);
+    let old = key("src=1.2.3.4/32");
+    t.insert(&old, pkts(50)); // popular but stale
+    let fresh = key("src=7.7.7.7/32");
+    for i in 0..500u32 {
+        t.insert(
+            &key(&format!("src=10.8.{}.{}/32", i / 200, i % 200)),
+            pkts(1),
+        );
+        t.insert(&fresh, pkts(1)); // constantly refreshed
+    }
+    t.validate();
+    assert!(
+        t.contains_key(&fresh),
+        "constantly-touched key must survive ColdFirst"
+    );
+    assert!(
+        !t.contains_key(&old),
+        "stale key should be evicted by ColdFirst despite popularity"
+    );
+}
+
+#[test]
+fn smallest_first_keeps_stale_heavy_hitters() {
+    let mut t = FlowTree::new(
+        Schema::one_feature_src(),
+        Config::with_budget(24), // default SmallestFirst
+    );
+    let old = key("src=1.2.3.4/32");
+    t.insert(&old, pkts(5000)); // popular but stale
+    for i in 0..500u32 {
+        t.insert(
+            &key(&format!("src=10.8.{}.{}/32", i / 200, i % 200)),
+            pkts(1),
+        );
+    }
+    t.validate();
+    assert!(t.contains_key(&old), "heavy hitters survive SmallestFirst");
+}
+
+// ---------------------------------------------------------------------
+// Merge / diff operators
+// ---------------------------------------------------------------------
+
+fn build_site(seed: u32, n: u32, budget: usize) -> FlowTree {
+    let mut t = FlowTree::new(Schema::two_feature(), Config::with_budget(budget));
+    for i in 0..n {
+        let v = seed
+            .wrapping_mul(2654435761)
+            .wrapping_add(i.wrapping_mul(2654435761));
+        let k = key(&format!(
+            "src=10.{}.{}.{}/32 dst=198.51.{}.{}/32",
+            v % 8,
+            (v >> 8) % 64,
+            (v >> 16) % 251,
+            (v >> 4) % 4,
+            (v >> 12) % 251,
+        ));
+        t.insert(&k, pkts(1 + (v % 11) as i64));
+    }
+    t
+}
+
+#[test]
+fn merge_totals_add_exactly() {
+    let a = build_site(1, 3000, 512);
+    let b = build_site(2, 3000, 512);
+    let merged = FlowTree::merged(&a, &b).unwrap();
+    merged.validate();
+    assert_eq!(merged.total(), a.total() + b.total());
+    assert!(merged.len() <= 512);
+}
+
+#[test]
+fn merge_is_commutative_on_totals_and_queries() {
+    let a = build_site(3, 1000, 4096); // generous budget: no eviction noise
+    let b = build_site(4, 1000, 4096);
+    let ab = FlowTree::merged(&a, &b).unwrap();
+    let ba = FlowTree::merged(&b, &a).unwrap();
+    assert_eq!(ab.total(), ba.total());
+    for pat in ["src=10.0.0.0/8", "dst=198.51.0.0/16", "src=10.4.0.0/16"] {
+        let p = key(pat);
+        let x = ab.popularity(&p).est.packets;
+        let y = ba.popularity(&p).est.packets;
+        assert!((x - y).abs() < 1e-6, "{pat}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn diff_inverts_merge_without_eviction() {
+    let a = build_site(5, 800, 100_000);
+    let b = build_site(6, 800, 100_000);
+    let mut m = FlowTree::merged(&a, &b).unwrap();
+    m.diff(&b).unwrap();
+    m.validate();
+    assert_eq!(m.total(), a.total());
+    // Every key retained by `a` must answer identically.
+    for v in a.iter() {
+        let expect = a.subtree_popularity(v.key).unwrap();
+        let got = m.subtree_popularity(v.key);
+        assert_eq!(got, Some(expect), "at {}", v.key);
+    }
+}
+
+#[test]
+fn diff_of_identical_trees_is_empty() {
+    let a = build_site(7, 500, 4096);
+    let mut d = a.clone();
+    d.diff(&a).unwrap();
+    d.validate();
+    assert!(d.total().is_zero());
+    assert_eq!(d.len(), 1, "only the root remains after full cancellation");
+}
+
+#[test]
+fn diff_detects_change_between_windows() {
+    let mut w1 = build_site(8, 400, 4096);
+    let w2 = build_site(8, 400, 4096); // identical baseline …
+    let attack = key("src=6.6.6.6/32 dst=198.51.0.1/32");
+    w1.insert(&attack, pkts(10_000)); // … plus a spike in w1
+    let d = FlowTree::diffed(&w1, &w2).unwrap();
+    assert_eq!(d.total(), pkts(10_000));
+    assert_eq!(d.comp_of(&attack), Some(pkts(10_000)));
+}
+
+#[test]
+fn merge_rejects_schema_mismatch() {
+    let a = FlowTree::new(Schema::two_feature(), Config::with_budget(64));
+    let b = FlowTree::new(Schema::five_feature(), Config::with_budget(64));
+    let mut a2 = a.clone();
+    assert!(a2.merge(&b).is_err());
+    assert!(a2.diff(&b).is_err());
+}
+
+#[test]
+fn merging_many_sites_equals_single_tree_when_unbounded() {
+    // With no eviction, merging per-site trees must equal the tree built
+    // from the concatenated trace — the distributed-summarization
+    // correctness property.
+    let whole = {
+        let mut t = FlowTree::new(Schema::two_feature(), Config::with_budget(100_000));
+        for seed in 10..15 {
+            let site = build_site(seed, 500, 100_000);
+            for v in site.iter() {
+                if !v.comp.is_zero() {
+                    t.insert(v.key, v.comp);
+                }
+            }
+        }
+        t
+    };
+    let mut merged = FlowTree::new(Schema::two_feature(), Config::with_budget(100_000));
+    for seed in 10..15 {
+        merged.merge(&build_site(seed, 500, 100_000)).unwrap();
+    }
+    merged.validate();
+    assert_eq!(merged.total(), whole.total());
+    for v in whole.iter() {
+        assert_eq!(
+            merged.subtree_popularity(v.key),
+            whole.subtree_popularity(v.key),
+            "at {}",
+            v.key
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------
+
+#[test]
+fn tracked_query_is_exact() {
+    let mut t = FlowTree::new(Schema::two_feature(), Config::with_budget(4096));
+    t.insert(&key("src=10.0.0.1/32 dst=192.0.2.1/32"), pkts(5));
+    t.insert(&key("src=10.0.0.2/32 dst=192.0.2.1/32"), pkts(9));
+    let a = t.popularity(&key("src=10.0.0.1/32 dst=192.0.2.1/32"));
+    assert!(a.tracked);
+    assert_eq!(a.est.packets, 5.0);
+}
+
+#[test]
+fn pattern_query_sums_contained_subtrees() {
+    let mut t = FlowTree::new(Schema::two_feature(), Config::with_budget(4096));
+    t.insert(&key("src=10.0.0.1/32 dst=192.0.2.1/32"), pkts(5));
+    t.insert(&key("src=10.0.0.2/32 dst=192.0.2.9/32"), pkts(9));
+    t.insert(&key("src=172.16.0.1/32 dst=192.0.2.1/32"), pkts(100));
+    // Off-chain pattern: src 10/8 only.
+    let est = t.estimate_pattern(&key("src=10.0.0.0/8"));
+    assert_eq!(est.packets, 14.0);
+    // And dst-side.
+    let est = t.estimate_pattern(&key("dst=192.0.2.1/32"));
+    assert_eq!(est.packets, 105.0);
+}
+
+#[test]
+fn estimator_policies_bracket_the_truth() {
+    // Mass is folded to an ancestor; querying a descendant must give
+    // Conservative ≤ Uniform ≤ Optimistic, with Conservative = 0 and
+    // Optimistic = the entire residual.
+    let mk = |est: Estimator| {
+        let mut cfg = Config::with_budget(4096);
+        cfg.estimator = est;
+        let mut t = FlowTree::new(Schema::one_feature_src(), cfg);
+        t.insert(&key("src=10.0.0.0/24"), pkts(64));
+        t
+    };
+    let q = key("src=10.0.0.1/32");
+    let c = mk(Estimator::Conservative).popularity(&q).est.packets;
+    let u = mk(Estimator::Uniform).popularity(&q).est.packets;
+    let o = mk(Estimator::Optimistic).popularity(&q).est.packets;
+    assert_eq!(c, 0.0);
+    assert_eq!(o, 64.0);
+    assert!(c <= u && u <= o);
+    // Uniform: /24 → /32 is 8 levels ⇒ 64 / 2^8 = 0.25.
+    assert!((u - 0.25).abs() < 1e-9, "uniform share was {u}");
+}
+
+#[test]
+fn top_k_matches_brute_force() {
+    let mut t = FlowTree::new(Schema::one_feature_src(), Config::with_budget(4096));
+    for i in 0..200u32 {
+        t.insert(
+            &key(&format!("src=10.1.{}.{}/32", i / 100, i % 100)),
+            pkts(i as i64 + 1),
+        );
+    }
+    let top = t.top_k(5, Metric::Packets);
+    assert_eq!(top.len(), 5);
+    // Brute force: subtree popularity of every retained node.
+    let mut brute: Vec<(FlowKey, i64)> = t
+        .iter()
+        .filter(|v| !v.key.is_root())
+        .map(|v| (*v.key, t.subtree_popularity(v.key).unwrap().packets))
+        .collect();
+    brute.sort_by_key(|(_, p)| std::cmp::Reverse(*p));
+    assert_eq!(top[0].1.packets, brute[0].1);
+    let top_set: std::collections::HashSet<i64> = top.iter().map(|(_, p)| p.packets).collect();
+    let brute_set: std::collections::HashSet<i64> = brute[..5].iter().map(|(_, p)| *p).collect();
+    assert_eq!(top_set, brute_set);
+}
+
+#[test]
+fn hhh_finds_exactly_the_heavy_prefixes() {
+    let mut t = FlowTree::new(Schema::one_feature_src(), Config::with_budget(4096));
+    // 900 packets spread thinly over 9 /32s in 10.0.0.0/24 (100 each),
+    // plus one genuinely heavy host at 60.
+    for i in 0..9u32 {
+        t.insert(&key(&format!("src=10.0.0.{i}/32")), pkts(100));
+    }
+    t.insert(&key("src=60.0.0.1/32"), pkts(600));
+    // Total 1500. phi=0.3 ⇒ threshold 450: the individual /32s at 100
+    // are too small, but their common ancestor accumulates 900.
+    let hhh = t.hhh(0.3, Metric::Packets);
+    let keys: Vec<String> = hhh.iter().map(|h| h.key.to_string()).collect();
+    assert!(
+        keys.iter().any(|k| k.contains("60.0.0.1/32")),
+        "heavy host found: {keys:?}"
+    );
+    assert!(
+        keys.iter()
+            .any(|k| k.contains("10.0.0.0/29") || k.contains("10.0.0.0/28")),
+        "aggregated prefix found: {keys:?}"
+    );
+    // No /32 of the thin group qualifies on its own.
+    assert!(
+        !keys.iter().any(|k| k.contains("10.0.0.3/32")),
+        "thin hosts must be covered by their ancestor: {keys:?}"
+    );
+}
+
+#[test]
+fn query_cost_is_bounded_by_tree_not_trace() {
+    // The paper: queries are answered in time proportional to the tree
+    // nodes. Sanity-check the implementation by keeping the budget tiny
+    // while the trace is large — estimate_pattern must still work.
+    let mut t = FlowTree::new(Schema::one_feature_src(), Config::with_budget(32));
+    for i in 0..20_000u32 {
+        t.insert(
+            &key(&format!(
+                "src=10.{}.{}.{}/32",
+                i % 16,
+                (i / 16) % 251,
+                i % 251
+            )),
+            pkts(1),
+        );
+    }
+    let est = t.estimate_pattern(&key("src=10.0.0.0/8"));
+    assert!((est.packets - 20_000.0).abs() < 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Stats / amortized updates
+// ---------------------------------------------------------------------
+
+#[test]
+fn mean_chain_steps_stays_small() {
+    let mut t = FlowTree::new(Schema::five_feature(), Config::paper());
+    for i in 0..50_000u32 {
+        let k = key(&format!(
+            "src=10.{}.{}.{}/32 dst=192.0.2.{}/32 sport={} dport=443 proto=tcp",
+            i % 4,
+            (i / 7) % 256,
+            i % 256,
+            i % 32,
+            1024 + (i % 40000)
+        ));
+        t.insert(&k, pkts(1));
+    }
+    let mean = t.stats().mean_chain_steps();
+    assert!(
+        mean < 40.0,
+        "expected amortized-constant chain walking, got mean {mean:.1}"
+    );
+}
+
+#[test]
+fn nodes_under_lists_the_subforest() {
+    let mut t = FlowTree::new(Schema::two_feature(), Config::with_budget(4096));
+    t.insert(&key("src=10.0.0.1/32 dst=192.0.2.1/32"), pkts(5));
+    t.insert(&key("src=10.0.0.2/32 dst=192.0.2.1/32"), pkts(9));
+    t.insert(&key("src=172.16.0.1/32 dst=192.0.2.1/32"), pkts(100));
+    let rows = t.nodes_under(&key("src=10.0.0.0/8"), flowtree_core::Metric::Packets);
+    assert!(!rows.is_empty());
+    // Every row is inside the pattern and sorted by popularity.
+    for (k, _) in &rows {
+        assert!(key("src=10.0.0.0/8").contains(k), "{k}");
+    }
+    assert!(rows.windows(2).all(|w| w[0].1.packets >= w[1].1.packets));
+    // The top row accounts for the whole 10/8 subforest.
+    assert_eq!(rows[0].1.packets, 14);
+    // The outside host never appears.
+    assert!(rows.iter().all(|(k, _)| !k.to_string().contains("172.16")));
+    // Root pattern lists everything including the root.
+    let all = t.nodes_under(&FlowKey::ROOT, flowtree_core::Metric::Packets);
+    assert_eq!(all.len(), t.len());
+    assert_eq!(all[0].1, t.total());
+}

@@ -1,0 +1,80 @@
+//! Reproduces the paper's Fig. 2: example Flowtrees.
+//!
+//! * Fig. 2a — a 1-feature tree (source prefixes) over 2 M flows, with
+//!   the exact node shapes of the figure: `1.*/8 [2,000,000]`,
+//!   `1.1.1.0/24 [4,187]`, and two /30 leaves `[2]` and `[6]`.
+//! * Fig. 2b — a 4-feature tree over 10 k flows showing multi-feature
+//!   generalized flows (prefixes + dyadic port ranges).
+//!
+//! ```sh
+//! cargo run --example figure2            # ASCII trees
+//! cargo run --example figure2 -- --dot   # Graphviz dot on stdout
+//! ```
+
+use flowtrace::{profile, TraceGen};
+use flowtree::{Config, FlowTree, Popularity, Schema};
+
+fn main() {
+    let dot = std::env::args().any(|a| a == "--dot");
+
+    // ---- Fig. 2a: 1-feature tree -----------------------------------
+    let mut fig2a = FlowTree::new(Schema::one_feature_src(), Config::with_budget(64));
+    // The figure's counts: the /30s carry 2 and 6 packets, the /24
+    // carries 4,187 in total, the /8 two million.
+    fig2a.insert(
+        &"src=1.1.1.12/30".parse().unwrap(),
+        Popularity::new(2, 120, 1),
+    );
+    fig2a.insert(
+        &"src=1.1.1.20/30".parse().unwrap(),
+        Popularity::new(6, 360, 2),
+    );
+    fig2a.insert(
+        &"src=1.1.1.0/24".parse().unwrap(),
+        Popularity::new(4_187 - 8, 200_000, 40),
+    );
+    fig2a.insert(
+        &"src=1.0.0.0/8".parse().unwrap(),
+        Popularity::new(2_000_000 - 4_187, 90_000_000, 9_000),
+    );
+    println!("== Figure 2a: 1-feature Flowtree (2M flows) ==");
+    println!(
+        "{}",
+        if dot {
+            fig2a.to_dot()
+        } else {
+            fig2a.to_ascii()
+        }
+    );
+    let q = fig2a
+        .subtree_popularity(&"src=1.1.1.0/24".parse().unwrap())
+        .expect("retained");
+    assert_eq!(q.packets, 4_187, "the /24 answers 4,187 as in the figure");
+    let q8 = fig2a
+        .subtree_popularity(&"src=1.0.0.0/8".parse().unwrap())
+        .expect("retained");
+    assert_eq!(q8.packets, 2_000_000);
+
+    // ---- Fig. 2b: 4-feature tree over 10k flows ---------------------
+    let mut cfg = profile::backbone(2);
+    cfg.packets = 10_000;
+    cfg.flows = 2_500;
+    let mut fig2b = FlowTree::new(Schema::four_feature(), Config::with_budget(24));
+    for pkt in TraceGen::new(cfg) {
+        fig2b.insert(&pkt.flow_key(), Popularity::packet(pkt.wire_len));
+    }
+    println!("== Figure 2b: 4-feature Flowtree (10k flows, 24-node budget) ==");
+    println!(
+        "{}",
+        if dot {
+            fig2b.to_dot()
+        } else {
+            fig2b.to_ascii()
+        }
+    );
+    assert_eq!(fig2b.total().packets, 10_000);
+    println!(
+        "(root accounts for all {} packets — compression folds counts, never drops them)",
+        fig2b.total().packets
+    );
+}

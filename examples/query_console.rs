@@ -1,0 +1,97 @@
+//! An operator query console over a summary database.
+//!
+//! Ties the whole future-work system together: a directory of persisted
+//! window summaries (the Fig. 1 database) is loaded into a collector,
+//! then queries from stdin run against it — the "quick exploration"
+//! loop the paper envisions, with no raw-trace access at any point.
+//!
+//! ```sh
+//! # Self-contained demo (generates a small 3-site store first):
+//! printf 'pop dport=443\nbysite src=0.0.0.0/0\ndrill src\nhhh 0.02\n' \
+//!   | cargo run --release --example query_console
+//!
+//! # Or point it at an existing store directory:
+//! cargo run --release --example query_console -- /var/lib/flowtree/store
+//! ```
+
+use flowdist::{Collector, DaemonConfig, SiteDaemon, SummaryStore, TransferMode};
+use flowquery::{parse, QueryEngine};
+use flowtrace::{profile, TraceGen};
+use flowtree::{Config, Metric, Popularity, Schema};
+use std::io::BufRead;
+
+fn demo_store(dir: &std::path::Path) -> SummaryStore {
+    let store = SummaryStore::open(dir).expect("open store");
+    for site in 0..3u16 {
+        let mut cfg = DaemonConfig::new(site);
+        cfg.window_ms = 1_000;
+        cfg.schema = Schema::five_feature();
+        cfg.tree = Config::with_budget(4_096);
+        cfg.transfer = TransferMode::Full;
+        let mut daemon = SiteDaemon::new(cfg);
+        let mut trace_cfg = profile::backbone(100 + site as u64);
+        trace_cfg.packets = 30_000;
+        trace_cfg.flows = 6_000;
+        trace_cfg.mean_pps = 10_000.0; // ≈ 3 s → several windows
+        let mut summaries = Vec::new();
+        for pkt in TraceGen::new(trace_cfg) {
+            summaries.extend(daemon.ingest_mass(
+                pkt.ts_micros / 1_000,
+                &pkt.flow_key(),
+                Popularity::packet(pkt.wire_len),
+            ));
+        }
+        summaries.extend(daemon.flush());
+        for s in &summaries {
+            store.put(s).expect("persist window");
+        }
+    }
+    store
+}
+
+fn main() {
+    let (store, cleanup) = match std::env::args().nth(1) {
+        Some(path) => (SummaryStore::open(path).expect("open store"), None),
+        None => {
+            let dir = std::env::temp_dir().join(format!("flowtree-console-{}", std::process::id()));
+            eprintln!(
+                "(no store given — generating a 3-site demo store at {})",
+                dir.display()
+            );
+            (demo_store(&dir), Some(dir))
+        }
+    };
+
+    let mut collector = Collector::new(Schema::five_feature(), Config::with_budget(8_192));
+    let report = store.load_into(&mut collector).expect("load store");
+    eprintln!(
+        "loaded {} windows from {} ({} rejected); sites: {:?}",
+        report.loaded,
+        store.root().display(),
+        report.rejected,
+        collector.sites()
+    );
+    eprintln!("query syntax: pop | bysite | top | drill | hhh   (empty line or EOF quits)\n");
+
+    let engine = QueryEngine::new(&collector);
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.expect("stdin");
+        let line = line.trim();
+        if line.is_empty() {
+            break;
+        }
+        match parse(line, u64::MAX - 1) {
+            Ok(query) => {
+                println!("> {line}");
+                print!("{}", engine.run(&query).render(Metric::Packets));
+                println!();
+            }
+            Err(e) => eprintln!("> {line}\n  {e}"),
+        }
+    }
+
+    if let Some(dir) = cleanup {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

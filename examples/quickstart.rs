@@ -1,0 +1,91 @@
+//! Quickstart: build a Flowtree, query it, merge and diff summaries.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use flowtrace::{profile, TraceGen};
+use flowtree::{Config, FlowTree, Metric, Popularity, Schema};
+
+fn main() {
+    // 1. A Flowtree over 5-feature flows with a 4 096-node budget.
+    let mut tree = FlowTree::new(Schema::five_feature(), Config::with_budget(4_096));
+
+    // Feed it a synthetic backbone trace (100 k packets, deterministic).
+    let mut cfg = profile::backbone(7);
+    cfg.packets = 100_000;
+    cfg.flows = 20_000;
+    for pkt in TraceGen::new(cfg) {
+        tree.insert(&pkt.flow_key(), Popularity::packet(pkt.wire_len));
+    }
+    println!(
+        "ingested:   {} packets, {} bytes",
+        tree.total().packets,
+        tree.total().bytes
+    );
+    println!("tree size:  {} nodes (budget 4096)", tree.len());
+    println!("wire size:  {} bytes encoded\n", tree.encoded_size());
+
+    // 2. Hierarchical queries: any combination of prefixes, port
+    //    ranges, and wildcards.
+    for pattern in [
+        "dport=443",
+        "dport=443 proto=tcp",
+        "dport=53",
+        "sport=32768-65535",
+    ] {
+        let key = pattern.parse().unwrap();
+        let est = tree.estimate_pattern(&key);
+        println!("pop({pattern:<24}) ≈ {:>9.0} packets", est.packets);
+    }
+
+    // 3. Top flows and hierarchical heavy hitters.
+    println!("\ntop 5 generalized flows by packets:");
+    for (key, pop) in tree.top_k(5, Metric::Packets) {
+        println!("  {:>8} pkts  {}", pop.packets, key);
+    }
+    println!("\nhierarchical heavy hitters above 2% of traffic:");
+    for item in tree.hhh(0.02, Metric::Packets) {
+        println!("  {:>8} pkts  {}", item.discounted.packets, item.key);
+    }
+
+    // 4. Merge and diff: summaries from two sites / two windows.
+    let mut site_a = FlowTree::new(Schema::five_feature(), Config::with_budget(4_096));
+    let mut site_b = FlowTree::new(Schema::five_feature(), Config::with_budget(4_096));
+    let mut cfg_a = profile::backbone(21);
+    cfg_a.packets = 20_000;
+    cfg_a.flows = 5_000;
+    let mut cfg_b = profile::backbone(22);
+    cfg_b.packets = 30_000;
+    cfg_b.flows = 5_000;
+    for pkt in TraceGen::new(cfg_a) {
+        site_a.insert(&pkt.flow_key(), Popularity::packet(pkt.wire_len));
+    }
+    for pkt in TraceGen::new(cfg_b) {
+        site_b.insert(&pkt.flow_key(), Popularity::packet(pkt.wire_len));
+    }
+    let merged = FlowTree::merged(&site_a, &site_b).unwrap();
+    println!(
+        "\nmerge: site A ({}) + site B ({}) = {} packets (exact: totals add)",
+        site_a.total().packets,
+        site_b.total().packets,
+        merged.total().packets
+    );
+    let mut diff = merged.clone();
+    diff.diff(&site_b).unwrap();
+    println!(
+        "diff:  merged − site B = {} packets (recovers site A)",
+        diff.total().packets
+    );
+
+    // 5. Ship it: the wire codec round-trips everything.
+    let bytes = merged.encode();
+    let back = FlowTree::decode(&bytes, Config::with_budget(4_096)).unwrap();
+    assert_eq!(back.total(), merged.total());
+    println!(
+        "\ncodec: {} nodes → {} bytes → decoded OK ({:.1} B/node)",
+        merged.len(),
+        bytes.len(),
+        bytes.len() as f64 / merged.len() as f64
+    );
+}

@@ -1,0 +1,307 @@
+//! `ftree` — command-line Flowtree: summarize captures, inspect, query,
+//! merge, and diff summary files.
+//!
+//! ```text
+//! ftree summarize <capture.pcap> -o <out.ftree> [--schema five] [--budget 40000]
+//! ftree info      <tree.ftree>
+//! ftree show      <tree.ftree> [--depth 3]
+//! ftree query     <tree.ftree> <pattern…>          e.g. src=10.0.0.0/8 dport=443
+//! ftree topk      <tree.ftree> [--k 10] [--by packets|bytes|flows]
+//! ftree hhh       <tree.ftree> [--phi 0.01]
+//! ftree merge     -o <out.ftree> <a.ftree> <b.ftree> […]
+//! ftree diff      -o <out.ftree> <a.ftree> <b.ftree>
+//! ```
+//!
+//! Tree files are the compact validated wire format of
+//! [`flowtree_core`] (`FTR1` frames) — the same bytes the distributed
+//! system ships between sites, so anything a daemon exports is
+//! inspectable with this tool.
+
+use flowtree::{Config, FlowTree, Metric, Popularity, Schema};
+use std::fs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ftree: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "summarize" => summarize(rest),
+        "info" => info(rest),
+        "show" => show(rest),
+        "query" => query(rest),
+        "topk" => topk(rest),
+        "hhh" => hhh(rest),
+        "merge" => merge(rest),
+        "diff" => diff(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     ftree summarize <capture.pcap> -o <out.ftree> [--schema five|four|two|src1] [--budget N]\n  \
+     ftree info  <tree.ftree>\n  \
+     ftree show  <tree.ftree> [--depth N]\n  \
+     ftree query <tree.ftree> <pattern…>\n  \
+     ftree topk  <tree.ftree> [--k N] [--by packets|bytes|flows]\n  \
+     ftree hhh   <tree.ftree> [--phi F]\n  \
+     ftree merge -o <out.ftree> <in.ftree>…\n  \
+     ftree diff  -o <out.ftree> <a.ftree> <b.ftree>"
+        .to_string()
+}
+
+/// `--name value` extraction; returns (value, remaining positional args).
+fn take_opt(args: &[String], name: &str) -> (Option<String>, Vec<String>) {
+    let mut value = None;
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == format!("--{name}") || (name == "o" && args[i] == "-o") {
+            if let Some(v) = args.get(i + 1) {
+                value = Some(v.clone());
+                i += 2;
+                continue;
+            }
+        }
+        rest.push(args[i].clone());
+        i += 1;
+    }
+    (value, rest)
+}
+
+fn parse_schema(name: &str) -> Result<Schema, String> {
+    Ok(match name {
+        "src1" => Schema::one_feature_src(),
+        "two" => Schema::two_feature(),
+        "four" => Schema::four_feature(),
+        "five" => Schema::five_feature(),
+        "extended" => Schema::extended(),
+        other => {
+            return Err(format!(
+                "unknown schema `{other}` (src1|two|four|five|extended)"
+            ))
+        }
+    })
+}
+
+fn load_tree(path: &str) -> Result<FlowTree, String> {
+    let bytes = fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    FlowTree::decode(&bytes, Config::paper()).map_err(|e| format!("decode {path}: {e}"))
+}
+
+fn save_tree(tree: &FlowTree, path: &str) -> Result<(), String> {
+    fs::write(path, tree.encode()).map_err(|e| format!("write {path}: {e}"))
+}
+
+fn summarize(args: &[String]) -> Result<(), String> {
+    let (out, args) = take_opt(args, "o");
+    let (schema, args) = take_opt(&args, "schema");
+    let (budget, args) = take_opt(&args, "budget");
+    let [input] = args.as_slice() else {
+        return Err("summarize needs exactly one capture file".into());
+    };
+    let out = out.ok_or("summarize needs -o <out.ftree>")?;
+    let schema = parse_schema(schema.as_deref().unwrap_or("five"))?;
+    let budget: usize = budget
+        .as_deref()
+        .unwrap_or("40000")
+        .parse()
+        .map_err(|_| "bad --budget")?;
+
+    let file = fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+    let raw = file.metadata().map(|m| m.len()).unwrap_or(0);
+    let reader = flownet::pcap::PcapReader::new(std::io::BufReader::new(file))
+        .map_err(|e| format!("{input}: {e}"))?;
+    let ethernet = reader.linktype() == flownet::pcap::LINKTYPE_ETHERNET;
+    let mut tree = FlowTree::new(schema, Config::with_budget(budget));
+    let (mut ok, mut skipped) = (0u64, 0u64);
+    for pkt in reader.packets() {
+        let pkt = pkt.map_err(|e| format!("{input}: {e}"))?;
+        let meta = if ethernet {
+            flownet::parse_ethernet(&pkt.data, pkt.ts_micros, pkt.orig_len)
+        } else {
+            flownet::parse_ip(&pkt.data, pkt.ts_micros, pkt.orig_len)
+        };
+        match meta {
+            Ok(m) => {
+                tree.insert(&m.flow_key(), Popularity::packet(m.wire_len));
+                ok += 1;
+            }
+            Err(_) => skipped += 1,
+        }
+    }
+    save_tree(&tree, &out)?;
+    let summary = tree.encoded_size() as u64;
+    println!("{ok} packets summarized ({skipped} skipped) → {out}");
+    println!(
+        "{} nodes, {} bytes ({:.2}% of the {} byte capture)",
+        tree.len(),
+        summary,
+        summary as f64 / raw.max(1) as f64 * 100.0,
+        raw
+    );
+    Ok(())
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err("info needs one tree file".into());
+    };
+    let tree = load_tree(path)?;
+    let total = tree.total();
+    println!("file:    {path}");
+    println!("schema:  {:?}", tree.schema().kind());
+    println!("nodes:   {}", tree.len());
+    println!("bytes:   {}", tree.encoded_size());
+    println!(
+        "totals:  {} packets, {} bytes, {} flows",
+        total.packets, total.bytes, total.flows
+    );
+    Ok(())
+}
+
+fn show(args: &[String]) -> Result<(), String> {
+    let (depth, args) = take_opt(args, "depth");
+    let [path] = args.as_slice() else {
+        return Err("show needs one tree file".into());
+    };
+    let max_indent: usize = depth
+        .as_deref()
+        .unwrap_or("4")
+        .parse()
+        .map_err(|_| "bad --depth")?;
+    let tree = load_tree(path)?;
+    for line in tree.to_ascii().lines() {
+        let indent = line.chars().take_while(|c| *c == ' ').count() / 2;
+        if indent <= max_indent {
+            println!("{line}");
+        }
+    }
+    Ok(())
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let (path, pattern_parts) = args
+        .split_first()
+        .ok_or("query needs <tree.ftree> <pattern…>")?;
+    let pattern: flowtree::FlowKey = pattern_parts
+        .join(" ")
+        .parse()
+        .map_err(|e| format!("bad pattern: {e}"))?;
+    let tree = load_tree(path)?;
+    let answer = tree.popularity(&pattern);
+    println!(
+        "{} → {:.0} packets, {:.0} bytes, {:.0} flows ({})",
+        pattern,
+        answer.est.packets,
+        answer.est.bytes,
+        answer.est.flows,
+        if answer.tracked {
+            "tracked"
+        } else {
+            "estimated"
+        }
+    );
+    Ok(())
+}
+
+fn parse_metric(name: &str) -> Result<Metric, String> {
+    Ok(match name {
+        "packets" => Metric::Packets,
+        "bytes" => Metric::Bytes,
+        "flows" => Metric::Flows,
+        other => return Err(format!("unknown metric `{other}`")),
+    })
+}
+
+fn topk(args: &[String]) -> Result<(), String> {
+    let (k, args) = take_opt(args, "k");
+    let (by, args) = take_opt(&args, "by");
+    let [path] = args.as_slice() else {
+        return Err("topk needs one tree file".into());
+    };
+    let k: usize = k
+        .as_deref()
+        .unwrap_or("10")
+        .parse()
+        .map_err(|_| "bad --k")?;
+    let metric = parse_metric(by.as_deref().unwrap_or("packets"))?;
+    let tree = load_tree(path)?;
+    for (key, pop) in tree.top_k(k, metric) {
+        println!("{:>12}  {}", pop.get(metric), key);
+    }
+    Ok(())
+}
+
+fn hhh(args: &[String]) -> Result<(), String> {
+    let (phi, args) = take_opt(args, "phi");
+    let [path] = args.as_slice() else {
+        return Err("hhh needs one tree file".into());
+    };
+    let phi: f64 = phi
+        .as_deref()
+        .unwrap_or("0.01")
+        .parse()
+        .map_err(|_| "bad --phi")?;
+    let tree = load_tree(path)?;
+    for item in tree.hhh(phi, Metric::Packets) {
+        println!("{:>12}  {}", item.discounted.packets, item.key);
+    }
+    Ok(())
+}
+
+fn merge(args: &[String]) -> Result<(), String> {
+    let (out, inputs) = take_opt(args, "o");
+    let out = out.ok_or("merge needs -o <out.ftree>")?;
+    if inputs.len() < 2 {
+        return Err("merge needs at least two input trees".into());
+    }
+    let mut acc = load_tree(&inputs[0])?;
+    for path in &inputs[1..] {
+        let other = load_tree(path)?;
+        acc.merge(&other).map_err(|e| format!("{path}: {e}"))?;
+    }
+    save_tree(&acc, &out)?;
+    println!(
+        "merged {} trees → {out} ({} nodes, {} packets)",
+        inputs.len(),
+        acc.len(),
+        acc.total().packets
+    );
+    Ok(())
+}
+
+fn diff(args: &[String]) -> Result<(), String> {
+    let (out, inputs) = take_opt(args, "o");
+    let out = out.ok_or("diff needs -o <out.ftree>")?;
+    let [a, b] = inputs.as_slice() else {
+        return Err("diff needs exactly two input trees".into());
+    };
+    let mut tree = load_tree(a)?;
+    let other = load_tree(b)?;
+    tree.diff(&other).map_err(|e| format!("{b}: {e}"))?;
+    save_tree(&tree, &out)?;
+    println!(
+        "{a} − {b} → {out} ({} nodes, net {} packets)",
+        tree.len(),
+        tree.total().packets
+    );
+    Ok(())
+}

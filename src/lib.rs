@@ -1,0 +1,51 @@
+//! # flowtree — self-adjusting, mergeable summaries of generalized flows
+//!
+//! A from-scratch Rust reproduction of *Flowtree: Enabling Distributed
+//! Flow Summarization at Scale* (Saidi, Foucard, Smaragdakis, Feldmann —
+//! ACM SIGCOMM 2018), including every substrate the system needs:
+//!
+//! | crate | what it provides |
+//! |---|---|
+//! | [`flowkey`] | generalized flows, feature hierarchies, canonical chains |
+//! | [`flowtree_core`] | the Flowtree data structure: update / query / merge / diff |
+//! | [`flownet`] | packet parsing, pcap, NetFlow v5, IPFIX, flow caches |
+//! | [`flowtrace`] | synthetic workloads (trace substitutions) + ground truth |
+//! | [`flowbase`] | baselines: Space-Saving, Count-Min, HHH, RHHH |
+//! | [`flowdist`] | site daemons, collector, delta transfer, alarms |
+//! | [`flowquery`] | the drill-down query language and engine |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use flowtree::{FlowTree, Popularity, Schema};
+//!
+//! // Build the paper's evaluation configuration: 4-feature flows,
+//! // 40 K-node budget.
+//! let mut tree = FlowTree::with_schema(Schema::four_feature());
+//! let key = "src=10.1.2.3/32 dst=192.0.2.7/32 sport=49152 dport=443"
+//!     .parse()
+//!     .unwrap();
+//! tree.insert(&key, Popularity::packet(1500));
+//!
+//! // Hierarchical question: traffic towards 192.0.2.0/24?
+//! let pattern = "dst=192.0.2.0/24".parse().unwrap();
+//! assert!(tree.estimate_pattern(&pattern).packets >= 1.0);
+//! ```
+//!
+//! Run `cargo run --example quickstart` for a guided tour, and see
+//! DESIGN.md / EXPERIMENTS.md for the paper-reproduction index.
+
+#![forbid(unsafe_code)]
+
+pub use flowbase;
+pub use flowdist;
+pub use flowkey;
+pub use flownet;
+pub use flowquery;
+pub use flowtrace;
+pub use flowtree_core;
+
+pub use flowkey::{Dim, FlowKey, IpNet, PortRange, Proto, Schema, Site, TimeBucket};
+pub use flowtree_core::{
+    Config, Estimator, EvictionPolicy, FlowTree, Metric, PopEst, Popularity, QueryAnswer,
+};

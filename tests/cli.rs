@@ -1,0 +1,149 @@
+//! Integration tests for the `ftree` CLI — the whole workflow a user
+//! would run: summarize a capture, inspect, query, merge, diff.
+
+use flownet::pcap::{PcapWriter, LINKTYPE_ETHERNET};
+use flowtrace::{profile, TraceGen};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ftree(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ftree"))
+        .args(args)
+        .output()
+        .expect("spawn ftree")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("ftree-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).expect("mkdir");
+    d
+}
+
+fn write_capture(path: &PathBuf, seed: u64, packets: u64) {
+    let mut cfg = profile::backbone(seed);
+    cfg.packets = packets;
+    cfg.flows = packets / 5;
+    let file = std::fs::File::create(path).expect("create");
+    let mut w = PcapWriter::new(std::io::BufWriter::new(file), LINKTYPE_ETHERNET).unwrap();
+    for pkt in TraceGen::new(cfg) {
+        w.write_packet(pkt.ts_micros, &TraceGen::frame_for(&pkt))
+            .unwrap();
+    }
+    w.finish().unwrap();
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = workdir("workflow");
+    let pcap_a = dir.join("a.pcap");
+    let pcap_b = dir.join("b.pcap");
+    write_capture(&pcap_a, 1, 20_000);
+    write_capture(&pcap_b, 2, 10_000);
+
+    // summarize
+    let tree_a = dir.join("a.ftree");
+    let tree_b = dir.join("b.ftree");
+    let out = ftree(&[
+        "summarize",
+        pcap_a.to_str().unwrap(),
+        "-o",
+        tree_a.to_str().unwrap(),
+        "--budget",
+        "4096",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("20000 packets summarized"));
+    let out = ftree(&[
+        "summarize",
+        pcap_b.to_str().unwrap(),
+        "-o",
+        tree_b.to_str().unwrap(),
+        "--budget",
+        "4096",
+    ]);
+    assert!(out.status.success());
+
+    // info
+    let out = ftree(&["info", tree_a.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("20000 packets"), "{text}");
+    assert!(text.contains("schema:  Five"), "{text}");
+
+    // query
+    let out = ftree(&["query", tree_a.to_str().unwrap(), "dport=443"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("packets"), "{}", stdout(&out));
+
+    // topk
+    let out = ftree(&["topk", tree_a.to_str().unwrap(), "--k", "3"]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out).lines().count(), 3);
+
+    // hhh
+    let out = ftree(&["hhh", tree_a.to_str().unwrap(), "--phi", "0.05"]);
+    assert!(out.status.success());
+
+    // merge: totals add
+    let merged = dir.join("m.ftree");
+    let out = ftree(&[
+        "merge",
+        "-o",
+        merged.to_str().unwrap(),
+        tree_a.to_str().unwrap(),
+        tree_b.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("30000 packets"), "{}", stdout(&out));
+
+    // diff: recovers a's total
+    let diffed = dir.join("d.ftree");
+    let out = ftree(&[
+        "diff",
+        "-o",
+        diffed.to_str().unwrap(),
+        merged.to_str().unwrap(),
+        tree_b.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    assert!(
+        stdout(&out).contains("net 20000 packets"),
+        "{}",
+        stdout(&out)
+    );
+
+    // show renders the root line
+    let out = ftree(&["show", merged.to_str().unwrap(), "--depth", "1"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).starts_with("* ["), "{}", stdout(&out));
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn cli_rejects_garbage_gracefully() {
+    let dir = workdir("garbage");
+    // Unknown command.
+    let out = ftree(&["frobnicate"]);
+    assert!(!out.status.success());
+    // Missing args.
+    assert!(!ftree(&["summarize"]).status.success());
+    assert!(!ftree(&["merge", "-o", "x"]).status.success());
+    // Corrupt tree file.
+    let bad = dir.join("bad.ftree");
+    std::fs::write(&bad, b"not a flowtree").unwrap();
+    let out = ftree(&["info", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("decode"), "{err}");
+    // Bad pattern.
+    let out = ftree(&["query", bad.to_str().unwrap(), "src=999.0.0.0/8"]);
+    assert!(!out.status.success());
+    // Help exits zero.
+    assert!(ftree(&["help"]).status.success());
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,135 @@
+//! Distributed-summarization integration: merging per-site summaries is
+//! equivalent to summarizing centrally, across the real pipeline.
+
+use flowdist::{sim, SimConfig, TransferMode};
+use flownet::{FlowCacheConfig, PacketMeta};
+use flowtrace::{profile, TraceGen};
+use flowtree::{Config, FlowTree, Popularity, Schema};
+
+fn trace(packets: u64) -> Vec<PacketMeta> {
+    let mut cfg = profile::backbone(77);
+    cfg.packets = packets;
+    cfg.flows = packets / 8;
+    cfg.mean_pps = 25_000.0;
+    TraceGen::new(cfg).collect()
+}
+
+fn sim_cfg(sites: u16, budget: usize, transfer: TransferMode) -> SimConfig {
+    SimConfig {
+        sites,
+        window_ms: 1_000,
+        schema: Schema::five_feature(),
+        tree: Config::with_budget(budget),
+        transfer,
+        cache: FlowCacheConfig {
+            idle_timeout_ms: 400,
+            active_timeout_ms: 1_500,
+            max_entries: 100_000,
+        },
+    }
+}
+
+#[test]
+fn distributed_equals_centralized_with_headroom() {
+    let trace = trace(60_000);
+    // Central reference: one unbounded tree over the whole trace.
+    let schema = Schema::five_feature();
+    let mut central = FlowTree::new(schema, Config::with_budget(1_000_000));
+    for pkt in &trace {
+        central.insert(&pkt.flow_key(), Popularity::packet(pkt.wire_len));
+    }
+    // Distributed: 5 sites with generous budgets, merged at the end.
+    let report = sim::run(
+        sim_cfg(5, 500_000, TransferMode::Full),
+        trace.iter().copied(),
+    )
+    .unwrap();
+    let merged = report.collector.merged(None, 0, u64::MAX);
+    // Packets and bytes agree exactly (the distributed path additionally
+    // counts flow records, which the central per-packet path does not).
+    assert_eq!(merged.total().packets, central.total().packets);
+    assert_eq!(merged.total().bytes, central.total().bytes);
+    // Pattern answers agree (both sides exact when nothing is evicted).
+    for pattern in [
+        "src=10.0.0.0/8",
+        "dport=443",
+        "dport=53 proto=udp",
+        "src=100.0.0.0/7 dport=443",
+    ] {
+        let key = pattern.parse().unwrap();
+        let a = central.estimate_pattern(&key).packets;
+        let b = merged.estimate_pattern(&key).packets;
+        assert!(
+            (a - b).abs() < 1e-6,
+            "{pattern}: central {a} vs distributed {b}"
+        );
+    }
+}
+
+#[test]
+fn tight_budgets_still_conserve_and_stay_close() {
+    let trace = trace(60_000);
+    let report = sim::run(sim_cfg(3, 1_024, TransferMode::Full), trace.iter().copied()).unwrap();
+    let merged = report.collector.merged(None, 0, u64::MAX);
+    assert_eq!(
+        merged.total().packets,
+        60_000,
+        "mass conserved under eviction"
+    );
+
+    // Chain-aligned coarse aggregates remain accurate even with tiny
+    // budgets (off-chain skewed patterns — e.g. a single busy port
+    // range — degrade with the uniform estimator; that trade-off is
+    // measured by the estimator ablation bench, not asserted here).
+    let mut exact = FlowTree::new(Schema::five_feature(), Config::with_budget(1_000_000));
+    for pkt in &trace {
+        exact.insert(&pkt.flow_key(), Popularity::packet(pkt.wire_len));
+    }
+    for pattern in [
+        "src=0.0.0.0/1",
+        "src=128.0.0.0/1",
+        "dst=0.0.0.0/2",
+        "dst=192.0.0.0/2",
+    ] {
+        let key = pattern.parse().unwrap();
+        let a = exact.estimate_pattern(&key).packets;
+        let b = merged.estimate_pattern(&key).packets;
+        let rel = (a - b).abs() / a.max(1.0);
+        assert!(rel < 0.2, "{pattern}: exact {a:.0} vs merged {b:.0}");
+    }
+}
+
+#[test]
+fn threaded_and_sync_pipelines_agree_under_delta_transfer() {
+    let trace = trace(40_000);
+    let a = sim::run(
+        sim_cfg(4, 4_096, TransferMode::Delta),
+        trace.iter().copied(),
+    )
+    .unwrap();
+    let b = sim::run_threaded(
+        sim_cfg(4, 4_096, TransferMode::Delta),
+        trace.iter().copied(),
+    )
+    .unwrap();
+    assert_eq!(
+        a.collector.merged(None, 0, u64::MAX).total(),
+        b.collector.merged(None, 0, u64::MAX).total()
+    );
+    assert_eq!(a.collector.stored_windows(), b.collector.stored_windows());
+}
+
+#[test]
+fn lifted_mega_tree_supports_cross_site_time_drilldown() {
+    let trace = trace(30_000);
+    let report = sim::run(sim_cfg(4, 8_192, TransferMode::Full), trace.iter().copied()).unwrap();
+    let mega = report.collector.lifted(200_000);
+    assert_eq!(mega.total().packets, 30_000);
+    // Per-site shares sum to the total.
+    let mut sum = 0.0;
+    for site in report.collector.sites() {
+        let pat = format!("site={site}").parse().unwrap();
+        sum += mega.estimate_pattern(&pat).packets;
+    }
+    assert!((sum - 30_000.0).abs() < 1e-6, "site shares sum: {sum}");
+}

@@ -1,0 +1,107 @@
+//! End-to-end integration: bytes on the wire all the way to answers.
+//!
+//! packets → pcap file bytes → pcap reader → header parsers → exporter
+//! flow cache → NetFlow v5 encode/decode → site daemon → summary frames
+//! → collector → query engine. Every hop is the real codec, no
+//! shortcuts.
+
+use flowdist::{Collector, DaemonConfig, SiteDaemon, TransferMode};
+use flownet::netflow5;
+use flownet::pcap::{PcapReader, PcapWriter, LINKTYPE_ETHERNET};
+use flownet::{parse_ethernet, FlowCache, FlowCacheConfig, FlowRecord};
+use flowquery::{parse, QueryEngine, QueryOutput};
+use flowtrace::{profile, GroundTruth, TraceGen};
+use flowtree::{Config, Popularity, Schema};
+
+#[test]
+fn pcap_to_query_pipeline() {
+    // 1. Generate a capture in memory (byte-accurate frames).
+    let mut cfg = profile::backbone(5);
+    cfg.packets = 40_000;
+    cfg.flows = 6_000;
+    cfg.mean_pps = 20_000.0; // ≈ 2 s
+    let mut pcap_bytes = Vec::new();
+    {
+        let mut w = PcapWriter::new(&mut pcap_bytes, LINKTYPE_ETHERNET).unwrap();
+        for pkt in TraceGen::new(cfg.clone()) {
+            w.write_packet(pkt.ts_micros, &TraceGen::frame_for(&pkt))
+                .unwrap();
+        }
+        w.finish().unwrap();
+    }
+
+    // 2. Read it back and push through the exporter + NetFlow wire.
+    let reader = PcapReader::new(&pcap_bytes[..]).unwrap();
+    let mut cache = FlowCache::new(FlowCacheConfig {
+        idle_timeout_ms: 300,
+        active_timeout_ms: 1_000,
+        max_entries: 50_000,
+    });
+    let mut truth = GroundTruth::new();
+    let schema = Schema::five_feature();
+    let mut wire_records: Vec<FlowRecord> = Vec::new();
+    let mut push_records = |records: Vec<FlowRecord>, out: &mut Vec<FlowRecord>| {
+        // Round-trip every record through real NetFlow v5 bytes.
+        for chunk in records.chunks(netflow5::MAX_RECORDS) {
+            if chunk.is_empty() {
+                continue;
+            }
+            let bytes = netflow5::encode(chunk, 2_000_000_000, 0);
+            let (_, decoded) = netflow5::decode(&bytes).unwrap();
+            out.extend(decoded);
+        }
+    };
+    let mut packets = 0u64;
+    for pkt in reader.packets() {
+        let pkt = pkt.unwrap();
+        let meta = parse_ethernet(&pkt.data, pkt.ts_micros, pkt.orig_len).unwrap();
+        truth.observe(
+            schema.canonicalize(&meta.flow_key()),
+            Popularity::packet(meta.wire_len),
+        );
+        packets += 1;
+        push_records(cache.observe(&meta), &mut wire_records);
+    }
+    push_records(cache.drain(), &mut wire_records);
+    assert_eq!(packets, 40_000);
+    let wire_packets: u64 = wire_records.iter().map(|r| r.packets).sum();
+    assert_eq!(wire_packets, 40_000, "no packet lost on the NetFlow wire");
+
+    // 3. Daemon → summary frames → collector.
+    let mut dcfg = DaemonConfig::new(2);
+    dcfg.window_ms = 500;
+    dcfg.schema = schema;
+    dcfg.tree = Config::with_budget(16_384);
+    dcfg.transfer = TransferMode::Full;
+    let mut daemon = SiteDaemon::new(dcfg);
+    let mut collector = Collector::new(schema, Config::with_budget(16_384));
+    let mut frames = Vec::new();
+    for r in &wire_records {
+        frames.extend(daemon.ingest_record(r).into_iter().map(|s| s.encode()));
+    }
+    frames.extend(daemon.flush().into_iter().map(|s| s.encode()));
+    for f in &frames {
+        collector.apply_bytes(f).unwrap();
+    }
+
+    // 4. Conservation end to end.
+    let merged = collector.merged(None, 0, u64::MAX);
+    assert_eq!(merged.total().packets, 40_000);
+
+    // 5. Queries agree with ground truth within the summary's error.
+    let engine = QueryEngine::new(&collector);
+    for pattern in ["dport=443", "dport=53", "proto=udp", "proto=tcp dport=443"] {
+        let key = pattern.parse().unwrap();
+        let q = parse(&format!("pop {pattern}"), u64::MAX - 1).unwrap();
+        let QueryOutput::Pop(est) = engine.run(&q) else {
+            panic!()
+        };
+        let exact = truth.pattern_popularity(&key).packets as f64;
+        let err = (est.packets - exact).abs() / exact.max(1.0);
+        assert!(
+            err < 0.05,
+            "{pattern}: est {:.0} vs exact {exact:.0} (err {err:.3})",
+            est.packets
+        );
+    }
+}
