@@ -29,7 +29,7 @@ proptest! {
             *truth.entry(*id).or_default() += w;
             total += w;
         }
-        for (id, c, e) in ss.items().map(|(k, c, e)| (k.clone(), c, e)) {
+        for (id, c, e) in ss.items().map(|(k, c, e)| (*k, c, e)) {
             let actual = truth
                 .iter()
                 .find(|(tid, _)| key_of(**tid) == id)

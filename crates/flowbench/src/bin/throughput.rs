@@ -1,30 +1,81 @@
-//! E7 — amortized-constant updates.
+//! E7 — amortized-constant updates, and the ingest-path comparison.
 //!
 //! The paper: "This leads to an amortized constant update time."
 //! Evidence: per-update cost stays flat as (a) the trace grows and
-//! (b) the node budget grows; mean chain steps per update stays small
-//! and flat.
+//! (b) the node budget grows; mean parent-search probes per update
+//! stay small and flat.
+//!
+//! E7c compares the ingest paths on a miss-heavy (fresh-tree,
+//! 5-feature, Zipf) trace:
+//!
+//! * `seed_path` — the pre-optimization reference: strictly linear
+//!   upward parent search, re-hashing the full 7-feature key on every
+//!   probe (the original `HashMap`-indexed hot path).
+//! * `insert` — the zero-rehash path: linear-prefix probes with
+//!   rolling hashes, then root descent over the memoized profile
+//!   schedule.
+//! * `insert_batch` — batched: one canonicalize+hash per key, hash-
+//!   sorted for index locality, one budget check per batch.
+//! * `sharded/N` — `ShardedTree::par_insert_batch` across N shards
+//!   (one OS thread per shard; scaling requires ≥ N cores).
+//!
+//! Results are also written to `BENCH_ingest.json` so the performance
+//! trajectory of the ingest path is recorded in-repo.
 //!
 //! ```sh
-//! cargo run --release -p flowbench --bin throughput
+//! cargo run --release -p flowbench --bin throughput -- \
+//!     --packets 1000000 --shards 4 --batch 8192 --json BENCH_ingest.json
 //! ```
 
 use flowbench::{Args, Table};
-use flowkey::Schema;
+use flowdist::ShardedTree;
+use flowkey::{FlowKey, Schema};
 use flowtrace::{profile, TraceGen};
 use flowtree_core::{Config, FlowTree, Popularity};
 use std::time::Instant;
 
+struct IngestRow {
+    path: String,
+    updates_per_sec: f64,
+    ns_per_update: f64,
+    mean_probes: f64,
+    mean_work: f64,
+    nodes: usize,
+}
+
+fn measure<F: FnOnce() -> (flowtree_core::Stats, usize)>(
+    path: &str,
+    n_updates: usize,
+    f: F,
+) -> IngestRow {
+    let start = Instant::now();
+    let (stats, nodes) = f();
+    let secs = start.elapsed().as_secs_f64();
+    IngestRow {
+        path: path.to_string(),
+        updates_per_sec: n_updates as f64 / secs,
+        ns_per_update: secs * 1e9 / n_updates as f64,
+        mean_probes: stats.chain_steps as f64 / n_updates as f64,
+        mean_work: (stats.chain_steps + stats.descent_hops) as f64 / n_updates as f64,
+        nodes,
+    }
+}
+
 fn main() {
     let args = Args::from_env();
     let seed: u64 = args.get("seed").unwrap_or(42);
+    let shards_max: usize = args.get("shards").unwrap_or(4).max(1);
+    let batch: usize = args.get("batch").unwrap_or(8_192).max(1);
+    let json_path: String = args
+        .get("json")
+        .unwrap_or_else(|| "BENCH_ingest.json".into());
 
     println!("== E7a: update rate vs node budget (1 M packets, backbone) ==\n");
     let t = Table::new(&[
         "budget",
         "updates/s",
         "ns/update",
-        "mean chain steps",
+        "mean probes",
         "compactions",
     ]);
     for budget in [10_000usize, 20_000, 40_000, 80_000, 160_000] {
@@ -49,7 +100,7 @@ fn main() {
     }
 
     println!("\n== E7b: per-update cost vs trace length (40 K nodes) ==\n");
-    let t = Table::new(&["packets", "updates/s", "ns/update", "mean chain steps"]);
+    let t = Table::new(&["packets", "updates/s", "ns/update", "mean probes"]);
     for packets in [250_000u64, 500_000, 1_000_000, 2_000_000] {
         let mut cfg = profile::backbone(seed);
         cfg.packets = packets;
@@ -68,5 +119,128 @@ fn main() {
             &format!("{:.2}", tree.stats().mean_chain_steps()),
         ]);
     }
-    println!("\n(flat ns/update and flat chain steps across both sweeps = amortized O(1))");
+
+    // ---- E7c: ingest paths on a miss-heavy 5-feature trace ------------
+    let packets: u64 = args.get("packets").unwrap_or(1_000_000);
+    let mut cfg = profile::backbone(seed);
+    cfg.packets = packets;
+    // Miss-heavy: high flow cardinality → most updates create nodes.
+    cfg.flows = packets.max(2) / 2;
+    let schema = Schema::five_feature();
+    let tree_cfg = Config::paper();
+    let flows = cfg.flows;
+    let trace: Vec<(FlowKey, Popularity)> = TraceGen::new(cfg)
+        .map(|p| (p.flow_key(), Popularity::packet(p.wire_len)))
+        .collect();
+    let n = trace.len();
+
+    println!(
+        "\n== E7c: ingest paths, miss-heavy 5-feature Zipf trace \
+         ({n} packets, {} flows, 40 K budget, {} host cores) ==\n",
+        flows,
+        std::thread::available_parallelism().map_or(1, |c| c.get()),
+    );
+    let mut rows: Vec<IngestRow> = Vec::new();
+
+    rows.push(measure("seed_path", n, || {
+        let mut tree = FlowTree::new(schema, tree_cfg);
+        for (k, p) in &trace {
+            tree.insert_seed_path(k, *p);
+        }
+        (*tree.stats(), tree.len())
+    }));
+
+    rows.push(measure("insert", n, || {
+        let mut tree = FlowTree::new(schema, tree_cfg);
+        for (k, p) in &trace {
+            tree.insert(k, *p);
+        }
+        (*tree.stats(), tree.len())
+    }));
+
+    rows.push(measure(&format!("insert_batch/{batch}"), n, || {
+        let mut tree = FlowTree::new(schema, tree_cfg);
+        for chunk in trace.chunks(batch) {
+            tree.insert_batch(chunk);
+        }
+        (*tree.stats(), tree.len())
+    }));
+
+    let mut shard_counts = vec![1usize, 2, 4];
+    if !shard_counts.contains(&shards_max) {
+        shard_counts.push(shards_max);
+    }
+    shard_counts.retain(|&s| s <= shards_max);
+    for &s in &shard_counts {
+        rows.push(measure(&format!("sharded/{s}"), n, || {
+            let mut st = ShardedTree::new(schema, tree_cfg, s);
+            for chunk in trace.chunks(batch) {
+                st.par_insert_batch(chunk);
+            }
+            (st.stats(), st.len())
+        }));
+    }
+
+    let t = Table::new(&[
+        "path",
+        "updates/s",
+        "ns/update",
+        "mean probes",
+        "mean work",
+        "nodes",
+    ]);
+    for r in &rows {
+        t.row(&[
+            &r.path,
+            &format!("{:.2} M", r.updates_per_sec / 1e6),
+            &format!("{:.0}", r.ns_per_update),
+            &format!("{:.2}", r.mean_probes),
+            &format!("{:.2}", r.mean_work),
+            &r.nodes.to_string(),
+        ]);
+    }
+    let seed_rate = rows[0].updates_per_sec;
+    println!();
+    for r in rows.iter().skip(1) {
+        println!(
+            "  {:<20} {:>5.2}x vs seed_path",
+            r.path,
+            r.updates_per_sec / seed_rate
+        );
+    }
+
+    // ---- BENCH_ingest.json --------------------------------------------
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"ingest\",\n");
+    json.push_str(&format!("  \"packets\": {n},\n"));
+    json.push_str(&format!("  \"flows\": {flows},\n"));
+    json.push_str("  \"schema\": \"five_feature\",\n");
+    json.push_str("  \"budget\": 40000,\n");
+    json.push_str(&format!("  \"batch\": {batch},\n"));
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str("  \"paths\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"path\": \"{}\", \"updates_per_sec\": {:.0}, \"ns_per_update\": {:.1}, \
+             \"mean_probes\": {:.3}, \"mean_search_work\": {:.3}, \"nodes\": {}, \
+             \"speedup_vs_seed\": {:.3}}}{}\n",
+            r.path,
+            r.updates_per_sec,
+            r.ns_per_update,
+            r.mean_probes,
+            r.mean_work,
+            r.nodes,
+            r.updates_per_sec / seed_rate,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("\ncould not write {json_path}: {e}"),
+    }
+
+    println!("\n(flat ns/update and flat probes across E7a/E7b = amortized O(1))");
 }

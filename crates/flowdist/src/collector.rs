@@ -359,7 +359,7 @@ mod tests {
                 let mut summaries = Vec::new();
                 for w in 0..5u64 {
                     for h in 0..8u8 {
-                        if (h as u64 + w) % 3 != 0 {
+                        if !(h as u64 + w).is_multiple_of(3) {
                             summaries.extend(d.ingest_record(&record(
                                 w * 1000 + 50 + h as u64,
                                 9,

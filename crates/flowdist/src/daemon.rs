@@ -7,6 +7,7 @@
 //! whenever the event-time watermark closes a window — in full or as a
 //! delta against the previous window to cut transfer volume.
 
+use crate::shard::ShardedTree;
 use crate::summary::{Summary, SummaryKind};
 use crate::window::WindowId;
 use flowkey::Schema;
@@ -40,10 +41,17 @@ pub struct DaemonConfig {
     /// Windows kept open to absorb event-time disorder before a window
     /// is considered closed (≥ 1).
     pub open_windows: usize,
+    /// Ingest shards per open window (≥ 1). Each window's tree is a
+    /// [`ShardedTree`] fanning updates across this many independent
+    /// per-core trees (budget split evenly); window close folds the
+    /// shards with the paper's `merge`, so emitted [`Summary`] bytes
+    /// have exactly the shape of an unsharded daemon's.
+    pub shards: usize,
 }
 
 impl DaemonConfig {
-    /// A sensible default: 5-minute windows, paper-size trees.
+    /// A sensible default: 5-minute windows, paper-size trees,
+    /// unsharded ingest.
     pub fn new(site: u16) -> DaemonConfig {
         DaemonConfig {
             site,
@@ -52,7 +60,14 @@ impl DaemonConfig {
             tree: Config::paper(),
             transfer: TransferMode::Full,
             open_windows: 2,
+            shards: 1,
         }
+    }
+
+    /// Builder-style setter for the shard count.
+    pub fn with_shards(mut self, shards: usize) -> DaemonConfig {
+        self.shards = shards.max(1);
+        self
     }
 }
 
@@ -75,7 +90,7 @@ pub struct DaemonStats {
 #[derive(Debug)]
 pub struct SiteDaemon {
     cfg: DaemonConfig,
-    open: BTreeMap<u64, FlowTree>,
+    open: BTreeMap<u64, ShardedTree>,
     /// Last *emitted* window tree, base for delta encoding.
     last_emitted: Option<(u64, FlowTree)>,
     watermark_ms: u64,
@@ -146,8 +161,32 @@ impl SiteDaemon {
         let tree = self
             .open
             .entry(window.start_ms)
-            .or_insert_with(|| FlowTree::new(self.cfg.schema, self.cfg.tree));
+            .or_insert_with(|| ShardedTree::new(self.cfg.schema, self.cfg.tree, self.cfg.shards));
         tree.insert(key, pop);
+        out
+    }
+
+    /// Ingests a batch of pre-keyed masses stamped with one event time,
+    /// fanning the batch across the window's ingest shards in parallel
+    /// when `DaemonConfig::shards > 1`. Returns summaries of any
+    /// windows the advancing event time closed.
+    pub fn ingest_mass_batch(
+        &mut self,
+        ts_ms: u64,
+        batch: &[(flowkey::FlowKey, Popularity)],
+    ) -> Vec<Summary> {
+        let window = WindowId::containing(ts_ms, self.cfg.window_ms);
+        let out = self.advance_watermark(ts_ms);
+        let oldest_open = self.oldest_allowed();
+        if window.start_ms < oldest_open {
+            self.stats.late_drops += batch.len() as u64;
+            return out;
+        }
+        let tree = self
+            .open
+            .entry(window.start_ms)
+            .or_insert_with(|| ShardedTree::new(self.cfg.schema, self.cfg.tree, self.cfg.shards));
+        tree.par_insert_batch(batch);
         out
     }
 
@@ -181,7 +220,13 @@ impl SiteDaemon {
     }
 
     fn close_window(&mut self, start_ms: u64) -> Summary {
-        let tree = self.open.remove(&start_ms).expect("window open");
+        // Fold the window's ingest shards into one tree via the
+        // paper's `merge`; with `shards == 1` this is a move.
+        let tree = self
+            .open
+            .remove(&start_ms)
+            .expect("window open")
+            .into_tree();
         let window = WindowId {
             start_ms,
             span_ms: self.cfg.window_ms,

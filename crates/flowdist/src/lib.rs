@@ -8,7 +8,13 @@
 //! queries across sites and time, and raises **alarms** on significant
 //! window-over-window differences.
 //!
-//! * [`SiteDaemon`] — windowed summarization at one site.
+//! * [`SiteDaemon`] — windowed summarization at one site, with
+//!   optional sharded parallel ingest (`DaemonConfig::shards`).
+//! * [`ShardedTree`] — fans updates across N per-core Flowtrees keyed
+//!   by the flow-key hash and folds them with the paper's §2 `merge`
+//!   operator (complementary popularities are additive, so node-wise
+//!   merging of shard summaries reconstructs the unsharded summary);
+//!   the emitted wire bytes are shape-identical to an unsharded tree.
 //! * [`Summary`] — the wire artifact (full or delta), with a validated
 //!   codec.
 //! * [`Collector`] — storage, delta reconstruction, distributed merge
@@ -28,6 +34,7 @@ pub mod alarm;
 pub mod collector;
 pub mod daemon;
 pub mod net;
+pub mod shard;
 pub mod sim;
 pub mod store;
 pub mod summary;
@@ -36,6 +43,7 @@ pub mod window;
 pub use alarm::{AlarmConfig, AlarmEvent, Direction};
 pub use collector::{Collector, TransferLedger};
 pub use daemon::{DaemonConfig, DaemonStats, SiteDaemon, TransferMode};
+pub use shard::ShardedTree;
 pub use sim::{SimConfig, SimReport};
 pub use store::{LoadReport, SummaryStore};
 pub use summary::{Summary, SummaryKind};

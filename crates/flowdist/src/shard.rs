@@ -1,0 +1,268 @@
+//! Sharded parallel ingest.
+//!
+//! Flowtrees are mergeable (paper §2): summaries built from disjoint
+//! slices of a trace merge node-wise into exactly the summary of the
+//! whole trace, modulo budget-induced folding. [`ShardedTree`] exploits
+//! that for parallelism the same way Flowyager scales the structure
+//! network-wide — fan updates across `N` per-core [`FlowTree`]s keyed
+//! by the flow-key hash, and fold the shards with the `merge` operator
+//! when a summary is needed. The shard router reuses the key's
+//! [`flowkey::key_hash`] that the tree index needs anyway, so sharding
+//! adds zero extra hashing to the hot path.
+//!
+//! The node budget is split evenly across shards, so a folded
+//! `ShardedTree` obeys the same budget (and byte size on the wire) as a
+//! single tree: the fold target is created with the full, unsplit
+//! budget and merging compacts to it. Because the router keys shards by
+//! flow-key hash, each key lands in exactly one shard; budget pressure
+//! per shard matches a `budget / N` tree over `1 / N` of the key space,
+//! which keeps per-key error comparable to the unsharded tree.
+
+use flowkey::{key_hash, FlowKey, Schema};
+use flowtree_core::{Config, FlowTree, Popularity, Stats};
+
+/// A Flowtree fanned out over `N` independent shards for parallel
+/// ingest, folded back into one [`FlowTree`] via the paper's `merge`.
+#[derive(Debug, Clone)]
+pub struct ShardedTree {
+    shards: Vec<FlowTree>,
+    schema: Schema,
+    /// The full (unsplit) configuration, used when folding.
+    cfg: Config,
+}
+
+impl ShardedTree {
+    /// Creates `shards` trees sharing `cfg.node_budget` evenly
+    /// (`shards` is clamped to ≥ 1; each shard keeps at least
+    /// [`Config::MIN_BUDGET`]).
+    pub fn new(schema: Schema, cfg: Config, shards: usize) -> ShardedTree {
+        let n = shards.max(1);
+        let mut per_shard = cfg;
+        per_shard.node_budget = (cfg.node_budget / n).max(Config::MIN_BUDGET);
+        ShardedTree {
+            shards: (0..n).map(|_| FlowTree::new(schema, per_shard)).collect(),
+            schema,
+            cfg,
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The flow schema shared by every shard.
+    #[inline]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Which shard a key hash routes to (multiply-shift, no modulo).
+    #[inline]
+    fn shard_of(&self, hash: u64) -> usize {
+        (((hash as u128) * (self.shards.len() as u128)) >> 64) as usize
+    }
+
+    /// Records mass for `key` in its shard. The key is canonicalized
+    /// and hashed exactly once; the hash routes the shard *and* serves
+    /// as the tree index hash.
+    pub fn insert(&mut self, key: &FlowKey, pop: Popularity) {
+        let key = self.schema.canonicalize(key);
+        let hash = key_hash(&key);
+        let s = self.shard_of(hash);
+        self.shards[s].insert_prehashed(key, hash, pop);
+    }
+
+    /// Canonicalizes, hashes, and buckets a batch by shard.
+    fn bucketize(&self, batch: &[(FlowKey, Popularity)]) -> Vec<Vec<(u64, FlowKey, Popularity)>> {
+        let n = self.shards.len();
+        let mut buckets: Vec<Vec<(u64, FlowKey, Popularity)>> = (0..n)
+            .map(|_| Vec::with_capacity(batch.len() / n + 1))
+            .collect();
+        for (k, p) in batch {
+            let k = self.schema.canonicalize(k);
+            let h = key_hash(&k);
+            buckets[self.shard_of(h)].push((h, k, *p));
+        }
+        buckets
+    }
+
+    /// Sequential batch ingest: one canonicalize + hash per key, one
+    /// budget check per shard at the end.
+    pub fn insert_batch(&mut self, batch: &[(FlowKey, Popularity)]) {
+        let mut buckets = self.bucketize(batch);
+        for (tree, bucket) in self.shards.iter_mut().zip(buckets.iter_mut()) {
+            if !bucket.is_empty() {
+                tree.insert_batch_prehashed(bucket);
+            }
+        }
+    }
+
+    /// Parallel batch ingest: buckets the batch by shard, then runs one
+    /// scoped OS thread per non-empty shard. Shards are fully
+    /// independent trees, so this is lock-free data parallelism; on a
+    /// single-core host it degrades to roughly [`Self::insert_batch`]
+    /// plus thread spawn overhead.
+    pub fn par_insert_batch(&mut self, batch: &[(FlowKey, Popularity)]) {
+        if self.shards.len() == 1 {
+            return self.insert_batch(batch);
+        }
+        let mut buckets = self.bucketize(batch);
+        std::thread::scope(|scope| {
+            for (tree, bucket) in self.shards.iter_mut().zip(buckets.iter_mut()) {
+                if !bucket.is_empty() {
+                    scope.spawn(move || tree.insert_batch_prehashed(bucket));
+                }
+            }
+        });
+    }
+
+    /// Total mass across all shards.
+    pub fn total(&self) -> Popularity {
+        self.shards
+            .iter()
+            .fold(Popularity::ZERO, |acc, t| acc + t.total())
+    }
+
+    /// Live nodes across all shards (roots included per shard).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|t| t.len()).sum()
+    }
+
+    /// Whether no shard holds anything beyond its root.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|t| t.is_empty())
+    }
+
+    /// Summed work counters of all shards.
+    pub fn stats(&self) -> Stats {
+        let mut out = Stats::default();
+        for t in &self.shards {
+            let s = t.stats();
+            out.inserts += s.inserts;
+            out.hits += s.hits;
+            out.misses += s.misses;
+            out.chain_steps += s.chain_steps;
+            out.descent_hops += s.descent_hops;
+            out.joins_created += s.joins_created;
+            out.compactions += s.compactions;
+            out.evictions += s.evictions;
+            out.contractions += s.contractions;
+        }
+        out
+    }
+
+    /// Read access to one shard (bench/diagnostic use).
+    pub fn shard(&self, i: usize) -> &FlowTree {
+        &self.shards[i]
+    }
+
+    /// Folds every shard into a single tree with the full node budget
+    /// via the paper's `merge` operator, leaving the shards untouched.
+    /// The result is shape-identical to a tree built unsharded: same
+    /// schema, same budget, same wire encoding rules.
+    pub fn fold(&self) -> FlowTree {
+        let mut out = FlowTree::new(self.schema, self.cfg);
+        for t in &self.shards {
+            out.merge(t).expect("shards share one schema");
+        }
+        out
+    }
+
+    /// Like [`Self::fold`], but consumes the shards; the single-shard
+    /// case hands back its tree without copying.
+    pub fn into_tree(mut self) -> FlowTree {
+        if self.shards.len() == 1 {
+            return self.shards.pop().expect("one shard");
+        }
+        self.fold()
+    }
+
+    /// Validates every shard's structural invariants. (No per-key
+    /// routing assertion: shards legitimately hold keys whose own hash
+    /// routes elsewhere — join nodes and compaction fold-ups are
+    /// *ancestors* of the routed keys, created shard-locally.)
+    pub fn validate(&self) {
+        for t in &self.shards {
+            t.validate();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> FlowKey {
+        s.parse().unwrap()
+    }
+
+    fn mixed_batch(n: usize) -> Vec<(FlowKey, Popularity)> {
+        (0..n)
+            .map(|i| {
+                let k = key(&format!(
+                    "src=10.{}.{}.{}/32 dst=192.0.2.{}/32 sport={} dport=443 proto=tcp",
+                    i % 3,
+                    (i / 3) % 6,
+                    i % 251,
+                    i % 2,
+                    40_000 + (i % 20)
+                ));
+                (k, Popularity::packet(100 + (i as u32 % 400)))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_total_matches_single_tree() {
+        let batch = mixed_batch(2_000);
+        let schema = Schema::five_feature();
+        let mut single = FlowTree::new(schema, Config::with_budget(4_096));
+        for (k, p) in &batch {
+            single.insert(k, *p);
+        }
+        for shards in [1usize, 2, 4, 8] {
+            let mut st = ShardedTree::new(schema, Config::with_budget(4_096), shards);
+            st.par_insert_batch(&batch);
+            st.validate();
+            assert_eq!(st.total(), single.total(), "{shards} shards conserve mass");
+            let folded = st.fold();
+            folded.validate();
+            assert_eq!(folded.total(), single.total());
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_ingest_agree_exactly() {
+        let batch = mixed_batch(1_500);
+        let schema = Schema::five_feature();
+        let mut a = ShardedTree::new(schema, Config::with_budget(2_048), 4);
+        let mut b = ShardedTree::new(schema, Config::with_budget(2_048), 4);
+        a.insert_batch(&batch);
+        b.par_insert_batch(&batch);
+        let (fa, fb) = (a.fold(), b.fold());
+        assert_eq!(fa.total(), fb.total());
+        assert_eq!(fa.len(), fb.len());
+        let mut ma: Vec<_> = fa.iter().map(|v| (*v.key, v.comp)).collect();
+        let mut mb: Vec<_> = fb.iter().map(|v| (*v.key, v.comp)).collect();
+        ma.sort_by_key(|(k, _)| *k);
+        mb.sort_by_key(|(k, _)| *k);
+        assert_eq!(
+            ma, mb,
+            "shard-local determinism is independent of threading"
+        );
+    }
+
+    #[test]
+    fn into_tree_single_shard_is_free_of_merging() {
+        let batch = mixed_batch(500);
+        let schema = Schema::five_feature();
+        let mut st = ShardedTree::new(schema, Config::with_budget(1_024), 1);
+        st.insert_batch(&batch);
+        let direct = st.clone().fold();
+        let tree = st.into_tree();
+        assert_eq!(tree.total(), direct.total());
+        assert_eq!(tree.config().node_budget, 1_024);
+    }
+}

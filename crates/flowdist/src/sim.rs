@@ -100,6 +100,7 @@ where
                 tree: cfg.tree,
                 transfer: cfg.transfer,
                 open_windows: 2,
+                shards: 1,
             })
         })
         .collect();
@@ -159,6 +160,7 @@ where
                     tree: cfg.tree,
                     transfer: cfg.transfer,
                     open_windows: 2,
+                    shards: 1,
                 });
                 for meta in rx {
                     for record in cache.observe(&meta) {

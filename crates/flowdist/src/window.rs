@@ -5,10 +5,9 @@
 //! closes. Windows are aligned to multiples of their span so every site
 //! agrees on boundaries without coordination.
 
-use serde::{Deserialize, Serialize};
-
 /// One time window `[start_ms, start_ms + span_ms)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct WindowId {
     /// Window start, epoch milliseconds (multiple of `span_ms`).
     pub start_ms: u64,

@@ -101,7 +101,7 @@ fn corrupt_frames_never_corrupt_state() {
         let corrupt = rng.gen_bool(0.5);
         if corrupt {
             let i = rng.gen_range(0..bytes.len());
-            bytes[i] ^= 1 << rng.gen_range(0..8);
+            bytes[i] ^= 1u8 << rng.gen_range(0u32..8);
         }
         let _ = c.apply_bytes(&bytes);
     }

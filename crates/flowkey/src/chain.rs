@@ -24,10 +24,10 @@
 //! drill down (mostly by prefix, as in the paper's Fig. 2).
 
 use crate::{Dim, FlowKey, NUM_DIMS};
-use serde::{Deserialize, Serialize};
 
 /// Per-dimension hierarchy depths of a key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DepthProfile(pub [u16; NUM_DIMS]);
 
 impl DepthProfile {

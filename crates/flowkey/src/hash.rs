@@ -1,0 +1,316 @@
+//! Per-dimension key hashing with O(1) incremental updates along
+//! canonical chains.
+//!
+//! The Flowtree hot path probes a hash index once per chain step while
+//! searching the longest matching parent. Hashing a full 7-feature
+//! [`FlowKey`] on every probe is the dominant per-update cost, so this
+//! module decomposes the key hash by dimension:
+//!
+//! ```text
+//! key_hash(k) = Σ_dim  dim_hash(dim, k[dim])        (wrapping add)
+//! ```
+//!
+//! Each generalization step changes exactly one dimension, so the hash
+//! of the parent is obtained from the hash of the child with two
+//! single-feature hashes instead of seven:
+//!
+//! ```text
+//! h' = h - dim_hash(d, old_feature) + dim_hash(d, new_feature)
+//! ```
+//!
+//! [`HashedChainUp`] packages this as an iterator mirroring
+//! [`Schema::chain_up`](crate::Schema::chain_up) but yielding
+//! `(ancestor, key_hash(ancestor))` pairs. The per-feature hashes are
+//! Fx-style multiply-rotate mixes finished with a splitmix64 avalanche,
+//! salted per dimension so equal feature bit patterns in different
+//! dimensions do not cancel under the additive combination.
+
+use crate::{Dim, FlowKey, NUM_DIMS};
+use core::hash::{Hash, Hasher};
+
+/// Per-dimension salts (arbitrary odd constants, fixed forever: the
+/// wire codec never persists hashes, so these can change without
+/// versioning, but determinism within a build matters for sharding).
+const DIM_SALT: [u64; NUM_DIMS] = [
+    0x9e37_79b9_7f4a_7c15,
+    0xbf58_476d_1ce4_e5b9,
+    0x94d0_49bb_1331_11eb,
+    0x2545_f491_4f6c_dd1d,
+    0xd6e8_feb8_6659_fd93,
+    0xa076_1d64_78bd_642f,
+    0xe703_7ed1_a0b4_28db,
+];
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// splitmix64 finalizer: full-avalanche mix of one word.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// An Fx multiply-rotate hasher seeded per dimension.
+struct SaltedFx {
+    state: u64,
+}
+
+impl SaltedFx {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for SaltedFx {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.mix(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.mix(v as u64);
+        self.mix((v >> 64) as u64);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// Hash of one dimension's feature, salted by dimension.
+#[inline]
+pub fn dim_hash(key: &FlowKey, dim: Dim) -> u64 {
+    let mut h = SaltedFx {
+        state: DIM_SALT[dim.index()],
+    };
+    match dim {
+        Dim::SrcIp => key.src.hash(&mut h),
+        Dim::DstIp => key.dst.hash(&mut h),
+        Dim::SrcPort => key.sport.hash(&mut h),
+        Dim::DstPort => key.dport.hash(&mut h),
+        Dim::Proto => key.proto.hash(&mut h),
+        Dim::Time => key.time.hash(&mut h),
+        Dim::Site => key.site.hash(&mut h),
+    }
+    mix64(h.finish())
+}
+
+/// The decomposable whole-key hash: wrapping sum of per-dimension
+/// hashes. Equal keys hash equally under every schema (inactive
+/// dimensions are wildcards after canonicalization and contribute a
+/// constant).
+#[inline]
+pub fn key_hash(key: &FlowKey) -> u64 {
+    let mut h = 0u64;
+    for dim in Dim::ALL {
+        h = h.wrapping_add(dim_hash(key, dim));
+    }
+    h
+}
+
+/// Hash of one dimension's feature generalized to hierarchy depth
+/// `depth` — without materializing the intermediate key. This is what
+/// lets chain walkers hash a neighbouring chain position from a known
+/// key hash with two single-feature hashes.
+#[inline]
+pub fn dim_hash_at(key: &FlowKey, dim: Dim, depth: u16) -> u64 {
+    if depth >= key.dim_depth(dim) {
+        return dim_hash(key, dim);
+    }
+    let mut h = SaltedFx {
+        state: DIM_SALT[dim.index()],
+    };
+    match dim {
+        Dim::SrcIp => key
+            .src
+            .ancestor_at(depth)
+            .expect("depth below")
+            .hash(&mut h),
+        Dim::DstIp => key
+            .dst
+            .ancestor_at(depth)
+            .expect("depth below")
+            .hash(&mut h),
+        Dim::SrcPort => key
+            .sport
+            .ancestor_at(depth)
+            .expect("depth below")
+            .hash(&mut h),
+        Dim::DstPort => key
+            .dport
+            .ancestor_at(depth)
+            .expect("depth below")
+            .hash(&mut h),
+        Dim::Proto => key
+            .proto
+            .ancestor_at(depth)
+            .expect("depth below")
+            .hash(&mut h),
+        Dim::Time => key
+            .time
+            .ancestor_at(depth)
+            .expect("depth below")
+            .hash(&mut h),
+        Dim::Site => key
+            .site
+            .ancestor_at(depth)
+            .expect("depth below")
+            .hash(&mut h),
+    }
+    mix64(h.finish())
+}
+
+/// Iterator over `(ancestor, key_hash(ancestor))` along the canonical
+/// chain, maintaining the hash incrementally — each step costs two
+/// single-feature hashes instead of a full-key hash.
+///
+/// Yields the parent first, then the grandparent, … ending with the
+/// root, exactly like [`Schema::chain_up`](crate::Schema::chain_up).
+#[derive(Debug, Clone)]
+pub struct HashedChainUp<'a> {
+    schema: &'a crate::Schema,
+    profile: crate::DepthProfile,
+    cur: FlowKey,
+    hash: u64,
+    /// Lazily-filled cache of each dimension's current feature hash
+    /// (`touched` marks validity), so a step costs *one* feature hash:
+    /// the outgoing feature's hash is remembered from the previous step
+    /// that touched the dimension.
+    dim_hashes: [u64; NUM_DIMS],
+    touched: u8,
+    done: bool,
+}
+
+impl<'a> HashedChainUp<'a> {
+    pub(crate) fn new(schema: &'a crate::Schema, key: &FlowKey, hash: u64) -> HashedChainUp<'a> {
+        debug_assert_eq!(hash, key_hash(key), "caller-provided hash is stale");
+        HashedChainUp {
+            schema,
+            profile: crate::DepthProfile::of(key),
+            cur: *key,
+            hash,
+            dim_hashes: [0; NUM_DIMS],
+            touched: 0,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for HashedChainUp<'_> {
+    type Item = (FlowKey, u64);
+
+    fn next(&mut self) -> Option<(FlowKey, u64)> {
+        if self.done {
+            return None;
+        }
+        match self.schema.next_chain_dim(&self.profile) {
+            Some(dim) => {
+                let i = dim.index();
+                let old = if self.touched & (1 << i) != 0 {
+                    self.dim_hashes[i]
+                } else {
+                    dim_hash(&self.cur, dim)
+                };
+                self.cur = self
+                    .cur
+                    .generalize(dim)
+                    .expect("next_dim only picks depth > 0");
+                let new = dim_hash(&self.cur, dim);
+                self.dim_hashes[i] = new;
+                self.touched |= 1 << i;
+                self.hash = self.hash.wrapping_sub(old).wrapping_add(new);
+                self.profile.0[dim.index()] -= 1;
+                Some((self.cur, self.hash))
+            }
+            None => {
+                self.done = true;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Schema;
+
+    fn key(s: &str) -> FlowKey {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn rolling_hash_matches_full_hash_along_whole_chain() {
+        let schema = Schema::five_feature();
+        let k = key("src=10.1.2.3/32 dst=192.0.2.9/32 sport=49152 dport=443 proto=udp");
+        let walked: Vec<(FlowKey, u64)> = schema.chain_up_hashed(&k, key_hash(&k)).collect();
+        let reference: Vec<FlowKey> = schema.chain_up(&k).collect();
+        assert_eq!(walked.len(), reference.len());
+        for ((wk, wh), rk) in walked.iter().zip(&reference) {
+            assert_eq!(wk, rk, "chain keys must match the unhashed walk");
+            assert_eq!(*wh, key_hash(wk), "rolling hash must equal full hash");
+        }
+    }
+
+    #[test]
+    fn key_hash_distinguishes_and_is_stable() {
+        let a = key("src=1.1.1.0/24");
+        let b = key("src=1.1.2.0/24");
+        // Same bits in a different dimension must hash differently.
+        let c = key("dst=1.1.1.0/24");
+        assert_eq!(key_hash(&a), key_hash(&a));
+        assert_ne!(key_hash(&a), key_hash(&b));
+        assert_ne!(key_hash(&a), key_hash(&c));
+        assert_ne!(key_hash(&a), key_hash(&FlowKey::ROOT));
+    }
+
+    #[test]
+    fn host_keys_hash_distinctly() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0u32..10_000 {
+            let k = key(&format!(
+                "src={}.{}.{}.{}/32 dport=443",
+                i >> 24,
+                (i >> 16) & 255,
+                (i >> 8) & 255,
+                i & 255
+            ));
+            seen.insert(key_hash(&k));
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+}

@@ -10,11 +10,11 @@ use crate::ParseError;
 use core::cmp::Ordering;
 use core::fmt;
 use core::str::FromStr;
-use serde::{Deserialize, Serialize};
 use std::net::{Ipv4Addr, Ipv6Addr};
 
 /// An IPv4 network prefix in canonical form (host bits zero).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ipv4Net {
     addr: u32,
     len: u8,
@@ -165,7 +165,8 @@ impl FromStr for Ipv4Net {
 }
 
 /// An IPv6 network prefix in canonical form (host bits zero).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Ipv6Net {
     addr: u128,
     len: u8,
@@ -315,7 +316,8 @@ impl FromStr for Ipv6Net {
 /// The hierarchy is: host address → … one bit at a time … → `/0` of its
 /// family → [`IpNet::Any`]. Depth is therefore `len + 1` for a concrete
 /// prefix and `0` for the wildcard.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum IpNet {
     /// Matches every address of both families (the hierarchy root).
     #[default]

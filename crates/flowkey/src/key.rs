@@ -2,7 +2,6 @@
 
 use crate::{Dim, IpNet, PortRange, Proto, Site, TimeBucket};
 use core::fmt;
-use serde::{Deserialize, Serialize};
 
 /// A generalized flow: a point in the product lattice of all feature
 /// hierarchies.
@@ -15,9 +14,8 @@ use serde::{Deserialize, Serialize};
 /// Ordering is lexicographic over dimensions; it exists so keys can be
 /// sorted deterministically (e.g. for canonical serialization), not
 /// because the order is semantically meaningful.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FlowKey {
     /// Source IP prefix.
     pub src: IpNet,
@@ -188,6 +186,36 @@ impl FlowKey {
             time: self.time.meet(&other.time)?,
             site: self.site.meet(&other.site)?,
         })
+    }
+
+    /// Per-dimension depths of the deepest common feature ancestors of
+    /// two keys: `result[i]` is the hierarchy depth at which dimension
+    /// `i`'s features of `self` and `other` meet (the depth of their
+    /// feature-level join). Feature hierarchies are laminar, so the
+    /// ancestors of the two features at any depth `≤ result[i]` are
+    /// equal and at any greater depth differ — this is what lets
+    /// lowest-common-chain-ancestor computations run on depth profiles
+    /// alone, without materializing chain keys.
+    pub fn agreement_profile(&self, other: &FlowKey) -> crate::DepthProfile {
+        let j = self.join(other);
+        crate::DepthProfile::of(&j)
+    }
+
+    /// The key whose every feature is `self`'s ancestor at the depths
+    /// given by `profile` (which must be dimension-wise ≤ this key's
+    /// own profile). This is how canonical chain ancestors materialize
+    /// from a schedule-evolved depth profile without walking the chain.
+    pub fn at_profile(&self, profile: &crate::DepthProfile) -> FlowKey {
+        let mut out = *self;
+        for dim in Dim::ALL {
+            let want = profile.get(dim);
+            if want < self.dim_depth(dim) {
+                out = out
+                    .dim_ancestor_at(dim, want)
+                    .expect("profile must be dimension-wise below the key");
+            }
+        }
+        out
     }
 
     /// Lattice join (most specific common generalization).

@@ -47,7 +47,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "serde")]
+compile_error!(
+    "the `serde` feature is a placeholder: this workspace builds offline and serde is not \
+     vendored. Vendor serde, add it as an optional dependency of flowkey (and drop this \
+     compile_error!) to enable the gated derives. See ROADMAP.md \"Open items\"."
+);
+
 pub mod chain;
+pub mod hash;
 pub mod ipnet;
 pub mod pack;
 pub mod parse;
@@ -60,6 +68,7 @@ pub mod time;
 mod key;
 
 pub use chain::DepthProfile;
+pub use hash::{dim_hash, dim_hash_at, key_hash, HashedChainUp};
 pub use ipnet::{IpNet, Ipv4Net, Ipv6Net};
 pub use key::FlowKey;
 pub use port::PortRange;

@@ -10,10 +10,10 @@
 use crate::ParseError;
 use core::fmt;
 use core::str::FromStr;
-use serde::{Deserialize, Serialize};
 
 /// A dyadic port range: the `plen` leading bits of the port are fixed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PortRange {
     base: u16,
     plen: u8,

@@ -6,7 +6,6 @@
 use crate::ParseError;
 use core::fmt;
 use core::str::FromStr;
-use serde::{Deserialize, Serialize};
 
 /// IANA protocol number for ICMP.
 pub const ICMP: u8 = 1;
@@ -22,9 +21,8 @@ pub const GRE: u8 = 47;
 pub const ESP: u8 = 50;
 
 /// An IP protocol, concrete or wildcard.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Proto {
     /// Matches every protocol (the hierarchy root).
     #[default]

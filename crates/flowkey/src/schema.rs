@@ -9,10 +9,10 @@
 
 use crate::chain::{next_dim, DepthProfile};
 use crate::{Dim, FlowKey, IpNet, PortRange, Proto, Site, TimeBucket, NUM_DIMS};
-use serde::{Deserialize, Serialize};
 
 /// The flow types used in the paper plus the distributed-system extension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SchemaKind {
     /// 1-feature flows: source prefix only (paper Fig. 2a).
     Src1,
@@ -71,7 +71,8 @@ const LOG2_FANOUT: [u16; NUM_DIMS] = [
 ];
 
 /// A flow schema: active dimensions plus chain-schedule constants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Schema {
     kind: SchemaKind,
     active: [bool; NUM_DIMS],
@@ -234,6 +235,23 @@ impl Schema {
             cur: *key,
             done: false,
         }
+    }
+
+    /// Like [`Schema::chain_up`], but yields `(ancestor, hash)` pairs
+    /// with the whole-key hash maintained incrementally (two
+    /// single-feature hashes per step). `key_hash` must be
+    /// [`crate::key_hash`]`(key)`; passing it in lets hot paths that
+    /// already probed an index with it avoid recomputing.
+    pub fn chain_up_hashed(&self, key: &FlowKey, key_hash: u64) -> crate::HashedChainUp<'_> {
+        crate::HashedChainUp::new(self, key, key_hash)
+    }
+
+    /// The next dimension the canonical schedule generalizes for a key
+    /// with the given depth profile (`None` at the root). Exposed for
+    /// chain walkers that maintain profiles incrementally.
+    #[inline]
+    pub fn next_chain_dim(&self, profile: &DepthProfile) -> Option<Dim> {
+        next_dim(profile, &self.active, &SCHEDULE_WEIGHT)
     }
 
     /// Whether `anc` lies on the canonical chain of `desc`

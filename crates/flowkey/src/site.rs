@@ -9,15 +9,13 @@
 use crate::ParseError;
 use core::fmt;
 use core::str::FromStr;
-use serde::{Deserialize, Serialize};
 
 /// Number of sites per region in the canonical site numbering.
 pub const SITES_PER_REGION: u16 = 256;
 
 /// A monitor location: wildcard, a region of sites, or a concrete site.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Site {
     /// All sites (the hierarchy root).
     #[default]

@@ -11,10 +11,10 @@
 use crate::ParseError;
 use core::fmt;
 use core::str::FromStr;
-use serde::{Deserialize, Serialize};
 
 /// A dyadic bucket of Unix time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TimeBucket {
     /// Start of the bucket in Unix seconds (multiple of `1 << level`).
     start: u64,

@@ -151,7 +151,7 @@ mod tests {
 
     #[test]
     fn build_then_parse() {
-        let mut buf = vec![0u8; MIN_HEADER_LEN + 3];
+        let mut buf = [0u8; MIN_HEADER_LEN + 3];
         let mut seg = TcpSegment::init(&mut buf[..]).unwrap();
         seg.set_src_port(443);
         seg.set_dst_port(51000);
@@ -170,7 +170,7 @@ mod tests {
 
     #[test]
     fn corrupt_payload_fails_checksum() {
-        let mut buf = vec![0u8; MIN_HEADER_LEN + 4];
+        let mut buf = [0u8; MIN_HEADER_LEN + 4];
         let mut seg = TcpSegment::init(&mut buf[..]).unwrap();
         seg.payload_mut().copy_from_slice(b"data");
         seg.fill_checksum(1234);
@@ -181,7 +181,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_data_offset() {
-        let mut buf = vec![0u8; MIN_HEADER_LEN];
+        let mut buf = [0u8; MIN_HEADER_LEN];
         buf[12] = 4 << 4; // 16 bytes < min
         assert!(TcpSegment::new_checked(&buf[..]).is_err());
         buf[12] = 15 << 4; // 60 bytes > buffer

@@ -117,7 +117,7 @@ mod tests {
 
     #[test]
     fn build_then_parse() {
-        let mut buf = vec![0u8; HEADER_LEN + 5];
+        let mut buf = [0u8; HEADER_LEN + 5];
         let mut dg = UdpDatagram::init(&mut buf[..]).unwrap();
         dg.set_src_port(5353);
         dg.set_dst_port(53);
@@ -133,7 +133,7 @@ mod tests {
 
     #[test]
     fn zero_checksum_accepted() {
-        let mut buf = vec![0u8; HEADER_LEN];
+        let mut buf = [0u8; HEADER_LEN];
         let _ = UdpDatagram::init(&mut buf[..]).unwrap();
         let dg = UdpDatagram::new_checked(&buf[..]).unwrap();
         assert_eq!(dg.checksum(), 0);
@@ -142,7 +142,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_length() {
-        let mut buf = vec![0u8; HEADER_LEN + 2];
+        let mut buf = [0u8; HEADER_LEN + 2];
         buf[4..6].copy_from_slice(&4u16.to_be_bytes()); // < header
         assert!(UdpDatagram::new_checked(&buf[..]).is_err());
         buf[4..6].copy_from_slice(&100u16.to_be_bytes()); // > buffer
@@ -151,7 +151,7 @@ mod tests {
 
     #[test]
     fn payload_respects_length_field() {
-        let mut buf = vec![0u8; HEADER_LEN + 10];
+        let mut buf = [0u8; HEADER_LEN + 10];
         let mut dg = UdpDatagram::init(&mut buf[..]).unwrap();
         dg.payload_mut().copy_from_slice(b"0123456789");
         buf[4..6].copy_from_slice(&((HEADER_LEN + 4) as u16).to_be_bytes());

@@ -107,6 +107,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // k is the 1-based Zipf rank
     fn matches_expected_ratios_small_n() {
         // n = 4, s = 1: weights 1, 1/2, 1/3, 1/4 → probabilities
         // normalized by 25/12.
@@ -123,6 +124,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // k is the 1-based Zipf rank
     fn s_zero_is_uniform() {
         let f = frequencies(10, 0.0, 200_000);
         for k in 1..=10usize {

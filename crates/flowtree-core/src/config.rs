@@ -1,11 +1,11 @@
 //! Flowtree configuration: node budget, eviction, and estimation policies.
 
 use crate::pop::Metric;
-use serde::{Deserialize, Serialize};
 
 /// How the self-adjustment step picks victims when the tree exceeds its
 /// node budget.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum EvictionPolicy {
     /// Evict the leaf with the smallest complementary popularity
     /// (ties broken towards the least recently touched). This is the
@@ -20,7 +20,8 @@ pub enum EvictionPolicy {
 
 /// How queries for keys that are absent from the tree split the residual
 /// (complementary) mass of the nearest retained ancestors.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Estimator {
     /// Split residual mass uniformly over the ancestor's uncovered
     /// space: each hierarchy level halves the share (protocol and site
@@ -37,7 +38,8 @@ pub enum Estimator {
 }
 
 /// Flowtree tuning knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Config {
     /// Maximum number of tree nodes, including the root and internal
     /// join nodes. The paper's evaluation uses 40 000.

@@ -20,6 +20,22 @@
 //! across-time summarization. Updates are amortized constant time;
 //! queries cost at most one tree walk.
 //!
+//! ## Ingest entry points
+//!
+//! * [`FlowTree::insert`] — one update; the miss path uses a
+//!   zero-rehash parent search (precomputed-hash index, rolling
+//!   per-dimension hashes, root descent with an analytic LCCA — see
+//!   the [`tree` hot-path notes](FlowTree)).
+//! * [`FlowTree::insert_batch`] — bulk: canonicalize + hash each key
+//!   once, hash-sort for index locality, one budget check per batch.
+//! * [`FlowTree::insert_prehashed`] / [`FlowTree::insert_batch_prehashed`]
+//!   — for callers that already hold [`flowkey::key_hash`]es, like
+//!   `flowdist`'s sharded parallel ingest, which routes keys to
+//!   per-core trees by that same hash and folds the shards with the
+//!   paper's §2 `merge` (complementary popularities are additive, so
+//!   node-wise merging of shard summaries reconstructs the unsharded
+//!   summary).
+//!
 //! ## Quick start
 //!
 //! ```
@@ -55,7 +71,9 @@ mod hasher;
 mod pop;
 mod query;
 mod render;
+#[cfg(feature = "serde")]
 mod serde_impl;
+mod table;
 mod tree;
 
 pub use codec::{CodecError, MAGIC, MAX_WIRE_NODES, VERSION};

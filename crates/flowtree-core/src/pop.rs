@@ -8,10 +8,10 @@
 use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Neg, Sub, SubAssign};
-use serde::{Deserialize, Serialize};
 
 /// Which counter a policy (eviction, top-k, HHH) ranks by.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Metric {
     /// Rank by packet count (the paper's figures use packets).
     #[default]
@@ -23,9 +23,8 @@ pub enum Metric {
 }
 
 /// Packet, byte, and flow counts of a (generalized) flow.
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Popularity {
     /// Number of packets.
     pub packets: i64,

@@ -13,8 +13,8 @@
 //! operators).
 //!
 //! * **Update** (paper §2): existing key → increment its counter.
-//!   Missing key → walk the key's canonical chain upward to the nearest
-//!   retained ancestor ("longest matching parent") and splice the node
+//!   Missing key → find the nearest retained ancestor on the key's
+//!   canonical chain ("longest matching parent") and splice the node
 //!   in. No counts are aggregated up the tree on the hot path, giving
 //!   the paper's amortized-constant update.
 //! * **Self-adjustment**: when the node count exceeds the budget, the
@@ -24,14 +24,61 @@
 //! * **Queries** run either in `O(subtree)` for retained keys or in
 //!   `O(tree)` for arbitrary hierarchical patterns (paper: "time
 //!   proportional to the tree nodes"); see [`crate::query`].
+//!
+//! ## The update hot path
+//!
+//! The miss path never re-hashes a whole key and never walks a whole
+//! chain:
+//!
+//! * The key's hash is computed once. The node index stores
+//!   precomputed 64-bit hashes, so a probe is one masked load plus a
+//!   word compare (see [`crate::table`]), and removals and merges
+//!   reuse the hash cached on each node.
+//! * The parent search probes a short **linear prefix** of the chain
+//!   with an incrementally-maintained rolling hash (one single-feature
+//!   hash per step, see [`flowkey::hash`]) — the common case, since
+//!   popular ancestors are retained within a few steps.
+//! * A cold miss then anchors at the root and **descends** through the
+//!   retained children on the key's chain, costing `O(retained chain
+//!   ancestors)` instead of `O(depth)`. A descent hop is hash-rolling
+//!   arithmetic: the chain's next specialized dimension is read off a
+//!   **memoized profile schedule** (the schedule is a pure function of
+//!   the key's depth profile, shared by every key of the same shape),
+//!   and the hop's step hash rolls from the anchor's stored key hash
+//!   with two single-feature hashes.
+//! * Splices compute the lowest common chain ancestor **analytically**:
+//!   feature hierarchies are laminar, so two chains meet exactly where
+//!   their schedule profiles coincide and every per-dimension feature
+//!   join is deep enough — pure `u16` arithmetic, with only the one or
+//!   two keys actually spliced ever being materialized.
+//!
+//! Bulk ingestion should prefer [`FlowTree::insert_batch`]: it
+//! canonicalizes and hashes each key once, sorts the batch by key hash
+//! for index locality, and defers the budget check to the end of the
+//! batch (the tree may transiently exceed its budget by the batch
+//! length, exactly as `merge` does). Sharded parallel ingest on top of
+//! this (`flowdist::ShardedTree`) reuses the same key hash to route
+//! shards.
 
 use crate::config::{Config, EvictionPolicy};
-use crate::hasher::{fxhash, BuildFx};
 use crate::pop::Popularity;
-use flowkey::{FlowKey, Schema};
-use std::collections::{BinaryHeap, HashMap};
+use crate::table::KeyIndex;
+use flowkey::{key_hash, FlowKey, Schema};
+use std::cell::RefCell;
+use std::collections::BinaryHeap;
 
 pub(crate) const NIL: u32 = u32::MAX;
+
+/// Chain probes made linearly (one step at a time) before the parent
+/// search gives up on probing and descends from the root instead.
+/// Covers the common case of a retained ancestor within a few steps.
+const LINEAR_PROBES: usize = 4;
+
+thread_local! {
+    /// Reusable DFS stack for subtree sums and pre-order walks, so
+    /// point queries and codec traversals do not allocate per call.
+    static DFS_STACK: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Errors from Flowtree operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,13 +100,17 @@ impl std::error::Error for TreeError {}
 #[derive(Debug, Clone)]
 pub(crate) struct Node {
     pub(crate) key: FlowKey,
+    /// [`flowkey::key_hash`] of `key`, so removals and merges never
+    /// re-hash the 7-feature key.
+    pub(crate) key_hash: u64,
     pub(crate) depth: u32,
     pub(crate) parent: u32,
     pub(crate) first_child: u32,
     pub(crate) next_sibling: u32,
     pub(crate) prev_sibling: u32,
-    /// Hash of this node's chain step at `parent.depth + 1`; lets sibling
-    /// scans compare one word instead of recomputing chain ancestors.
+    /// Key hash of this node's chain step at `parent.depth + 1`; lets
+    /// sibling scans compare one word instead of recomputing chain
+    /// ancestors.
     pub(crate) step_hash: u64,
     pub(crate) comp: Popularity,
     pub(crate) touch: u64,
@@ -77,8 +128,17 @@ pub struct Stats {
     pub hits: u64,
     /// Updates that created a node.
     pub misses: u64,
-    /// Total chain steps walked while searching longest matching parents.
+    /// Index probes performed while searching longest matching parents
+    /// (the linear-prefix phase; each probe is one hash-table lookup).
+    /// Probes alone undercount a cold miss's search work — see
+    /// [`Stats::descent_hops`] for the other half.
     pub chain_steps: u64,
+    /// Retained-child descent hops taken while splicing misses: one
+    /// per tree level walked from the search anchor down to the true
+    /// longest matching parent. `chain_steps + descent_hops` is the
+    /// full parent-search work, `O(retained chain ancestors)` per cold
+    /// miss instead of the seed path's `O(depth)` full-key-hash probes.
+    pub descent_hops: u64,
     /// Join (branch) nodes created.
     pub joins_created: u64,
     /// Compaction runs.
@@ -90,13 +150,24 @@ pub struct Stats {
 }
 
 impl Stats {
-    /// Mean chain steps per update — the "amortized constant" the paper
-    /// claims; stays small and flat as the trace grows.
+    /// Mean parent-search probes per update — the "amortized constant"
+    /// the paper claims; stays small and flat as the trace grows.
     pub fn mean_chain_steps(&self) -> f64 {
         if self.inserts == 0 {
             0.0
         } else {
             self.chain_steps as f64 / self.inserts as f64
+        }
+    }
+
+    /// Mean total parent-search work per update: index probes plus
+    /// retained-child descent hops. The honest apples-to-apples number
+    /// to compare against the seed path, whose work is all probes.
+    pub fn mean_search_work(&self) -> f64 {
+        if self.inserts == 0 {
+            0.0
+        } else {
+            (self.chain_steps + self.descent_hops) as f64 / self.inserts as f64
         }
     }
 }
@@ -115,6 +186,75 @@ pub struct NodeView<'a> {
     pub parent: Option<&'a FlowKey>,
     /// Whether the node currently has no children.
     pub is_leaf: bool,
+}
+
+/// Random access into a key's canonical chain without materializing
+/// it: the first few steps come from the probed prefix (already walked
+/// with rolling hashes), everything shallower is built on demand from
+/// the memoized profile schedule — seven per-feature `ancestor_at`
+/// masks plus one key hash, instead of walking the chain step-by-step.
+struct ChainCtx<'a> {
+    base_key: FlowKey,
+    base_hash: u64,
+    base_depth: u32,
+    /// `(ancestor, hash)` for steps `1..=prefix.len()` above the key.
+    prefix: &'a [(FlowKey, u64)],
+    /// `seq[s]` = depth profile after `s` schedule steps (`seq[0]` is
+    /// the key's own profile, last entry the root's).
+    seq: &'a [flowkey::DepthProfile],
+}
+
+impl ChainCtx<'_> {
+    /// The `(ancestor, hash)` at chain depth `depth ≤ base_depth`.
+    #[inline]
+    fn at(&self, depth: u32) -> (FlowKey, u64) {
+        if depth == self.base_depth {
+            return (self.base_key, self.base_hash);
+        }
+        let steps_up = (self.base_depth - depth) as usize;
+        if steps_up <= self.prefix.len() {
+            return self.prefix[steps_up - 1];
+        }
+        let k = self.base_key.at_profile(&self.seq[steps_up]);
+        (k, key_hash(&k))
+    }
+}
+
+/// Replays the canonical schedule from `profile` down to the root,
+/// recording every intermediate profile. The sequence is a pure
+/// function of the starting profile, so trees memoize it: every key of
+/// the same shape (e.g. all full IPv4 5-tuples) shares one replay.
+fn build_profile_seq(
+    schema: &Schema,
+    mut profile: flowkey::DepthProfile,
+    out: &mut Vec<flowkey::DepthProfile>,
+) {
+    out.clear();
+    out.push(profile);
+    while let Some(dim) = schema.next_chain_dim(&profile) {
+        profile.0[dim.index()] -= 1;
+        out.push(profile);
+    }
+}
+
+/// The single dimension two adjacent schedule profiles differ in, and
+/// the deeper profile's feature depth there (`shallow` is one chain
+/// step above `deep`).
+#[inline]
+fn diff_dim(shallow: &flowkey::DepthProfile, deep: &flowkey::DepthProfile) -> (flowkey::Dim, u16) {
+    for i in 0..flowkey::NUM_DIMS {
+        if shallow.0[i] != deep.0[i] {
+            debug_assert_eq!(shallow.0[i] + 1, deep.0[i]);
+            return (flowkey::Dim::from_index(i), deep.0[i]);
+        }
+    }
+    unreachable!("adjacent schedule profiles differ in exactly one dimension")
+}
+
+/// Whether `p` is dimension-wise at or below `bound`.
+#[inline]
+fn profile_fits(p: &flowkey::DepthProfile, bound: &flowkey::DepthProfile) -> bool {
+    p.0.iter().zip(bound.0.iter()).all(|(d, b)| d <= b)
 }
 
 /// The self-adjusting flow summary of Saidi et al. (SIGCOMM 2018).
@@ -138,20 +278,31 @@ pub struct FlowTree {
     pub(crate) cfg: Config,
     pub(crate) nodes: Vec<Node>,
     pub(crate) free: Vec<u32>,
-    pub(crate) index: HashMap<FlowKey, u32, BuildFx>,
+    pub(crate) index: KeyIndex,
     pub(crate) root: u32,
     pub(crate) live: usize,
     pub(crate) clock: u64,
     pub(crate) total: Popularity,
     pub(crate) stats: Stats,
+    /// Scratch prefix chain of the key being inserted (reused across
+    /// misses).
+    chain_a: Vec<(FlowKey, u64)>,
+    /// Memoized profile schedule: the starting profile it was built
+    /// for, plus every intermediate profile down to the root. Reused
+    /// across misses — consecutive trace keys almost always share one
+    /// profile shape.
+    seq_profile: Option<flowkey::DepthProfile>,
+    seq_scratch: Vec<flowkey::DepthProfile>,
 }
 
 impl FlowTree {
     /// Creates an empty Flowtree (just the all-wildcard root).
     pub fn new(schema: Schema, cfg: Config) -> FlowTree {
         let root_key = schema.root();
+        let root_hash = key_hash(&root_key);
         let root = Node {
             key: root_key,
+            key_hash: root_hash,
             depth: 0,
             parent: NIL,
             first_child: NIL,
@@ -163,15 +314,20 @@ impl FlowTree {
             generation: 0,
             alive: true,
         };
-        // Pre-size for the budget, but cap so huge budgets (used by
-        // tests and oracles) do not pay an up-front allocation.
+        // Pre-size both the index and the node arena for the budget,
+        // but cap so huge budgets (used by tests and oracles) do not
+        // pay an up-front allocation. Pre-reserving the arena matters:
+        // steady-state ingest under a 40 K budget would otherwise pay
+        // repeated reallocation + copy of every node.
         let cap = cfg.node_budget.saturating_add(16).min(65_536);
-        let mut index = HashMap::with_capacity_and_hasher(cap, BuildFx::default());
-        index.insert(root_key, 0);
+        let mut index = KeyIndex::with_capacity(cap);
+        index.insert(root_hash, 0);
+        let mut nodes = Vec::with_capacity(cap);
+        nodes.push(root);
         FlowTree {
             schema,
             cfg,
-            nodes: vec![root],
+            nodes,
             free: Vec::new(),
             index,
             root: 0,
@@ -179,6 +335,9 @@ impl FlowTree {
             clock: 0,
             total: Popularity::ZERO,
             stats: Stats::default(),
+            chain_a: Vec::new(),
+            seq_profile: None,
+            seq_scratch: Vec::new(),
         }
     }
 
@@ -198,6 +357,14 @@ impl FlowTree {
     #[inline]
     pub fn config(&self) -> &Config {
         &self.cfg
+    }
+
+    /// Switches the residual-mass estimator used by queries. Estimators
+    /// only affect reads, so this is always safe — useful for asking
+    /// lower/upper-bound questions of one already-built tree.
+    #[inline]
+    pub fn set_estimator(&mut self, estimator: crate::Estimator) {
+        self.cfg.estimator = estimator;
     }
 
     /// Current number of nodes (including root and join nodes).
@@ -225,14 +392,22 @@ impl FlowTree {
         &self.stats
     }
 
+    /// Looks up the node id of `key` given its precomputed hash.
+    #[inline]
+    fn lookup(&self, key: &FlowKey, hash: u64) -> Option<u32> {
+        let nodes = &self.nodes;
+        self.index.get(hash, |id| nodes[id as usize].key == *key)
+    }
+
     /// Whether `key` is currently retained as a node.
     pub fn contains_key(&self, key: &FlowKey) -> bool {
-        self.index.contains_key(key)
+        self.lookup(key, key_hash(key)).is_some()
     }
 
     /// The complementary popularity stored at `key`, if retained.
     pub fn comp_of(&self, key: &FlowKey) -> Option<Popularity> {
-        self.index.get(key).map(|&id| self.nodes[id as usize].comp)
+        self.lookup(key, key_hash(key))
+            .map(|id| self.nodes[id as usize].comp)
     }
 
     // ------------------------------------------------------------------
@@ -247,7 +422,56 @@ impl FlowTree {
     /// tree.
     pub fn insert(&mut self, key: &FlowKey, pop: Popularity) {
         let key = self.schema.canonicalize(key);
-        self.add_mass(key, pop);
+        let hash = key_hash(&key);
+        self.add_mass_hashed(key, hash, pop);
+        if self.live > self.cfg.node_budget {
+            self.compact();
+        }
+    }
+
+    /// Records a batch of masses, amortizing per-update overhead:
+    /// each key is canonicalized and hashed exactly once, the batch is
+    /// sorted by key hash so consecutive index probes touch nearby
+    /// slots, and the budget check runs once at the end (the tree may
+    /// transiently exceed its budget by the batch length, exactly as
+    /// [`FlowTree::merge`] does).
+    ///
+    /// With compaction out of play (budget not exceeded), the resulting
+    /// tree is identical to repeated [`FlowTree::insert`]: the retained
+    /// node set is closed under pairwise chain joins and per-key masses
+    /// are sums, both independent of insertion order.
+    pub fn insert_batch(&mut self, batch: &[(FlowKey, Popularity)]) {
+        let mut items: Vec<(u64, FlowKey, Popularity)> = batch
+            .iter()
+            .map(|(k, p)| {
+                let k = self.schema.canonicalize(k);
+                (key_hash(&k), k, *p)
+            })
+            .collect();
+        self.insert_batch_prehashed(&mut items);
+    }
+
+    /// Records mass for a key already canonicalized to this tree's
+    /// schema, with its precomputed [`flowkey::key_hash`] — the
+    /// zero-rehash entry point sharded ingest uses (the shard router
+    /// has necessarily hashed the key already). Compacts if the node
+    /// budget is exceeded.
+    pub fn insert_prehashed(&mut self, key: FlowKey, hash: u64, pop: Popularity) {
+        debug_assert!(self.schema.conforms(&key), "key not canonicalized");
+        self.add_mass_hashed(key, hash, pop);
+        if self.live > self.cfg.node_budget {
+            self.compact();
+        }
+    }
+
+    /// [`FlowTree::insert_batch`] over pre-canonicalized, pre-hashed
+    /// items: sorts in place by key hash for index locality, inserts,
+    /// and defers the budget check to the end of the batch.
+    pub fn insert_batch_prehashed(&mut self, items: &mut [(u64, FlowKey, Popularity)]) {
+        items.sort_unstable_by_key(|(h, _, _)| *h);
+        for &(hash, key, pop) in items.iter() {
+            self.add_mass_hashed(key, hash, pop);
+        }
         if self.live > self.cfg.node_budget {
             self.compact();
         }
@@ -263,15 +487,24 @@ impl FlowTree {
         self.insert(key, Popularity::flow(packets, bytes));
     }
 
-    /// Inserts mass without triggering compaction (used by merge/diff,
-    /// which compact once at the end). Returns the node id.
+    /// Inserts mass without triggering compaction (used by merge/diff
+    /// and the codec, which compact once at the end). Returns the node
+    /// id.
     pub(crate) fn add_mass(&mut self, key: FlowKey, pop: Popularity) -> u32 {
+        let hash = key_hash(&key);
+        self.add_mass_hashed(key, hash, pop)
+    }
+
+    /// [`FlowTree::add_mass`] with the key hash already known (merge
+    /// and diff reuse the hashes stored on the other tree's nodes).
+    pub(crate) fn add_mass_hashed(&mut self, key: FlowKey, hash: u64, pop: Popularity) -> u32 {
         debug_assert!(self.schema.conforms(&key));
+        debug_assert_eq!(hash, key_hash(&key), "stale key hash");
         self.clock += 1;
         self.stats.inserts += 1;
         self.total += pop;
 
-        if let Some(&id) = self.index.get(&key) {
+        if let Some(id) = self.lookup(&key, hash) {
             self.stats.hits += 1;
             let node = &mut self.nodes[id as usize];
             node.comp += pop;
@@ -280,54 +513,289 @@ impl FlowTree {
         }
         self.stats.misses += 1;
 
-        // Longest matching parent: walk the canonical chain upward until
-        // an existing node is found. The root always exists, so this
-        // terminates; the expected walk is short because popular
-        // ancestors are retained.
-        let key_depth = self.schema.depth(&key);
-        let mut anchor = self.root;
-        for p in self.schema.chain_up(&key) {
+        let schema = self.schema;
+        let profile = flowkey::DepthProfile::of(&key);
+        let mut seq = std::mem::take(&mut self.seq_scratch);
+        if self.seq_profile != Some(profile) {
+            build_profile_seq(&schema, profile, &mut seq);
+            self.seq_profile = Some(profile);
+        }
+        let mut prefix = std::mem::take(&mut self.chain_a);
+        prefix.clear();
+
+        // Longest-matching-parent search, phase 1: probe a short linear
+        // prefix of the chain with incrementally-maintained hashes —
+        // the common case, since popular ancestors are retained near
+        // the key. Phase 2 (no hit): anchor at the root and let the
+        // splice descend through retained children on the key's chain;
+        // descent visits only *retained* ancestors, so a cold miss
+        // costs O(retained chain ancestors) instead of O(depth).
+        let total_steps = (seq.len() - 1) as u32;
+        debug_assert!(total_steps > 0, "the root never reaches the miss path");
+        let mut anchor = None;
+        let mut walker = schema.chain_up_hashed(&key, hash);
+        for _ in 0..total_steps.min(LINEAR_PROBES as u32) {
+            let e = walker.next().expect("depth not exhausted");
+            prefix.push(e);
             self.stats.chain_steps += 1;
-            if let Some(&id) = self.index.get(&p) {
-                anchor = id;
+            if let Some(id) = self.lookup(&e.0, e.1) {
+                anchor = Some(id);
                 break;
             }
         }
+        let anchor = anchor.unwrap_or(self.root);
 
-        let nid = self.alloc(key, key_depth, pop);
-        self.index.insert(key, nid);
+        let ctx = ChainCtx {
+            base_key: key,
+            base_hash: hash,
+            base_depth: total_steps,
+            prefix: &prefix,
+            seq: &seq,
+        };
+        let nid = self.splice_with_ctx(key, hash, pop, anchor, &ctx);
+        self.chain_a = prefix;
+        self.seq_scratch = seq;
+        nid
+    }
 
+    /// Allocates the node for `key` and splices it under `anchor` (any
+    /// retained chain ancestor of `key`), descending through retained
+    /// children on the key's chain until the true insertion point is
+    /// found.
+    ///
+    /// A descent hop never materializes a chain key: the hop's step
+    /// hash rolls from the anchor's stored key hash with two
+    /// single-feature hashes (the step specializes exactly one
+    /// dimension, read off the memoized profile schedule), and the
+    /// "child lies on the key's chain" test is pure profile arithmetic
+    /// — profiles equal at the child's depth and every dimension's
+    /// feature-join deep enough. Hash matches are confirmed
+    /// analytically by the splice (a false 64-bit match computes an
+    /// LCCA at or above the anchor and resumes the sibling scan), so
+    /// collisions degrade to extra work, never to a wrong tree.
+    fn splice_with_ctx(
+        &mut self,
+        key: FlowKey,
+        hash: u64,
+        pop: Popularity,
+        mut anchor: u32,
+        view: &ChainCtx<'_>,
+    ) -> u32 {
+        let key_depth = view.base_depth;
+        debug_assert_eq!(key_depth, self.schema.depth(&key));
+        let nid = self.alloc(key, hash, key_depth, pop);
+        self.index.insert(hash, nid);
+
+        'outer: loop {
+            self.stats.descent_hops += 1;
+            let (a_depth, a_key, a_hash) = {
+                let a = &self.nodes[anchor as usize];
+                (a.depth, a.key, a.key_hash)
+            };
+            // The dimension the chain specializes from `a_depth` to
+            // `a_depth + 1`, and the feature depth it lands on.
+            let su = (key_depth - a_depth) as usize;
+            let (step_dim, step_feat_depth) = diff_dim(&view.seq[su], &view.seq[su - 1]);
+            let step_h = a_hash
+                .wrapping_sub(flowkey::dim_hash(&a_key, step_dim))
+                .wrapping_add(flowkey::dim_hash_at(&key, step_dim, step_feat_depth));
+            debug_assert_eq!(step_h, view.at(a_depth + 1).1, "rolled step hash is exact");
+
+            let mut cur = self.nodes[anchor as usize].first_child;
+            while cur != NIL {
+                let (ckey, cdepth, next) = {
+                    let c = &self.nodes[cur as usize];
+                    (c.key, c.depth, c.next_sibling)
+                };
+                if self.nodes[cur as usize].step_hash == step_h {
+                    if cdepth < key_depth {
+                        // On-chain test without materialization: the
+                        // chain ancestor of `key` at `cdepth` equals
+                        // `ckey` iff the schedule profiles coincide and
+                        // every feature pair agrees at least that deep.
+                        let cprof = flowkey::DepthProfile::of(&ckey);
+                        if cprof == view.seq[(key_depth - cdepth) as usize]
+                            && profile_fits(&cprof, &key.agreement_profile(&ckey))
+                        {
+                            anchor = cur;
+                            continue 'outer;
+                        }
+                    }
+                    if self.splice_against_child(nid, anchor, cur, view, step_h) {
+                        return nid;
+                    }
+                    // Analytically-refuted hash match (astronomically
+                    // rare): keep scanning the remaining siblings.
+                }
+                cur = next;
+            }
+            // No child shares the step: attach directly under the anchor.
+            self.attach(nid, anchor, step_h);
+            return nid;
+        }
+    }
+
+    /// Handles the two divergence cases of an insert whose chain step
+    /// under `anchor` is occupied by `cid`: the new key lies on the
+    /// child's chain (splice between), or the two keys fork below the
+    /// anchor (branch at their lowest common chain ancestor).
+    ///
+    /// The LCCA is computed *analytically*: feature hierarchies are
+    /// laminar, so two chains meet at depth `d` iff their
+    /// schedule-evolved depth profiles coincide at `d` and every
+    /// dimension's profile depth is at or above the features' join
+    /// depth. That turns LCCA into pure `u16` profile arithmetic — no
+    /// chain keys are materialized and nothing is hashed until the one
+    /// or two splice keys are actually needed (the child's chain used
+    /// to be walked step-by-step here, which dominated the miss path
+    /// for deep children under shallow anchors).
+    fn splice_against_child(
+        &mut self,
+        nid: u32,
+        anchor: u32,
+        cid: u32,
+        view: &ChainCtx<'_>,
+        step_hash_under_anchor: u64,
+    ) -> bool {
+        let schema = self.schema;
+        let key = view.base_key;
+        let key_depth = view.base_depth;
         let a_depth = self.nodes[anchor as usize].depth;
-        let step_n = self.schema.chain_ancestor(&key, a_depth + 1);
-        let hash_n = fxhash(&step_n);
-        match self.find_child_by_step(anchor, &step_n, hash_n) {
-            None => self.attach(nid, anchor, hash_n),
-            Some(cid) => {
-                let ckey = self.nodes[cid as usize].key;
-                let join = self.schema.lcca(&key, &ckey);
-                debug_assert_ne!(join, ckey, "a chain-ancestor child would have anchored");
-                if join == key {
-                    // The new key lies on the child's chain: splice between.
-                    self.detach(cid);
-                    self.attach(nid, anchor, hash_n);
-                    let step_c = self.schema.chain_ancestor(&ckey, key_depth + 1);
-                    self.attach(cid, nid, fxhash(&step_c));
-                } else {
-                    // Keys diverge below the anchor: branch at their LCCA.
-                    let jdepth = self.schema.depth(&join);
-                    let jid = self.alloc(join, jdepth, Popularity::ZERO);
-                    self.index.insert(join, jid);
-                    self.stats.joins_created += 1;
-                    self.detach(cid);
-                    self.attach(jid, anchor, hash_n);
-                    let step_c = self.schema.chain_ancestor(&ckey, jdepth + 1);
-                    self.attach(cid, jid, fxhash(&step_c));
-                    let step_k = self.schema.chain_ancestor(&key, jdepth + 1);
-                    self.attach(nid, jid, fxhash(&step_k));
+        let (ckey, cdepth) = {
+            let c = &self.nodes[cid as usize];
+            (c.key, c.depth)
+        };
+
+        #[inline]
+        fn step_down(schema: &Schema, p: &mut flowkey::DepthProfile) {
+            let dim = schema.next_chain_dim(p).expect("profile has depth left");
+            p.0[dim.index()] -= 1;
+        }
+
+        let agree = key.agreement_profile(&ckey);
+        let mut pk = flowkey::DepthProfile::of(&key);
+        let mut pc = flowkey::DepthProfile::of(&ckey);
+        let mut dk = key_depth;
+        let mut dc = cdepth;
+        // `pc` one schedule step before its current position — the
+        // profile of the child's chain at depth `jdepth + 1`, which is
+        // exactly where the re-attached child's step key lives.
+        let mut pc_prev = pc;
+        while dc > dk {
+            pc_prev = pc;
+            step_down(&schema, &mut pc);
+            dc -= 1;
+        }
+        while dk > dc {
+            step_down(&schema, &mut pk);
+            dk -= 1;
+        }
+        while !(pk == pc && profile_fits(&pk, &agree)) {
+            debug_assert!(dk > 0, "chains must meet at the root");
+            step_down(&schema, &mut pk);
+            pc_prev = pc;
+            step_down(&schema, &mut pc);
+            dk -= 1;
+        }
+        let jdepth = dk;
+        if jdepth <= a_depth {
+            // The matched step hash was a 64-bit collision: the child
+            // does not actually share the key's chain step. Tell the
+            // caller to keep scanning.
+            return false;
+        }
+        debug_assert_eq!(
+            schema.lcca(&key, &ckey),
+            view.at(jdepth).0,
+            "analytic LCCA must match the chain-walking definition"
+        );
+        debug_assert!(
+            jdepth < cdepth,
+            "a child on the key's chain is handled by descent"
+        );
+
+        // The child's step key under its new parent, materialized from
+        // the recorded profile: one key build + one hash, instead of a
+        // whole-chain walk.
+        let step_c = key_hash(&ckey.at_profile(&pc_prev));
+
+        if jdepth == key_depth {
+            // The new key lies on the child's chain: splice between.
+            self.detach(cid);
+            self.attach(nid, anchor, step_hash_under_anchor);
+            self.attach(cid, nid, step_c);
+            return true;
+        }
+
+        // Keys diverge below the anchor: branch at the LCCA. The join
+        // lies on the key's chain, where the context materializes it in
+        // O(1)-ish (prefix read or one profile build).
+        let (join, join_hash) = view.at(jdepth);
+        let jid = self.alloc(join, join_hash, jdepth, Popularity::ZERO);
+        self.index.insert(join_hash, jid);
+        self.stats.joins_created += 1;
+        self.detach(cid);
+        self.attach(jid, anchor, step_hash_under_anchor);
+        self.attach(cid, jid, step_c);
+        let (_, step_k) = view.at(jdepth + 1);
+        self.attach(nid, jid, step_k);
+        true
+    }
+
+    /// Reference implementation of the pre-optimization miss path:
+    /// strictly linear upward walk, re-hashing the full 7-feature key
+    /// on every probe — the per-update cost profile of the original
+    /// `HashMap`-indexed tree. Kept for benchmarks and differential
+    /// tests; produces exactly the same tree as [`FlowTree::insert`].
+    #[doc(hidden)]
+    pub fn insert_seed_path(&mut self, key: &FlowKey, pop: Popularity) {
+        let key = self.schema.canonicalize(key);
+        let hash = key_hash(&key);
+        self.clock += 1;
+        self.stats.inserts += 1;
+        self.total += pop;
+        if let Some(id) = self.lookup(&key, hash) {
+            self.stats.hits += 1;
+            let node = &mut self.nodes[id as usize];
+            node.comp += pop;
+            node.touch = self.clock;
+        } else {
+            self.stats.misses += 1;
+            let schema = self.schema;
+            let profile = flowkey::DepthProfile::of(&key);
+            let mut seq = std::mem::take(&mut self.seq_scratch);
+            if self.seq_profile != Some(profile) {
+                build_profile_seq(&schema, profile, &mut seq);
+                self.seq_profile = Some(profile);
+            }
+            let mut chain = std::mem::take(&mut self.chain_a);
+            chain.clear();
+            let mut anchor = None;
+            for p in schema.chain_up(&key) {
+                // Deliberately re-hash the whole key per probe.
+                let ph = key_hash(&p);
+                chain.push((p, ph));
+                self.stats.chain_steps += 1;
+                if let Some(id) = self.lookup(&p, ph) {
+                    anchor = Some(id);
+                    break;
                 }
             }
+            let anchor = anchor.expect("the root is always retained");
+            let ctx = ChainCtx {
+                base_key: key,
+                base_hash: hash,
+                base_depth: (seq.len() - 1) as u32,
+                prefix: &chain,
+                seq: &seq,
+            };
+            self.splice_with_ctx(key, hash, pop, anchor, &ctx);
+            self.chain_a = chain;
+            self.seq_scratch = seq;
         }
-        nid
+        if self.live > self.cfg.node_budget {
+            self.compact();
+        }
     }
 
     // ------------------------------------------------------------------
@@ -336,14 +804,16 @@ impl FlowTree {
 
     /// Adds every node mass of `other` into `self` (the paper's `merge`:
     /// "adding the nodes of A to B ... the update is only done on the
-    /// complementary popularities"). Compacts once at the end.
+    /// complementary popularities"). Compacts once at the end. Key
+    /// hashes stored on `other`'s nodes are reused — merging never
+    /// re-hashes a key.
     pub fn merge(&mut self, other: &FlowTree) -> Result<(), TreeError> {
         if self.schema != other.schema {
             return Err(TreeError::SchemaMismatch);
         }
         for node in other.nodes.iter().filter(|n| n.alive) {
             if !node.comp.is_zero() {
-                self.add_mass(node.key, node.comp);
+                self.add_mass_hashed(node.key, node.key_hash, node.comp);
             }
         }
         if self.live > self.cfg.node_budget {
@@ -362,7 +832,7 @@ impl FlowTree {
         }
         for node in other.nodes.iter().filter(|n| n.alive) {
             if !node.comp.is_zero() {
-                self.add_mass(node.key, -node.comp);
+                self.add_mass_hashed(node.key, node.key_hash, -node.comp);
             }
         }
         self.prune_zeros();
@@ -454,22 +924,50 @@ impl FlowTree {
 
     /// Removes leaves whose mass cancelled to zero (after `diff`) and
     /// contracts the resulting pass-through chains.
+    ///
+    /// Dead leaves are bucketed by depth and processed deepest-first,
+    /// cascading parents that become dead leaves into their (strictly
+    /// shallower) buckets — `O(arena + depth)`, instead of sorting the
+    /// whole arena by depth on every call.
     pub fn prune_zeros(&mut self) {
-        // Children before parents: process by descending depth.
-        let mut order: Vec<u32> = (0..self.nodes.len() as u32)
-            .filter(|&i| self.nodes[i as usize].alive && i != self.root)
-            .collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(self.nodes[i as usize].depth));
-        for id in order {
-            let node = &self.nodes[id as usize];
-            if !node.alive {
-                continue;
+        let mut max_depth = 0u32;
+        for n in &self.nodes {
+            if n.alive {
+                max_depth = max_depth.max(n.depth);
             }
-            if node.first_child == NIL && node.comp.is_zero() {
-                let parent = node.parent;
+        }
+        if max_depth == 0 {
+            return;
+        }
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_depth as usize + 1];
+        for (i, n) in self.nodes.iter().enumerate() {
+            let id = i as u32;
+            if n.alive && id != self.root && n.first_child == NIL && n.comp.is_zero() {
+                buckets[n.depth as usize].push(id);
+            }
+        }
+        for d in (1..=max_depth as usize).rev() {
+            let mut i = 0;
+            while i < buckets[d].len() {
+                let id = buckets[d][i];
+                i += 1;
+                {
+                    let n = &self.nodes[id as usize];
+                    // Re-check at visit time: contraction may have
+                    // restructured around this candidate.
+                    if !n.alive || n.first_child != NIL || !n.comp.is_zero() {
+                        continue;
+                    }
+                }
+                let parent = self.nodes[id as usize].parent;
                 self.remove_leaf(id);
                 if parent != self.root {
-                    self.contract_if_passthrough(parent);
+                    let p = &self.nodes[parent as usize];
+                    if p.alive && p.first_child == NIL && p.comp.is_zero() {
+                        buckets[p.depth as usize].push(parent);
+                    } else {
+                        self.contract_if_passthrough(parent);
+                    }
                 }
             }
         }
@@ -479,13 +977,14 @@ impl FlowTree {
     // Structure helpers
     // ------------------------------------------------------------------
 
-    fn alloc(&mut self, key: FlowKey, depth: u32, comp: Popularity) -> u32 {
+    fn alloc(&mut self, key: FlowKey, hash: u64, depth: u32, comp: Popularity) -> u32 {
         self.live += 1;
         let touch = self.clock;
         if let Some(id) = self.free.pop() {
             let generation = self.nodes[id as usize].generation.wrapping_add(1);
             self.nodes[id as usize] = Node {
                 key,
+                key_hash: hash,
                 depth,
                 parent: NIL,
                 first_child: NIL,
@@ -501,6 +1000,7 @@ impl FlowTree {
         } else {
             self.nodes.push(Node {
                 key,
+                key_hash: hash,
                 depth,
                 parent: NIL,
                 first_child: NIL,
@@ -554,8 +1054,8 @@ impl FlowTree {
     fn remove_leaf(&mut self, id: u32) {
         debug_assert_eq!(self.nodes[id as usize].first_child, NIL);
         self.detach(id);
-        let key = self.nodes[id as usize].key;
-        let removed = self.index.remove(&key);
+        let hash = self.nodes[id as usize].key_hash;
+        let removed = self.index.remove(hash, |cand| cand == id);
         debug_assert_eq!(removed, Some(id));
         self.nodes[id as usize].alive = false;
         self.free.push(id);
@@ -587,31 +1087,13 @@ impl FlowTree {
         let step_hash = self.nodes[id as usize].step_hash;
         self.detach(only_child);
         self.detach(id);
-        let key = self.nodes[id as usize].key;
-        self.index.remove(&key);
+        let hash = self.nodes[id as usize].key_hash;
+        self.index.remove(hash, |cand| cand == id);
         self.nodes[id as usize].alive = false;
         self.free.push(id);
         self.live -= 1;
         self.stats.contractions += 1;
         self.attach(only_child, parent, step_hash);
-    }
-
-    /// Finds the child of `parent` whose chain step at
-    /// `parent.depth + 1` equals `step` (at most one exists, by the
-    /// sibling-step invariant).
-    fn find_child_by_step(&self, parent: u32, step: &FlowKey, step_hash: u64) -> Option<u32> {
-        let target_depth = self.nodes[parent as usize].depth + 1;
-        let mut cur = self.nodes[parent as usize].first_child;
-        while cur != NIL {
-            let node = &self.nodes[cur as usize];
-            if node.step_hash == step_hash
-                && self.schema.chain_ancestor(&node.key, target_depth) == *step
-            {
-                return Some(cur);
-            }
-            cur = node.next_sibling;
-        }
-        None
     }
 
     // ------------------------------------------------------------------
@@ -621,23 +1103,27 @@ impl FlowTree {
     /// The true (subtree-summed) popularity of a retained key:
     /// complementary popularities summed over the node's subtree.
     pub fn subtree_popularity(&self, key: &FlowKey) -> Option<Popularity> {
-        let &id = self.index.get(key)?;
+        let id = self.lookup(key, key_hash(key))?;
         Some(self.subtree_sum(id))
     }
 
     pub(crate) fn subtree_sum(&self, id: u32) -> Popularity {
-        let mut acc = Popularity::ZERO;
-        let mut stack = vec![id];
-        while let Some(cur) = stack.pop() {
-            let node = &self.nodes[cur as usize];
-            acc += node.comp;
-            let mut c = node.first_child;
-            while c != NIL {
-                stack.push(c);
-                c = self.nodes[c as usize].next_sibling;
+        DFS_STACK.with(|cell| {
+            let mut stack = cell.borrow_mut();
+            stack.clear();
+            stack.push(id);
+            let mut acc = Popularity::ZERO;
+            while let Some(cur) = stack.pop() {
+                let node = &self.nodes[cur as usize];
+                acc += node.comp;
+                let mut c = node.first_child;
+                while c != NIL {
+                    stack.push(c);
+                    c = self.nodes[c as usize].next_sibling;
+                }
             }
-        }
-        acc
+            acc
+        })
     }
 
     /// Iterates over all retained nodes (arbitrary order).
@@ -660,7 +1146,7 @@ impl FlowTree {
 
     /// The retained children of `key`, if `key` is retained.
     pub fn children_of(&self, key: &FlowKey) -> Option<Vec<NodeView<'_>>> {
-        let &id = self.index.get(key)?;
+        let id = self.lookup(key, key_hash(key))?;
         let mut out = Vec::new();
         let mut c = self.nodes[id as usize].first_child;
         while c != NIL {
@@ -681,15 +1167,19 @@ impl FlowTree {
     /// (pre-order DFS from the root) — used by the codec and analytics.
     pub(crate) fn preorder(&self) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.live);
-        let mut stack = vec![self.root];
-        while let Some(id) = stack.pop() {
-            out.push(id);
-            let mut c = self.nodes[id as usize].first_child;
-            while c != NIL {
-                stack.push(c);
-                c = self.nodes[c as usize].next_sibling;
+        DFS_STACK.with(|cell| {
+            let mut stack = cell.borrow_mut();
+            stack.clear();
+            stack.push(self.root);
+            while let Some(id) = stack.pop() {
+                out.push(id);
+                let mut c = self.nodes[id as usize].first_child;
+                while c != NIL {
+                    stack.push(c);
+                    c = self.nodes[c as usize].next_sibling;
+                }
             }
-        }
+        });
         out
     }
 
@@ -705,7 +1195,13 @@ impl FlowTree {
             seen += 1;
             mass += n.comp;
             let id = i as u32;
-            assert_eq!(self.index.get(&n.key), Some(&id), "index maps {}", n.key);
+            assert_eq!(n.key_hash, key_hash(&n.key), "stale key hash at {}", n.key);
+            assert_eq!(
+                self.lookup(&n.key, n.key_hash),
+                Some(id),
+                "index maps {}",
+                n.key
+            );
             assert_eq!(
                 self.schema.depth(&n.key),
                 n.depth,
@@ -727,7 +1223,7 @@ impl FlowTree {
                     n.key
                 );
                 let step = self.schema.chain_ancestor(&n.key, p.depth + 1);
-                assert_eq!(n.step_hash, fxhash(&step), "stale step hash at {}", n.key);
+                assert_eq!(n.step_hash, key_hash(&step), "stale step hash at {}", n.key);
             }
             // Sibling-step uniqueness and linkage.
             let mut steps = std::collections::HashSet::new();
@@ -754,7 +1250,7 @@ impl FlowTree {
 
     /// Looks up a node id by key (for crate-internal query paths).
     pub(crate) fn node_id(&self, key: &FlowKey) -> Option<u32> {
-        self.index.get(key).copied()
+        self.lookup(key, key_hash(key))
     }
 
     /// Rebuilds a tree from `(key, comp)` masses (used by serde and the

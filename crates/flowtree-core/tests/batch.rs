@@ -1,0 +1,151 @@
+//! Regression tests for the batch and pre-hashed insert entry points:
+//! they must be observationally identical to repeated `insert`.
+
+use flowkey::{FlowKey, Schema};
+use flowtree_core::{Config, FlowTree, Popularity};
+use proptest::prelude::*;
+
+/// Sorted `(key, comp, parent)` content snapshot — structure and
+/// masses, independent of arena layout.
+fn masses(tree: &FlowTree) -> Vec<(FlowKey, Popularity, Option<FlowKey>)> {
+    let mut out: Vec<_> = tree
+        .iter()
+        .map(|v| (*v.key, v.comp, v.parent.copied()))
+        .collect();
+    out.sort_by_key(|(k, _, _)| *k);
+    out
+}
+
+fn arb_host_key() -> impl Strategy<Value = FlowKey> {
+    (0u8..4, 0u8..8, 0u8..32, 0u8..2, 1u16..6).prop_map(|(a, b, c, d, port)| {
+        format!(
+            "src=10.{a}.{b}.{c}/32 dst=192.0.2.{d}/32 sport={} dport=443",
+            40000 + port
+        )
+        .parse()
+        .unwrap()
+    })
+}
+
+fn arb_any_key() -> impl Strategy<Value = FlowKey> {
+    (arb_host_key(), 0u32..40).prop_map(|(k, up)| {
+        let schema = Schema::four_feature();
+        let depth = schema.depth(&k);
+        schema.chain_ancestor(&k, depth.saturating_sub(up))
+    })
+}
+
+fn arb_pop() -> impl Strategy<Value = Popularity> {
+    (1i64..100, 1i64..5000).prop_map(|(p, b)| Popularity::new(p, b, 1))
+}
+
+proptest! {
+    /// Without compaction in play, `insert_batch` produces exactly the
+    /// tree of repeated `insert`: same node set, same parents, same
+    /// complementary masses (the retained set is closed under pairwise
+    /// chain joins, which is insertion-order independent).
+    #[test]
+    fn insert_batch_matches_repeated_insert_exactly(
+        inserts in proptest::collection::vec((arb_any_key(), arb_pop()), 1..300),
+    ) {
+        let schema = Schema::four_feature();
+        let cfg = Config::with_budget(1_000_000);
+        let mut one_by_one = FlowTree::new(schema, cfg);
+        for (k, p) in &inserts {
+            one_by_one.insert(k, *p);
+        }
+        let mut batched = FlowTree::new(schema, cfg);
+        batched.insert_batch(&inserts);
+        batched.validate();
+        prop_assert_eq!(batched.total(), one_by_one.total());
+        prop_assert_eq!(masses(&batched), masses(&one_by_one));
+    }
+
+    /// Under budget pressure the batch path may compact at different
+    /// points, but mass conservation, the budget bound, and structural
+    /// invariants all still hold.
+    #[test]
+    fn insert_batch_under_pressure_conserves(
+        inserts in proptest::collection::vec((arb_any_key(), arb_pop()), 1..400),
+        budget in 16usize..96,
+    ) {
+        let schema = Schema::four_feature();
+        let mut batched = FlowTree::new(schema, Config::with_budget(budget));
+        batched.insert_batch(&inserts);
+        batched.validate();
+        let expect = inserts
+            .iter()
+            .fold(Popularity::ZERO, |acc, (_, p)| acc + *p);
+        prop_assert_eq!(batched.total(), expect);
+        prop_assert!(batched.len() <= budget.max(Config::MIN_BUDGET));
+    }
+
+    /// The optimized miss path (linear-prefix probes + root descent)
+    /// and the linear re-hashing reference path (`insert_seed_path`)
+    /// build identical trees insert-for-insert, while the optimized
+    /// path performs no more index probes.
+    #[test]
+    fn fast_path_matches_seed_path(
+        inserts in proptest::collection::vec((arb_any_key(), arb_pop()), 1..300),
+        budget in 32usize..256,
+    ) {
+        let schema = Schema::four_feature();
+        let mut fast = FlowTree::new(schema, Config::with_budget(budget));
+        let mut reference = FlowTree::new(schema, Config::with_budget(budget));
+        for (k, p) in &inserts {
+            fast.insert(k, *p);
+            reference.insert_seed_path(k, *p);
+        }
+        fast.validate();
+        reference.validate();
+        prop_assert_eq!(masses(&fast), masses(&reference));
+        prop_assert!(
+            fast.stats().chain_steps <= reference.stats().chain_steps,
+            "prefix probes {} must not exceed linear-walk probes {}",
+            fast.stats().chain_steps,
+            reference.stats().chain_steps
+        );
+    }
+}
+
+#[test]
+fn prehashed_entry_points_agree_with_insert() {
+    let schema = Schema::five_feature();
+    let keys: Vec<(FlowKey, Popularity)> = (0..500)
+        .map(|i| {
+            let k: FlowKey = format!(
+                "src=10.0.{}.{}/32 dst=192.0.2.1/32 sport=4000 dport=53 proto=udp",
+                i % 7,
+                i % 253
+            )
+            .parse()
+            .unwrap();
+            (k, Popularity::packet(64 + (i as u32 % 1400)))
+        })
+        .collect();
+
+    let mut plain = FlowTree::new(schema, Config::with_budget(4096));
+    for (k, p) in &keys {
+        plain.insert(k, *p);
+    }
+
+    let mut prehashed = FlowTree::new(schema, Config::with_budget(4096));
+    for (k, p) in &keys {
+        let ck = schema.canonicalize(k);
+        prehashed.insert_prehashed(ck, flowkey::key_hash(&ck), *p);
+    }
+    prehashed.validate();
+    assert_eq!(masses(&prehashed), masses(&plain));
+
+    let mut items: Vec<(u64, FlowKey, Popularity)> = keys
+        .iter()
+        .map(|(k, p)| {
+            let ck = schema.canonicalize(k);
+            (flowkey::key_hash(&ck), ck, *p)
+        })
+        .collect();
+    let mut batched = FlowTree::new(schema, Config::with_budget(4096));
+    batched.insert_batch_prehashed(&mut items);
+    batched.validate();
+    assert_eq!(masses(&batched), masses(&plain));
+}

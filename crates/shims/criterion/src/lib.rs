@@ -1,0 +1,188 @@
+//! Offline shim of the `criterion` API surface used by the workspace
+//! benches. No statistics, plots, or outlier analysis — just a
+//! calibrated wall-clock loop that prints ns/iter (and derived
+//! throughput), so `cargo bench` works in the offline environment and
+//! the bench sources stay byte-compatible with real criterion.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement loop handle passed to bench closures.
+pub struct Bencher {
+    iters_hint: u64,
+    /// (total elapsed, iters) of the measured run.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, auto-scaling the iteration count to ~0.2 s.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration.
+        let mut iters = 1u64;
+        let budget = Duration::from_millis(200);
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= budget || iters >= self.iters_hint.max(1) * 1_000_000 {
+                self.result = Some((elapsed, iters));
+                return;
+            }
+            let scale = if elapsed.as_nanos() == 0 {
+                16
+            } else {
+                ((budget.as_nanos() / elapsed.as_nanos()) + 1).min(16) as u64
+            };
+            iters = iters.saturating_mul(scale.max(2));
+        }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/name`-style benchmark id.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("budget", 40_000)` → `budget/40000`.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Top-level harness context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs and reports a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API parity; the shim runs
+    /// one calibrated measurement).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotates per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        iters_hint: 1,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((elapsed, iters)) => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            let extra = match throughput {
+                Some(Throughput::Elements(n)) if ns > 0.0 => {
+                    format!("  ({:.2} M elem/s)", n as f64 / ns * 1e3 / 1e6)
+                }
+                Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                    format!("  ({:.1} MiB/s)", n as f64 / ns * 1e9 / (1 << 20) as f64)
+                }
+                _ => String::new(),
+            };
+            println!("bench {name:<40} {ns:>14.1} ns/iter{extra}");
+        }
+        None => println!("bench {name:<40} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Collects bench functions into a runnable group (API parity macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,108 @@
+//! Offline shim of the `crossbeam` API surface used by this workspace:
+//! bounded MPSC channels. Implemented over `std::sync::mpsc`, which has
+//! the same semantics for the single-consumer topology the simulator
+//! uses (crossbeam's channels are MPMC; nothing in-tree needs that).
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel. Cloneable.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Sender<T> {
+        /// Blocks until there is room, then sends.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks for the next value; errors when all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Iterates until every sender is dropped.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.iter()
+        }
+    }
+
+    /// A channel holding at most `cap` in-flight values.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    /// An unbounded channel (provided for API parity).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        // mpsc's unbounded Sender is a different type; emulate with a
+        // very large bound to keep one Sender type in the shim.
+        bounded(1 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_and_close() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+            s.spawn(move || {
+                for i in 10..20 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            let mut got: Vec<u32> = rx.into_iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..20).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn send_fails_when_receiver_dropped() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}

@@ -40,7 +40,7 @@ fn pcap_to_query_pipeline() {
     let mut truth = GroundTruth::new();
     let schema = Schema::five_feature();
     let mut wire_records: Vec<FlowRecord> = Vec::new();
-    let mut push_records = |records: Vec<FlowRecord>, out: &mut Vec<FlowRecord>| {
+    let push_records = |records: Vec<FlowRecord>, out: &mut Vec<FlowRecord>| {
         // Round-trip every record through real NetFlow v5 bytes.
         for chunk in records.chunks(netflow5::MAX_RECORDS) {
             if chunk.is_empty() {
