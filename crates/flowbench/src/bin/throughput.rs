@@ -17,19 +17,30 @@
 //! * `insert_batch` — batched: one canonicalize+hash per key, hash-
 //!   sorted for index locality, one budget check per batch.
 //! * `sharded/N` — `ShardedTree::par_insert_batch` across N shards
-//!   (one OS thread per shard; scaling requires ≥ N cores).
+//!   (persistent worker pool, one long-lived thread per shard; scaling
+//!   requires ≥ N cores).
+//!
+//! With `--pipeline`, E7d additionally measures the **streaming ingest
+//! pipeline** end to end: pre-encoded NetFlow v5 export packets are
+//! decoded (`flownet::ExportDecoder`), window-bucketed by record
+//! timestamp, and batch-fed to a sharded `SiteDaemon`
+//! (`flowdist::IngestPipeline`) — the daemon-side loop of the paper's
+//! Fig. 1 deployment, decode cost included.
 //!
 //! Results are also written to `BENCH_ingest.json` so the performance
 //! trajectory of the ingest path is recorded in-repo.
 //!
 //! ```sh
 //! cargo run --release -p flowbench --bin throughput -- \
-//!     --packets 1000000 --shards 4 --batch 8192 --json BENCH_ingest.json
+//!     --packets 1000000 --shards 4 --batch 8192 --pipeline \
+//!     --json BENCH_ingest.json
 //! ```
 
 use flowbench::{Args, Table};
-use flowdist::ShardedTree;
+use flowdist::daemon::{DaemonConfig, SiteDaemon};
+use flowdist::{IngestPipeline, ShardedTree};
 use flowkey::{FlowKey, Schema};
+use flownet::FlowRecord;
 use flowtrace::{profile, TraceGen};
 use flowtree_core::{Config, FlowTree, Popularity};
 use std::time::Instant;
@@ -209,6 +220,102 @@ fn main() {
         );
     }
 
+    // ---- E7d: streaming pipeline, wire → summaries (--pipeline) -------
+    struct PipelineRow {
+        path: String,
+        records_per_sec: f64,
+        ns_per_record: f64,
+        datagrams: u64,
+        summaries: usize,
+        raw_bytes: u64,
+    }
+    let mut pipeline_rows: Vec<PipelineRow> = Vec::new();
+    if args.has("pipeline") {
+        // Same workload as E7c, but as timestamped flow records behind
+        // pre-encoded NetFlow v5 export packets. Encoding is the
+        // router's job and is excluded from timing; decode + window
+        // bucketing + sharded daemon ingest are what E7d measures.
+        let mut cfg = profile::backbone(seed);
+        cfg.packets = packets;
+        cfg.flows = packets.max(2) / 2;
+        let records: Vec<FlowRecord> = TraceGen::new(cfg)
+            .map(|p| {
+                let ts_ms = p.ts_micros / 1_000;
+                FlowRecord {
+                    src: p.src,
+                    dst: p.dst,
+                    sport: p.sport,
+                    dport: p.dport,
+                    proto: p.proto,
+                    packets: 1,
+                    bytes: p.wire_len as u64,
+                    first_ms: ts_ms.saturating_sub(1),
+                    last_ms: ts_ms,
+                }
+            })
+            .collect();
+        let mut flow_seq = 0u32;
+        let payloads: Vec<Vec<u8>> = records
+            .chunks(flownet::netflow5::MAX_RECORDS)
+            .map(|chunk| {
+                let base_ms = chunk.iter().map(|r| r.last_ms).max().unwrap_or(0);
+                let pkt = flownet::netflow5::encode(chunk, base_ms, flow_seq);
+                flow_seq = flow_seq.wrapping_add(chunk.len() as u32);
+                pkt
+            })
+            .collect();
+        let n_records = records.len();
+        drop(records);
+
+        println!(
+            "\n== E7d: streaming pipeline, NetFlow v5 wire → summaries \
+             ({n_records} records in {} datagrams, 1 s windows) ==\n",
+            payloads.len()
+        );
+        let t = Table::new(&[
+            "path",
+            "records/s",
+            "ns/record",
+            "datagrams",
+            "summaries",
+            "raw MiB",
+        ]);
+        for &s in &shard_counts {
+            let mut dcfg = DaemonConfig::new(1);
+            dcfg.window_ms = 1_000;
+            dcfg.schema = schema;
+            dcfg.tree = tree_cfg;
+            dcfg.shards = s;
+            let mut pipe = IngestPipeline::new(SiteDaemon::new(dcfg), batch);
+            let start = Instant::now();
+            let mut summaries = 0usize;
+            for payload in &payloads {
+                summaries += pipe.push_packet(payload).len();
+            }
+            let (rest, daemon) = pipe.finish();
+            summaries += rest.len();
+            let secs = start.elapsed().as_secs_f64();
+            let row = PipelineRow {
+                path: format!("pipeline/v5/{s}"),
+                records_per_sec: n_records as f64 / secs,
+                ns_per_record: secs * 1e9 / n_records as f64,
+                datagrams: payloads.len() as u64,
+                summaries,
+                raw_bytes: daemon.stats().raw_bytes,
+            };
+            assert_eq!(daemon.stats().records, n_records as u64);
+            t.row(&[
+                &row.path,
+                &format!("{:.2} M", row.records_per_sec / 1e6),
+                &format!("{:.0}", row.ns_per_record),
+                &row.datagrams.to_string(),
+                &row.summaries.to_string(),
+                &format!("{:.1}", row.raw_bytes as f64 / (1024.0 * 1024.0)),
+            ]);
+            pipeline_rows.push(row);
+        }
+    }
+
     // ---- BENCH_ingest.json --------------------------------------------
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let mut json = String::new();
@@ -236,7 +343,31 @@ fn main() {
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ]");
+    if pipeline_rows.is_empty() {
+        json.push('\n');
+    } else {
+        json.push_str(",\n  \"pipeline\": [\n");
+        for (i, r) in pipeline_rows.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"path\": \"{}\", \"records_per_sec\": {:.0}, \"ns_per_record\": {:.1}, \
+                 \"datagrams\": {}, \"summaries\": {}, \"raw_bytes\": {}}}{}\n",
+                r.path,
+                r.records_per_sec,
+                r.ns_per_record,
+                r.datagrams,
+                r.summaries,
+                r.raw_bytes,
+                if i + 1 == pipeline_rows.len() {
+                    ""
+                } else {
+                    ","
+                },
+            ));
+        }
+        json.push_str("  ]\n");
+    }
+    json.push_str("}\n");
     match std::fs::write(&json_path, &json) {
         Ok(()) => println!("\nwrote {json_path}"),
         Err(e) => eprintln!("\ncould not write {json_path}: {e}"),

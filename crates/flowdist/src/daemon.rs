@@ -76,7 +76,11 @@ impl DaemonConfig {
 pub struct DaemonStats {
     /// Flow records ingested.
     pub records: u64,
-    /// Raw ingest volume (bytes of NetFlow v5 records equivalent).
+    /// Raw ingest volume in bytes. Paths that see the wire (the
+    /// streaming [`crate::pipeline`]) account actual export-packet
+    /// bytes per format via [`SiteDaemon::note_raw_bytes`]; paths fed
+    /// pre-decoded records count NetFlow v5 record equivalents
+    /// ([`flownet::netflow5::RECORD_LEN`] per record).
     pub raw_bytes: u64,
     /// Summaries emitted.
     pub summaries: u64,
@@ -166,15 +170,22 @@ impl SiteDaemon {
         out
     }
 
-    /// Ingests a batch of pre-keyed masses stamped with one event time,
-    /// fanning the batch across the window's ingest shards in parallel
-    /// when `DaemonConfig::shards > 1`. Returns summaries of any
-    /// windows the advancing event time closed.
+    /// Ingests a batch of pre-keyed masses that genuinely share one
+    /// event time, fanning the batch across the window's ingest shards
+    /// in parallel when `DaemonConfig::shards > 1`. Returns summaries
+    /// of any windows the advancing event time closed.
+    ///
+    /// Every item is attributed to the window containing `ts_ms` — for
+    /// batches whose records carry their own timestamps (which may
+    /// straddle a window boundary), use [`Self::ingest_stamped_batch`]
+    /// so each item lands in its own window.
     pub fn ingest_mass_batch(
         &mut self,
         ts_ms: u64,
         batch: &[(flowkey::FlowKey, Popularity)],
     ) -> Vec<Summary> {
+        self.stats.records += batch.len() as u64;
+        self.stats.raw_bytes += batch.len() as u64 * flownet::netflow5::RECORD_LEN as u64;
         let window = WindowId::containing(ts_ms, self.cfg.window_ms);
         let out = self.advance_watermark(ts_ms);
         let oldest_open = self.oldest_allowed();
@@ -188,6 +199,79 @@ impl SiteDaemon {
             .or_insert_with(|| ShardedTree::new(self.cfg.schema, self.cfg.tree, self.cfg.shards));
         tree.par_insert_batch(batch);
         out
+    }
+
+    /// Ingests a batch of `(event_time_ms, key, mass)` items, routing
+    /// **each item to the window containing its own timestamp** — the
+    /// batch may span window boundaries freely (the streaming
+    /// [`crate::pipeline`] feeds the daemon through this). Items land
+    /// in their windows *before* the watermark advances to the batch's
+    /// newest timestamp, so an item whose window was open on arrival is
+    /// never closed out from under its own batch: it is included in the
+    /// summary this call may emit. Only items already older than every
+    /// open window at call time are dropped (and counted). Returns
+    /// summaries of any windows the advancing event time closed.
+    ///
+    /// Counts `records` but not `raw_bytes`: callers that saw the wire
+    /// report actual bytes via [`Self::note_raw_bytes`]; others may add
+    /// a [`flownet::netflow5::RECORD_LEN`]-per-record equivalent.
+    pub fn ingest_stamped_batch(
+        &mut self,
+        items: &[(u64, flowkey::FlowKey, Popularity)],
+    ) -> Vec<Summary> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let span = self.cfg.window_ms;
+        let (mut max_ts, mut w_min, mut w_max) = (0u64, u64::MAX, 0u64);
+        for (ts, _, _) in items {
+            max_ts = max_ts.max(*ts);
+            let w = WindowId::containing(*ts, span).start_ms;
+            w_min = w_min.min(w);
+            w_max = w_max.max(w);
+        }
+        self.stats.records += items.len() as u64;
+        // Lateness is judged against the horizon as of arrival; the
+        // batch's own newest timestamp must not retro-drop its peers.
+        let oldest_open = self.oldest_allowed();
+        if w_min == w_max {
+            // The common shape — the pipeline sends window-bucketed
+            // batches — feeds the shards straight from the input slice.
+            if w_max < oldest_open {
+                self.stats.late_drops += items.len() as u64;
+            } else {
+                let tree = self.open.entry(w_max).or_insert_with(|| {
+                    ShardedTree::new(self.cfg.schema, self.cfg.tree, self.cfg.shards)
+                });
+                tree.par_insert_iter(items.iter().map(|(_, k, p)| (k, *p)), items.len());
+            }
+            return self.advance_watermark(max_ts);
+        }
+        let mut per_window: BTreeMap<u64, Vec<(flowkey::FlowKey, Popularity)>> = BTreeMap::new();
+        for (ts, key, pop) in items {
+            let window = WindowId::containing(*ts, span);
+            if window.start_ms < oldest_open {
+                self.stats.late_drops += 1;
+            } else {
+                per_window
+                    .entry(window.start_ms)
+                    .or_default()
+                    .push((*key, *pop));
+            }
+        }
+        for (start_ms, batch) in per_window {
+            let tree = self.open.entry(start_ms).or_insert_with(|| {
+                ShardedTree::new(self.cfg.schema, self.cfg.tree, self.cfg.shards)
+            });
+            tree.par_insert_batch(&batch);
+        }
+        self.advance_watermark(max_ts)
+    }
+
+    /// Attributes raw on-the-wire ingest volume (actual export-packet
+    /// bytes, any format) to this daemon's [`DaemonStats::raw_bytes`].
+    pub fn note_raw_bytes(&mut self, bytes: u64) {
+        self.stats.raw_bytes += bytes;
     }
 
     /// Advances event time, closing windows that fell behind the
@@ -364,6 +448,93 @@ mod tests {
             w1.subtree_popularity(&gone).map(|p| p.packets).unwrap_or(0) == 0,
             "host 1 cancels out in window 1"
         );
+    }
+
+    fn mass(host: u8, packets: i64) -> (FlowKey, Popularity) {
+        let k: FlowKey =
+            format!("src=10.0.0.{host}/32 dst=192.0.2.1/32 sport=1234 dport=443 proto=tcp")
+                .parse()
+                .unwrap();
+        (k, Popularity::new(packets, packets * 100, 1))
+    }
+
+    #[test]
+    fn mass_batch_is_counted_like_the_record_path() {
+        let mut d = daemon(1000, TransferMode::Full);
+        let batch: Vec<_> = (0..10).map(|i| mass(i, 2)).collect();
+        d.ingest_mass_batch(500, &batch);
+        assert_eq!(d.stats().records, 10);
+        assert_eq!(d.stats().raw_bytes, 10 * 48);
+        // A dropped-late batch still counts as ingested records.
+        d.ingest_mass_batch(9_500, &batch);
+        d.ingest_mass_batch(100, &batch[..3]);
+        assert_eq!(d.stats().records, 23);
+        assert_eq!(d.stats().late_drops, 3);
+    }
+
+    #[test]
+    fn stamped_batch_routes_each_item_to_its_own_window() {
+        let mut cfg = DaemonConfig::new(1);
+        cfg.window_ms = 1000;
+        cfg.tree = Config::with_budget(512);
+        cfg.open_windows = 3;
+        let mut d = SiteDaemon::new(cfg);
+        let (k1, p1) = mass(1, 5);
+        let (k2, p2) = mass(2, 7);
+        let (k3, p3) = mass(3, 9);
+        // One batch straddling two boundaries: windows 0, 1, and 2 —
+        // all still open, so nothing may be misattributed or dropped.
+        let out = d.ingest_stamped_batch(&[(900, k1, p1), (1_100, k2, p2), (2_050, k3, p3)]);
+        assert!(out.is_empty(), "all three windows remain open");
+        assert_eq!(d.open_windows().len(), 3);
+        assert_eq!(d.stats().records, 3);
+        assert_eq!(d.stats().late_drops, 0);
+        let all = d.flush();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].window.start_ms, 0);
+        assert_eq!(all[0].tree.total().packets, 5);
+        assert_eq!(all[1].tree.total().packets, 7);
+        assert_eq!(all[2].tree.total().packets, 9);
+    }
+
+    #[test]
+    fn stamped_batch_drops_only_the_hopelessly_late_items() {
+        let mut d = daemon(1000, TransferMode::Full);
+        let (k1, p1) = mass(1, 1);
+        let (k2, p2) = mass(2, 2);
+        d.ingest_record(&record(5_000, 9, 1));
+        // k1 is older than every open window; k2 lands in the current.
+        let out = d.ingest_stamped_batch(&[(100, k1, p1), (5_100, k2, p2)]);
+        assert!(out.is_empty());
+        assert_eq!(d.stats().late_drops, 1);
+        let total: i64 = d.flush().iter().map(|s| s.tree.total().packets).sum();
+        assert_eq!(total, 3, "the late item never contaminated a window");
+    }
+
+    #[test]
+    fn stamped_batch_newest_item_cannot_retro_drop_its_peers() {
+        let mut d = daemon(1000, TransferMode::Full);
+        d.ingest_record(&record(1_500, 9, 1)); // windows 0 and 1 open
+        let (k1, p1) = mass(1, 5);
+        let (k2, p2) = mass(2, 2);
+        // k1's window [0,1000) is open on arrival; k2's timestamp will
+        // close it. k1 must land in window 0 *before* the close, so the
+        // summary this very call emits includes it.
+        let out = d.ingest_stamped_batch(&[(900, k1, p1), (2_500, k2, p2)]);
+        assert_eq!(d.stats().late_drops, 0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].window.start_ms, 0);
+        assert_eq!(out[0].tree.total().packets, 5);
+        let total: i64 = d.flush().iter().map(|s| s.tree.total().packets).sum();
+        assert_eq!(total, 3, "window 1 record + k2 remain open until flush");
+    }
+
+    #[test]
+    fn note_raw_bytes_accumulates() {
+        let mut d = daemon(1000, TransferMode::Full);
+        d.note_raw_bytes(1_500);
+        d.note_raw_bytes(24);
+        assert_eq!(d.stats().raw_bytes, 1_524);
     }
 
     #[test]

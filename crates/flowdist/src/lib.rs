@@ -15,6 +15,13 @@
 //!   operator (complementary popularities are additive, so node-wise
 //!   merging of shard summaries reconstructs the unsharded summary);
 //!   the emitted wire bytes are shape-identical to an unsharded tree.
+//!   Parallel batches run on persistent per-shard worker threads with
+//!   bounded queues (no per-batch thread spawn); every read drains the
+//!   queues first, so folds are byte-identical to sequential ingest.
+//! * [`pipeline`] — the streaming ingest loop: raw NetFlow v5/v9/IPFIX
+//!   exporter payloads are decoded ([`flownet::ExportDecoder`]),
+//!   bucketed per open window by each record's own timestamp, and fed
+//!   to the daemon in batches with actual wire-byte accounting.
 //! * [`Summary`] — the wire artifact (full or delta), with a validated
 //!   codec.
 //! * [`Collector`] — storage, delta reconstruction, distributed merge
@@ -34,15 +41,18 @@ pub mod alarm;
 pub mod collector;
 pub mod daemon;
 pub mod net;
+pub mod pipeline;
 pub mod shard;
 pub mod sim;
 pub mod store;
 pub mod summary;
 pub mod window;
+mod worker;
 
 pub use alarm::{AlarmConfig, AlarmEvent, Direction};
 pub use collector::{Collector, TransferLedger};
 pub use daemon::{DaemonConfig, DaemonStats, SiteDaemon, TransferMode};
+pub use pipeline::{IngestPipeline, PipelineStats};
 pub use shard::ShardedTree;
 pub use sim::{SimConfig, SimReport};
 pub use store::{LoadReport, SummaryStore};

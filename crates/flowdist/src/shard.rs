@@ -10,6 +10,18 @@
 //! [`flowkey::key_hash`] that the tree index needs anyway, so sharding
 //! adds zero extra hashing to the hot path.
 //!
+//! Parallel ingest runs on a **persistent worker pool**
+//! ([`crate::worker`]): one long-lived thread per shard draining a
+//! bounded FIFO queue of pre-hashed buckets. The pool spawns on the
+//! first [`ShardedTree::par_insert_batch`] call and lives until the
+//! tree is folded or dropped, so steady-state batches pay one queue
+//! send per shard instead of an OS thread spawn/join per batch. Every
+//! read (`fold`, `total`, `stats`, …) first drains the queues, so the
+//! observable state is always exactly the sequential-ingest state:
+//! per shard there is a single consumer applying buckets in submission
+//! order, which is precisely the order [`ShardedTree::insert_batch`]
+//! applies them.
+//!
 //! The node budget is split evenly across shards, so a folded
 //! `ShardedTree` obeys the same budget (and byte size on the wire) as a
 //! single tree: the fold target is created with the full, unsplit
@@ -18,31 +30,56 @@
 //! per shard matches a `budget / N` tree over `1 / N` of the key space,
 //! which keeps per-key error comparable to the unsharded tree.
 
+use crate::worker::WorkerPool;
 use flowkey::{key_hash, FlowKey, Schema};
 use flowtree_core::{Config, FlowTree, Popularity, Stats};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A Flowtree fanned out over `N` independent shards for parallel
 /// ingest, folded back into one [`FlowTree`] via the paper's `merge`.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ShardedTree {
-    shards: Vec<FlowTree>,
+    shards: Vec<Arc<Mutex<FlowTree>>>,
     schema: Schema,
     /// The full (unsplit) configuration, used when folding.
     cfg: Config,
+    /// Persistent shard workers; spawned on first parallel batch.
+    pool: Option<WorkerPool>,
+    /// Per-shard staging for single-record inserts while the pool is
+    /// active: records accumulate lock-cheap and ride the queue as one
+    /// bucket, keeping the per-record path free of per-record
+    /// allocations and channel rendezvous. Always empty when `pool` is
+    /// `None`; flushed before any batch submit or drain.
+    staging: Vec<Mutex<Vec<(u64, FlowKey, Popularity)>>>,
 }
+
+/// Staged single-record inserts per shard before they are submitted to
+/// the worker queue as one bucket.
+const STAGE_LIMIT: usize = 64;
+
+/// Smallest batch that justifies spawning the worker pool: below this,
+/// a pool-less tree applies the batch sequentially, so short-lived or
+/// trickle-fed windows never pay an N-thread spawn/join for a handful
+/// of records. Once the pool exists it is always used (FIFO order).
+const PAR_SPAWN_MIN: usize = 32;
 
 impl ShardedTree {
     /// Creates `shards` trees sharing `cfg.node_budget` evenly
     /// (`shards` is clamped to ≥ 1; each shard keeps at least
-    /// [`Config::MIN_BUDGET`]).
+    /// [`Config::MIN_BUDGET`]). No worker threads start until the
+    /// first [`Self::par_insert_batch`] call.
     pub fn new(schema: Schema, cfg: Config, shards: usize) -> ShardedTree {
         let n = shards.max(1);
         let mut per_shard = cfg;
         per_shard.node_budget = (cfg.node_budget / n).max(Config::MIN_BUDGET);
         ShardedTree {
-            shards: (0..n).map(|_| FlowTree::new(schema, per_shard)).collect(),
+            shards: (0..n)
+                .map(|_| Arc::new(Mutex::new(FlowTree::new(schema, per_shard))))
+                .collect(),
             schema,
             cfg,
+            pool: None,
+            staging: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
         }
     }
 
@@ -64,26 +101,69 @@ impl ShardedTree {
         (((hash as u128) * (self.shards.len() as u128)) >> 64) as usize
     }
 
+    /// Waits until every staged record and queued bucket has been
+    /// applied; afterwards the shard trees hold exactly the
+    /// sequential-ingest state.
+    fn drain_workers(&self) {
+        if let Some(pool) = &self.pool {
+            self.flush_staging(pool);
+            pool.drain();
+        }
+    }
+
+    /// Submits every non-empty staging buffer to its shard's queue.
+    fn flush_staging(&self, pool: &WorkerPool) {
+        for (i, stage) in self.staging.iter().enumerate() {
+            let mut staged = stage.lock().expect("staging lock");
+            if !staged.is_empty() {
+                pool.submit(i, std::mem::take(&mut *staged));
+            }
+        }
+    }
+
+    fn lock_shard(&self, i: usize) -> MutexGuard<'_, FlowTree> {
+        self.shards[i].lock().expect("shard tree lock")
+    }
+
     /// Records mass for `key` in its shard. The key is canonicalized
     /// and hashed exactly once; the hash routes the shard *and* serves
-    /// as the tree index hash.
+    /// as the tree index hash. With no pool active this applies
+    /// directly, allocation-free. With a worker pool active the record
+    /// lands in its shard's staging buffer (an uncontended lock, no
+    /// allocation or channel rendezvous per record) and rides the FIFO
+    /// queue as part of one [`STAGE_LIMIT`]-record bucket — per-shard
+    /// program order relative to queued batches is preserved, with one
+    /// budget check per staged bucket like any small batch.
     pub fn insert(&mut self, key: &FlowKey, pop: Popularity) {
         let key = self.schema.canonicalize(key);
         let hash = key_hash(&key);
         let s = self.shard_of(hash);
-        self.shards[s].insert_prehashed(key, hash, pop);
+        if let Some(pool) = &self.pool {
+            let mut staged = self.staging[s].lock().expect("staging lock");
+            staged.push((hash, key, pop));
+            if staged.len() >= STAGE_LIMIT {
+                pool.submit(s, std::mem::take(&mut *staged));
+            }
+        } else {
+            self.lock_shard(s).insert_prehashed(key, hash, pop);
+        }
     }
 
-    /// Canonicalizes, hashes, and buckets a batch by shard.
-    fn bucketize(&self, batch: &[(FlowKey, Popularity)]) -> Vec<Vec<(u64, FlowKey, Popularity)>> {
+    /// Canonicalizes, hashes, and buckets key/mass pairs by shard,
+    /// straight from any iterator (no intermediate copy of the input).
+    fn bucketize_iter<'a>(
+        &self,
+        items: impl Iterator<Item = (&'a FlowKey, Popularity)>,
+        len_hint: usize,
+    ) -> Vec<Vec<(u64, FlowKey, Popularity)>> {
         let n = self.shards.len();
         let mut buckets: Vec<Vec<(u64, FlowKey, Popularity)>> = (0..n)
-            .map(|_| Vec::with_capacity(batch.len() / n + 1))
+            .map(|_| Vec::with_capacity(len_hint / n + 1))
             .collect();
-        for (k, p) in batch {
+        for (k, p) in items {
             let k = self.schema.canonicalize(k);
             let h = key_hash(&k);
-            buckets[self.shard_of(h)].push((h, k, *p));
+            buckets[self.shard_of(h)].push((h, k, p));
         }
         buckets
     }
@@ -91,54 +171,87 @@ impl ShardedTree {
     /// Sequential batch ingest: one canonicalize + hash per key, one
     /// budget check per shard at the end.
     pub fn insert_batch(&mut self, batch: &[(FlowKey, Popularity)]) {
-        let mut buckets = self.bucketize(batch);
-        for (tree, bucket) in self.shards.iter_mut().zip(buckets.iter_mut()) {
+        self.drain_workers();
+        let mut buckets = self.bucketize_iter(batch.iter().map(|(k, p)| (k, *p)), batch.len());
+        for (i, bucket) in buckets.iter_mut().enumerate() {
             if !bucket.is_empty() {
-                tree.insert_batch_prehashed(bucket);
+                self.lock_shard(i).insert_batch_prehashed(bucket);
             }
         }
     }
 
-    /// Parallel batch ingest: buckets the batch by shard, then runs one
-    /// scoped OS thread per non-empty shard. Shards are fully
-    /// independent trees, so this is lock-free data parallelism; on a
-    /// single-core host it degrades to roughly [`Self::insert_batch`]
-    /// plus thread spawn overhead.
+    /// Parallel batch ingest through the persistent worker pool: the
+    /// batch is canonicalized, hashed, and bucketed by shard on the
+    /// caller's thread, then each non-empty bucket is queued to its
+    /// shard's worker. Returns as soon as the buckets are queued
+    /// (bounded queues give backpressure); any read — `fold`, `total`,
+    /// [`Self::into_tree`] on window close — drains the queues first,
+    /// so results are always exactly those of [`Self::insert_batch`].
     pub fn par_insert_batch(&mut self, batch: &[(FlowKey, Popularity)]) {
-        if self.shards.len() == 1 {
-            return self.insert_batch(batch);
-        }
-        let mut buckets = self.bucketize(batch);
-        std::thread::scope(|scope| {
-            for (tree, bucket) in self.shards.iter_mut().zip(buckets.iter_mut()) {
+        self.par_insert_iter(batch.iter().map(|(k, p)| (k, *p)), batch.len());
+    }
+
+    /// [`Self::par_insert_batch`] over any key/mass iterator — batch
+    /// callers that hold richer tuples (e.g. the daemon's timestamped
+    /// items) feed the shards without copying into a slice first.
+    /// Batches under [`PAR_SPAWN_MIN`] on a pool-less tree apply
+    /// sequentially instead of spawning workers.
+    pub fn par_insert_iter<'a>(
+        &mut self,
+        items: impl Iterator<Item = (&'a FlowKey, Popularity)>,
+        len_hint: usize,
+    ) {
+        if self.shards.len() == 1 || (self.pool.is_none() && len_hint < PAR_SPAWN_MIN) {
+            self.drain_workers();
+            let mut buckets = self.bucketize_iter(items, len_hint);
+            for (i, bucket) in buckets.iter_mut().enumerate() {
                 if !bucket.is_empty() {
-                    scope.spawn(move || tree.insert_batch_prehashed(bucket));
+                    self.lock_shard(i).insert_batch_prehashed(bucket);
                 }
             }
-        });
+            return;
+        }
+        let buckets = self.bucketize_iter(items, len_hint);
+        if self.pool.is_none() {
+            self.pool = Some(WorkerPool::spawn(&self.shards));
+        }
+        let pool = self.pool.as_ref().expect("pool just ensured");
+        // Staged single-record inserts precede this batch in program
+        // order — submit them first so per-shard FIFO order holds.
+        self.flush_staging(pool);
+        for (i, bucket) in buckets.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                pool.submit(i, bucket);
+            }
+        }
     }
 
     /// Total mass across all shards.
     pub fn total(&self) -> Popularity {
-        self.shards
-            .iter()
-            .fold(Popularity::ZERO, |acc, t| acc + t.total())
+        self.drain_workers();
+        (0..self.shards.len()).fold(Popularity::ZERO, |acc, i| acc + self.lock_shard(i).total())
     }
 
     /// Live nodes across all shards (roots included per shard).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|t| t.len()).sum()
+        self.drain_workers();
+        (0..self.shards.len())
+            .map(|i| self.lock_shard(i).len())
+            .sum()
     }
 
     /// Whether no shard holds anything beyond its root.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|t| t.is_empty())
+        self.drain_workers();
+        (0..self.shards.len()).all(|i| self.lock_shard(i).is_empty())
     }
 
     /// Summed work counters of all shards.
     pub fn stats(&self) -> Stats {
+        self.drain_workers();
         let mut out = Stats::default();
-        for t in &self.shards {
+        for i in 0..self.shards.len() {
+            let t = self.lock_shard(i);
             let s = t.stats();
             out.inserts += s.inserts;
             out.hits += s.hits;
@@ -153,9 +266,11 @@ impl ShardedTree {
         out
     }
 
-    /// Read access to one shard (bench/diagnostic use).
-    pub fn shard(&self, i: usize) -> &FlowTree {
-        &self.shards[i]
+    /// Runs `f` against one quiesced shard tree (bench/diagnostic use;
+    /// replaces the pre-worker-pool `shard()` reference accessor).
+    pub fn with_shard<R>(&self, i: usize, f: impl FnOnce(&FlowTree) -> R) -> R {
+        self.drain_workers();
+        f(&self.lock_shard(i))
     }
 
     /// Folds every shard into a single tree with the full node budget
@@ -163,18 +278,30 @@ impl ShardedTree {
     /// The result is shape-identical to a tree built unsharded: same
     /// schema, same budget, same wire encoding rules.
     pub fn fold(&self) -> FlowTree {
+        self.drain_workers();
         let mut out = FlowTree::new(self.schema, self.cfg);
-        for t in &self.shards {
-            out.merge(t).expect("shards share one schema");
+        for i in 0..self.shards.len() {
+            out.merge(&self.lock_shard(i))
+                .expect("shards share one schema");
         }
         out
     }
 
     /// Like [`Self::fold`], but consumes the shards; the single-shard
-    /// case hands back its tree without copying.
+    /// case hands back its tree without copying. Joins the worker pool
+    /// cleanly: queues are drained, threads exit and are joined before
+    /// the shard trees are reclaimed.
     pub fn into_tree(mut self) -> FlowTree {
+        self.drain_workers();
+        // Joining the workers drops their Arc clones, making us the
+        // sole owner of every shard tree.
+        self.pool = None;
         if self.shards.len() == 1 {
-            return self.shards.pop().expect("one shard");
+            let arc = self.shards.pop().expect("one shard");
+            return Arc::try_unwrap(arc)
+                .expect("workers joined, no other owner")
+                .into_inner()
+                .expect("shard tree lock");
         }
         self.fold()
     }
@@ -184,8 +311,28 @@ impl ShardedTree {
     /// routes elsewhere — join nodes and compaction fold-ups are
     /// *ancestors* of the routed keys, created shard-locally.)
     pub fn validate(&self) {
-        for t in &self.shards {
-            t.validate();
+        self.drain_workers();
+        for i in 0..self.shards.len() {
+            self.lock_shard(i).validate();
+        }
+    }
+}
+
+impl Clone for ShardedTree {
+    /// Clones the quiesced shard trees; the clone starts without a
+    /// worker pool and spawns its own on first parallel batch.
+    fn clone(&self) -> ShardedTree {
+        self.drain_workers();
+        ShardedTree {
+            shards: (0..self.shards.len())
+                .map(|i| Arc::new(Mutex::new(self.lock_shard(i).clone())))
+                .collect(),
+            schema: self.schema,
+            cfg: self.cfg,
+            pool: None,
+            staging: (0..self.shards.len())
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
         }
     }
 }
@@ -252,6 +399,56 @@ mod tests {
             ma, mb,
             "shard-local determinism is independent of threading"
         );
+    }
+
+    #[test]
+    fn workers_survive_many_batches_and_join_on_into_tree() {
+        // Exercise the persistent pool across many submissions (the
+        // scoped-thread path this replaced spawned per batch).
+        let batch = mixed_batch(900);
+        let schema = Schema::five_feature();
+        let mut st = ShardedTree::new(schema, Config::with_budget(2_048), 3);
+        let mut seq = ShardedTree::new(schema, Config::with_budget(2_048), 3);
+        for chunk in batch.chunks(64) {
+            st.par_insert_batch(chunk);
+            seq.insert_batch(chunk);
+        }
+        // Reads interleaved with queued work still agree (drain-first).
+        assert_eq!(st.total(), seq.total());
+        let a = st.into_tree();
+        let b = seq.into_tree();
+        assert_eq!(a.total(), b.total());
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn mixed_single_and_batch_inserts_stay_ordered() {
+        let batch = mixed_batch(400);
+        let schema = Schema::five_feature();
+        let mut st = ShardedTree::new(schema, Config::with_budget(1_024), 4);
+        let mut seq = ShardedTree::new(schema, Config::with_budget(1_024), 4);
+        for (i, chunk) in batch.chunks(50).enumerate() {
+            st.par_insert_batch(chunk);
+            seq.insert_batch(chunk);
+            let (k, p) = &batch[i];
+            st.insert(k, *p);
+            seq.insert(k, *p);
+        }
+        let (fa, fb) = (st.fold(), seq.fold());
+        assert_eq!(fa.total(), fb.total());
+        assert_eq!(fa.len(), fb.len());
+    }
+
+    #[test]
+    fn clone_quiesces_and_detaches_from_the_pool() {
+        let batch = mixed_batch(600);
+        let schema = Schema::five_feature();
+        let mut st = ShardedTree::new(schema, Config::with_budget(2_048), 4);
+        st.par_insert_batch(&batch);
+        let snap = st.clone();
+        // Mutating the original must not leak into the clone.
+        st.par_insert_batch(&batch);
+        assert_eq!(snap.total().packets * 2, st.total().packets);
     }
 
     #[test]

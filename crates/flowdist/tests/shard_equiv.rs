@@ -56,6 +56,45 @@ proptest! {
         prop_assert_eq!(masses(&folded), masses(&single));
     }
 
+    /// Persistent-worker ingest: the batch stream is chopped into
+    /// arbitrary sub-batches queued to the long-lived shard workers
+    /// (with reads interleaved to force drains mid-stream), and the
+    /// drained fold on window close is *byte-identical* in shape to
+    /// the sequential `insert_batch` path over the same sub-batches.
+    #[test]
+    fn worker_pool_drain_on_close_matches_sequential(
+        inserts in proptest::collection::vec((arb_host_key(), arb_pop()), 1..300),
+        shards in 2usize..6,
+        chunk in 1usize..64,
+        budget in 128usize..4096,
+    ) {
+        let schema = Schema::five_feature();
+        let cfg = Config::with_budget(budget);
+        let mut par = ShardedTree::new(schema, cfg, shards);
+        let mut seq = ShardedTree::new(schema, cfg, shards);
+        for (i, batch) in inserts.chunks(chunk).enumerate() {
+            par.par_insert_batch(batch);
+            seq.insert_batch(batch);
+            if i % 3 == 0 {
+                // A mid-stream read must drain the queues and observe
+                // exactly the sequential state.
+                prop_assert_eq!(par.total(), seq.total());
+            }
+        }
+        // "Window close": fold after a clean drain + worker join.
+        let folded_par = par.into_tree();
+        let folded_seq = seq.into_tree();
+        folded_par.validate();
+        prop_assert_eq!(folded_par.total(), folded_seq.total());
+        prop_assert_eq!(folded_par.len(), folded_seq.len());
+        prop_assert_eq!(masses(&folded_par), masses(&folded_seq));
+        prop_assert_eq!(
+            folded_par.encode(),
+            folded_seq.encode(),
+            "worker-pool fold is byte-identical on the wire"
+        );
+    }
+
     /// Under budget pressure: totals are conserved exactly, structural
     /// invariants hold, and per-key estimates stay within the
     /// budget-induced error bound — the Conservative estimator is a

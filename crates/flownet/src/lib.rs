@@ -17,6 +17,9 @@
 //!   other widely deployed export dialect.
 //! * [`ipfix`] — an RFC 7011 subset: message/set framing, template
 //!   records, and a template cache on the decode side.
+//! * [`export`] — a unified [`decode_export_packet`] entry point over
+//!   all three export dialects, holding the template caches the
+//!   stateful ones need.
 //! * [`exporter`] — a router's flow cache: aggregates a packet stream
 //!   into flow records with active/idle timeouts.
 //!
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod ethernet;
+pub mod export;
 pub mod exporter;
 pub mod ipfix;
 pub mod ipv4;
@@ -51,6 +55,7 @@ pub mod udp;
 mod meta;
 
 pub use ethernet::{EtherType, EthernetFrame};
+pub use export::{decode_export_packet, ExportDecoder, ExportFormat};
 pub use exporter::{FlowCache, FlowCacheConfig};
 pub use ipv4::Ipv4Packet;
 pub use ipv6::Ipv6Packet;

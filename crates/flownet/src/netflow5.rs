@@ -9,6 +9,8 @@ use crate::record::FlowRecord;
 use crate::ParseError;
 use std::net::{IpAddr, Ipv4Addr};
 
+/// NetFlow v5 version number.
+pub const VERSION: u16 = 5;
 /// Header length in bytes.
 pub const HEADER_LEN: usize = 24;
 /// Record length in bytes.
@@ -50,7 +52,7 @@ pub fn encode(records: &[FlowRecord], base_ms: u64, flow_sequence: u32) -> Vec<u
     );
     let mut out = Vec::with_capacity(HEADER_LEN + records.len() * RECORD_LEN);
     let uptime_ms: u32 = 3_600_000; // pretend the box has been up an hour
-    out.extend_from_slice(&5u16.to_be_bytes());
+    out.extend_from_slice(&VERSION.to_be_bytes());
     out.extend_from_slice(&(records.len() as u16).to_be_bytes());
     out.extend_from_slice(&uptime_ms.to_be_bytes());
     out.extend_from_slice(&((base_ms / 1000) as u32).to_be_bytes());
@@ -99,7 +101,7 @@ pub fn decode(bytes: &[u8]) -> Result<(Header, Vec<FlowRecord>), ParseError> {
     }
     let rd16 = |o: usize| u16::from_be_bytes([bytes[o], bytes[o + 1]]);
     let rd32 = |o: usize| u32::from_be_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
-    if rd16(0) != 5 {
+    if rd16(0) != VERSION {
         return Err(ParseError::Malformed("netflow version"));
     }
     let count = rd16(2);

@@ -25,6 +25,17 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::try_recv`]: either the queue is
+    /// momentarily empty, or it is empty *and* every sender is gone
+    /// (buffered values are always delivered before `Disconnected`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No value queued right now; senders still exist.
+        Empty,
+        /// No value queued and every sender has been dropped.
+        Disconnected,
+    }
+
     impl<T> Sender<T> {
         /// Blocks until there is room, then sends.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
@@ -36,6 +47,14 @@ pub mod channel {
         /// Blocks for the next value; errors when all senders are gone.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
         }
 
         /// Iterates until every sender is dropped.
@@ -104,5 +123,18 @@ mod tests {
         let (tx, rx) = channel::bounded::<u8>(1);
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn try_recv_reports_empty_then_disconnected() {
+        let (tx, rx) = channel::bounded::<u8>(2);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        tx.send(7).unwrap();
+        tx.send(8).unwrap();
+        drop(tx);
+        // Buffered values drain before the disconnect surfaces.
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Ok(8));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
     }
 }
