@@ -1,0 +1,319 @@
+//! E13 — collector-side merge and merged-query cost.
+//!
+//! The distributed half of the paper (§2 merge operator, §4 collector
+//! queries) runs every range query through a merge of the in-scope
+//! (site, window) summaries. This benchmark measures that path on a
+//! `--windows × --sites` collector fed from one shared Zipf trace
+//! (windows overlap on the heavy keys, diverge on the tail — the shape
+//! real deployments produce):
+//!
+//! * **merge rows** — folding all in-scope trees into one:
+//!   - `merge/elementwise` — the pre-structural reference: one
+//!     hash-probe insert per source node ([`FlowTree::merge_elementwise`]).
+//!   - `merge/structural` — pairwise structural co-walk merges
+//!     ([`FlowTree::merge`]).
+//!   - `merge/kway` — a single k-way pass over all trees
+//!     ([`FlowTree::merge_many`]).
+//!
+//!   All three must produce byte-identical encodings (asserted here;
+//!   the property tests pin it for arbitrary trees).
+//! * **query rows** — `--reps` repetitions of a merged-range heavy-
+//!   hitter query over the full scope:
+//!   - `query/elementwise_merge` — re-merge element-wise per query
+//!     (the pre-PR collector behavior).
+//!   - `query/structural_merge` — re-merge with one k-way pass per
+//!     query (uncached).
+//!   - `query/cached_view` — `flowquery::QueryEngine` over
+//!     [`Collector::merged_view`]: first run builds the cached view,
+//!     repeats reuse it.
+//!   - `query/cached_view_growing` — each repetition first applies a
+//!     fresh window for every site, so the cached view extends
+//!     incrementally instead of rebuilding.
+//!
+//! Results land in `BENCH_query.json` (committed, like
+//! `BENCH_ingest.json`) so the collector-path trajectory is recorded
+//! in-repo.
+//!
+//! ```sh
+//! cargo run --release -p flowbench --bin merge_query -- \
+//!     --windows 100 --sites 4 --packets 5000 --reps 10 \
+//!     --json BENCH_query.json
+//! ```
+
+use flowbench::{Args, Table};
+use flowdist::{Collector, Summary, SummaryKind, WindowId};
+use flowkey::{FlowKey, Schema};
+use flowquery::{parse, QueryEngine, QueryOutput};
+use flowtrace::{profile, TraceGen};
+use flowtree_core::{Config, FlowTree, Metric, Popularity};
+use std::time::Instant;
+
+struct MergeRow {
+    path: String,
+    ms_per_pass: f64,
+    nodes_per_sec: f64,
+    out_nodes: usize,
+}
+
+struct QueryRow {
+    path: String,
+    reps: usize,
+    ms_per_query: f64,
+}
+
+fn hhh_count(tree: &FlowTree) -> usize {
+    tree.hhh(0.01, Metric::Packets).len()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let windows: usize = args.get("windows").unwrap_or(100).max(1);
+    let sites: usize = args.get("sites").unwrap_or(4).max(1);
+    let packets_per_window: u64 = args.get("packets").unwrap_or(5_000).max(1);
+    let reps: usize = args.get("reps").unwrap_or(10).max(2);
+    let seed: u64 = args.get("seed").unwrap_or(42);
+    let json_path: String = args
+        .get("json")
+        .unwrap_or_else(|| "BENCH_query.json".into());
+
+    let schema = Schema::five_feature();
+    // Large budgets keep compaction out of the measurement so the three
+    // merge paths are byte-comparable; per-window trees still compact
+    // to their own budget like real site summaries.
+    let window_budget = 4_096usize;
+    let merged_budget = 1usize << 20;
+    let span_ms = 1_000u64;
+
+    // One shared Zipf population chopped into (window, site) chunks:
+    // heavy keys recur in every chunk, tails differ.
+    println!(
+        "== E13 setup: {windows} windows × {sites} sites × {packets_per_window} packets \
+         (five-feature, window budget {window_budget}) =="
+    );
+    let mut cfg = profile::backbone(seed);
+    let extra = (reps * sites) as u64 * packets_per_window;
+    cfg.packets = windows as u64 * sites as u64 * packets_per_window + extra;
+    cfg.flows = (cfg.packets / 4).max(1);
+    let mut tracegen = TraceGen::new(cfg);
+    let mut chunk: Vec<(FlowKey, Popularity)> = Vec::with_capacity(packets_per_window as usize);
+    let mut build_window = |tg: &mut TraceGen| {
+        chunk.clear();
+        while chunk.len() < packets_per_window as usize {
+            let Some(p) = tg.next() else { break };
+            chunk.push((p.flow_key(), Popularity::packet(p.wire_len)));
+        }
+        let mut tree = FlowTree::new(schema, Config::with_budget(window_budget));
+        tree.insert_batch(&chunk);
+        tree
+    };
+
+    let mut collector = Collector::new(schema, Config::with_budget(merged_budget));
+    for w in 0..windows {
+        for s in 0..sites {
+            let tree = build_window(&mut tracegen);
+            collector
+                .apply(Summary {
+                    site: s as u16,
+                    window: WindowId {
+                        start_ms: w as u64 * span_ms,
+                        span_ms,
+                    },
+                    seq: w as u64,
+                    kind: SummaryKind::Full,
+                    tree,
+                })
+                .expect("valid summary");
+        }
+    }
+    // Pre-built growth summaries for the incremental-cache row.
+    let growth: Vec<Summary> = (0..reps)
+        .flat_map(|i| {
+            (0..sites)
+                .map(|s| Summary {
+                    site: s as u16,
+                    window: WindowId {
+                        start_ms: (windows + i) as u64 * span_ms,
+                        span_ms,
+                    },
+                    seq: (windows + i) as u64,
+                    kind: SummaryKind::Full,
+                    tree: build_window(&mut tracegen),
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let in_scope: Vec<&FlowTree> = collector
+        .window_keys()
+        .into_iter()
+        .map(|(w, s)| collector.window_tree(w, s).expect("stored"))
+        .collect();
+    let input_nodes: usize = in_scope.iter().map(|t| t.len()).sum();
+
+    // ---- merge throughput --------------------------------------------
+    println!(
+        "\n== E13a: folding {} trees ({input_nodes} input nodes) ==\n",
+        in_scope.len()
+    );
+    let merged_cfg = Config::with_budget(merged_budget);
+    let mut merge_rows: Vec<MergeRow> = Vec::new();
+    let mut encodings: Vec<Vec<u8>> = Vec::new();
+    for path in ["merge/elementwise", "merge/structural", "merge/kway"] {
+        let start = Instant::now();
+        let mut out = FlowTree::new(schema, merged_cfg);
+        match path {
+            "merge/elementwise" => {
+                for t in &in_scope {
+                    out.merge_elementwise(t).expect("uniform schema");
+                }
+            }
+            "merge/structural" => {
+                for t in &in_scope {
+                    out.merge(t).expect("uniform schema");
+                }
+            }
+            _ => out.merge_many(&in_scope).expect("uniform schema"),
+        }
+        let secs = start.elapsed().as_secs_f64();
+        encodings.push(out.encode());
+        merge_rows.push(MergeRow {
+            path: path.to_string(),
+            ms_per_pass: secs * 1e3,
+            nodes_per_sec: input_nodes as f64 / secs,
+            out_nodes: out.len(),
+        });
+    }
+    assert!(
+        encodings.windows(2).all(|w| w[0] == w[1]),
+        "structural and k-way merges must be byte-identical to element-wise"
+    );
+    let t = Table::new(&["path", "ms/pass", "input Mnodes/s", "out nodes"]);
+    for r in &merge_rows {
+        t.row(&[
+            &r.path,
+            &format!("{:.1}", r.ms_per_pass),
+            &format!("{:.2}", r.nodes_per_sec / 1e6),
+            &r.out_nodes.to_string(),
+        ]);
+    }
+
+    // ---- repeated merged-range queries -------------------------------
+    println!("\n== E13b: repeated merged-range HHH queries ({reps} reps, full scope) ==\n");
+    let mut query_rows: Vec<QueryRow> = Vec::new();
+
+    let start = Instant::now();
+    let mut found = 0usize;
+    for _ in 0..reps {
+        let mut m = FlowTree::new(schema, merged_cfg);
+        for t in &in_scope {
+            m.merge_elementwise(t).expect("uniform schema");
+        }
+        found = hhh_count(&m);
+    }
+    let elem_secs = start.elapsed().as_secs_f64();
+    query_rows.push(QueryRow {
+        path: "query/elementwise_merge".into(),
+        reps,
+        ms_per_query: elem_secs * 1e3 / reps as f64,
+    });
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        let m = collector.merged(None, 0, u64::MAX);
+        assert_eq!(hhh_count(&m), found, "structural query changed the answer");
+    }
+    let structural_secs = start.elapsed().as_secs_f64();
+    query_rows.push(QueryRow {
+        path: "query/structural_merge".into(),
+        reps,
+        ms_per_query: structural_secs * 1e3 / reps as f64,
+    });
+
+    let engine = QueryEngine::new(&collector);
+    let q = parse("hhh 0.01 by packets", u64::MAX - 1).expect("valid query");
+    let start = Instant::now();
+    for _ in 0..reps {
+        let QueryOutput::Table(rows) = engine.run(&q) else {
+            unreachable!("hhh returns a table")
+        };
+        assert_eq!(rows.len(), found, "cached query changed the answer");
+    }
+    let cached_secs = start.elapsed().as_secs_f64();
+    query_rows.push(QueryRow {
+        path: "query/cached_view".into(),
+        reps,
+        ms_per_query: cached_secs * 1e3 / reps as f64,
+    });
+
+    let start = Instant::now();
+    for batch in growth.chunks(sites) {
+        for s in batch {
+            collector.apply(s.clone()).expect("valid summary");
+        }
+        let view = collector.merged_view(None, 0, u64::MAX);
+        std::hint::black_box(hhh_count(&view));
+    }
+    let grow_secs = start.elapsed().as_secs_f64();
+    query_rows.push(QueryRow {
+        path: "query/cached_view_growing".into(),
+        reps,
+        ms_per_query: grow_secs * 1e3 / reps as f64,
+    });
+
+    let t = Table::new(&["path", "reps", "ms/query", "speedup vs elementwise"]);
+    let base = query_rows[0].ms_per_query;
+    for r in &query_rows {
+        t.row(&[
+            &r.path,
+            &r.reps.to_string(),
+            &format!("{:.2}", r.ms_per_query),
+            &format!("{:.2}x", base / r.ms_per_query),
+        ]);
+    }
+
+    // ---- BENCH_query.json --------------------------------------------
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"merge_query\",\n");
+    json.push_str(&format!("  \"windows\": {windows},\n"));
+    json.push_str(&format!("  \"sites\": {sites},\n"));
+    json.push_str(&format!(
+        "  \"packets_per_window\": {packets_per_window},\n"
+    ));
+    json.push_str(&format!("  \"window_budget\": {window_budget},\n"));
+    json.push_str(&format!("  \"input_nodes\": {input_nodes},\n"));
+    json.push_str(&format!("  \"host_cores\": {cores},\n"));
+    json.push_str("  \"merge\": [\n");
+    let merge_base = merge_rows[0].nodes_per_sec;
+    for (i, r) in merge_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"path\": \"{}\", \"ms_per_pass\": {:.2}, \"input_nodes_per_sec\": {:.0}, \
+             \"out_nodes\": {}, \"speedup_vs_elementwise\": {:.3}}}{}\n",
+            r.path,
+            r.ms_per_pass,
+            r.nodes_per_sec,
+            r.out_nodes,
+            r.nodes_per_sec / merge_base,
+            if i + 1 == merge_rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"query\": [\n");
+    for (i, r) in query_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"path\": \"{}\", \"reps\": {}, \"ms_per_query\": {:.3}, \
+             \"speedup_vs_elementwise\": {:.3}}}{}\n",
+            r.path,
+            r.reps,
+            r.ms_per_query,
+            base / r.ms_per_query,
+            if i + 1 == query_rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("\ncould not write {json_path}: {e}"),
+    }
+}

@@ -5,13 +5,41 @@
 //! volume, and serves the distributed queries: merge across any set of
 //! sites and any time range, pattern estimation, and the lifted
 //! time+site mega-tree for single-structure drill-down.
+//!
+//! ## Merged-view cache
+//!
+//! Range merges are the collector's hot read path — every
+//! `flowquery::QueryEngine::run` that ranks, drills, or extracts heavy
+//! hitters evaluates against one merged tree. [`Collector::merged_view`]
+//! therefore caches merged trees keyed by the **normalized** scope
+//! (sorted site set + `[from_ms, to_ms)` range) and keeps them fresh
+//! incrementally. The invalidation rules:
+//!
+//! * A **new** `(window, site)` pair entering a cached scope does *not*
+//!   invalidate the view: the next `merged_view` call merges just the
+//!   newly applied summaries into the cached tree (one structural
+//!   [`FlowTree::merge_many`] over the missing pairs).
+//! * **Replacing** a stored pair (a site re-sends a window) or
+//!   **evicting** pairs ([`Collector::evict_windows_before`]) bumps the
+//!   collector epoch, which invalidates *every* cached view; the next
+//!   query rebuilds its view from the stored trees.
+//! * The cache holds at most [`VIEW_CACHE_CAP`] views; the
+//!   least-recently-used entry is dropped beyond that.
+//!
+//! Views are handed out as `Arc<FlowTree>` snapshots: a query keeps
+//! reading its snapshot even if the cache refreshes behind it (the
+//! refresh copies on write). With a node budget in play, an
+//! incrementally extended view can compact at different points than a
+//! from-scratch rebuild — totals are conserved either way, exactly as
+//! for any merge order.
 
 use crate::summary::{Summary, SummaryKind};
 use crate::window::WindowId;
 use crate::DistError;
 use flowkey::{FlowKey, Schema, Site, TimeBucket};
 use flowtree_core::{Config, FlowTree, PopEst, Popularity};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
 /// Transfer-volume bookkeeping — the evidence for the paper's
 /// storage/transfer-reduction claims.
@@ -34,6 +62,36 @@ impl TransferLedger {
     }
 }
 
+/// Cached merged views kept beyond this count evict least-recently-used.
+pub const VIEW_CACHE_CAP: usize = 8;
+
+/// Cache key: a normalized query scope.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ViewKey {
+    /// Sorted, deduplicated site filter (`None` = all sites).
+    sites: Option<Vec<u16>>,
+    from_ms: u64,
+    to_ms: u64,
+}
+
+/// One cached merged view (see the module docs for invalidation rules).
+#[derive(Debug)]
+struct ViewEntry {
+    tree: Arc<FlowTree>,
+    /// The (window start, site) pairs merged into `tree`, sorted.
+    applied: Vec<(u64, u16)>,
+    /// Collector epoch the entry was built under.
+    epoch: u64,
+    /// LRU clock of the last hit.
+    touch: u64,
+}
+
+#[derive(Debug, Default)]
+struct ViewCache {
+    entries: HashMap<ViewKey, ViewEntry>,
+    clock: u64,
+}
+
 /// The collector.
 #[derive(Debug)]
 pub struct Collector {
@@ -44,6 +102,11 @@ pub struct Collector {
     /// Per-site: last reconstructed window (base for deltas) and seq.
     last: BTreeMap<u16, (u64, u64)>,
     ledger: TransferLedger,
+    /// Bumped whenever a stored window is replaced or evicted — the
+    /// events that invalidate cached merged views wholesale.
+    epoch: u64,
+    /// Merged-view cache (interior mutability: queries take `&self`).
+    views: Mutex<ViewCache>,
 }
 
 impl Collector {
@@ -55,6 +118,8 @@ impl Collector {
             windows: BTreeMap::new(),
             last: BTreeMap::new(),
             ledger: TransferLedger::default(),
+            epoch: 0,
+            views: Mutex::new(ViewCache::default()),
         }
     }
 
@@ -135,9 +200,36 @@ impl Collector {
         };
         self.last
             .insert(summary.site, (summary.window.start_ms, summary.seq));
-        self.windows
-            .insert((summary.window.start_ms, summary.site), tree);
+        if self
+            .windows
+            .insert((summary.window.start_ms, summary.site), tree)
+            .is_some()
+        {
+            // A stored window was replaced: cached views that merged
+            // the old tree are stale beyond repair — invalidate all.
+            self.invalidate_views();
+        }
         Ok(kind)
+    }
+
+    /// Drops every stored window starting before `cutoff_ms`
+    /// (retention), returning how many were evicted. Eviction
+    /// invalidates all cached merged views (epoch bump).
+    pub fn evict_windows_before(&mut self, cutoff_ms: u64) -> usize {
+        let keep = self.windows.split_off(&(cutoff_ms, u16::MIN));
+        let dropped = std::mem::replace(&mut self.windows, keep).len();
+        if dropped > 0 {
+            self.invalidate_views();
+        }
+        dropped
+    }
+
+    /// Bumps the epoch and drops every cached view eagerly — they are
+    /// all stale, and holding them until the same scopes happen to be
+    /// re-queried would pin up to [`VIEW_CACHE_CAP`] merged trees.
+    fn invalidate_views(&mut self) {
+        self.epoch += 1;
+        self.views.lock().expect("view cache lock").entries.clear();
     }
 
     /// Tree for one (window, site), if stored.
@@ -150,26 +242,119 @@ impl Collector {
         self.windows.keys().copied().collect()
     }
 
+    /// The stored trees matching a normalized scope, in key order. The
+    /// time range selects via the `BTreeMap` range (no full scan) and
+    /// the site filter binary-searches the pre-sorted `wanted` list —
+    /// not an `O(sites)` scan per stored window.
+    fn scoped<'a>(
+        &'a self,
+        wanted: Option<&'a [u16]>,
+        from_ms: u64,
+        to_ms: u64,
+    ) -> impl Iterator<Item = ((u64, u16), &'a FlowTree)> {
+        let (lo, hi) = if from_ms < to_ms {
+            ((from_ms, u16::MIN), (to_ms, u16::MIN))
+        } else {
+            ((0, 0), (0, 0))
+        };
+        self.windows
+            .range(lo..hi)
+            .filter(move |((_, site), _)| wanted.is_none_or(|w| w.binary_search(site).is_ok()))
+            .map(|(k, t)| (*k, t))
+    }
+
     /// Merges every stored tree matching the site set and time range —
-    /// the paper's distributed `merge` in action. `sites = None` means
-    /// all sites; the range is `[from_ms, to_ms)`.
+    /// the paper's distributed `merge` in action, executed as **one**
+    /// k-way structural [`FlowTree::merge_many`] pass instead of one
+    /// element-wise merge per window. `sites = None` means all sites;
+    /// the range is `[from_ms, to_ms)`. Uncached; repeated queries over
+    /// a stable scope should prefer [`Collector::merged_view`].
     pub fn merged(&self, sites: Option<&[u16]>, from_ms: u64, to_ms: u64) -> FlowTree {
+        let wanted = normalize_sites(sites);
+        let trees: Vec<&FlowTree> = self
+            .scoped(wanted.as_deref(), from_ms, to_ms)
+            .map(|(_, t)| t)
+            .collect();
         let mut out = FlowTree::new(self.schema, self.tree_cfg);
-        for ((start, site), tree) in &self.windows {
-            if *start < from_ms || *start >= to_ms {
-                continue;
-            }
-            if let Some(wanted) = sites {
-                if !wanted.contains(site) {
-                    continue;
-                }
-            }
-            out.merge(tree).expect("uniform schema in collector");
-        }
+        out.merge_many(&trees).expect("uniform schema in collector");
         out
     }
 
-    /// Estimates a pattern over a site set and time range.
+    /// The cached merged view for a scope: builds it with one k-way
+    /// merge on first use, extends it incrementally with newly applied
+    /// summaries on later calls, and rebuilds after an invalidation
+    /// (see the module docs for the exact rules). The returned `Arc` is
+    /// a consistent snapshot — later cache refreshes never mutate it.
+    pub fn merged_view(&self, sites: Option<&[u16]>, from_ms: u64, to_ms: u64) -> Arc<FlowTree> {
+        let wanted = normalize_sites(sites);
+        let in_scope: Vec<(u64, u16)> = self
+            .scoped(wanted.as_deref(), from_ms, to_ms)
+            .map(|(k, _)| k)
+            .collect();
+        let key = ViewKey {
+            sites: wanted,
+            from_ms,
+            to_ms,
+        };
+        let mut cache = self.views.lock().expect("view cache lock");
+        cache.clock += 1;
+        let clock = cache.clock;
+        if let Some(e) = cache.entries.get_mut(&key) {
+            let missing = if e.epoch == self.epoch {
+                missing_pairs(&e.applied, &in_scope)
+            } else {
+                None
+            };
+            if let Some(missing) = missing {
+                if !missing.is_empty() {
+                    let add: Vec<&FlowTree> = missing
+                        .iter()
+                        .map(|p| self.windows.get(p).expect("scoped pair is stored"))
+                        .collect();
+                    Arc::make_mut(&mut e.tree)
+                        .merge_many(&add)
+                        .expect("uniform schema in collector");
+                    e.applied = in_scope;
+                }
+                e.touch = clock;
+                return Arc::clone(&e.tree);
+            }
+            cache.entries.remove(&key);
+        }
+        let mut tree = FlowTree::new(self.schema, self.tree_cfg);
+        let trees: Vec<&FlowTree> = in_scope
+            .iter()
+            .map(|p| self.windows.get(p).expect("scoped pair is stored"))
+            .collect();
+        tree.merge_many(&trees)
+            .expect("uniform schema in collector");
+        let arc = Arc::new(tree);
+        if cache.entries.len() >= VIEW_CACHE_CAP {
+            if let Some(lru) = cache
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.touch)
+                .map(|(k, _)| k.clone())
+            {
+                cache.entries.remove(&lru);
+            }
+        }
+        cache.entries.insert(
+            key,
+            ViewEntry {
+                tree: Arc::clone(&arc),
+                applied: in_scope,
+                epoch: self.epoch,
+                touch: clock,
+            },
+        );
+        arc
+    }
+
+    /// Estimates a pattern over a site set and time range by summing
+    /// per-window estimates (window trees compacted independently keep
+    /// their own error bounds, so this is not the same number as an
+    /// estimate on the merged view under budget pressure).
     pub fn query(
         &self,
         pattern: &FlowKey,
@@ -177,16 +362,9 @@ impl Collector {
         from_ms: u64,
         to_ms: u64,
     ) -> PopEst {
+        let wanted = normalize_sites(sites);
         let mut acc = PopEst::ZERO;
-        for ((start, site), tree) in &self.windows {
-            if *start < from_ms || *start >= to_ms {
-                continue;
-            }
-            if let Some(wanted) = sites {
-                if !wanted.contains(site) {
-                    continue;
-                }
-            }
+        for (_, tree) in self.scoped(wanted.as_deref(), from_ms, to_ms) {
             acc += tree.estimate_pattern(pattern);
         }
         acc
@@ -198,23 +376,47 @@ impl Collector {
     /// paper's "extends Flowtree by adding two features, namely time and
     /// monitor location".
     pub fn lifted(&self, budget: usize) -> FlowTree {
-        let mut out = FlowTree::new(Schema::extended(), Config::with_budget(budget));
+        // One extended-schema tree per stored window (re-keying its
+        // masses with site and dyadic time bucket), folded into the
+        // mega-tree with chunked k-way structural merges — instead of
+        // pushing every node of every window through the mega-tree's
+        // insert path. Chunking (merge + compact every
+        // [`Self::LIFT_CHUNK`] windows) keeps peak memory near
+        // `budget` plus one chunk, not the sum of all stored windows.
+        let schema = Schema::extended();
+        let mut out = FlowTree::new(schema, Config::with_budget(budget));
+        let mut parts: Vec<FlowTree> = Vec::new();
+        let fold = |out: &mut FlowTree, parts: &mut Vec<FlowTree>| {
+            let refs: Vec<&FlowTree> = parts.iter().collect();
+            out.merge_many(&refs).expect("uniform schema");
+            parts.clear();
+        };
         for ((start, site), tree) in &self.windows {
             // The finest dyadic bucket fully containing the window.
             let span_s = (tree_window_span(tree, self).max(1000) / 1000).max(1);
             let level = 64 - u64::leading_zeros(span_s.next_power_of_two()) as u8 - 1;
             let time = TimeBucket::new(start / 1000, level.min(TimeBucket::MAX_LEVEL))
                 .unwrap_or(TimeBucket::ANY);
-            for v in tree.iter() {
-                if v.comp.is_zero() {
-                    continue;
-                }
-                let key = v.key.with_site(Site::Is(*site)).with_time(time);
-                out.insert(&key, v.comp);
+            parts.push(FlowTree::from_masses(
+                schema,
+                Config::with_budget(usize::MAX),
+                tree.iter()
+                    .filter(|v| !v.comp.is_zero())
+                    .map(|v| (v.key.with_site(Site::Is(*site)).with_time(time), v.comp)),
+            ));
+            if parts.len() >= Self::LIFT_CHUNK {
+                fold(&mut out, &mut parts);
             }
+        }
+        if !parts.is_empty() {
+            fold(&mut out, &mut parts);
         }
         out
     }
+
+    /// Windows folded per k-way merge while lifting: large enough to
+    /// amortize the pass, small enough to bound transient memory.
+    const LIFT_CHUNK: usize = 16;
 
     /// Total mass stored across all windows/sites.
     pub fn total(&self) -> Popularity {
@@ -275,6 +477,38 @@ fn tree_window_span(_tree: &FlowTree, c: &Collector) -> u64 {
 /// Convenience: the window id for a timestamp under a span.
 pub fn window_of(ts_ms: u64, span_ms: u64) -> WindowId {
     WindowId::containing(ts_ms, span_ms)
+}
+
+/// Sorts and deduplicates a site filter so scope keys normalize and
+/// membership tests binary-search.
+fn normalize_sites(sites: Option<&[u16]>) -> Option<Vec<u16>> {
+    sites.map(|s| {
+        let mut v = s.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+/// With `applied ⊆ scope` (both sorted ascending), the scope pairs not
+/// yet applied; `None` if some applied pair left the scope (a cached
+/// view that can only be rebuilt, not extended).
+fn missing_pairs(applied: &[(u64, u16)], scope: &[(u64, u16)]) -> Option<Vec<(u64, u16)>> {
+    let mut missing = Vec::new();
+    let mut ai = applied.iter().peekable();
+    for p in scope {
+        match ai.peek() {
+            Some(&&a) if a == *p => {
+                ai.next();
+            }
+            Some(&&a) if a < *p => return None,
+            _ => missing.push(*p),
+        }
+    }
+    if ai.next().is_some() {
+        return None;
+    }
+    Some(missing)
 }
 
 #[cfg(test)]

@@ -262,6 +262,8 @@ impl ShardedTree {
             out.compactions += s.compactions;
             out.evictions += s.evictions;
             out.contractions += s.contractions;
+            out.grafted_nodes += s.grafted_nodes;
+            out.profile_builds += s.profile_builds;
         }
         out
     }

@@ -1,0 +1,193 @@
+//! Cached merged views: equivalence with uncached merges, incremental
+//! extension, and invalidation on replacement/eviction.
+
+use flowdist::{Collector, Summary, SummaryKind, WindowId};
+use flowkey::{FlowKey, Schema};
+use flowtree_core::{Config, FlowTree, Popularity};
+
+const SPAN: u64 = 1_000;
+
+fn summary(site: u16, window: u64, lo: u8, hi: u8, weight: i64) -> Summary {
+    let schema = Schema::five_feature();
+    let mut tree = FlowTree::new(schema, Config::with_budget(4_096));
+    for h in lo..hi {
+        let key: FlowKey = format!(
+            "src=10.{}.{}.{h}/32 dst=192.0.2.{}/32 sport=40000 dport=443 proto=tcp",
+            site,
+            h % 5,
+            h % 3
+        )
+        .parse()
+        .unwrap();
+        tree.insert(&key, Popularity::new(weight + h as i64, 100, 1));
+    }
+    Summary {
+        site,
+        window: WindowId {
+            start_ms: window * SPAN,
+            span_ms: SPAN,
+        },
+        seq: window,
+        kind: SummaryKind::Full,
+        tree,
+    }
+}
+
+fn collector_with(windows: u64, sites: u16) -> Collector {
+    let mut c = Collector::new(Schema::five_feature(), Config::with_budget(100_000));
+    for w in 0..windows {
+        for s in 0..sites {
+            c.apply(summary(s, w, 0, 20 + (w % 4) as u8, 1)).unwrap();
+        }
+    }
+    c
+}
+
+/// The reference the cache must agree with: the element-wise merge
+/// loop over the same scope.
+fn elementwise_scope(c: &Collector, sites: Option<&[u16]>, from: u64, to: u64) -> FlowTree {
+    let mut out = FlowTree::new(Schema::five_feature(), Config::with_budget(100_000));
+    for (w, s) in c.window_keys() {
+        if w < from || w >= to {
+            continue;
+        }
+        if let Some(wanted) = sites {
+            if !wanted.contains(&s) {
+                continue;
+            }
+        }
+        out.merge_elementwise(c.window_tree(w, s).unwrap()).unwrap();
+    }
+    out
+}
+
+#[test]
+fn cached_view_is_byte_identical_to_uncached_and_elementwise() {
+    let c = collector_with(10, 3);
+    for (sites, from, to) in [
+        (None, 0, u64::MAX),
+        (Some(vec![1]), 0, u64::MAX),
+        (Some(vec![0, 2]), 2 * SPAN, 7 * SPAN),
+        (Some(vec![2, 0, 0]), 2 * SPAN, 7 * SPAN), // unnormalized spelling
+    ] {
+        let view = c.merged_view(sites.as_deref(), from, to);
+        let uncached = c.merged(sites.as_deref(), from, to);
+        let reference = elementwise_scope(&c, sites.as_deref(), from, to);
+        assert_eq!(view.encode(), uncached.encode());
+        assert_eq!(view.encode(), reference.encode());
+        // Second call returns the same snapshot (cache hit).
+        let again = c.merged_view(sites.as_deref(), from, to);
+        assert!(
+            std::sync::Arc::ptr_eq(&view, &again),
+            "expected a cache hit"
+        );
+    }
+}
+
+#[test]
+fn new_windows_extend_the_cached_view_incrementally() {
+    let mut c = collector_with(5, 2);
+    let before = c.merged_view(None, 0, u64::MAX);
+    // New windows arrive; the cached entry must be extended, not
+    // rebuilt, and must match a fresh full merge byte-for-byte.
+    for w in 5..8 {
+        for s in 0..2 {
+            c.apply(summary(s, w, 0, 25, 2)).unwrap();
+        }
+    }
+    let after = c.merged_view(None, 0, u64::MAX);
+    assert!(!std::sync::Arc::ptr_eq(&before, &after));
+    let reference = elementwise_scope(&c, None, 0, u64::MAX);
+    assert_eq!(after.total(), reference.total());
+    assert_eq!(after.encode(), reference.encode());
+    // The earlier snapshot is unaffected (copy-on-write).
+    assert_eq!(
+        before.encode(),
+        elementwise_scope(&collector_with(5, 2), None, 0, u64::MAX).encode()
+    );
+}
+
+#[test]
+fn replacing_a_window_invalidates_views() {
+    let mut c = collector_with(4, 2);
+    let stale = c.merged_view(None, 0, u64::MAX);
+    // Site 1 re-sends window 2 with different masses.
+    c.apply(summary(1, 2, 0, 30, 9)).unwrap();
+    let fresh = c.merged_view(None, 0, u64::MAX);
+    assert_ne!(stale.encode(), fresh.encode());
+    assert_eq!(
+        fresh.encode(),
+        elementwise_scope(&c, None, 0, u64::MAX).encode(),
+        "rebuild after replacement must match a from-scratch merge"
+    );
+}
+
+#[test]
+fn eviction_invalidates_views_and_shrinks_scope() {
+    let mut c = collector_with(6, 2);
+    let all = c.merged_view(None, 0, u64::MAX);
+    let dropped = c.evict_windows_before(3 * SPAN);
+    assert_eq!(dropped, 6);
+    assert_eq!(c.stored_windows(), 6);
+    let survivors = c.merged_view(None, 0, u64::MAX);
+    assert_ne!(all.encode(), survivors.encode());
+    assert_eq!(
+        survivors.encode(),
+        elementwise_scope(&c, None, 0, u64::MAX).encode()
+    );
+    // Evicting nothing bumps nothing: the view stays cached.
+    assert_eq!(c.evict_windows_before(3 * SPAN), 0);
+    let again = c.merged_view(None, 0, u64::MAX);
+    assert!(std::sync::Arc::ptr_eq(&survivors, &again));
+}
+
+#[test]
+fn site_filter_is_scope_normalized() {
+    let c = collector_with(3, 3);
+    let a = c.merged_view(Some(&[2, 1]), 0, u64::MAX);
+    let b = c.merged_view(Some(&[1, 2, 2]), 0, u64::MAX);
+    assert!(
+        std::sync::Arc::ptr_eq(&a, &b),
+        "equivalent site sets must share one cache entry"
+    );
+}
+
+#[test]
+fn empty_and_inverted_ranges_are_empty_views() {
+    let c = collector_with(3, 2);
+    assert!(c.merged_view(None, 5 * SPAN, 2 * SPAN).is_empty());
+    assert!(c.merged(None, 7 * SPAN, 7 * SPAN).is_empty());
+    assert_eq!(
+        c.query(&"src=10.0.0.0/8".parse().unwrap(), None, 9, 3)
+            .packets,
+        0.0
+    );
+}
+
+#[test]
+fn lifted_matches_element_wise_lift() {
+    // The merge_many-based lift must agree with re-inserting every
+    // window's re-keyed masses element-wise (generous budget: no
+    // compaction on either path).
+    use flowkey::{Site, TimeBucket};
+    let c = collector_with(4, 2);
+    let mega = c.lifted(100_000);
+    let mut reference = FlowTree::new(Schema::extended(), Config::with_budget(100_000));
+    for (w, s) in c.window_keys() {
+        let tree = c.window_tree(w, s).unwrap();
+        let time = TimeBucket::new(w / 1000, 0).unwrap_or(TimeBucket::ANY);
+        for v in tree.iter() {
+            if v.comp.is_zero() {
+                continue;
+            }
+            reference.insert(&v.key.with_site(Site::Is(s)).with_time(time), v.comp);
+        }
+    }
+    assert_eq!(mega.total(), reference.total());
+    // Same drill-down answers inside the single mega structure.
+    let site1: FlowKey = "site=1".parse().unwrap();
+    assert_eq!(
+        mega.estimate_pattern(&site1).packets,
+        reference.estimate_pattern(&site1).packets
+    );
+}

@@ -83,6 +83,20 @@ pub fn write_varint_signed(out: &mut Vec<u8>, v: i64) {
     write_varint(out, ((v << 1) ^ (v >> 63)) as u64);
 }
 
+/// Encoded length of [`write_varint`]`(v)` without writing anything.
+#[inline]
+pub fn varint_len(v: u64) -> usize {
+    // ceil(bits / 7), with at least one byte for zero.
+    (64 - v.leading_zeros() as usize).max(1).div_ceil(7)
+}
+
+/// Encoded length of [`write_varint_signed`]`(v)` without writing
+/// anything.
+#[inline]
+pub fn varint_signed_len(v: i64) -> usize {
+    varint_len(((v << 1) ^ (v >> 63)) as u64)
+}
+
 /// Reads a zigzag-encoded signed varint.
 pub fn read_varint_signed(buf: &[u8]) -> Result<(i64, usize), UnpackError> {
     let (raw, n) = read_varint(buf)?;
@@ -132,6 +146,40 @@ pub fn pack_key(out: &mut Vec<u8>, key: &FlowKey) {
             }
             Site::Any => unreachable!("presence bit set for wildcard site"),
         }
+    }
+}
+
+/// Byte length [`pack_key`] would emit for `key`, computed
+/// arithmetically (no buffer is written). Kept in lockstep with
+/// `pack_key`; the codec uses it to size transfers without encoding a
+/// throwaway frame.
+pub fn packed_key_len(key: &FlowKey) -> usize {
+    let mut len = 1; // presence byte
+    for dim in Dim::ALL {
+        if key.dim_depth(dim) == 0 {
+            continue;
+        }
+        len += match dim {
+            Dim::SrcIp => ipnet_len(&key.src),
+            Dim::DstIp => ipnet_len(&key.dst),
+            Dim::SrcPort | Dim::DstPort => 3, // plen byte + big-endian base
+            Dim::Proto => 1,
+            Dim::Time => 1 + varint_len(key.time.start()),
+            Dim::Site => match key.site {
+                Site::Region(_) => 2,
+                Site::Is(_) => 3,
+                Site::Any => unreachable!("present dim cannot be a wildcard"),
+            },
+        };
+    }
+    len
+}
+
+fn ipnet_len(net: &IpNet) -> usize {
+    match net {
+        IpNet::Any => unreachable!("wildcard IPs are absent dims"),
+        IpNet::V4(p) => 1 + prefix_bytes(p.len()),
+        IpNet::V6(p) => 1 + prefix_bytes(p.len()),
     }
 }
 
@@ -292,6 +340,7 @@ mod tests {
         let (back, n) = unpack_key(&buf).expect("roundtrip");
         assert_eq!(&back, k, "roundtrip of {k}");
         assert_eq!(n, buf.len(), "all bytes consumed for {k}");
+        assert_eq!(packed_key_len(k), buf.len(), "predicted length of {k}");
         buf.len()
     }
 
@@ -360,6 +409,21 @@ mod tests {
         // Bad IP tag.
         let bad = vec![0b0000_0001, 200];
         assert_eq!(unpack_key(&bad).unwrap_err(), UnpackError::Invalid);
+    }
+
+    #[test]
+    fn varint_len_matches_encoding() {
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            buf.clear();
+            write_varint(&mut buf, v);
+            assert_eq!(varint_len(v), buf.len(), "unsigned {v}");
+        }
+        for v in [0i64, 1, -1, 63, -64, 64, 1 << 40, i64::MAX, i64::MIN] {
+            buf.clear();
+            write_varint_signed(&mut buf, v);
+            assert_eq!(varint_signed_len(v), buf.len(), "signed {v}");
+        }
     }
 
     #[test]

@@ -225,6 +225,33 @@ impl Schema {
         cur
     }
 
+    /// The canonical chain ancestor of `key` at `target_depth` together
+    /// with the one-step-deeper ancestor (the *step* at
+    /// `target_depth + 1`) from a single upward walk — callers that
+    /// need both (e.g. the codec's decode fast path, which validates a
+    /// claimed parent and attaches at its step in one pass) avoid
+    /// walking the chain twice.
+    ///
+    /// Requires `target_depth < depth(key)` (debug-asserted); the step
+    /// would not exist otherwise.
+    pub fn chain_ancestor_with_step(&self, key: &FlowKey, target_depth: u32) -> (FlowKey, FlowKey) {
+        debug_assert!(target_depth < self.depth(key));
+        let mut profile = DepthProfile::of(key);
+        let mut depth = profile.total(&self.active);
+        let mut cur = *key;
+        let mut step = *key;
+        while depth > target_depth {
+            let Some(dim) = next_dim(&profile, &self.active, &SCHEDULE_WEIGHT) else {
+                break;
+            };
+            step = cur;
+            cur = cur.generalize(dim).expect("next_dim only picks depth > 0");
+            profile.0[dim.index()] -= 1;
+            depth -= 1;
+        }
+        (cur, step)
+    }
+
     /// Iterates the canonical chain upward: the parent of `key`, then
     /// the grandparent, … ending with the root. Maintains the profile
     /// incrementally, so whole-chain walks cost O(depth), not O(depth²).
@@ -421,6 +448,18 @@ mod tests {
         // is no longer an ancestor of b.
         let deeper = schema.chain_ancestor(&a, schema.depth(&l) + 1);
         assert!(!schema.is_chain_ancestor(&deeper, &b));
+    }
+
+    #[test]
+    fn chain_ancestor_with_step_agrees_with_two_walks() {
+        let schema = Schema::five_feature();
+        let k = key("src=10.1.2.3/32 dst=192.0.2.9/32 sport=49152 dport=443 proto=udp");
+        let full = schema.depth(&k);
+        for d in 0..full {
+            let (anc, step) = schema.chain_ancestor_with_step(&k, d);
+            assert_eq!(anc, schema.chain_ancestor(&k, d));
+            assert_eq!(step, schema.chain_ancestor(&k, d + 1));
+        }
     }
 
     #[test]

@@ -5,12 +5,20 @@
 //! evaluate the question on the merged tree. Refinement candidates for
 //! `top`/`drill` come from the merged tree's retained nodes, so the
 //! engine never has to enumerate the (astronomic) key space.
+//!
+//! Merged trees come from the collector's **cached view** layer
+//! ([`Collector::merged_view`]): repeated queries over the same scope —
+//! a dashboard refreshing `top`/`drill`/`hhh` — reuse one structurally
+//! merged tree instead of re-merging every (site, window) summary per
+//! run, and a scope that keeps gaining windows is extended
+//! incrementally rather than rebuilt.
 
 use crate::ast::{Query, Scope};
 use flowdist::Collector;
 use flowkey::{Dim, FlowKey};
 use flowtree_core::{FlowTree, Metric, PopEst};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One result row.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,9 +151,9 @@ impl<'a> QueryEngine<'a> {
         }
     }
 
-    fn merged(&self, scope: &Scope) -> FlowTree {
+    fn merged(&self, scope: &Scope) -> Arc<FlowTree> {
         self.collector
-            .merged(scope.sites.as_deref(), scope.from_ms, scope.to_ms)
+            .merged_view(scope.sites.as_deref(), scope.from_ms, scope.to_ms)
     }
 
     fn scoped_estimate(&self, pattern: &FlowKey, scope: &Scope) -> PopEst {

@@ -19,13 +19,23 @@
 //!   key     packed   flowkey::pack
 //!   comp    3 × signed varint (packets, bytes, flows)
 //! ```
+//!
+//! The emitted pre-order is **canonical**: sibling lists are kept in
+//! step-hash order, so any two trees holding the same node set encode
+//! to identical bytes regardless of how the nodes arrived (insertion,
+//! batch, sharded fold, or structural merge). Decoders do not depend
+//! on the order — parent references alone carry the structure — so
+//! frames produced by older writers remain readable.
 
 use crate::pop::Popularity;
 use crate::tree::FlowTree;
 use crate::Config;
 use core::fmt;
-use flowkey::pack::{pack_key, read_varint, unpack_key, write_varint, write_varint_signed};
-use flowkey::{FlowKey, Schema, SchemaKind};
+use flowkey::pack::{
+    pack_key, packed_key_len, read_varint, unpack_key, varint_len, varint_signed_len, write_varint,
+    write_varint_signed,
+};
+use flowkey::{key_hash, FlowKey, Schema, SchemaKind};
 
 /// Magic bytes of the Flowtree wire format.
 pub const MAGIC: [u8; 4] = *b"FTR1";
@@ -97,19 +107,17 @@ fn schema_from_byte(b: u8) -> Option<SchemaKind> {
 }
 
 impl FlowTree {
-    /// Encodes the tree into the compact wire format.
-    pub fn encode(&self) -> Vec<u8> {
+    /// The canonical pre-order framing shared by [`FlowTree::encode`]
+    /// and [`FlowTree::encoded_size`]: calls `row(parent_pos, node)`
+    /// for every node in stream order — one definition of what a frame
+    /// row is, so the writer and the size predictor cannot drift.
+    fn for_each_frame_row(&self, mut row: impl FnMut(u64, &crate::tree::Node)) {
         let order = self.preorder();
         // Position of each node id in the emitted stream.
         let mut pos = vec![0u32; self.capacity()];
         for (i, &id) in order.iter().enumerate() {
             pos[id as usize] = i as u32;
         }
-        let mut out = Vec::with_capacity(16 + order.len() * 16);
-        out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
-        out.push(schema_byte(self.schema().kind()));
-        write_varint(&mut out, order.len() as u64);
         for (i, &id) in order.iter().enumerate() {
             let node = self.node(id);
             let parent_pos = if i == 0 {
@@ -117,18 +125,41 @@ impl FlowTree {
             } else {
                 pos[node.parent as usize] as u64
             };
+            row(parent_pos, node);
+        }
+    }
+
+    /// Encodes the tree into the compact wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.len() * 16);
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(schema_byte(self.schema().kind()));
+        write_varint(&mut out, self.len() as u64);
+        self.for_each_frame_row(|parent_pos, node| {
             write_varint(&mut out, parent_pos);
             pack_key(&mut out, &node.key);
             write_varint_signed(&mut out, node.comp.packets);
             write_varint_signed(&mut out, node.comp.bytes);
             write_varint_signed(&mut out, node.comp.flows);
-        }
+        });
         out
     }
 
-    /// Size in bytes of the encoded tree (what a site would transfer).
+    /// Size in bytes of the encoded tree (what a site would transfer),
+    /// computed arithmetically — varint widths plus packed key sizes
+    /// over one pre-order walk — without allocating and encoding a
+    /// throwaway frame. Always equals `self.encode().len()`.
     pub fn encoded_size(&self) -> usize {
-        self.encode().len()
+        let mut len = 6 + varint_len(self.len() as u64);
+        self.for_each_frame_row(|parent_pos, node| {
+            len += varint_len(parent_pos)
+                + packed_key_len(&node.key)
+                + varint_signed_len(node.comp.packets)
+                + varint_signed_len(node.comp.bytes)
+                + varint_signed_len(node.comp.flows);
+        });
+        len
     }
 
     /// Decodes and fully validates a frame produced by [`encode`].
@@ -175,8 +206,11 @@ impl FlowTree {
         let mut cfg = cfg;
         cfg.node_budget = cfg.node_budget.max(count);
         let mut tree = FlowTree::new(schema, cfg);
-        // Keys in stream order, so parent references can be resolved.
+        // Keys / depths / node ids in stream order, so parent
+        // references resolve to already-built nodes.
         let mut keys: Vec<FlowKey> = Vec::with_capacity(count);
+        let mut depths: Vec<u32> = Vec::with_capacity(count);
+        let mut ids: Vec<u32> = Vec::with_capacity(count);
 
         for i in 0..count {
             let (parent_pos, n) = read_varint(&bytes[pos..]).map_err(|_| CodecError::Truncated)?;
@@ -205,21 +239,35 @@ impl FlowTree {
                     return Err(CodecError::BadStructure("root parent reference"));
                 }
                 tree.set_root_comp(comp);
+                ids.push(tree.root);
+                depths.push(0);
             } else {
                 if parent_pos as usize >= i {
                     return Err(CodecError::BadStructure("forward parent reference"));
                 }
-                let parent_key = keys[parent_pos as usize];
-                if !schema.is_chain_ancestor(&parent_key, &key) || parent_key == key {
+                // Validate the chain-ancestor claim and extract the
+                // key's step under the parent in the same upward walk,
+                // then trust the validated parent position to attach
+                // directly — no longest-matching-parent search. Streams
+                // produced by `encode` always name the direct parent,
+                // so the fallback splice inside `attach_decoded` only
+                // runs for indirect (but still valid) hand-built
+                // streams.
+                let parent_depth = depths[parent_pos as usize];
+                let depth = schema.depth(&key);
+                if depth <= parent_depth {
                     return Err(CodecError::BadStructure("parent not a chain ancestor"));
                 }
-                if tree.contains_key(&key) {
-                    return Err(CodecError::BadStructure("duplicate key"));
+                let (anc, step_key) = schema.chain_ancestor_with_step(&key, parent_depth);
+                if anc != keys[parent_pos as usize] {
+                    return Err(CodecError::BadStructure("parent not a chain ancestor"));
                 }
-                // Rebuilding via the ordinary insert path re-derives the
-                // Patricia structure, so a hostile stream cannot smuggle
-                // in an invariant-breaking shape.
-                tree.add_mass(key, comp);
+                let step_hash = key_hash(&step_key);
+                let id = tree
+                    .attach_decoded(key, depth, comp, ids[parent_pos as usize], step_hash)
+                    .ok_or(CodecError::BadStructure("duplicate key"))?;
+                ids.push(id);
+                depths.push(depth);
             }
             keys.push(key);
         }

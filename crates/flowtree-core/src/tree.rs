@@ -59,6 +59,20 @@
 //! length, exactly as `merge` does). Sharded parallel ingest on top of
 //! this (`flowdist::ShardedTree`) reuses the same key hash to route
 //! shards.
+//!
+//! ## Structural merge
+//!
+//! Whole summaries combine without the insert path:
+//! [`FlowTree::merge`] and the k-way [`FlowTree::merge_many`] run a
+//! hash-join sweep over the source arena (one stored-hash probe per
+//! node; matches add masses node-wise) and then place only the missed
+//! nodes, each attached directly under its already-placed source
+//! parent at its stored sibling step — splices and joins are computed
+//! by the same analytic profile arithmetic as the insert path. Sibling
+//! lists are kept in a canonical order, so the wire encoding of a tree
+//! depends only on its node masses: any merge order, sharded fold, or
+//! batch schedule that produces the same masses produces the same
+//! bytes.
 
 use crate::config::{Config, EvictionPolicy};
 use crate::pop::Popularity;
@@ -147,6 +161,14 @@ pub struct Stats {
     pub evictions: u64,
     /// Pass-through nodes contracted away.
     pub contractions: u64,
+    /// Nodes placed by the structural merge's wholesale graft/splice
+    /// path — allocated and attached from another tree's stored key
+    /// hashes with **zero** index probes (see [`FlowTree::merge_many`]).
+    pub grafted_nodes: u64,
+    /// Profile-schedule rebuilds: misses of the schedule memo on the
+    /// insert miss path. Stays at the number of distinct key shapes as
+    /// long as the working set fits the memo's LRU.
+    pub profile_builds: u64,
 }
 
 impl Stats {
@@ -257,6 +279,128 @@ fn profile_fits(p: &flowkey::DepthProfile, bound: &flowkey::DepthProfile) -> boo
     p.0.iter().zip(bound.0.iter()).all(|(d, b)| d <= b)
 }
 
+/// Analytic relationship of a merge member's key `b` against a
+/// destination child `c` that shares its chain step under the anchor —
+/// the merge analogue of `splice_against_child`'s case analysis, and
+/// like it computed with pure profile arithmetic plus rolling hashes:
+/// no chain is ever walked key-by-key.
+enum StepRel {
+    /// The step-hash match was a 64-bit collision (the true join sits
+    /// at or above the anchor): keep scanning siblings.
+    Collision,
+    /// `b` lies on `c`'s chain above it; carries the hash of `c`'s
+    /// step under `b`.
+    SpliceAbove(u64),
+    /// `c` is a chain ancestor of `b`; carries the hash of `b`'s step
+    /// under `c`.
+    Descend(u64),
+    /// The keys fork strictly below the anchor.
+    Fork {
+        /// The lowest common chain ancestor (the join key).
+        join: FlowKey,
+        join_hash: u64,
+        join_depth: u32,
+        /// Hash of `c`'s step under the join.
+        step_c: u64,
+        /// Hash of `b`'s step under the join.
+        step_b: u64,
+    },
+}
+
+/// Classifies `b` against `c` (see [`StepRel`]). Feature hierarchies
+/// are laminar, so the chains meet exactly where the schedule-evolved
+/// depth profiles coincide and every per-dimension feature join is deep
+/// enough — `u16` arithmetic; the one or two keys a restructure needs
+/// are materialized from the recorded profiles, and step hashes under
+/// retained nodes roll from stored hashes with two single-feature
+/// hashes. `b`'s schedule comes pre-replayed from the memo
+/// (`seq_b[s]` = `b`'s profile after `s` schedule steps), so only `c`'s
+/// side is replayed here.
+#[allow(clippy::too_many_arguments)]
+fn classify_step(
+    schema: &Schema,
+    a_depth: u32,
+    c_key: &FlowKey,
+    c_hash: u64,
+    c_depth: u32,
+    b_key: &FlowKey,
+    b_depth: u32,
+    seq_b: &[flowkey::DepthProfile],
+) -> StepRel {
+    #[inline]
+    fn step_down(schema: &Schema, p: &mut flowkey::DepthProfile) {
+        let dim = schema.next_chain_dim(p).expect("profile has depth left");
+        p.0[dim.index()] -= 1;
+    }
+
+    let agree = b_key.agreement_profile(c_key);
+    let mut pc = flowkey::DepthProfile::of(c_key);
+    // `c`'s profile one schedule step below the current position — the
+    // chain profile at `join_depth + 1`, where a re-attached `c` step
+    // key lives.
+    let mut pc_prev = pc;
+    let mut dc = c_depth;
+    while dc > b_depth {
+        pc_prev = pc;
+        step_down(schema, &mut pc);
+        dc -= 1;
+    }
+    // Common depth from here on; `b`'s side reads off the memo.
+    let mut d = dc.min(b_depth);
+    loop {
+        let pb = &seq_b[(b_depth - d) as usize];
+        if *pb == pc && profile_fits(pb, &agree) {
+            break;
+        }
+        debug_assert!(d > 0, "chains must meet at the root");
+        pc_prev = pc;
+        step_down(schema, &mut pc);
+        d -= 1;
+    }
+    let join_depth = d;
+    if join_depth <= a_depth {
+        return StepRel::Collision;
+    }
+    let pb = &seq_b[(b_depth - join_depth) as usize];
+    debug_assert_eq!(
+        schema.lcca(b_key, c_key),
+        b_key.at_profile(pb),
+        "analytic join must match the chain-walking LCCA"
+    );
+    if join_depth == b_depth {
+        // `b` is `c`'s chain ancestor: `c`'s step under `b` comes from
+        // the recorded profile (one key build + one hash).
+        return StepRel::SpliceAbove(key_hash(&c_key.at_profile(&pc_prev)));
+    }
+    let pb_prev = &seq_b[(b_depth - join_depth - 1) as usize];
+    let (dim, feat_depth) = diff_dim(pb, pb_prev);
+    if join_depth == c_depth {
+        // `c` is `b`'s chain ancestor: roll `b`'s step hash from `c`'s
+        // stored key hash (the step specializes exactly one dimension).
+        let step_b = c_hash
+            .wrapping_sub(flowkey::dim_hash(c_key, dim))
+            .wrapping_add(flowkey::dim_hash_at(b_key, dim, feat_depth));
+        debug_assert_eq!(
+            step_b,
+            key_hash(&schema.chain_ancestor(b_key, c_depth + 1)),
+            "rolled step hash is exact"
+        );
+        return StepRel::Descend(step_b);
+    }
+    let join = b_key.at_profile(pb);
+    let join_hash = key_hash(&join);
+    let step_b = join_hash
+        .wrapping_sub(flowkey::dim_hash(&join, dim))
+        .wrapping_add(flowkey::dim_hash_at(b_key, dim, feat_depth));
+    StepRel::Fork {
+        join,
+        join_hash,
+        join_depth,
+        step_c: key_hash(&c_key.at_profile(&pc_prev)),
+        step_b,
+    }
+}
+
 /// The self-adjusting flow summary of Saidi et al. (SIGCOMM 2018).
 ///
 /// See the crate-level docs for the design. Typical use:
@@ -287,13 +431,19 @@ pub struct FlowTree {
     /// Scratch prefix chain of the key being inserted (reused across
     /// misses).
     chain_a: Vec<(FlowKey, u64)>,
-    /// Memoized profile schedule: the starting profile it was built
-    /// for, plus every intermediate profile down to the root. Reused
-    /// across misses — consecutive trace keys almost always share one
-    /// profile shape.
-    seq_profile: Option<flowkey::DepthProfile>,
-    seq_scratch: Vec<flowkey::DepthProfile>,
+    /// Memoized profile schedules, most-recently-used first: each
+    /// entry maps a starting depth profile to every intermediate
+    /// profile down to the root. A small LRU rather than a single
+    /// entry, so merge-heavy workloads with mixed key shapes (v4 and
+    /// v6, full and partial tuples) do not rebuild the schedule on
+    /// every alternation.
+    seq_lru: Vec<(flowkey::DepthProfile, Vec<flowkey::DepthProfile>)>,
 }
+
+/// Capacity of the profile-schedule memo. Real traffic rotates through
+/// a handful of key shapes (v4/v6 × full/partial tuples); eight covers
+/// the mixes seen in the traces while keeping the linear probe trivial.
+const SEQ_LRU_CAP: usize = 8;
 
 impl FlowTree {
     /// Creates an empty Flowtree (just the all-wildcard root).
@@ -336,9 +486,34 @@ impl FlowTree {
             total: Popularity::ZERO,
             stats: Stats::default(),
             chain_a: Vec::new(),
-            seq_profile: None,
-            seq_scratch: Vec::new(),
+            seq_lru: Vec::new(),
         }
+    }
+
+    /// Takes the memoized profile schedule for `profile` out of the
+    /// LRU, building it (and counting a [`Stats::profile_builds`]) on a
+    /// miss. The caller returns the buffer via [`FlowTree::put_seq`] so
+    /// it can be reused while `self` stays mutably borrowable.
+    fn take_seq(&mut self, profile: flowkey::DepthProfile) -> Vec<flowkey::DepthProfile> {
+        if let Some(i) = self.seq_lru.iter().position(|(p, _)| *p == profile) {
+            return self.seq_lru.remove(i).1;
+        }
+        // Miss: evict the least-recently-used entry and reuse its
+        // buffer when the memo is full.
+        let mut seq = if self.seq_lru.len() >= SEQ_LRU_CAP {
+            self.seq_lru.pop().expect("memo is full").1
+        } else {
+            Vec::new()
+        };
+        self.stats.profile_builds += 1;
+        build_profile_seq(&self.schema, profile, &mut seq);
+        seq
+    }
+
+    /// Returns a schedule taken by [`FlowTree::take_seq`], marking it
+    /// most recently used.
+    fn put_seq(&mut self, profile: flowkey::DepthProfile, seq: Vec<flowkey::DepthProfile>) {
+        self.seq_lru.insert(0, (profile, seq));
     }
 
     /// Creates a Flowtree with the paper's evaluation configuration
@@ -515,11 +690,7 @@ impl FlowTree {
 
         let schema = self.schema;
         let profile = flowkey::DepthProfile::of(&key);
-        let mut seq = std::mem::take(&mut self.seq_scratch);
-        if self.seq_profile != Some(profile) {
-            build_profile_seq(&schema, profile, &mut seq);
-            self.seq_profile = Some(profile);
-        }
+        let seq = self.take_seq(profile);
         let mut prefix = std::mem::take(&mut self.chain_a);
         prefix.clear();
 
@@ -554,7 +725,7 @@ impl FlowTree {
         };
         let nid = self.splice_with_ctx(key, hash, pop, anchor, &ctx);
         self.chain_a = prefix;
-        self.seq_scratch = seq;
+        self.put_seq(profile, seq);
         nid
     }
 
@@ -763,11 +934,7 @@ impl FlowTree {
             self.stats.misses += 1;
             let schema = self.schema;
             let profile = flowkey::DepthProfile::of(&key);
-            let mut seq = std::mem::take(&mut self.seq_scratch);
-            if self.seq_profile != Some(profile) {
-                build_profile_seq(&schema, profile, &mut seq);
-                self.seq_profile = Some(profile);
-            }
+            let seq = self.take_seq(profile);
             let mut chain = std::mem::take(&mut self.chain_a);
             chain.clear();
             let mut anchor = None;
@@ -791,7 +958,7 @@ impl FlowTree {
             };
             self.splice_with_ctx(key, hash, pop, anchor, &ctx);
             self.chain_a = chain;
-            self.seq_scratch = seq;
+            self.put_seq(profile, seq);
         }
         if self.live > self.cfg.node_budget {
             self.compact();
@@ -804,10 +971,144 @@ impl FlowTree {
 
     /// Adds every node mass of `other` into `self` (the paper's `merge`:
     /// "adding the nodes of A to B ... the update is only done on the
-    /// complementary popularities"). Compacts once at the end. Key
-    /// hashes stored on `other`'s nodes are reused — merging never
-    /// re-hashes a key.
+    /// complementary popularities"). Compacts once at the end.
+    ///
+    /// The merge is **structural**: both trees embed in the same
+    /// canonical trie, so matching nodes are settled by one hash-join
+    /// sweep (a single index probe per source node, reusing the hashes
+    /// stored on `other`), and only the nodes genuinely absent from
+    /// `self` run placement — attached directly under their
+    /// already-placed source parent at the stored sibling step, with
+    /// splice/branch restructures computed analytically. No node pays
+    /// the insert path's longest-matching-parent search (kept as
+    /// [`FlowTree::merge_elementwise`] for benchmarks and differential
+    /// tests; both produce byte-identical encodings when no compaction
+    /// interferes).
     pub fn merge(&mut self, other: &FlowTree) -> Result<(), TreeError> {
+        self.merge_many(std::slice::from_ref(&other))
+    }
+
+    /// The k-way structural merge: adds every node mass of each tree in
+    /// `others` into `self` in **one** co-traversal, instead of k
+    /// sequential merges — a collector answering a 100-window query
+    /// merges all 100 summaries in a single pass. Equivalent to folding
+    /// [`FlowTree::merge`] over `others` (byte-identical encodings when
+    /// no compaction interferes), with the budget checked once at the
+    /// end, so the tree may transiently exceed its budget by the total
+    /// input size, exactly as [`FlowTree::insert_batch`] does.
+    pub fn merge_many(&mut self, others: &[&FlowTree]) -> Result<(), TreeError> {
+        for o in others {
+            if self.schema != o.schema {
+                return Err(TreeError::SchemaMismatch);
+            }
+        }
+        for o in others {
+            self.merge_structural(o);
+        }
+        if self.live > self.cfg.node_budget {
+            self.compact();
+        }
+        Ok(())
+    }
+
+    /// One structural merge pass (schema already checked, no budget
+    /// check): a **hash-join phase** — one sequential sweep of the
+    /// source arena, one index probe per node with its stored hash;
+    /// hits add masses node-wise, exactly the work an element-wise hit
+    /// pays — followed by a **placement phase** that visits only the
+    /// missed nodes in topological order and attaches each directly
+    /// under its already-placed parent at the stored sibling step hash:
+    /// no longest-matching-parent search, no probe-and-descend, and
+    /// splice/join restructures computed with the analytic profile
+    /// arithmetic of [`classify_step`]. A merge between similar trees
+    /// degenerates to the probe sweep; a merge of disjoint trees
+    /// degenerates to a linear copy.
+    fn merge_structural(&mut self, o: &FlowTree) {
+        self.total += o.total;
+        let n = o.nodes.len();
+        // A-node id holding each source node's key (pass 1 hits and
+        // pass 2 creations).
+        let mut placed: Vec<u32> = vec![NIL; n];
+        let mut misses = 0usize;
+        for (i, b) in o.nodes.iter().enumerate() {
+            if !b.alive {
+                continue;
+            }
+            if let Some(id) = self.lookup(&b.key, b.key_hash) {
+                self.clock += 1;
+                let touch = self.clock;
+                let node = &mut self.nodes[id as usize];
+                node.comp += b.comp;
+                node.touch = touch;
+                placed[i] = id;
+            } else {
+                misses += 1;
+            }
+        }
+        if misses == 0 {
+            return;
+        }
+
+        let mask = o.subtree_mass_mask();
+        // For a source node that was neither matched nor created
+        // (zero-mass or pass-through), the anchor its children inherit,
+        // and the step they use there (the skipped node's own step:
+        // their chains all pass through it). A non-NIL anchor doubles
+        // as the "resolved but skipped" marker.
+        let mut anchor_of: Vec<u32> = vec![NIL; n];
+        let mut step_of: Vec<u64> = vec![0; n];
+        // Placement needs parents resolved first, but arena order is
+        // not topological (joins allocate after their children), so
+        // resolve on demand: climb the chain of unresolved ancestors
+        // and place it top-down. Each node is pushed exactly once
+        // across the sweep — amortized linear, no DFS pass.
+        let mut stack: Vec<u32> = Vec::new();
+        for i in 0..n {
+            if !o.nodes[i].alive || placed[i] != NIL || anchor_of[i] != NIL {
+                continue;
+            }
+            let mut j = i as u32;
+            loop {
+                // The root always hits (every tree retains the root
+                // key), so a missed node has a parent.
+                let p = o.nodes[j as usize].parent;
+                debug_assert_ne!(p, NIL);
+                stack.push(j);
+                if placed[p as usize] != NIL || anchor_of[p as usize] != NIL {
+                    break;
+                }
+                j = p;
+            }
+            while let Some(k) = stack.pop() {
+                let b = &o.nodes[k as usize];
+                let p = b.parent as usize;
+                let (anchor, step) = if placed[p] != NIL {
+                    (placed[p], b.step_hash)
+                } else {
+                    (anchor_of[p], step_of[p])
+                };
+                // Materialize the node iff the element-wise loop
+                // would: it carries mass, or it is a join of ≥ 2 massy
+                // subtrees (which re-inserting the masses would
+                // recreate at the same key). Everything else is
+                // skipped and its children inherit the anchor.
+                if b.comp.is_zero() && !Self::is_surviving_join(o, &mask, k) {
+                    anchor_of[k as usize] = anchor;
+                    step_of[k as usize] = step;
+                } else {
+                    placed[k as usize] =
+                        self.place_single(anchor, b.key, b.key_hash, b.depth, b.comp, step);
+                }
+            }
+        }
+    }
+
+    /// Reference implementation of the pre-structural merge: one
+    /// hash-probe insert per live source node. Kept for benchmarks and
+    /// the differential property tests that pin [`FlowTree::merge`] /
+    /// [`FlowTree::merge_many`] to it.
+    #[doc(hidden)]
+    pub fn merge_elementwise(&mut self, other: &FlowTree) -> Result<(), TreeError> {
         if self.schema != other.schema {
             return Err(TreeError::SchemaMismatch);
         }
@@ -820,6 +1121,190 @@ impl FlowTree {
             self.compact();
         }
         Ok(())
+    }
+
+    /// `mask[id]` = the subtree rooted at `id` holds any nonzero mass
+    /// (negative diff masses count). Returns the **empty** vector for
+    /// the common fully-massy case — every zero-mass node is a join of
+    /// ≥ 2 subtrees that all carry mass — which [`FlowTree::effective`]
+    /// treats as "no filtering needed", skipping both this pass and the
+    /// per-child mask reads. Trees built by inserts and merges are
+    /// always fully massy; only diff trees (zero-cancelled masses) and
+    /// hand-built streams need the real mask.
+    fn subtree_mass_mask(&self) -> Vec<bool> {
+        // The root is exempt: it is handled directly by `merge_many`,
+        // never routed through `effective` (and it legitimately sits
+        // zero-massed above a single child on single-prefix traffic).
+        let filtering_needed = self.nodes.iter().enumerate().any(|(i, n)| {
+            n.alive
+                && i as u32 != self.root
+                && n.comp.is_zero()
+                && (n.first_child == NIL || self.nodes[n.first_child as usize].next_sibling == NIL)
+        });
+        if !filtering_needed {
+            return Vec::new();
+        }
+        let order = self.preorder();
+        let mut mask = vec![false; self.capacity()];
+        for &id in order.iter().rev() {
+            let node = &self.nodes[id as usize];
+            if !node.comp.is_zero() {
+                mask[id as usize] = true;
+            }
+            if mask[id as usize] && node.parent != NIL {
+                mask[node.parent as usize] = true;
+            }
+        }
+        mask
+    }
+
+    /// Whether a zero-mass source node would be recreated as a join by
+    /// the element-wise loop: ≥ 2 of its child subtrees carry mass (so
+    /// re-inserting their keys branches exactly at this node's key).
+    /// An empty `mask` means the source is fully massy (see
+    /// [`FlowTree::subtree_mass_mask`]): every zero-mass node is such
+    /// a join by construction.
+    fn is_surviving_join(o: &FlowTree, mask: &[bool], id: u32) -> bool {
+        if mask.is_empty() {
+            return true;
+        }
+        let mut massy = 0u32;
+        let mut c = o.nodes[id as usize].first_child;
+        while c != NIL {
+            if mask[c as usize] {
+                massy += 1;
+                if massy >= 2 {
+                    return true;
+                }
+            }
+            c = o.nodes[c as usize].next_sibling;
+        }
+        false
+    }
+
+    /// Creates the node for a missed key and splices it in under
+    /// `anchor` (a retained chain ancestor) at `step` (the key's chain
+    /// step hash at `anchor.depth + 1`): the sibling scan either finds
+    /// the step free (direct attach — the common case for new
+    /// subtrees, whose parents were just placed), descends through a
+    /// retained ancestor, splices above a deeper child, or branches at
+    /// the analytic LCCA. Step-hash matches are confirmed by the LCCA
+    /// depth, so 64-bit collisions degrade to extra sibling scanning,
+    /// never to a wrong tree. Returns the new node's id.
+    fn place_single(
+        &mut self,
+        anchor: u32,
+        b_key: FlowKey,
+        b_hash: u64,
+        b_depth: u32,
+        b_comp: Popularity,
+        step: u64,
+    ) -> u32 {
+        // The memoized schedule of `b`'s shape, pulled lazily on the
+        // first sibling conflict (direct attaches never need it) and
+        // returned to the LRU on exit.
+        let mut seq_b: Option<Vec<flowkey::DepthProfile>> = None;
+        let nid = self.place_single_inner(anchor, b_key, b_hash, b_depth, b_comp, step, &mut seq_b);
+        if let Some(seq) = seq_b {
+            self.put_seq(flowkey::DepthProfile::of(&b_key), seq);
+        }
+        nid
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn place_single_inner(
+        &mut self,
+        anchor: u32,
+        b_key: FlowKey,
+        b_hash: u64,
+        b_depth: u32,
+        b_comp: Popularity,
+        step: u64,
+        seq_b: &mut Option<Vec<flowkey::DepthProfile>>,
+    ) -> u32 {
+        let schema = self.schema;
+        // `(anchor, step)` evolve as the key descends through retained
+        // ancestors; each level re-enters the sibling scan.
+        let mut a_id = anchor;
+        let mut step = step;
+        'descend: loop {
+            let (a_depth, mut cur) = {
+                let a = &self.nodes[a_id as usize];
+                (a.depth, a.first_child)
+            };
+            while cur != NIL {
+                // Touch only the step hash and link on mismatching
+                // siblings; the key is copied out on a hash match.
+                let next = self.nodes[cur as usize].next_sibling;
+                if self.nodes[cur as usize].step_hash == step {
+                    let (c_key, c_hash, c_depth) = {
+                        let c = &self.nodes[cur as usize];
+                        (c.key, c.key_hash, c.depth)
+                    };
+                    // Key equality was settled by the hash-join probe.
+                    debug_assert_ne!(c_key, b_key, "matched keys never reach placement");
+                    let seq = seq_b
+                        .get_or_insert_with(|| self.take_seq(flowkey::DepthProfile::of(&b_key)));
+                    match classify_step(
+                        &schema, a_depth, &c_key, c_hash, c_depth, &b_key, b_depth, seq,
+                    ) {
+                        StepRel::Collision => {
+                            // Keep scanning the remaining siblings.
+                        }
+                        StepRel::SpliceAbove(step_c) => {
+                            // The key lies on the child's chain above
+                            // it: splice between anchor and child.
+                            self.clock += 1;
+                            let nid = self.alloc(b_key, b_hash, b_depth, b_comp);
+                            self.index.insert(b_hash, nid);
+                            self.stats.grafted_nodes += 1;
+                            self.detach(cur);
+                            self.attach(nid, a_id, step);
+                            self.attach(cur, nid, step_c);
+                            return nid;
+                        }
+                        StepRel::Descend(step_b) => {
+                            // The child is a retained chain ancestor of
+                            // the key: descend into it.
+                            a_id = cur;
+                            step = step_b;
+                            continue 'descend;
+                        }
+                        StepRel::Fork {
+                            join,
+                            join_hash,
+                            join_depth,
+                            step_c,
+                            step_b,
+                        } => {
+                            // The keys fork below the anchor: branch at
+                            // their lowest common chain ancestor.
+                            self.clock += 1;
+                            let jid = self.alloc(join, join_hash, join_depth, Popularity::ZERO);
+                            self.index.insert(join_hash, jid);
+                            self.stats.joins_created += 1;
+                            self.detach(cur);
+                            self.attach(jid, a_id, step);
+                            self.attach(cur, jid, step_c);
+                            self.clock += 1;
+                            let nid = self.alloc(b_key, b_hash, b_depth, b_comp);
+                            self.index.insert(b_hash, nid);
+                            self.stats.grafted_nodes += 1;
+                            self.attach(nid, jid, step_b);
+                            return nid;
+                        }
+                    }
+                }
+                cur = next;
+            }
+            // The step is free: attach directly — zero probes.
+            self.clock += 1;
+            let nid = self.alloc(b_key, b_hash, b_depth, b_comp);
+            self.index.insert(b_hash, nid);
+            self.stats.grafted_nodes += 1;
+            self.attach(nid, a_id, step);
+            return nid;
+        }
     }
 
     /// Subtracts every node mass of `other` from `self` (the paper's
@@ -1016,19 +1501,40 @@ impl FlowTree {
         }
     }
 
+    /// Links `child` under `parent`, keeping the sibling list sorted by
+    /// `(step_hash, key)`. The order is **canonical**: it depends only
+    /// on the node set, never on arrival order, so any two trees
+    /// holding the same nodes store — and therefore wire-encode — them
+    /// identically. Structural merges co-walk these ordered lists, and
+    /// the byte-identity guarantees of `merge_many`/sharded folds rest
+    /// on this invariant (checked by [`FlowTree::validate`]).
     fn attach(&mut self, child: u32, parent: u32, step_hash: u64) {
-        let head = self.nodes[parent as usize].first_child;
+        let child_key = self.nodes[child as usize].key;
+        let mut prev = NIL;
+        let mut cur = self.nodes[parent as usize].first_child;
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            if n.step_hash > step_hash || (n.step_hash == step_hash && n.key > child_key) {
+                break;
+            }
+            prev = cur;
+            cur = n.next_sibling;
+        }
         {
             let c = &mut self.nodes[child as usize];
             c.parent = parent;
             c.step_hash = step_hash;
-            c.prev_sibling = NIL;
-            c.next_sibling = head;
+            c.prev_sibling = prev;
+            c.next_sibling = cur;
         }
-        if head != NIL {
-            self.nodes[head as usize].prev_sibling = child;
+        if prev == NIL {
+            self.nodes[parent as usize].first_child = child;
+        } else {
+            self.nodes[prev as usize].next_sibling = child;
         }
-        self.nodes[parent as usize].first_child = child;
+        if cur != NIL {
+            self.nodes[cur as usize].prev_sibling = child;
+        }
     }
 
     fn detach(&mut self, id: u32) {
@@ -1225,16 +1731,25 @@ impl FlowTree {
                 let step = self.schema.chain_ancestor(&n.key, p.depth + 1);
                 assert_eq!(n.step_hash, key_hash(&step), "stale step hash at {}", n.key);
             }
-            // Sibling-step uniqueness and linkage.
+            // Sibling-step uniqueness, linkage, and canonical order.
             let mut steps = std::collections::HashSet::new();
             let mut c = n.first_child;
             let mut prev = NIL;
+            let mut last: Option<(u64, FlowKey)> = None;
             while c != NIL {
                 let ch = &self.nodes[c as usize];
                 assert_eq!(ch.parent, id, "child link broken at {}", ch.key);
                 assert_eq!(ch.prev_sibling, prev, "prev link broken at {}", ch.key);
                 let step = self.schema.chain_ancestor(&ch.key, n.depth + 1);
                 assert!(steps.insert(step), "duplicate sibling step under {}", n.key);
+                if let Some(l) = last {
+                    assert!(
+                        (ch.step_hash, ch.key) > l,
+                        "siblings out of canonical order under {}",
+                        n.key
+                    );
+                }
+                last = Some((ch.step_hash, ch.key));
                 prev = c;
                 c = ch.next_sibling;
             }
@@ -1251,6 +1766,48 @@ impl FlowTree {
     /// Looks up a node id by key (for crate-internal query paths).
     pub(crate) fn node_id(&self, key: &FlowKey) -> Option<u32> {
         self.lookup(key, key_hash(key))
+    }
+
+    /// Decode fast path: records a node whose claimed parent the codec
+    /// has already validated as a canonical-chain ancestor, attaching
+    /// directly at `step_hash` (the key's chain step under that parent)
+    /// when the step is free — no parent-search probes or descent. Any
+    /// retained node whose chain shares the step lives inside the
+    /// step's child subtree, so a free step proves the parent is the
+    /// longest matching parent and no join is needed; a step conflict
+    /// (indirect-ancestor stream, join required) falls back to the
+    /// general insert path, preserving the decoder's acceptance
+    /// semantics. Returns `None` if `key` is already present (hostile
+    /// duplicate).
+    pub(crate) fn attach_decoded(
+        &mut self,
+        key: FlowKey,
+        depth: u32,
+        comp: Popularity,
+        parent: u32,
+        step_hash: u64,
+    ) -> Option<u32> {
+        debug_assert_eq!(depth, self.schema.depth(&key));
+        let hash = key_hash(&key);
+        if self.lookup(&key, hash).is_some() {
+            return None;
+        }
+        let mut c = self.nodes[parent as usize].first_child;
+        while c != NIL {
+            let n = &self.nodes[c as usize];
+            if n.step_hash == step_hash {
+                return Some(self.add_mass_hashed(key, hash, comp));
+            }
+            c = n.next_sibling;
+        }
+        self.clock += 1;
+        self.stats.inserts += 1;
+        self.stats.misses += 1;
+        self.total += comp;
+        let nid = self.alloc(key, hash, depth, comp);
+        self.index.insert(hash, nid);
+        self.attach(nid, parent, step_hash);
+        Some(nid)
     }
 
     /// Rebuilds a tree from `(key, comp)` masses (used by serde and the
