@@ -120,6 +120,7 @@ fn main() {
                     },
                     seq: w as u64,
                     kind: SummaryKind::Full,
+                    provenance: None,
                     tree,
                 })
                 .expect("valid summary");
@@ -137,6 +138,7 @@ fn main() {
                     },
                     seq: (windows + i) as u64,
                     kind: SummaryKind::Full,
+                    provenance: None,
                     tree: build_window(&mut tracegen),
                 })
                 .collect::<Vec<_>>()

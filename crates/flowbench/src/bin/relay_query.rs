@@ -1,0 +1,242 @@
+//! E14 — root-scope query latency: flat fan-out vs a 2-tier hierarchy.
+//!
+//! The hierarchy's point (Flowyager, TNSM 2020): a network-wide query
+//! at a flat collector re-merges `windows × sites` per-site trees; a
+//! root relay holds **one pre-aggregated tree per (window, region)**,
+//! so the same query merges `windows × groups` — the per-site merging
+//! already happened once, at export time, down in the tier.
+//!
+//! For each `--sites` count (default sweep 8, 32, 128) this benchmark
+//! builds the same per-(site, window) summaries from one Zipf trace,
+//! feeds them to a flat collector **and** through a
+//! [`flowrelay::RelayTopology::two_tier`] hierarchy (√N fan-out), then
+//! times `--reps` repetitions of the full-scope heavy-hitter query:
+//!
+//! * `flat/merge` — merge all `W × N` site trees per query (the flat
+//!   fan-out cost a collector pays without a view cache);
+//! * `root/aggregated` — merge the root's `W × √N` aggregates per
+//!   query;
+//! * `flat/cached_view` and `root/cached_view` — the same two through
+//!   the cached-view layer (steady-state dashboards).
+//!
+//! Answers are asserted identical across paths before anything is
+//! timed into a row. Results append as a `"relay_query"` section to
+//! `BENCH_query.json` (run `merge_query` first: it rewrites the file
+//! wholesale).
+//!
+//! ```sh
+//! cargo run --release -p flowbench --bin relay_query -- \
+//!     --sites 8,32,128 --windows 12 --packets 1000 --reps 5 \
+//!     --json BENCH_query.json
+//! ```
+
+use flowbench::{Args, Table};
+use flowdist::{Collector, Summary, SummaryKind, WindowId};
+use flowkey::{FlowKey, Schema};
+use flowrelay::{Relay, RelayTopology};
+use flowtrace::{profile, TraceGen};
+use flowtree_core::{Config, FlowTree, Metric, Popularity};
+use std::time::Instant;
+
+struct BenchRow {
+    sites: u16,
+    groups: usize,
+    path: &'static str,
+    ms_per_query: f64,
+    speedup_vs_flat: f64,
+}
+
+fn hhh_count(tree: &FlowTree) -> usize {
+    tree.hhh(0.01, Metric::Packets).len()
+}
+
+fn main() {
+    let args = Args::from_env();
+    let sites_list: String = args.get("sites").unwrap_or_else(|| "8,32,128".into());
+    let windows: usize = args.get("windows").unwrap_or(12).max(1);
+    let packets_per_window: u64 = args.get("packets").unwrap_or(1_000).max(1);
+    let reps: usize = args.get("reps").unwrap_or(5).max(2);
+    let seed: u64 = args.get("seed").unwrap_or(42);
+    let json_path: String = args
+        .get("json")
+        .unwrap_or_else(|| "BENCH_query.json".into());
+    let sweep: Vec<u16> = sites_list
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+
+    let schema = Schema::five_feature();
+    let window_budget = 2_048usize;
+    let merged_budget = 1usize << 20;
+    let span_ms = 1_000u64;
+    let mut rows: Vec<BenchRow> = Vec::new();
+
+    for &sites in &sweep {
+        let fanout = (sites as f64).sqrt().ceil() as u16;
+        let topo = RelayTopology::two_tier(sites, fanout);
+        topo.validate().expect("two_tier builds valid topologies");
+        let groups = topo.relays.len() - 1;
+        println!(
+            "\n== E14 setup: {sites} sites × {windows} windows × {packets_per_window} packets, \
+             {groups} groups of ≤{fanout} =="
+        );
+
+        // One shared Zipf population chopped into (window, site) chunks.
+        let mut cfg = profile::backbone(seed);
+        cfg.packets = windows as u64 * sites as u64 * packets_per_window;
+        cfg.flows = (cfg.packets / 4).max(1);
+        let mut tracegen = TraceGen::new(cfg);
+        let mut chunk: Vec<(FlowKey, Popularity)> = Vec::with_capacity(packets_per_window as usize);
+        let mut build_window = |tg: &mut TraceGen| {
+            chunk.clear();
+            while chunk.len() < packets_per_window as usize {
+                let Some(p) = tg.next() else { break };
+                chunk.push((p.flow_key(), Popularity::packet(p.wire_len)));
+            }
+            let mut tree = FlowTree::new(schema, Config::with_budget(window_budget));
+            tree.insert_batch(&chunk);
+            tree
+        };
+
+        let mut flat = Collector::new(schema, Config::with_budget(merged_budget));
+        let mut relays: Vec<Relay> = (0..topo.relays.len())
+            .map(|i| Relay::from_topology(&topo, i, schema, Config::with_budget(merged_budget)))
+            .collect();
+        let root = topo.root();
+        for w in 0..windows {
+            for s in 0..sites {
+                let summary = Summary {
+                    site: s,
+                    window: WindowId {
+                        start_ms: w as u64 * span_ms,
+                        span_ms,
+                    },
+                    seq: w as u64 + 1,
+                    kind: SummaryKind::Full,
+                    provenance: None,
+                    tree: build_window(&mut tracegen),
+                };
+                let owner = topo.owner_of(s).expect("two_tier covers the sweep");
+                relays[owner]
+                    .apply(summary.clone())
+                    .expect("in-coverage site frame");
+                flat.apply(summary).expect("valid summary");
+            }
+        }
+        for g in 0..relays.len() {
+            if g == root {
+                continue;
+            }
+            for e in relays[g].flush_exports() {
+                relays[root]
+                    .ingest_frame(&e.encode())
+                    .expect("child aggregate accepted");
+            }
+        }
+
+        // The answer must not depend on the tier answering.
+        let reference = hhh_count(&flat.merged(None, 0, u64::MAX));
+        let via_root = hhh_count(&relays[root].collector().merged(None, 0, u64::MAX));
+        assert_eq!(reference, via_root, "hierarchy changed the answer");
+
+        let time_path = |name: &'static str, f: &mut dyn FnMut() -> usize| {
+            let start = Instant::now();
+            for _ in 0..reps {
+                assert_eq!(f(), reference, "{name} changed the answer");
+            }
+            start.elapsed().as_secs_f64() * 1e3 / reps as f64
+        };
+
+        let flat_ms = time_path("flat/merge", &mut || {
+            hhh_count(&flat.merged(None, 0, u64::MAX))
+        });
+        let root_collector = relays[root].collector();
+        let root_ms = time_path("root/aggregated", &mut || {
+            hhh_count(&root_collector.merged(None, 0, u64::MAX))
+        });
+        let flat_cached_ms = time_path("flat/cached_view", &mut || {
+            hhh_count(&flat.merged_view(None, 0, u64::MAX))
+        });
+        let root_cached_ms = time_path("root/cached_view", &mut || {
+            hhh_count(&root_collector.merged_view(None, 0, u64::MAX))
+        });
+
+        for (path, ms) in [
+            ("flat/merge", flat_ms),
+            ("root/aggregated", root_ms),
+            ("flat/cached_view", flat_cached_ms),
+            ("root/cached_view", root_cached_ms),
+        ] {
+            rows.push(BenchRow {
+                sites,
+                groups,
+                path,
+                ms_per_query: ms,
+                speedup_vs_flat: flat_ms / ms,
+            });
+        }
+    }
+
+    println!("\n== E14: root-scope HHH query latency ==\n");
+    let t = Table::new(&["sites", "groups", "path", "ms/query", "speedup vs flat"]);
+    for r in &rows {
+        t.row(&[
+            &r.sites.to_string(),
+            &r.groups.to_string(),
+            r.path,
+            &format!("{:.2}", r.ms_per_query),
+            &format!("{:.2}x", r.speedup_vs_flat),
+        ]);
+    }
+
+    // ---- append the relay_query section to BENCH_query.json ----------
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let mut body = String::new();
+    body.push_str("    \"bench\": \"relay_query\",\n");
+    body.push_str(&format!("    \"windows\": {windows},\n"));
+    body.push_str(&format!(
+        "    \"packets_per_window\": {packets_per_window},\n"
+    ));
+    body.push_str(&format!("    \"reps\": {reps},\n"));
+    body.push_str(&format!("    \"host_cores\": {cores},\n"));
+    body.push_str("    \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "      {{\"sites\": {}, \"groups\": {}, \"path\": \"{}\", \
+             \"ms_per_query\": {:.3}, \"speedup_vs_flat\": {:.3}}}{}\n",
+            r.sites,
+            r.groups,
+            r.path,
+            r.ms_per_query,
+            r.speedup_vs_flat,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    body.push_str("    ]\n");
+    let section = format!("  \"relay_query\": {{\n{body}  }}\n");
+    // `merge_query` owns the file's top-level object; this bin only
+    // replaces (or appends) its own section.
+    let out = match std::fs::read_to_string(&json_path) {
+        Ok(existing) => {
+            let base = match existing.find(",\n  \"relay_query\":") {
+                Some(i) => existing[..i].to_string(),
+                None => existing
+                    .trim_end()
+                    .strip_suffix('}')
+                    .map(|s| s.trim_end().to_string())
+                    .unwrap_or_default(),
+            };
+            if base.trim().is_empty() || !base.trim_start().starts_with('{') {
+                format!("{{\n{section}}}\n")
+            } else {
+                format!("{base},\n{section}}}\n")
+            }
+        }
+        Err(_) => format!("{{\n{section}}}\n"),
+    };
+    match std::fs::write(&json_path, &out) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => eprintln!("\ncould not write {json_path}: {e}"),
+    }
+}

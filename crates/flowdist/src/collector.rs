@@ -23,8 +23,16 @@
 //!   **evicting** pairs ([`Collector::evict_windows_before`]) bumps the
 //!   collector epoch, which invalidates *every* cached view; the next
 //!   query rebuilds its view from the stored trees.
-//! * The cache holds at most [`VIEW_CACHE_CAP`] views; the
-//!   least-recently-used entry is dropped beyond that.
+//! * Cache **memory** is bounded by the total number of tree *nodes*
+//!   held across entries ([`Collector::set_view_node_budget`], default
+//!   [`DEFAULT_VIEW_NODE_BUDGET`]) — not primarily by entry count,
+//!   since one thousand-window view dwarfs a hundred small ones.
+//!   Least-recently-used entries are dropped until the total fits; a
+//!   single view larger than the whole budget is not cached at all;
+//!   and a secondary [`VIEW_CACHE_MAX_ENTRIES`] cap bounds per-entry
+//!   overhead against floods of tiny distinct scopes.
+//!   [`Collector::view_cache_stats`] exposes the budget and the
+//!   hit/extend/rebuild/eviction counters.
 //!
 //! Views are handed out as `Arc<FlowTree>` snapshots: a query keeps
 //! reading its snapshot even if the cache refreshes behind it (the
@@ -62,8 +70,37 @@ impl TransferLedger {
     }
 }
 
-/// Cached merged views kept beyond this count evict least-recently-used.
-pub const VIEW_CACHE_CAP: usize = 8;
+/// Default bound on the **total tree nodes** held by cached merged
+/// views across all entries (≈ 100 B per node ⇒ on the order of
+/// 100 MiB of cached views).
+pub const DEFAULT_VIEW_NODE_BUDGET: usize = 1 << 20;
+
+/// Hard cap on cached-view **entries**, independent of the node
+/// budget: per-entry overhead (keys, applied-pair lists, map slots)
+/// is invisible to the node count, so a client sweeping many tiny
+/// scopes (every distinct time range is its own entry) must not
+/// accumulate unbounded entries under the node budget.
+pub const VIEW_CACHE_MAX_ENTRIES: usize = 64;
+
+/// Observable state of the merged-view cache (see the module docs for
+/// the caching rules it reflects).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ViewCacheStats {
+    /// Views currently cached.
+    pub entries: usize,
+    /// Total live tree nodes across cached views.
+    pub cached_nodes: usize,
+    /// The node budget those views are bounded by.
+    pub node_budget: usize,
+    /// Queries answered from a cached view as-is.
+    pub hits: u64,
+    /// Cached views extended incrementally with new windows.
+    pub extends: u64,
+    /// Views built (first use or after invalidation).
+    pub rebuilds: u64,
+    /// Entries dropped to fit the node budget or the entry cap.
+    pub evictions: u64,
+}
 
 /// Cache key: a normalized query scope.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -90,6 +127,39 @@ struct ViewEntry {
 struct ViewCache {
     entries: HashMap<ViewKey, ViewEntry>,
     clock: u64,
+    hits: u64,
+    extends: u64,
+    rebuilds: u64,
+    evictions: u64,
+}
+
+impl ViewCache {
+    fn cached_nodes(&self) -> usize {
+        self.entries.values().map(|e| e.tree.len()).sum()
+    }
+
+    /// Drops least-recently-used entries until both limits hold: the
+    /// cached node total fits `budget` and the entry count fits
+    /// [`VIEW_CACHE_MAX_ENTRIES`]. The just-touched entry (`keep`)
+    /// goes last — and goes too if it alone exceeds the budget.
+    fn enforce_budget(&mut self, budget: usize, keep: Option<&ViewKey>) {
+        while self.entries.len() > VIEW_CACHE_MAX_ENTRIES
+            || (!self.entries.is_empty() && self.cached_nodes() > budget)
+        {
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| keep.is_none_or(|kept| *k != kept))
+                .min_by_key(|(_, e)| e.touch)
+                .map(|(k, _)| k.clone())
+                .or_else(|| keep.cloned());
+            let Some(victim) = victim else {
+                break;
+            };
+            self.entries.remove(&victim);
+            self.evictions += 1;
+        }
+    }
 }
 
 /// The collector.
@@ -105,6 +175,8 @@ pub struct Collector {
     /// Bumped whenever a stored window is replaced or evicted — the
     /// events that invalidate cached merged views wholesale.
     epoch: u64,
+    /// Total cached-view nodes allowed (see the module docs).
+    view_node_budget: usize,
     /// Merged-view cache (interior mutability: queries take `&self`).
     views: Mutex<ViewCache>,
 }
@@ -119,6 +191,7 @@ impl Collector {
             last: BTreeMap::new(),
             ledger: TransferLedger::default(),
             epoch: 0,
+            view_node_budget: DEFAULT_VIEW_NODE_BUDGET,
             views: Mutex::new(ViewCache::default()),
         }
     }
@@ -126,6 +199,30 @@ impl Collector {
     /// Transfer bookkeeping.
     pub fn ledger(&self) -> &TransferLedger {
         &self.ledger
+    }
+
+    /// Bounds the merged-view cache to `nodes` total cached tree nodes
+    /// (existing entries are trimmed immediately).
+    pub fn set_view_node_budget(&mut self, nodes: usize) {
+        self.view_node_budget = nodes;
+        self.views
+            .lock()
+            .expect("view cache lock")
+            .enforce_budget(nodes, None);
+    }
+
+    /// A snapshot of the merged-view cache counters and its budget.
+    pub fn view_cache_stats(&self) -> ViewCacheStats {
+        let cache = self.views.lock().expect("view cache lock");
+        ViewCacheStats {
+            entries: cache.entries.len(),
+            cached_nodes: cache.cached_nodes(),
+            node_budget: self.view_node_budget,
+            hits: cache.hits,
+            extends: cache.extends,
+            rebuilds: cache.rebuilds,
+            evictions: cache.evictions,
+        }
     }
 
     /// Stored (window, site) count.
@@ -226,7 +323,7 @@ impl Collector {
 
     /// Bumps the epoch and drops every cached view eagerly — they are
     /// all stale, and holding them until the same scopes happen to be
-    /// re-queried would pin up to [`VIEW_CACHE_CAP`] merged trees.
+    /// re-queried would pin up to a full node budget of merged trees.
     fn invalidate_views(&mut self) {
         self.epoch += 1;
         self.views.lock().expect("view cache lock").entries.clear();
@@ -306,7 +403,8 @@ impl Collector {
                 None
             };
             if let Some(missing) = missing {
-                if !missing.is_empty() {
+                let extended = !missing.is_empty();
+                if extended {
                     let add: Vec<&FlowTree> = missing
                         .iter()
                         .map(|p| self.windows.get(p).expect("scoped pair is stored"))
@@ -317,7 +415,14 @@ impl Collector {
                     e.applied = in_scope;
                 }
                 e.touch = clock;
-                return Arc::clone(&e.tree);
+                let out = Arc::clone(&e.tree);
+                if extended {
+                    cache.extends += 1;
+                } else {
+                    cache.hits += 1;
+                }
+                cache.enforce_budget(self.view_node_budget, Some(&key));
+                return out;
             }
             cache.entries.remove(&key);
         }
@@ -329,18 +434,9 @@ impl Collector {
         tree.merge_many(&trees)
             .expect("uniform schema in collector");
         let arc = Arc::new(tree);
-        if cache.entries.len() >= VIEW_CACHE_CAP {
-            if let Some(lru) = cache
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.touch)
-                .map(|(k, _)| k.clone())
-            {
-                cache.entries.remove(&lru);
-            }
-        }
+        cache.rebuilds += 1;
         cache.entries.insert(
-            key,
+            key.clone(),
             ViewEntry {
                 tree: Arc::clone(&arc),
                 applied: in_scope,
@@ -348,6 +444,7 @@ impl Collector {
                 touch: clock,
             },
         );
+        cache.enforce_budget(self.view_node_budget, Some(&key));
         arc
     }
 

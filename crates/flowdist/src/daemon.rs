@@ -331,6 +331,7 @@ impl SiteDaemon {
             window,
             seq: self.seq,
             kind,
+            provenance: None,
             tree: wire_tree,
         };
         self.stats.summaries += 1;

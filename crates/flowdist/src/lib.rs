@@ -40,6 +40,7 @@
 pub mod alarm;
 pub mod collector;
 pub mod daemon;
+pub mod listen;
 pub mod net;
 pub mod pipeline;
 pub mod shard;
@@ -50,11 +51,12 @@ pub mod window;
 mod worker;
 
 pub use alarm::{AlarmConfig, AlarmEvent, Direction};
-pub use collector::{Collector, TransferLedger};
+pub use collector::{Collector, TransferLedger, ViewCacheStats};
 pub use daemon::{DaemonConfig, DaemonStats, SiteDaemon, TransferMode};
+pub use listen::{spawn_udp_ingest, IngestReport, UdpIngestHandle};
 pub use pipeline::{IngestPipeline, PipelineStats};
 pub use shard::ShardedTree;
-pub use sim::{SimConfig, SimReport};
+pub use sim::{SimConfig, SimReport, SiteRun};
 pub use store::{LoadReport, SummaryStore};
 pub use summary::{Summary, SummaryKind};
 pub use window::WindowId;

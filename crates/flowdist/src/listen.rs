@@ -1,0 +1,294 @@
+//! The daemon's socket loop: a UDP listener bound to an
+//! [`IngestPipeline`] behind its own thread.
+//!
+//! [`crate::net`] supplies per-format listeners that hand out decoded
+//! `Vec<FlowRecord>` per datagram; [`crate::pipeline`] supplies the
+//! decode→window→batch front end but is socket-agnostic. This module
+//! closes the gap the ROADMAP left open: [`spawn_udp_ingest`] parks a
+//! socket on a thread, feeds every raw exporter payload (NetFlow
+//! v5/v9/IPFIX, auto-detected, template caches persisting) straight
+//! into the pipeline, and ships each emitted [`Summary`] frame through
+//! a bounded channel — the `listen → pipeline` loop a production
+//! daemon runs, with the caller free to forward the frames over TCP to
+//! a collector or an aggregation relay.
+//!
+//! Shutdown is cooperative: [`UdpIngestHandle::stop`] raises a flag,
+//! the thread drains whatever already sits in the socket buffer (so no
+//! datagram sent before `stop` is lost), flushes the pipeline, closes
+//! every open window, ships the final frames, and returns its
+//! counters.
+
+use crate::daemon::DaemonStats;
+use crate::pipeline::{IngestPipeline, PipelineStats};
+use crate::DistError;
+use crossbeam::channel::Sender;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What the socket thread hands back on shutdown.
+#[derive(Debug)]
+pub struct IngestReport {
+    /// Decode/bucket/batch counters of the pipeline.
+    pub pipeline: PipelineStats,
+    /// The wrapped daemon's counters.
+    pub daemon: DaemonStats,
+    /// Summary frames shipped through the channel.
+    pub frames_sent: u64,
+    /// Frames dropped because the channel's receiver was gone, or
+    /// because the channel was still full while stopping (the caller
+    /// was no longer draining).
+    pub frames_dropped: u64,
+    /// A socket-level error that ended the loop early, if any.
+    pub error: Option<std::io::Error>,
+}
+
+/// A running `listen → pipeline` loop (see [`spawn_udp_ingest`]).
+#[derive(Debug)]
+pub struct UdpIngestHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: std::thread::JoinHandle<IngestReport>,
+}
+
+impl UdpIngestHandle {
+    /// The bound local address (useful with a `:0` bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the loop: drains the socket buffer, flushes the pipeline,
+    /// ships the final summary frames, and returns the counters.
+    pub fn stop(self) -> IngestReport {
+        self.stop.store(true, Ordering::Relaxed);
+        self.join.join().expect("udp ingest thread panicked")
+    }
+}
+
+/// Binds `addr` and spawns a thread that feeds every received datagram
+/// to `pipeline`, sending each emitted summary's encoded frame through
+/// `frames`. Malformed datagrams are counted by the pipeline, never
+/// fatal. Returns once the socket is bound, so the caller can read
+/// [`UdpIngestHandle::local_addr`] immediately.
+pub fn spawn_udp_ingest(
+    addr: &str,
+    pipeline: IngestPipeline,
+    frames: Sender<Vec<u8>>,
+) -> Result<UdpIngestHandle, DistError> {
+    let socket = UdpSocket::bind(addr).map_err(DistError::Io)?;
+    let local = socket.local_addr().map_err(DistError::Io)?;
+    socket
+        .set_read_timeout(Some(Duration::from_millis(20)))
+        .map_err(DistError::Io)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("udp-ingest".into())
+        .spawn(move || ingest_loop(socket, pipeline, frames, stop_flag))
+        .map_err(DistError::Io)?;
+    Ok(UdpIngestHandle {
+        addr: local,
+        stop,
+        join,
+    })
+}
+
+fn ingest_loop(
+    socket: UdpSocket,
+    mut pipeline: IngestPipeline,
+    frames: Sender<Vec<u8>>,
+    stop: Arc<AtomicBool>,
+) -> IngestReport {
+    let mut buf = vec![0u8; 65_536];
+    let (mut sent, mut dropped) = (0u64, 0u64);
+    let mut error = None;
+    // Backpressure without a shutdown deadlock: a full channel parks
+    // this thread in 1 ms waits (a slow consumer throttles ingest),
+    // but once the stop flag is up, undeliverable frames are dropped
+    // and counted instead — `stop()` joins this thread, so blocking
+    // on `send` here would deadlock a caller that drains the channel
+    // only after stopping.
+    let ship = |summaries: Vec<crate::Summary>, sent: &mut u64, dropped: &mut u64| {
+        for s in summaries {
+            let mut frame = s.encode();
+            loop {
+                use crossbeam::channel::TrySendError;
+                match frames.try_send(frame) {
+                    Ok(()) => {
+                        *sent += 1;
+                        break;
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        *dropped += 1;
+                        break;
+                    }
+                    Err(TrySendError::Full(f)) => {
+                        if stop.load(Ordering::Relaxed) {
+                            *dropped += 1;
+                            break;
+                        }
+                        frame = f;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+    };
+    'listen: loop {
+        let stopping = stop.load(Ordering::Relaxed);
+        match socket.recv_from(&mut buf) {
+            Ok((n, _peer)) => {
+                let out = pipeline.push_packet(&buf[..n]);
+                ship(out, &mut sent, &mut dropped);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // The receive buffer is drained; a raised stop flag can
+                // now end the loop without losing queued datagrams.
+                if stopping {
+                    break 'listen;
+                }
+            }
+            Err(e) => {
+                error = Some(e);
+                break 'listen;
+            }
+        }
+        if stopping {
+            // Stop requested while data was still flowing: switch to a
+            // non-blocking final drain so shutdown stays prompt.
+            if socket.set_nonblocking(true).is_err() {
+                break 'listen;
+            }
+        }
+    }
+    let stats = *pipeline.stats();
+    let (rest, daemon) = pipeline.finish();
+    ship(rest, &mut sent, &mut dropped);
+    IngestReport {
+        pipeline: stats,
+        daemon: *daemon.stats(),
+        frames_sent: sent,
+        frames_dropped: dropped,
+        error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{DaemonConfig, SiteDaemon, TransferMode};
+    use crate::net::export_netflow;
+    use crate::Collector;
+    use crossbeam::channel;
+    use flowkey::Schema;
+    use flownet::FlowRecord;
+    use flowtree_core::Config;
+
+    fn pipeline(window_ms: u64) -> IngestPipeline {
+        let mut cfg = DaemonConfig::new(7);
+        cfg.window_ms = window_ms;
+        cfg.schema = Schema::five_feature();
+        cfg.tree = Config::with_budget(512);
+        cfg.transfer = TransferMode::Full;
+        IngestPipeline::new(SiteDaemon::new(cfg), 64)
+    }
+
+    fn record(ts_ms: u64, host: u8, packets: u64) -> FlowRecord {
+        let mut r = FlowRecord::v4(
+            [10, 7, 0, host],
+            [192, 0, 2, 1],
+            1234,
+            443,
+            6,
+            packets,
+            packets * 100,
+        );
+        r.first_ms = ts_ms;
+        r.last_ms = ts_ms;
+        r
+    }
+
+    #[test]
+    fn listen_pipeline_loop_feeds_a_collector() {
+        let (tx, rx) = channel::bounded::<Vec<u8>>(256);
+        let handle = spawn_udp_ingest("127.0.0.1:0", pipeline(1_000), tx).unwrap();
+        let to = handle.local_addr();
+        let sender = UdpSocket::bind("127.0.0.1:0").unwrap();
+
+        // Three windows of traffic, plus one hostile datagram.
+        let records: Vec<FlowRecord> = (0..30)
+            .map(|i| record((i / 10) * 1_000 + 100 + i, (i % 10) as u8, 2))
+            .collect();
+        export_netflow(&sender, to, &records, 10_000).unwrap();
+        sender.send_to(b"not an export packet", to).unwrap();
+
+        let report = handle.stop();
+        assert!(report.error.is_none());
+        assert_eq!(report.pipeline.records, 30);
+        assert_eq!(report.pipeline.decode_errors, 1);
+        assert_eq!(report.daemon.records, 30);
+        assert_eq!(report.daemon.late_drops, 0);
+        assert!(report.frames_sent >= 3, "{} frames", report.frames_sent);
+        assert_eq!(report.frames_dropped, 0);
+
+        // The emitted frames reconstruct at a collector.
+        let mut collector = Collector::new(Schema::five_feature(), Config::with_budget(4_096));
+        for frame in rx.iter() {
+            collector.apply_bytes(&frame).unwrap();
+        }
+        assert_eq!(collector.stored_windows() as u64, report.frames_sent);
+        assert_eq!(collector.merged(None, 0, u64::MAX).total().packets, 60);
+    }
+
+    #[test]
+    fn stop_with_no_traffic_returns_clean_counters() {
+        let (tx, rx) = channel::bounded::<Vec<u8>>(8);
+        let handle = spawn_udp_ingest("127.0.0.1:0", pipeline(1_000), tx).unwrap();
+        let report = handle.stop();
+        assert!(report.error.is_none());
+        assert_eq!(report.pipeline.packets, 0);
+        assert_eq!(report.frames_sent, 0);
+        assert!(rx.try_recv().is_err(), "no frames were shipped");
+    }
+
+    #[test]
+    fn stop_with_a_full_undrained_channel_terminates() {
+        // Regression: a bounded channel smaller than the frame count,
+        // drained only after stop() — the loop must not deadlock in a
+        // blocking send while stop() joins it.
+        let (tx, rx) = channel::bounded::<Vec<u8>>(1);
+        let handle = spawn_udp_ingest("127.0.0.1:0", pipeline(1_000), tx).unwrap();
+        let to = handle.local_addr();
+        let sender = UdpSocket::bind("127.0.0.1:0").unwrap();
+        // Five windows → five summaries against a capacity of one.
+        let records: Vec<FlowRecord> = (0..5).map(|w| record(w * 1_000 + 100, 1, 1)).collect();
+        export_netflow(&sender, to, &records, 10_000).unwrap();
+        let report = handle.stop();
+        assert_eq!(report.pipeline.records, 5);
+        assert_eq!(
+            report.frames_sent + report.frames_dropped,
+            report.daemon.summaries,
+            "every summary is accounted for"
+        );
+        assert!(report.frames_sent >= 1, "the channel's slot was used");
+        drop(rx);
+    }
+
+    #[test]
+    fn dropped_receiver_counts_not_wedges() {
+        let (tx, rx) = channel::bounded::<Vec<u8>>(8);
+        drop(rx);
+        let handle = spawn_udp_ingest("127.0.0.1:0", pipeline(1_000), tx).unwrap();
+        let to = handle.local_addr();
+        let sender = UdpSocket::bind("127.0.0.1:0").unwrap();
+        export_netflow(&sender, to, &[record(100, 1, 1)], 1_000).unwrap();
+        let report = handle.stop();
+        assert_eq!(report.pipeline.records, 1);
+        assert_eq!(report.frames_sent, 0);
+        assert!(report.frames_dropped >= 1);
+    }
+}

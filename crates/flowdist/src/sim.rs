@@ -84,10 +84,35 @@ pub fn route(meta: &PacketMeta, sites: u16) -> u16 {
     (fxhash(&meta.src) % sites.max(1) as u64) as u16
 }
 
-/// Runs the pipeline single-threaded (deterministic).
-pub fn run<I>(cfg: SimConfig, trace: I) -> Result<SimReport, DistError>
+/// The site half of the pipeline, detached from any collector: every
+/// site's emitted [`crate::Summary`] stream in emission order, plus the
+/// counters [`run`] reports. This is the seam a hierarchy layer plugs
+/// into — the same per-site streams can feed one flat collector, a
+/// tier of aggregation relays, or both (the `flowrelay` equivalence
+/// tests do exactly that).
+#[derive(Debug)]
+pub struct SiteRun {
+    /// Per site: the summaries it emitted, oldest window first.
+    pub summaries: Vec<Vec<crate::Summary>>,
+    /// Per-site daemon counters.
+    pub daemon_stats: Vec<DaemonStats>,
+    /// Packets routed per site.
+    pub packets_per_site: Vec<u64>,
+}
+
+/// The single-threaded driver both [`run`] and [`run_sites`] share:
+/// routes every packet through its site's flow cache and daemon, and
+/// hands each emitted summary to `sink` **as it is produced** — the
+/// flat pipeline streams into its collector with O(open windows)
+/// memory, the hierarchy seam collects per-site streams.
+fn drive<I, F>(
+    cfg: SimConfig,
+    trace: I,
+    mut sink: F,
+) -> Result<(Vec<DaemonStats>, Vec<u64>), DistError>
 where
     I: IntoIterator<Item = PacketMeta>,
+    F: FnMut(u16, crate::Summary) -> Result<(), DistError>,
 {
     let sites = cfg.sites.max(1);
     let mut caches: Vec<FlowCache> = (0..sites).map(|_| FlowCache::new(cfg.cache)).collect();
@@ -104,7 +129,6 @@ where
             })
         })
         .collect();
-    let mut collector = Collector::new(cfg.schema, cfg.tree);
     let mut packets_per_site = vec![0u64; sites as usize];
 
     for meta in trace {
@@ -112,22 +136,61 @@ where
         packets_per_site[site] += 1;
         for record in caches[site].observe(&meta) {
             for summary in daemons[site].ingest_record(&record) {
-                collector.apply_bytes(&summary.encode())?;
+                sink(site as u16, summary)?;
             }
         }
     }
     for site in 0..sites as usize {
         for record in caches[site].drain() {
             for summary in daemons[site].ingest_record(&record) {
-                collector.apply_bytes(&summary.encode())?;
+                sink(site as u16, summary)?;
             }
         }
         for summary in daemons[site].flush() {
-            collector.apply_bytes(&summary.encode())?;
+            sink(site as u16, summary)?;
         }
     }
+    Ok((
+        daemons.iter().map(|d| *d.stats()).collect(),
+        packets_per_site,
+    ))
+}
+
+/// Drives the trace through per-site flow caches and daemons,
+/// collecting each site's summary stream instead of applying it
+/// anywhere (deterministic; [`run`] is the same driver streaming into
+/// a flat collector).
+pub fn run_sites<I>(cfg: SimConfig, trace: I) -> SiteRun
+where
+    I: IntoIterator<Item = PacketMeta>,
+{
+    let sites = cfg.sites.max(1);
+    let mut summaries: Vec<Vec<crate::Summary>> = (0..sites).map(|_| Vec::new()).collect();
+    let (daemon_stats, packets_per_site) = drive(cfg, trace, |site, summary| {
+        summaries[site as usize].push(summary);
+        Ok(())
+    })
+    .expect("collecting sink never fails");
+    SiteRun {
+        summaries,
+        daemon_stats,
+        packets_per_site,
+    }
+}
+
+/// Runs the pipeline single-threaded (deterministic). Summaries
+/// stream into the collector as windows close — peak memory stays at
+/// O(open windows), not O(trace).
+pub fn run<I>(cfg: SimConfig, trace: I) -> Result<SimReport, DistError>
+where
+    I: IntoIterator<Item = PacketMeta>,
+{
+    let mut collector = Collector::new(cfg.schema, cfg.tree);
+    let (daemon_stats, packets_per_site) = drive(cfg, trace, |_site, summary| {
+        collector.apply_bytes(&summary.encode())
+    })?;
     Ok(SimReport {
-        daemon_stats: daemons.iter().map(|d| *d.stats()).collect(),
+        daemon_stats,
         collector,
         packets_per_site,
     })

@@ -9,14 +9,26 @@
 //!
 //! ```text
 //! magic    4  "FSUM"
-//! version  1  = 1
-//! kind     1  0 = full, 1 = delta
-//! site     2  big-endian site id
+//! version  1  = 1 (site summary) | 2 (aggregate with provenance)
+//! kind     1  0 = full, 1 = delta          (v2: full only)
+//! site     2  big-endian site id           (v2: the exporter's agg id)
 //! start    varint  window start (ms)
 //! span     varint  window span (ms)
 //! seq      varint  per-site sequence number
+//! prov     v2 only: varint count, then count × big-endian u16 site
+//!          ids, strictly ascending — the **site-set provenance** of a
+//!          pre-aggregated super-site summary (which real sites' trees
+//!          were folded into it)
 //! tree     flowtree-core codec frame
 //! ```
+//!
+//! Version 1 frames predate the hierarchy tier and keep decoding
+//! unchanged; version 2 is what a [`flowrelay`-style aggregation relay
+//! re-exports upstream after folding its downstream sites' windows
+//! with [`FlowTree::merge_many`]. Aggregates are always `Full`: a
+//! delta of a merged view would need the receiver to hold the exact
+//! previous merged view, which re-aggregation after downstream churn
+//! cannot guarantee.
 
 use crate::window::WindowId;
 use crate::DistError;
@@ -25,8 +37,14 @@ use flowtree_core::{Config, FlowTree};
 
 /// Frame magic for summaries.
 pub const SUMMARY_MAGIC: [u8; 4] = *b"FSUM";
-/// Current summary frame version.
+/// Frame version of plain per-site summaries.
 pub const SUMMARY_VERSION: u8 = 1;
+/// Frame version of pre-aggregated summaries carrying a site-set
+/// provenance header.
+pub const SUMMARY_VERSION_AGG: u8 = 2;
+/// Upper bound on the provenance list of one aggregate frame (a relay
+/// covering more sites than this should itself be tiered).
+pub const MAX_PROVENANCE: usize = 4_096;
 
 /// Whether a summary carries the whole window or a delta.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,17 +66,58 @@ pub struct Summary {
     pub seq: u64,
     /// Full or delta.
     pub kind: SummaryKind,
+    /// The site-set provenance of a pre-aggregated summary: the real
+    /// sites whose trees were folded into `tree`, sorted strictly
+    /// ascending. `None` for plain per-site summaries (encoded as
+    /// version-1 frames; `Some` encodes version 2).
+    pub provenance: Option<Vec<u16>>,
     /// The tree (for deltas: comp-popularity differences, possibly
     /// negative).
     pub tree: FlowTree,
 }
 
 impl Summary {
-    /// Encodes the summary frame.
+    /// The real sites this summary covers: its provenance for an
+    /// aggregate, its producing site otherwise.
+    pub fn covered_sites(&self) -> Vec<u16> {
+        match &self.provenance {
+            Some(p) => p.clone(),
+            None => vec![self.site],
+        }
+    }
+
+    /// The exact byte length [`Summary::encode`] would produce,
+    /// computed arithmetically (no throwaway buffer) — header fields,
+    /// varint widths, the optional provenance list, and the tree's own
+    /// arithmetic [`FlowTree::encoded_size`].
+    pub fn encoded_size(&self) -> usize {
+        fn varint_len(mut v: u64) -> usize {
+            let mut n = 1;
+            while v >= 0x80 {
+                v >>= 7;
+                n += 1;
+            }
+            n
+        }
+        let mut len = 4 + 1 + 1 + 2; // magic, version, kind, site
+        len += varint_len(self.window.start_ms);
+        len += varint_len(self.window.span_ms);
+        len += varint_len(self.seq);
+        if let Some(prov) = &self.provenance {
+            len += varint_len(prov.len() as u64) + 2 * prov.len();
+        }
+        len + self.tree.encoded_size()
+    }
+
+    /// Encodes the summary frame (version 1, or version 2 when a
+    /// provenance site set is present).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64);
         out.extend_from_slice(&SUMMARY_MAGIC);
-        out.push(SUMMARY_VERSION);
+        out.push(match self.provenance {
+            Some(_) => SUMMARY_VERSION_AGG,
+            None => SUMMARY_VERSION,
+        });
         out.push(match self.kind {
             SummaryKind::Full => 0,
             SummaryKind::Delta => 1,
@@ -67,12 +126,25 @@ impl Summary {
         write_varint(&mut out, self.window.start_ms);
         write_varint(&mut out, self.window.span_ms);
         write_varint(&mut out, self.seq);
+        if let Some(prov) = &self.provenance {
+            debug_assert!(
+                prov.windows(2).all(|w| w[0] < w[1]) && !prov.is_empty(),
+                "provenance must be nonempty and strictly ascending"
+            );
+            write_varint(&mut out, prov.len() as u64);
+            for site in prov {
+                out.extend_from_slice(&site.to_be_bytes());
+            }
+        }
         out.extend_from_slice(&self.tree.encode());
         out
     }
 
     /// Decodes and validates a summary frame. The tree inside is fully
     /// re-validated by the flowtree codec (untrusted network input).
+    /// Both frame versions decode; the provenance header of a version-2
+    /// frame must be nonempty, strictly ascending, bounded by
+    /// [`MAX_PROVENANCE`], and attached to a `Full` summary.
     pub fn decode(bytes: &[u8], tree_cfg: Config) -> Result<Summary, DistError> {
         if bytes.len() < 8 {
             return Err(DistError::BadFrame("short summary frame"));
@@ -80,7 +152,8 @@ impl Summary {
         if bytes[..4] != SUMMARY_MAGIC {
             return Err(DistError::BadFrame("summary magic"));
         }
-        if bytes[4] != SUMMARY_VERSION {
+        let version = bytes[4];
+        if version != SUMMARY_VERSION && version != SUMMARY_VERSION_AGG {
             return Err(DistError::BadFrame("summary version"));
         }
         let kind = match bytes[5] {
@@ -105,6 +178,31 @@ impl Summary {
         if start_ms % span_ms != 0 {
             return Err(DistError::BadFrame("unaligned window"));
         }
+        let provenance = if version == SUMMARY_VERSION_AGG {
+            if kind != SummaryKind::Full {
+                return Err(DistError::BadFrame("aggregate summaries must be full"));
+            }
+            let count = next()?;
+            if count == 0 || count as usize > MAX_PROVENANCE {
+                return Err(DistError::BadFrame("provenance count"));
+            }
+            let mut prov = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let end = pos
+                    .checked_add(2)
+                    .filter(|&e| e <= bytes.len())
+                    .ok_or(DistError::BadFrame("truncated provenance"))?;
+                let s = u16::from_be_bytes([bytes[pos], bytes[pos + 1]]);
+                pos = end;
+                if prov.last().is_some_and(|&last| last >= s) {
+                    return Err(DistError::BadFrame("provenance not strictly ascending"));
+                }
+                prov.push(s);
+            }
+            Some(prov)
+        } else {
+            None
+        };
         let (tree, used) = FlowTree::decode_prefix(&bytes[pos..], tree_cfg)?;
         if pos + used != bytes.len() {
             return Err(DistError::BadFrame("trailing bytes"));
@@ -114,6 +212,7 @@ impl Summary {
             window: WindowId { start_ms, span_ms },
             seq,
             kind,
+            provenance,
             tree,
         })
     }
@@ -140,6 +239,7 @@ mod tests {
             window: WindowId::containing(1_700_000_123_456, 300_000),
             seq: 17,
             kind: SummaryKind::Full,
+            provenance: None,
             tree,
         }
     }
@@ -200,5 +300,77 @@ mod tests {
         s.kind = SummaryKind::Delta;
         let back = Summary::decode(&s.encode(), Config::with_budget(128)).unwrap();
         assert_eq!(back.kind, SummaryKind::Delta);
+    }
+
+    #[test]
+    fn encoded_size_predicts_encode_exactly() {
+        let mut s = sample();
+        assert_eq!(s.encoded_size(), s.encode().len());
+        s.provenance = Some(vec![1, 4, 9, 4_000]);
+        assert_eq!(s.encoded_size(), s.encode().len());
+        s.kind = SummaryKind::Full;
+        s.window = WindowId::containing(u64::MAX / 2, 300_000);
+        s.seq = u64::MAX;
+        assert_eq!(s.encoded_size(), s.encode().len());
+    }
+
+    #[test]
+    fn aggregate_provenance_roundtrips_as_v2() {
+        let mut s = sample();
+        s.provenance = Some(vec![1, 4, 9]);
+        let bytes = s.encode();
+        assert_eq!(bytes[4], SUMMARY_VERSION_AGG);
+        let back = Summary::decode(&bytes, Config::with_budget(128)).unwrap();
+        assert_eq!(back.provenance.as_deref(), Some(&[1u16, 4, 9][..]));
+        assert_eq!(back.covered_sites(), vec![1, 4, 9]);
+        assert_eq!(back.tree.total(), s.tree.total());
+        // Plain summaries still report themselves.
+        assert_eq!(sample().covered_sites(), vec![3]);
+    }
+
+    #[test]
+    fn v1_frames_still_decode_bit_for_bit() {
+        // A version-1 frame must be untouched by the v2 extension: the
+        // pre-hierarchy encoding decodes with `provenance: None`.
+        let s = sample();
+        let bytes = s.encode();
+        assert_eq!(bytes[4], SUMMARY_VERSION);
+        let back = Summary::decode(&bytes, Config::with_budget(128)).unwrap();
+        assert!(back.provenance.is_none());
+    }
+
+    #[test]
+    fn hostile_provenance_frames_are_rejected() {
+        let mut s = sample();
+        s.provenance = Some(vec![2, 5, 7]);
+        let good = s.encode();
+        // Truncations anywhere in the provenance header.
+        for cut in 9..good.len().min(20) {
+            assert!(Summary::decode(&good[..cut], Config::paper()).is_err());
+        }
+        // Unsorted / duplicated site sets (tamper with the list bytes:
+        // count sits after site(2)+3 varints; find it by re-encoding).
+        let mut unsorted = s.clone();
+        unsorted.provenance = Some(vec![5, 2, 7]);
+        // Bypass encode's debug_assert by patching the sorted frame.
+        let mut bytes = good.clone();
+        let prov_at = bytes.len() - s.tree.encode().len() - 6;
+        bytes[prov_at..prov_at + 2].copy_from_slice(&5u16.to_be_bytes());
+        bytes[prov_at + 2..prov_at + 4].copy_from_slice(&2u16.to_be_bytes());
+        assert!(matches!(
+            Summary::decode(&bytes, Config::with_budget(128)),
+            Err(DistError::BadFrame("provenance not strictly ascending"))
+        ));
+        // A zero-count provenance list.
+        let mut zero = good.clone();
+        zero[prov_at - 1] = 0;
+        assert!(Summary::decode(&zero, Config::with_budget(128)).is_err());
+        // Aggregates must be Full.
+        let mut delta = good;
+        delta[5] = 1;
+        assert!(matches!(
+            Summary::decode(&delta, Config::with_budget(128)),
+            Err(DistError::BadFrame("aggregate summaries must be full"))
+        ));
     }
 }

@@ -29,6 +29,7 @@ fn summary(site: u16, window: u64, lo: u8, hi: u8, weight: i64) -> Summary {
         },
         seq: window,
         kind: SummaryKind::Full,
+        provenance: None,
         tree,
     }
 }
@@ -162,6 +163,84 @@ fn empty_and_inverted_ranges_are_empty_views() {
             .packets,
         0.0
     );
+}
+
+#[test]
+fn cache_is_bounded_by_total_nodes_not_entries() {
+    let mut c = collector_with(6, 3);
+    // Size one full view, then budget for roughly two of them.
+    let probe = c.merged_view(None, 0, u64::MAX);
+    let view_nodes = probe.len();
+    drop(probe);
+    c.set_view_node_budget(view_nodes * 2 + view_nodes / 2);
+
+    // Touch many distinct scopes: far more entries than an entry-count
+    // cap of 2 would keep, but the *node* total must stay bounded.
+    for s in 0..3u16 {
+        for from in 0..4u64 {
+            let _ = c.merged_view(Some(&[s]), from * SPAN, u64::MAX);
+        }
+    }
+    let _ = c.merged_view(None, 0, u64::MAX);
+    let stats = c.view_cache_stats();
+    assert_eq!(stats.node_budget, view_nodes * 2 + view_nodes / 2);
+    assert!(
+        stats.cached_nodes <= stats.node_budget,
+        "{} cached nodes over a budget of {}",
+        stats.cached_nodes,
+        stats.node_budget
+    );
+    assert!(
+        stats.entries > 2,
+        "small views must coexist: {} entries",
+        stats.entries
+    );
+    assert!(stats.rebuilds >= stats.entries as u64);
+
+    // Shrinking the budget below a single full view evicts eagerly and
+    // stops caching that view — but still answers correctly.
+    c.set_view_node_budget(view_nodes / 2);
+    let big = c.merged_view(None, 0, u64::MAX);
+    assert_eq!(
+        big.encode(),
+        elementwise_scope(&c, None, 0, u64::MAX).encode()
+    );
+    let stats = c.view_cache_stats();
+    assert!(stats.cached_nodes <= stats.node_budget);
+    assert!(stats.evictions > 0);
+}
+
+#[test]
+fn tiny_scope_floods_are_bounded_by_the_entry_cap() {
+    use flowdist::collector::VIEW_CACHE_MAX_ENTRIES;
+    let c = collector_with(3, 1);
+    // Far more distinct (tiny) scopes than the entry cap: every
+    // time-range spelling is its own key, each view just a few nodes,
+    // so only the entry cap can bound the per-entry overhead.
+    for from in 0..(VIEW_CACHE_MAX_ENTRIES as u64 * 3) {
+        let _ = c.merged_view(Some(&[0]), from, from + 1);
+    }
+    let stats = c.view_cache_stats();
+    assert!(
+        stats.entries <= VIEW_CACHE_MAX_ENTRIES,
+        "{} entries over the cap",
+        stats.entries
+    );
+    assert!(stats.evictions > 0);
+}
+
+#[test]
+fn cache_stats_count_hits_and_extends() {
+    let mut c = collector_with(4, 2);
+    let _ = c.merged_view(None, 0, u64::MAX); // rebuild
+    let _ = c.merged_view(None, 0, u64::MAX); // hit
+    let _ = c.merged_view(None, 0, u64::MAX); // hit
+    c.apply(summary(0, 4, 0, 10, 1)).unwrap();
+    let _ = c.merged_view(None, 0, u64::MAX); // extend
+    let s = c.view_cache_stats();
+    assert_eq!((s.rebuilds, s.hits, s.extends), (1, 2, 1));
+    assert_eq!(s.entries, 1);
+    assert!(s.cached_nodes > 0);
 }
 
 #[test]

@@ -135,18 +135,7 @@ impl<'a> QueryEngine<'a> {
                 QueryOutput::Table(rows)
             }
             Query::Hhh { phi, metric, scope } => {
-                let merged = self.merged(scope);
-                let total = merged.total().get(*metric).max(1) as f64;
-                let rows = merged
-                    .hhh(*phi, *metric)
-                    .into_iter()
-                    .map(|h| Row {
-                        key: h.key,
-                        est: PopEst::from(h.discounted),
-                        share: h.discounted.get(*metric) as f64 / total,
-                    })
-                    .collect();
-                QueryOutput::Table(rows)
+                QueryOutput::Table(hhh_rows(&self.merged(scope), *phi, *metric))
             }
         }
     }
@@ -161,61 +150,111 @@ impl<'a> QueryEngine<'a> {
             .query(pattern, scope.sites.as_deref(), scope.from_ms, scope.to_ms)
     }
 
-    /// Expands `under` one natural granularity step along `dim`: the
-    /// candidates are derived from the merged tree's retained nodes, each
-    /// estimated and ranked.
+    /// Expands `under` one natural granularity step along `dim` over
+    /// the scope's merged view.
     fn refine(&self, under: &FlowKey, dim: Dim, scope: &Scope, metric: Metric) -> Vec<Row> {
-        let merged = self.merged(scope);
-        let target_depth = refine_depth(under, dim);
-        let mut candidates: BTreeMap<FlowKey, ()> = BTreeMap::new();
-        for node in merged.iter() {
-            if !under.contains(node.key) {
-                continue;
-            }
-            // Project the node's dim-feature up to the target granularity
-            // and substitute it into the `under` pattern.
-            if node.key.dim_depth(dim) < target_depth {
-                continue; // too coarse to name a refinement
-            }
-            if let Some(projected) = node.key.dim_ancestor_at(dim, target_depth) {
-                let mut refined = *under;
-                match dim {
-                    Dim::SrcIp => refined.src = projected.src,
-                    Dim::DstIp => refined.dst = projected.dst,
-                    Dim::SrcPort => refined.sport = projected.sport,
-                    Dim::DstPort => refined.dport = projected.dport,
-                    Dim::Proto => refined.proto = projected.proto,
-                    Dim::Time => refined.time = projected.time,
-                    Dim::Site => refined.site = projected.site,
-                }
-                candidates.insert(refined, ());
-            }
-        }
-        let total = merged
-            .estimate_pattern(under)
-            .get(metric)
-            .abs()
-            .max(f64::MIN_POSITIVE);
-        let mut rows: Vec<Row> = candidates
-            .into_keys()
-            .map(|key| {
-                let est = merged.estimate_pattern(&key);
-                Row {
-                    key,
-                    est,
-                    share: est.get(metric) / total,
-                }
-            })
-            .collect();
-        rows.sort_by(|a, b| {
-            b.est
-                .get(metric)
-                .partial_cmp(&a.est.get(metric))
-                .expect("finite")
-                .then(a.key.cmp(&b.key))
-        });
-        rows
+        refine_on(&self.merged(scope), under, dim, metric)
     }
+}
+
+/// Evaluates one query against an already-merged scope tree — the
+/// single-structure half of the engine, shared with callers that build
+/// their merged view elsewhere (the hierarchy tier's fan-out path
+/// merges per-relay cached views and evaluates here). Returns `None`
+/// for [`Query::BySite`], which needs per-site storage, not one merged
+/// tree.
+pub fn run_on_tree(query: &Query, tree: &FlowTree) -> Option<QueryOutput> {
+    match query {
+        Query::Pop { pattern, .. } => Some(QueryOutput::Pop(tree.estimate_pattern(pattern))),
+        Query::TopK {
+            k,
+            under,
+            dim,
+            metric,
+            ..
+        } => {
+            let mut rows = refine_on(tree, under, *dim, *metric);
+            rows.truncate(*k);
+            Some(QueryOutput::Table(rows))
+        }
+        Query::Drill { under, dim, .. } => Some(QueryOutput::Table(refine_on(
+            tree,
+            under,
+            *dim,
+            Metric::Packets,
+        ))),
+        Query::Hhh { phi, metric, .. } => Some(QueryOutput::Table(hhh_rows(tree, *phi, *metric))),
+        Query::BySite { .. } => None,
+    }
+}
+
+/// Hierarchical heavy hitters of one merged tree as ranked rows.
+fn hhh_rows(merged: &FlowTree, phi: f64, metric: Metric) -> Vec<Row> {
+    let total = merged.total().get(metric).max(1) as f64;
+    merged
+        .hhh(phi, metric)
+        .into_iter()
+        .map(|h| Row {
+            key: h.key,
+            est: PopEst::from(h.discounted),
+            share: h.discounted.get(metric) as f64 / total,
+        })
+        .collect()
+}
+
+/// Expands `under` one natural granularity step along `dim`: the
+/// candidates are derived from the merged tree's retained nodes, each
+/// estimated and ranked.
+fn refine_on(merged: &FlowTree, under: &FlowKey, dim: Dim, metric: Metric) -> Vec<Row> {
+    let target_depth = refine_depth(under, dim);
+    let mut candidates: BTreeMap<FlowKey, ()> = BTreeMap::new();
+    for node in merged.iter() {
+        if !under.contains(node.key) {
+            continue;
+        }
+        // Project the node's dim-feature up to the target granularity
+        // and substitute it into the `under` pattern.
+        if node.key.dim_depth(dim) < target_depth {
+            continue; // too coarse to name a refinement
+        }
+        if let Some(projected) = node.key.dim_ancestor_at(dim, target_depth) {
+            let mut refined = *under;
+            match dim {
+                Dim::SrcIp => refined.src = projected.src,
+                Dim::DstIp => refined.dst = projected.dst,
+                Dim::SrcPort => refined.sport = projected.sport,
+                Dim::DstPort => refined.dport = projected.dport,
+                Dim::Proto => refined.proto = projected.proto,
+                Dim::Time => refined.time = projected.time,
+                Dim::Site => refined.site = projected.site,
+            }
+            candidates.insert(refined, ());
+        }
+    }
+    let total = merged
+        .estimate_pattern(under)
+        .get(metric)
+        .abs()
+        .max(f64::MIN_POSITIVE);
+    let mut rows: Vec<Row> = candidates
+        .into_keys()
+        .map(|key| {
+            let est = merged.estimate_pattern(&key);
+            Row {
+                key,
+                est,
+                share: est.get(metric) / total,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.est
+            .get(metric)
+            .partial_cmp(&a.est.get(metric))
+            .expect("finite")
+            .then(a.key.cmp(&b.key))
+    });
+    rows
 }
 
 /// The next natural granularity below `under` along `dim`: +8 bits for

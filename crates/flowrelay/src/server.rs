@@ -1,0 +1,159 @@
+//! TCP plumbing for relays: downstream frame ingest and a
+//! line-oriented query protocol, both over [`flowdist::net`]'s
+//! length-prefixed framing.
+//!
+//! ## Query protocol
+//!
+//! One request frame = one UTF-8 `flowquery` text query (`hhh 0.01 by
+//! packets`, `pop src=… sites=1,2`, …). One response frame = a status
+//! byte (`0` ok, `1` error) followed by UTF-8 text: on success a
+//! `route: …` header line naming the tier that answered (and any
+//! uncovered sites), then the rendered table; on error, the message.
+//! The connection serves queries until the client closes it.
+
+use crate::plan::{QueryRouter, Route};
+use crate::relay::Relay;
+use crate::RelayError;
+use flowdist::net::{read_frame, write_frame};
+use flowdist::DistError;
+use flowquery::ast::Query;
+use flowtree_core::Metric;
+use std::net::TcpStream;
+
+/// Reads length-prefixed summary frames from one downstream TCP
+/// connection until EOF, applying each to the relay. Returns
+/// `(applied, rejected)`; a malformed or violating frame is counted
+/// and skipped, not fatal — one bad downstream cannot take the relay
+/// down.
+pub fn receive_frames(
+    stream: &mut TcpStream,
+    relay: &mut Relay,
+) -> Result<(usize, usize), RelayError> {
+    let mut reader = std::io::BufReader::new(stream);
+    let (mut applied, mut rejected) = (0usize, 0usize);
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(frame)) => match relay.ingest_frame(&frame) {
+                Ok(()) => applied += 1,
+                Err(_) => rejected += 1,
+            },
+            Ok(None) => return Ok((applied, rejected)),
+            Err(e) => return Err(RelayError::Dist(DistError::Io(e))),
+        }
+    }
+}
+
+/// Ships summaries upstream as length-prefixed frames.
+pub fn ship_summaries(
+    stream: &mut TcpStream,
+    summaries: &[flowdist::Summary],
+) -> Result<(), RelayError> {
+    for s in summaries {
+        flowdist::net::send_summary(stream, &s.encode()).map_err(RelayError::Dist)?;
+    }
+    Ok(())
+}
+
+/// Serves text queries on one connection until the client closes it;
+/// returns how many were answered (including errors).
+pub fn serve_queries(
+    stream: &mut TcpStream,
+    router: &QueryRouter<'_>,
+) -> Result<usize, RelayError> {
+    let mut served = 0usize;
+    loop {
+        let frame = {
+            let mut reader = std::io::BufReader::new(&mut *stream);
+            match read_frame(&mut reader) {
+                Ok(Some(f)) => f,
+                Ok(None) => return Ok(served),
+                Err(e) => return Err(RelayError::Dist(DistError::Io(e))),
+            }
+        };
+        served += 1;
+        let response = answer(router, &frame);
+        write_frame(&mut *stream, &response).map_err(|e| RelayError::Dist(DistError::Io(e)))?;
+    }
+}
+
+/// One request frame → one response frame (status byte + text).
+fn answer(router: &QueryRouter<'_>, frame: &[u8]) -> Vec<u8> {
+    let fail = |msg: String| {
+        let mut out = vec![1u8];
+        out.extend_from_slice(msg.as_bytes());
+        out
+    };
+    let Ok(text) = std::str::from_utf8(frame) else {
+        return fail("query is not utf-8".into());
+    };
+    // Relative ranges (`last=1h`) anchor to the newest representable
+    // instant: a relay has no wall clock of its own in tests.
+    let query = match flowquery::parse(text, u64::MAX - 1) {
+        Ok(q) => q,
+        Err(e) => return fail(e.to_string()),
+    };
+    let routed = router.run(&query);
+    let mut body = format!("route: {}\n", describe_route(router, &routed.route));
+    if !routed.missing.is_empty() {
+        body.push_str(&format!("missing: {:?}\n", routed.missing));
+    }
+    body.push_str(&routed.output.render(query_metric(&query)));
+    let mut out = vec![0u8];
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Sends one text query over an established connection and returns the
+/// decoded response: `Ok(body)` on status 0, `Err(message)` on status 1.
+pub fn query_remote(
+    stream: &mut TcpStream,
+    text: &str,
+) -> Result<Result<String, String>, RelayError> {
+    write_frame(&mut *stream, text.as_bytes()).map_err(|e| RelayError::Dist(DistError::Io(e)))?;
+    let mut reader = std::io::BufReader::new(&mut *stream);
+    let frame = read_frame(&mut reader)
+        .map_err(|e| RelayError::Dist(DistError::Io(e)))?
+        .ok_or(RelayError::Dist(DistError::BadFrame("connection closed")))?;
+    if frame.is_empty() {
+        return Err(RelayError::Dist(DistError::BadFrame("empty response")));
+    }
+    let body = String::from_utf8_lossy(&frame[1..]).into_owned();
+    Ok(match frame[0] {
+        0 => Ok(body),
+        _ => Err(body),
+    })
+}
+
+fn describe_route(router: &QueryRouter<'_>, route: &Route) -> String {
+    let name = |i: &usize| router.relay_name(*i).to_string();
+    match route {
+        Route::Relay {
+            relay,
+            via_aggregates,
+        } => format!(
+            "{}[{}]",
+            name(relay),
+            if *via_aggregates {
+                "aggregated"
+            } else {
+                "per-site"
+            }
+        ),
+        Route::FanOut { relays } => format!(
+            "fan-out({})",
+            relays.iter().map(name).collect::<Vec<_>>().join(",")
+        ),
+        Route::BySite { relays } => format!(
+            "bysite({})",
+            relays.iter().map(name).collect::<Vec<_>>().join(",")
+        ),
+    }
+}
+
+/// The metric a query ranks by (packets when it does not say).
+fn query_metric(q: &Query) -> Metric {
+    match q {
+        Query::TopK { metric, .. } | Query::Hhh { metric, .. } => *metric,
+        _ => Metric::Packets,
+    }
+}

@@ -1,0 +1,137 @@
+//! In-process multi-tier simulation.
+//!
+//! Extends `flowdist::sim` with the hierarchy: the same packet trace
+//! drives per-site caches and daemons ([`flowdist::sim::run_sites`]),
+//! every site's encoded summary frames feed its owning tier-1 relay,
+//! and each tier's flushed aggregates feed its parent — bottom-up,
+//! until the root holds one pre-aggregated tree per (window, region).
+//! Frames cross every hop *encoded*, so the simulation exercises the
+//! same codec and validation paths a socketed deployment would.
+//!
+//! The report keeps the raw per-site frames, so tests can stand up a
+//! flat [`Collector`] over identical inputs and assert the hierarchy
+//! invariant (`tests/hierarchy_equiv.rs`).
+
+use crate::plan::QueryRouter;
+use crate::relay::Relay;
+use crate::topology::RelayTopology;
+use crate::RelayError;
+use flowdist::sim::{run_sites, SimConfig};
+use flowdist::{Collector, DaemonStats, DistError, Summary};
+use flownet::PacketMeta;
+
+/// A finished hierarchy run.
+#[derive(Debug)]
+pub struct HierarchyReport {
+    /// The validated topology driving the run.
+    pub topo: RelayTopology,
+    /// One relay per topology spec, fully fed.
+    pub relays: Vec<Relay>,
+    /// The root's flushed upstream aggregates (what a super-root would
+    /// receive) — one version-2 frame per window.
+    pub root_exports: Vec<Summary>,
+    /// Per-site daemon counters.
+    pub daemon_stats: Vec<DaemonStats>,
+    /// Packets routed per site.
+    pub packets_per_site: Vec<u64>,
+    /// Every site's encoded summary frames, for flat comparisons.
+    pub site_frames: Vec<Vec<Vec<u8>>>,
+}
+
+impl HierarchyReport {
+    /// The root relay.
+    pub fn root(&self) -> &Relay {
+        &self.relays[self.topo.root()]
+    }
+
+    /// A planner over this hierarchy.
+    pub fn router(&self) -> QueryRouter<'_> {
+        QueryRouter::new(&self.topo, &self.relays)
+    }
+
+    /// A flat collector fed the same per-site frames — the reference
+    /// the hierarchy must agree with.
+    pub fn flat_collector(
+        &self,
+        schema: flowkey::Schema,
+        tree: flowtree_core::Config,
+    ) -> Result<Collector, DistError> {
+        let mut collector = Collector::new(schema, tree);
+        for frames in &self.site_frames {
+            for frame in frames {
+                collector.apply_bytes(frame)?;
+            }
+        }
+        Ok(collector)
+    }
+}
+
+/// Runs the whole site → relay → root pipeline on one trace. The
+/// topology must own exactly the sites `0..cfg.sites` (what the sim's
+/// packet router produces).
+pub fn run_hierarchy<I>(
+    topo: &RelayTopology,
+    cfg: SimConfig,
+    trace: I,
+) -> Result<HierarchyReport, RelayError>
+where
+    I: IntoIterator<Item = PacketMeta>,
+{
+    topo.validate()?;
+    let all_sites = topo.all_sites();
+    for site in 0..cfg.sites.max(1) {
+        if !all_sites.contains(&site) {
+            return Err(RelayError::CoverageViolation { site });
+        }
+    }
+
+    let site_run = run_sites(cfg, trace);
+    let site_frames: Vec<Vec<Vec<u8>>> = site_run
+        .summaries
+        .iter()
+        .map(|stream| stream.iter().map(Summary::encode).collect())
+        .collect();
+
+    let mut relays: Vec<Relay> = (0..topo.relays.len())
+        .map(|i| Relay::from_topology(topo, i, cfg.schema, cfg.tree))
+        .collect();
+
+    // Tier-1 ingest: every site's frames land at its owner.
+    for (site, frames) in site_frames.iter().enumerate() {
+        let owner = topo
+            .owner_of(site as u16)
+            .expect("topology covers every sim site");
+        for frame in frames {
+            relays[owner].ingest_frame(frame)?;
+        }
+    }
+
+    // Bottom-up aggregation: deepest tiers flush first, each export
+    // crossing to the parent as an encoded frame.
+    let mut order: Vec<usize> = (0..relays.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(topo.depth_of(i)));
+    let root = topo.root();
+    let mut root_exports = Vec::new();
+    for idx in order {
+        let exports = relays[idx].flush_exports();
+        if idx == root {
+            root_exports = exports;
+            continue;
+        }
+        let parent = topo
+            .index_of(topo.relays[idx].parent.as_deref().expect("non-root"))
+            .expect("validated parent");
+        for summary in exports {
+            relays[parent].ingest_frame(&summary.encode())?;
+        }
+    }
+
+    Ok(HierarchyReport {
+        topo: topo.clone(),
+        relays,
+        root_exports,
+        daemon_stats: site_run.daemon_stats,
+        packets_per_site: site_run.packets_per_site,
+        site_frames,
+    })
+}

@@ -1,0 +1,353 @@
+//! Declarative relay topologies.
+//!
+//! A topology is a list of [`RelaySpec`]s forming a tree: every relay
+//! names its parent (one root has none) and the real sites that feed
+//! it directly. Validation guarantees the properties the planner and
+//! the provenance checks rely on: one root, acyclic parent links,
+//! every site owned by exactly one relay, and aggregate-export ids
+//! disjoint from site ids.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One relay in a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelaySpec {
+    /// Unique relay name (`"root"`, `"emea"`, …).
+    pub name: String,
+    /// Parent relay name; `None` for the root.
+    pub parent: Option<String>,
+    /// The id this relay's upstream aggregates are exported under.
+    /// Must not collide with any real site id or other relay's id.
+    pub agg_site: u16,
+    /// Real sites feeding this relay directly (tier-1 membership).
+    pub sites: Vec<u16>,
+}
+
+/// Why a topology failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// No relays at all.
+    Empty,
+    /// Two relays share a name.
+    DuplicateName(String),
+    /// A relay names a parent that does not exist.
+    UnknownParent(String),
+    /// Not exactly one parentless relay.
+    RootCount(usize),
+    /// A parent chain loops.
+    Cycle(String),
+    /// A site is owned by more than one relay.
+    DuplicateSite(u16),
+    /// An aggregate id collides with a site id or another aggregate id.
+    AggIdCollision(u16),
+    /// A relay's coverage exceeds what one provenance header can carry
+    /// ([`flowdist::summary::MAX_PROVENANCE`]); such a relay's exports
+    /// would be rejected wholesale upstream. The wire format caps an
+    /// exporting subtree at that many real sites.
+    CoverageTooLarge {
+        /// The oversized relay.
+        relay: String,
+        /// Its coverage size.
+        sites: usize,
+    },
+}
+
+impl core::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TopologyError::Empty => f.write_str("empty topology"),
+            TopologyError::DuplicateName(n) => write!(f, "duplicate relay name {n}"),
+            TopologyError::UnknownParent(n) => write!(f, "unknown parent {n}"),
+            TopologyError::RootCount(n) => write!(f, "{n} roots (need exactly 1)"),
+            TopologyError::Cycle(n) => write!(f, "parent cycle through {n}"),
+            TopologyError::DuplicateSite(s) => write!(f, "site {s} owned twice"),
+            TopologyError::AggIdCollision(s) => write!(f, "aggregate id {s} collides"),
+            TopologyError::CoverageTooLarge { relay, sites } => write!(
+                f,
+                "relay {relay} covers {sites} sites (> {} per provenance header)",
+                flowdist::summary::MAX_PROVENANCE
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A validated-on-demand relay tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayTopology {
+    /// The relays; indices into this vector are the ids used by
+    /// [`RelayTopology::children_of`] and friends.
+    pub relays: Vec<RelaySpec>,
+}
+
+impl RelayTopology {
+    /// Checks every structural invariant; returns the topology for
+    /// chaining.
+    pub fn validate(&self) -> Result<&RelayTopology, TopologyError> {
+        if self.relays.is_empty() {
+            return Err(TopologyError::Empty);
+        }
+        let mut by_name: BTreeMap<&str, usize> = BTreeMap::new();
+        for (i, r) in self.relays.iter().enumerate() {
+            if by_name.insert(&r.name, i).is_some() {
+                return Err(TopologyError::DuplicateName(r.name.clone()));
+            }
+        }
+        let mut roots = 0usize;
+        for r in &self.relays {
+            match &r.parent {
+                None => roots += 1,
+                Some(p) => {
+                    if !by_name.contains_key(p.as_str()) {
+                        return Err(TopologyError::UnknownParent(p.clone()));
+                    }
+                }
+            }
+        }
+        if roots != 1 {
+            return Err(TopologyError::RootCount(roots));
+        }
+        // Acyclic: every parent chain must reach the root within
+        // `relays.len()` hops.
+        for r in &self.relays {
+            let mut hops = 0usize;
+            let mut cur = r;
+            while let Some(p) = &cur.parent {
+                hops += 1;
+                if hops > self.relays.len() {
+                    return Err(TopologyError::Cycle(r.name.clone()));
+                }
+                cur = &self.relays[by_name[p.as_str()]];
+            }
+        }
+        let mut seen_sites: BTreeSet<u16> = BTreeSet::new();
+        for r in &self.relays {
+            for &s in &r.sites {
+                if !seen_sites.insert(s) {
+                    return Err(TopologyError::DuplicateSite(s));
+                }
+            }
+        }
+        let mut agg_ids: BTreeSet<u16> = BTreeSet::new();
+        for r in &self.relays {
+            if seen_sites.contains(&r.agg_site) || !agg_ids.insert(r.agg_site) {
+                return Err(TopologyError::AggIdCollision(r.agg_site));
+            }
+        }
+        // Every relay's exports must fit one provenance header, or its
+        // parent would reject the whole tier's data frame by frame.
+        for (i, r) in self.relays.iter().enumerate() {
+            let covered = self.coverage(i).len();
+            if covered > flowdist::summary::MAX_PROVENANCE {
+                return Err(TopologyError::CoverageTooLarge {
+                    relay: r.name.clone(),
+                    sites: covered,
+                });
+            }
+        }
+        Ok(self)
+    }
+
+    /// Index of a relay by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.relays.iter().position(|r| r.name == name)
+    }
+
+    /// Index of the unique parentless relay.
+    pub fn root(&self) -> usize {
+        self.relays
+            .iter()
+            .position(|r| r.parent.is_none())
+            .expect("validated topology has a root")
+    }
+
+    /// Indices of the relays feeding `idx` directly.
+    pub fn children_of(&self, idx: usize) -> Vec<usize> {
+        let name = &self.relays[idx].name;
+        self.relays
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.parent.as_ref() == Some(name))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Every real site a relay covers: its own plus everything below.
+    pub fn coverage(&self, idx: usize) -> BTreeSet<u16> {
+        let mut out: BTreeSet<u16> = self.relays[idx].sites.iter().copied().collect();
+        for child in self.children_of(idx) {
+            out.extend(self.coverage(child));
+        }
+        out
+    }
+
+    /// All real sites in the topology.
+    pub fn all_sites(&self) -> BTreeSet<u16> {
+        self.relays
+            .iter()
+            .flat_map(|r| r.sites.iter().copied())
+            .collect()
+    }
+
+    /// The tier-1 relay owning `site` directly, if any.
+    pub fn owner_of(&self, site: u16) -> Option<usize> {
+        self.relays.iter().position(|r| r.sites.contains(&site))
+    }
+
+    /// Hops from `idx` up to the root (root = 0).
+    pub fn depth_of(&self, idx: usize) -> usize {
+        let mut depth = 0usize;
+        let mut cur = &self.relays[idx];
+        while let Some(p) = &cur.parent {
+            depth += 1;
+            cur = &self.relays[self.index_of(p).expect("validated parent")];
+        }
+        depth
+    }
+
+    /// A site → relay → root tree over sites `0..sites`, grouping
+    /// `fanout` consecutive sites per tier-1 relay. Aggregate ids are
+    /// assigned above the site range. With a single group the root
+    /// owns the sites directly (a flat, one-tier topology).
+    pub fn two_tier(sites: u16, fanout: u16) -> RelayTopology {
+        let fanout = fanout.max(1);
+        let groups = sites.div_ceil(fanout).max(1);
+        if groups <= 1 {
+            return RelayTopology {
+                relays: vec![RelaySpec {
+                    name: "root".into(),
+                    parent: None,
+                    agg_site: sites,
+                    sites: (0..sites).collect(),
+                }],
+            };
+        }
+        let mut relays = vec![RelaySpec {
+            name: "root".into(),
+            parent: None,
+            agg_site: sites + groups,
+            sites: Vec::new(),
+        }];
+        for g in 0..groups {
+            relays.push(RelaySpec {
+                name: format!("relay{g}"),
+                parent: Some("root".into()),
+                agg_site: sites + g,
+                sites: (g * fanout..((g + 1) * fanout).min(sites)).collect(),
+            });
+        }
+        RelayTopology { relays }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, parent: Option<&str>, agg: u16, sites: &[u16]) -> RelaySpec {
+        RelaySpec {
+            name: name.into(),
+            parent: parent.map(String::from),
+            agg_site: agg,
+            sites: sites.to_vec(),
+        }
+    }
+
+    #[test]
+    fn two_tier_builder_is_valid_and_covering() {
+        for (sites, fanout) in [(8u16, 4u16), (32, 8), (128, 16), (5, 2), (1, 4)] {
+            let t = RelayTopology::two_tier(sites, fanout);
+            t.validate().unwrap();
+            assert_eq!(t.all_sites().len(), sites as usize);
+            assert_eq!(t.coverage(t.root()).len(), sites as usize);
+            for s in 0..sites {
+                let owner = t.owner_of(s).unwrap();
+                assert!(
+                    t.relays[owner].parent.is_some() || t.relays.len() == 1,
+                    "site {s} owned by an inner relay in a multi-tier tree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_structural_breakage() {
+        assert_eq!(
+            RelayTopology { relays: vec![] }.validate(),
+            Err(TopologyError::Empty)
+        );
+        let dup = RelayTopology {
+            relays: vec![spec("a", None, 10, &[0]), spec("a", Some("a"), 11, &[1])],
+        };
+        assert!(matches!(
+            dup.validate(),
+            Err(TopologyError::DuplicateName(_))
+        ));
+        let orphan = RelayTopology {
+            relays: vec![spec("a", Some("ghost"), 10, &[0])],
+        };
+        assert!(matches!(
+            orphan.validate(),
+            Err(TopologyError::UnknownParent(_))
+        ));
+        let two_roots = RelayTopology {
+            relays: vec![spec("a", None, 10, &[0]), spec("b", None, 11, &[1])],
+        };
+        assert_eq!(two_roots.validate(), Err(TopologyError::RootCount(2)));
+        let cycle = RelayTopology {
+            relays: vec![
+                spec("r", None, 10, &[]),
+                spec("a", Some("b"), 11, &[0]),
+                spec("b", Some("a"), 12, &[1]),
+            ],
+        };
+        assert!(matches!(cycle.validate(), Err(TopologyError::Cycle(_))));
+        let double_site = RelayTopology {
+            relays: vec![spec("r", None, 10, &[0, 1]), spec("a", Some("r"), 11, &[1])],
+        };
+        assert_eq!(double_site.validate(), Err(TopologyError::DuplicateSite(1)));
+        let agg_clash = RelayTopology {
+            relays: vec![spec("r", None, 1, &[0, 1])],
+        };
+        assert_eq!(agg_clash.validate(), Err(TopologyError::AggIdCollision(1)));
+    }
+
+    #[test]
+    fn oversized_coverage_is_rejected_at_validation_time() {
+        // A relay covering more sites than one provenance header can
+        // carry would have every export rejected upstream — catch it
+        // here instead.
+        let big = RelayTopology::two_tier(5_000, 5_000);
+        assert!(matches!(
+            big.validate(),
+            Err(TopologyError::CoverageTooLarge { sites: 5_000, .. })
+        ));
+        let fine = RelayTopology::two_tier(4_096, 4_096);
+        fine.validate().unwrap();
+    }
+
+    #[test]
+    fn coverage_and_depth_walk_the_tree() {
+        let t = RelayTopology {
+            relays: vec![
+                spec("root", None, 100, &[]),
+                spec("a", Some("root"), 101, &[0, 1]),
+                spec("b", Some("root"), 102, &[2]),
+                spec("aa", Some("a"), 103, &[3]),
+            ],
+        };
+        t.validate().unwrap();
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.children_of(0), vec![1, 2]);
+        assert_eq!(
+            t.coverage(1),
+            [0u16, 1, 3].into_iter().collect::<BTreeSet<_>>()
+        );
+        assert_eq!(t.coverage(0).len(), 4);
+        assert_eq!(t.depth_of(0), 0);
+        assert_eq!(t.depth_of(3), 2);
+        assert_eq!(t.owner_of(3), Some(3));
+        assert_eq!(t.owner_of(9), None);
+    }
+}

@@ -1,0 +1,247 @@
+//! Relay failure paths: hostile frames are rejected and counted, dead
+//! downstreams degrade coverage instead of wedging the planner, and
+//! the TCP surfaces survive garbage.
+
+use flowdist::{Summary, SummaryKind, WindowId};
+use flowkey::{FlowKey, Schema};
+use flowquery::parse;
+use flowquery::QueryOutput;
+use flowrelay::server::{query_remote, receive_frames, serve_queries, ship_summaries};
+use flowrelay::{QueryRouter, Relay, RelayError, RelaySpec, RelayTopology, Route};
+use flowtree_core::{Config, FlowTree, Popularity};
+
+const SPAN: u64 = 1_000;
+
+fn schema() -> Schema {
+    Schema::five_feature()
+}
+
+fn site_summary(site: u16, window: u64, hosts: std::ops::Range<u8>, seq: u64) -> Summary {
+    let mut tree = FlowTree::new(schema(), Config::with_budget(4_096));
+    for h in hosts {
+        let key: FlowKey =
+            format!("src=10.{site}.0.{h}/32 dst=192.0.2.1/32 sport=40000 dport=443 proto=tcp")
+                .parse()
+                .unwrap();
+        tree.insert(&key, Popularity::new(1 + h as i64, 100, 1));
+    }
+    Summary {
+        site,
+        window: WindowId {
+            start_ms: window * SPAN,
+            span_ms: SPAN,
+        },
+        seq,
+        kind: SummaryKind::Full,
+        provenance: None,
+        tree,
+    }
+}
+
+fn two_group_topology() -> RelayTopology {
+    RelayTopology {
+        relays: vec![
+            RelaySpec {
+                name: "root".into(),
+                parent: None,
+                agg_site: 100,
+                sites: vec![],
+            },
+            RelaySpec {
+                name: "west".into(),
+                parent: Some("root".into()),
+                agg_site: 101,
+                sites: vec![0, 1],
+            },
+            RelaySpec {
+                name: "east".into(),
+                parent: Some("root".into()),
+                agg_site: 102,
+                sites: vec![2, 3],
+            },
+        ],
+    }
+}
+
+/// Builds the 2-group hierarchy, feeding only `live_sites`.
+fn hierarchy(live_sites: &[u16], windows: u64) -> (RelayTopology, Vec<Relay>) {
+    let topo = two_group_topology();
+    topo.validate().unwrap();
+    let mut relays: Vec<Relay> = (0..topo.relays.len())
+        .map(|i| Relay::from_topology(&topo, i, schema(), Config::with_budget(100_000)))
+        .collect();
+    for &s in live_sites {
+        let owner = topo.owner_of(s).unwrap();
+        for w in 0..windows {
+            relays[owner]
+                .ingest_frame(&site_summary(s, w, 0..3, w + 1).encode())
+                .unwrap();
+        }
+    }
+    for idx in [1usize, 2] {
+        let exports = relays[idx].flush_exports();
+        for e in exports {
+            relays[0].ingest_frame(&e.encode()).unwrap();
+        }
+    }
+    (topo, relays)
+}
+
+#[test]
+fn truncated_and_hostile_provenance_frames_are_rejected_and_counted() {
+    let topo = two_group_topology();
+    let mut root = Relay::from_topology(&topo, 0, schema(), Config::with_budget(4_096));
+
+    let mut agg = site_summary(101, 0, 0..3, 1);
+    agg.provenance = Some(vec![0, 1]);
+    let good = agg.encode();
+    root.ingest_frame(&good).unwrap();
+
+    // Truncations at every prefix length must fail cleanly.
+    let mut rejected = 0;
+    for cut in 0..good.len() {
+        assert!(root.ingest_frame(&good[..cut]).is_err(), "cut at {cut}");
+        rejected += 1;
+    }
+    // Garbage and a frame claiming a site outside root coverage.
+    assert!(root.ingest_frame(b"\xff\xff\xff\xff hostile").is_err());
+    rejected += 1;
+    let mut foreign = site_summary(102, 0, 0..3, 1);
+    foreign.provenance = Some(vec![2, 3, 9]);
+    assert!(matches!(
+        root.apply(foreign),
+        Err(RelayError::CoverageViolation { site: 9 })
+    ));
+    rejected += 1;
+    // A second downstream claiming site 0 again.
+    let mut overlap = site_summary(102, 0, 0..3, 1);
+    overlap.provenance = Some(vec![0, 2]);
+    assert!(matches!(
+        root.apply(overlap),
+        Err(RelayError::OverlappingProvenance { site: 0 })
+    ));
+    rejected += 1;
+
+    assert_eq!(root.ledger().rejected, rejected);
+    assert_eq!(root.ledger().frames, 1, "only the good frame landed");
+    // The stored data is untouched by the hostile attempts.
+    assert_eq!(root.collector().stored_windows(), 1);
+}
+
+#[test]
+fn dead_site_degrades_coverage_and_planner_keeps_answering() {
+    // Site 3 is dead: never reports.
+    let (topo, relays) = hierarchy(&[0, 1, 2], 2);
+    let router = QueryRouter::new(&topo, &relays);
+
+    // Network-wide query still routes (to the root's aggregates) and
+    // reports the dead site instead of wedging or erroring.
+    let q = parse("pop", u64::MAX - 1).unwrap();
+    let routed = router.run(&q);
+    assert_eq!(routed.missing, vec![3]);
+    assert!(
+        matches!(routed.route, Route::Relay { relay: 0, .. }),
+        "{:?}",
+        routed.route
+    );
+    let QueryOutput::Pop(est) = routed.output else {
+        panic!()
+    };
+    // 3 sites × 2 windows × (1+2+3) packets.
+    assert!((est.packets - 36.0).abs() < 1e-6, "{}", est.packets);
+
+    // A scope naming only the dead site: empty answer, site reported.
+    let q = parse("pop sites=3", u64::MAX - 1).unwrap();
+    let routed = router.run(&q);
+    assert_eq!(routed.missing, vec![3]);
+    let QueryOutput::Pop(est) = routed.output else {
+        panic!()
+    };
+    assert_eq!(est.packets, 0.0);
+
+    // A scope mixing live and dead sites fans down to the live one.
+    let q = parse("hhh 0.05 by packets sites=2,3", u64::MAX - 1).unwrap();
+    let routed = router.run(&q);
+    assert_eq!(routed.missing, vec![3]);
+    let QueryOutput::Table(rows) = routed.output else {
+        panic!()
+    };
+    assert!(!rows.is_empty(), "live site 2 still answers");
+
+    // The east relay's own ledger shows the degradation.
+    assert_eq!(
+        relays[2].live_coverage(),
+        [2u16]
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+    );
+}
+
+#[test]
+fn frames_and_queries_flow_over_tcp() {
+    use std::net::{TcpListener, TcpStream};
+
+    let topo = two_group_topology();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    // Downstream side: ship two site windows and one garbage frame.
+    let sender = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let summaries = vec![site_summary(0, 0, 0..3, 1), site_summary(1, 0, 0..3, 1)];
+        ship_summaries(&mut stream, &summaries).unwrap();
+        flowdist::net::send_summary(&mut stream, b"garbage frame").unwrap();
+    });
+
+    let mut west = Relay::from_topology(&topo, 1, schema(), Config::with_budget(4_096));
+    let (mut conn, _) = listener.accept().unwrap();
+    let (applied, rejected) = receive_frames(&mut conn, &mut west).unwrap();
+    sender.join().unwrap();
+    assert_eq!((applied, rejected), (2, 1));
+    assert_eq!(west.ledger().rejected, 1);
+
+    // Query side: serve the (single-relay) hierarchy over TCP.
+    let solo = RelayTopology {
+        relays: vec![RelaySpec {
+            name: "west".into(),
+            parent: None,
+            agg_site: 101,
+            sites: vec![0, 1],
+        }],
+    };
+    let relays = vec![west];
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let ok = query_remote(&mut stream, "pop src=10.0.0.0/8").unwrap();
+        let body = ok.expect("valid query");
+        assert!(body.starts_with("route: west"), "{body}");
+        assert!(body.contains("popularity"), "{body}");
+        let err = query_remote(&mut stream, "frobnicate everything").unwrap();
+        assert!(err.is_err(), "bad verb must report, not kill the server");
+        let ok = query_remote(&mut stream, "drill src").unwrap();
+        assert!(ok.expect("valid query").contains("src="));
+    });
+    let (mut conn, _) = listener.accept().unwrap();
+    let router = QueryRouter::new(&solo, &relays);
+    let served = serve_queries(&mut conn, &router).unwrap();
+    client.join().unwrap();
+    assert_eq!(served, 3);
+}
+
+#[test]
+fn relay_survives_downstream_restarts_with_replacement_windows() {
+    let topo = two_group_topology();
+    let mut west = Relay::from_topology(&topo, 1, schema(), Config::with_budget(4_096));
+    west.ingest_frame(&site_summary(0, 0, 0..3, 1).encode())
+        .unwrap();
+    // The site restarts and re-sends window 0 with different content.
+    west.ingest_frame(&site_summary(0, 0, 0..5, 1).encode())
+        .unwrap();
+    assert_eq!(west.collector().stored_windows(), 1);
+    let exports = west.flush_exports();
+    assert_eq!(exports.len(), 1);
+    // The replacement (1+2+3+4+5 = 15 packets) is what exports.
+    assert_eq!(exports[0].tree.total().packets, 15);
+}

@@ -1003,7 +1003,7 @@ impl FlowTree {
             }
         }
         for o in others {
-            self.merge_structural(o);
+            self.merge_structural(o, false);
         }
         if self.live > self.cfg.node_budget {
             self.compact();
@@ -1023,8 +1023,16 @@ impl FlowTree {
     /// arithmetic of [`classify_step`]. A merge between similar trees
     /// degenerates to the probe sweep; a merge of disjoint trees
     /// degenerates to a linear copy.
-    fn merge_structural(&mut self, o: &FlowTree) {
-        self.total += o.total;
+    ///
+    /// With `negate` set the same pass *subtracts* every source mass —
+    /// the structural twin of the element-wise diff loop, shared by
+    /// [`FlowTree::diff_many`].
+    fn merge_structural(&mut self, o: &FlowTree, negate: bool) {
+        if negate {
+            self.total -= o.total;
+        } else {
+            self.total += o.total;
+        }
         let n = o.nodes.len();
         // A-node id holding each source node's key (pass 1 hits and
         // pass 2 creations).
@@ -1038,7 +1046,11 @@ impl FlowTree {
                 self.clock += 1;
                 let touch = self.clock;
                 let node = &mut self.nodes[id as usize];
-                node.comp += b.comp;
+                if negate {
+                    node.comp -= b.comp;
+                } else {
+                    node.comp += b.comp;
+                }
                 node.touch = touch;
                 placed[i] = id;
             } else {
@@ -1096,8 +1108,9 @@ impl FlowTree {
                     anchor_of[k as usize] = anchor;
                     step_of[k as usize] = step;
                 } else {
+                    let comp = if negate { -b.comp } else { b.comp };
                     placed[k as usize] =
-                        self.place_single(anchor, b.key, b.key_hash, b.depth, b.comp, step);
+                        self.place_single(anchor, b.key, b.key_hash, b.depth, comp, step);
                 }
             }
         }
@@ -1311,7 +1324,46 @@ impl FlowTree {
     /// `diff`). The result can legitimately contain negative masses —
     /// that is what makes diff summaries useful for change detection and
     /// diff-based transfer. Zero-mass leaves are pruned afterwards.
+    ///
+    /// Runs the **structural** fast path — the same hash-join +
+    /// anchored-placement pass as [`FlowTree::merge`], with every
+    /// source mass negated — so the collector's alarm sweep pays merge
+    /// cost, not one longest-matching-parent search per node. The old
+    /// loop survives as [`FlowTree::diff_elementwise`] for the
+    /// differential property tests.
     pub fn diff(&mut self, other: &FlowTree) -> Result<(), TreeError> {
+        self.diff_many(std::slice::from_ref(&other))
+    }
+
+    /// The k-way structural diff: subtracts every node mass of each
+    /// tree in `others` from `self` in one co-traversal — the
+    /// [`FlowTree::merge_many`] twin for subtraction. Equivalent to
+    /// folding [`FlowTree::diff_elementwise`] over `others`
+    /// (byte-identical encodings when no compaction interferes), with
+    /// zero-mass pruning and the budget check deferred to the end of
+    /// the pass.
+    pub fn diff_many(&mut self, others: &[&FlowTree]) -> Result<(), TreeError> {
+        for o in others {
+            if self.schema != o.schema {
+                return Err(TreeError::SchemaMismatch);
+            }
+        }
+        for o in others {
+            self.merge_structural(o, true);
+        }
+        self.prune_zeros();
+        if self.live > self.cfg.node_budget {
+            self.compact();
+        }
+        Ok(())
+    }
+
+    /// Reference implementation of the pre-structural diff: one
+    /// hash-probe insert per live source node, masses negated. Kept for
+    /// benchmarks and the differential property tests that pin
+    /// [`FlowTree::diff`] / [`FlowTree::diff_many`] to it.
+    #[doc(hidden)]
+    pub fn diff_elementwise(&mut self, other: &FlowTree) -> Result<(), TreeError> {
         if self.schema != other.schema {
             return Err(TreeError::SchemaMismatch);
         }

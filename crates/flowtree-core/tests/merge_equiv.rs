@@ -157,6 +157,62 @@ proptest! {
         prop_assert_eq!(back.encode(), bytes);
     }
 
+    /// Structural diff ≡ the element-wise diff loop, bytes and all —
+    /// overlapping keys cancel to zero and prune, disjoint keys appear
+    /// with negative mass, either way the encodings must agree.
+    #[test]
+    fn structural_diff_matches_elementwise(
+        a in arb_inserts(),
+        b in arb_inserts(),
+    ) {
+        let schema = Schema::five_feature();
+        let (ta, tb) = (build(schema, &a), build(schema, &b));
+        let mut structural = ta.clone();
+        structural.diff(&tb).unwrap();
+        structural.validate();
+        let mut reference = ta.clone();
+        reference.diff_elementwise(&tb).unwrap();
+        prop_assert_eq!(structural.total(), reference.total());
+        prop_assert_eq!(structural.encode(), reference.encode());
+    }
+
+    /// One k-way diff pass ≡ the sequential element-wise fold (each
+    /// step pruning its own zeros), regardless of how many subtrahends.
+    #[test]
+    fn diff_many_matches_sequential_elementwise_diffs(
+        base in arb_inserts(),
+        batches in proptest::collection::vec(arb_inserts(), 0..4),
+    ) {
+        let schema = Schema::five_feature();
+        let tbase = build(schema, &base);
+        let trees: Vec<FlowTree> = batches.iter().map(|b| build(schema, b)).collect();
+        let refs: Vec<&FlowTree> = trees.iter().collect();
+
+        let mut kway = tbase.clone();
+        kway.diff_many(&refs).unwrap();
+        kway.validate();
+
+        let mut reference = tbase.clone();
+        for t in &trees {
+            reference.diff_elementwise(t).unwrap();
+        }
+        prop_assert_eq!(kway.total(), reference.total());
+        prop_assert_eq!(kway.encode(), reference.encode());
+    }
+
+    /// A diff that subtracts the tree from itself cancels completely.
+    #[test]
+    fn self_diff_cancels(inserts in arb_inserts()) {
+        let schema = Schema::five_feature();
+        let t = build(schema, &inserts);
+        let mut d = t.clone();
+        d.diff(&t).unwrap();
+        d.validate();
+        prop_assert!(d.total().is_zero());
+        // Nothing but the root survives the prune.
+        prop_assert!(d.len() <= 1, "{} live nodes after self-diff", d.len());
+    }
+
     /// Merging a tree into an empty one is a faithful copy (the k-way
     /// fold's first step), modulo zero-mass filtering the element-wise
     /// loop also applies.

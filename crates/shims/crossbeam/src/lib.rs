@@ -21,6 +21,17 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`]: either the queue is
+    /// full right now, or every receiver is gone. The value comes
+    /// back in both cases.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; receivers still exist.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
     /// Error returned when every sender is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -40,6 +51,14 @@ pub mod channel {
         /// Blocks until there is room, then sends.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value).map_err(|e| SendError(e.0))
+        }
+
+        /// Non-blocking send.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
         }
     }
 
@@ -123,6 +142,15 @@ mod tests {
         let (tx, rx) = channel::bounded::<u8>(1);
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full_then_disconnected() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.try_send(2), Err(channel::TrySendError::Full(2)));
+        drop(rx);
+        assert_eq!(tx.try_send(3), Err(channel::TrySendError::Disconnected(3)));
     }
 
     #[test]

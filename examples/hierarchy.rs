@@ -1,0 +1,99 @@
+//! Hierarchical aggregation walkthrough: site → relay → root.
+//!
+//! Stands up a 2-tier hierarchy over 6 sites in-process, runs the same
+//! trace through a flat collector, and shows (a) the root's
+//! pre-aggregated exports agreeing with the flat merge and (b) the
+//! query planner picking a different tier per scope.
+//!
+//! ```sh
+//! cargo run --release --example hierarchy
+//! ```
+
+use flowdist::sim::SimConfig;
+use flowdist::TransferMode;
+use flownet::FlowCacheConfig;
+use flowquery::parse;
+use flowrelay::{run_hierarchy, RelayTopology, Route};
+use flowtrace::{profile, TraceGen};
+use flowtree_core::Config;
+
+fn main() {
+    let cfg = SimConfig {
+        sites: 6,
+        window_ms: 1_000,
+        schema: flowkey::Schema::five_feature(),
+        tree: Config::with_budget(4_096),
+        transfer: TransferMode::Full,
+        cache: FlowCacheConfig {
+            idle_timeout_ms: 500,
+            active_timeout_ms: 2_000,
+            max_entries: 10_000,
+        },
+    };
+    let mut tcfg = profile::backbone(7);
+    tcfg.packets = 30_000;
+    tcfg.flows = 3_000;
+    tcfg.mean_pps = 5_000.0;
+    let trace: Vec<flownet::PacketMeta> = TraceGen::new(tcfg).collect();
+
+    // Two sites per regional relay, relays feeding one root.
+    let topo = RelayTopology::two_tier(6, 2);
+    println!("topology:");
+    for spec in &topo.relays {
+        println!(
+            "  {:<8} parent={:<8} sites={:?}",
+            spec.name,
+            spec.parent.as_deref().unwrap_or("-"),
+            spec.sites
+        );
+    }
+
+    let report = run_hierarchy(&topo, cfg, trace.iter().copied()).expect("hierarchy runs");
+    let root = report.root();
+    println!(
+        "\nroot: {} aggregate windows exported, covering sites {:?}",
+        report.root_exports.len(),
+        root.live_coverage()
+    );
+    let flat = report
+        .flat_collector(cfg.schema, cfg.tree)
+        .expect("flat reference");
+    println!(
+        "conservation: hierarchy total = {} packets, flat total = {} packets",
+        root.collector().total().packets,
+        flat.merged(None, 0, u64::MAX).total().packets
+    );
+
+    // The planner routes each scope to the cheapest covering tier.
+    let router = report.router();
+    for text in [
+        "hhh 0.02 by packets",  // network-wide → root aggregates
+        "pop sites=2,3",        // one region → its relay, per-site trees
+        "drill src sites=1,4",  // straddles regions → fan-out
+        "bysite src=0.0.0.0/0", // per-site breakdown
+    ] {
+        let q = parse(text, u64::MAX - 1).expect("valid query");
+        let routed = router.run(&q);
+        let tier = match &routed.route {
+            Route::Relay {
+                relay,
+                via_aggregates,
+            } => format!(
+                "{} [{}]",
+                router.relay_name(*relay),
+                if *via_aggregates {
+                    "aggregated"
+                } else {
+                    "per-site"
+                }
+            ),
+            Route::FanOut { relays } => format!("fan-out over {} relays", relays.len()),
+            Route::BySite { relays } => format!("bysite over {} relays", relays.len()),
+        };
+        println!("\n$ {text}\n  routed to {tier}");
+        let rendered = routed.output.render(flowtree_core::Metric::Packets);
+        for line in rendered.lines().take(5) {
+            println!("  {line}");
+        }
+    }
+}

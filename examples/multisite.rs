@@ -137,6 +137,7 @@ fn main() {
             },
             seq: start / 1_000 + 1,
             kind: flowdist::SummaryKind::Full,
+            provenance: None,
             tree,
         };
         store.put(&summary).expect("persist");

@@ -13,6 +13,7 @@
 //! | [`flowbase`] | baselines: Space-Saving, Count-Min, HHH, RHHH |
 //! | [`flowdist`] | site daemons, collector, delta transfer, alarms |
 //! | [`flowquery`] | the drill-down query language and engine |
+//! | [`flowrelay`] | hierarchical aggregation relays + tier-aware query routing |
 //!
 //! ## Quick start
 //!
@@ -42,6 +43,7 @@ pub use flowdist;
 pub use flowkey;
 pub use flownet;
 pub use flowquery;
+pub use flowrelay;
 pub use flowtrace;
 pub use flowtree_core;
 
