@@ -121,6 +121,7 @@ fn main() {
                     seq: w as u64,
                     kind: SummaryKind::Full,
                     provenance: None,
+                    epoch: None,
                     tree,
                 })
                 .expect("valid summary");
@@ -139,6 +140,7 @@ fn main() {
                     seq: (windows + i) as u64,
                     kind: SummaryKind::Full,
                     provenance: None,
+                    epoch: None,
                     tree: build_window(&mut tracegen),
                 })
                 .collect::<Vec<_>>()

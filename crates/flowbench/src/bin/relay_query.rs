@@ -20,20 +20,32 @@
 //!   the cached-view layer (steady-state dashboards).
 //!
 //! Answers are asserted identical across paths before anything is
-//! timed into a row. Results append as a `"relay_query"` section to
-//! `BENCH_query.json` (run `merge_query` first: it rewrites the file
-//! wholesale).
+//! timed into a row. With `--disjoint` every site draws from its own
+//! key population (a distinct /16 per site) instead of one shared Zipf
+//! — the regime where the output tree is the *union* of the inputs and
+//! merge cost is dominated by output size.
+//!
+//! A second scenario measures the **delta export path**: sites'
+//! frames for a window arrive one at a time and the relay re-exports
+//! after each arrival — [`flowrelay::ExportMode::Delta`] ships one
+//! site's increment per re-export, [`flowrelay::ExportMode::Full`]
+//! re-serializes the whole aggregate. Steady-state bytes (everything
+//! past each window's first export) are the paper's bandwidth claim
+//! for the hierarchy tier.
+//!
+//! Results append as a `"relay_query"` section to `BENCH_query.json`
+//! (run `merge_query` first: it rewrites the file wholesale).
 //!
 //! ```sh
 //! cargo run --release -p flowbench --bin relay_query -- \
 //!     --sites 8,32,128 --windows 12 --packets 1000 --reps 5 \
-//!     --json BENCH_query.json
+//!     [--disjoint] --json BENCH_query.json
 //! ```
 
 use flowbench::{Args, Table};
 use flowdist::{Collector, Summary, SummaryKind, WindowId};
 use flowkey::{FlowKey, Schema};
-use flowrelay::{Relay, RelayTopology};
+use flowrelay::{ExportConfig, ExportMode, Relay, RelayConfig, RelayTopology};
 use flowtrace::{profile, TraceGen};
 use flowtree_core::{Config, FlowTree, Metric, Popularity};
 use std::time::Instant;
@@ -44,6 +56,56 @@ struct BenchRow {
     path: &'static str,
     ms_per_query: f64,
     speedup_vs_flat: f64,
+}
+
+struct ExportRow {
+    sites: u16,
+    windows: usize,
+    full_bytes: u64,
+    delta_bytes: u64,
+    steady_full_bytes: u64,
+    steady_delta_bytes: u64,
+    steady_ratio: f64,
+}
+
+/// The incremental-update export scenario: every site's frame for a
+/// window lands separately and the relay drains after each arrival, so
+/// each window re-exports `sites` times. Returns (total bytes, steady
+/// bytes) where steady excludes each window's first (necessarily full)
+/// export — the steady-state re-export cost the mode controls.
+fn export_scenario(
+    sites: u16,
+    windows: usize,
+    mode: ExportMode,
+    mut summary_at: impl FnMut(u16, usize) -> Summary,
+) -> (u64, u64) {
+    let mut relay = Relay::new(RelayConfig {
+        name: "tier1".into(),
+        agg_site: sites + 1,
+        expected: (0..sites).collect(),
+        schema: Schema::five_feature(),
+        tree: Config::with_budget(1 << 20),
+        export: ExportConfig {
+            mode,
+            linger_ms: 0,
+            max_bases: windows + 1,
+        },
+    });
+    let span_ms = 1_000u64;
+    let (mut total, mut steady) = (0u64, 0u64);
+    for w in 0..windows {
+        for s in 0..sites {
+            relay.apply(summary_at(s, w)).expect("in-coverage frame");
+            for e in relay.drain_exports_at((w as u64 + 1) * span_ms) {
+                let bytes = e.encoded_size() as u64;
+                total += bytes;
+                if e.epoch.expect("v3 exports").epoch > 1 {
+                    steady += bytes;
+                }
+            }
+        }
+    }
+    (total, steady)
 }
 
 fn hhh_count(tree: &FlowTree) -> usize {
@@ -66,11 +128,15 @@ fn main() {
         .filter(|&n| n > 0)
         .collect();
 
+    let disjoint = args.has("disjoint");
+    let workload = if disjoint { "disjoint" } else { "shared" };
+
     let schema = Schema::five_feature();
     let window_budget = 2_048usize;
     let merged_budget = 1usize << 20;
     let span_ms = 1_000u64;
     let mut rows: Vec<BenchRow> = Vec::new();
+    let mut export_rows: Vec<ExportRow> = Vec::new();
 
     for &sites in &sweep {
         let fanout = (sites as f64).sqrt().ceil() as u16;
@@ -79,19 +145,31 @@ fn main() {
         let groups = topo.relays.len() - 1;
         println!(
             "\n== E14 setup: {sites} sites × {windows} windows × {packets_per_window} packets, \
-             {groups} groups of ≤{fanout} =="
+             {groups} groups of ≤{fanout}, {workload} populations =="
         );
 
-        // One shared Zipf population chopped into (window, site) chunks.
+        // One Zipf stream chopped into (window, site) chunks. With
+        // `--disjoint` every site's keys are remapped into its own
+        // /16, so site populations never overlap and the merged output
+        // tree is the union of the inputs (ROADMAP: shared-Zipf merge
+        // cost is dominated by output size).
         let mut cfg = profile::backbone(seed);
         cfg.packets = windows as u64 * sites as u64 * packets_per_window;
         cfg.flows = (cfg.packets / 4).max(1);
         let mut tracegen = TraceGen::new(cfg);
         let mut chunk: Vec<(FlowKey, Popularity)> = Vec::with_capacity(packets_per_window as usize);
-        let mut build_window = |tg: &mut TraceGen| {
+        let mut build_window = |tg: &mut TraceGen, site: u16| {
             chunk.clear();
             while chunk.len() < packets_per_window as usize {
-                let Some(p) = tg.next() else { break };
+                let Some(mut p) = tg.next() else { break };
+                if disjoint {
+                    if let std::net::IpAddr::V4(v4) = p.src {
+                        let o = v4.octets();
+                        p.src = std::net::IpAddr::V4(
+                            [16 + (site >> 8) as u8, site as u8, o[2], o[3]].into(),
+                        );
+                    }
+                }
                 chunk.push((p.flow_key(), Popularity::packet(p.wire_len)));
             }
             let mut tree = FlowTree::new(schema, Config::with_budget(window_budget));
@@ -115,7 +193,8 @@ fn main() {
                     seq: w as u64 + 1,
                     kind: SummaryKind::Full,
                     provenance: None,
-                    tree: build_window(&mut tracegen),
+                    epoch: None,
+                    tree: build_window(&mut tracegen, s),
                 };
                 let owner = topo.owner_of(s).expect("two_tier covers the sweep");
                 relays[owner]
@@ -176,6 +255,40 @@ fn main() {
                 speedup_vs_flat: flat_ms / ms,
             });
         }
+
+        // ---- delta-vs-full export bytes (incremental updates) --------
+        // Reuse the already-built per-(window, site) trees so both
+        // modes replay the identical arrival sequence.
+        let window_tree = |s: u16, w: usize| {
+            flat.window_tree(w as u64 * span_ms, s)
+                .expect("built above")
+                .clone()
+        };
+        let mut summary_at = |s: u16, w: usize| Summary {
+            site: s,
+            window: WindowId {
+                start_ms: w as u64 * span_ms,
+                span_ms,
+            },
+            seq: w as u64 + 1,
+            kind: SummaryKind::Full,
+            provenance: None,
+            epoch: None,
+            tree: window_tree(s, w),
+        };
+        let (full_bytes, steady_full_bytes) =
+            export_scenario(sites, windows, ExportMode::Full, &mut summary_at);
+        let (delta_bytes, steady_delta_bytes) =
+            export_scenario(sites, windows, ExportMode::Delta, &mut summary_at);
+        export_rows.push(ExportRow {
+            sites,
+            windows,
+            full_bytes,
+            delta_bytes,
+            steady_full_bytes,
+            steady_delta_bytes,
+            steady_ratio: steady_full_bytes as f64 / steady_delta_bytes.max(1) as f64,
+        });
     }
 
     println!("\n== E14: root-scope HHH query latency ==\n");
@@ -190,6 +303,28 @@ fn main() {
         ]);
     }
 
+    println!("\n== E15: delta vs full re-export bytes (incremental updates) ==\n");
+    let t = Table::new(&[
+        "sites",
+        "windows",
+        "full B",
+        "delta B",
+        "steady full B",
+        "steady delta B",
+        "steady win",
+    ]);
+    for r in &export_rows {
+        t.row(&[
+            &r.sites.to_string(),
+            &r.windows.to_string(),
+            &r.full_bytes.to_string(),
+            &r.delta_bytes.to_string(),
+            &r.steady_full_bytes.to_string(),
+            &r.steady_delta_bytes.to_string(),
+            &format!("{:.2}x", r.steady_ratio),
+        ]);
+    }
+
     // ---- append the relay_query section to BENCH_query.json ----------
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     let mut body = String::new();
@@ -199,6 +334,7 @@ fn main() {
         "    \"packets_per_window\": {packets_per_window},\n"
     ));
     body.push_str(&format!("    \"reps\": {reps},\n"));
+    body.push_str(&format!("    \"workload\": \"{workload}\",\n"));
     body.push_str(&format!("    \"host_cores\": {cores},\n"));
     body.push_str("    \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -211,6 +347,23 @@ fn main() {
             r.ms_per_query,
             r.speedup_vs_flat,
             if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    body.push_str("    ],\n");
+    body.push_str("    \"export_bytes\": [\n");
+    for (i, r) in export_rows.iter().enumerate() {
+        body.push_str(&format!(
+            "      {{\"sites\": {}, \"windows\": {}, \"full_bytes\": {}, \
+             \"delta_bytes\": {}, \"steady_full_bytes\": {}, \
+             \"steady_delta_bytes\": {}, \"steady_ratio\": {:.3}}}{}\n",
+            r.sites,
+            r.windows,
+            r.full_bytes,
+            r.delta_bytes,
+            r.steady_full_bytes,
+            r.steady_delta_bytes,
+            r.steady_ratio,
+            if i + 1 == export_rows.len() { "" } else { "," },
         ));
     }
     body.push_str("    ]\n");

@@ -46,7 +46,7 @@ use crate::window::WindowId;
 use crate::DistError;
 use flowkey::{FlowKey, Schema, Site, TimeBucket};
 use flowtree_core::{Config, FlowTree, PopEst, Popularity};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
 
 /// Transfer-volume bookkeeping — the evidence for the paper's
@@ -96,6 +96,10 @@ pub struct ViewCacheStats {
     pub hits: u64,
     /// Cached views extended incrementally with new windows.
     pub extends: u64,
+    /// Cached views extended **in place** by an incoming version-3
+    /// delta frame (the stored window grew; views that had merged it
+    /// absorb the same delta instead of being invalidated).
+    pub delta_extends: u64,
     /// Views built (first use or after invalidation).
     pub rebuilds: u64,
     /// Entries dropped to fit the node budget or the entry cap.
@@ -129,6 +133,7 @@ struct ViewCache {
     clock: u64,
     hits: u64,
     extends: u64,
+    delta_extends: u64,
     rebuilds: u64,
     evictions: u64,
 }
@@ -162,6 +167,18 @@ impl ViewCache {
     }
 }
 
+/// What the epoch ledger records per stored `(window, exporter)` slot:
+/// the content epoch a version-3 stream has advanced it to, and the
+/// per-window site-set provenance the last frame declared.
+#[derive(Debug, Clone)]
+struct WindowMeta {
+    /// Content epoch (0 for pre-epoch v1/v2 frames).
+    epoch: u64,
+    /// Declared provenance (`None` for plain site frames, which cover
+    /// exactly their own site).
+    provenance: Option<Vec<u16>>,
+}
+
 /// The collector.
 #[derive(Debug)]
 pub struct Collector {
@@ -169,6 +186,11 @@ pub struct Collector {
     tree_cfg: Config,
     /// (window start, site) → reconstructed tree.
     windows: BTreeMap<(u64, u16), FlowTree>,
+    /// The epoch ledger: per stored slot, the content epoch and the
+    /// per-window provenance (see [`WindowMeta`]). Gate for version-3
+    /// increments: a delta only applies when its declared base equals
+    /// the stored epoch, a full only when it strictly advances it.
+    meta: BTreeMap<(u64, u16), WindowMeta>,
     /// Per-site: last reconstructed window (base for deltas) and seq.
     last: BTreeMap<u16, (u64, u64)>,
     ledger: TransferLedger,
@@ -188,6 +210,7 @@ impl Collector {
             schema,
             tree_cfg,
             windows: BTreeMap::new(),
+            meta: BTreeMap::new(),
             last: BTreeMap::new(),
             ledger: TransferLedger::default(),
             epoch: 0,
@@ -220,6 +243,7 @@ impl Collector {
             node_budget: self.view_node_budget,
             hits: cache.hits,
             extends: cache.extends,
+            delta_extends: cache.delta_extends,
             rebuilds: cache.rebuilds,
             evictions: cache.evictions,
         }
@@ -265,9 +289,22 @@ impl Collector {
     }
 
     /// Applies an already-decoded summary; returns its kind.
+    ///
+    /// Version-3 frames run the **epoch handshake** first: a `Full`
+    /// frame must strictly advance the slot's stored epoch (replacing
+    /// the window wholesale, invalidating cached views exactly as any
+    /// replacement does); a `Delta` frame must declare the stored
+    /// epoch as its base, and then applies by **structural merge onto
+    /// the stored tree in place** — cached views that had merged the
+    /// old tree absorb the same delta instead of being invalidated.
+    /// Any other pairing is an out-of-order or orphaned increment and
+    /// is rejected with [`DistError::EpochMismatch`].
     pub fn apply(&mut self, summary: Summary) -> Result<SummaryKind, DistError> {
         if *summary.tree.schema() != self.schema {
             return Err(DistError::SchemaMismatch);
+        }
+        if summary.epoch.is_some() {
+            return self.apply_incremental(summary);
         }
         let kind = summary.kind;
         let tree = match kind {
@@ -297,16 +334,103 @@ impl Collector {
         };
         self.last
             .insert(summary.site, (summary.window.start_ms, summary.seq));
-        if self
-            .windows
-            .insert((summary.window.start_ms, summary.site), tree)
-            .is_some()
-        {
+        let slot = (summary.window.start_ms, summary.site);
+        self.meta.insert(
+            slot,
+            WindowMeta {
+                epoch: 0,
+                provenance: summary.provenance,
+            },
+        );
+        if self.windows.insert(slot, tree).is_some() {
             // A stored window was replaced: cached views that merged
             // the old tree are stale beyond repair — invalidate all.
             self.invalidate_views();
         }
         Ok(kind)
+    }
+
+    /// The version-3 half of [`Collector::apply`]: epoch-gated full
+    /// replacement or in-place delta merge (see `apply`'s docs).
+    fn apply_incremental(&mut self, summary: Summary) -> Result<SummaryKind, DistError> {
+        let eh = summary.epoch.expect("caller checked");
+        let kind = summary.kind;
+        let slot = (summary.window.start_ms, summary.site);
+        let have = self.meta.get(&slot).map_or(0, |m| m.epoch);
+        match kind {
+            SummaryKind::Full => {
+                if self.windows.contains_key(&slot) && eh.epoch <= have {
+                    return Err(DistError::EpochMismatch {
+                        site: summary.site,
+                        have,
+                        got: eh.epoch,
+                    });
+                }
+                if self.windows.insert(slot, summary.tree).is_some() {
+                    self.invalidate_views();
+                }
+            }
+            SummaryKind::Delta => {
+                let base = eh
+                    .base
+                    .ok_or(DistError::BadFrame("v3 delta without base epoch"))?;
+                if base == 0 {
+                    // Decode already rejects this on the wire; guard
+                    // the in-process path too — epoch 0 is the
+                    // pre-epoch marker, never a pinned base, so a
+                    // base-0 delta would merge onto a v1/v2-stored
+                    // tree the exporter never saw.
+                    return Err(DistError::BadFrame("zero delta base epoch"));
+                }
+                let Some(stored) = self.windows.get_mut(&slot) else {
+                    return Err(DistError::MissingDeltaBase { site: summary.site });
+                };
+                if have != base {
+                    return Err(DistError::EpochMismatch {
+                        site: summary.site,
+                        have,
+                        got: base,
+                    });
+                }
+                stored
+                    .merge(&summary.tree)
+                    .map_err(|_| DistError::SchemaMismatch)?;
+                stored.prune_zeros();
+                self.extend_views_with_delta(slot, &summary.tree);
+            }
+        }
+        self.meta.insert(
+            slot,
+            WindowMeta {
+                epoch: eh.epoch,
+                provenance: summary.provenance,
+            },
+        );
+        self.last
+            .insert(summary.site, (summary.window.start_ms, summary.seq));
+        Ok(kind)
+    }
+
+    /// Merges an applied version-3 delta into every current cached
+    /// view that had already merged the slot's stored tree, so the
+    /// increment costs one small merge per affected view instead of a
+    /// wholesale invalidation.
+    fn extend_views_with_delta(&self, slot: (u64, u16), delta: &FlowTree) {
+        let mut cache = self.views.lock().expect("view cache lock");
+        let cache = &mut *cache;
+        let mut touched = 0u64;
+        for e in cache.entries.values_mut() {
+            if e.epoch == self.epoch && e.applied.binary_search(&slot).is_ok() {
+                let tree = Arc::make_mut(&mut e.tree);
+                tree.merge(delta).expect("uniform schema in collector");
+                tree.prune_zeros();
+                touched += 1;
+            }
+        }
+        if touched > 0 {
+            cache.delta_extends += touched;
+            cache.enforce_budget(self.view_node_budget, None);
+        }
     }
 
     /// Drops every stored window starting before `cutoff_ms`
@@ -315,6 +439,8 @@ impl Collector {
     pub fn evict_windows_before(&mut self, cutoff_ms: u64) -> usize {
         let keep = self.windows.split_off(&(cutoff_ms, u16::MIN));
         let dropped = std::mem::replace(&mut self.windows, keep).len();
+        let meta_keep = self.meta.split_off(&(cutoff_ms, u16::MIN));
+        self.meta = meta_keep;
         if dropped > 0 {
             self.invalidate_views();
         }
@@ -337,6 +463,45 @@ impl Collector {
     /// All stored `(window start ms, site)` pairs, in time order.
     pub fn window_keys(&self) -> Vec<(u64, u16)> {
         self.windows.keys().copied().collect()
+    }
+
+    /// The content epoch of one stored `(window, exporter)` slot (0 =
+    /// not stored, or stored by a pre-epoch v1/v2 frame).
+    pub fn window_epoch(&self, window_start_ms: u64, site: u16) -> u64 {
+        self.meta
+            .get(&(window_start_ms, site))
+            .map_or(0, |m| m.epoch)
+    }
+
+    /// The declared per-window provenance of one stored slot: the real
+    /// sites folded into that window under that key. `None` when the
+    /// slot is absent or was stored by a plain site frame (which covers
+    /// exactly its own site).
+    pub fn window_provenance(&self, window_start_ms: u64, site: u16) -> Option<&[u16]> {
+        self.meta
+            .get(&(window_start_ms, site))
+            .and_then(|m| m.provenance.as_deref())
+    }
+
+    /// The real sites actually folded into one window, across every
+    /// stored key: per-slot provenance where declared, the key itself
+    /// for plain site frames. This is **per-window truth** — a site
+    /// that reported other windows but not this one is absent.
+    pub fn window_coverage(&self, window_start_ms: u64) -> BTreeSet<u16> {
+        let mut out = BTreeSet::new();
+        for (_, site) in self
+            .windows
+            .range((window_start_ms, u16::MIN)..=(window_start_ms, u16::MAX))
+            .map(|(k, _)| *k)
+        {
+            match self.window_provenance(window_start_ms, site) {
+                Some(p) => out.extend(p.iter().copied()),
+                None => {
+                    out.insert(site);
+                }
+            }
+        }
+        out
     }
 
     /// The stored trees matching a normalized scope, in key order. The

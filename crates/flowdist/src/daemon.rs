@@ -332,6 +332,7 @@ impl SiteDaemon {
             seq: self.seq,
             kind,
             provenance: None,
+            epoch: None,
             tree: wire_tree,
         };
         self.stats.summaries += 1;

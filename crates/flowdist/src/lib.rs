@@ -58,7 +58,7 @@ pub use pipeline::{IngestPipeline, PipelineStats};
 pub use shard::ShardedTree;
 pub use sim::{SimConfig, SimReport, SiteRun};
 pub use store::{LoadReport, SummaryStore};
-pub use summary::{Summary, SummaryKind};
+pub use summary::{EpochHeader, Summary, SummaryKind};
 pub use window::WindowId;
 
 use flowtree_core::CodecError;
@@ -76,6 +76,20 @@ pub enum DistError {
     MissingDeltaBase {
         /// The site whose base is missing.
         site: u16,
+    },
+    /// A version-3 frame's epoch handshake failed: a delta declared a
+    /// base epoch the collector does not hold for that `(window,
+    /// exporter)` slot, or a full re-export did not advance the stored
+    /// epoch — an out-of-order or orphaned increment, rejected so it
+    /// can never compose onto the wrong base.
+    EpochMismatch {
+        /// The exporter whose frame was rejected.
+        site: u16,
+        /// The epoch stored for the slot (0 = none / pre-epoch frame).
+        have: u64,
+        /// The epoch the frame demanded (a delta's declared base, or a
+        /// full frame's non-advancing epoch).
+        got: u64,
     },
     /// Socket-level failure.
     Io(std::io::Error),
@@ -95,6 +109,12 @@ impl core::fmt::Display for DistError {
             DistError::SchemaMismatch => f.write_str("schema mismatch"),
             DistError::MissingDeltaBase { site } => {
                 write!(f, "delta without base window for site {site}")
+            }
+            DistError::EpochMismatch { site, have, got } => {
+                write!(
+                    f,
+                    "epoch handshake failed for site {site}: stored {have}, frame demanded {got}"
+                )
             }
             DistError::Io(e) => write!(f, "i/o: {e}"),
         }

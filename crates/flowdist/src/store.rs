@@ -63,6 +63,14 @@ impl SummaryStore {
 
     /// Persists one summary atomically (temp file + rename). A summary
     /// for the same (site, window) replaces the previous one.
+    ///
+    /// The store holds **one frame per (site, window)** — so persist
+    /// reconstructed state, not delta frames: a v1 delta (against the
+    /// site's previous window) or a v3 delta (against a base epoch)
+    /// stored alone would be an orphan on reload, rejected by the
+    /// collector's base/epoch checks. Callers persisting an
+    /// incremental stream should `put` the receiver's rebuilt full
+    /// window after applying each increment.
     pub fn put(&self, summary: &Summary) -> Result<PathBuf, DistError> {
         let dir = self.site_dir(summary.site);
         fs::create_dir_all(&dir).map_err(DistError::Io)?;

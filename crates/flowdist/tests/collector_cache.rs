@@ -30,6 +30,7 @@ fn summary(site: u16, window: u64, lo: u8, hi: u8, weight: i64) -> Summary {
         seq: window,
         kind: SummaryKind::Full,
         provenance: None,
+        epoch: None,
         tree,
     }
 }
@@ -241,6 +242,169 @@ fn cache_stats_count_hits_and_extends() {
     assert_eq!((s.rebuilds, s.hits, s.extends), (1, 2, 1));
     assert_eq!(s.entries, 1);
     assert!(s.cached_nodes > 0);
+}
+
+mod v3_increments {
+    use super::*;
+    use flowdist::{DistError, EpochHeader};
+
+    /// A version-3 frame for `(window, site)`: full or delta.
+    fn v3(site: u16, window: u64, epoch: u64, base: Option<u64>, tree: FlowTree) -> Summary {
+        Summary {
+            site,
+            window: WindowId {
+                start_ms: window * SPAN,
+                span_ms: SPAN,
+            },
+            seq: epoch,
+            kind: match base {
+                Some(_) => SummaryKind::Delta,
+                None => SummaryKind::Full,
+            },
+            provenance: Some(vec![site]),
+            epoch: Some(EpochHeader { epoch, base }),
+            tree,
+        }
+    }
+
+    fn tree_of(site: u16, lo: u8, hi: u8, weight: i64) -> FlowTree {
+        summary(site, 0, lo, hi, weight).tree
+    }
+
+    #[test]
+    fn delta_frames_merge_in_place_and_extend_views_without_invalidation() {
+        let mut c = Collector::new(Schema::five_feature(), Config::with_budget(100_000));
+        c.apply(v3(0, 0, 1, None, tree_of(0, 0, 10, 1))).unwrap();
+        c.apply(summary(1, 0, 0, 10, 1)).unwrap();
+        let before = c.merged_view(None, 0, u64::MAX);
+
+        // An increment for site 0's window arrives as a delta: stored
+        // tree grows in place, the cached view absorbs the delta.
+        c.apply(v3(0, 0, 2, Some(1), tree_of(0, 10, 15, 3)))
+            .unwrap();
+        let after = c.merged_view(None, 0, u64::MAX);
+        let stats = c.view_cache_stats();
+        assert_eq!(stats.rebuilds, 1, "no wholesale invalidation: {stats:?}");
+        assert_eq!(stats.delta_extends, 1, "{stats:?}");
+        assert!(!std::sync::Arc::ptr_eq(&before, &after));
+
+        // The stored window and the view both equal a full re-send.
+        let mut full = tree_of(0, 0, 10, 1);
+        full.merge(&tree_of(0, 10, 15, 3)).unwrap();
+        assert_eq!(c.window_tree(0, 0).unwrap().encode(), full.encode());
+        assert_eq!(
+            after.total(),
+            elementwise_scope(&c, None, 0, u64::MAX).total()
+        );
+        assert_eq!(c.window_epoch(0, 0), 2);
+    }
+
+    #[test]
+    fn epoch_ledger_rejects_out_of_order_and_orphaned_increments() {
+        let mut c = Collector::new(Schema::five_feature(), Config::with_budget(100_000));
+        // An orphaned delta: no stored base at all.
+        let err = c.apply(v3(0, 0, 2, Some(1), tree_of(0, 0, 3, 1)));
+        assert!(matches!(err, Err(DistError::MissingDeltaBase { site: 0 })));
+
+        c.apply(v3(0, 0, 1, None, tree_of(0, 0, 10, 1))).unwrap();
+        c.apply(v3(0, 0, 2, Some(1), tree_of(0, 10, 12, 1)))
+            .unwrap();
+
+        // A replayed delta (base 1 again) must not double-apply.
+        let err = c.apply(v3(0, 0, 3, Some(1), tree_of(0, 10, 12, 1)));
+        assert!(matches!(
+            err,
+            Err(DistError::EpochMismatch {
+                site: 0,
+                have: 2,
+                got: 1
+            })
+        ));
+        // A delta from the future (base 5) is orphaned.
+        let err = c.apply(v3(0, 0, 6, Some(5), tree_of(0, 12, 13, 1)));
+        assert!(matches!(err, Err(DistError::EpochMismatch { got: 5, .. })));
+        // A full re-export that does not advance the epoch is stale.
+        let err = c.apply(v3(0, 0, 2, None, tree_of(0, 0, 5, 1)));
+        assert!(matches!(
+            err,
+            Err(DistError::EpochMismatch {
+                have: 2,
+                got: 2,
+                ..
+            })
+        ));
+        // A full that advances rebases the slot wholesale.
+        c.apply(v3(0, 0, 7, None, tree_of(0, 0, 4, 2))).unwrap();
+        assert_eq!(c.window_epoch(0, 0), 7);
+        assert_eq!(
+            c.window_tree(0, 0).unwrap().encode(),
+            tree_of(0, 0, 4, 2).encode()
+        );
+        // And the chain continues from the new base.
+        c.apply(v3(0, 0, 8, Some(7), tree_of(0, 4, 6, 2))).unwrap();
+    }
+
+    #[test]
+    fn base_zero_delta_cannot_graft_onto_a_pre_epoch_slot() {
+        // A v1-stored slot has ledger epoch 0. A hostile v3 delta
+        // declaring base 0 would pass a naive have == base check and
+        // merge onto a tree its exporter never pinned — both the
+        // decoder and the in-process apply path must reject it.
+        let mut c = Collector::new(Schema::five_feature(), Config::with_budget(100_000));
+        c.apply(summary(0, 0, 0, 10, 1)).unwrap();
+        let before = c.window_tree(0, 0).unwrap().encode();
+        let mut hostile = v3(0, 0, 1, Some(0), tree_of(0, 10, 14, 9));
+        let err = c.apply(hostile.clone());
+        assert!(
+            matches!(err, Err(DistError::BadFrame("zero delta base epoch"))),
+            "{err:?}"
+        );
+        // The wire path rejects it at decode already; force the header
+        // bytes through encode by checking encode panics are debug-only
+        // — construct the frame bytes by patching a valid one instead.
+        hostile.epoch = Some(EpochHeader {
+            epoch: 2,
+            base: Some(1),
+        });
+        let mut bytes = hostile.encode();
+        // Locate the base varint (=1) right before the provenance
+        // count (=1) and site id; epoch=2 precedes it.
+        let tree_len = hostile.tree.encode().len();
+        let base_at = bytes.len() - tree_len - (1 + 2) - 1;
+        assert_eq!(bytes[base_at], 1, "base byte located");
+        bytes[base_at] = 0;
+        assert!(c.apply_bytes(&bytes).is_err());
+        // The stored window is untouched by all attempts.
+        assert_eq!(c.window_tree(0, 0).unwrap().encode(), before);
+        assert_eq!(c.window_epoch(0, 0), 0);
+    }
+
+    #[test]
+    fn per_window_coverage_reflects_declared_provenance() {
+        let mut c = Collector::new(Schema::five_feature(), Config::with_budget(100_000));
+        // Window 0: an aggregate claiming sites 0,1 plus a plain frame
+        // from site 4. Window 1: only the plain frame.
+        let mut agg = v3(100, 0, 1, None, tree_of(0, 0, 5, 1));
+        agg.provenance = Some(vec![0, 1]);
+        c.apply(agg).unwrap();
+        c.apply(summary(4, 0, 0, 3, 1)).unwrap();
+        c.apply(summary(4, 1, 0, 3, 1)).unwrap();
+        assert_eq!(
+            c.window_coverage(0).into_iter().collect::<Vec<_>>(),
+            vec![0, 1, 4]
+        );
+        assert_eq!(
+            c.window_coverage(SPAN).into_iter().collect::<Vec<_>>(),
+            vec![4]
+        );
+        assert!(c.window_coverage(2 * SPAN).is_empty());
+        assert_eq!(c.window_provenance(0, 100), Some(&[0u16, 1][..]));
+        assert_eq!(c.window_provenance(0, 4), None);
+        // Eviction forgets the ledger with the windows.
+        c.evict_windows_before(SPAN);
+        assert!(c.window_coverage(0).is_empty());
+        assert_eq!(c.window_epoch(0, 100), 0);
+    }
 }
 
 #[test]

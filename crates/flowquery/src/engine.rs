@@ -31,6 +31,19 @@ pub struct Row {
     pub share: f64,
 }
 
+/// One window's coverage gap in a scoped answer: sites the scope asked
+/// for that have data *somewhere* in range but not in this window —
+/// per-window truth, where a lifetime union would still advertise
+/// them. Sites with no data anywhere are a different (coarser) signal
+/// and are reported separately by the callers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageGap {
+    /// The window's start (epoch ms).
+    pub window_start_ms: u64,
+    /// The scope sites absent from this window, ascending.
+    pub missing: Vec<u16>,
+}
+
 /// Result of running a query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryOutput {
@@ -138,6 +151,60 @@ impl<'a> QueryEngine<'a> {
                 QueryOutput::Table(hhh_rows(&self.merged(scope), *phi, *metric))
             }
         }
+    }
+
+    /// The per-window coverage gaps of a scope: for every stored
+    /// window in range, which of the scope's sites were **not** folded
+    /// into it — read off the collector's per-window provenance, so a
+    /// site that reported other windows but skipped this one is
+    /// reported for exactly this window. Sites with no data in any
+    /// in-range window are excluded (they are lifetime-missing, a
+    /// coarser signal the hierarchy planner reports separately).
+    pub fn coverage_gaps(&self, scope: &Scope) -> Vec<CoverageGap> {
+        let mut starts: Vec<u64> = self
+            .collector
+            .window_keys()
+            .into_iter()
+            .map(|(start, _)| start)
+            .filter(|&s| s >= scope.from_ms && s < scope.to_ms)
+            .collect();
+        starts.dedup();
+        let mut lifetime: std::collections::BTreeSet<u16> = std::collections::BTreeSet::new();
+        let per_window: Vec<(u64, std::collections::BTreeSet<u16>)> = starts
+            .into_iter()
+            .map(|s| {
+                let cov = self.collector.window_coverage(s);
+                lifetime.extend(cov.iter().copied());
+                (s, cov)
+            })
+            .collect();
+        let wanted: Vec<u16> = match &scope.sites {
+            Some(sites) => {
+                let mut v: Vec<u16> = sites
+                    .iter()
+                    .copied()
+                    .filter(|s| lifetime.contains(s))
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+            None => lifetime.iter().copied().collect(),
+        };
+        per_window
+            .into_iter()
+            .filter_map(|(start, cov)| {
+                let missing: Vec<u16> = wanted
+                    .iter()
+                    .copied()
+                    .filter(|s| !cov.contains(s))
+                    .collect();
+                (!missing.is_empty()).then_some(CoverageGap {
+                    window_start_ms: start,
+                    missing,
+                })
+            })
+            .collect()
     }
 
     fn merged(&self, scope: &Scope) -> Arc<FlowTree> {

@@ -20,5 +20,5 @@ pub mod engine;
 pub mod parse;
 
 pub use ast::{Query, Scope};
-pub use engine::{run_on_tree, QueryEngine, QueryOutput, Row};
+pub use engine::{run_on_tree, CoverageGap, QueryEngine, QueryOutput, Row};
 pub use parse::{parse, QueryParseError};

@@ -1,0 +1,359 @@
+//! `relayd` — a socketed aggregation-relay daemon.
+//!
+//! Wires the library's TCP surfaces ([`flowrelay::server`]) and the
+//! wall-clock export scheduler ([`Relay::drain_exports_at`]) behind
+//! CLI flags, so a relay runs as a process instead of a library call:
+//!
+//! * an **ingest** listener accepting length-prefixed summary frames
+//!   from site daemons or deeper relays (any number of connections,
+//!   one thread each; malformed frames are counted, never fatal);
+//! * a **query** listener speaking the status-byte + route-header text
+//!   protocol over the same framing;
+//! * an **export scheduler** thread draining complete windows every
+//!   tick against the wall clock — incrementally re-exporting windows
+//!   that keep receiving late frames, as structural deltas by default
+//!   — and shipping them to `--upstream`. Undeliverable exports stay
+//!   in a pending buffer and retry on later ticks (an upstream
+//!   restart must not lose frames or fork the epoch chain); without
+//!   an upstream they are logged and dropped (e.g. at the root).
+//!   `--retention-ms` evicts old windows (trees, ledger, export
+//!   state) so a long-running daemon stays bounded.
+//!
+//! ```sh
+//! relayd --name west --agg-site 101 --sites 0,1,2,3 \
+//!        --ingest 127.0.0.1:7401 --query 127.0.0.1:7402 \
+//!        --upstream 127.0.0.1:7501 --mode delta --linger-ms 2000
+//! ```
+
+use flowdist::net::{read_frame, write_frame};
+use flowdist::Summary;
+use flowrelay::server::{answer_query, ship_summaries};
+use flowrelay::{
+    ExportConfig, ExportMode, QueryRouter, Relay, RelayConfig, RelaySpec, RelayTopology,
+};
+use flowtree_core::Config;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+const HELP: &str = "\
+relayd — socketed Flowtree aggregation relay
+
+USAGE:
+    relayd [FLAGS]
+
+FLAGS:
+    --name NAME           relay name shown in query routes  [default: relay]
+    --agg-site ID         id this relay's exports carry     [default: 1000]
+    --sites A,B,..        real sites this relay covers      [default: 0,1,2,3]
+    --ingest ADDR         TCP bind for summary-frame ingest [default: 127.0.0.1:7401]
+    --query ADDR          TCP bind for text queries         [default: 127.0.0.1:7402]
+    --upstream ADDR       ship exports to this TCP peer     [default: none — exports are logged and dropped]
+    --mode full|delta     re-export whole windows or deltas [default: delta]
+    --linger-ms N         wall-clock grace past a window's end before it exports [default: 2000]
+    --drain-every-ms N    export-scheduler tick             [default: 1000]
+    --max-bases N         pinned re-aggregation bases kept  [default: 64]
+    --budget N            tree node budget                  [default: 1048576]
+    --retention-ms N      evict windows older than this (0 = keep forever) [default: 86400000]
+    --oneshot             drain once, print counters, exit (smoke testing)
+    --help                print this help
+";
+
+/// Tiny `--key value` scanner (no clap offline).
+struct Args(Vec<String>);
+
+impl Args {
+    fn get(&self, name: &str) -> Option<&str> {
+        let flag = format!("--{name}");
+        self.0
+            .iter()
+            .position(|a| *a == flag)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|a| *a == format!("--{name}"))
+    }
+}
+
+fn wall_clock_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Runtime logging that survives a closed stderr: a supervisor (or a
+/// test harness) dropping the pipe must degrade logging, never kill
+/// the daemon mid-export (`eprintln!` panics on a broken pipe).
+fn log(msg: core::fmt::Arguments<'_>) {
+    use std::io::Write as _;
+    let _ = writeln!(std::io::stderr(), "{msg}");
+}
+
+fn main() {
+    let args = Args(std::env::args().skip(1).collect());
+    if args.has("help") {
+        print!("{HELP}");
+        return;
+    }
+
+    let name = args.get("name").unwrap_or("relay").to_string();
+    let agg_site: u16 = args
+        .get("agg-site")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000);
+    let sites: Vec<u16> = args
+        .get("sites")
+        .unwrap_or("0,1,2,3")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let ingest_addr = args.get("ingest").unwrap_or("127.0.0.1:7401").to_string();
+    let query_addr = args.get("query").unwrap_or("127.0.0.1:7402").to_string();
+    let upstream = args.get("upstream").map(str::to_string);
+    let mode = match args.get("mode") {
+        Some("full") => ExportMode::Full,
+        _ => ExportMode::Delta,
+    };
+    let linger_ms: u64 = args
+        .get("linger-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    let drain_every: u64 = args
+        .get("drain-every-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000);
+    let max_bases: usize = args
+        .get("max-bases")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let budget: usize = args
+        .get("budget")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1 << 20);
+    let retention_ms: u64 = args
+        .get("retention-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(86_400_000);
+    if sites.is_empty() {
+        eprintln!("relayd: --sites must name at least one site");
+        std::process::exit(2);
+    }
+
+    // A solo topology so the query router can plan over this node.
+    let topo = RelayTopology {
+        relays: vec![RelaySpec {
+            name: name.clone(),
+            parent: None,
+            agg_site,
+            sites: sites.clone(),
+        }],
+    };
+    if let Err(e) = topo.validate() {
+        eprintln!("relayd: invalid configuration: {e}");
+        std::process::exit(2);
+    }
+    let relay = Relay::new(RelayConfig {
+        name: name.clone(),
+        agg_site,
+        expected: sites.clone(),
+        schema: flowkey::Schema::five_feature(),
+        tree: Config::with_budget(budget),
+        export: ExportConfig {
+            mode,
+            linger_ms,
+            max_bases,
+        },
+    });
+    let relay = Arc::new(Mutex::new(relay));
+
+    // --- ingest listener -------------------------------------------------
+    let ingest = TcpListener::bind(&ingest_addr).unwrap_or_else(|e| {
+        eprintln!("relayd: cannot bind ingest {ingest_addr}: {e}");
+        std::process::exit(1);
+    });
+    let ingest_resolved = ingest
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| ingest_addr.clone());
+    {
+        let relay = Arc::clone(&relay);
+        std::thread::Builder::new()
+            .name("relayd-ingest".into())
+            .spawn(move || {
+                for conn in ingest.incoming() {
+                    let Ok(conn) = conn else { continue };
+                    let relay = Arc::clone(&relay);
+                    let _ = std::thread::Builder::new()
+                        .name("relayd-ingest-conn".into())
+                        .spawn(move || {
+                            // Lock per frame, not per connection: a
+                            // long-lived downstream must not starve
+                            // queries or the export scheduler.
+                            let mut reader = BufReader::new(conn);
+                            while let Ok(Some(frame)) = read_frame(&mut reader) {
+                                let _ = relay.lock().expect("relay lock").ingest_frame(&frame);
+                            }
+                        });
+                }
+            })
+            .expect("spawn ingest thread");
+    }
+
+    // --- query listener --------------------------------------------------
+    let queries = TcpListener::bind(&query_addr).unwrap_or_else(|e| {
+        eprintln!("relayd: cannot bind query {query_addr}: {e}");
+        std::process::exit(1);
+    });
+    // Resolved addresses (a `:0` bind picks a port) — parseable, so
+    // scripts and tests can discover where the daemon actually lives.
+    eprintln!(
+        "relayd[{name}]: ingest on {ingest_resolved}, queries on {}, mode {mode:?}",
+        queries
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| query_addr.clone()),
+    );
+    {
+        let relay = Arc::clone(&relay);
+        std::thread::Builder::new()
+            .name("relayd-query".into())
+            .spawn(move || {
+                for conn in queries.incoming() {
+                    let Ok(mut conn) = conn else { continue };
+                    let relay = Arc::clone(&relay);
+                    let topo = topo.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("relayd-query-conn".into())
+                        .spawn(move || {
+                            // Lock per *request*, never per
+                            // connection: an idle client sitting on
+                            // an open connection must not starve
+                            // ingest or the export scheduler. The
+                            // reader persists across requests so
+                            // pipelined frames survive its read-ahead.
+                            let Ok(read_half) = conn.try_clone() else {
+                                return;
+                            };
+                            let mut reader = BufReader::new(read_half);
+                            loop {
+                                let frame = match read_frame(&mut reader) {
+                                    Ok(Some(f)) => f,
+                                    Ok(None) | Err(_) => return,
+                                };
+                                let response = {
+                                    let guard = relay.lock().expect("relay lock");
+                                    let relays = std::slice::from_ref(&*guard);
+                                    let router = QueryRouter::new(&topo, relays);
+                                    answer_query(&router, &frame)
+                                };
+                                if write_frame(&mut conn, &response).is_err() {
+                                    return;
+                                }
+                            }
+                        });
+                }
+            })
+            .expect("spawn query thread");
+    }
+
+    // --- export scheduler (wall-clock watermarks) ------------------------
+    let oneshot = args.has("oneshot");
+    let mut upstream_conn: Option<TcpStream> = None;
+    // Exports drained but not yet delivered upstream. Draining
+    // advances the relay's per-window export state, so silently losing
+    // these would fork the epoch chain: the next delta would declare a
+    // base the upstream never received and be rejected forever. They
+    // stay here, in order, until a write succeeds — bounded: a long
+    // outage sheds the oldest frames and marks their windows
+    // unshipped, so they re-export as full rebasing frames once the
+    // upstream returns instead of exhausting memory here.
+    const MAX_PENDING: usize = 4_096;
+    let mut pending: Vec<Summary> = Vec::new();
+    loop {
+        std::thread::sleep(Duration::from_millis(if oneshot { 0 } else { drain_every }));
+        pending.extend(
+            relay
+                .lock()
+                .expect("relay lock")
+                .drain_exports_at(wall_clock_ms()),
+        );
+        if pending.len() > MAX_PENDING {
+            let shed = pending.len() - MAX_PENDING;
+            let mut guard = relay.lock().expect("relay lock");
+            for e in pending.drain(..shed) {
+                guard.mark_unshipped(e.window.start_ms);
+            }
+            drop(guard);
+            log(format_args!(
+                "relayd[{name}]: pending overflow, shed {shed} exports; their windows will rebase"
+            ));
+        }
+        if !pending.is_empty() {
+            match &upstream {
+                Some(addr) => {
+                    if upstream_conn.is_none() {
+                        upstream_conn = TcpStream::connect(addr)
+                            .map_err(|e| log(format_args!("relayd[{name}]: upstream {addr}: {e}")))
+                            .ok();
+                    }
+                    if let Some(conn) = &mut upstream_conn {
+                        match ship_summaries(conn, &pending) {
+                            Ok(()) => pending.clear(),
+                            Err(_) => {
+                                log(format_args!(
+                                    "relayd[{name}]: upstream write failed; {} exports pending, retrying next drain",
+                                    pending.len()
+                                ));
+                                upstream_conn = None;
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for e in pending.drain(..) {
+                        log(format_args!(
+                            "relayd[{name}]: export window {} epoch {} ({:?}, {} bytes) — no upstream, dropped",
+                            e.window,
+                            e.epoch.map(|h| h.epoch).unwrap_or(0),
+                            e.kind,
+                            e.encoded_size()
+                        ));
+                    }
+                }
+            }
+        }
+        if retention_ms > 0 {
+            let cutoff = wall_clock_ms().saturating_sub(retention_ms);
+            let evicted = relay
+                .lock()
+                .expect("relay lock")
+                .evict_windows_before(cutoff);
+            if evicted > 0 {
+                log(format_args!(
+                    "relayd[{name}]: retention evicted {evicted} windows older than {cutoff}ms"
+                ));
+            }
+        }
+        if oneshot {
+            let guard = relay.lock().expect("relay lock");
+            let l = guard.ledger();
+            log(format_args!(
+                "relayd[{name}]: frames {} (rejected {}), exports {} ({} full / {} delta), bytes {} ({} full / {} delta), pending {}",
+                l.frames,
+                l.rejected,
+                l.exported,
+                l.full_exports,
+                l.delta_exports,
+                l.exported_bytes,
+                l.full_export_bytes,
+                l.delta_export_bytes,
+                pending.len()
+            ));
+            return;
+        }
+    }
+}

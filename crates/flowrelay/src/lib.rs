@@ -55,8 +55,8 @@ pub mod sim;
 pub mod topology;
 
 pub use plan::{QueryRouter, Route, Routed};
-pub use relay::{Compose, Relay, RelayConfig, RelayLedger};
-pub use sim::{run_hierarchy, HierarchyReport};
+pub use relay::{Compose, ExportConfig, ExportMode, Relay, RelayConfig, RelayLedger};
+pub use sim::{run_hierarchy, run_hierarchy_with, DrainCadence, HierarchyOptions, HierarchyReport};
 pub use topology::{RelaySpec, RelayTopology, TopologyError};
 
 use flowdist::DistError;

@@ -26,9 +26,9 @@
 use crate::relay::Relay;
 use crate::topology::RelayTopology;
 use flowquery::ast::{Query, Scope};
-use flowquery::{run_on_tree, QueryEngine, QueryOutput, Row};
+use flowquery::{run_on_tree, CoverageGap, QueryEngine, QueryOutput, Row};
 use flowtree_core::{FlowTree, Metric, PopEst};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Where the planner sent a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +63,12 @@ pub struct Routed {
     pub route: Route,
     /// Scope sites with no live data anywhere in the hierarchy.
     pub missing: Vec<u16>,
+    /// Per-window coverage gaps at the consulted tier(s): scope sites
+    /// that have data in range but were **not** folded into a
+    /// particular window (per-window provenance, not a lifetime
+    /// union) — a window missing one site reports exactly that window,
+    /// and no longer advertises the site elsewhere.
+    pub missing_windows: Vec<CoverageGap>,
 }
 
 /// The planner over one hierarchy (relays indexed as in the topology).
@@ -133,6 +139,7 @@ impl<'a> QueryRouter<'a> {
                 .any(|k| self.topo.relays.iter().any(|r| r.agg_site == *k));
             let rewritten = with_scope_sites(query, Some(keys));
             let output = QueryEngine::new(relay.collector()).run(&rewritten);
+            let missing_windows = self.window_gaps(&[(idx, live_wanted.clone())], scope);
             return Routed {
                 output,
                 route: Route::Relay {
@@ -140,9 +147,65 @@ impl<'a> QueryRouter<'a> {
                     via_aggregates,
                 },
                 missing,
+                missing_windows,
             };
         }
         self.run_fanout(query, &live_wanted, missing)
+    }
+
+    /// Per-window coverage gaps across the consulted `(relay, scope
+    /// slice)` parts: the union of window starts any part stores in
+    /// range, each checked against every part's **per-window**
+    /// provenance — so a site that skipped one window is reported for
+    /// exactly that window. Sites with no in-range data at their part
+    /// are excluded (they are in the lifetime `missing` already).
+    fn window_gaps(&self, parts: &[(usize, Vec<u16>)], scope: &Scope) -> Vec<CoverageGap> {
+        if let [(idx, sites)] = parts {
+            // Single consulted relay: the flat engine's coverage-gap
+            // sweep over its collector is exactly this computation.
+            return QueryEngine::new(self.relays[*idx].collector()).coverage_gaps(&Scope {
+                sites: Some(sites.clone()),
+                from_ms: scope.from_ms,
+                to_ms: scope.to_ms,
+            });
+        }
+        let in_range = |start: u64| start >= scope.from_ms && start < scope.to_ms;
+        let mut starts: BTreeSet<u64> = BTreeSet::new();
+        for (idx, _) in parts {
+            starts.extend(
+                self.relays[*idx]
+                    .collector()
+                    .window_keys()
+                    .into_iter()
+                    .map(|(start, _)| start)
+                    .filter(|&s| in_range(s)),
+            );
+        }
+        let mut gaps: BTreeMap<u64, BTreeSet<u16>> = BTreeMap::new();
+        for (idx, sites) in parts {
+            let relay = &self.relays[*idx];
+            let coverage: Vec<(u64, BTreeSet<u16>)> = starts
+                .iter()
+                .map(|&s| (s, relay.window_coverage(s)))
+                .collect();
+            let lifetime: BTreeSet<u16> = coverage
+                .iter()
+                .flat_map(|(_, cov)| cov.iter().copied())
+                .collect();
+            for (start, cov) in &coverage {
+                for site in sites {
+                    if lifetime.contains(site) && !cov.contains(site) {
+                        gaps.entry(*start).or_default().insert(*site);
+                    }
+                }
+            }
+        }
+        gaps.into_iter()
+            .map(|(window_start_ms, missing)| CoverageGap {
+                window_start_ms,
+                missing: missing.into_iter().collect(),
+            })
+            .collect()
     }
 
     /// The scope's requested sites (`None` = every topology site).
@@ -182,6 +245,7 @@ impl<'a> QueryRouter<'a> {
             }
         }
         let relays: Vec<usize> = parts.iter().map(|(i, _)| *i).collect();
+        let missing_windows = self.window_gaps(&parts, scope);
         let output = match query {
             Query::Pop { pattern, .. } => {
                 // Exact: per-window estimates are additive across
@@ -209,6 +273,7 @@ impl<'a> QueryRouter<'a> {
                                 output: QueryOutput::Table(Vec::new()),
                                 route: Route::FanOut { relays },
                                 missing,
+                                missing_windows,
                             }
                         }
                     },
@@ -229,6 +294,7 @@ impl<'a> QueryRouter<'a> {
             output,
             route: Route::FanOut { relays },
             missing,
+            missing_windows,
         }
     }
 
@@ -247,6 +313,7 @@ impl<'a> QueryRouter<'a> {
             .filter(|s| !live.contains(s))
             .collect();
         let mut relays: Vec<usize> = Vec::new();
+        let mut parts: Vec<(usize, Vec<u16>)> = Vec::new();
         let mut rows: Vec<Row> = Vec::new();
         let mut total = 0.0f64;
         let mut per_site: Vec<(u16, PopEst)> = Vec::new();
@@ -255,6 +322,10 @@ impl<'a> QueryRouter<'a> {
                 Some(owner) => {
                     if !relays.contains(&owner) {
                         relays.push(owner);
+                    }
+                    match parts.iter_mut().find(|(i, _)| *i == owner) {
+                        Some((_, sites)) => sites.push(site),
+                        None => parts.push((owner, vec![site])),
                     }
                     self.relays[owner].collector().query(
                         pattern,
@@ -287,6 +358,7 @@ impl<'a> QueryRouter<'a> {
             output: QueryOutput::Table(rows),
             route: Route::BySite { relays },
             missing,
+            missing_windows: self.window_gaps(&parts, scope),
         }
     }
 }

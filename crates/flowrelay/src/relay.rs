@@ -19,17 +19,88 @@
 //!   cannot inject a foreign site's traffic;
 //! * two different downstreams may never claim the same site — that
 //!   would double-count it in every aggregate;
-//! * aggregates are `Full` only, and all frames must agree on the
-//!   window span.
+//! * pre-epoch (v2) aggregates are `Full` only, and all frames must
+//!   agree on the window span.
 //!
 //! Rejected frames are counted in the [`RelayLedger`], never fatal —
 //! the relay outlives hostile peers exactly as the collector does.
+//!
+//! ## The export scheduler
+//!
+//! Every accepted frame advances its window's **content epoch**; a
+//! window is re-exported whenever its content moved past what was last
+//! shipped. Three drain entry points share the machinery:
+//!
+//! * [`Relay::drain_exports_at`] — the wall-clock path: a window
+//!   exports once `now` passes its end plus the configured linger, and
+//!   **re-exports incrementally** on later drains if late downstream
+//!   frames kept arriving (late data used to be stored but never
+//!   re-shipped);
+//! * [`Relay::drain_exports`] — the content-watermark path (every
+//!   reporting downstream moved past the window);
+//! * [`Relay::flush_exports`] — everything with unshipped content
+//!   (shutdown / end of trace).
+//!
+//! Under [`ExportMode::Delta`] a re-export ships the structural
+//! difference ([`FlowTree::diff_many`]) against the **pinned
+//! re-aggregation base** — the exact merged aggregate as of the
+//! previous export — as a version-3 frame declaring both epochs, so
+//! the upstream composes deltas deterministically. The relay falls
+//! back to a full (rebasing) frame whenever the base is gone
+//! ([`Relay::drop_export_bases`], the bound of
+//! [`ExportConfig::max_bases`]), the delta is non-monotone (a
+//! downstream replaced a window, so masses left — merging such a delta
+//! upstream could leave ghost structure a full rebuild would not), or
+//! the delta failed to undercut the full frame's size. Every export —
+//! full or delta — carries **per-window provenance**: the sites
+//! actually folded into that window, never a lifetime union, so a
+//! window missing one site no longer advertises it.
 
 use crate::RelayError;
-use flowdist::{Collector, DistError, Summary, SummaryKind, WindowId};
+use flowdist::{Collector, DistError, EpochHeader, Summary, SummaryKind, WindowId};
 use flowkey::Schema;
 use flowtree_core::{Config, FlowTree};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// How a relay ships a window upstream when its content advances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExportMode {
+    /// Re-export the window's complete aggregate every time — the
+    /// reference path the delta stream is property-pinned against.
+    Full,
+    /// Ship the structural delta against the pinned re-aggregation
+    /// base; full-frame fallback on base loss, non-monotone content,
+    /// or delta-size regression.
+    #[default]
+    Delta,
+}
+
+/// Export-scheduler tuning of one relay.
+#[derive(Debug, Clone, Copy)]
+pub struct ExportConfig {
+    /// Delta or full re-export (see [`ExportMode`]).
+    pub mode: ExportMode,
+    /// Wall-clock grace after a window's end before
+    /// [`Relay::drain_exports_at`] considers it exportable — absorbs
+    /// downstream skew without holding every window hostage to the
+    /// slowest site.
+    pub linger_ms: u64,
+    /// Pinned re-aggregation bases kept at once (one per exported
+    /// window under [`ExportMode::Delta`]); the oldest windows lose
+    /// their base first and fall back to a full re-export if they ever
+    /// change again.
+    pub max_bases: usize,
+}
+
+impl Default for ExportConfig {
+    fn default() -> ExportConfig {
+        ExportConfig {
+            mode: ExportMode::default(),
+            linger_ms: 0,
+            max_bases: 64,
+        }
+    }
+}
 
 /// Construction parameters of one relay.
 #[derive(Debug, Clone)]
@@ -45,6 +116,8 @@ pub struct RelayConfig {
     pub schema: Schema,
     /// Tree budget/policies for stored and merged trees.
     pub tree: Config,
+    /// Export-scheduler tuning (delta vs full, linger, base bound).
+    pub export: ExportConfig,
 }
 
 /// Work counters of one relay.
@@ -58,12 +131,29 @@ pub struct RelayLedger {
     pub agg_frames: u64,
     /// Frames rejected (malformed, coverage violations, overlaps…).
     pub rejected: u64,
-    /// Upstream aggregates exported.
+    /// Upstream aggregates exported (full and delta frames).
     pub exported: u64,
     /// Encoded bytes of those exports.
     pub exported_bytes: u64,
-    /// Accepted frames for windows already exported upstream (stored
-    /// locally, but the upstream aggregate no longer reflects them).
+    /// Full frames among the exports (first exports, rebases,
+    /// fallbacks).
+    pub full_exports: u64,
+    /// Encoded bytes of the full frames.
+    pub full_export_bytes: u64,
+    /// Delta frames among the exports.
+    pub delta_exports: u64,
+    /// Encoded bytes of the delta frames.
+    pub delta_export_bytes: u64,
+    /// Re-exports that wanted to ship a delta but fell back to a full
+    /// frame: non-monotone content or delta-size regression.
+    pub delta_fallbacks: u64,
+    /// Re-exports that fell back to a full frame because the pinned
+    /// base was gone (dropped by [`ExportConfig::max_bases`] or
+    /// [`Relay::drop_export_bases`]).
+    pub base_losses: u64,
+    /// Accepted frames for windows already exported upstream — under
+    /// the incremental scheduler these re-export as deltas on the next
+    /// drain instead of silently diverging from the upstream.
     pub late_downstream: u64,
 }
 
@@ -77,6 +167,21 @@ pub struct Compose {
     pub missing: Vec<u16>,
 }
 
+/// Per-window export state: how far the content has moved, how far
+/// the upstream has seen it, and the pinned re-aggregation base deltas
+/// compose against.
+#[derive(Debug, Default)]
+struct WindowState {
+    /// Bumped by every accepted frame that folds into this window.
+    content_epoch: u64,
+    /// The content epoch last shipped upstream (0 = never).
+    exported_epoch: u64,
+    /// The merged aggregate exactly as of the last export, keyed by
+    /// its epoch — the base the next delta is diffed against. `None`
+    /// after base loss (next export rebases with a full frame).
+    base: Option<(u64, FlowTree)>,
+}
+
 /// One aggregation node (see the module docs).
 #[derive(Debug)]
 pub struct Relay {
@@ -84,13 +189,21 @@ pub struct Relay {
     expected: BTreeSet<u16>,
     collector: Collector,
     /// Stored key → the real sites it has claimed (singleton for site
-    /// frames, the provenance union for child aggregates).
+    /// frames, the provenance union for child aggregates). Lifetime
+    /// bookkeeping for the overlap discipline; per-window truth lives
+    /// in the collector's epoch ledger.
     provenance: BTreeMap<u16, BTreeSet<u16>>,
     /// Established window span (first accepted frame wins).
     span_ms: Option<u64>,
-    /// Export cursor: every stored window starting below this was
-    /// already aggregated upstream.
-    exported_below: u64,
+    /// Per-window export scheduling state.
+    windows: BTreeMap<u64, WindowState>,
+    /// Epoch continuity across retention: the content epoch each
+    /// evicted window had reached, so a frame re-arriving after
+    /// eviction continues the chain (strictly advancing past whatever
+    /// the upstream holds) instead of restarting at epoch 1 and being
+    /// rejected as stale forever. Bounded by
+    /// [`Relay::MAX_EVICTED_EPOCHS`], oldest dropped first.
+    evicted_epochs: BTreeMap<u64, u64>,
     seq: u64,
     ledger: RelayLedger,
 }
@@ -105,19 +218,37 @@ impl Relay {
             collector,
             provenance: BTreeMap::new(),
             span_ms: None,
-            exported_below: 0,
+            windows: BTreeMap::new(),
+            evicted_epochs: BTreeMap::new(),
             seq: 0,
             ledger: RelayLedger::default(),
             cfg,
         }
     }
 
-    /// Builds the relay at `idx` of a validated topology.
+    /// Evicted-window epoch-continuity entries kept (16 bytes each —
+    /// tiny next to the trees retention exists to shed).
+    pub const MAX_EVICTED_EPOCHS: usize = 65_536;
+
+    /// Builds the relay at `idx` of a validated topology with the
+    /// default export scheduling.
     pub fn from_topology(
         topo: &crate::RelayTopology,
         idx: usize,
         schema: Schema,
         tree: Config,
+    ) -> Relay {
+        Relay::from_topology_with(topo, idx, schema, tree, ExportConfig::default())
+    }
+
+    /// Builds the relay at `idx` of a validated topology with explicit
+    /// export scheduling.
+    pub fn from_topology_with(
+        topo: &crate::RelayTopology,
+        idx: usize,
+        schema: Schema,
+        tree: Config,
+        export: ExportConfig,
     ) -> Relay {
         let spec = &topo.relays[idx];
         Relay::new(RelayConfig {
@@ -126,6 +257,7 @@ impl Relay {
             expected: topo.coverage(idx).into_iter().collect(),
             schema,
             tree,
+            export,
         })
     }
 
@@ -208,7 +340,12 @@ impl Relay {
     }
 
     fn check_and_apply(&mut self, summary: Summary) -> Result<(), RelayError> {
-        if summary.provenance.is_some() && summary.kind != SummaryKind::Full {
+        // Pre-epoch (v2) aggregates must be full; a v3 frame may be a
+        // delta — the collector's epoch ledger gates its application.
+        if summary.provenance.is_some()
+            && summary.kind != SummaryKind::Full
+            && summary.epoch.is_none()
+        {
             return Err(DistError::BadFrame("aggregate summaries must be full").into());
         }
         if let Some(span) = self.span_ms {
@@ -242,7 +379,19 @@ impl Relay {
         } else {
             self.ledger.site_frames += 1;
         }
-        if window.start_ms < self.exported_below {
+        let st = self.windows.entry(window.start_ms).or_insert_with(|| {
+            // A window re-arriving after eviction resumes its epoch
+            // chain where it left off: the next export must strictly
+            // advance past whatever the upstream still holds.
+            let resumed = self.evicted_epochs.remove(&window.start_ms).unwrap_or(0);
+            WindowState {
+                content_epoch: resumed,
+                exported_epoch: resumed,
+                base: None,
+            }
+        });
+        st.content_epoch += 1;
+        if st.exported_epoch > 0 {
             self.ledger.late_downstream += 1;
         }
         Ok(())
@@ -280,11 +429,13 @@ impl Relay {
         }
     }
 
-    /// Exports every complete window not yet exported: a window is
-    /// complete once **every** reporting downstream has moved past it
-    /// (the minimum over stored keys of their newest window). A
+    /// Exports every complete window with unshipped content: a window
+    /// is complete once **every** reporting downstream has moved past
+    /// it (the minimum over stored keys of their newest window). A
     /// downstream that never reported does not hold the watermark
-    /// back. Use [`Relay::flush_exports`] at end of stream.
+    /// back; a window that gained late frames after a previous export
+    /// **re-exports incrementally**. Use [`Relay::flush_exports`] at
+    /// end of stream.
     pub fn drain_exports(&mut self) -> Vec<Summary> {
         let mut newest_per_key: BTreeMap<u16, u64> = BTreeMap::new();
         for (start, key) in self.collector.window_keys() {
@@ -294,55 +445,210 @@ impl Relay {
         let Some(&watermark) = newest_per_key.values().min() else {
             return Vec::new();
         };
-        self.export_below(watermark)
+        self.export_ready(|start, _span| start < watermark)
     }
 
-    /// Exports every stored window not yet exported, regardless of
-    /// downstream watermarks (end of trace / shutdown).
+    /// The wall-clock export scheduler: exports every window whose end
+    /// lies at least [`ExportConfig::linger_ms`] behind `now_ms` and
+    /// whose content advanced since the last export — so a window that
+    /// keeps receiving late downstream frames keeps re-exporting
+    /// (incrementally, under [`ExportMode::Delta`]) instead of
+    /// silently diverging from the upstream.
+    pub fn drain_exports_at(&mut self, now_ms: u64) -> Vec<Summary> {
+        let linger = self.cfg.export.linger_ms;
+        self.export_ready(|start, span| start.saturating_add(span).saturating_add(linger) <= now_ms)
+    }
+
+    /// Exports every window with unshipped content, regardless of
+    /// watermarks (end of trace / shutdown).
     pub fn flush_exports(&mut self) -> Vec<Summary> {
-        self.export_below(u64::MAX)
+        self.export_ready(|_, _| true)
     }
 
-    fn export_below(&mut self, limit: u64) -> Vec<Summary> {
+    /// Drops every pinned re-aggregation base (simulating a restart or
+    /// memory-pressure shedding). Windows that change afterwards fall
+    /// back to a full rebasing export — the stream stays correct, it
+    /// just pays full-frame bytes once per affected window.
+    pub fn drop_export_bases(&mut self) {
+        for st in self.windows.values_mut() {
+            st.base = None;
+        }
+    }
+
+    /// Retention: drops every stored window (collector trees, epoch
+    /// ledger, export state, pinned bases) starting before
+    /// `cutoff_ms`. Without this a long-running relay accumulates one
+    /// [`WindowState`] per window forever. Returns how many collector
+    /// windows were evicted.
+    ///
+    /// Epoch **continuity** survives eviction (a bounded map of
+    /// evicted windows' content epochs): a frame re-arriving later
+    /// resumes the chain and re-exports strictly past whatever the
+    /// upstream holds — restarting at epoch 1 would be rejected as
+    /// stale forever. The re-export carries only the re-arrived
+    /// content (the evicted trees are gone); an upstream with longer
+    /// retention is replaced wholesale — the relay is authoritative
+    /// for its subtree.
+    pub fn evict_windows_before(&mut self, cutoff_ms: u64) -> usize {
+        let keep = self.windows.split_off(&cutoff_ms);
+        for (start, st) in std::mem::replace(&mut self.windows, keep) {
+            self.evicted_epochs.insert(start, st.content_epoch);
+        }
+        while self.evicted_epochs.len() > Self::MAX_EVICTED_EPOCHS {
+            self.evicted_epochs.pop_first();
+        }
+        self.collector.evict_windows_before(cutoff_ms)
+    }
+
+    /// Tells the relay that previously drained exports for a window
+    /// were **lost in transit** (a shipper shedding its pending buffer
+    /// calls this): the window's export state rewinds so its next
+    /// drain re-exports the whole aggregate as a full rebasing frame —
+    /// strictly advancing past anything the upstream received, so the
+    /// chain heals instead of forking.
+    pub fn mark_unshipped(&mut self, window_start_ms: u64) {
+        if let Some(st) = self.windows.get_mut(&window_start_ms) {
+            st.exported_epoch = 0;
+            st.base = None;
+        }
+    }
+
+    /// The shared drain: every window `ready` admits whose content
+    /// epoch moved past its exported epoch ships one frame, oldest
+    /// window first.
+    fn export_ready<F: Fn(u64, u64) -> bool>(&mut self, ready: F) -> Vec<Summary> {
         let Some(span) = self.span_ms else {
             return Vec::new();
         };
-        // One pass over the stored (window, key) pairs groups every
-        // exportable window with the keys present in it.
-        let mut keys_by_window: BTreeMap<u64, Vec<u16>> = BTreeMap::new();
-        for (start, key) in self.collector.window_keys() {
-            if start >= self.exported_below && start < limit {
-                keys_by_window.entry(start).or_default().push(key);
+        let due: Vec<u64> = self
+            .windows
+            .iter()
+            .filter(|(start, st)| st.content_epoch > st.exported_epoch && ready(**start, span))
+            .map(|(start, _)| *start)
+            .collect();
+        let mut out = Vec::with_capacity(due.len());
+        for start in due {
+            out.push(self.export_window(start, span));
+        }
+        self.trim_bases();
+        out
+    }
+
+    /// Builds one export frame for a window and advances its export
+    /// state: a delta against the pinned base when the mode, the
+    /// base's presence, monotone content, and the encoded size all
+    /// agree — a full (rebasing) frame otherwise.
+    fn export_window(&mut self, start: u64, span: u64) -> Summary {
+        let current = self.collector.merged(None, start, start + span);
+        let provenance: Vec<u16> = self.collector.window_coverage(start).into_iter().collect();
+        debug_assert!(!provenance.is_empty(), "exportable windows have content");
+        let delta_mode = self.cfg.export.mode == ExportMode::Delta;
+        let st = self.windows.get_mut(&start).expect("scheduled window");
+        let epoch = st.content_epoch;
+
+        let mut delta_frame: Option<(FlowTree, u64)> = None;
+        if delta_mode && st.exported_epoch > 0 {
+            match st.base.take() {
+                Some((base_epoch, base_tree)) => {
+                    let mut delta = current.clone();
+                    delta
+                        .diff_many(&[&base_tree])
+                        .expect("one relay, one schema");
+                    if !is_monotone(&delta) || delta.encoded_size() >= current.encoded_size() {
+                        // Masses left the window (a downstream
+                        // replaced it) or the delta failed to undercut
+                        // the full frame: rebase.
+                        self.ledger.delta_fallbacks += 1;
+                    } else {
+                        delta_frame = Some((delta, base_epoch));
+                    }
+                }
+                None => {
+                    self.ledger.base_losses += 1;
+                }
             }
         }
-        let mut out = Vec::with_capacity(keys_by_window.len());
-        for (start, present) in keys_by_window {
-            let provenance: BTreeSet<u16> = present
-                .iter()
-                .filter_map(|k| self.provenance.get(k))
-                .flat_map(|sites| sites.iter().copied())
-                .collect();
-            let tree = self.collector.merged(None, start, start + span);
-            self.seq += 1;
-            let summary = Summary {
-                site: self.cfg.agg_site,
-                window: WindowId {
-                    start_ms: start,
-                    span_ms: span,
-                },
-                seq: self.seq,
-                kind: SummaryKind::Full,
-                provenance: Some(provenance.into_iter().collect()),
-                tree,
-            };
-            self.ledger.exported += 1;
-            // Arithmetic size: the caller encodes once to ship; the
-            // ledger must not pay a second full serialization.
-            self.ledger.exported_bytes += summary.encoded_size() as u64;
-            self.exported_below = self.exported_below.max(start + span);
-            out.push(summary);
+        st.exported_epoch = epoch;
+        // Pin the new base without paying an avoidable full-tree copy
+        // on the steady-state delta path: when the delta ships,
+        // `current` moves into the pin; only a full frame (which ships
+        // `current` itself) needs the clone.
+        let (kind, tree, base) = match delta_frame {
+            Some((delta, base_epoch)) => {
+                if delta_mode {
+                    st.base = Some((epoch, current));
+                }
+                (SummaryKind::Delta, delta, Some(base_epoch))
+            }
+            None => {
+                if delta_mode {
+                    st.base = Some((epoch, current.clone()));
+                }
+                (SummaryKind::Full, current, None)
+            }
+        };
+        self.seq += 1;
+        let summary = Summary {
+            site: self.cfg.agg_site,
+            window: WindowId {
+                start_ms: start,
+                span_ms: span,
+            },
+            seq: self.seq,
+            kind,
+            provenance: Some(provenance),
+            epoch: Some(EpochHeader { epoch, base }),
+            tree,
+        };
+        // Arithmetic size: the caller encodes once to ship; the ledger
+        // must not pay a second full serialization.
+        let bytes = summary.encoded_size() as u64;
+        self.ledger.exported += 1;
+        self.ledger.exported_bytes += bytes;
+        match kind {
+            SummaryKind::Full => {
+                self.ledger.full_exports += 1;
+                self.ledger.full_export_bytes += bytes;
+            }
+            SummaryKind::Delta => {
+                self.ledger.delta_exports += 1;
+                self.ledger.delta_export_bytes += bytes;
+            }
         }
-        out
+        summary
+    }
+
+    /// Keeps at most [`ExportConfig::max_bases`] pinned bases, oldest
+    /// windows shedding theirs first.
+    fn trim_bases(&mut self) {
+        let max = self.cfg.export.max_bases;
+        let pinned = self.windows.values().filter(|s| s.base.is_some()).count();
+        if pinned <= max {
+            return;
+        }
+        let mut to_shed = pinned - max;
+        for st in self.windows.values_mut() {
+            if to_shed == 0 {
+                break;
+            }
+            if st.base.is_some() {
+                st.base = None;
+                to_shed -= 1;
+            }
+        }
+    }
+
+    /// The export-scheduler configuration.
+    pub fn export_config(&self) -> &ExportConfig {
+        &self.cfg.export
+    }
+
+    /// The real sites actually folded into one window — per-window
+    /// truth from the embedded collector's epoch ledger, never a
+    /// lifetime union. A site that reported other windows but not this
+    /// one is absent here (and from this window's export provenance).
+    pub fn window_coverage(&self, window_start_ms: u64) -> BTreeSet<u16> {
+        self.collector.window_coverage(window_start_ms)
     }
 
     /// The merged view of a composed scope (delegates to the embedded
@@ -355,6 +661,17 @@ impl Relay {
     ) -> std::sync::Arc<FlowTree> {
         self.collector.merged_view(keys, from_ms, to_ms)
     }
+}
+
+/// Whether every node mass of a diff tree is non-negative — i.e. the
+/// window's content only grew since the base. A delta with negative
+/// masses means a downstream replaced or shrank a window; shipping it
+/// could leave ghost structure upstream that a full rebuild would not
+/// materialize, so the exporter rebases instead.
+fn is_monotone(delta: &FlowTree) -> bool {
+    delta
+        .iter()
+        .all(|v| v.comp.packets >= 0 && v.comp.bytes >= 0 && v.comp.flows >= 0)
 }
 
 #[cfg(test)]
@@ -384,17 +701,23 @@ mod tests {
             seq,
             kind: SummaryKind::Full,
             provenance: None,
+            epoch: None,
             tree,
         }
     }
 
     fn relay(name: &str, agg: u16, expected: &[u16]) -> Relay {
+        relay_with(name, agg, expected, ExportConfig::default())
+    }
+
+    fn relay_with(name: &str, agg: u16, expected: &[u16], export: ExportConfig) -> Relay {
         Relay::new(RelayConfig {
             name: name.into(),
             agg_site: agg,
             expected: expected.to_vec(),
             schema: Schema::five_feature(),
             tree: Config::with_budget(100_000),
+            export,
         })
     }
 
@@ -494,6 +817,276 @@ mod tests {
         let _ = r.flush_exports();
         r.apply(site_summary(1, 0, 0..2, 1)).unwrap();
         assert_eq!(r.ledger().late_downstream, 1);
+    }
+
+    /// Applies a delta/full export stream to a collector and returns
+    /// it (the upstream's view of this relay).
+    fn collect(frames: &[Summary]) -> Collector {
+        let mut c = Collector::new(Schema::five_feature(), Config::with_budget(100_000));
+        for f in frames {
+            c.apply_bytes(&f.encode()).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn late_frames_re_export_incrementally_as_deltas() {
+        let mut r = relay("a", 100, &[0, 1, 2]);
+        // Sites 0 and 1 deliver window 0; wall clock passes its end.
+        r.apply(site_summary(0, 0, 0..3, 1)).unwrap();
+        r.apply(site_summary(1, 0, 0..3, 1)).unwrap();
+        let first = r.drain_exports_at(SPAN);
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].kind, SummaryKind::Full);
+        assert_eq!(first[0].provenance.as_deref(), Some(&[0u16, 1][..]));
+        assert_eq!(first[0].epoch.unwrap().epoch, 2);
+        // Nothing changed: nothing re-exports.
+        assert!(r.drain_exports_at(10 * SPAN).is_empty());
+
+        // Site 2 lands late: the window re-exports as a delta against
+        // the pinned base.
+        r.apply(site_summary(2, 0, 0..4, 1)).unwrap();
+        assert_eq!(r.ledger().late_downstream, 1);
+        let second = r.drain_exports_at(10 * SPAN);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].kind, SummaryKind::Delta);
+        assert_eq!(
+            second[0].epoch.unwrap(),
+            flowdist::EpochHeader {
+                epoch: 3,
+                base: Some(2)
+            }
+        );
+        // Per-window provenance now names all three sites.
+        assert_eq!(second[0].provenance.as_deref(), Some(&[0u16, 1, 2][..]));
+        // The delta carries (roughly) one site's worth of bytes.
+        assert!(
+            second[0].encoded_size() < first[0].encoded_size(),
+            "delta {} vs full {}",
+            second[0].encoded_size(),
+            first[0].encoded_size()
+        );
+        assert_eq!(r.ledger().delta_exports, 1);
+        assert_eq!(r.ledger().full_exports, 1);
+
+        // An upstream applying the stream reconstructs the full merge.
+        let upstream = collect(&[first[0].clone(), second[0].clone()]);
+        assert_eq!(
+            upstream.window_tree(0, 100).unwrap().encode(),
+            r.collector().merged(None, 0, SPAN).encode()
+        );
+        assert_eq!(upstream.window_coverage(0).len(), 3);
+    }
+
+    #[test]
+    fn replacement_falls_back_to_a_full_rebase() {
+        let mut r = relay("a", 100, &[0, 1]);
+        r.apply(site_summary(0, 0, 0..4, 1)).unwrap();
+        let first = r.flush_exports();
+        assert_eq!(first[0].kind, SummaryKind::Full);
+        // The site restarts and re-sends window 0 with *less* content:
+        // the delta would be non-monotone, so the relay rebases.
+        r.apply(site_summary(0, 0, 0..2, 1)).unwrap();
+        let second = r.flush_exports();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].kind, SummaryKind::Full);
+        assert_eq!(second[0].epoch.unwrap().base, None);
+        assert_eq!(r.ledger().delta_fallbacks, 1);
+        // The upstream replaces wholesale and matches the relay.
+        let upstream = collect(&[first[0].clone(), second[0].clone()]);
+        assert_eq!(
+            upstream.window_tree(0, 100).unwrap().encode(),
+            r.collector().merged(None, 0, SPAN).encode()
+        );
+    }
+
+    #[test]
+    fn base_loss_falls_back_to_a_full_rebase_and_recovers() {
+        let mut r = relay("a", 100, &[0, 1]);
+        r.apply(site_summary(0, 0, 0..3, 1)).unwrap();
+        let _ = r.flush_exports();
+        r.drop_export_bases();
+        r.apply(site_summary(1, 0, 0..3, 1)).unwrap();
+        let rebase = r.flush_exports();
+        assert_eq!(rebase[0].kind, SummaryKind::Full);
+        assert_eq!(r.ledger().base_losses, 1);
+        // The next increment deltas off the re-pinned base again.
+        r.apply(site_summary(0, 0, 0..5, 2)).unwrap(); // replacement: fallback
+        let _ = r.flush_exports();
+        r.apply(site_summary(1, 1, 0..2, 2)).unwrap();
+        r.apply(site_summary(1, 0, 0..3, 3)).unwrap(); // overlap? no: same key
+        let out = r.flush_exports();
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn wall_clock_linger_holds_fresh_windows_back() {
+        let mut r = relay_with(
+            "a",
+            100,
+            &[0],
+            ExportConfig {
+                linger_ms: 500,
+                ..ExportConfig::default()
+            },
+        );
+        r.apply(site_summary(0, 0, 0..2, 1)).unwrap();
+        assert!(r.drain_exports_at(SPAN).is_empty(), "inside the linger");
+        assert!(r.drain_exports_at(SPAN + 499).is_empty());
+        let out = r.drain_exports_at(SPAN + 500);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn full_mode_re_exports_whole_aggregates() {
+        let mut r = relay_with(
+            "a",
+            100,
+            &[0, 1],
+            ExportConfig {
+                mode: ExportMode::Full,
+                ..ExportConfig::default()
+            },
+        );
+        r.apply(site_summary(0, 0, 0..3, 1)).unwrap();
+        let first = r.flush_exports();
+        r.apply(site_summary(1, 0, 0..3, 1)).unwrap();
+        let second = r.flush_exports();
+        assert_eq!(second[0].kind, SummaryKind::Full);
+        assert_eq!(second[0].epoch.unwrap().epoch, 2);
+        assert_eq!(r.ledger().delta_exports, 0);
+        let upstream = collect(&[first[0].clone(), second[0].clone()]);
+        assert_eq!(
+            upstream.window_tree(0, 100).unwrap().encode(),
+            r.collector().merged(None, 0, SPAN).encode()
+        );
+    }
+
+    #[test]
+    fn max_bases_bound_sheds_oldest_pins() {
+        let mut r = relay_with(
+            "a",
+            100,
+            &[0, 1],
+            ExportConfig {
+                max_bases: 2,
+                ..ExportConfig::default()
+            },
+        );
+        for w in 0..4u64 {
+            r.apply(site_summary(0, w, 0..2, w + 1)).unwrap();
+        }
+        let _ = r.flush_exports();
+        // A late site lands in the oldest window: its base was shed,
+        // so the re-export is a full rebase, not a delta.
+        r.apply(site_summary(1, 0, 0..4, 9)).unwrap();
+        let out = r.flush_exports();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, SummaryKind::Full);
+        assert_eq!(r.ledger().base_losses, 1);
+        // The newest window still has its base pinned.
+        r.apply(site_summary(1, 3, 2..4, 10)).unwrap();
+        let out = r.flush_exports();
+        assert_eq!(out[0].kind, SummaryKind::Delta);
+    }
+
+    #[test]
+    fn retention_evicts_windows_state_and_bases_together() {
+        let mut r = relay("a", 100, &[0, 1]);
+        for w in 0..4u64 {
+            r.apply(site_summary(0, w, 0..2, w + 1)).unwrap();
+        }
+        let _ = r.flush_exports();
+        assert_eq!(r.collector().stored_windows(), 4);
+        let evicted = r.evict_windows_before(2 * SPAN);
+        assert_eq!(evicted, 2);
+        assert_eq!(r.collector().stored_windows(), 2);
+        assert!(r.window_coverage(0).is_empty());
+        // Nothing re-exports for the evicted range…
+        assert!(r.flush_exports().is_empty());
+        // …and a frame arriving for an evicted window **continues**
+        // its epoch chain: window 0 had reached epoch 1, so the
+        // re-export is a full rebase at epoch 2 — an upstream still
+        // holding epoch 1 accepts it; a restart at epoch 1 would be
+        // rejected as stale forever.
+        r.apply(site_summary(1, 0, 0..3, 9)).unwrap();
+        let out = r.flush_exports();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, SummaryKind::Full);
+        assert_eq!(out[0].epoch.unwrap().epoch, 2);
+        assert_eq!(out[0].provenance.as_deref(), Some(&[1u16][..]));
+        // An upstream that received the pre-eviction export composes
+        // the whole stream without a single rejection.
+        let mut upstream = relay("root", 200, &[0, 1]);
+        let mut r2 = relay("a", 100, &[0, 1]);
+        r2.apply(site_summary(0, 0, 0..2, 1)).unwrap();
+        for e in r2.flush_exports() {
+            upstream.ingest_frame(&e.encode()).unwrap();
+        }
+        r2.evict_windows_before(SPAN);
+        r2.apply(site_summary(1, 0, 0..3, 9)).unwrap();
+        for e in r2.flush_exports() {
+            upstream.ingest_frame(&e.encode()).unwrap();
+        }
+        assert_eq!(upstream.ledger().rejected, 0);
+        assert_eq!(upstream.collector().window_epoch(0, 100), 2);
+    }
+
+    #[test]
+    fn mark_unshipped_forces_a_full_rebase_that_heals_the_chain() {
+        let mut r = relay("a", 100, &[0, 1]);
+        let mut upstream = relay("root", 200, &[0, 1]);
+        r.apply(site_summary(0, 0, 0..2, 1)).unwrap();
+        let first = r.flush_exports();
+        upstream.ingest_frame(&first[0].encode()).unwrap();
+
+        // The next two increments drain but are lost in transit.
+        r.apply(site_summary(1, 0, 0..2, 1)).unwrap();
+        let lost = r.flush_exports();
+        assert_eq!(lost.len(), 1);
+        // The shipper sheds them and rewinds the window.
+        r.mark_unshipped(0);
+
+        // The re-export is a full frame strictly past the upstream's
+        // epoch; the chain heals with zero rejections.
+        let heal = r.flush_exports();
+        assert_eq!(heal.len(), 1);
+        assert_eq!(heal[0].kind, SummaryKind::Full);
+        assert!(heal[0].epoch.unwrap().epoch > first[0].epoch.unwrap().epoch);
+        upstream.ingest_frame(&heal[0].encode()).unwrap();
+        assert_eq!(upstream.ledger().rejected, 0);
+        assert_eq!(
+            upstream.collector().window_tree(0, 100).unwrap().encode(),
+            r.collector().merged(None, 0, SPAN).encode()
+        );
+    }
+
+    #[test]
+    fn a_window_missing_one_site_no_longer_advertises_it() {
+        // Sites 0 and 1 report windows 0 and 1; site 2 reports only
+        // window 0. The lifetime union would advertise site 2 in both
+        // exports — per-window provenance must not.
+        let mut r = relay("a", 100, &[0, 1, 2]);
+        for s in 0..3u16 {
+            r.apply(site_summary(s, 0, 0..3, 1)).unwrap();
+        }
+        for s in 0..2u16 {
+            r.apply(site_summary(s, 1, 0..3, 2)).unwrap();
+        }
+        let exports = r.flush_exports();
+        assert_eq!(exports.len(), 2);
+        assert_eq!(exports[0].provenance.as_deref(), Some(&[0u16, 1, 2][..]));
+        assert_eq!(
+            exports[1].provenance.as_deref(),
+            Some(&[0u16, 1][..]),
+            "window 1 must not advertise the site it never folded"
+        );
+        assert_eq!(
+            r.window_coverage(SPAN).into_iter().collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        // Lifetime coverage still counts site 2 as live.
+        assert!(r.live_coverage().contains(&2));
     }
 
     #[test]

@@ -60,15 +60,21 @@ pub fn serve_queries(
     stream: &mut TcpStream,
     router: &QueryRouter<'_>,
 ) -> Result<usize, RelayError> {
+    // One reader for the connection's lifetime: a per-request
+    // BufReader would drop its read-ahead on every iteration, so a
+    // client pipelining two frames in one segment would lose the
+    // second one and desynchronize the stream.
+    let mut reader = std::io::BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| RelayError::Dist(DistError::Io(e)))?,
+    );
     let mut served = 0usize;
     loop {
-        let frame = {
-            let mut reader = std::io::BufReader::new(&mut *stream);
-            match read_frame(&mut reader) {
-                Ok(Some(f)) => f,
-                Ok(None) => return Ok(served),
-                Err(e) => return Err(RelayError::Dist(DistError::Io(e))),
-            }
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Ok(served),
+            Err(e) => return Err(RelayError::Dist(DistError::Io(e))),
         };
         served += 1;
         let response = answer(router, &frame);
@@ -76,7 +82,15 @@ pub fn serve_queries(
     }
 }
 
-/// One request frame → one response frame (status byte + text).
+/// One request frame → one response frame (status byte + text). The
+/// one-shot building block of [`serve_queries`], public so a daemon
+/// can scope its relay lock to a single request instead of holding it
+/// for a connection's lifetime (an idle client must not stall ingest
+/// or the export scheduler).
+pub fn answer_query(router: &QueryRouter<'_>, frame: &[u8]) -> Vec<u8> {
+    answer(router, frame)
+}
+
 fn answer(router: &QueryRouter<'_>, frame: &[u8]) -> Vec<u8> {
     let fail = |msg: String| {
         let mut out = vec![1u8];
@@ -96,6 +110,12 @@ fn answer(router: &QueryRouter<'_>, frame: &[u8]) -> Vec<u8> {
     let mut body = format!("route: {}\n", describe_route(router, &routed.route));
     if !routed.missing.is_empty() {
         body.push_str(&format!("missing: {:?}\n", routed.missing));
+    }
+    for gap in &routed.missing_windows {
+        body.push_str(&format!(
+            "missing in window {}ms: {:?}\n",
+            gap.window_start_ms, gap.missing
+        ));
     }
     body.push_str(&routed.output.render(query_metric(&query)));
     let mut out = vec![0u8];

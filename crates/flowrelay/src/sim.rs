@@ -13,12 +13,38 @@
 //! invariant (`tests/hierarchy_equiv.rs`).
 
 use crate::plan::QueryRouter;
-use crate::relay::Relay;
+use crate::relay::{ExportConfig, Relay};
 use crate::topology::RelayTopology;
 use crate::RelayError;
 use flowdist::sim::{run_sites, SimConfig};
 use flowdist::{Collector, DaemonStats, DistError, Summary};
 use flownet::PacketMeta;
+
+/// How often the relays drain exports while the trace plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DrainCadence {
+    /// One flush at end of trace — the classic single-shot shape
+    /// ([`run_hierarchy`]'s behavior).
+    #[default]
+    AtEnd,
+    /// Drain every relay (deepest tier first) after each window's
+    /// frames are delivered.
+    PerWindow,
+    /// Drain after every single downstream frame — maximal
+    /// incrementality: every site that lands late in a window triggers
+    /// a re-export, which under [`crate::ExportMode::Delta`] ships as
+    /// a structural delta frame.
+    PerFrame,
+}
+
+/// Options of [`run_hierarchy_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HierarchyOptions {
+    /// Export-scheduler tuning handed to every relay.
+    pub export: ExportConfig,
+    /// When the relays drain while the trace plays.
+    pub cadence: DrainCadence,
+}
 
 /// A finished hierarchy run.
 #[derive(Debug)]
@@ -27,8 +53,10 @@ pub struct HierarchyReport {
     pub topo: RelayTopology,
     /// One relay per topology spec, fully fed.
     pub relays: Vec<Relay>,
-    /// The root's flushed upstream aggregates (what a super-root would
-    /// receive) — one version-2 frame per window.
+    /// The root's upstream aggregates in export order (what a
+    /// super-root would receive): version-3 frames — one full frame
+    /// per window under [`DrainCadence::AtEnd`], an incremental
+    /// full-then-delta stream under the finer cadences.
     pub root_exports: Vec<Summary>,
     /// Per-site daemon counters.
     pub daemon_stats: Vec<DaemonStats>,
@@ -66,13 +94,32 @@ impl HierarchyReport {
     }
 }
 
-/// Runs the whole site → relay → root pipeline on one trace. The
-/// topology must own exactly the sites `0..cfg.sites` (what the sim's
-/// packet router produces).
+/// Runs the whole site → relay → root pipeline on one trace with the
+/// default options (single flush at end of trace). The topology must
+/// own exactly the sites `0..cfg.sites` (what the sim's packet router
+/// produces).
 pub fn run_hierarchy<I>(
     topo: &RelayTopology,
     cfg: SimConfig,
     trace: I,
+) -> Result<HierarchyReport, RelayError>
+where
+    I: IntoIterator<Item = PacketMeta>,
+{
+    run_hierarchy_with(topo, cfg, trace, HierarchyOptions::default())
+}
+
+/// [`run_hierarchy`] with explicit export scheduling and drain
+/// cadence. With an incremental cadence every drain cascades bottom-up
+/// — deepest tiers first, each export crossing to its parent as an
+/// encoded frame at once — so a window whose sites land one after
+/// another re-exports after each arrival, and the parents see the v3
+/// full-then-delta stream a wall-clock deployment would ship.
+pub fn run_hierarchy_with<I>(
+    topo: &RelayTopology,
+    cfg: SimConfig,
+    trace: I,
+    opts: HierarchyOptions,
 ) -> Result<HierarchyReport, RelayError>
 where
     I: IntoIterator<Item = PacketMeta>,
@@ -93,38 +140,90 @@ where
         .collect();
 
     let mut relays: Vec<Relay> = (0..topo.relays.len())
-        .map(|i| Relay::from_topology(topo, i, cfg.schema, cfg.tree))
+        .map(|i| Relay::from_topology_with(topo, i, cfg.schema, cfg.tree, opts.export))
         .collect();
 
-    // Tier-1 ingest: every site's frames land at its owner.
-    for (site, frames) in site_frames.iter().enumerate() {
-        let owner = topo
-            .owner_of(site as u16)
-            .expect("topology covers every sim site");
-        for frame in frames {
-            relays[owner].ingest_frame(frame)?;
-        }
-    }
-
-    // Bottom-up aggregation: deepest tiers flush first, each export
-    // crossing to the parent as an encoded frame.
+    // Bottom-up drain order: deepest tiers first.
     let mut order: Vec<usize> = (0..relays.len()).collect();
     order.sort_by_key(|&i| std::cmp::Reverse(topo.depth_of(i)));
     let root = topo.root();
-    let mut root_exports = Vec::new();
-    for idx in order {
-        let exports = relays[idx].flush_exports();
-        if idx == root {
-            root_exports = exports;
-            continue;
+    let mut root_exports: Vec<Summary> = Vec::new();
+
+    // One cascade: drain (or flush) every relay bottom-up, shipping
+    // each tier's exports to its parent before the parent drains.
+    let cascade = |relays: &mut Vec<Relay>,
+                   root_exports: &mut Vec<Summary>,
+                   now_ms: Option<u64>|
+     -> Result<(), RelayError> {
+        for &idx in &order {
+            let exports = match now_ms {
+                Some(now) => relays[idx].drain_exports_at(now),
+                None => relays[idx].flush_exports(),
+            };
+            if idx == root {
+                root_exports.extend(exports);
+                continue;
+            }
+            let parent = topo
+                .index_of(topo.relays[idx].parent.as_deref().expect("non-root"))
+                .expect("validated parent");
+            for summary in exports {
+                relays[parent].ingest_frame(&summary.encode())?;
+            }
         }
-        let parent = topo
-            .index_of(topo.relays[idx].parent.as_deref().expect("non-root"))
-            .expect("validated parent");
-        for summary in exports {
-            relays[parent].ingest_frame(&summary.encode())?;
+        Ok(())
+    };
+
+    match opts.cadence {
+        DrainCadence::AtEnd => {
+            for (site, frames) in site_frames.iter().enumerate() {
+                let owner = topo
+                    .owner_of(site as u16)
+                    .expect("topology covers every sim site");
+                for frame in frames {
+                    relays[owner].ingest_frame(frame)?;
+                }
+            }
+        }
+        DrainCadence::PerWindow | DrainCadence::PerFrame => {
+            // Global delivery order: windows ascending, sites within a
+            // window in site order — so later sites of a window arrive
+            // after the window may already have been exported.
+            let mut deliveries: Vec<(u64, u16, usize)> = Vec::new();
+            for (site, stream) in site_run.summaries.iter().enumerate() {
+                for (i, s) in stream.iter().enumerate() {
+                    deliveries.push((s.window.start_ms, site as u16, i));
+                }
+            }
+            deliveries.sort_unstable();
+            let linger = opts.export.linger_ms;
+            let per_frame = opts.cadence == DrainCadence::PerFrame;
+            let mut at = 0usize;
+            while at < deliveries.len() {
+                let window = deliveries[at].0;
+                let span = site_run.summaries[deliveries[at].1 as usize][deliveries[at].2]
+                    .window
+                    .span_ms;
+                // The wall clock sits past this window's close (plus
+                // linger), as it would while late frames trickle in.
+                let now = window.saturating_add(span).saturating_add(linger);
+                while at < deliveries.len() && deliveries[at].0 == window {
+                    let (_, site, i) = deliveries[at];
+                    let owner = topo.owner_of(site).expect("topology covers every sim site");
+                    relays[owner].ingest_frame(&site_frames[site as usize][i])?;
+                    at += 1;
+                    if per_frame {
+                        cascade(&mut relays, &mut root_exports, Some(now))?;
+                    }
+                }
+                if !per_frame {
+                    cascade(&mut relays, &mut root_exports, Some(now))?;
+                }
+            }
         }
     }
+    // Shutdown: everything with unshipped content flushes bottom-up.
+    cascade(&mut relays, &mut root_exports, None)?;
 
     Ok(HierarchyReport {
         topo: topo.clone(),

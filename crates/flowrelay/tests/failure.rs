@@ -34,6 +34,7 @@ fn site_summary(site: u16, window: u64, hosts: std::ops::Range<u8>, seq: u64) ->
         seq,
         kind: SummaryKind::Full,
         provenance: None,
+        epoch: None,
         tree,
     }
 }
@@ -244,4 +245,353 @@ fn relay_survives_downstream_restarts_with_replacement_windows() {
     assert_eq!(exports.len(), 1);
     // The replacement (1+2+3+4+5 = 15 packets) is what exports.
     assert_eq!(exports[0].tree.total().packets, 15);
+}
+
+#[test]
+fn per_window_missing_is_reported_for_exactly_the_gap_window() {
+    // Sites 0,1,2 report windows 0 and 1; site 3 reports only window
+    // 0. Lifetime coverage sees all four sites — only the per-window
+    // report may say window 1 lacks site 3.
+    let topo = two_group_topology();
+    topo.validate().unwrap();
+    let mut relays: Vec<Relay> = (0..topo.relays.len())
+        .map(|i| Relay::from_topology(&topo, i, schema(), Config::with_budget(100_000)))
+        .collect();
+    for &s in &[0u16, 1, 2] {
+        for w in 0..2u64 {
+            let owner = topo.owner_of(s).unwrap();
+            relays[owner]
+                .ingest_frame(&site_summary(s, w, 0..3, w + 1).encode())
+                .unwrap();
+        }
+    }
+    let owner3 = topo.owner_of(3).unwrap();
+    relays[owner3]
+        .ingest_frame(&site_summary(3, 0, 0..3, 1).encode())
+        .unwrap();
+    for idx in [1usize, 2] {
+        let exports = relays[idx].flush_exports();
+        for e in &exports {
+            relays[0].ingest_frame(&e.encode()).unwrap();
+        }
+    }
+    // The east relay's window-1 export must not have advertised site 3
+    // — pinned at the root's ledger too.
+    assert_eq!(
+        relays[0]
+            .window_coverage(SPAN)
+            .into_iter()
+            .collect::<Vec<_>>(),
+        vec![0, 1, 2],
+        "window 1 at the root must not claim site 3"
+    );
+
+    let router = QueryRouter::new(&topo, &relays);
+    let q = parse("pop", u64::MAX - 1).unwrap();
+    let routed = router.run(&q);
+    // Site 3 is live (it has window 0), so it is NOT lifetime-missing…
+    assert!(routed.missing.is_empty(), "{:?}", routed.missing);
+    // …but window 1 reports it, and only window 1.
+    assert_eq!(
+        routed.missing_windows.len(),
+        1,
+        "{:?}",
+        routed.missing_windows
+    );
+    assert_eq!(routed.missing_windows[0].window_start_ms, SPAN);
+    assert_eq!(routed.missing_windows[0].missing, vec![3]);
+
+    // A scope that does not ask for site 3 has no gaps at all.
+    let q = parse("pop sites=0,1,2", u64::MAX - 1).unwrap();
+    assert!(router.run(&q).missing_windows.is_empty());
+
+    // A scope confined to window 0 has no gaps either.
+    let q = parse(&format!("pop from={} to={}", 0, SPAN), u64::MAX - 1);
+    if let Ok(q) = q {
+        assert!(router.run(&q).missing_windows.is_empty());
+    }
+
+    // The per-site breakdown reports the same gap.
+    let q = parse("bysite src=0.0.0.0/0", u64::MAX - 1).unwrap();
+    let routed = router.run(&q);
+    assert_eq!(routed.missing_windows.len(), 1);
+    assert_eq!(routed.missing_windows[0].missing, vec![3]);
+}
+
+#[test]
+fn hostile_v3_frames_are_rejected_and_counted_at_the_relay() {
+    use flowdist::EpochHeader;
+
+    let topo = two_group_topology();
+    let mut root = Relay::from_topology(&topo, 0, schema(), Config::with_budget(4_096));
+
+    // Establish a healthy v3 slot: full at epoch 1.
+    let mut full = site_summary(101, 0, 0..3, 1);
+    full.provenance = Some(vec![0, 1]);
+    full.epoch = Some(EpochHeader {
+        epoch: 1,
+        base: None,
+    });
+    root.ingest_frame(&full.encode()).unwrap();
+
+    let mut rejected = 0u64;
+    // A delta declaring a base the root does not hold (bad base epoch).
+    let mut orphan = site_summary(101, 0, 0..2, 2);
+    orphan.kind = flowdist::SummaryKind::Delta;
+    orphan.provenance = Some(vec![0, 1]);
+    orphan.epoch = Some(EpochHeader {
+        epoch: 9,
+        base: Some(7),
+    });
+    let err = root.ingest_frame(&orphan.encode());
+    assert!(
+        matches!(
+            err,
+            Err(RelayError::Dist(flowdist::DistError::EpochMismatch {
+                have: 1,
+                got: 7,
+                ..
+            }))
+        ),
+        "{err:?}"
+    );
+    rejected += 1;
+
+    // Truncated v3 delta frames fail cleanly at every cut.
+    let mut delta = site_summary(101, 0, 0..2, 2);
+    delta.kind = flowdist::SummaryKind::Delta;
+    delta.provenance = Some(vec![0, 1]);
+    delta.epoch = Some(EpochHeader {
+        epoch: 2,
+        base: Some(1),
+    });
+    let good = delta.encode();
+    for cut in 0..good.len() {
+        assert!(root.ingest_frame(&good[..cut]).is_err(), "cut at {cut}");
+        rejected += 1;
+    }
+
+    // A v3 frame claiming a foreign site in its per-window provenance.
+    let mut foreign = site_summary(102, 0, 0..2, 1);
+    foreign.provenance = Some(vec![2, 3, 9]);
+    foreign.epoch = Some(EpochHeader {
+        epoch: 1,
+        base: None,
+    });
+    assert!(matches!(
+        root.ingest_frame(&foreign.encode()),
+        Err(RelayError::CoverageViolation { site: 9 })
+    ));
+    rejected += 1;
+
+    // A v3 delta claiming a site another downstream owns (overlap).
+    let mut overlap = site_summary(102, 0, 0..2, 1);
+    overlap.provenance = Some(vec![0, 2]);
+    overlap.epoch = Some(EpochHeader {
+        epoch: 1,
+        base: None,
+    });
+    assert!(matches!(
+        root.ingest_frame(&overlap.encode()),
+        Err(RelayError::OverlappingProvenance { site: 0 })
+    ));
+    rejected += 1;
+
+    assert_eq!(root.ledger().rejected, rejected);
+    assert_eq!(root.ledger().frames, 1, "only the healthy frame landed");
+    // The good delta still applies after all the hostility.
+    root.ingest_frame(&good).unwrap();
+    assert_eq!(root.ledger().frames, 2);
+}
+
+mod tcp_error_paths {
+    use super::*;
+    use flowdist::net::{read_frame, write_frame, MAX_FRAME};
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+
+    fn solo_router_relay() -> (RelayTopology, Vec<Relay>) {
+        let topo = RelayTopology {
+            relays: vec![RelaySpec {
+                name: "west".into(),
+                parent: None,
+                agg_site: 101,
+                sites: vec![0, 1],
+            }],
+        };
+        let mut relay = Relay::from_topology(&topo, 0, schema(), Config::with_budget(4_096));
+        relay
+            .ingest_frame(&site_summary(0, 0, 0..3, 1).encode())
+            .unwrap();
+        (topo, vec![relay])
+    }
+
+    #[test]
+    fn oversized_query_frame_errors_cleanly_not_panics() {
+        let (topo, relays) = solo_router_relay();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            // A length prefix beyond MAX_FRAME: the server must refuse
+            // to allocate and return an error, not panic or hang.
+            stream.write_all(&(MAX_FRAME + 1).to_be_bytes()).unwrap();
+            stream.write_all(b"junk").unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let router = QueryRouter::new(&topo, &relays);
+        let served = serve_queries(&mut conn, &router);
+        client.join().unwrap();
+        assert!(served.is_err(), "oversized frame must surface an error");
+    }
+
+    #[test]
+    fn mid_frame_disconnect_errors_cleanly() {
+        let (topo, relays) = solo_router_relay();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            // Announce 100 bytes, send 4, vanish.
+            stream.write_all(&100u32.to_be_bytes()).unwrap();
+            stream.write_all(b"pop ").unwrap();
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let router = QueryRouter::new(&topo, &relays);
+        let served = serve_queries(&mut conn, &router);
+        client.join().unwrap();
+        assert!(
+            served.is_err(),
+            "a mid-frame disconnect is an error, not a clean EOF"
+        );
+    }
+
+    #[test]
+    fn mid_frame_disconnect_on_ingest_errors_cleanly() {
+        let topo = two_group_topology();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(&1_000u32.to_be_bytes()).unwrap();
+            stream.write_all(b"FSUM").unwrap();
+        });
+        let mut west = Relay::from_topology(&topo, 1, schema(), Config::with_budget(4_096));
+        let (mut conn, _) = listener.accept().unwrap();
+        let res = receive_frames(&mut conn, &mut west);
+        sender.join().unwrap();
+        assert!(res.is_err());
+        assert_eq!(west.ledger().frames, 0);
+    }
+
+    #[test]
+    fn malformed_response_headers_do_not_wedge_the_client() {
+        // A hostile "server" returns an empty response frame (no
+        // status byte / route header at all), then a frame with an
+        // unknown status byte: the client must surface both as errors.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut reader = std::io::BufReader::new(conn.try_clone().unwrap());
+            let _ = read_frame(&mut reader).unwrap();
+            write_frame(&mut conn, b"").unwrap();
+            let _ = read_frame(&mut reader).unwrap();
+            write_frame(&mut conn, &[7u8, b'h', b'i']).unwrap();
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let empty = query_remote(&mut stream, "pop");
+        assert!(
+            matches!(
+                empty,
+                Err(RelayError::Dist(flowdist::DistError::BadFrame(
+                    "empty response"
+                )))
+            ),
+            "{empty:?}"
+        );
+        let odd = query_remote(&mut stream, "pop").unwrap();
+        assert_eq!(odd, Err("hi".into()), "unknown status byte reads as error");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn query_responses_carry_per_window_missing_lines() {
+        let topo = two_group_topology();
+        let mut relays: Vec<Relay> = (0..topo.relays.len())
+            .map(|i| Relay::from_topology(&topo, i, schema(), Config::with_budget(100_000)))
+            .collect();
+        // Site 1 skips window 1.
+        for w in 0..2u64 {
+            relays[1]
+                .ingest_frame(&site_summary(0, w, 0..3, w + 1).encode())
+                .unwrap();
+        }
+        relays[1]
+            .ingest_frame(&site_summary(1, 0, 0..3, 1).encode())
+            .unwrap();
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let body = query_remote(&mut stream, "pop sites=0,1")
+                .unwrap()
+                .expect("valid query");
+            assert!(
+                body.contains(&format!("missing in window {SPAN}ms: [1]")),
+                "{body}"
+            );
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let router = QueryRouter::new(&topo, &relays);
+        serve_queries(&mut conn, &router).unwrap();
+        client.join().unwrap();
+    }
+}
+
+#[test]
+fn pipelined_query_frames_survive_the_readers_read_ahead() {
+    use flowdist::net::{read_frame, write_frame};
+    use std::io::{BufReader, Write as _};
+    use std::net::{TcpListener, TcpStream};
+
+    let topo = RelayTopology {
+        relays: vec![RelaySpec {
+            name: "west".into(),
+            parent: None,
+            agg_site: 101,
+            sites: vec![0, 1],
+        }],
+    };
+    let mut relay = Relay::from_topology(&topo, 0, schema(), Config::with_budget(4_096));
+    relay
+        .ingest_frame(&site_summary(0, 0, 0..3, 1).encode())
+        .unwrap();
+    let relays = vec![relay];
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = std::thread::spawn(move || {
+        // Two frames in ONE write: the server's buffered reader pulls
+        // both into its read-ahead on the first fill; a per-request
+        // reader would drop the second frame with the buffer.
+        let mut batch = Vec::new();
+        write_frame(&mut batch, b"pop").unwrap();
+        write_frame(&mut batch, b"drill src").unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&batch).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let first = read_frame(&mut reader).unwrap().expect("first response");
+        let second = read_frame(&mut reader).unwrap().expect("second response");
+        assert_eq!(first[0], 0, "pop succeeded");
+        assert!(String::from_utf8_lossy(&first).contains("popularity"));
+        assert_eq!(second[0], 0, "drill succeeded");
+        assert!(String::from_utf8_lossy(&second).contains("src="));
+    });
+    let (mut conn, _) = listener.accept().unwrap();
+    let router = QueryRouter::new(&topo, &relays);
+    let served = serve_queries(&mut conn, &router).unwrap();
+    client.join().unwrap();
+    assert_eq!(served, 2, "both pipelined queries answered");
 }

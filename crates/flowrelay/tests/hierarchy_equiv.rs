@@ -73,6 +73,7 @@ fn summary(schema: Schema, site: u16, window: u64, inserts: &[(FlowKey, Populari
         seq: window + 1,
         kind: SummaryKind::Full,
         provenance: None,
+        epoch: None,
         tree,
     }
 }

@@ -1,0 +1,292 @@
+//! End-to-end smoke of the `relayd` binary: real process, real
+//! sockets — frames in over TCP, a routed query answer out.
+
+use flowdist::{Summary, SummaryKind, WindowId};
+use flowkey::{FlowKey, Schema};
+use flowrelay::server::{query_remote, ship_summaries};
+use flowtree_core::{Config, FlowTree, Popularity};
+use std::io::{BufRead, BufReader};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+fn site_summary(site: u16, window: u64) -> Summary {
+    let mut tree = FlowTree::new(Schema::five_feature(), Config::with_budget(4_096));
+    for h in 0..4u8 {
+        let key: FlowKey =
+            format!("src=10.{site}.0.{h}/32 dst=192.0.2.1/32 sport=40000 dport=443 proto=tcp")
+                .parse()
+                .unwrap();
+        tree.insert(&key, Popularity::new(1 + h as i64, 100, 1));
+    }
+    Summary {
+        site,
+        window: WindowId {
+            start_ms: window * 1_000,
+            span_ms: 1_000,
+        },
+        seq: window + 1,
+        kind: SummaryKind::Full,
+        provenance: None,
+        epoch: None,
+        tree,
+    }
+}
+
+struct Daemon {
+    child: Child,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawns one `relayd` with extra args and returns (daemon, ingest
+/// address, query address) parsed from its startup line.
+fn spawn_relayd(name: &str, extra: &[&str]) -> (Daemon, String, String) {
+    let mut args = vec![
+        "--name",
+        name,
+        "--sites",
+        "0,1",
+        "--ingest",
+        "127.0.0.1:0",
+        "--query",
+        "127.0.0.1:0",
+        "--drain-every-ms",
+        "50",
+        "--linger-ms",
+        "0",
+    ];
+    args.extend_from_slice(extra);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_relayd"))
+        .args(&args)
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn relayd");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut reader = BufReader::new(stderr);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("startup line");
+    // Keep draining the daemon's log in the background so it never
+    // blocks on a full pipe.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while let Ok(n) = reader.read_line(&mut sink) {
+            if n == 0 {
+                break;
+            }
+            sink.clear();
+        }
+    });
+    let grab = |marker: &str| -> String {
+        let at = line.find(marker).unwrap_or_else(|| panic!("{line}")) + marker.len();
+        line[at..]
+            .chars()
+            .take_while(|c| !c.is_whitespace() && *c != ',')
+            .collect()
+    };
+    let ingest = grab("ingest on ");
+    let query = grab("queries on ");
+    (Daemon { child }, ingest, query)
+}
+
+/// Polls a relayd's query port until `pop` reports `want` packets (or
+/// times out), returning the final body.
+fn poll_pop(query_addr: &str, want: i64) -> String {
+    let mut body = String::new();
+    for _ in 0..200 {
+        let mut q = TcpStream::connect(query_addr).expect("connect query");
+        body = query_remote(&mut q, "pop")
+            .expect("transport ok")
+            .expect("valid query");
+        if body.contains(&format!("popularity: {want} packets")) {
+            return body;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    body
+}
+
+/// An upstream outage must not lose exports: the daemon keeps drained
+/// frames pending and delivers them once the upstream appears.
+#[test]
+fn relayd_retries_pending_exports_across_an_upstream_outage() {
+    use flowdist::net::read_frame;
+    use std::net::TcpListener;
+
+    // Reserve a port for the not-yet-running upstream, then free it.
+    let placeholder = TcpListener::bind("127.0.0.1:0").unwrap();
+    let upstream_addr = placeholder.local_addr().unwrap().to_string();
+    drop(placeholder);
+
+    let (tier1, t1_ingest, _q) = spawn_relayd(
+        "west",
+        &["--agg-site", "1000", "--upstream", &upstream_addr],
+    );
+    let now_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_millis() as u64;
+    let mut s = site_summary(0, 0);
+    s.window = WindowId::containing(now_ms - 60_000, 1_000);
+    let mut ingest = TcpStream::connect(&t1_ingest).expect("connect ingest");
+    ship_summaries(&mut ingest, &[s]).unwrap();
+
+    // Let several drain ticks pass with the upstream down.
+    std::thread::sleep(Duration::from_millis(400));
+
+    // The upstream comes up on the reserved port; the pending export
+    // must arrive on a later tick.
+    let upstream = TcpListener::bind(&upstream_addr).expect("rebind reserved port");
+    upstream
+        .set_nonblocking(false)
+        .expect("blocking accept is fine");
+    let (conn, _) = upstream.accept().expect("tier-1 reconnects");
+    let mut reader = BufReader::new(conn);
+    let frame = read_frame(&mut reader)
+        .expect("clean frame stream")
+        .expect("one export frame, not EOF");
+    let summary = Summary::decode(&frame, Config::with_budget(1 << 20)).expect("valid v3 frame");
+    assert_eq!(summary.site, 1000);
+    assert_eq!(summary.tree.total().packets, 10);
+    assert_eq!(summary.provenance.as_deref(), Some(&[0u16][..]));
+    drop(tier1);
+}
+
+/// Two chained processes: a tier-1 relayd ships its exports to a root
+/// relayd over `--upstream`. A late site frame forces the tier-1 node
+/// to re-export the window across the wire — as a v3 delta — and the
+/// root must compose it onto its stored base. An idle query client
+/// holds a connection open throughout: it must not stall ingest or
+/// the export schedulers.
+#[test]
+fn relayd_chain_ships_incremental_deltas_upstream() {
+    let (root, root_ingest, root_query) = spawn_relayd("root", &["--agg-site", "2000"]);
+    // The idle client: connects and never sends a frame.
+    let _idle = TcpStream::connect(&root_query).expect("idle client connects");
+    let (tier1, t1_ingest, _t1_query) =
+        spawn_relayd("west", &["--agg-site", "1000", "--upstream", &root_ingest]);
+
+    // Wall-clock windows: relayd's scheduler drains against real time,
+    // so use a window that closed a minute ago.
+    let now_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_millis() as u64;
+    let window = WindowId::containing(now_ms - 60_000, 1_000);
+    let frame_for = |site: u16| {
+        let mut s = site_summary(site, 0);
+        s.window = window;
+        s
+    };
+
+    // Site 0 lands; the window exports upstream as a full frame.
+    let mut ingest = TcpStream::connect(&t1_ingest).expect("connect tier-1 ingest");
+    ship_summaries(&mut ingest, &[frame_for(0)]).unwrap();
+    let body = poll_pop(&root_query, 10);
+    assert!(
+        body.contains("popularity: 10 packets"),
+        "site 0's window reached the root: {body}"
+    );
+
+    // Site 1 lands late; tier-1 re-exports the same window (a delta)
+    // and the root composes it onto the stored base.
+    ship_summaries(&mut ingest, &[frame_for(1)]).unwrap();
+    let body = poll_pop(&root_query, 20);
+    assert!(
+        body.starts_with("route: root"),
+        "root answers its own scope: {body}"
+    );
+    assert!(
+        body.contains("popularity: 20 packets"),
+        "the late site's delta composed at the root: {body}"
+    );
+    drop((root, tier1));
+}
+
+#[test]
+fn relayd_serves_ingest_and_queries_over_real_sockets() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_relayd"))
+        .args([
+            "--name",
+            "smoke",
+            "--sites",
+            "0,1",
+            "--ingest",
+            "127.0.0.1:0",
+            "--query",
+            "127.0.0.1:0",
+            "--drain-every-ms",
+            "50",
+        ])
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn relayd");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let daemon = Daemon { child };
+
+    // First stderr line announces the resolved addresses:
+    //   relayd[smoke]: ingest on 127.0.0.1:P1, queries on 127.0.0.1:P2, …
+    let mut line = String::new();
+    BufReader::new(stderr)
+        .read_line(&mut line)
+        .expect("startup line");
+    let grab = |marker: &str| -> String {
+        let at = line.find(marker).unwrap_or_else(|| panic!("{line}")) + marker.len();
+        line[at..]
+            .chars()
+            .take_while(|c| !c.is_whitespace() && *c != ',')
+            .collect()
+    };
+    let ingest_addr = grab("ingest on ");
+    let query_addr = grab("queries on ");
+
+    // Ship two site windows plus one garbage frame.
+    let mut ingest = TcpStream::connect(&ingest_addr).expect("connect ingest");
+    ship_summaries(&mut ingest, &[site_summary(0, 0), site_summary(1, 0)]).unwrap();
+    flowdist::net::send_summary(&mut ingest, b"not a summary").unwrap();
+    drop(ingest);
+
+    // Query until the frames have landed (lock-per-frame ingest).
+    let mut body = String::new();
+    for _ in 0..100 {
+        let mut q = TcpStream::connect(&query_addr).expect("connect query");
+        body = query_remote(&mut q, "pop")
+            .expect("transport ok")
+            .expect("valid query");
+        if body.contains("popularity: 20 packets") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        body.starts_with("route: smoke"),
+        "route header names the relay: {body}"
+    );
+    assert!(
+        body.contains("popularity: 20 packets"),
+        "2 sites × (1+2+3+4) packets: {body}"
+    );
+
+    // Pipelined queries on one connection: both frames land in the
+    // server reader's first read-ahead; both must be answered.
+    {
+        use flowdist::net::{read_frame, write_frame};
+        use std::io::Write as _;
+        let mut batch = Vec::new();
+        write_frame(&mut batch, b"pop").unwrap();
+        write_frame(&mut batch, b"drill src").unwrap();
+        let mut stream = TcpStream::connect(&query_addr).unwrap();
+        stream.write_all(&batch).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let first = read_frame(&mut reader).unwrap().expect("first response");
+        let second = read_frame(&mut reader).unwrap().expect("second response");
+        assert_eq!(first[0], 0);
+        assert_eq!(second[0], 0, "pipelined second frame survived");
+    }
+    drop(daemon);
+}

@@ -988,22 +988,41 @@ impl FlowTree {
         self.merge_many(std::slice::from_ref(&other))
     }
 
+    /// Transient-memory bound of [`FlowTree::merge_many`]: the arena
+    /// may grow to this many multiples of the node budget between
+    /// sources before a mid-pass compact runs. Above 1 so similar-tree
+    /// merges never pay needless compactions; small enough that a
+    /// thousand-window scope stays O(budget), not O(total input).
+    pub const MERGE_HIGH_WATER_FACTOR: usize = 4;
+
     /// The k-way structural merge: adds every node mass of each tree in
     /// `others` into `self` in **one** co-traversal, instead of k
     /// sequential merges — a collector answering a 100-window query
     /// merges all 100 summaries in a single pass. Equivalent to folding
     /// [`FlowTree::merge`] over `others` (byte-identical encodings when
     /// no compaction interferes), with the budget checked once at the
-    /// end, so the tree may transiently exceed its budget by the total
-    /// input size, exactly as [`FlowTree::insert_batch`] does.
+    /// end — except that a pass crossing the high-water mark
+    /// ([`FlowTree::MERGE_HIGH_WATER_FACTOR`] × budget) compacts
+    /// **between sources**, so transient memory is bounded by the mark
+    /// plus one source instead of the total input size. Mid-pass
+    /// compaction costs the same determinism any compaction under
+    /// budget pressure does: totals are conserved, node sets may fold
+    /// earlier than an end-only compact would.
     pub fn merge_many(&mut self, others: &[&FlowTree]) -> Result<(), TreeError> {
         for o in others {
             if self.schema != o.schema {
                 return Err(TreeError::SchemaMismatch);
             }
         }
-        for o in others {
+        let high_water = self
+            .cfg
+            .node_budget
+            .saturating_mul(Self::MERGE_HIGH_WATER_FACTOR);
+        for (i, o) in others.iter().enumerate() {
             self.merge_structural(o, false);
+            if i + 1 < others.len() && self.live > high_water {
+                self.compact();
+            }
         }
         if self.live > self.cfg.node_budget {
             self.compact();

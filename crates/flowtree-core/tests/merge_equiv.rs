@@ -269,3 +269,56 @@ fn merged_estimates_agree() {
         );
     }
 }
+
+/// A k-way merge whose inputs dwarf the budget compacts **between**
+/// sources: transient memory is bounded by the high-water mark plus
+/// one source, not by the total input size, and mass is conserved.
+#[test]
+fn merge_many_compacts_at_the_high_water_mark_between_sources() {
+    let schema = Schema::five_feature();
+    let mk = |s: u8| {
+        // Disjoint populations per source: every merge is pure growth.
+        let mut t = FlowTree::new(schema, Config::with_budget(100_000));
+        for h in 0..200u8 {
+            let k: FlowKey = format!(
+                "src=10.{s}.{}.{h}/32 dst=192.0.2.1/32 sport=40000 dport=443 proto=tcp",
+                h % 4
+            )
+            .parse()
+            .unwrap();
+            t.insert(&k, Popularity::new(1, 100, 1));
+        }
+        t
+    };
+    let sources: Vec<FlowTree> = (0..16).map(mk).collect();
+    let refs: Vec<&FlowTree> = sources.iter().collect();
+    let total: Popularity = sources.iter().map(|t| t.total()).sum();
+
+    let budget = 256usize;
+    let mut bounded = FlowTree::new(schema, Config::with_budget(budget));
+    bounded.merge_many(&refs).unwrap();
+    bounded.validate();
+    assert_eq!(bounded.total(), total, "compaction conserves mass");
+    assert!(bounded.len() <= budget);
+    // 16 × ~600 input nodes against a 1024-node high-water mark: the
+    // pass must have compacted repeatedly *during* the fold, not once
+    // at the end.
+    let mid_pass_floor = (sources.len() * 600) / (budget * FlowTree::MERGE_HIGH_WATER_FACTOR) / 2;
+    assert!(
+        bounded.stats().compactions as usize >= mid_pass_floor.max(2),
+        "{} compactions for a {}-source over-budget fold",
+        bounded.stats().compactions,
+        sources.len()
+    );
+
+    // Under the mark nothing changes: one no-compaction pass stays
+    // byte-identical to the element-wise reference.
+    let mut roomy = FlowTree::new(schema, Config::with_budget(100_000));
+    roomy.merge_many(&refs).unwrap();
+    let mut reference = FlowTree::new(schema, Config::with_budget(100_000));
+    for t in &sources {
+        reference.merge_elementwise(t).unwrap();
+    }
+    assert_eq!(roomy.encode(), reference.encode());
+    assert_eq!(roomy.stats().compactions, 0);
+}

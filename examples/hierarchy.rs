@@ -13,7 +13,10 @@ use flowdist::sim::SimConfig;
 use flowdist::TransferMode;
 use flownet::FlowCacheConfig;
 use flowquery::parse;
-use flowrelay::{run_hierarchy, RelayTopology, Route};
+use flowrelay::{
+    run_hierarchy, run_hierarchy_with, DrainCadence, ExportConfig, ExportMode, HierarchyOptions,
+    RelayTopology, Route,
+};
 use flowtrace::{profile, TraceGen};
 use flowtree_core::Config;
 
@@ -91,9 +94,43 @@ fn main() {
             Route::BySite { relays } => format!("bysite over {} relays", relays.len()),
         };
         println!("\n$ {text}\n  routed to {tier}");
+        if !routed.missing_windows.is_empty() {
+            for gap in &routed.missing_windows {
+                println!(
+                    "  missing in window {}ms: {:?}",
+                    gap.window_start_ms, gap.missing
+                );
+            }
+        }
         let rendered = routed.output.render(flowtree_core::Metric::Packets);
         for line in rendered.lines().take(5) {
             println!("  {line}");
         }
+    }
+
+    // The delta export path: the same trace with per-frame drains, so
+    // every window re-exports as sites trickle in — as structural
+    // deltas vs full re-serialization.
+    println!("\n== incremental export path (per-frame drains) ==");
+    for mode in [ExportMode::Full, ExportMode::Delta] {
+        let report = run_hierarchy_with(
+            &topo,
+            cfg,
+            trace.iter().copied(),
+            HierarchyOptions {
+                export: ExportConfig {
+                    mode,
+                    ..ExportConfig::default()
+                },
+                cadence: DrainCadence::PerFrame,
+            },
+        )
+        .expect("hierarchy runs");
+        let l = report.root().ledger();
+        let bytes: usize = report.root_exports.iter().map(|s| s.encoded_size()).sum();
+        println!(
+            "  {:?}: {} root exports ({} full / {} delta), {} bytes up from the root",
+            mode, l.exported, l.full_exports, l.delta_exports, bytes
+        );
     }
 }

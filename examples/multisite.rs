@@ -138,6 +138,7 @@ fn main() {
             seq: start / 1_000 + 1,
             kind: flowdist::SummaryKind::Full,
             provenance: None,
+            epoch: None,
             tree,
         };
         store.put(&summary).expect("persist");
