@@ -89,6 +89,7 @@ fn export_scenario(
             mode,
             linger_ms: 0,
             max_bases: windows + 1,
+            ..ExportConfig::default()
         },
     });
     let span_ms = 1_000u64;

@@ -174,6 +174,9 @@ impl ViewCache {
 struct WindowMeta {
     /// Content epoch (0 for pre-epoch v1/v2 frames).
     epoch: u64,
+    /// Sequence number of the frame that last stored the slot — what a
+    /// crash-safe snapshot needs to reconstruct an equivalent frame.
+    seq: u64,
     /// Declared provenance (`None` for plain site frames, which cover
     /// exactly their own site).
     provenance: Option<Vec<u16>>,
@@ -339,6 +342,7 @@ impl Collector {
             slot,
             WindowMeta {
                 epoch: 0,
+                seq: summary.seq,
                 provenance: summary.provenance,
             },
         );
@@ -403,6 +407,7 @@ impl Collector {
             slot,
             WindowMeta {
                 epoch: eh.epoch,
+                seq: summary.seq,
                 provenance: summary.provenance,
             },
         );
@@ -471,6 +476,33 @@ impl Collector {
         self.meta
             .get(&(window_start_ms, site))
             .map_or(0, |m| m.epoch)
+    }
+
+    /// The sequence number of the frame that last stored one slot
+    /// (0 = slot absent). With [`Collector::window_epoch`] and
+    /// [`Collector::window_provenance`] this is everything a snapshot
+    /// needs to reconstruct a frame that restores the slot exactly.
+    pub fn window_seq(&self, window_start_ms: u64, site: u16) -> u64 {
+        self.meta.get(&(window_start_ms, site)).map_or(0, |m| m.seq)
+    }
+
+    /// The per-exporter delta-chain positions: `(site, last window
+    /// start ms, last seq)` for every exporter that has applied a
+    /// frame. Snapshot state for crash-safe restart — replaying stored
+    /// slots in time order approximates this, but only the recorded
+    /// positions restore v1 delta-chain continuity exactly.
+    pub fn positions(&self) -> Vec<(u16, u64, u64)> {
+        self.last
+            .iter()
+            .map(|(site, (start, seq))| (*site, *start, *seq))
+            .collect()
+    }
+
+    /// Restores one exporter's delta-chain position (see
+    /// [`Collector::positions`]). Used by snapshot recovery after the
+    /// stored slots themselves have been re-applied.
+    pub fn restore_position(&mut self, site: u16, window_start_ms: u64, seq: u64) {
+        self.last.insert(site, (window_start_ms, seq));
     }
 
     /// The declared per-window provenance of one stored slot: the real

@@ -33,18 +33,26 @@
 //!   re-validated loads, retention).
 //! * [`net`] — UDP NetFlow ingestion and TCP summary framing over real
 //!   sockets.
+//! * [`control`] — the reverse channel of the acknowledged export
+//!   path: per-frame acks and rebase-requests, version-gated so
+//!   pre-handshake peers interoperate unchanged.
+//! * [`spill`] — disk-backed queue of unacked export frames
+//!   (append-only CRC-checked segments with an acked-floor ledger), so
+//!   pending exports survive process death.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alarm;
 pub mod collector;
+pub mod control;
 pub mod daemon;
 pub mod listen;
 pub mod net;
 pub mod pipeline;
 pub mod shard;
 pub mod sim;
+pub mod spill;
 pub mod store;
 pub mod summary;
 pub mod window;
@@ -52,11 +60,13 @@ mod worker;
 
 pub use alarm::{AlarmConfig, AlarmEvent, Direction};
 pub use collector::{Collector, TransferLedger, ViewCacheStats};
+pub use control::{ControlFrame, SlotPos, FEATURE_ACKS};
 pub use daemon::{DaemonConfig, DaemonStats, SiteDaemon, TransferMode};
 pub use listen::{spawn_udp_ingest, IngestReport, UdpIngestHandle};
 pub use pipeline::{IngestPipeline, PipelineStats};
 pub use shard::ShardedTree;
 pub use sim::{SimConfig, SimReport, SiteRun};
+pub use spill::{FsyncPolicy, SpillConfig, SpillQueue, SpillStats};
 pub use store::{LoadReport, SummaryStore};
 pub use summary::{EpochHeader, Summary, SummaryKind};
 pub use window::WindowId;

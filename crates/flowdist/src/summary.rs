@@ -5,6 +5,13 @@
 //! against the site's previous window (the paper: "allowing transfer of
 //! only summaries or even difference of consecutive summaries").
 //!
+//! Summary frames flow downstream→upstream; the acknowledged export
+//! path adds a reverse channel of **control frames** (acks and
+//! rebase-requests, magic `"FCTL"`) in [`crate::control`]. The magics
+//! are disjoint, so each side classifies a frame from its first four
+//! bytes, and a pre-handshake peer that sees a control frame rejects
+//! it as a malformed summary and carries on — version gating for free.
+//!
 //! Frame layout (after the 4-byte magic):
 //!
 //! ```text

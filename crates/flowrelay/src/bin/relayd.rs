@@ -10,32 +10,48 @@
 //! * a **query** listener speaking the status-byte + route-header text
 //!   protocol over the same framing;
 //! * an **export scheduler** thread draining complete windows every
-//!   tick against the wall clock — incrementally re-exporting windows
-//!   that keep receiving late frames, as structural deltas by default
-//!   — and shipping them to `--upstream`. Undeliverable exports stay
-//!   in a pending buffer and retry on later ticks (an upstream
-//!   restart must not lose frames or fork the epoch chain); without
-//!   an upstream they are logged and dropped (e.g. at the root).
+//!   tick against a monotonic wall-anchored clock
+//!   ([`flowrelay::SteadyClock`] — an OS clock stepped backwards can
+//!   neither stall nor double-fire a drain) — incrementally
+//!   re-exporting windows that keep receiving late frames, as
+//!   structural deltas by default — and shipping them to `--upstream`
+//!   through the durable [`flowrelay::ExportShipper`]: every drained
+//!   frame is spilled (to disk under `--state-dir`, else in memory)
+//!   before any send, stays pending until the upstream acknowledges
+//!   applying it (legacy upstreams fall back to fire-and-forget), and
+//!   reconnects use exponential backoff with jitter. Without an
+//!   upstream exports are logged and dropped (e.g. at the root).
 //!   `--retention-ms` evicts old windows (trees, ledger, export
 //!   state) so a long-running daemon stays bounded.
+//!
+//! With `--state-dir` the relay is **crash-safe**: stored windows,
+//! epoch chains, and export positions live in a snapshot+WAL journal
+//! ([`flowrelay::journal`]) and spilled exports in CRC-checked spill
+//! segments ([`flowdist::spill`]); a restarted daemon resumes exactly
+//! where the dead process stood, rewinding any exports that were
+//! drained but never acknowledged so the chain heals by rebase
+//! instead of forking.
 //!
 //! ```sh
 //! relayd --name west --agg-site 101 --sites 0,1,2,3 \
 //!        --ingest 127.0.0.1:7401 --query 127.0.0.1:7402 \
-//!        --upstream 127.0.0.1:7501 --mode delta --linger-ms 2000
+//!        --upstream 127.0.0.1:7501 --mode delta --linger-ms 2000 \
+//!        --state-dir /var/lib/flowrelay/west
 //! ```
 
 use flowdist::net::{read_frame, write_frame};
-use flowdist::Summary;
-use flowrelay::server::{answer_query, ship_summaries};
+use flowdist::{FsyncPolicy, SpillConfig, SpillQueue};
+use flowrelay::server::{answer_query, serve_acked_ingest};
 use flowrelay::{
-    ExportConfig, ExportMode, QueryRouter, Relay, RelayConfig, RelaySpec, RelayTopology,
+    BackoffConfig, ExportConfig, ExportMode, ExportShipper, JournalConfig, QueryRouter, Relay,
+    RelayConfig, RelaySpec, RelayTopology, ShipperConfig, SteadyClock,
 };
 use flowtree_core::Config;
 use std::io::BufReader;
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::Duration;
 
 const HELP: &str = "\
 relayd — socketed Flowtree aggregation relay
@@ -56,6 +72,18 @@ FLAGS:
     --max-bases N         pinned re-aggregation bases kept  [default: 64]
     --budget N            tree node budget                  [default: 1048576]
     --retention-ms N      evict windows older than this (0 = keep forever) [default: 86400000]
+    --state-dir DIR       durable journal + export spill root; a restart
+                          resumes stored windows, epoch chains, and unacked
+                          exports                            [default: none — volatile]
+    --fsync always|never  fsync journal/spill writes (never survives kill -9
+                          via the page cache; always also survives power loss)
+                                                             [default: never]
+    --spill-max-bytes N   pending-export spill bound; overflow sheds oldest
+                          and rebases their windows           [default: 268435456]
+    --reconnect-base-ms N first upstream-reconnect backoff    [default: 100]
+    --reconnect-max-ms N  upstream-reconnect backoff ceiling  [default: 5000]
+    --ack-stall-ms N      recycle an upstream connection whose acks went
+                          silent while exports are pending    [default: 10000]
     --oneshot             drain once, print counters, exit (smoke testing)
     --help                print this help
 ";
@@ -76,13 +104,6 @@ impl Args {
     fn has(&self, name: &str) -> bool {
         self.0.iter().any(|a| *a == format!("--{name}"))
     }
-}
-
-fn wall_clock_ms() -> u64 {
-    SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_millis() as u64)
-        .unwrap_or(0)
 }
 
 /// Runtime logging that survives a closed stderr: a supervisor (or a
@@ -138,6 +159,27 @@ fn main() {
         .get("retention-ms")
         .and_then(|v| v.parse().ok())
         .unwrap_or(86_400_000);
+    let state_dir = args.get("state-dir").map(str::to_string);
+    let fsync = match args.get("fsync") {
+        Some("always") => FsyncPolicy::Always,
+        _ => FsyncPolicy::Never,
+    };
+    let spill_max_bytes: u64 = args
+        .get("spill-max-bytes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256 << 20);
+    let reconnect_base_ms: u64 = args
+        .get("reconnect-base-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    let reconnect_max_ms: u64 = args
+        .get("reconnect-max-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5_000);
+    let ack_stall_ms: u64 = args
+        .get("ack-stall-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
     if sites.is_empty() {
         eprintln!("relayd: --sites must name at least one site");
         std::process::exit(2);
@@ -156,7 +198,7 @@ fn main() {
         eprintln!("relayd: invalid configuration: {e}");
         std::process::exit(2);
     }
-    let relay = Relay::new(RelayConfig {
+    let relay_cfg = RelayConfig {
         name: name.clone(),
         agg_site,
         expected: sites.clone(),
@@ -166,8 +208,46 @@ fn main() {
             mode,
             linger_ms,
             max_bases,
+            ..ExportConfig::default()
         },
-    });
+    };
+    let mut relay = match &state_dir {
+        Some(dir) => {
+            let jcfg = JournalConfig {
+                fsync,
+                ..JournalConfig::default()
+            };
+            match Relay::open_journaled(relay_cfg, &Path::new(dir).join("journal"), jcfg) {
+                Ok((relay, report)) => {
+                    log(format_args!(
+                        "relayd[{name}]: recovered gen {} — {} snapshot slots, {} WAL records, {} torn bytes truncated",
+                        report.generation,
+                        report.snapshot_slots,
+                        report.wal_records,
+                        report.torn_bytes
+                    ));
+                    relay
+                }
+                Err(e) => {
+                    eprintln!("relayd: cannot open state dir {dir}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => Relay::new(relay_cfg),
+    };
+    // Exports drained by the dead process but never acknowledged may
+    // or may not have reached the upstream; rewinding them re-exports
+    // full rebasing frames the upstream deduplicates idempotently. A
+    // root (no upstream) must NOT rewind — nobody is missing anything.
+    if upstream.is_some() {
+        let rewound = relay.rewind_unacked_exports();
+        if rewound > 0 {
+            log(format_args!(
+                "relayd[{name}]: rewound {rewound} unacked exports; their windows will rebase"
+            ));
+        }
+    }
     let relay = Arc::new(Mutex::new(relay));
 
     // --- ingest listener -------------------------------------------------
@@ -185,18 +265,17 @@ fn main() {
             .name("relayd-ingest".into())
             .spawn(move || {
                 for conn in ingest.incoming() {
-                    let Ok(conn) = conn else { continue };
+                    let Ok(mut conn) = conn else { continue };
                     let relay = Arc::clone(&relay);
                     let _ = std::thread::Builder::new()
                         .name("relayd-ingest-conn".into())
                         .spawn(move || {
-                            // Lock per frame, not per connection: a
-                            // long-lived downstream must not starve
-                            // queries or the export scheduler.
-                            let mut reader = BufReader::new(conn);
-                            while let Ok(Some(frame)) = read_frame(&mut reader) {
-                                let _ = relay.lock().expect("relay lock").ingest_frame(&frame);
-                            }
+                            // Acknowledged ingest: per-frame ack /
+                            // rebase-request replies once the peer
+                            // says hello; pure one-way v1–v3 senders
+                            // get exactly the legacy silence. Locks
+                            // the relay per frame, not per connection.
+                            let _ = serve_acked_ingest(&mut conn, &relay);
                         });
                 }
             })
@@ -260,74 +339,95 @@ fn main() {
             .expect("spawn query thread");
     }
 
-    // --- export scheduler (wall-clock watermarks) ------------------------
+    // --- export scheduler (monotonic-clock watermarks) -------------------
     let oneshot = args.has("oneshot");
-    let mut upstream_conn: Option<TcpStream> = None;
-    // Exports drained but not yet delivered upstream. Draining
-    // advances the relay's per-window export state, so silently losing
-    // these would fork the epoch chain: the next delta would declare a
-    // base the upstream never received and be rejected forever. They
-    // stay here, in order, until a write succeeds — bounded: a long
-    // outage sheds the oldest frames and marks their windows
-    // unshipped, so they re-export as full rebasing frames once the
-    // upstream returns instead of exhausting memory here.
-    const MAX_PENDING: usize = 4_096;
-    let mut pending: Vec<Summary> = Vec::new();
+    let clock = SteadyClock::new();
+    // Drained exports go through the durable shipper: spilled before
+    // any send (draining advances the relay's per-window export state,
+    // so silently losing one would fork the epoch chain), resent until
+    // the upstream acknowledges applying them, shed-with-rebase when
+    // the spill bound overflows during a long outage.
+    let mut shipper: Option<ExportShipper> = match &upstream {
+        Some(addr) => {
+            let spill_cfg = SpillConfig {
+                max_bytes: spill_max_bytes,
+                fsync,
+                ..SpillConfig::default()
+            };
+            let spill = match &state_dir {
+                Some(dir) => match SpillQueue::open(&Path::new(dir).join("spill"), spill_cfg) {
+                    Ok(q) => {
+                        if !q.is_empty() {
+                            log(format_args!(
+                                "relayd[{name}]: recovered {} spilled exports, resending",
+                                q.len()
+                            ));
+                        }
+                        q
+                    }
+                    Err(e) => {
+                        eprintln!("relayd: cannot open spill dir under {dir}: {e}");
+                        std::process::exit(1);
+                    }
+                },
+                None => SpillQueue::in_memory(spill_cfg),
+            };
+            Some(ExportShipper::new(
+                ShipperConfig {
+                    upstream: addr.clone(),
+                    handshake_ms: 1_000,
+                    stall_ms: ack_stall_ms,
+                    tree: Config::with_budget(budget),
+                    backoff: BackoffConfig {
+                        base_ms: reconnect_base_ms,
+                        max_ms: reconnect_max_ms,
+                    },
+                },
+                spill,
+                u64::from(agg_site) ^ (u64::from(std::process::id()) << 17),
+            ))
+        }
+        None => None,
+    };
+    let mut journal_fault_logged = false;
     loop {
         std::thread::sleep(Duration::from_millis(if oneshot { 0 } else { drain_every }));
-        pending.extend(
-            relay
-                .lock()
-                .expect("relay lock")
-                .drain_exports_at(wall_clock_ms()),
-        );
-        if pending.len() > MAX_PENDING {
-            let shed = pending.len() - MAX_PENDING;
-            let mut guard = relay.lock().expect("relay lock");
-            for e in pending.drain(..shed) {
-                guard.mark_unshipped(e.window.start_ms);
-            }
-            drop(guard);
-            log(format_args!(
-                "relayd[{name}]: pending overflow, shed {shed} exports; their windows will rebase"
-            ));
-        }
-        if !pending.is_empty() {
-            match &upstream {
-                Some(addr) => {
-                    if upstream_conn.is_none() {
-                        upstream_conn = TcpStream::connect(addr)
-                            .map_err(|e| log(format_args!("relayd[{name}]: upstream {addr}: {e}")))
-                            .ok();
-                    }
-                    if let Some(conn) = &mut upstream_conn {
-                        match ship_summaries(conn, &pending) {
-                            Ok(()) => pending.clear(),
-                            Err(_) => {
-                                log(format_args!(
-                                    "relayd[{name}]: upstream write failed; {} exports pending, retrying next drain",
-                                    pending.len()
-                                ));
-                                upstream_conn = None;
-                            }
+        let due = relay
+            .lock()
+            .expect("relay lock")
+            .drain_exports_at(clock.now_ms());
+        match &mut shipper {
+            Some(shipper) => {
+                for e in &due {
+                    let shed = shipper.enqueue(e);
+                    if !shed.is_empty() {
+                        let mut guard = relay.lock().expect("relay lock");
+                        for w in &shed {
+                            guard.mark_unshipped(*w);
                         }
-                    }
-                }
-                None => {
-                    for e in pending.drain(..) {
+                        drop(guard);
                         log(format_args!(
-                            "relayd[{name}]: export window {} epoch {} ({:?}, {} bytes) — no upstream, dropped",
-                            e.window,
-                            e.epoch.map(|h| h.epoch).unwrap_or(0),
-                            e.kind,
-                            e.encoded_size()
+                            "relayd[{name}]: spill bound shed {} old exports; their windows will rebase",
+                            shed.len()
                         ));
                     }
+                }
+                shipper.pump(&relay, clock.now_ms());
+            }
+            None => {
+                for e in &due {
+                    log(format_args!(
+                        "relayd[{name}]: export window {} epoch {} ({:?}, {} bytes) — no upstream, dropped",
+                        e.window,
+                        e.epoch.map(|h| h.epoch).unwrap_or(0),
+                        e.kind,
+                        e.encoded_size()
+                    ));
                 }
             }
         }
         if retention_ms > 0 {
-            let cutoff = wall_clock_ms().saturating_sub(retention_ms);
+            let cutoff = clock.now_ms().saturating_sub(retention_ms);
             let evicted = relay
                 .lock()
                 .expect("relay lock")
@@ -338,20 +438,35 @@ fn main() {
                 ));
             }
         }
+        if !journal_fault_logged {
+            if let Some(err) = relay.lock().expect("relay lock").journal_error() {
+                log(format_args!(
+                    "relayd[{name}]: JOURNAL DEGRADED (still serving, no longer crash-safe): {err}"
+                ));
+                journal_fault_logged = true;
+            }
+        }
         if oneshot {
             let guard = relay.lock().expect("relay lock");
             let l = guard.ledger();
+            let pending = shipper.as_ref().map(|s| s.pending_len()).unwrap_or(0);
             log(format_args!(
-                "relayd[{name}]: frames {} (rejected {}), exports {} ({} full / {} delta), bytes {} ({} full / {} delta), pending {}",
+                "relayd[{name}]: frames {} (rejected {}, replayed {}), exports {} ({} full / {} delta), bytes {} ({} full / {} delta), pending {}, rebases {} (rewound {}), reconnects {} ({} failed, {}ms backoff)",
                 l.frames,
                 l.rejected,
+                l.replayed,
                 l.exported,
                 l.full_exports,
                 l.delta_exports,
                 l.exported_bytes,
                 l.full_export_bytes,
                 l.delta_export_bytes,
-                pending.len()
+                pending,
+                l.rebase_requests,
+                l.rebase_rewinds,
+                l.reconnect_attempts,
+                l.reconnect_failures,
+                l.backoff_ms_total
             ));
             return;
         }

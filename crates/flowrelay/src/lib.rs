@@ -48,14 +48,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
+pub mod journal;
 pub mod plan;
 pub mod relay;
 pub mod server;
 pub mod sim;
 pub mod topology;
 
+pub use export::{Backoff, BackoffConfig, ExportShipper, ShipperConfig, ShipperStats, SteadyClock};
+pub use journal::{JournalConfig, RecoveryReport};
 pub use plan::{QueryRouter, Route, Routed};
-pub use relay::{Compose, ExportConfig, ExportMode, Relay, RelayConfig, RelayLedger};
+pub use relay::{Compose, ExportConfig, ExportMode, FrameOutcome, Relay, RelayConfig, RelayLedger};
 pub use sim::{run_hierarchy, run_hierarchy_with, DrainCadence, HierarchyOptions, HierarchyReport};
 pub use topology::{RelaySpec, RelayTopology, TopologyError};
 

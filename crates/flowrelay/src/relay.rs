@@ -57,7 +57,7 @@
 //! window missing one site no longer advertises it.
 
 use crate::RelayError;
-use flowdist::{Collector, DistError, EpochHeader, Summary, SummaryKind, WindowId};
+use flowdist::{Collector, DistError, EpochHeader, SlotPos, Summary, SummaryKind, WindowId};
 use flowkey::Schema;
 use flowtree_core::{Config, FlowTree};
 use std::collections::{BTreeMap, BTreeSet};
@@ -90,6 +90,11 @@ pub struct ExportConfig {
     /// their base first and fall back to a full re-export if they ever
     /// change again.
     pub max_bases: usize,
+    /// Cap on the **total tree nodes** across all pinned bases (like
+    /// the view cache's node budget): an entry count alone lets a few
+    /// huge windows pin unbounded memory. Oldest windows shed their
+    /// base first. 0 = unbounded.
+    pub max_base_nodes: usize,
 }
 
 impl Default for ExportConfig {
@@ -98,6 +103,7 @@ impl Default for ExportConfig {
             mode: ExportMode::default(),
             linger_ms: 0,
             max_bases: 64,
+            max_base_nodes: 1 << 20,
         }
     }
 }
@@ -155,6 +161,41 @@ pub struct RelayLedger {
     /// the incremental scheduler these re-export as deltas on the next
     /// drain instead of silently diverging from the upstream.
     pub late_downstream: u64,
+    /// Frames the classified ingest path recognized as at-least-once
+    /// replays of content this relay already holds: acknowledged at
+    /// the stored position, never re-applied.
+    pub replayed: u64,
+    /// Deltas whose declared base was ahead of this relay's ledger —
+    /// answered with a rebase-request (upstream state loss detected)
+    /// instead of a silent rejection.
+    pub rebase_requests: u64,
+    /// Windows this relay rewound to a full rebasing re-export because
+    /// a downstream peer asked ([`Relay::request_rebase`]).
+    pub rebase_rewinds: u64,
+    /// Upstream connection attempts by the export shipper.
+    pub reconnect_attempts: u64,
+    /// Failed connection attempts among them.
+    pub reconnect_failures: u64,
+    /// Total milliseconds the shipper backed off between attempts.
+    pub backoff_ms_total: u64,
+}
+
+/// How [`Relay::ingest_classified`] judged one downstream frame — and
+/// therefore which control frame (if any) the serving loop answers
+/// with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameOutcome {
+    /// The frame applied; ack the slot's new position.
+    Applied(SlotPos),
+    /// An at-least-once replay of content already held: not
+    /// re-applied, acked at the stored position.
+    Replayed(SlotPos),
+    /// A delta whose declared base is ahead of this relay's ledger;
+    /// answer with a rebase-request carrying what is held
+    /// (`pos.epoch`).
+    NeedsRebase(SlotPos),
+    /// Malformed or violating: counted, no response.
+    Rejected,
 }
 
 /// How a site-set scope maps onto one relay's stored trees.
@@ -174,8 +215,14 @@ pub struct Compose {
 struct WindowState {
     /// Bumped by every accepted frame that folds into this window.
     content_epoch: u64,
-    /// The content epoch last shipped upstream (0 = never).
+    /// The content epoch last drained for export (0 = never).
     exported_epoch: u64,
+    /// The content epoch the upstream has **acknowledged applying**
+    /// (0 = never, or legacy fire-and-forget upstream). The gap
+    /// between this and `exported_epoch` is exactly the in-flight
+    /// exposure a restart must heal
+    /// ([`Relay::rewind_unacked_exports`]).
+    shipped_epoch: u64,
     /// The merged aggregate exactly as of the last export, keyed by
     /// its epoch — the base the next delta is diffed against. `None`
     /// after base loss (next export rebases with a full frame).
@@ -206,6 +253,10 @@ pub struct Relay {
     evicted_epochs: BTreeMap<u64, u64>,
     seq: u64,
     ledger: RelayLedger,
+    /// Crash-safety: when attached ([`Relay::open_journaled`]), every
+    /// state-mutating operation appends to a write-ahead log that a
+    /// restart replays deterministically.
+    journal: Option<crate::journal::JournalWriter>,
 }
 
 impl Relay {
@@ -222,6 +273,7 @@ impl Relay {
             evicted_epochs: BTreeMap::new(),
             seq: 0,
             ledger: RelayLedger::default(),
+            journal: None,
             cfg,
         }
     }
@@ -325,17 +377,103 @@ impl Relay {
                 return Err(e.into());
             }
         };
-        self.apply(summary)
+        self.apply_with_raw(summary, Some(bytes))
     }
 
     /// Ingests an already-decoded downstream summary.
     pub fn apply(&mut self, summary: Summary) -> Result<(), RelayError> {
+        self.apply_with_raw(summary, None)
+    }
+
+    fn apply_with_raw(&mut self, summary: Summary, raw: Option<&[u8]>) -> Result<(), RelayError> {
+        // Journal-after-apply: the raw frame enters the WAL only once
+        // it actually applied (and, on the acked ingest path, strictly
+        // before the ack goes out — a crash between apply and append
+        // means no ack, the sender resends, and the replay dedupes).
+        let encoded = match (&self.journal, raw) {
+            (Some(_), None) => Some(summary.encode()),
+            _ => None,
+        };
         match self.check_and_apply(summary) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                match (encoded, raw) {
+                    (Some(bytes), _) => self.journal_append(crate::journal::Record::Frame(&bytes)),
+                    (None, Some(bytes)) => {
+                        self.journal_append(crate::journal::Record::Frame(bytes))
+                    }
+                    (None, None) => {}
+                }
+                Ok(())
+            }
             Err(e) => {
                 self.ledger.rejected += 1;
                 Err(e)
             }
+        }
+    }
+
+    /// Ingests one downstream frame on the **acknowledged** path,
+    /// classifying the outcome so the serving loop can answer with the
+    /// right control frame ([`flowdist::control`]):
+    ///
+    /// * [`FrameOutcome::Applied`] — ack the slot's new position;
+    /// * [`FrameOutcome::Replayed`] — an at-least-once duplicate of
+    ///   content this relay already holds (an epoch at or behind the
+    ///   ledger, or a pre-epoch frame repeating its stored seq): not
+    ///   re-applied, but acked at the stored position so a resending
+    ///   peer converges;
+    /// * [`FrameOutcome::NeedsRebase`] — a delta whose declared base
+    ///   is ahead of this relay's ledger (this relay lost state:
+    ///   restart, shorter retention): answer with a rebase-request
+    ///   carrying what is actually held, so the sender rewinds and
+    ///   re-exports a full rebasing frame;
+    /// * [`FrameOutcome::Rejected`] — malformed or violating, counted,
+    ///   no response (exactly the legacy behavior).
+    ///
+    /// Replay dedupe lives **only** here: the plain [`Relay::apply`]
+    /// path keeps its replacement semantics untouched.
+    pub fn ingest_classified(&mut self, bytes: &[u8]) -> FrameOutcome {
+        let summary = match Summary::decode(bytes, self.cfg.tree) {
+            Ok(s) => s,
+            Err(_) => {
+                self.ledger.rejected += 1;
+                return FrameOutcome::Rejected;
+            }
+        };
+        let (start, span, site) = (
+            summary.window.start_ms,
+            summary.window.span_ms,
+            summary.site,
+        );
+        let stored = self.collector().window_tree(start, site).is_some();
+        let have = self.collector().window_epoch(start, site);
+        let pos = |epoch: u64| SlotPos {
+            window_start_ms: start,
+            span_ms: span,
+            exporter: site,
+            epoch,
+        };
+        match summary.epoch {
+            Some(eh) => {
+                if stored && eh.epoch <= have {
+                    self.ledger.replayed += 1;
+                    return FrameOutcome::Replayed(pos(have));
+                }
+                if summary.kind == SummaryKind::Delta && (!stored || eh.base != Some(have)) {
+                    self.ledger.rebase_requests += 1;
+                    return FrameOutcome::NeedsRebase(pos(have));
+                }
+            }
+            None => {
+                if stored && have == 0 && self.collector().window_seq(start, site) == summary.seq {
+                    self.ledger.replayed += 1;
+                    return FrameOutcome::Replayed(pos(0));
+                }
+            }
+        }
+        match self.apply_with_raw(summary, Some(bytes)) {
+            Ok(()) => FrameOutcome::Applied(pos(self.collector().window_epoch(start, site))),
+            Err(_) => FrameOutcome::Rejected,
         }
     }
 
@@ -387,6 +525,7 @@ impl Relay {
             WindowState {
                 content_epoch: resumed,
                 exported_epoch: resumed,
+                shipped_epoch: resumed,
                 base: None,
             }
         });
@@ -473,6 +612,7 @@ impl Relay {
         for st in self.windows.values_mut() {
             st.base = None;
         }
+        self.journal_append(crate::journal::Record::DropBases);
     }
 
     /// Retention: drops every stored window (collector trees, epoch
@@ -497,7 +637,9 @@ impl Relay {
         while self.evicted_epochs.len() > Self::MAX_EVICTED_EPOCHS {
             self.evicted_epochs.pop_first();
         }
-        self.collector.evict_windows_before(cutoff_ms)
+        let dropped = self.collector.evict_windows_before(cutoff_ms);
+        self.journal_append(crate::journal::Record::Evict(cutoff_ms));
+        dropped
     }
 
     /// Tells the relay that previously drained exports for a window
@@ -510,7 +652,70 @@ impl Relay {
         if let Some(st) = self.windows.get_mut(&window_start_ms) {
             st.exported_epoch = 0;
             st.base = None;
+            self.journal_append(crate::journal::Record::MarkUnshipped(window_start_ms));
         }
+    }
+
+    /// A downstream peer sent a rebase-request for this window: its
+    /// epoch ledger is behind our export chain (it restarted, or its
+    /// retention is shorter). Rewind the window so the next drain
+    /// re-exports a full rebasing frame — the chain heals instead of
+    /// orphaning deltas. Returns whether the window was known;
+    /// requests for unknown windows (hostile, or evicted here too) are
+    /// ignored.
+    pub fn request_rebase(&mut self, window_start_ms: u64) -> bool {
+        if self.windows.contains_key(&window_start_ms) {
+            self.ledger.rebase_rewinds += 1;
+            self.mark_unshipped(window_start_ms);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records that the upstream **acknowledged applying** this
+    /// window at `epoch` (from an ack control frame). The gap between
+    /// a window's drained and acknowledged epochs is exactly what
+    /// [`Relay::rewind_unacked_exports`] heals after a restart.
+    pub fn note_shipped(&mut self, window_start_ms: u64, epoch: u64) {
+        if let Some(st) = self.windows.get_mut(&window_start_ms) {
+            st.shipped_epoch = st.shipped_epoch.max(epoch);
+            self.journal_append(crate::journal::Record::Shipped {
+                start: window_start_ms,
+                epoch,
+            });
+        }
+    }
+
+    /// Rewinds every window whose drained exports were never
+    /// acknowledged, so the next drain re-exports it as a full
+    /// rebasing frame. **Opt-in at restart, and only when an upstream
+    /// exists**: an acking upstream dedupes the replays idempotently,
+    /// but a relay whose exports are consumed directly (a root) must
+    /// not rewind — it would re-emit frames nobody deduplicates.
+    /// Returns how many windows rewound.
+    pub fn rewind_unacked_exports(&mut self) -> usize {
+        let starts: Vec<u64> = self
+            .windows
+            .iter()
+            .filter(|(_, st)| st.exported_epoch > st.shipped_epoch)
+            .map(|(start, _)| *start)
+            .collect();
+        for &start in &starts {
+            self.mark_unshipped(start);
+        }
+        starts.len()
+    }
+
+    /// Feeds the export shipper's reconnect bookkeeping into the
+    /// ledger: one attempt, whether it failed, and how long the
+    /// shipper backed off before it.
+    pub fn note_reconnect(&mut self, ok: bool, backoff_ms: u64) {
+        self.ledger.reconnect_attempts += 1;
+        if !ok {
+            self.ledger.reconnect_failures += 1;
+        }
+        self.ledger.backoff_ms_total += backoff_ms;
     }
 
     /// The shared drain: every window `ready` admits whose content
@@ -527,11 +732,31 @@ impl Relay {
             .map(|(start, _)| *start)
             .collect();
         let mut out = Vec::with_capacity(due.len());
-        for start in due {
+        for &start in &due {
             out.push(self.export_window(start, span));
         }
         self.trim_bases();
+        if !due.is_empty() {
+            self.journal_append(crate::journal::Record::ExportBatch(&due));
+        }
         out
+    }
+
+    /// WAL replay of one recorded export batch: re-runs the export
+    /// state transitions (epoch advance, base pinning, seq, ledger)
+    /// deterministically and discards the produced frames — they were
+    /// already handed to the shipper before the crash, and anything
+    /// that never made it out is healed by the ack/rewind machinery.
+    pub(crate) fn replay_export_batch(&mut self, starts: &[u64]) {
+        let Some(span) = self.span_ms else {
+            return;
+        };
+        for &start in starts {
+            if self.windows.contains_key(&start) {
+                let _ = self.export_window(start, span);
+            }
+        }
+        self.trim_bases();
     }
 
     /// Builds one export frame for a window and advances its export
@@ -618,22 +843,33 @@ impl Relay {
         summary
     }
 
-    /// Keeps at most [`ExportConfig::max_bases`] pinned bases, oldest
-    /// windows shedding theirs first.
+    /// Bounds the pinned bases two ways — entry count
+    /// ([`ExportConfig::max_bases`]) and total tree nodes
+    /// ([`ExportConfig::max_base_nodes`]) — shedding the oldest
+    /// windows' bases first until both hold.
     fn trim_bases(&mut self) {
         let max = self.cfg.export.max_bases;
-        let pinned = self.windows.values().filter(|s| s.base.is_some()).count();
-        if pinned <= max {
+        let max_nodes = self.cfg.export.max_base_nodes;
+        let mut pinned = 0usize;
+        let mut nodes = 0usize;
+        for st in self.windows.values() {
+            if let Some((_, tree)) = &st.base {
+                pinned += 1;
+                nodes += tree.len();
+            }
+        }
+        let over =
+            |pinned: usize, nodes: usize| pinned > max || (max_nodes != 0 && nodes > max_nodes);
+        if !over(pinned, nodes) {
             return;
         }
-        let mut to_shed = pinned - max;
         for st in self.windows.values_mut() {
-            if to_shed == 0 {
+            if !over(pinned, nodes) {
                 break;
             }
-            if st.base.is_some() {
-                st.base = None;
-                to_shed -= 1;
+            if let Some((_, tree)) = st.base.take() {
+                pinned -= 1;
+                nodes -= tree.len();
             }
         }
     }
@@ -661,6 +897,111 @@ impl Relay {
     ) -> std::sync::Arc<FlowTree> {
         self.collector.merged_view(keys, from_ms, to_ms)
     }
+
+    /// If the attached journal hit an unrecoverable I/O error, what it
+    /// was. The relay keeps serving (availability over durability) but
+    /// crash-safety is void until the operator intervenes.
+    pub fn journal_error(&self) -> Option<&str> {
+        self.journal.as_ref().and_then(|j| j.error())
+    }
+
+    fn journal_append(&mut self, rec: crate::journal::Record<'_>) {
+        let wants_compact = match self.journal.as_mut() {
+            Some(j) => {
+                j.append(rec);
+                j.wants_compact()
+            }
+            None => false,
+        };
+        if wants_compact {
+            crate::journal::compact(self);
+        }
+    }
+
+    pub(crate) fn journal_mut(&mut self) -> &mut Option<crate::journal::JournalWriter> {
+        &mut self.journal
+    }
+
+    pub(crate) fn collector_mut(&mut self) -> &mut Collector {
+        &mut self.collector
+    }
+
+    /// Everything beyond the collector's stored slots that a snapshot
+    /// must carry to restore this relay exactly.
+    pub(crate) fn snapshot_state(&self) -> RelayState {
+        RelayState {
+            span_ms: self.span_ms,
+            seq: self.seq,
+            provenance: self
+                .provenance
+                .iter()
+                .map(|(k, v)| (*k, v.iter().copied().collect()))
+                .collect(),
+            windows: self
+                .windows
+                .iter()
+                .map(|(start, st)| {
+                    (
+                        *start,
+                        st.content_epoch,
+                        st.exported_epoch,
+                        st.shipped_epoch,
+                    )
+                })
+                .collect(),
+            evicted: self.evicted_epochs.iter().map(|(k, v)| (*k, *v)).collect(),
+            positions: self.collector.positions(),
+            ledger: self.ledger,
+        }
+    }
+
+    /// Restores the snapshot half of recovery (the collector's slots
+    /// are re-applied separately). Pinned bases are deliberately not
+    /// persisted: the first post-restart change of an affected window
+    /// pays one full rebasing frame and the chain continues.
+    pub(crate) fn restore_state(&mut self, s: RelayState) {
+        self.span_ms = s.span_ms;
+        self.seq = s.seq;
+        self.provenance = s
+            .provenance
+            .into_iter()
+            .map(|(k, v)| (k, v.into_iter().collect()))
+            .collect();
+        self.windows = s
+            .windows
+            .into_iter()
+            .map(|(start, content, exported, shipped)| {
+                (
+                    start,
+                    WindowState {
+                        content_epoch: content,
+                        exported_epoch: exported,
+                        shipped_epoch: shipped,
+                        base: None,
+                    },
+                )
+            })
+            .collect();
+        self.evicted_epochs = s.evicted.into_iter().collect();
+        for (site, start, seq) in s.positions {
+            self.collector.restore_position(site, start, seq);
+        }
+        self.ledger = s.ledger;
+    }
+}
+
+/// The relay-side state a journal snapshot serializes (see
+/// [`Relay::snapshot_state`]).
+pub(crate) struct RelayState {
+    pub(crate) span_ms: Option<u64>,
+    pub(crate) seq: u64,
+    pub(crate) provenance: Vec<(u16, Vec<u16>)>,
+    /// (start, content_epoch, exported_epoch, shipped_epoch).
+    pub(crate) windows: Vec<(u64, u64, u64, u64)>,
+    pub(crate) evicted: Vec<(u64, u64)>,
+    /// Collector delta-chain positions: (site, window start, seq).
+    pub(crate) positions: Vec<(u16, u64, u64)>,
+    pub(crate) ledger: RelayLedger,
 }
 
 /// Whether every node mass of a diff tree is non-negative — i.e. the
@@ -1109,5 +1450,160 @@ mod tests {
         // A dead site is missing.
         let c = r.compose(Some(&[2, 3]));
         assert_eq!(c.missing, vec![3]);
+    }
+
+    #[test]
+    fn classified_ingest_acks_applies_and_dedupes_replays() {
+        // Tier-1 relay producing v3 export frames…
+        let mut a = relay("a", 100, &[0, 1]);
+        for s in 0..2u16 {
+            a.apply(site_summary(s, 0, 0..3, 1)).unwrap();
+        }
+        let first = a.flush_exports().remove(0);
+        let bytes = first.encode();
+        // …classified by its upstream.
+        let mut b = relay("b", 200, &[0, 1]);
+        let applied = b.ingest_classified(&bytes);
+        let FrameOutcome::Applied(pos) = applied else {
+            panic!("fresh frame must apply, got {applied:?}");
+        };
+        assert_eq!(
+            (pos.window_start_ms, pos.exporter, pos.epoch),
+            (0, 100, 2),
+            "ack position names the applied slot (one content epoch per folded frame)"
+        );
+        // An at-least-once resend is acked at the stored position but
+        // never re-applied.
+        let replay = b.ingest_classified(&bytes);
+        assert_eq!(replay, FrameOutcome::Replayed(pos));
+        assert_eq!(b.ledger().replayed, 1);
+        assert_eq!(b.collector().window_epoch(0, 100), 2);
+        // Garbage is rejected without a position.
+        assert_eq!(b.ingest_classified(b"junk"), FrameOutcome::Rejected);
+    }
+
+    #[test]
+    fn classified_ingest_dedupes_pre_epoch_replays_by_seq() {
+        let mut b = relay("b", 200, &[0]);
+        let s1 = site_summary(0, 0, 0..3, 7).encode();
+        assert!(matches!(b.ingest_classified(&s1), FrameOutcome::Applied(_)));
+        // Same pre-epoch frame again: the stored seq matches — replay.
+        assert!(matches!(
+            b.ingest_classified(&s1),
+            FrameOutcome::Replayed(_)
+        ));
+        // A *newer* pre-epoch frame replaces (legacy semantics).
+        let s2 = site_summary(0, 0, 0..4, 8).encode();
+        assert!(matches!(b.ingest_classified(&s2), FrameOutcome::Applied(_)));
+    }
+
+    #[test]
+    fn orphan_delta_triggers_rebase_request_and_the_chain_heals() {
+        let mut a = relay_with(
+            "a",
+            100,
+            &[0, 1],
+            ExportConfig {
+                mode: ExportMode::Delta,
+                ..ExportConfig::default()
+            },
+        );
+        for s in 0..2u16 {
+            a.apply(site_summary(s, 0, 0..3, 1)).unwrap();
+        }
+        let full = a.flush_exports().remove(0);
+        // Late superset content → the next export is a delta (a
+        // shrinking replacement would be non-monotone and rebase).
+        a.apply(site_summary(0, 0, 0..6, 2)).unwrap();
+        let delta = a.flush_exports().remove(0);
+        assert_eq!(delta.kind, SummaryKind::Delta);
+
+        // An upstream that applied both is fine…
+        let mut b = relay("b", 200, &[0, 1]);
+        assert!(matches!(
+            b.ingest_classified(&full.encode()),
+            FrameOutcome::Applied(_)
+        ));
+        assert!(matches!(
+            b.ingest_classified(&delta.encode()),
+            FrameOutcome::Applied(_)
+        ));
+        // …but an upstream that lost the base (restart, shorter
+        // retention) answers the delta with a rebase-request carrying
+        // what it actually holds: nothing.
+        let mut fresh = relay("b2", 200, &[0, 1]);
+        let outcome = fresh.ingest_classified(&delta.encode());
+        let FrameOutcome::NeedsRebase(pos) = outcome else {
+            panic!("orphan delta must request a rebase, got {outcome:?}");
+        };
+        assert_eq!(pos.epoch, 0);
+        assert_eq!(fresh.ledger().rebase_requests, 1);
+
+        // The sender honors it: rewind, re-export full, chain heals.
+        assert!(a.request_rebase(delta.window.start_ms));
+        assert_eq!(a.ledger().rebase_rewinds, 1);
+        let rebased = a.flush_exports().remove(0);
+        assert_eq!(rebased.kind, SummaryKind::Full);
+        // A rewind replays the *same* content epoch as a full frame —
+        // the chain repositions, it never forks forward.
+        assert_eq!(rebased.epoch.unwrap().epoch, delta.epoch.unwrap().epoch);
+        assert!(matches!(
+            fresh.ingest_classified(&rebased.encode()),
+            FrameOutcome::Applied(_)
+        ));
+        // The healed upstream now matches the one that never lost it.
+        assert_eq!(
+            fresh.merged_view(None, 0, SPAN).encode(),
+            b.collector().merged(None, 0, SPAN).encode()
+        );
+        // Unknown windows are ignored, not invented.
+        assert!(!a.request_rebase(999_000));
+    }
+
+    #[test]
+    fn unacked_exports_rewind_only_until_shipped() {
+        let mut a = relay("a", 100, &[0]);
+        a.apply(site_summary(0, 0, 0..3, 1)).unwrap();
+        let e = a.flush_exports().remove(0);
+        let epoch = e.epoch.unwrap().epoch;
+        // Drained but never acknowledged: a restart must rewind it.
+        assert_eq!(a.rewind_unacked_exports(), 1);
+        let again = a.flush_exports().remove(0);
+        assert_eq!(again.kind, SummaryKind::Full);
+        // The replay re-ships the same content epoch, as a full frame.
+        assert_eq!(again.epoch.unwrap().epoch, epoch);
+        // Acknowledged: nothing left to rewind.
+        a.note_shipped(0, again.epoch.unwrap().epoch);
+        assert_eq!(a.rewind_unacked_exports(), 0);
+        assert!(a.flush_exports().is_empty());
+    }
+
+    #[test]
+    fn base_pins_are_bounded_by_total_nodes() {
+        // A one-node budget can never retain a pinned base, so every
+        // export stays a full rebasing frame — bounded memory beats
+        // delta bytes when the operator says so.
+        let mut r = relay_with(
+            "a",
+            100,
+            &[0],
+            ExportConfig {
+                mode: ExportMode::Delta,
+                max_bases: 1_000,
+                max_base_nodes: 1,
+                ..ExportConfig::default()
+            },
+        );
+        for seq in 1..=3u64 {
+            r.apply(site_summary(0, 0, 0..(seq as u8 * 2), seq))
+                .unwrap();
+            let e = r.flush_exports().remove(0);
+            assert_eq!(
+                e.kind,
+                SummaryKind::Full,
+                "with the base shed, every re-export must rebase"
+            );
+        }
+        assert!(r.ledger().base_losses >= 2);
     }
 }

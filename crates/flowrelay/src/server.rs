@@ -12,13 +12,15 @@
 //! The connection serves queries until the client closes it.
 
 use crate::plan::{QueryRouter, Route};
-use crate::relay::Relay;
+use crate::relay::{FrameOutcome, Relay};
 use crate::RelayError;
+use flowdist::control::{is_control, ControlFrame, FEATURE_ACKS};
 use flowdist::net::{read_frame, write_frame};
 use flowdist::DistError;
 use flowquery::ast::Query;
 use flowtree_core::Metric;
 use std::net::TcpStream;
+use std::sync::Mutex;
 
 /// Reads length-prefixed summary frames from one downstream TCP
 /// connection until EOF, applying each to the relay. Returns
@@ -39,6 +41,73 @@ pub fn receive_frames(
             },
             Ok(None) => return Ok((applied, rejected)),
             Err(e) => return Err(RelayError::Dist(DistError::Io(e))),
+        }
+    }
+}
+
+/// Serves one downstream connection with the acknowledged-ingest
+/// protocol ([`flowdist::control`]): summary frames are classified by
+/// [`Relay::ingest_classified`] and answered per frame — an ack for
+/// applied or replayed content, a rebase-request for a delta whose
+/// base this relay no longer holds. Control replies are only emitted
+/// after the peer negotiates them with a hello (a legacy v1–v3 sender
+/// never sees an unexpected frame on what it believes is a one-way
+/// stream). Locks the relay per frame, never per connection.
+///
+/// Returns `(applied, rejected)` like [`receive_frames`]; replayed
+/// frames count as applied (the peer converged, nothing was lost).
+pub fn serve_acked_ingest(
+    stream: &mut TcpStream,
+    relay: &Mutex<Relay>,
+) -> Result<(usize, usize), RelayError> {
+    let mut reader = std::io::BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| RelayError::Dist(DistError::Io(e)))?,
+    );
+    let (mut applied, mut rejected) = (0usize, 0usize);
+    let mut acks_negotiated = false;
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(f)) => f,
+            Ok(None) => return Ok((applied, rejected)),
+            Err(e) => return Err(RelayError::Dist(DistError::Io(e))),
+        };
+        if is_control(&frame) {
+            match ControlFrame::decode(&frame) {
+                Ok(ControlFrame::Hello { features }) => {
+                    acks_negotiated = features & FEATURE_ACKS != 0;
+                    let reply = ControlFrame::Hello {
+                        features: FEATURE_ACKS,
+                    }
+                    .encode();
+                    write_frame(&mut *stream, &reply)
+                        .map_err(|e| RelayError::Dist(DistError::Io(e)))?;
+                }
+                // Acks and rebase-requests flow upstream→downstream;
+                // a downstream sending them (or garbage control) is
+                // counted and ignored, never fatal.
+                Ok(_) | Err(_) => rejected += 1,
+            }
+            continue;
+        }
+        let outcome = relay.lock().expect("relay lock").ingest_classified(&frame);
+        let reply = match outcome {
+            FrameOutcome::Applied(pos) | FrameOutcome::Replayed(pos) => {
+                applied += 1;
+                acks_negotiated.then(|| ControlFrame::Ack(pos).encode())
+            }
+            FrameOutcome::NeedsRebase(pos) => {
+                rejected += 1;
+                acks_negotiated.then(|| ControlFrame::RebaseRequest(pos).encode())
+            }
+            FrameOutcome::Rejected => {
+                rejected += 1;
+                None
+            }
+        };
+        if let Some(reply) = reply {
+            write_frame(&mut *stream, &reply).map_err(|e| RelayError::Dist(DistError::Io(e)))?;
         }
     }
 }

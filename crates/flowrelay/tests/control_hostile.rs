@@ -1,0 +1,387 @@
+//! Hostile-peer tests for the ack/rebase control protocol: malformed
+//! control frames against the serving loop, lying acks against the
+//! shipper, and a full export chain driven through a dropping,
+//! duplicating, flapping proxy.
+
+mod common;
+
+use common::{spawn_proxy, ProxyConfig};
+use flowdist::control::{ControlFrame, SlotPos, CONTROL_MAGIC, FEATURE_ACKS};
+use flowdist::net::{read_frame, write_frame};
+use flowdist::{Summary, SummaryKind, WindowId};
+use flowkey::{FlowKey, Schema};
+use flowrelay::server::serve_acked_ingest;
+use flowrelay::{
+    BackoffConfig, ExportConfig, ExportShipper, Relay, RelayConfig, ShipperConfig, SteadyClock,
+};
+use flowtree_core::{Config, FlowTree, Popularity};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const SPAN: u64 = 1_000;
+
+fn site_summary(site: u16, window: u64, hosts: std::ops::Range<u8>, seq: u64) -> Summary {
+    let mut tree = FlowTree::new(Schema::five_feature(), Config::with_budget(4_096));
+    for h in hosts {
+        let key: FlowKey =
+            format!("src=10.{site}.0.{h}/32 dst=192.0.2.1/32 sport=40000 dport=443 proto=tcp")
+                .parse()
+                .unwrap();
+        tree.insert(&key, Popularity::new(1 + h as i64, 100, 1));
+    }
+    Summary {
+        site,
+        window: WindowId {
+            start_ms: window * SPAN,
+            span_ms: SPAN,
+        },
+        seq,
+        kind: SummaryKind::Full,
+        provenance: None,
+        epoch: None,
+        tree,
+    }
+}
+
+fn relay(name: &str, agg: u16, expected: &[u16]) -> Relay {
+    Relay::new(RelayConfig {
+        name: name.into(),
+        agg_site: agg,
+        expected: expected.to_vec(),
+        schema: Schema::five_feature(),
+        tree: Config::with_budget(100_000),
+        export: ExportConfig::default(),
+    })
+}
+
+/// Spawns an in-process acked-ingest server; returns its address.
+fn spawn_server(relay: Arc<Mutex<Relay>>) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut conn) = conn else { continue };
+            let relay = Arc::clone(&relay);
+            std::thread::spawn(move || {
+                let _ = serve_acked_ingest(&mut conn, &relay);
+            });
+        }
+    });
+    addr
+}
+
+/// A hostile client cannot crash or desynchronize the serving loop:
+/// garbage control frames are counted, good frames keep being acked.
+#[test]
+fn serving_loop_survives_hostile_control_frames() {
+    let relay = Arc::new(Mutex::new(relay("up", 200, &[0, 1])));
+    let addr = spawn_server(Arc::clone(&relay));
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    // Handshake.
+    write_frame(
+        &mut stream,
+        &ControlFrame::Hello {
+            features: FEATURE_ACKS,
+        }
+        .encode(),
+    )
+    .unwrap();
+    let reply = read_frame(&mut reader).unwrap().expect("hello reply");
+    assert!(matches!(
+        ControlFrame::decode(&reply),
+        Ok(ControlFrame::Hello { features }) if features & FEATURE_ACKS != 0
+    ));
+
+    // Hostile battery: truncated control, unknown type, zero-span ack,
+    // an ack (wrong direction), and a malformed summary.
+    let mut bad_type = ControlFrame::Hello { features: 0 }.encode();
+    bad_type[5] = 0x7F;
+    let mut zero_span = ControlFrame::Ack(SlotPos {
+        window_start_ms: 0,
+        span_ms: SPAN,
+        exporter: 0,
+        epoch: 1,
+    })
+    .encode();
+    // Rewrite the span varint (offset 6 after magic+ver+type) to 0.
+    zero_span[7] = 0;
+    let wrong_direction = ControlFrame::Ack(SlotPos {
+        window_start_ms: 0,
+        span_ms: SPAN,
+        exporter: 0,
+        epoch: 1,
+    })
+    .encode();
+    for hostile in [
+        &CONTROL_MAGIC[..3].to_vec(),
+        &bad_type,
+        &zero_span,
+        &wrong_direction,
+        &b"FSUMgarbage".to_vec(),
+    ] {
+        write_frame(&mut stream, hostile).unwrap();
+    }
+
+    // A good frame after the battery: still served, still acked.
+    let good = site_summary(0, 0, 0..3, 1).encode();
+    write_frame(&mut stream, &good).unwrap();
+    let ack = read_frame(&mut reader).unwrap().expect("ack after battery");
+    let Ok(ControlFrame::Ack(pos)) = ControlFrame::decode(&ack) else {
+        panic!("expected an ack, got {ack:?}");
+    };
+    assert_eq!((pos.window_start_ms, pos.exporter), (0, 0));
+
+    // A duplicate is acked (replay), not re-applied.
+    write_frame(&mut stream, &good).unwrap();
+    let ack2 = read_frame(&mut reader).unwrap().expect("replay ack");
+    assert!(matches!(
+        ControlFrame::decode(&ack2),
+        Ok(ControlFrame::Ack(_))
+    ));
+    let guard = relay.lock().unwrap();
+    assert_eq!(guard.ledger().replayed, 1);
+    // Hostile *control* frames are tallied by the serving loop and never
+    // reach the relay; the two non-control garbage blobs do, as rejects.
+    assert_eq!(guard.ledger().rejected, 2, "garbage summaries were counted");
+    assert_eq!(guard.collector().window_seq(0, 0), 1);
+}
+
+/// A legacy sender that never says hello gets pure one-way silence —
+/// no unexpected frames appear on its stream.
+#[test]
+fn legacy_sender_sees_no_control_frames() {
+    let relay = Arc::new(Mutex::new(relay("up", 200, &[0])));
+    let addr = spawn_server(Arc::clone(&relay));
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    write_frame(&mut stream, &site_summary(0, 0, 0..3, 1).encode()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(300)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    // The frame must apply, and nothing must come back.
+    for _ in 0..100 {
+        if relay.lock().unwrap().collector().window_seq(0, 0) == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(relay.lock().unwrap().collector().window_seq(0, 0), 1);
+    match read_frame(&mut reader) {
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut => {}
+        other => panic!("legacy stream must stay silent, got {other:?}"),
+    }
+}
+
+/// A lying upstream cannot trick the shipper into releasing frames it
+/// never applied: stale acks, zero-epoch acks against v3 frames, and
+/// unknown-window rebase requests are counted and ignored; a real ack
+/// still drains.
+#[test]
+fn shipper_rejects_lying_acks_from_a_scripted_upstream() {
+    // Scripted upstream: completes the handshake, fires a battery of
+    // bogus control frames, then acks the frame for real.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let script = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let hello = read_frame(&mut reader).unwrap().expect("hello");
+        assert!(matches!(
+            ControlFrame::decode(&hello),
+            Ok(ControlFrame::Hello { .. })
+        ));
+        write_frame(
+            &mut conn,
+            &ControlFrame::Hello {
+                features: FEATURE_ACKS,
+            }
+            .encode(),
+        )
+        .unwrap();
+        let data = read_frame(&mut reader).unwrap().expect("the export frame");
+        let s = Summary::decode(&data, Config::with_budget(100_000)).unwrap();
+        let epoch = s.epoch.unwrap().epoch;
+        let pos = |w: u64, e: u64| SlotPos {
+            window_start_ms: w,
+            span_ms: SPAN,
+            exporter: s.site,
+            epoch: e,
+        };
+        // Lies first: unknown window, zero-epoch against a v3 frame,
+        // rebase-request for a window nobody exported.
+        for lie in [
+            ControlFrame::Ack(pos(999 * SPAN, epoch)),
+            ControlFrame::Ack(pos(s.window.start_ms, 0)),
+            ControlFrame::RebaseRequest(pos(777 * SPAN, 0)),
+        ] {
+            write_frame(&mut conn, &lie.encode()).unwrap();
+        }
+        // Then the truth.
+        write_frame(
+            &mut conn,
+            &ControlFrame::Ack(pos(s.window.start_ms, epoch)).encode(),
+        )
+        .unwrap();
+        // Hold the connection so the shipper can drain the acks.
+        std::thread::sleep(Duration::from_millis(500));
+    });
+
+    let relay = Mutex::new(relay("t1", 100, &[0]));
+    relay
+        .lock()
+        .unwrap()
+        .apply(site_summary(0, 0, 0..3, 1))
+        .unwrap();
+    let exports = relay.lock().unwrap().flush_exports();
+    assert_eq!(exports.len(), 1);
+
+    let mut shipper = ExportShipper::new(
+        ShipperConfig {
+            upstream: addr,
+            handshake_ms: 2_000,
+            stall_ms: 10_000,
+            tree: Config::with_budget(100_000),
+            backoff: BackoffConfig::default(),
+        },
+        flowdist::SpillQueue::in_memory(flowdist::SpillConfig::default()),
+        7,
+    );
+    assert!(shipper.enqueue(&exports[0]).is_empty());
+    let clock = SteadyClock::new();
+    for _ in 0..200 {
+        shipper.pump(&relay, clock.now_ms());
+        if shipper.pending_len() == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    script.join().unwrap();
+    assert_eq!(shipper.pending_len(), 0, "the true ack drained the frame");
+    let stats = shipper.stats();
+    assert_eq!(stats.acked_frames, 1);
+    assert!(stats.stale_acks >= 1, "unknown-window ack was not believed");
+    assert!(
+        stats.hostile_acks >= 1,
+        "zero-epoch ack cannot cover a v3 frame"
+    );
+    assert_eq!(stats.rebase_unknown, 1);
+    assert_eq!(stats.rebase_honored, 0);
+    // And the relay's ledger saw the ack land.
+    assert_eq!(relay.lock().unwrap().rewind_unacked_exports(), 0);
+}
+
+/// The full export chain through a dropping, duplicating, flapping
+/// proxy: every window still converges at the upstream, byte-identical
+/// to a directly-fed reference, because unacked frames are resent and
+/// replays are deduped.
+#[test]
+fn export_chain_converges_through_lossy_duplicating_proxy() {
+    let upstream = Arc::new(Mutex::new(relay("up", 200, &[0, 1])));
+    let up_addr = spawn_server(Arc::clone(&upstream));
+    let proxy = spawn_proxy(
+        up_addr,
+        // Flap aggressively: resend-all-unacked on reconnect is the
+        // shipper's recovery path for dropped frames and dropped acks,
+        // so a session has to die for the loss to heal.
+        ProxyConfig {
+            drop_percent: 25,
+            dup_percent: 25,
+            flap_after: 3,
+            seed: 42,
+        },
+    );
+
+    let relay = Mutex::new(relay("t1", 100, &[0, 1]));
+    let mut reference = self::relay("ref", 200, &[0, 1]);
+    let mut shipper = ExportShipper::new(
+        // A short ack-stall window: dropped frames and dropped acks on
+        // a connection too quiet to flap are healed by the recycle.
+        ShipperConfig {
+            upstream: proxy.addr.clone(),
+            handshake_ms: 2_000,
+            stall_ms: 150,
+            tree: Config::with_budget(100_000),
+            backoff: BackoffConfig {
+                base_ms: 5,
+                max_ms: 50,
+            },
+        },
+        flowdist::SpillQueue::in_memory(flowdist::SpillConfig::default()),
+        11,
+    );
+    let clock = SteadyClock::new();
+
+    // Several windows, with late re-exports mixed in.
+    for round in 1..=3u64 {
+        for w in 0..4u64 {
+            for site in 0..2u16 {
+                let hosts = 0..(2 * round + site as u64) as u8;
+                let _ = relay
+                    .lock()
+                    .unwrap()
+                    .apply(site_summary(site, w, hosts, round));
+            }
+        }
+        for e in relay.lock().unwrap().flush_exports() {
+            // The reference upstream is fed directly, no network.
+            reference.ingest_classified(&e.encode());
+            assert!(shipper.enqueue(&e).is_empty());
+        }
+        for _ in 0..1_200 {
+            shipper.pump(&relay, clock.now_ms());
+            if shipper.pending_len() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            shipper.pending_len(),
+            0,
+            "round {round} drained through the weather (stats: {:?})",
+            shipper.stats()
+        );
+    }
+
+    assert_eq!(
+        shipper.acked_mode(),
+        Some(true),
+        "hello survives the proxy, sessions negotiate acks"
+    );
+    let up = upstream.lock().unwrap();
+    for w in 0..4u64 {
+        let got = up
+            .collector()
+            .window_tree(w * SPAN, 100)
+            .expect("window delivered")
+            .encode();
+        let want = reference
+            .collector()
+            .window_tree(w * SPAN, 100)
+            .expect("reference window")
+            .encode();
+        assert_eq!(got, want, "window {w} byte-identical through the weather");
+        assert_eq!(
+            up.collector().window_epoch(w * SPAN, 100),
+            reference.collector().window_epoch(w * SPAN, 100),
+            "window {w} applied-frame count matches: duplicates were deduped"
+        );
+    }
+    let dropped = proxy
+        .stats
+        .dropped
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let duplicated = proxy
+        .stats
+        .duplicated
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        dropped > 0 && duplicated > 0,
+        "the weather actually happened: dropped {dropped}, duplicated {duplicated}"
+    );
+}

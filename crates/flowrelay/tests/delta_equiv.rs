@@ -99,6 +99,7 @@ fn relay(sites: u16, mode: ExportMode) -> Relay {
             mode,
             linger_ms: 0,
             max_bases: 64,
+            ..ExportConfig::default()
         },
     })
 }
@@ -348,6 +349,7 @@ mod random_topologies {
                         mode,
                         linger_ms: 0,
                         max_bases: 64,
+                        ..ExportConfig::default()
                     },
                 )
             })

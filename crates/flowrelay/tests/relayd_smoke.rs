@@ -69,8 +69,17 @@ fn spawn_relayd(name: &str, extra: &[&str]) -> (Daemon, String, String) {
         .expect("spawn relayd");
     let stderr = child.stderr.take().expect("piped stderr");
     let mut reader = BufReader::new(stderr);
+    // The address line is not necessarily first: a journaled start
+    // logs its recovery report before binding.
     let mut line = String::new();
-    reader.read_line(&mut line).expect("startup line");
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("startup line");
+        assert!(n > 0, "relayd exited before announcing its addresses");
+        if line.contains("ingest on ") {
+            break;
+        }
+    }
     // Keep draining the daemon's log in the background so it never
     // blocks on a full pipe.
     std::thread::spawn(move || {
@@ -147,9 +156,18 @@ fn relayd_retries_pending_exports_across_an_upstream_outage() {
         .expect("blocking accept is fine");
     let (conn, _) = upstream.accept().expect("tier-1 reconnects");
     let mut reader = BufReader::new(conn);
-    let frame = read_frame(&mut reader)
-        .expect("clean frame stream")
-        .expect("one export frame, not EOF");
+    // The shipper leads with a hello control frame; a silent peer
+    // (like this bare listener) downgrades it to legacy
+    // fire-and-forget after the handshake timeout. Skip any control
+    // frames and decode the first summary.
+    let frame = loop {
+        let frame = read_frame(&mut reader)
+            .expect("clean frame stream")
+            .expect("one export frame, not EOF");
+        if !flowdist::control::is_control(&frame) {
+            break frame;
+        }
+    };
     let summary = Summary::decode(&frame, Config::with_budget(1 << 20)).expect("valid v3 frame");
     assert_eq!(summary.site, 1000);
     assert_eq!(summary.tree.total().packets, 10);
@@ -206,6 +224,72 @@ fn relayd_chain_ships_incremental_deltas_upstream() {
         "the late site's delta composed at the root: {body}"
     );
     drop((root, tier1));
+}
+
+/// `kill -9` mid-stream, restart on the same `--state-dir`: the
+/// stored windows, epoch chains, and query answers must survive the
+/// crash, and late frames must keep composing onto the recovered
+/// state.
+#[test]
+fn relayd_resumes_from_state_dir_after_kill_dash_nine() {
+    let dir = std::env::temp_dir().join(format!("relayd-state-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap().to_string();
+
+    let now_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_millis() as u64;
+    let window = WindowId::containing(now_ms - 60_000, 1_000);
+    let frame_for = |site: u16| {
+        let mut s = site_summary(site, 0);
+        s.window = window;
+        s
+    };
+
+    let (d1, ingest1, query1) = spawn_relayd("dur", &["--agg-site", "1000", "--state-dir", &dir_s]);
+    let mut ingest = TcpStream::connect(&ingest1).expect("connect ingest");
+    ship_summaries(&mut ingest, &[frame_for(0), frame_for(1)]).unwrap();
+    let body = poll_pop(&query1, 20);
+    assert!(
+        body.contains("popularity: 20 packets"),
+        "both sites landed before the crash: {body}"
+    );
+    // SIGKILL: no flush, no shutdown path.
+    drop(d1);
+
+    let (d2, ingest2, query2) = spawn_relayd("dur", &["--agg-site", "1000", "--state-dir", &dir_s]);
+    // No frames sent yet: the recovered journal alone must answer.
+    let body = poll_pop(&query2, 20);
+    assert!(
+        body.contains("popularity: 20 packets"),
+        "the journal restored both site windows across kill -9: {body}"
+    );
+    // A late superset frame for site 0 composes onto recovered state
+    // (replacement semantics: 6 hosts → 1+…+6 = 21, plus site 1's 10).
+    let mut late = site_summary(0, 0);
+    late.window = window;
+    late.seq = 2;
+    late.tree = {
+        let mut tree = FlowTree::new(Schema::five_feature(), Config::with_budget(4_096));
+        for h in 0..6u8 {
+            let key: FlowKey =
+                format!("src=10.0.0.{h}/32 dst=192.0.2.1/32 sport=40000 dport=443 proto=tcp")
+                    .parse()
+                    .unwrap();
+            tree.insert(&key, Popularity::new(1 + h as i64, 100, 1));
+        }
+        tree
+    };
+    let mut ingest = TcpStream::connect(&ingest2).expect("connect ingest after restart");
+    ship_summaries(&mut ingest, &[late]).unwrap();
+    let body = poll_pop(&query2, 31);
+    assert!(
+        body.contains("popularity: 31 packets"),
+        "late content composes onto the recovered window: {body}"
+    );
+    drop(d2);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
