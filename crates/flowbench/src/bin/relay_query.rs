@@ -33,6 +33,15 @@
 //! past each window's first export) are the paper's bandwidth claim
 //! for the hierarchy tier.
 //!
+//! A third scenario (E16) boots a **live three-tier fleet** through
+//! the launcher runtime — a generated [`flowrelay::spec::FleetSpec`]
+//! booted into real [`flowrelay::NodeRuntime`]s with sockets,
+//! schedulers, and acknowledged shippers — ships the same summaries
+//! to the leaf tier over TCP, waits for the root to converge on the
+//! flat collector's answer, and times root-scope HHH queries over the
+//! query socket: the E14 merge advantage measured end-to-end through
+//! a deployed tree (boot, convergence, and query latency per row).
+//!
 //! Results append as a `"relay_query"` section to `BENCH_query.json`
 //! (run `merge_query` first: it rewrites the file wholesale).
 //!
@@ -66,6 +75,144 @@ struct ExportRow {
     steady_full_bytes: u64,
     steady_delta_bytes: u64,
     steady_ratio: f64,
+}
+
+struct FleetRow {
+    sites: u16,
+    relays: usize,
+    boot_ms: f64,
+    converge_ms: f64,
+    ms_per_query: f64,
+}
+
+/// E16 — the live launcher runtime: generate a three-tier fleet spec
+/// from [`RelayTopology::three_tier`], boot real `NodeRuntime`s
+/// (sockets, schedulers, acknowledged shippers — the exact stack
+/// `flowctl run` supervises), ship every (site, window) summary to
+/// its owning leaf over TCP, wait until the root's network-wide
+/// aggregate equals the flat collector's, then time root-scope HHH
+/// queries over the query socket. Where E14 measures the *merge*
+/// advantage in memory, this measures it end-to-end through the
+/// deployed tree.
+fn fleet_scenario(
+    sites: u16,
+    windows: usize,
+    span_ms: u64,
+    flat: &Collector,
+    reps: usize,
+) -> FleetRow {
+    use flowrelay::server::{query_remote, ship_summaries};
+    use flowrelay::spec::FleetSpec;
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    let leaf_fanout = (sites as f64).sqrt().ceil() as u16;
+    let leaves = sites.div_ceil(leaf_fanout).max(1);
+    let mid_fanout = (leaves as f64).sqrt().ceil() as u16;
+    let topo = RelayTopology::three_tier(sites, leaf_fanout, mid_fanout);
+    let mut text =
+        String::from("[defaults]\nlinger-ms = 0\ndrain-every-ms = 20\nretention-ms = 0\n\n");
+    for r in &topo.relays {
+        text.push_str(&format!("[relay {}]\nagg-site = {}\n", r.name, r.agg_site));
+        if !r.sites.is_empty() {
+            let list: Vec<String> = r.sites.iter().map(u16::to_string).collect();
+            text.push_str(&format!("sites = {}\n", list.join(",")));
+        }
+        if let Some(p) = &r.parent {
+            text.push_str(&format!("parent = {p}\n"));
+        }
+        text.push('\n');
+    }
+    let spec = FleetSpec::parse(&text).expect("generated spec parses");
+
+    let t0 = Instant::now();
+    let relays = spec.boot_relays().expect("fleet boots");
+    let boot_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let ingest_of = |name: &str| {
+        relays
+            .iter()
+            .find(|rt| rt.name() == name)
+            .expect("booted")
+            .ingest_addr()
+    };
+    let root_query = relays[0].query_addr();
+
+    // Ship every (site, window) frame to its owning leaf over TCP,
+    // one connection per leaf.
+    let t1 = Instant::now();
+    let mut conns: std::collections::HashMap<usize, TcpStream> = Default::default();
+    for w in 0..windows {
+        for s in 0..sites {
+            let owner = topo.owner_of(s).expect("three_tier covers the sweep");
+            let conn = conns.entry(owner).or_insert_with(|| {
+                TcpStream::connect(ingest_of(&topo.relays[owner].name)).expect("leaf ingest")
+            });
+            let summary = Summary {
+                site: s,
+                window: WindowId {
+                    start_ms: w as u64 * span_ms,
+                    span_ms,
+                },
+                seq: w as u64 + 1,
+                kind: SummaryKind::Full,
+                provenance: None,
+                epoch: None,
+                tree: flat
+                    .window_tree(w as u64 * span_ms, s)
+                    .expect("built above")
+                    .clone(),
+            };
+            ship_summaries(conn, &[summary]).expect("ship to leaf");
+        }
+    }
+    drop(conns);
+
+    // Converged when the root's network-wide total matches the flat
+    // collector's — every window climbed both tiers.
+    let expected = flat.merged(None, 0, u64::MAX).total().packets;
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let mut q = TcpStream::connect(root_query).expect("root query connect");
+        let body = query_remote(&mut q, "pop")
+            .expect("transport ok")
+            .expect("valid query");
+        let total = body
+            .split("popularity: ")
+            .nth(1)
+            .and_then(|r| r.split(" packets").next())
+            .and_then(|n| n.trim().parse::<i64>().ok());
+        if total == Some(expected) {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fleet never converged on {expected} packets; last answer:\n{body}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let converge_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    // Steady state: root-scope HHH over the query socket.
+    let mut q = TcpStream::connect(root_query).expect("root query connect");
+    let start = Instant::now();
+    for _ in 0..reps {
+        query_remote(&mut q, "hhh 0.01 by packets")
+            .expect("transport ok")
+            .expect("valid query");
+    }
+    let ms_per_query = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+
+    let n_relays = relays.len();
+    for rt in relays.into_iter().rev() {
+        rt.drain(Duration::from_secs(30));
+    }
+    FleetRow {
+        sites,
+        relays: n_relays,
+        boot_ms,
+        converge_ms,
+        ms_per_query,
+    }
 }
 
 /// The incremental-update export scenario: every site's frame for a
@@ -138,6 +285,7 @@ fn main() {
     let span_ms = 1_000u64;
     let mut rows: Vec<BenchRow> = Vec::new();
     let mut export_rows: Vec<ExportRow> = Vec::new();
+    let mut fleet_rows: Vec<FleetRow> = Vec::new();
 
     for &sites in &sweep {
         let fanout = (sites as f64).sqrt().ceil() as u16;
@@ -290,6 +438,9 @@ fn main() {
             steady_delta_bytes,
             steady_ratio: steady_full_bytes as f64 / steady_delta_bytes.max(1) as f64,
         });
+
+        // ---- live three-tier fleet through the launcher runtime ------
+        fleet_rows.push(fleet_scenario(sites, windows, span_ms, &flat, reps));
     }
 
     println!("\n== E14: root-scope HHH query latency ==\n");
@@ -323,6 +474,18 @@ fn main() {
             &r.steady_full_bytes.to_string(),
             &r.steady_delta_bytes.to_string(),
             &format!("{:.2}x", r.steady_ratio),
+        ]);
+    }
+
+    println!("\n== E16: live three-tier fleet, root HHH over the query socket ==\n");
+    let t = Table::new(&["sites", "relays", "boot ms", "converge ms", "ms/query"]);
+    for r in &fleet_rows {
+        t.row(&[
+            &r.sites.to_string(),
+            &r.relays.to_string(),
+            &format!("{:.1}", r.boot_ms),
+            &format!("{:.1}", r.converge_ms),
+            &format!("{:.3}", r.ms_per_query),
         ]);
     }
 
@@ -365,6 +528,20 @@ fn main() {
             r.steady_delta_bytes,
             r.steady_ratio,
             if i + 1 == export_rows.len() { "" } else { "," },
+        ));
+    }
+    body.push_str("    ],\n");
+    body.push_str("    \"fleet3\": [\n");
+    for (i, r) in fleet_rows.iter().enumerate() {
+        body.push_str(&format!(
+            "      {{\"sites\": {}, \"relays\": {}, \"boot_ms\": {:.3}, \
+             \"converge_ms\": {:.3}, \"ms_per_query\": {:.3}}}{}\n",
+            r.sites,
+            r.relays,
+            r.boot_ms,
+            r.converge_ms,
+            r.ms_per_query,
+            if i + 1 == fleet_rows.len() { "" } else { "," },
         ));
     }
     body.push_str("    ]\n");

@@ -36,6 +36,14 @@
 //! * [`control`] — the reverse channel of the acknowledged export
 //!   path: per-frame acks and rebase-requests, version-gated so
 //!   pre-handshake peers interoperate unchanged.
+//! * [`framing`] — the one copy of the length-prefixed TCP framing
+//!   (`read_frame`/`write_frame`/`FramedConn`) every TCP surface in
+//!   flowdist *and* flowrelay speaks.
+//! * [`ops`] — the tiny plaintext HTTP/1.0 health/stats/reload
+//!   endpoint every fleet node serves.
+//! * [`runtime`] — the site-node runtime: UDP ingest + upstream TCP
+//!   forwarder + ops endpoint behind one `start`/`drain` handle, so a
+//!   launcher boots a site from a spec line.
 //! * [`spill`] — disk-backed queue of unacked export frames
 //!   (append-only CRC-checked segments with an acked-floor ledger), so
 //!   pending exports survive process death.
@@ -47,9 +55,12 @@ pub mod alarm;
 pub mod collector;
 pub mod control;
 pub mod daemon;
+pub mod framing;
 pub mod listen;
 pub mod net;
+pub mod ops;
 pub mod pipeline;
+pub mod runtime;
 pub mod shard;
 pub mod sim;
 pub mod spill;
@@ -62,8 +73,10 @@ pub use alarm::{AlarmConfig, AlarmEvent, Direction};
 pub use collector::{Collector, TransferLedger, ViewCacheStats};
 pub use control::{ControlFrame, SlotPos, FEATURE_ACKS};
 pub use daemon::{DaemonConfig, DaemonStats, SiteDaemon, TransferMode};
-pub use listen::{spawn_udp_ingest, IngestReport, UdpIngestHandle};
+pub use framing::{FramedConn, MAX_FRAME};
+pub use listen::{spawn_udp_ingest, IngestGauges, IngestReport, IngestSnapshot, UdpIngestHandle};
 pub use pipeline::{IngestPipeline, PipelineStats};
+pub use runtime::{SiteDrainReport, SiteNodeConfig, SiteRuntime};
 pub use shard::ShardedTree;
 pub use sim::{SimConfig, SimReport, SiteRun};
 pub use spill::{FsyncPolicy, SpillConfig, SpillQueue, SpillStats};

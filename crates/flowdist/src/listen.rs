@@ -23,9 +23,76 @@ use crate::pipeline::{IngestPipeline, PipelineStats};
 use crate::DistError;
 use crossbeam::channel::Sender;
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Live counters of a running ingest loop, published after every
+/// datagram so another thread (a per-node stats endpoint) can read
+/// them while the loop runs — [`IngestReport`] only exists after
+/// [`UdpIngestHandle::stop`].
+#[derive(Debug, Default)]
+pub struct IngestGauges {
+    /// Export packets decoded successfully.
+    pub packets: AtomicU64,
+    /// Payloads that failed to decode.
+    pub decode_errors: AtomicU64,
+    /// Flow records extracted.
+    pub records: AtomicU64,
+    /// Records dropped as older than any open window.
+    pub late_drops: AtomicU64,
+    /// Summaries emitted by the daemon.
+    pub summaries: AtomicU64,
+    /// Summary frames shipped through the channel.
+    pub frames_sent: AtomicU64,
+    /// Frames dropped (receiver gone, or full channel while stopping).
+    pub frames_dropped: AtomicU64,
+}
+
+/// One coherent reading of [`IngestGauges`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestSnapshot {
+    /// Export packets decoded successfully.
+    pub packets: u64,
+    /// Payloads that failed to decode.
+    pub decode_errors: u64,
+    /// Flow records extracted.
+    pub records: u64,
+    /// Records dropped as older than any open window.
+    pub late_drops: u64,
+    /// Summaries emitted by the daemon.
+    pub summaries: u64,
+    /// Summary frames shipped through the channel.
+    pub frames_sent: u64,
+    /// Frames dropped (receiver gone, or full channel while stopping).
+    pub frames_dropped: u64,
+}
+
+impl IngestGauges {
+    /// Reads every gauge (relaxed — counters, not a consistent cut).
+    pub fn snapshot(&self) -> IngestSnapshot {
+        IngestSnapshot {
+            packets: self.packets.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            records: self.records.load(Ordering::Relaxed),
+            late_drops: self.late_drops.load(Ordering::Relaxed),
+            summaries: self.summaries.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    fn publish(&self, pipeline: &PipelineStats, daemon: &DaemonStats, sent: u64, dropped: u64) {
+        self.packets.store(pipeline.packets, Ordering::Relaxed);
+        self.decode_errors
+            .store(pipeline.decode_errors, Ordering::Relaxed);
+        self.records.store(pipeline.records, Ordering::Relaxed);
+        self.late_drops.store(daemon.late_drops, Ordering::Relaxed);
+        self.summaries.store(daemon.summaries, Ordering::Relaxed);
+        self.frames_sent.store(sent, Ordering::Relaxed);
+        self.frames_dropped.store(dropped, Ordering::Relaxed);
+    }
+}
 
 /// What the socket thread hands back on shutdown.
 #[derive(Debug)]
@@ -49,6 +116,7 @@ pub struct IngestReport {
 pub struct UdpIngestHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    gauges: Arc<IngestGauges>,
     join: std::thread::JoinHandle<IngestReport>,
 }
 
@@ -56,6 +124,11 @@ impl UdpIngestHandle {
     /// The bound local address (useful with a `:0` bind).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The loop's live counters (see [`IngestGauges`]).
+    pub fn gauges(&self) -> Arc<IngestGauges> {
+        Arc::clone(&self.gauges)
     }
 
     /// Stops the loop: drains the socket buffer, flushes the pipeline,
@@ -83,13 +156,16 @@ pub fn spawn_udp_ingest(
         .map_err(DistError::Io)?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
+    let gauges = Arc::new(IngestGauges::default());
+    let loop_gauges = Arc::clone(&gauges);
     let join = std::thread::Builder::new()
         .name("udp-ingest".into())
-        .spawn(move || ingest_loop(socket, pipeline, frames, stop_flag))
+        .spawn(move || ingest_loop(socket, pipeline, frames, stop_flag, loop_gauges))
         .map_err(DistError::Io)?;
     Ok(UdpIngestHandle {
         addr: local,
         stop,
+        gauges,
         join,
     })
 }
@@ -99,6 +175,7 @@ fn ingest_loop(
     mut pipeline: IngestPipeline,
     frames: Sender<Vec<u8>>,
     stop: Arc<AtomicBool>,
+    gauges: Arc<IngestGauges>,
 ) -> IngestReport {
     let mut buf = vec![0u8; 65_536];
     let (mut sent, mut dropped) = (0u64, 0u64);
@@ -141,6 +218,7 @@ fn ingest_loop(
             Ok((n, _peer)) => {
                 let out = pipeline.push_packet(&buf[..n]);
                 ship(out, &mut sent, &mut dropped);
+                gauges.publish(pipeline.stats(), pipeline.daemon().stats(), sent, dropped);
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -168,6 +246,7 @@ fn ingest_loop(
     let stats = *pipeline.stats();
     let (rest, daemon) = pipeline.finish();
     ship(rest, &mut sent, &mut dropped);
+    gauges.publish(&stats, daemon.stats(), sent, dropped);
     IngestReport {
         pipeline: stats,
         daemon: *daemon.stats(),

@@ -16,47 +16,12 @@
 use crate::DistError;
 use flownet::netflow5;
 use flownet::FlowRecord;
-use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, UdpSocket};
 
-/// Upper bound on a frame accepted from the network (16 MiB).
-pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
-
-/// Writes one length-prefixed frame.
-pub fn write_frame<W: Write>(mut w: W, frame: &[u8]) -> std::io::Result<()> {
-    let len = u32::try_from(frame.len())
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too large"))?;
-    if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidInput,
-            "frame exceeds MAX_FRAME",
-        ));
-    }
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(frame)?;
-    w.flush()
-}
-
-/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
-/// boundary.
-pub fn read_frame<R: Read>(mut r: R) -> std::io::Result<Option<Vec<u8>>> {
-    let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
-    }
-    let len = u32::from_be_bytes(len_buf);
-    if len > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "frame exceeds MAX_FRAME",
-        ));
-    }
-    let mut frame = vec![0u8; len as usize];
-    r.read_exact(&mut frame)?;
-    Ok(Some(frame))
-}
+// The framing primitives moved to the shared [`crate::framing`]
+// module (one copy for flowdist and flowrelay alike); re-exported
+// here so existing `net::read_frame` call sites keep compiling.
+pub use crate::framing::{read_frame, write_frame, FramedConn, MAX_FRAME};
 
 /// Sends one frame to a connected TCP peer.
 pub fn send_summary(stream: &mut TcpStream, frame: &[u8]) -> Result<(), DistError> {
@@ -411,18 +376,17 @@ pub fn receive_summaries(
     stream: &mut std::net::TcpStream,
     collector: &mut crate::Collector,
 ) -> Result<(usize, usize), DistError> {
-    let mut reader = std::io::BufReader::new(stream);
     let (mut applied, mut rejected) = (0usize, 0usize);
-    loop {
-        match read_frame(&mut reader) {
-            Ok(Some(frame)) => match collector.apply_bytes(&frame) {
-                Ok(()) => applied += 1,
-                Err(_) => rejected += 1,
-            },
-            Ok(None) => return Ok((applied, rejected)),
-            Err(e) => return Err(DistError::Io(e)),
+    let owned = stream.try_clone().map_err(DistError::Io)?;
+    crate::framing::serve_framed(owned, |frame| {
+        match collector.apply_bytes(&frame) {
+            Ok(()) => applied += 1,
+            Err(_) => rejected += 1,
         }
-    }
+        None
+    })
+    .map_err(DistError::Io)?;
+    Ok((applied, rejected))
 }
 
 #[cfg(test)]

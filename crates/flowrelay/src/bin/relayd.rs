@@ -1,56 +1,29 @@
 //! `relayd` — a socketed aggregation-relay daemon.
 //!
-//! Wires the library's TCP surfaces ([`flowrelay::server`]) and the
-//! wall-clock export scheduler ([`Relay::drain_exports_at`]) behind
-//! CLI flags, so a relay runs as a process instead of a library call:
+//! A thin CLI shell over [`flowrelay::runtime::NodeRuntime`], which
+//! owns everything the daemon used to wire by hand: the ingest and
+//! query listeners, the monotonic-clock export scheduler, the durable
+//! acknowledged shipper, journal/spill recovery under `--state-dir`,
+//! retention, and the optional `--stats` endpoint (GET `/health`,
+//! GET `/stats`, POST `/reload`). `relayd` itself only parses flags,
+//! prints the startup line, and decides when to exit.
 //!
-//! * an **ingest** listener accepting length-prefixed summary frames
-//!   from site daemons or deeper relays (any number of connections,
-//!   one thread each; malformed frames are counted, never fatal);
-//! * a **query** listener speaking the status-byte + route-header text
-//!   protocol over the same framing;
-//! * an **export scheduler** thread draining complete windows every
-//!   tick against a monotonic wall-anchored clock
-//!   ([`flowrelay::SteadyClock`] — an OS clock stepped backwards can
-//!   neither stall nor double-fire a drain) — incrementally
-//!   re-exporting windows that keep receiving late frames, as
-//!   structural deltas by default — and shipping them to `--upstream`
-//!   through the durable [`flowrelay::ExportShipper`]: every drained
-//!   frame is spilled (to disk under `--state-dir`, else in memory)
-//!   before any send, stays pending until the upstream acknowledges
-//!   applying it (legacy upstreams fall back to fire-and-forget), and
-//!   reconnects use exponential backoff with jitter. Without an
-//!   upstream exports are logged and dropped (e.g. at the root).
-//!   `--retention-ms` evicts old windows (trees, ledger, export
-//!   state) so a long-running daemon stays bounded.
-//!
-//! With `--state-dir` the relay is **crash-safe**: stored windows,
-//! epoch chains, and export positions live in a snapshot+WAL journal
-//! ([`flowrelay::journal`]) and spilled exports in CRC-checked spill
-//! segments ([`flowdist::spill`]); a restarted daemon resumes exactly
-//! where the dead process stood, rewinding any exports that were
-//! drained but never acknowledged so the chain heals by rebase
-//! instead of forking.
+//! With `--stdin-control` the daemon reads commands from stdin —
+//! `status`, `reload key=value …`, `drain` — and treats EOF as a
+//! drain request, so a supervisor (`flowctl`) that dies takes its
+//! children down gracefully instead of leaving orphans.
 //!
 //! ```sh
 //! relayd --name west --agg-site 101 --sites 0,1,2,3 \
 //!        --ingest 127.0.0.1:7401 --query 127.0.0.1:7402 \
 //!        --upstream 127.0.0.1:7501 --mode delta --linger-ms 2000 \
-//!        --state-dir /var/lib/flowrelay/west
+//!        --state-dir /var/lib/flowrelay/west --stats 127.0.0.1:7403
 //! ```
 
-use flowdist::net::{read_frame, write_frame};
-use flowdist::{FsyncPolicy, SpillConfig, SpillQueue};
-use flowrelay::server::{answer_query, serve_acked_ingest};
-use flowrelay::{
-    BackoffConfig, ExportConfig, ExportMode, ExportShipper, JournalConfig, QueryRouter, Relay,
-    RelayConfig, RelaySpec, RelayTopology, ShipperConfig, SteadyClock,
-};
-use flowtree_core::Config;
-use std::io::BufReader;
-use std::net::TcpListener;
-use std::path::Path;
-use std::sync::{Arc, Mutex};
+use flowdist::FsyncPolicy;
+use flowrelay::{ExportMode, NodeConfig, NodeRuntime};
+use std::io::BufRead;
+use std::path::PathBuf;
 use std::time::Duration;
 
 const HELP: &str = "\
@@ -65,6 +38,8 @@ FLAGS:
     --sites A,B,..        real sites this relay covers      [default: 0,1,2,3]
     --ingest ADDR         TCP bind for summary-frame ingest [default: 127.0.0.1:7401]
     --query ADDR          TCP bind for text queries         [default: 127.0.0.1:7402]
+    --stats ADDR          plaintext health/stats endpoint (GET /health,
+                          GET /stats, POST /reload)          [default: none]
     --upstream ADDR       ship exports to this TCP peer     [default: none — exports are logged and dropped]
     --mode full|delta     re-export whole windows or deltas [default: delta]
     --linger-ms N         wall-clock grace past a window's end before it exports [default: 2000]
@@ -84,11 +59,16 @@ FLAGS:
     --reconnect-max-ms N  upstream-reconnect backoff ceiling  [default: 5000]
     --ack-stall-ms N      recycle an upstream connection whose acks went
                           silent while exports are pending    [default: 10000]
+    --drain-deadline-ms N how long a graceful drain chases an unreachable
+                          upstream before leaving the rest spilled [default: 10000]
+    --stdin-control       read status/reload/drain commands from stdin;
+                          EOF drains and exits (supervision seam)
     --oneshot             drain once, print counters, exit (smoke testing)
     --help                print this help
 ";
 
-/// Tiny `--key value` scanner (no clap offline).
+/// Tiny `--key value` scanner (no clap offline). A repeated flag's
+/// last value wins, so wrappers can append overrides.
 struct Args(Vec<String>);
 
 impl Args {
@@ -96,9 +76,15 @@ impl Args {
         let flag = format!("--{name}");
         self.0
             .iter()
-            .position(|a| *a == flag)
+            .rposition(|a| *a == flag)
             .and_then(|i| self.0.get(i + 1))
             .map(String::as_str)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     fn has(&self, name: &str) -> bool {
@@ -122,353 +108,163 @@ fn main() {
     }
 
     let name = args.get("name").unwrap_or("relay").to_string();
-    let agg_site: u16 = args
-        .get("agg-site")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1_000);
-    let sites: Vec<u16> = args
+    let mut cfg = NodeConfig::new(name.clone());
+    cfg.log_tag = Some(format!("relayd[{name}]"));
+    cfg.agg_site = args.num("agg-site", 1_000);
+    cfg.sites = args
         .get("sites")
         .unwrap_or("0,1,2,3")
         .split(',')
         .filter_map(|s| s.trim().parse().ok())
         .collect();
-    let ingest_addr = args.get("ingest").unwrap_or("127.0.0.1:7401").to_string();
-    let query_addr = args.get("query").unwrap_or("127.0.0.1:7402").to_string();
-    let upstream = args.get("upstream").map(str::to_string);
-    let mode = match args.get("mode") {
+    cfg.ingest = args.get("ingest").unwrap_or("127.0.0.1:7401").to_string();
+    cfg.query = args.get("query").unwrap_or("127.0.0.1:7402").to_string();
+    cfg.stats = args.get("stats").map(str::to_string);
+    cfg.upstream = args.get("upstream").map(str::to_string);
+    cfg.mode = match args.get("mode") {
         Some("full") => ExportMode::Full,
         _ => ExportMode::Delta,
     };
-    let linger_ms: u64 = args
-        .get("linger-ms")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2_000);
-    let drain_every: u64 = args
-        .get("drain-every-ms")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1_000);
-    let max_bases: usize = args
-        .get("max-bases")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(64);
-    let budget: usize = args
-        .get("budget")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1 << 20);
-    let retention_ms: u64 = args
-        .get("retention-ms")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(86_400_000);
-    let state_dir = args.get("state-dir").map(str::to_string);
-    let fsync = match args.get("fsync") {
+    cfg.linger_ms = args.num("linger-ms", 2_000);
+    cfg.drain_every_ms = args.num("drain-every-ms", 1_000);
+    cfg.max_bases = args.num("max-bases", 64);
+    cfg.budget = args.num("budget", 1 << 20);
+    cfg.retention_ms = args.num("retention-ms", 86_400_000);
+    cfg.state_dir = args.get("state-dir").map(PathBuf::from);
+    cfg.fsync = match args.get("fsync") {
         Some("always") => FsyncPolicy::Always,
         _ => FsyncPolicy::Never,
     };
-    let spill_max_bytes: u64 = args
-        .get("spill-max-bytes")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(256 << 20);
-    let reconnect_base_ms: u64 = args
-        .get("reconnect-base-ms")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(100);
-    let reconnect_max_ms: u64 = args
-        .get("reconnect-max-ms")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5_000);
-    let ack_stall_ms: u64 = args
-        .get("ack-stall-ms")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(10_000);
-    if sites.is_empty() {
-        eprintln!("relayd: --sites must name at least one site");
-        std::process::exit(2);
-    }
+    cfg.spill_max_bytes = args.num("spill-max-bytes", 256 << 20);
+    cfg.reconnect_base_ms = args.num("reconnect-base-ms", 100);
+    cfg.reconnect_max_ms = args.num("reconnect-max-ms", 5_000);
+    cfg.ack_stall_ms = args.num("ack-stall-ms", 10_000);
+    let drain_deadline = Duration::from_millis(args.num("drain-deadline-ms", 10_000));
+    let mode = cfg.mode;
 
-    // A solo topology so the query router can plan over this node.
-    let topo = RelayTopology {
-        relays: vec![RelaySpec {
-            name: name.clone(),
-            parent: None,
-            agg_site,
-            sites: sites.clone(),
-        }],
-    };
-    if let Err(e) = topo.validate() {
-        eprintln!("relayd: invalid configuration: {e}");
-        std::process::exit(2);
-    }
-    let relay_cfg = RelayConfig {
-        name: name.clone(),
-        agg_site,
-        expected: sites.clone(),
-        schema: flowkey::Schema::five_feature(),
-        tree: Config::with_budget(budget),
-        export: ExportConfig {
-            mode,
-            linger_ms,
-            max_bases,
-            ..ExportConfig::default()
-        },
-    };
-    let mut relay = match &state_dir {
-        Some(dir) => {
-            let jcfg = JournalConfig {
-                fsync,
-                ..JournalConfig::default()
+    let runtime = match NodeRuntime::start(cfg) {
+        Ok(rt) => rt,
+        Err(e) => {
+            eprintln!("relayd: {e}");
+            // Config errors exit 2 (usage), environment errors 1.
+            let code = match e {
+                flowrelay::RuntimeError::Invalid(_) => 2,
+                _ => 1,
             };
-            match Relay::open_journaled(relay_cfg, &Path::new(dir).join("journal"), jcfg) {
-                Ok((relay, report)) => {
-                    log(format_args!(
-                        "relayd[{name}]: recovered gen {} — {} snapshot slots, {} WAL records, {} torn bytes truncated",
-                        report.generation,
-                        report.snapshot_slots,
-                        report.wal_records,
-                        report.torn_bytes
-                    ));
-                    relay
-                }
-                Err(e) => {
-                    eprintln!("relayd: cannot open state dir {dir}: {e}");
-                    std::process::exit(1);
-                }
-            }
+            std::process::exit(code);
         }
-        None => Relay::new(relay_cfg),
     };
-    // Exports drained by the dead process but never acknowledged may
-    // or may not have reached the upstream; rewinding them re-exports
-    // full rebasing frames the upstream deduplicates idempotently. A
-    // root (no upstream) must NOT rewind — nobody is missing anything.
-    if upstream.is_some() {
-        let rewound = relay.rewind_unacked_exports();
-        if rewound > 0 {
-            log(format_args!(
-                "relayd[{name}]: rewound {rewound} unacked exports; their windows will rebase"
-            ));
-        }
-    }
-    let relay = Arc::new(Mutex::new(relay));
-
-    // --- ingest listener -------------------------------------------------
-    let ingest = TcpListener::bind(&ingest_addr).unwrap_or_else(|e| {
-        eprintln!("relayd: cannot bind ingest {ingest_addr}: {e}");
-        std::process::exit(1);
-    });
-    let ingest_resolved = ingest
-        .local_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_else(|_| ingest_addr.clone());
-    {
-        let relay = Arc::clone(&relay);
-        std::thread::Builder::new()
-            .name("relayd-ingest".into())
-            .spawn(move || {
-                for conn in ingest.incoming() {
-                    let Ok(mut conn) = conn else { continue };
-                    let relay = Arc::clone(&relay);
-                    let _ = std::thread::Builder::new()
-                        .name("relayd-ingest-conn".into())
-                        .spawn(move || {
-                            // Acknowledged ingest: per-frame ack /
-                            // rebase-request replies once the peer
-                            // says hello; pure one-way v1–v3 senders
-                            // get exactly the legacy silence. Locks
-                            // the relay per frame, not per connection.
-                            let _ = serve_acked_ingest(&mut conn, &relay);
-                        });
-                }
-            })
-            .expect("spawn ingest thread");
-    }
-
-    // --- query listener --------------------------------------------------
-    let queries = TcpListener::bind(&query_addr).unwrap_or_else(|e| {
-        eprintln!("relayd: cannot bind query {query_addr}: {e}");
-        std::process::exit(1);
-    });
     // Resolved addresses (a `:0` bind picks a port) — parseable, so
     // scripts and tests can discover where the daemon actually lives.
     eprintln!(
-        "relayd[{name}]: ingest on {ingest_resolved}, queries on {}, mode {mode:?}",
-        queries
-            .local_addr()
-            .map(|a| a.to_string())
-            .unwrap_or_else(|_| query_addr.clone()),
+        "relayd[{name}]: ingest on {}, queries on {}, mode {mode:?}",
+        runtime.ingest_addr(),
+        runtime.query_addr(),
     );
-    {
-        let relay = Arc::clone(&relay);
-        std::thread::Builder::new()
-            .name("relayd-query".into())
-            .spawn(move || {
-                for conn in queries.incoming() {
-                    let Ok(mut conn) = conn else { continue };
-                    let relay = Arc::clone(&relay);
-                    let topo = topo.clone();
-                    let _ = std::thread::Builder::new()
-                        .name("relayd-query-conn".into())
-                        .spawn(move || {
-                            // Lock per *request*, never per
-                            // connection: an idle client sitting on
-                            // an open connection must not starve
-                            // ingest or the export scheduler. The
-                            // reader persists across requests so
-                            // pipelined frames survive its read-ahead.
-                            let Ok(read_half) = conn.try_clone() else {
-                                return;
-                            };
-                            let mut reader = BufReader::new(read_half);
-                            loop {
-                                let frame = match read_frame(&mut reader) {
-                                    Ok(Some(f)) => f,
-                                    Ok(None) | Err(_) => return,
-                                };
-                                let response = {
-                                    let guard = relay.lock().expect("relay lock");
-                                    let relays = std::slice::from_ref(&*guard);
-                                    let router = QueryRouter::new(&topo, relays);
-                                    answer_query(&router, &frame)
-                                };
-                                if write_frame(&mut conn, &response).is_err() {
-                                    return;
-                                }
-                            }
-                        });
-                }
-            })
-            .expect("spawn query thread");
+    if let Some(addr) = runtime.stats_addr() {
+        log(format_args!("relayd[{name}]: stats on {addr}"));
     }
 
-    // --- export scheduler (monotonic-clock watermarks) -------------------
-    let oneshot = args.has("oneshot");
-    let clock = SteadyClock::new();
-    // Drained exports go through the durable shipper: spilled before
-    // any send (draining advances the relay's per-window export state,
-    // so silently losing one would fork the epoch chain), resent until
-    // the upstream acknowledges applying them, shed-with-rebase when
-    // the spill bound overflows during a long outage.
-    let mut shipper: Option<ExportShipper> = match &upstream {
-        Some(addr) => {
-            let spill_cfg = SpillConfig {
-                max_bytes: spill_max_bytes,
-                fsync,
-                ..SpillConfig::default()
-            };
-            let spill = match &state_dir {
-                Some(dir) => match SpillQueue::open(&Path::new(dir).join("spill"), spill_cfg) {
-                    Ok(q) => {
-                        if !q.is_empty() {
-                            log(format_args!(
-                                "relayd[{name}]: recovered {} spilled exports, resending",
-                                q.len()
-                            ));
-                        }
-                        q
-                    }
-                    Err(e) => {
-                        eprintln!("relayd: cannot open spill dir under {dir}: {e}");
-                        std::process::exit(1);
-                    }
-                },
-                None => SpillQueue::in_memory(spill_cfg),
-            };
-            Some(ExportShipper::new(
-                ShipperConfig {
-                    upstream: addr.clone(),
-                    handshake_ms: 1_000,
-                    stall_ms: ack_stall_ms,
-                    tree: Config::with_budget(budget),
-                    backoff: BackoffConfig {
-                        base_ms: reconnect_base_ms,
-                        max_ms: reconnect_max_ms,
-                    },
-                },
-                spill,
-                u64::from(agg_site) ^ (u64::from(std::process::id()) << 17),
-            ))
-        }
-        None => None,
-    };
-    let mut journal_fault_logged = false;
+    if args.has("oneshot") {
+        runtime.tick_now();
+        let l = runtime.ledger();
+        let pending = runtime.pending_len();
+        log(format_args!(
+            "relayd[{name}]: frames {} (rejected {}, replayed {}), exports {} ({} full / {} delta), bytes {} ({} full / {} delta), pending {}, rebases {} (rewound {}), reconnects {} ({} failed, {}ms backoff)",
+            l.frames,
+            l.rejected,
+            l.replayed,
+            l.exported,
+            l.full_exports,
+            l.delta_exports,
+            l.exported_bytes,
+            l.full_export_bytes,
+            l.delta_export_bytes,
+            pending,
+            l.rebase_requests,
+            l.rebase_rewinds,
+            l.reconnect_attempts,
+            l.reconnect_failures,
+            l.backoff_ms_total
+        ));
+        runtime.shutdown();
+        return;
+    }
+
+    if args.has("stdin-control") {
+        control_loop(&name, runtime, drain_deadline);
+        return;
+    }
+
+    // No control channel: the runtime's threads do all the work; park.
     loop {
-        std::thread::sleep(Duration::from_millis(if oneshot { 0 } else { drain_every }));
-        let due = relay
-            .lock()
-            .expect("relay lock")
-            .drain_exports_at(clock.now_ms());
-        match &mut shipper {
-            Some(shipper) => {
-                for e in &due {
-                    let shed = shipper.enqueue(e);
-                    if !shed.is_empty() {
-                        let mut guard = relay.lock().expect("relay lock");
-                        for w in &shed {
-                            guard.mark_unshipped(*w);
+        std::thread::sleep(Duration::from_secs(3_600));
+    }
+}
+
+/// Reads commands from stdin until EOF or `drain`. EOF counts as a
+/// drain request: when the supervisor that holds our stdin dies, the
+/// daemon flushes and exits instead of lingering as an orphan.
+fn control_loop(name: &str, runtime: NodeRuntime, drain_deadline: Duration) {
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match cmd {
+            "" => {}
+            "status" => {
+                let l = runtime.ledger();
+                println!(
+                    "status frames={} rejected={} exported={} pending={} spill_sheds={}",
+                    l.frames,
+                    l.rejected,
+                    l.exported,
+                    runtime.pending_len(),
+                    l.spill_sheds
+                );
+            }
+            "reload" => {
+                let mut r = runtime.reloadable();
+                let mut bad = None;
+                for kv in rest.split_whitespace() {
+                    let Some((k, v)) = kv.split_once('=') else {
+                        bad = Some(format!("malformed reload arg: {kv}"));
+                        break;
+                    };
+                    let parsed = v.parse::<u64>();
+                    match (k, parsed) {
+                        ("mode", _) if v == "full" => r.mode = ExportMode::Full,
+                        ("mode", _) if v == "delta" => r.mode = ExportMode::Delta,
+                        ("linger-ms", Ok(n)) => r.linger_ms = n,
+                        ("retention-ms", Ok(n)) => r.retention_ms = n,
+                        ("drain-every-ms", Ok(n)) => r.drain_every_ms = n,
+                        ("max-bases", Ok(n)) => r.max_bases = n as usize,
+                        _ => {
+                            bad = Some(format!("bad reload arg: {kv}"));
+                            break;
                         }
-                        drop(guard);
-                        log(format_args!(
-                            "relayd[{name}]: spill bound shed {} old exports; their windows will rebase",
-                            shed.len()
-                        ));
                     }
                 }
-                shipper.pump(&relay, clock.now_ms());
-            }
-            None => {
-                for e in &due {
-                    log(format_args!(
-                        "relayd[{name}]: export window {} epoch {} ({:?}, {} bytes) — no upstream, dropped",
-                        e.window,
-                        e.epoch.map(|h| h.epoch).unwrap_or(0),
-                        e.kind,
-                        e.encoded_size()
-                    ));
+                match bad {
+                    Some(msg) => println!("error {msg}"),
+                    None => {
+                        runtime.reload(r);
+                        println!("reloaded");
+                    }
                 }
             }
+            "drain" => break,
+            other => println!("error unknown command: {other}"),
         }
-        if retention_ms > 0 {
-            let cutoff = clock.now_ms().saturating_sub(retention_ms);
-            let evicted = relay
-                .lock()
-                .expect("relay lock")
-                .evict_windows_before(cutoff);
-            if evicted > 0 {
-                log(format_args!(
-                    "relayd[{name}]: retention evicted {evicted} windows older than {cutoff}ms"
-                ));
-            }
-        }
-        if !journal_fault_logged {
-            if let Some(err) = relay.lock().expect("relay lock").journal_error() {
-                log(format_args!(
-                    "relayd[{name}]: JOURNAL DEGRADED (still serving, no longer crash-safe): {err}"
-                ));
-                journal_fault_logged = true;
-            }
-        }
-        if oneshot {
-            let guard = relay.lock().expect("relay lock");
-            let l = guard.ledger();
-            let pending = shipper.as_ref().map(|s| s.pending_len()).unwrap_or(0);
-            log(format_args!(
-                "relayd[{name}]: frames {} (rejected {}, replayed {}), exports {} ({} full / {} delta), bytes {} ({} full / {} delta), pending {}, rebases {} (rewound {}), reconnects {} ({} failed, {}ms backoff)",
-                l.frames,
-                l.rejected,
-                l.replayed,
-                l.exported,
-                l.full_exports,
-                l.delta_exports,
-                l.exported_bytes,
-                l.full_export_bytes,
-                l.delta_export_bytes,
-                pending,
-                l.rebase_requests,
-                l.rebase_rewinds,
-                l.reconnect_attempts,
-                l.reconnect_failures,
-                l.backoff_ms_total
-            ));
-            return;
-        }
+    }
+    let report = runtime.drain(drain_deadline);
+    log(format_args!(
+        "relayd[{name}]: drained — {} flushed, {} pending at exit",
+        report.flushed, report.pending_at_exit
+    ));
+    if report.pending_at_exit > 0 {
+        // Unacked exports are journaled+spilled; a restart resends.
+        std::process::exit(3);
     }
 }

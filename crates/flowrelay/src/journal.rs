@@ -644,11 +644,15 @@ fn ledger_counters(l: &RelayLedger) -> Vec<u64> {
         l.reconnect_attempts,
         l.reconnect_failures,
         l.backoff_ms_total,
+        l.spill_sheds,
+        l.spill_shed_bytes,
     ]
 }
 
 fn ledger_from_counters(c: &[u64]) -> Option<RelayLedger> {
-    if c.len() != 19 {
+    // 19 counters = a snapshot from before the spill-shed ledger
+    // fields existed; those recover as zero.
+    if c.len() != 19 && c.len() != 21 {
         return None;
     }
     Some(RelayLedger {
@@ -671,6 +675,8 @@ fn ledger_from_counters(c: &[u64]) -> Option<RelayLedger> {
         reconnect_attempts: c[16],
         reconnect_failures: c[17],
         backoff_ms_total: c[18],
+        spill_sheds: c.get(19).copied().unwrap_or(0),
+        spill_shed_bytes: c.get(20).copied().unwrap_or(0),
     })
 }
 

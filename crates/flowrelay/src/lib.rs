@@ -35,6 +35,14 @@
 //!   [`flowdist::Collector::merged_view`]) when it is not.
 //! * [`server`] — TCP: downstream frame ingest and a line-oriented
 //!   query protocol over [`flowdist::net`]'s framing.
+//! * [`runtime`] — one deployable node as a value: [`NodeRuntime`]
+//!   bundles the listeners, export scheduler, durable shipper,
+//!   journal recovery, stats endpoint, live reload, and graceful
+//!   drain behind typed [`NodeConfig`]; `relayd` and the `flowctl`
+//!   fleet launcher are thin shells over it.
+//! * [`spec`] — the hand-rolled fleet-spec format `flowctl` parses:
+//!   one INI-ish file describing every site and relay node of a
+//!   deployment, validated through [`RelayTopology`].
 //! * [`sim`] — stands up a site → relay → root hierarchy in-process
 //!   from any packet trace, for tests and benches.
 //!
@@ -52,15 +60,19 @@ pub mod export;
 pub mod journal;
 pub mod plan;
 pub mod relay;
+pub mod runtime;
 pub mod server;
 pub mod sim;
+pub mod spec;
 pub mod topology;
 
 pub use export::{Backoff, BackoffConfig, ExportShipper, ShipperConfig, ShipperStats, SteadyClock};
 pub use journal::{JournalConfig, RecoveryReport};
 pub use plan::{QueryRouter, Route, Routed};
 pub use relay::{Compose, ExportConfig, ExportMode, FrameOutcome, Relay, RelayConfig, RelayLedger};
+pub use runtime::{DrainReport, NodeConfig, NodeReload, NodeRuntime, RuntimeError};
 pub use sim::{run_hierarchy, run_hierarchy_with, DrainCadence, HierarchyOptions, HierarchyReport};
+pub use spec::{FleetSpec, RelayNodeSpec, SiteSpec, SpecError};
 pub use topology::{RelaySpec, RelayTopology, TopologyError};
 
 use flowdist::DistError;

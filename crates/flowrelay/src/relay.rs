@@ -178,6 +178,11 @@ pub struct RelayLedger {
     pub reconnect_failures: u64,
     /// Total milliseconds the shipper backed off between attempts.
     pub backoff_ms_total: u64,
+    /// Pending export frames shed by the spill queue's byte bound
+    /// during an upstream outage (their windows rewound to rebase).
+    pub spill_sheds: u64,
+    /// Payload bytes those shed frames carried.
+    pub spill_shed_bytes: u64,
 }
 
 /// How [`Relay::ingest_classified`] judged one downstream frame — and
@@ -716,6 +721,27 @@ impl Relay {
             self.ledger.reconnect_failures += 1;
         }
         self.ledger.backoff_ms_total += backoff_ms;
+    }
+
+    /// Feeds a spill-bound shed into the ledger: `frames` pending
+    /// exports (carrying `bytes` payload bytes) were dropped by the
+    /// spill queue's byte bound and their windows rewound to rebase.
+    /// Surfaced so operators can *see* accounted loss — before this,
+    /// sheds were counted only inside the spill queue.
+    pub fn note_spill_shed(&mut self, frames: u64, bytes: u64) {
+        self.ledger.spill_sheds += frames;
+        self.ledger.spill_shed_bytes += bytes;
+    }
+
+    /// Applies a live export-scheduler reconfiguration (mode, linger,
+    /// base bounds) without a restart. Takes effect on the next drain:
+    /// already-pinned bases stay valid under either mode, and a window
+    /// exported full under the old config simply continues its epoch
+    /// chain under the new one. The config is *not* journaled — a
+    /// restarted node boots with whatever its spec then says, which is
+    /// exactly the reload-source-of-truth an operator expects.
+    pub fn set_export_config(&mut self, export: ExportConfig) {
+        self.cfg.export = export;
     }
 
     /// The shared drain: every window `ready` admits whose content

@@ -1,0 +1,1022 @@
+//! The relay-node runtime: everything `relayd` used to inline, as a
+//! library.
+//!
+//! One [`NodeRuntime`] is one deployable aggregation node — ingest
+//! listener, query listener, wall-clock export scheduler, durable
+//! shipper, journal/spill recovery, retention, stats endpoint — built
+//! from one typed [`NodeConfig`] instead of ~450 lines of flag
+//! plumbing. `relayd` is now a thin shell over this module, and the
+//! `flowctl` launcher boots whole site→relay→root fleets by starting
+//! one `NodeRuntime` per spec node (the site-side twin is
+//! [`flowdist::runtime::SiteRuntime`]).
+//!
+//! The operability contract:
+//!
+//! * **`start`** binds every socket (a `:0` bind resolves; read the
+//!   result back from the addr accessors), recovers journal and spill
+//!   state, rewinds unacked exports when an upstream exists, and
+//!   spawns the scheduler.
+//! * **`reload`** applies a [`NodeReload`] — export mode, linger,
+//!   retention, scheduler tick — live, without dropping a socket or a
+//!   window. The same deltas arrive over the stats endpoint as
+//!   `POST /reload` with `key=value` lines.
+//! * **`drain`** is the graceful exit: stop accepting downstreams,
+//!   run the scheduler down, flush every window with unshipped
+//!   content, and push the pending queue through the acknowledged
+//!   shipper until it is empty or the deadline passes. A `kill -9`
+//!   anywhere in that sequence recovers byte-identical through the
+//!   journal — drain uses only the journaled paths.
+//! * **`shutdown`** exits without flushing (the journal still makes
+//!   it safe; it is just not graceful).
+//! * The **stats endpoint** (when configured) serves `GET /health`,
+//!   `GET /stats` (plaintext `key value` lines: the full
+//!   [`RelayLedger`] including the spill-shed counters, shipper and
+//!   spill-queue state, export config) and `POST /reload`.
+
+use crate::export::{ExportShipper, ShipperConfig, ShipperStats};
+use crate::journal::{JournalConfig, RecoveryReport};
+use crate::plan::QueryRouter;
+use crate::relay::{ExportConfig, ExportMode, Relay, RelayConfig, RelayLedger};
+use crate::server::{answer_query, serve_acked_ingest};
+use crate::topology::{RelaySpec, RelayTopology};
+use crate::{BackoffConfig, SteadyClock};
+use flowdist::ops::{spawn_ops, OpsHandle, OpsRequest, OpsResponse};
+use flowdist::{FsyncPolicy, SpillConfig, SpillQueue, SpillStats};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything one relay node needs, as a value. Field-for-field this
+/// supersedes `relayd`'s ad-hoc CLI flags; the defaults are the
+/// daemon's documented defaults.
+#[derive(Debug, Clone)]
+pub struct NodeConfig {
+    /// Relay name shown in query routes and log lines.
+    pub name: String,
+    /// The aggregate-site id this node's exports carry.
+    pub agg_site: u16,
+    /// Real sites this node covers.
+    pub sites: Vec<u16>,
+    /// TCP bind for summary-frame ingest (`host:0` picks a port).
+    pub ingest: String,
+    /// TCP bind for text queries.
+    pub query: String,
+    /// Optional bind for the plaintext stats endpoint.
+    pub stats: Option<String>,
+    /// Upstream peer to ship exports to (`None` = root: exports are
+    /// logged and dropped).
+    pub upstream: Option<String>,
+    /// Re-export whole windows or structural deltas.
+    pub mode: ExportMode,
+    /// Wall-clock grace past a window's end before it exports (ms).
+    pub linger_ms: u64,
+    /// Export-scheduler tick (ms).
+    pub drain_every_ms: u64,
+    /// Pinned re-aggregation bases kept.
+    pub max_bases: usize,
+    /// Tree node budget.
+    pub budget: usize,
+    /// Evict windows older than this (ms; 0 = keep forever).
+    pub retention_ms: u64,
+    /// Durable journal + export-spill root (`None` = volatile).
+    pub state_dir: Option<PathBuf>,
+    /// Fsync policy for journal and spill writes.
+    pub fsync: FsyncPolicy,
+    /// Pending-export spill bound in bytes; overflow sheds oldest.
+    pub spill_max_bytes: u64,
+    /// First upstream-reconnect backoff (ms).
+    pub reconnect_base_ms: u64,
+    /// Upstream-reconnect backoff ceiling (ms).
+    pub reconnect_max_ms: u64,
+    /// Recycle an upstream connection whose acks went silent (ms).
+    pub ack_stall_ms: u64,
+    /// Prefix for the node's log lines (default `node[{name}]`).
+    pub log_tag: Option<String>,
+}
+
+impl NodeConfig {
+    /// The daemon defaults for a node called `name`.
+    pub fn new(name: impl Into<String>) -> NodeConfig {
+        NodeConfig {
+            name: name.into(),
+            agg_site: 1_000,
+            sites: vec![0, 1, 2, 3],
+            ingest: "127.0.0.1:0".into(),
+            query: "127.0.0.1:0".into(),
+            stats: None,
+            upstream: None,
+            mode: ExportMode::Delta,
+            linger_ms: 2_000,
+            drain_every_ms: 1_000,
+            max_bases: 64,
+            budget: 1 << 20,
+            retention_ms: 86_400_000,
+            state_dir: None,
+            fsync: FsyncPolicy::Never,
+            spill_max_bytes: 256 << 20,
+            reconnect_base_ms: 100,
+            reconnect_max_ms: 5_000,
+            ack_stall_ms: 10_000,
+            log_tag: None,
+        }
+    }
+}
+
+/// The knobs [`NodeRuntime::reload`] applies without a restart. Build
+/// one from the node's current state with [`NodeRuntime::reloadable`],
+/// change what the new spec says, and apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeReload {
+    /// Export mode (full vs delta).
+    pub mode: ExportMode,
+    /// Export linger (ms).
+    pub linger_ms: u64,
+    /// Retention horizon (ms; 0 = keep forever).
+    pub retention_ms: u64,
+    /// Scheduler tick (ms).
+    pub drain_every_ms: u64,
+    /// Pinned re-aggregation bases kept.
+    pub max_bases: usize,
+}
+
+/// Why a node failed to start.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The node config is structurally invalid.
+    Invalid(String),
+    /// A socket failed to bind.
+    Bind {
+        /// Which listener (`ingest`, `query`, `stats`).
+        what: &'static str,
+        /// The address that failed.
+        addr: String,
+        /// The bind error.
+        err: std::io::Error,
+    },
+    /// The journal could not be opened/recovered.
+    Journal(String),
+    /// The export spill queue could not be opened.
+    Spill(String),
+}
+
+impl core::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RuntimeError::Invalid(w) => write!(f, "invalid node config: {w}"),
+            RuntimeError::Bind { what, addr, err } => {
+                write!(f, "cannot bind {what} {addr}: {err}")
+            }
+            RuntimeError::Journal(e) => write!(f, "cannot open journal: {e}"),
+            RuntimeError::Spill(e) => write!(f, "cannot open spill dir: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// What a graceful [`NodeRuntime::drain`] hands back.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Summaries flushed out of the relay at drain time (windows that
+    /// still had unshipped content).
+    pub flushed: usize,
+    /// Export frames still unacknowledged when the deadline passed
+    /// (0 = everything pending reached the upstream and was acked, or
+    /// the node has no upstream).
+    pub pending_at_exit: usize,
+    /// The final ledger.
+    pub ledger: RelayLedger,
+}
+
+/// Runtime logging that survives a closed stderr: a supervisor (or a
+/// test harness) dropping the pipe must degrade logging, never kill
+/// the node mid-export (`eprintln!` panics on a broken pipe).
+fn log(msg: core::fmt::Arguments<'_>) {
+    use std::io::Write as _;
+    let _ = writeln!(std::io::stderr(), "{msg}");
+}
+
+/// Parameters the scheduler re-reads every tick (reload targets that
+/// do not live inside [`Relay`]'s own export config).
+#[derive(Debug, Clone, Copy)]
+struct SchedParams {
+    retention_ms: u64,
+    drain_every_ms: u64,
+}
+
+/// State owned by the scheduler pass, shared with drain and the stats
+/// endpoint.
+struct SchedState {
+    shipper: Option<ExportShipper>,
+    journal_fault_logged: bool,
+}
+
+/// One running relay node (see the module docs).
+pub struct NodeRuntime {
+    name: String,
+    tag: String,
+    ingest_addr: SocketAddr,
+    query_addr: SocketAddr,
+    relay: Arc<Mutex<Relay>>,
+    sched: Arc<Mutex<SchedState>>,
+    params: Arc<Mutex<SchedParams>>,
+    clock: SteadyClock,
+    /// `(stopping, wake)` — the scheduler parks on the condvar with
+    /// the tick as timeout, so shutdown and reload wake it instantly.
+    run: Arc<(Mutex<bool>, Condvar)>,
+    accept_stop: Arc<AtomicBool>,
+    ingest_join: Option<std::thread::JoinHandle<()>>,
+    query_join: Option<std::thread::JoinHandle<()>>,
+    sched_join: Option<std::thread::JoinHandle<()>>,
+    ops: Option<OpsHandle>,
+    recovery: Option<RecoveryReport>,
+    rewound: usize,
+    upstream: Option<String>,
+}
+
+impl NodeRuntime {
+    /// Boots the node: binds sockets, recovers state, spawns the
+    /// listener and scheduler threads. Returns once every socket is
+    /// bound and recovery is complete.
+    pub fn start(cfg: NodeConfig) -> Result<NodeRuntime, RuntimeError> {
+        if cfg.sites.is_empty() {
+            return Err(RuntimeError::Invalid(
+                "a relay node must cover at least one site".into(),
+            ));
+        }
+        let tag = cfg
+            .log_tag
+            .clone()
+            .unwrap_or_else(|| format!("node[{}]", cfg.name));
+
+        // A solo topology so the query router can plan over this node.
+        let topo = RelayTopology {
+            relays: vec![RelaySpec {
+                name: cfg.name.clone(),
+                parent: None,
+                agg_site: cfg.agg_site,
+                sites: cfg.sites.clone(),
+            }],
+        };
+        topo.validate()
+            .map_err(|e| RuntimeError::Invalid(e.to_string()))?;
+        let relay_cfg = RelayConfig {
+            name: cfg.name.clone(),
+            agg_site: cfg.agg_site,
+            expected: cfg.sites.clone(),
+            schema: flowkey::Schema::five_feature(),
+            tree: flowtree_core::Config::with_budget(cfg.budget),
+            export: ExportConfig {
+                mode: cfg.mode,
+                linger_ms: cfg.linger_ms,
+                max_bases: cfg.max_bases,
+                ..ExportConfig::default()
+            },
+        };
+        let (mut relay, recovery) = match &cfg.state_dir {
+            Some(dir) => {
+                let jcfg = JournalConfig {
+                    fsync: cfg.fsync,
+                    ..JournalConfig::default()
+                };
+                let (relay, report) = Relay::open_journaled(relay_cfg, &dir.join("journal"), jcfg)
+                    .map_err(|e| RuntimeError::Journal(e.to_string()))?;
+                log(format_args!(
+                    "{tag}: recovered gen {} — {} snapshot slots, {} WAL records, {} torn bytes truncated",
+                    report.generation, report.snapshot_slots, report.wal_records, report.torn_bytes
+                ));
+                (relay, Some(report))
+            }
+            None => (Relay::new(relay_cfg), None),
+        };
+        // Exports drained by a dead process but never acknowledged may
+        // or may not have reached the upstream; rewinding re-exports
+        // full rebasing frames the upstream deduplicates idempotently.
+        // A root (no upstream) must NOT rewind — nobody is missing
+        // anything.
+        let mut rewound = 0;
+        if cfg.upstream.is_some() {
+            rewound = relay.rewind_unacked_exports();
+            if rewound > 0 {
+                log(format_args!(
+                    "{tag}: rewound {rewound} unacked exports; their windows will rebase"
+                ));
+            }
+        }
+        let relay = Arc::new(Mutex::new(relay));
+
+        // The durable shipper (only with an upstream).
+        let shipper = match &cfg.upstream {
+            Some(addr) => {
+                let spill_cfg = SpillConfig {
+                    max_bytes: cfg.spill_max_bytes,
+                    fsync: cfg.fsync,
+                    ..SpillConfig::default()
+                };
+                let spill = match &cfg.state_dir {
+                    Some(dir) => {
+                        let q = SpillQueue::open(&dir.join("spill"), spill_cfg)
+                            .map_err(|e| RuntimeError::Spill(e.to_string()))?;
+                        if !q.is_empty() {
+                            log(format_args!(
+                                "{tag}: recovered {} spilled exports, resending",
+                                q.len()
+                            ));
+                        }
+                        q
+                    }
+                    None => SpillQueue::in_memory(spill_cfg),
+                };
+                Some(ExportShipper::new(
+                    ShipperConfig {
+                        upstream: addr.clone(),
+                        handshake_ms: 1_000,
+                        stall_ms: cfg.ack_stall_ms,
+                        tree: flowtree_core::Config::with_budget(cfg.budget),
+                        backoff: BackoffConfig {
+                            base_ms: cfg.reconnect_base_ms,
+                            max_ms: cfg.reconnect_max_ms,
+                        },
+                    },
+                    spill,
+                    u64::from(cfg.agg_site) ^ (u64::from(std::process::id()) << 17),
+                ))
+            }
+            None => None,
+        };
+        let sched = Arc::new(Mutex::new(SchedState {
+            shipper,
+            journal_fault_logged: false,
+        }));
+        let params = Arc::new(Mutex::new(SchedParams {
+            retention_ms: cfg.retention_ms,
+            drain_every_ms: cfg.drain_every_ms.max(1),
+        }));
+
+        // --- ingest listener (accept-poll, so drain can close it) ----
+        let accept_stop = Arc::new(AtomicBool::new(false));
+        let ingest = TcpListener::bind(&cfg.ingest).map_err(|err| RuntimeError::Bind {
+            what: "ingest",
+            addr: cfg.ingest.clone(),
+            err,
+        })?;
+        let ingest_addr = ingest.local_addr().map_err(|err| RuntimeError::Bind {
+            what: "ingest",
+            addr: cfg.ingest.clone(),
+            err,
+        })?;
+        let ingest_join = {
+            let relay = Arc::clone(&relay);
+            let stop = Arc::clone(&accept_stop);
+            spawn_accept_loop("relay-ingest", ingest, stop, move |mut conn| {
+                let relay = Arc::clone(&relay);
+                let _ = std::thread::Builder::new()
+                    .name("relay-ingest-conn".into())
+                    .spawn(move || {
+                        // Acknowledged ingest: per-frame ack /
+                        // rebase-request replies once the peer says
+                        // hello; pure one-way v1–v3 senders get
+                        // exactly the legacy silence. Locks the relay
+                        // per frame, not per connection.
+                        let _ = serve_acked_ingest(&mut conn, &relay);
+                    });
+            })
+            .map_err(|err| RuntimeError::Bind {
+                what: "ingest",
+                addr: cfg.ingest.clone(),
+                err,
+            })?
+        };
+
+        // --- query listener ------------------------------------------
+        let queries = TcpListener::bind(&cfg.query).map_err(|err| RuntimeError::Bind {
+            what: "query",
+            addr: cfg.query.clone(),
+            err,
+        })?;
+        let query_addr = queries.local_addr().map_err(|err| RuntimeError::Bind {
+            what: "query",
+            addr: cfg.query.clone(),
+            err,
+        })?;
+        let query_join = {
+            let relay = Arc::clone(&relay);
+            let topo = topo.clone();
+            let stop = Arc::clone(&accept_stop);
+            spawn_accept_loop("relay-query", queries, stop, move |conn| {
+                let relay = Arc::clone(&relay);
+                let topo = topo.clone();
+                let _ = std::thread::Builder::new()
+                    .name("relay-query-conn".into())
+                    .spawn(move || {
+                        // Lock per *request*, never per connection: an
+                        // idle client sitting on an open connection
+                        // must not starve ingest or the export
+                        // scheduler. serve_framed keeps one reader for
+                        // the connection's lifetime, so pipelined
+                        // frames survive its read-ahead.
+                        let _ = flowdist::framing::serve_framed(conn, |frame| {
+                            let guard = relay.lock().expect("relay lock");
+                            let relays = std::slice::from_ref(&*guard);
+                            let router = QueryRouter::new(&topo, relays);
+                            Some(answer_query(&router, &frame))
+                        });
+                    });
+            })
+            .map_err(|err| RuntimeError::Bind {
+                what: "query",
+                addr: cfg.query.clone(),
+                err,
+            })?
+        };
+
+        // --- export scheduler ----------------------------------------
+        let clock = SteadyClock::new();
+        let run = Arc::new((Mutex::new(false), Condvar::new()));
+        let sched_join = {
+            let relay = Arc::clone(&relay);
+            let sched = Arc::clone(&sched);
+            let params = Arc::clone(&params);
+            let run = Arc::clone(&run);
+            let clock = clock.clone();
+            let tag = tag.clone();
+            std::thread::Builder::new()
+                .name("relay-sched".into())
+                .spawn(move || {
+                    let (stop_lock, wake) = &*run;
+                    loop {
+                        let tick = params.lock().expect("params lock").drain_every_ms;
+                        let stopped = {
+                            let guard = stop_lock.lock().expect("run lock");
+                            let (guard, _) = wake
+                                .wait_timeout(guard, Duration::from_millis(tick))
+                                .expect("run lock");
+                            *guard
+                        };
+                        if stopped {
+                            return;
+                        }
+                        let p = *params.lock().expect("params lock");
+                        scheduler_pass(
+                            &relay,
+                            &mut sched.lock().expect("sched lock"),
+                            &p,
+                            &clock,
+                            &tag,
+                        );
+                    }
+                })
+                .map_err(|err| RuntimeError::Bind {
+                    what: "ingest",
+                    addr: "scheduler thread".into(),
+                    err,
+                })?
+        };
+
+        // --- stats endpoint ------------------------------------------
+        let ops = match &cfg.stats {
+            Some(addr) => {
+                let relay = Arc::clone(&relay);
+                let sched = Arc::clone(&sched);
+                let params = Arc::clone(&params);
+                let run = Arc::clone(&run);
+                let name = cfg.name.clone();
+                let is_root = cfg.upstream.is_none();
+                let agg_site = cfg.agg_site;
+                Some(
+                    spawn_ops(addr, move |req| {
+                        relay_ops(&name, agg_site, is_root, &relay, &sched, &params, &run, req)
+                    })
+                    .map_err(|err| RuntimeError::Bind {
+                        what: "stats",
+                        addr: addr.clone(),
+                        err,
+                    })?,
+                )
+            }
+            None => None,
+        };
+
+        Ok(NodeRuntime {
+            name: cfg.name,
+            tag,
+            ingest_addr,
+            query_addr,
+            relay,
+            sched,
+            params,
+            clock,
+            run,
+            accept_stop,
+            ingest_join: Some(ingest_join),
+            query_join: Some(query_join),
+            sched_join: Some(sched_join),
+            ops,
+            recovery,
+            rewound,
+            upstream: cfg.upstream,
+        })
+    }
+
+    /// The node's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The bound ingest address.
+    pub fn ingest_addr(&self) -> SocketAddr {
+        self.ingest_addr
+    }
+
+    /// The bound query address.
+    pub fn query_addr(&self) -> SocketAddr {
+        self.query_addr
+    }
+
+    /// The bound stats address, if a stats endpoint was configured.
+    pub fn stats_addr(&self) -> Option<SocketAddr> {
+        self.ops.as_ref().map(|o| o.local_addr())
+    }
+
+    /// The journal recovery report, if the node booted from a state
+    /// dir.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Unacked exports rewound at startup.
+    pub fn rewound(&self) -> usize {
+        self.rewound
+    }
+
+    /// A copy of the relay's work ledger.
+    pub fn ledger(&self) -> RelayLedger {
+        *self.relay.lock().expect("relay lock").ledger()
+    }
+
+    /// Export frames currently pending upstream acknowledgment.
+    pub fn pending_len(&self) -> usize {
+        self.sched
+            .lock()
+            .expect("sched lock")
+            .shipper
+            .as_ref()
+            .map(|s| s.pending_len())
+            .unwrap_or(0)
+    }
+
+    /// The node's current reloadable knobs (the baseline to mutate
+    /// for a [`NodeRuntime::reload`]).
+    pub fn reloadable(&self) -> NodeReload {
+        let p = *self.params.lock().expect("params lock");
+        let relay = self.relay.lock().expect("relay lock");
+        let e = relay.export_config();
+        NodeReload {
+            mode: e.mode,
+            linger_ms: e.linger_ms,
+            retention_ms: p.retention_ms,
+            drain_every_ms: p.drain_every_ms,
+            max_bases: e.max_bases,
+        }
+    }
+
+    /// Applies a live reconfiguration: export mode/linger/base bound
+    /// through [`Relay::set_export_config`], retention and tick
+    /// through the scheduler. Takes effect on the next pass (the
+    /// scheduler is woken immediately).
+    pub fn reload(&self, r: NodeReload) {
+        {
+            let mut relay = self.relay.lock().expect("relay lock");
+            let export = ExportConfig {
+                mode: r.mode,
+                linger_ms: r.linger_ms,
+                max_bases: r.max_bases.max(1),
+                ..*relay.export_config()
+            };
+            relay.set_export_config(export);
+        }
+        {
+            let mut p = self.params.lock().expect("params lock");
+            p.retention_ms = r.retention_ms;
+            p.drain_every_ms = r.drain_every_ms.max(1);
+        }
+        self.run.1.notify_all();
+        log(format_args!(
+            "{}: reloaded — mode {:?}, linger {}ms, retention {}ms, tick {}ms, max-bases {}",
+            self.tag, r.mode, r.linger_ms, r.retention_ms, r.drain_every_ms, r.max_bases
+        ));
+    }
+
+    /// Runs one scheduler pass synchronously (what `--oneshot` and
+    /// tests use instead of waiting out a tick).
+    pub fn tick_now(&self) {
+        let p = *self.params.lock().expect("params lock");
+        scheduler_pass(
+            &self.relay,
+            &mut self.sched.lock().expect("sched lock"),
+            &p,
+            &self.clock,
+            &self.tag,
+        );
+    }
+
+    /// Gracefully drains and stops the node (see the module docs).
+    /// `deadline` bounds how long the flush may chase an unreachable
+    /// upstream; whatever is still pending then stays in the spill
+    /// queue (journaled, recovered by the next start).
+    pub fn drain(mut self, deadline: Duration) -> DrainReport {
+        log(format_args!("{}: draining", self.tag));
+        // 1. Stop intake: no new downstream (or query) connections.
+        self.stop_accepting();
+        // 2. Stop the scheduler so this drain is the only export path.
+        self.stop_scheduler();
+        // 3. Flush every window with unshipped content through the
+        //    normal shipper path (spill-before-send, ack-to-release) —
+        //    the same journaled code a crash recovers through.
+        let due = self.relay.lock().expect("relay lock").flush_exports();
+        let flushed = due.len();
+        let mut sched = self.sched.lock().expect("sched lock");
+        let pending_at_exit = match sched.shipper.as_mut() {
+            Some(shipper) => {
+                let before = shipper.spill_stats();
+                for e in &due {
+                    let shed = shipper.enqueue(e);
+                    if !shed.is_empty() {
+                        let mut guard = self.relay.lock().expect("relay lock");
+                        for w in &shed {
+                            guard.mark_unshipped(*w);
+                        }
+                    }
+                }
+                note_sheds(&self.relay, &before, &shipper.spill_stats());
+                let limit = Instant::now() + deadline;
+                while shipper.pending_len() > 0 && Instant::now() < limit {
+                    shipper.pump(&self.relay, self.clock.now_ms());
+                    if shipper.pending_len() == 0 {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                shipper.pending_len()
+            }
+            None => {
+                if flushed > 0 {
+                    log(format_args!(
+                        "{}: drained {flushed} final exports — no upstream, dropped",
+                        self.tag
+                    ));
+                }
+                0
+            }
+        };
+        drop(sched);
+        let ledger = *self.relay.lock().expect("relay lock").ledger();
+        self.join_listeners();
+        if let Some(ops) = self.ops.take() {
+            ops.stop();
+        }
+        log(format_args!(
+            "{}: drain complete — {flushed} flushed, {pending_at_exit} still pending",
+            self.tag
+        ));
+        DrainReport {
+            flushed,
+            pending_at_exit,
+            ledger,
+        }
+    }
+
+    /// Stops the node without flushing. The journal (if any) keeps
+    /// this safe; it is just not graceful.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+        self.stop_scheduler();
+        self.join_listeners();
+        if let Some(ops) = self.ops.take() {
+            ops.stop();
+        }
+    }
+
+    /// Whether this node ships upstream (false = root).
+    pub fn has_upstream(&self) -> bool {
+        self.upstream.is_some()
+    }
+
+    fn stop_accepting(&mut self) {
+        self.accept_stop.store(true, Ordering::Relaxed);
+    }
+
+    fn stop_scheduler(&mut self) {
+        *self.run.0.lock().expect("run lock") = true;
+        self.run.1.notify_all();
+        if let Some(j) = self.sched_join.take() {
+            let _ = j.join();
+        }
+    }
+
+    fn join_listeners(&mut self) {
+        for j in [self.ingest_join.take(), self.query_join.take()]
+            .into_iter()
+            .flatten()
+        {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for NodeRuntime {
+    fn drop(&mut self) {
+        self.stop_accepting();
+        self.stop_scheduler();
+        self.join_listeners();
+        if let Some(ops) = self.ops.take() {
+            ops.stop();
+        }
+    }
+}
+
+/// Accept-poll loop: a nonblocking listener polled against a stop
+/// flag, so stopping a node actually releases its ports (a thread
+/// parked in `accept` would hold them until process exit).
+fn spawn_accept_loop<F>(
+    name: &str,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    on_conn: F,
+) -> std::io::Result<std::thread::JoinHandle<()>>
+where
+    F: Fn(std::net::TcpStream) + Send + 'static,
+{
+    listener.set_nonblocking(true)?;
+    std::thread::Builder::new()
+        .name(name.into())
+        .spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((conn, _)) => {
+                        let _ = conn.set_nonblocking(false);
+                        on_conn(conn);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        })
+}
+
+/// One scheduler pass: drain due windows, ship (or log-and-drop at a
+/// root), apply retention, surface a degraded journal once.
+fn scheduler_pass(
+    relay: &Arc<Mutex<Relay>>,
+    sched: &mut SchedState,
+    params: &SchedParams,
+    clock: &SteadyClock,
+    tag: &str,
+) {
+    let now = clock.now_ms();
+    let due = relay.lock().expect("relay lock").drain_exports_at(now);
+    match sched.shipper.as_mut() {
+        Some(shipper) => {
+            let before = shipper.spill_stats();
+            for e in &due {
+                let shed = shipper.enqueue(e);
+                if !shed.is_empty() {
+                    let mut guard = relay.lock().expect("relay lock");
+                    for w in &shed {
+                        guard.mark_unshipped(*w);
+                    }
+                    drop(guard);
+                    log(format_args!(
+                        "{tag}: spill bound shed {} old exports; their windows will rebase",
+                        shed.len()
+                    ));
+                }
+            }
+            note_sheds(relay, &before, &shipper.spill_stats());
+            shipper.pump(relay, now);
+        }
+        None => {
+            for e in &due {
+                log(format_args!(
+                    "{tag}: export window {} epoch {} ({:?}, {} bytes) — no upstream, dropped",
+                    e.window,
+                    e.epoch.map(|h| h.epoch).unwrap_or(0),
+                    e.kind,
+                    e.encoded_size()
+                ));
+            }
+        }
+    }
+    if params.retention_ms > 0 {
+        let cutoff = now.saturating_sub(params.retention_ms);
+        let evicted = relay
+            .lock()
+            .expect("relay lock")
+            .evict_windows_before(cutoff);
+        if evicted > 0 {
+            log(format_args!(
+                "{tag}: retention evicted {evicted} windows older than {cutoff}ms"
+            ));
+        }
+    }
+    if !sched.journal_fault_logged {
+        if let Some(err) = relay.lock().expect("relay lock").journal_error() {
+            log(format_args!(
+                "{tag}: JOURNAL DEGRADED (still serving, no longer crash-safe): {err}"
+            ));
+            sched.journal_fault_logged = true;
+        }
+    }
+}
+
+/// Feeds spill-shed deltas across one enqueue batch into the ledger
+/// (PR-6 counted sheds only inside the queue; now they are readable).
+fn note_sheds(relay: &Arc<Mutex<Relay>>, before: &SpillStats, after: &SpillStats) {
+    let frames = after.shed_frames.saturating_sub(before.shed_frames);
+    let bytes = after.shed_bytes.saturating_sub(before.shed_bytes);
+    if frames > 0 || bytes > 0 {
+        relay
+            .lock()
+            .expect("relay lock")
+            .note_spill_shed(frames, bytes);
+    }
+}
+
+/// Renders the relay node's ops surface.
+#[allow(clippy::too_many_arguments)]
+fn relay_ops(
+    name: &str,
+    agg_site: u16,
+    is_root: bool,
+    relay: &Arc<Mutex<Relay>>,
+    sched: &Arc<Mutex<SchedState>>,
+    params: &Arc<Mutex<SchedParams>>,
+    run: &Arc<(Mutex<bool>, Condvar)>,
+    req: &OpsRequest,
+) -> OpsResponse {
+    let role = if is_root { "root" } else { "relay" };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => {
+            let healthy = relay.lock().expect("relay lock").journal_error().is_none();
+            OpsResponse::ok(format!(
+                "ok {healthy}\nrole {role}\nname {name}\nagg_site {agg_site}"
+            ))
+        }
+        ("GET", "/stats" | "/") => {
+            let (ledger, export, journal_degraded) = {
+                let guard = relay.lock().expect("relay lock");
+                (
+                    *guard.ledger(),
+                    *guard.export_config(),
+                    guard.journal_error().is_some(),
+                )
+            };
+            let p = *params.lock().expect("params lock");
+            let (pending, connected, acked_mode, shipper, spill) = {
+                let guard = sched.lock().expect("sched lock");
+                match guard.shipper.as_ref() {
+                    Some(s) => (
+                        s.pending_len(),
+                        s.is_connected(),
+                        s.acked_mode(),
+                        Some(s.stats()),
+                        Some(s.spill_stats()),
+                    ),
+                    None => (0, false, None, None, None),
+                }
+            };
+            let mut body = String::with_capacity(1024);
+            let mut line = |k: &str, v: String| {
+                body.push_str(k);
+                body.push(' ');
+                body.push_str(&v);
+                body.push('\n');
+            };
+            line("role", role.into());
+            line("name", name.into());
+            line("agg_site", agg_site.to_string());
+            line("mode", format!("{:?}", export.mode).to_lowercase());
+            line("linger_ms", export.linger_ms.to_string());
+            line("retention_ms", p.retention_ms.to_string());
+            line("drain_every_ms", p.drain_every_ms.to_string());
+            line("max_bases", export.max_bases.to_string());
+            line("journal_degraded", journal_degraded.to_string());
+            line("frames", ledger.frames.to_string());
+            line("site_frames", ledger.site_frames.to_string());
+            line("agg_frames", ledger.agg_frames.to_string());
+            line("rejected", ledger.rejected.to_string());
+            line("replayed", ledger.replayed.to_string());
+            line("exported", ledger.exported.to_string());
+            line("exported_bytes", ledger.exported_bytes.to_string());
+            line("full_exports", ledger.full_exports.to_string());
+            line("delta_exports", ledger.delta_exports.to_string());
+            line("delta_fallbacks", ledger.delta_fallbacks.to_string());
+            line("base_losses", ledger.base_losses.to_string());
+            line("late_downstream", ledger.late_downstream.to_string());
+            line("rebase_requests", ledger.rebase_requests.to_string());
+            line("rebase_rewinds", ledger.rebase_rewinds.to_string());
+            line("reconnect_attempts", ledger.reconnect_attempts.to_string());
+            line("reconnect_failures", ledger.reconnect_failures.to_string());
+            line("backoff_ms_total", ledger.backoff_ms_total.to_string());
+            line("spill_sheds", ledger.spill_sheds.to_string());
+            line("spill_shed_bytes", ledger.spill_shed_bytes.to_string());
+            line("export_pending", pending.to_string());
+            line("upstream_connected", connected.to_string());
+            line(
+                "acked_mode",
+                match acked_mode {
+                    Some(true) => "acked".into(),
+                    Some(false) => "legacy".into(),
+                    None => "none".into(),
+                },
+            );
+            if let Some(s) = shipper {
+                render_shipper(&mut line, &s);
+            }
+            if let Some(s) = spill {
+                line("spill_pushed_frames", s.pushed_frames.to_string());
+                line("spill_pushed_bytes", s.pushed_bytes.to_string());
+                line("spill_acked_floor", s.acked_frames.to_string());
+                line("spill_recovered_frames", s.recovered_frames.to_string());
+                line("spill_torn_bytes", s.torn_bytes.to_string());
+            }
+            OpsResponse::ok(body)
+        }
+        ("POST", "/reload") => match parse_reload_body(&req.body, relay, params) {
+            Ok(applied) => {
+                run.1.notify_all();
+                OpsResponse::ok(applied)
+            }
+            Err(e) => OpsResponse::bad_request(e),
+        },
+        _ => OpsResponse::not_found(),
+    }
+}
+
+fn render_shipper(line: &mut impl FnMut(&str, String), s: &ShipperStats) {
+    line("ship_enqueued", s.enqueued.to_string());
+    line("ship_sent_frames", s.sent_frames.to_string());
+    line("ship_sent_bytes", s.sent_bytes.to_string());
+    line("ship_acked_frames", s.acked_frames.to_string());
+    line("ship_legacy_released", s.legacy_released.to_string());
+    line("ship_rebase_honored", s.rebase_honored.to_string());
+    line("ship_stall_recycles", s.stall_recycles.to_string());
+    line("ship_handshakes", s.handshakes.to_string());
+    line("ship_legacy_sessions", s.legacy_sessions.to_string());
+}
+
+/// Applies a `POST /reload` body (`key=value` lines; keys `mode`,
+/// `linger-ms`, `retention-ms`, `drain-every-ms`, `max-bases`) to the
+/// live node. Unknown keys fail the whole request so a typoed reload
+/// never half-applies silently.
+fn parse_reload_body(
+    body: &str,
+    relay: &Arc<Mutex<Relay>>,
+    params: &Arc<Mutex<SchedParams>>,
+) -> Result<String, String> {
+    let mut relay_guard = relay.lock().expect("relay lock");
+    let mut export = *relay_guard.export_config();
+    let mut p = *params.lock().expect("params lock");
+    let mut applied = Vec::new();
+    for raw in body.lines() {
+        let lineno = raw.trim();
+        if lineno.is_empty() || lineno.starts_with('#') {
+            continue;
+        }
+        let Some((k, v)) = lineno.split_once('=') else {
+            return Err(format!("malformed reload line: {lineno}"));
+        };
+        let (k, v) = (k.trim(), v.trim());
+        match k {
+            "mode" => {
+                export.mode = match v {
+                    "full" => ExportMode::Full,
+                    "delta" => ExportMode::Delta,
+                    _ => return Err(format!("mode must be full or delta, got {v}")),
+                }
+            }
+            "linger-ms" => export.linger_ms = parse_u64(k, v)?,
+            "max-bases" => export.max_bases = parse_u64(k, v)?.max(1) as usize,
+            "retention-ms" => p.retention_ms = parse_u64(k, v)?,
+            "drain-every-ms" => p.drain_every_ms = parse_u64(k, v)?.max(1),
+            _ => return Err(format!("unknown reload key: {k}")),
+        }
+        applied.push(format!("{k}={v}"));
+    }
+    relay_guard.set_export_config(export);
+    *params.lock().expect("params lock") = p;
+    Ok(if applied.is_empty() {
+        "unchanged".into()
+    } else {
+        format!("applied {}", applied.join(" "))
+    })
+}
+
+fn parse_u64(k: &str, v: &str) -> Result<u64, String> {
+    v.parse()
+        .map_err(|_| format!("{k} must be an integer, got {v}"))
+}

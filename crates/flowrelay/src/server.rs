@@ -15,12 +15,16 @@ use crate::plan::{QueryRouter, Route};
 use crate::relay::{FrameOutcome, Relay};
 use crate::RelayError;
 use flowdist::control::{is_control, ControlFrame, FEATURE_ACKS};
-use flowdist::net::{read_frame, write_frame};
+use flowdist::framing::FramedConn;
 use flowdist::DistError;
 use flowquery::ast::Query;
 use flowtree_core::Metric;
 use std::net::TcpStream;
 use std::sync::Mutex;
+
+fn io_err(e: std::io::Error) -> RelayError {
+    RelayError::Dist(DistError::Io(e))
+}
 
 /// Reads length-prefixed summary frames from one downstream TCP
 /// connection until EOF, applying each to the relay. Returns
@@ -31,18 +35,17 @@ pub fn receive_frames(
     stream: &mut TcpStream,
     relay: &mut Relay,
 ) -> Result<(usize, usize), RelayError> {
-    let mut reader = std::io::BufReader::new(stream);
     let (mut applied, mut rejected) = (0usize, 0usize);
-    loop {
-        match read_frame(&mut reader) {
-            Ok(Some(frame)) => match relay.ingest_frame(&frame) {
-                Ok(()) => applied += 1,
-                Err(_) => rejected += 1,
-            },
-            Ok(None) => return Ok((applied, rejected)),
-            Err(e) => return Err(RelayError::Dist(DistError::Io(e))),
+    let owned = stream.try_clone().map_err(io_err)?;
+    flowdist::framing::serve_framed(owned, |frame| {
+        match relay.ingest_frame(&frame) {
+            Ok(()) => applied += 1,
+            Err(_) => rejected += 1,
         }
-    }
+        None
+    })
+    .map_err(io_err)?;
+    Ok((applied, rejected))
 }
 
 /// Serves one downstream connection with the acknowledged-ingest
@@ -60,39 +63,32 @@ pub fn serve_acked_ingest(
     stream: &mut TcpStream,
     relay: &Mutex<Relay>,
 ) -> Result<(usize, usize), RelayError> {
-    let mut reader = std::io::BufReader::new(
-        stream
-            .try_clone()
-            .map_err(|e| RelayError::Dist(DistError::Io(e)))?,
-    );
     let (mut applied, mut rejected) = (0usize, 0usize);
     let mut acks_negotiated = false;
-    loop {
-        let frame = match read_frame(&mut reader) {
-            Ok(Some(f)) => f,
-            Ok(None) => return Ok((applied, rejected)),
-            Err(e) => return Err(RelayError::Dist(DistError::Io(e))),
-        };
+    let owned = stream.try_clone().map_err(io_err)?;
+    flowdist::framing::serve_framed(owned, |frame| {
         if is_control(&frame) {
-            match ControlFrame::decode(&frame) {
+            return match ControlFrame::decode(&frame) {
                 Ok(ControlFrame::Hello { features }) => {
                     acks_negotiated = features & FEATURE_ACKS != 0;
-                    let reply = ControlFrame::Hello {
-                        features: FEATURE_ACKS,
-                    }
-                    .encode();
-                    write_frame(&mut *stream, &reply)
-                        .map_err(|e| RelayError::Dist(DistError::Io(e)))?;
+                    Some(
+                        ControlFrame::Hello {
+                            features: FEATURE_ACKS,
+                        }
+                        .encode(),
+                    )
                 }
                 // Acks and rebase-requests flow upstream→downstream;
                 // a downstream sending them (or garbage control) is
                 // counted and ignored, never fatal.
-                Ok(_) | Err(_) => rejected += 1,
-            }
-            continue;
+                Ok(_) | Err(_) => {
+                    rejected += 1;
+                    None
+                }
+            };
         }
         let outcome = relay.lock().expect("relay lock").ingest_classified(&frame);
-        let reply = match outcome {
+        match outcome {
             FrameOutcome::Applied(pos) | FrameOutcome::Replayed(pos) => {
                 applied += 1;
                 acks_negotiated.then(|| ControlFrame::Ack(pos).encode())
@@ -105,11 +101,10 @@ pub fn serve_acked_ingest(
                 rejected += 1;
                 None
             }
-        };
-        if let Some(reply) = reply {
-            write_frame(&mut *stream, &reply).map_err(|e| RelayError::Dist(DistError::Io(e)))?;
         }
-    }
+    })
+    .map_err(io_err)?;
+    Ok((applied, rejected))
 }
 
 /// Ships summaries upstream as length-prefixed frames.
@@ -129,26 +124,8 @@ pub fn serve_queries(
     stream: &mut TcpStream,
     router: &QueryRouter<'_>,
 ) -> Result<usize, RelayError> {
-    // One reader for the connection's lifetime: a per-request
-    // BufReader would drop its read-ahead on every iteration, so a
-    // client pipelining two frames in one segment would lose the
-    // second one and desynchronize the stream.
-    let mut reader = std::io::BufReader::new(
-        stream
-            .try_clone()
-            .map_err(|e| RelayError::Dist(DistError::Io(e)))?,
-    );
-    let mut served = 0usize;
-    loop {
-        let frame = match read_frame(&mut reader) {
-            Ok(Some(f)) => f,
-            Ok(None) => return Ok(served),
-            Err(e) => return Err(RelayError::Dist(DistError::Io(e))),
-        };
-        served += 1;
-        let response = answer(router, &frame);
-        write_frame(&mut *stream, &response).map_err(|e| RelayError::Dist(DistError::Io(e)))?;
-    }
+    let owned = stream.try_clone().map_err(io_err)?;
+    flowdist::framing::serve_framed(owned, |frame| Some(answer(router, &frame))).map_err(io_err)
 }
 
 /// One request frame → one response frame (status byte + text). The
@@ -198,10 +175,11 @@ pub fn query_remote(
     stream: &mut TcpStream,
     text: &str,
 ) -> Result<Result<String, String>, RelayError> {
-    write_frame(&mut *stream, text.as_bytes()).map_err(|e| RelayError::Dist(DistError::Io(e)))?;
-    let mut reader = std::io::BufReader::new(&mut *stream);
-    let frame = read_frame(&mut reader)
-        .map_err(|e| RelayError::Dist(DistError::Io(e)))?
+    let mut conn = FramedConn::new(stream.try_clone().map_err(io_err)?).map_err(io_err)?;
+    conn.send(text.as_bytes()).map_err(io_err)?;
+    let frame = conn
+        .recv()
+        .map_err(io_err)?
         .ok_or(RelayError::Dist(DistError::BadFrame("connection closed")))?;
     if frame.is_empty() {
         return Err(RelayError::Dist(DistError::BadFrame("empty response")));

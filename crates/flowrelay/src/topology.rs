@@ -239,6 +239,45 @@ impl RelayTopology {
         }
         RelayTopology { relays }
     }
+
+    /// A site → leaf relay → mid relay → root tree: `leaf_fanout`
+    /// consecutive sites per leaf relay, `mid_fanout` leaf relays per
+    /// mid relay, one root above the mids. Aggregate ids are assigned
+    /// above the site range (leaves first, then mids, then the root).
+    /// Degenerates to [`RelayTopology::two_tier`] when one mid relay
+    /// would cover everything.
+    pub fn three_tier(sites: u16, leaf_fanout: u16, mid_fanout: u16) -> RelayTopology {
+        let leaf_fanout = leaf_fanout.max(1);
+        let mid_fanout = mid_fanout.max(1);
+        let leaves = sites.div_ceil(leaf_fanout).max(1);
+        let mids = leaves.div_ceil(mid_fanout).max(1);
+        if mids <= 1 {
+            return RelayTopology::two_tier(sites, leaf_fanout);
+        }
+        let mut relays = vec![RelaySpec {
+            name: "root".into(),
+            parent: None,
+            agg_site: sites + leaves + mids,
+            sites: Vec::new(),
+        }];
+        for m in 0..mids {
+            relays.push(RelaySpec {
+                name: format!("mid{m}"),
+                parent: Some("root".into()),
+                agg_site: sites + leaves + m,
+                sites: Vec::new(),
+            });
+        }
+        for g in 0..leaves {
+            relays.push(RelaySpec {
+                name: format!("leaf{g}"),
+                parent: Some(format!("mid{}", g / mid_fanout)),
+                agg_site: sites + g,
+                sites: (g * leaf_fanout..((g + 1) * leaf_fanout).min(sites)).collect(),
+            });
+        }
+        RelayTopology { relays }
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +308,26 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn three_tier_builder_is_valid_and_covering() {
+        for (sites, leaf, mid) in [(16u16, 2u16, 2u16), (32, 4, 2), (9, 2, 3), (64, 4, 4)] {
+            let t = RelayTopology::three_tier(sites, leaf, mid);
+            t.validate().unwrap();
+            assert_eq!(t.all_sites().len(), sites as usize);
+            assert_eq!(t.coverage(t.root()).len(), sites as usize);
+            assert_eq!(t.depth_of(t.root()), 0);
+            // Every site-owning relay sits two hops below the root.
+            for s in 0..sites {
+                let owner = t.owner_of(s).unwrap();
+                assert_eq!(t.depth_of(owner), 2, "site {s} owner depth");
+            }
+        }
+        // One mid would cover everything → collapses to two tiers.
+        let flat = RelayTopology::three_tier(4, 2, 4);
+        flat.validate().unwrap();
+        assert!(flat.relays.iter().all(|r| r.name != "mid0"));
     }
 
     #[test]

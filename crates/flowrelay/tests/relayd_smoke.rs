@@ -45,7 +45,8 @@ impl Drop for Daemon {
 }
 
 /// Spawns one `relayd` with extra args and returns (daemon, ingest
-/// address, query address) parsed from its startup line.
+/// address, query address) parsed from its startup line. Stdin is
+/// always piped so `--stdin-control` daemons can be driven.
 fn spawn_relayd(name: &str, extra: &[&str]) -> (Daemon, String, String) {
     let mut args = vec![
         "--name",
@@ -64,6 +65,7 @@ fn spawn_relayd(name: &str, extra: &[&str]) -> (Daemon, String, String) {
     args.extend_from_slice(extra);
     let mut child = Command::new(env!("CARGO_BIN_EXE_relayd"))
         .args(&args)
+        .stdin(Stdio::piped())
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawn relayd");
@@ -292,6 +294,163 @@ fn relayd_resumes_from_state_dir_after_kill_dash_nine() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A graceful drain must flush windows the scheduler has not touched
+/// yet: with an hour of `--linger-ms` nothing exports on its own, so
+/// the only way the root can see the data is the drain path pushing
+/// it upstream before exit.
+#[test]
+fn relayd_drain_flushes_unexported_windows_upstream_before_exit() {
+    use std::io::Write as _;
+
+    let (root, root_ingest, root_query) = spawn_relayd("root", &["--agg-site", "2000"]);
+    let (mut west, west_ingest, west_query) = spawn_relayd(
+        "west",
+        &[
+            "--agg-site",
+            "1000",
+            "--upstream",
+            &root_ingest,
+            "--stdin-control",
+            "--linger-ms",
+            "3600000",
+        ],
+    );
+
+    let now_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_millis() as u64;
+    let window = WindowId::containing(now_ms - 60_000, 1_000);
+    let frame_for = |site: u16| {
+        let mut s = site_summary(site, 0);
+        s.window = window;
+        s
+    };
+    let mut ingest = TcpStream::connect(&west_ingest).expect("connect west ingest");
+    ship_summaries(&mut ingest, &[frame_for(0), frame_for(1)]).unwrap();
+
+    // West holds the data; the hour-long linger keeps it off the wire.
+    let body = poll_pop(&west_query, 20);
+    assert!(
+        body.contains("popularity: 20 packets"),
+        "west ingested both sites: {body}"
+    );
+
+    // `drain` over stdin: flush everything pending, then exit. Exit
+    // code 0 asserts the flush was *acknowledged* (code 3 means data
+    // was left pending).
+    let mut stdin = west.child.stdin.take().expect("piped stdin");
+    writeln!(stdin, "drain").unwrap();
+    drop(stdin);
+    let status = west.child.wait().expect("west exits after drain");
+    assert!(
+        status.success(),
+        "drain flushed every pending export before exit: {status:?}"
+    );
+
+    // The root holds the flushed aggregate without ever being queried
+    // before west died.
+    let body = poll_pop(&root_query, 20);
+    assert!(
+        body.contains("popularity: 20 packets"),
+        "the drained export reached the root: {body}"
+    );
+    drop(root);
+}
+
+/// `kill -9` while a drain is chasing an unreachable upstream: the
+/// pending export lives in the journal + spill, so a restart on the
+/// same `--state-dir` must deliver it once the upstream appears.
+#[test]
+fn relayd_killed_mid_drain_recovers_pending_exports_on_restart() {
+    use flowdist::net::read_frame;
+    use std::io::Write as _;
+    use std::net::TcpListener;
+
+    let dir = std::env::temp_dir().join(format!("relayd-drain-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap().to_string();
+
+    // Reserve a port for the never-up upstream, then free it.
+    let placeholder = TcpListener::bind("127.0.0.1:0").unwrap();
+    let upstream_addr = placeholder.local_addr().unwrap().to_string();
+    drop(placeholder);
+
+    let (mut west, west_ingest, west_query) = spawn_relayd(
+        "west",
+        &[
+            "--agg-site",
+            "1000",
+            "--upstream",
+            &upstream_addr,
+            "--state-dir",
+            &dir_s,
+            "--stdin-control",
+            "--drain-deadline-ms",
+            "60000",
+        ],
+    );
+
+    let now_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_millis() as u64;
+    let mut s = site_summary(0, 0);
+    s.window = WindowId::containing(now_ms - 60_000, 1_000);
+    let mut ingest = TcpStream::connect(&west_ingest).expect("connect west ingest");
+    ship_summaries(&mut ingest, &[s]).unwrap();
+    let body = poll_pop(&west_query, 10);
+    assert!(
+        body.contains("popularity: 10 packets"),
+        "the frame landed before the drain: {body}"
+    );
+
+    // Ask for a drain the daemon cannot finish (upstream is down, the
+    // deadline is a minute out), give it a moment to enter the pump
+    // loop, then SIGKILL it mid-drain.
+    let mut stdin = west.child.stdin.take().expect("piped stdin");
+    writeln!(stdin, "drain").unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    drop(west); // Drop kills with SIGKILL — no flush, no exit path.
+
+    // Restart on the same state dir with the upstream now alive: the
+    // journaled window and spilled export must come back and ship.
+    let upstream = TcpListener::bind(&upstream_addr).expect("rebind reserved port");
+    let (_d2, _i2, _q2) = spawn_relayd(
+        "west",
+        &[
+            "--agg-site",
+            "1000",
+            "--upstream",
+            &upstream_addr,
+            "--state-dir",
+            &dir_s,
+        ],
+    );
+    let (conn, _) = upstream.accept().expect("restarted west reconnects");
+    let mut reader = BufReader::new(conn);
+    let frame = loop {
+        let frame = read_frame(&mut reader)
+            .expect("clean frame stream")
+            .expect("one export frame, not EOF");
+        if !flowdist::control::is_control(&frame) {
+            break frame;
+        }
+    };
+    let summary = Summary::decode(&frame, Config::with_budget(1 << 20)).expect("valid v3 frame");
+    assert_eq!(
+        summary.site, 1000,
+        "the recovered export carries west's aggregate id"
+    );
+    assert_eq!(
+        summary.tree.total().packets,
+        10,
+        "the recovered export is byte-built from the journaled window"
+    );
+    assert_eq!(summary.provenance.as_deref(), Some(&[0u16][..]));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn relayd_serves_ingest_and_queries_over_real_sockets() {
     let mut child = Command::new(env!("CARGO_BIN_EXE_relayd"))
@@ -306,6 +465,10 @@ fn relayd_serves_ingest_and_queries_over_real_sockets() {
             "127.0.0.1:0",
             "--drain-every-ms",
             "50",
+            // This test's windows start at epoch 0 — ancient against
+            // the wall-anchored retention cutoff, so keep forever.
+            "--retention-ms",
+            "0",
         ])
         .stderr(Stdio::piped())
         .spawn()
@@ -313,12 +476,18 @@ fn relayd_serves_ingest_and_queries_over_real_sockets() {
     let stderr = child.stderr.take().expect("piped stderr");
     let daemon = Daemon { child };
 
-    // First stderr line announces the resolved addresses:
+    // A stderr line announces the resolved addresses:
     //   relayd[smoke]: ingest on 127.0.0.1:P1, queries on 127.0.0.1:P2, …
+    let mut reader = BufReader::new(stderr);
     let mut line = String::new();
-    BufReader::new(stderr)
-        .read_line(&mut line)
-        .expect("startup line");
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).expect("startup line");
+        assert!(n > 0, "relayd exited before announcing its addresses");
+        if line.contains("ingest on ") {
+            break;
+        }
+    }
     let grab = |marker: &str| -> String {
         let at = line.find(marker).unwrap_or_else(|| panic!("{line}")) + marker.len();
         line[at..]
@@ -336,17 +505,7 @@ fn relayd_serves_ingest_and_queries_over_real_sockets() {
     drop(ingest);
 
     // Query until the frames have landed (lock-per-frame ingest).
-    let mut body = String::new();
-    for _ in 0..100 {
-        let mut q = TcpStream::connect(&query_addr).expect("connect query");
-        body = query_remote(&mut q, "pop")
-            .expect("transport ok")
-            .expect("valid query");
-        if body.contains("popularity: 20 packets") {
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(20));
-    }
+    let body = poll_pop(&query_addr, 20);
     assert!(
         body.starts_with("route: smoke"),
         "route header names the relay: {body}"
