@@ -1,0 +1,231 @@
+//! Deterministic fault injection for the ingest edge: a seeded
+//! generator of hostile-exporter traffic.
+//!
+//! [`HostileExporter`] emits the packet mix a public-facing collector
+//! must survive — valid v5/v9/IPFIX interleaved with template floods
+//! across many observation domains, templates with oversized field
+//! counts or record widths, data sets referencing templates that were
+//! never sent, truncations, bit flips, and pure garbage. The stream is
+//! a pure function of the seed (splitmix64), so a fuzz failure replays
+//! exactly and CI runs are reproducible.
+//!
+//! The generator also tracks how many *valid* flow records it put on
+//! the wire ([`HostileExporter::valid_records`]) so tests can pin the
+//! exact accounting identity: everything sent is either ingested or in
+//! precisely one drop counter.
+
+use flownet::{ipfix, netflow5, netflow9, FlowRecord};
+
+/// splitmix64 — tiny, seedable, good enough to scatter faults.
+#[derive(Debug, Clone)]
+pub struct FaultRng(u64);
+
+impl FaultRng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> FaultRng {
+        FaultRng(seed)
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// A seeded stream of hostile exporter packets (see the module docs).
+#[derive(Debug)]
+pub struct HostileExporter {
+    rng: FaultRng,
+    sequence: u32,
+    valid_records: u64,
+    base_ms: u64,
+}
+
+impl HostileExporter {
+    /// A hostile exporter whose stream is determined by `seed`;
+    /// `base_ms` anchors the timestamps of its valid records.
+    pub fn new(seed: u64, base_ms: u64) -> HostileExporter {
+        HostileExporter {
+            rng: FaultRng::new(seed),
+            sequence: 0,
+            valid_records: 0,
+            base_ms,
+        }
+    }
+
+    /// Valid flow records emitted so far inside well-formed packets —
+    /// the "should have been ingested" side of accounting identities.
+    pub fn valid_records(&self) -> u64 {
+        self.valid_records
+    }
+
+    fn records(&mut self, n: usize) -> Vec<FlowRecord> {
+        (0..n)
+            .map(|_| {
+                let a = self.rng.below(200) as u8;
+                let b = self.rng.below(200) as u8;
+                let mut r = FlowRecord::v4(
+                    [10, 0, 1, a],
+                    [192, 0, 2, b],
+                    1_024 + a as u16,
+                    443,
+                    6,
+                    1 + self.rng.below(50),
+                    100 + self.rng.below(5_000),
+                );
+                r.first_ms = self.base_ms + self.rng.below(2_000);
+                r.last_ms = r.first_ms + self.rng.below(500);
+                r
+            })
+            .collect()
+    }
+
+    fn valid_packet(&mut self) -> Vec<u8> {
+        let n = 1 + self.rng.below(8) as usize;
+        let records = self.records(n);
+        self.sequence = self.sequence.wrapping_add(1);
+        let pkt = match self.rng.below(3) {
+            0 => netflow5::encode(&records, self.base_ms + 2_000, self.sequence),
+            1 => netflow9::encode(&records, self.base_ms + 2_000, self.sequence, 7),
+            _ => ipfix::encode_message(
+                &records,
+                ((self.base_ms + 2_000) / 1_000) as u32,
+                self.sequence,
+                7,
+                true,
+            ),
+        };
+        self.valid_records += records.len() as u64;
+        pkt
+    }
+
+    /// An IPFIX message carrying `k` templates across random domains,
+    /// some with hostile shapes (oversized field counts / widths).
+    fn template_flood(&mut self) -> Vec<u8> {
+        let domain = self.rng.below(64) as u32;
+        let k = 1 + self.rng.below(8) as u16;
+        let mut tset = Vec::new();
+        for i in 0..k {
+            let tid = 256 + self.rng.below(512) as u16 + i;
+            let hostile = self.rng.below(4) == 0;
+            let fields: Vec<(u16, u16)> = if hostile {
+                // Far past any sane max_fields / max_record_bytes.
+                (0..300u16).map(|f| (100 + f, 64)).collect()
+            } else {
+                vec![
+                    (ipfix::ie::SOURCE_IPV4_ADDRESS, 4),
+                    (ipfix::ie::DESTINATION_IPV4_ADDRESS, 4),
+                ]
+            };
+            tset.extend_from_slice(&tid.to_be_bytes());
+            tset.extend_from_slice(&(fields.len() as u16).to_be_bytes());
+            for (id, len) in fields {
+                tset.extend_from_slice(&id.to_be_bytes());
+                tset.extend_from_slice(&len.to_be_bytes());
+            }
+        }
+        let mut msg = Vec::new();
+        msg.extend_from_slice(&ipfix::VERSION.to_be_bytes());
+        msg.extend_from_slice(&((ipfix::HEADER_LEN + tset.len() + 4) as u16).to_be_bytes());
+        msg.extend_from_slice(&0u32.to_be_bytes());
+        msg.extend_from_slice(&self.sequence.to_be_bytes());
+        msg.extend_from_slice(&domain.to_be_bytes());
+        msg.extend_from_slice(&2u16.to_be_bytes());
+        msg.extend_from_slice(&((tset.len() + 4) as u16).to_be_bytes());
+        msg.extend_from_slice(&tset);
+        msg
+    }
+
+    /// A well-formed v9 packet whose data flowset references a
+    /// template id that was never announced.
+    fn missing_template_data(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&netflow9::VERSION.to_be_bytes());
+        out.extend_from_slice(&1u16.to_be_bytes());
+        out.extend_from_slice(&0u32.to_be_bytes());
+        out.extend_from_slice(&(((self.base_ms + 2_000) / 1_000) as u32).to_be_bytes());
+        out.extend_from_slice(&self.sequence.to_be_bytes());
+        out.extend_from_slice(&(self.rng.below(16) as u32).to_be_bytes());
+        let tid = 500 + self.rng.below(200) as u16;
+        let payload_len = 8 + self.rng.below(24) as usize;
+        out.extend_from_slice(&tid.to_be_bytes());
+        out.extend_from_slice(&((payload_len + 4) as u16).to_be_bytes());
+        for _ in 0..payload_len {
+            out.push(self.rng.next_u64() as u8);
+        }
+        out
+    }
+
+    /// Next packet of the hostile mix. Roughly half the stream is
+    /// valid traffic; the rest exercises one attack class each.
+    pub fn next_packet(&mut self) -> Vec<u8> {
+        match self.rng.below(8) {
+            0..=3 => self.valid_packet(),
+            4 => self.template_flood(),
+            5 => self.missing_template_data(),
+            6 => {
+                // Mutate a valid packet: bit flips and/or truncation.
+                // These count as valid records only if the header
+                // survives — conservatively, don't count them at all.
+                let saved = self.valid_records;
+                let mut pkt = self.valid_packet();
+                self.valid_records = saved;
+                for _ in 0..=self.rng.below(4) {
+                    let i = self.rng.below(pkt.len() as u64) as usize;
+                    pkt[i] ^= self.rng.next_u64() as u8;
+                }
+                if self.rng.below(2) == 0 {
+                    pkt.truncate(self.rng.below(pkt.len() as u64 + 1) as usize);
+                }
+                pkt
+            }
+            _ => {
+                let n = 1 + self.rng.below(120) as usize;
+                (0..n).map(|_| self.rng.next_u64() as u8).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_in_the_seed() {
+        let mut a = HostileExporter::new(42, 1_000_000);
+        let mut b = HostileExporter::new(42, 1_000_000);
+        for _ in 0..200 {
+            assert_eq!(a.next_packet(), b.next_packet());
+        }
+        assert_eq!(a.valid_records(), b.valid_records());
+        let mut c = HostileExporter::new(43, 1_000_000);
+        let differs = (0..50).any(|_| a.next_packet() != c.next_packet());
+        assert!(differs, "different seeds diverge");
+    }
+
+    #[test]
+    fn the_mix_contains_valid_and_hostile_traffic() {
+        let mut gen = HostileExporter::new(7, 1_000_000);
+        let mut dec = flownet::ExportDecoder::new();
+        let (mut ok, mut err) = (0u32, 0u32);
+        for _ in 0..300 {
+            match flownet::decode_export_packet(&mut dec, &gen.next_packet()) {
+                Ok(_) => ok += 1,
+                Err(_) => err += 1,
+            }
+        }
+        assert!(ok > 50, "{ok} valid");
+        assert!(err > 20, "{err} hostile");
+        assert!(gen.valid_records() > 0);
+    }
+}

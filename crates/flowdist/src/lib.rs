@@ -39,6 +39,12 @@
 //! * [`framing`] — the one copy of the length-prefixed TCP framing
 //!   (`read_frame`/`write_frame`/`FramedConn`) every TCP surface in
 //!   flowdist *and* flowrelay speaks.
+//! * [`admission`] — per-exporter token-bucket quotas over a bounded
+//!   exporter table, with live-reloadable knobs shared between the
+//!   ingest loop and the ops endpoint.
+//! * [`faultnet`] — a seeded hostile-exporter generator (template
+//!   floods, oversized fields, missing templates, truncation, garbage)
+//!   for deterministic fault-injection tests.
 //! * [`ops`] — the tiny plaintext HTTP/1.0 health/stats/reload
 //!   endpoint every fleet node serves.
 //! * [`runtime`] — the site-node runtime: UDP ingest + upstream TCP
@@ -48,13 +54,18 @@
 //!   (append-only CRC-checked segments with an acked-floor ledger), so
 //!   pending exports survive process death.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one exception is the scoped
+// `#[allow(unsafe_code)]` in `sockopt`, which wraps the two raw
+// setsockopt/getsockopt calls std has no safe API for (SO_RCVBUF).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod alarm;
 pub mod collector;
 pub mod control;
 pub mod daemon;
+pub mod faultnet;
 pub mod framing;
 pub mod listen;
 pub mod net;
@@ -63,18 +74,23 @@ pub mod pipeline;
 pub mod runtime;
 pub mod shard;
 pub mod sim;
+pub mod sockopt;
 pub mod spill;
 pub mod store;
 pub mod summary;
 pub mod window;
 mod worker;
 
+pub use admission::{AdmissionConfig, AdmissionControl, AdmissionKnobs, AdmissionStats};
 pub use alarm::{AlarmConfig, AlarmEvent, Direction};
 pub use collector::{Collector, TransferLedger, ViewCacheStats};
 pub use control::{ControlFrame, SlotPos, FEATURE_ACKS};
 pub use daemon::{DaemonConfig, DaemonStats, SiteDaemon, TransferMode};
 pub use framing::{FramedConn, MAX_FRAME};
-pub use listen::{spawn_udp_ingest, IngestGauges, IngestReport, IngestSnapshot, UdpIngestHandle};
+pub use listen::{
+    spawn_udp_ingest, spawn_udp_ingest_with, IngestGauges, IngestOptions, IngestReport,
+    IngestSnapshot, UdpIngestHandle,
+};
 pub use pipeline::{IngestPipeline, PipelineStats};
 pub use runtime::{SiteDrainReport, SiteNodeConfig, SiteRuntime};
 pub use shard::ShardedTree;

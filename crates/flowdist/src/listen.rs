@@ -18,10 +18,12 @@
 //! every open window, ships the final frames, and returns its
 //! counters.
 
+use crate::admission::{AdmissionControl, AdmissionKnobs, AdmissionStats};
 use crate::daemon::DaemonStats;
 use crate::pipeline::{IngestPipeline, PipelineStats};
 use crate::DistError;
 use crossbeam::channel::Sender;
+use flownet::DecoderStats;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -33,12 +35,37 @@ use std::time::Duration;
 /// [`UdpIngestHandle::stop`].
 #[derive(Debug, Default)]
 pub struct IngestGauges {
+    /// Raw datagrams received (admitted or not). The edge identity:
+    /// `datagrams == packets + decode_errors + quota_packet_drops`.
+    pub datagrams: AtomicU64,
     /// Export packets decoded successfully.
     pub packets: AtomicU64,
     /// Payloads that failed to decode.
     pub decode_errors: AtomicU64,
+    /// Datagrams denied by a per-exporter packet quota.
+    pub quota_packet_drops: AtomicU64,
+    /// Records denied by a per-exporter record quota.
+    pub quota_record_drops: AtomicU64,
     /// Flow records extracted.
     pub records: AtomicU64,
+    /// Data records/sets dropped for lack of a template.
+    pub records_no_template: AtomicU64,
+    /// Templates currently cached by the decoders.
+    pub templates: AtomicU64,
+    /// Templates evicted (count cap + timeout).
+    pub templates_evicted: AtomicU64,
+    /// Templates rejected for violating shape bounds.
+    pub templates_rejected: AtomicU64,
+    /// Window buckets force-flushed to honor the open-window budget.
+    pub window_sheds: AtomicU64,
+    /// 1 ms waits spent on a full frames channel (backpressure).
+    pub backpressure_waits: AtomicU64,
+    /// Exporter addresses currently tracked by admission control.
+    pub exporters: AtomicU64,
+    /// Exporter entries evicted to bound the table.
+    pub exporters_evicted: AtomicU64,
+    /// Achieved socket receive buffer (0 = OS default / unsupported).
+    pub recv_buffer_bytes: AtomicU64,
     /// Records dropped as older than any open window.
     pub late_drops: AtomicU64,
     /// Summaries emitted by the daemon.
@@ -52,12 +79,36 @@ pub struct IngestGauges {
 /// One coherent reading of [`IngestGauges`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct IngestSnapshot {
+    /// Raw datagrams received (admitted or not).
+    pub datagrams: u64,
     /// Export packets decoded successfully.
     pub packets: u64,
     /// Payloads that failed to decode.
     pub decode_errors: u64,
+    /// Datagrams denied by a per-exporter packet quota.
+    pub quota_packet_drops: u64,
+    /// Records denied by a per-exporter record quota.
+    pub quota_record_drops: u64,
     /// Flow records extracted.
     pub records: u64,
+    /// Data records/sets dropped for lack of a template.
+    pub records_no_template: u64,
+    /// Templates currently cached by the decoders.
+    pub templates: u64,
+    /// Templates evicted (count cap + timeout).
+    pub templates_evicted: u64,
+    /// Templates rejected for violating shape bounds.
+    pub templates_rejected: u64,
+    /// Window buckets force-flushed to honor the open-window budget.
+    pub window_sheds: u64,
+    /// 1 ms waits spent on a full frames channel (backpressure).
+    pub backpressure_waits: u64,
+    /// Exporter addresses currently tracked by admission control.
+    pub exporters: u64,
+    /// Exporter entries evicted to bound the table.
+    pub exporters_evicted: u64,
+    /// Achieved socket receive buffer (0 = OS default / unsupported).
+    pub recv_buffer_bytes: u64,
     /// Records dropped as older than any open window.
     pub late_drops: u64,
     /// Summaries emitted by the daemon.
@@ -72,9 +123,21 @@ impl IngestGauges {
     /// Reads every gauge (relaxed — counters, not a consistent cut).
     pub fn snapshot(&self) -> IngestSnapshot {
         IngestSnapshot {
+            datagrams: self.datagrams.load(Ordering::Relaxed),
             packets: self.packets.load(Ordering::Relaxed),
             decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            quota_packet_drops: self.quota_packet_drops.load(Ordering::Relaxed),
+            quota_record_drops: self.quota_record_drops.load(Ordering::Relaxed),
             records: self.records.load(Ordering::Relaxed),
+            records_no_template: self.records_no_template.load(Ordering::Relaxed),
+            templates: self.templates.load(Ordering::Relaxed),
+            templates_evicted: self.templates_evicted.load(Ordering::Relaxed),
+            templates_rejected: self.templates_rejected.load(Ordering::Relaxed),
+            window_sheds: self.window_sheds.load(Ordering::Relaxed),
+            backpressure_waits: self.backpressure_waits.load(Ordering::Relaxed),
+            exporters: self.exporters.load(Ordering::Relaxed),
+            exporters_evicted: self.exporters_evicted.load(Ordering::Relaxed),
+            recv_buffer_bytes: self.recv_buffer_bytes.load(Ordering::Relaxed),
             late_drops: self.late_drops.load(Ordering::Relaxed),
             summaries: self.summaries.load(Ordering::Relaxed),
             frames_sent: self.frames_sent.load(Ordering::Relaxed),
@@ -82,11 +145,44 @@ impl IngestGauges {
         }
     }
 
-    fn publish(&self, pipeline: &PipelineStats, daemon: &DaemonStats, sent: u64, dropped: u64) {
+    #[allow(clippy::too_many_arguments)]
+    fn publish(
+        &self,
+        datagrams: u64,
+        pipeline: &PipelineStats,
+        decoder: &DecoderStats,
+        daemon: &DaemonStats,
+        admission: &AdmissionStats,
+        exporters: u64,
+        sent: u64,
+        dropped: u64,
+        waits: u64,
+    ) {
+        self.datagrams.store(datagrams, Ordering::Relaxed);
         self.packets.store(pipeline.packets, Ordering::Relaxed);
         self.decode_errors
             .store(pipeline.decode_errors, Ordering::Relaxed);
+        self.quota_packet_drops
+            .store(admission.packet_drops, Ordering::Relaxed);
+        self.quota_record_drops
+            .store(admission.record_drops, Ordering::Relaxed);
         self.records.store(pipeline.records, Ordering::Relaxed);
+        self.records_no_template
+            .store(decoder.records_skipped, Ordering::Relaxed);
+        self.templates
+            .store(decoder.templates as u64, Ordering::Relaxed);
+        self.templates_evicted.store(
+            decoder.templates_evicted_cap + decoder.templates_evicted_timeout,
+            Ordering::Relaxed,
+        );
+        self.templates_rejected
+            .store(decoder.templates_rejected, Ordering::Relaxed);
+        self.window_sheds
+            .store(pipeline.window_sheds, Ordering::Relaxed);
+        self.backpressure_waits.store(waits, Ordering::Relaxed);
+        self.exporters.store(exporters, Ordering::Relaxed);
+        self.exporters_evicted
+            .store(admission.exporters_evicted, Ordering::Relaxed);
         self.late_drops.store(daemon.late_drops, Ordering::Relaxed);
         self.summaries.store(daemon.summaries, Ordering::Relaxed);
         self.frames_sent.store(sent, Ordering::Relaxed);
@@ -97,8 +193,14 @@ impl IngestGauges {
 /// What the socket thread hands back on shutdown.
 #[derive(Debug)]
 pub struct IngestReport {
+    /// Raw datagrams received (admitted or not).
+    pub datagrams: u64,
     /// Decode/bucket/batch counters of the pipeline.
     pub pipeline: PipelineStats,
+    /// The decoder's hardening counters (templates, skipped records).
+    pub decoder: DecoderStats,
+    /// Admission-control drop/eviction counters.
+    pub admission: AdmissionStats,
     /// The wrapped daemon's counters.
     pub daemon: DaemonStats,
     /// Summary frames shipped through the channel.
@@ -107,8 +209,22 @@ pub struct IngestReport {
     /// because the channel was still full while stopping (the caller
     /// was no longer draining).
     pub frames_dropped: u64,
+    /// 1 ms waits spent on a full frames channel (backpressure).
+    pub backpressure_waits: u64,
     /// A socket-level error that ended the loop early, if any.
     pub error: Option<std::io::Error>,
+}
+
+/// Tuning for [`spawn_udp_ingest_with`] beyond the defaults.
+#[derive(Debug, Clone, Default)]
+pub struct IngestOptions {
+    /// Requested `SO_RCVBUF` (best-effort; achieved size lands in
+    /// [`IngestGauges::recv_buffer_bytes`]). `None` keeps the OS
+    /// default.
+    pub receive_buffer_bytes: Option<usize>,
+    /// Live-reloadable admission quotas + open-window budget, shared
+    /// with whoever serves `POST /reload`.
+    pub knobs: Arc<AdmissionKnobs>,
 }
 
 /// A running `listen → pipeline` loop (see [`spawn_udp_ingest`]).
@@ -149,18 +265,38 @@ pub fn spawn_udp_ingest(
     pipeline: IngestPipeline,
     frames: Sender<Vec<u8>>,
 ) -> Result<UdpIngestHandle, DistError> {
+    spawn_udp_ingest_with(addr, pipeline, frames, IngestOptions::default())
+}
+
+/// [`spawn_udp_ingest`] with explicit [`IngestOptions`]: receive
+/// buffer sizing and live-reloadable per-exporter admission control.
+pub fn spawn_udp_ingest_with(
+    addr: &str,
+    pipeline: IngestPipeline,
+    frames: Sender<Vec<u8>>,
+    opts: IngestOptions,
+) -> Result<UdpIngestHandle, DistError> {
     let socket = UdpSocket::bind(addr).map_err(DistError::Io)?;
     let local = socket.local_addr().map_err(DistError::Io)?;
     socket
         .set_read_timeout(Some(Duration::from_millis(20)))
         .map_err(DistError::Io)?;
+    let gauges = Arc::new(IngestGauges::default());
+    if let Some(bytes) = opts.receive_buffer_bytes {
+        // Best-effort: surface what the kernel granted, keep the OS
+        // default (reported as 0) when the platform has no support.
+        let achieved = crate::sockopt::set_recv_buffer(&socket, bytes).unwrap_or(0);
+        gauges
+            .recv_buffer_bytes
+            .store(achieved as u64, Ordering::Relaxed);
+    }
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
-    let gauges = Arc::new(IngestGauges::default());
     let loop_gauges = Arc::clone(&gauges);
+    let knobs = opts.knobs;
     let join = std::thread::Builder::new()
         .name("udp-ingest".into())
-        .spawn(move || ingest_loop(socket, pipeline, frames, stop_flag, loop_gauges))
+        .spawn(move || ingest_loop(socket, pipeline, frames, stop_flag, loop_gauges, knobs))
         .map_err(DistError::Io)?;
     Ok(UdpIngestHandle {
         addr: local,
@@ -170,15 +306,25 @@ pub fn spawn_udp_ingest(
     })
 }
 
+fn epoch_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
 fn ingest_loop(
     socket: UdpSocket,
     mut pipeline: IngestPipeline,
     frames: Sender<Vec<u8>>,
     stop: Arc<AtomicBool>,
     gauges: Arc<IngestGauges>,
+    knobs: Arc<AdmissionKnobs>,
 ) -> IngestReport {
     let mut buf = vec![0u8; 65_536];
-    let (mut sent, mut dropped) = (0u64, 0u64);
+    let (mut sent, mut dropped, mut waits) = (0u64, 0u64, 0u64);
+    let mut datagrams = 0u64;
+    let mut admission = AdmissionControl::new();
     let mut error = None;
     // Backpressure without a shutdown deadlock: a full channel parks
     // this thread in 1 ms waits (a slow consumer throttles ingest),
@@ -186,39 +332,67 @@ fn ingest_loop(
     // and counted instead — `stop()` joins this thread, so blocking
     // on `send` here would deadlock a caller that drains the channel
     // only after stopping.
-    let ship = |summaries: Vec<crate::Summary>, sent: &mut u64, dropped: &mut u64| {
-        for s in summaries {
-            let mut frame = s.encode();
-            loop {
-                use crossbeam::channel::TrySendError;
-                match frames.try_send(frame) {
-                    Ok(()) => {
-                        *sent += 1;
-                        break;
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        *dropped += 1;
-                        break;
-                    }
-                    Err(TrySendError::Full(f)) => {
-                        if stop.load(Ordering::Relaxed) {
+    let ship =
+        |summaries: Vec<crate::Summary>, sent: &mut u64, dropped: &mut u64, waits: &mut u64| {
+            for s in summaries {
+                let mut frame = s.encode();
+                loop {
+                    use crossbeam::channel::TrySendError;
+                    match frames.try_send(frame) {
+                        Ok(()) => {
+                            *sent += 1;
+                            break;
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
                             *dropped += 1;
                             break;
                         }
-                        frame = f;
-                        std::thread::sleep(Duration::from_millis(1));
+                        Err(TrySendError::Full(f)) => {
+                            if stop.load(Ordering::Relaxed) {
+                                *dropped += 1;
+                                break;
+                            }
+                            frame = f;
+                            *waits += 1;
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
                     }
                 }
             }
-        }
-    };
+        };
     'listen: loop {
         let stopping = stop.load(Ordering::Relaxed);
         match socket.recv_from(&mut buf) {
-            Ok((n, _peer)) => {
-                let out = pipeline.push_packet(&buf[..n]);
-                ship(out, &mut sent, &mut dropped);
-                gauges.publish(pipeline.stats(), pipeline.daemon().stats(), sent, dropped);
+            Ok((n, peer)) => {
+                datagrams += 1;
+                let now_ms = epoch_ms();
+                let cfg = knobs.load();
+                pipeline.set_max_open_windows(knobs.max_open_windows() as usize);
+                // Admission order pins the accounting identity:
+                // datagrams == packets + decode_errors +
+                // quota_packet_drops — a datagram is quota-dropped
+                // *before* decode (no work for the hostile), or it
+                // decodes (packets/decode_errors). Records of an
+                // admitted packet are then charged all-or-nothing.
+                if admission.admit_packet(peer.ip(), &cfg, now_ms) {
+                    if let Some(records) = pipeline.decode_packet_at(&buf[..n], now_ms) {
+                        if admission.admit_records(peer.ip(), records.len(), &cfg, now_ms) {
+                            let out = pipeline.push_records(&records);
+                            ship(out, &mut sent, &mut dropped, &mut waits);
+                        }
+                    }
+                }
+                gauges.publish(
+                    datagrams,
+                    pipeline.stats(),
+                    &pipeline.decoder_stats(),
+                    pipeline.daemon().stats(),
+                    &admission.stats(),
+                    admission.exporters() as u64,
+                    sent,
+                    dropped,
+                    waits,
+                );
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -244,14 +418,29 @@ fn ingest_loop(
         }
     }
     let stats = *pipeline.stats();
+    let decoder = pipeline.decoder_stats();
     let (rest, daemon) = pipeline.finish();
-    ship(rest, &mut sent, &mut dropped);
-    gauges.publish(&stats, daemon.stats(), sent, dropped);
+    ship(rest, &mut sent, &mut dropped, &mut waits);
+    gauges.publish(
+        datagrams,
+        &stats,
+        &decoder,
+        daemon.stats(),
+        &admission.stats(),
+        admission.exporters() as u64,
+        sent,
+        dropped,
+        waits,
+    );
     IngestReport {
+        datagrams,
         pipeline: stats,
+        decoder,
+        admission: admission.stats(),
         daemon: *daemon.stats(),
         frames_sent: sent,
         frames_dropped: dropped,
+        backpressure_waits: waits,
         error,
     }
 }

@@ -27,7 +27,7 @@ use crate::daemon::SiteDaemon;
 use crate::summary::Summary;
 use crate::window::WindowId;
 use flowkey::FlowKey;
-use flownet::{ExportDecoder, ExportFormat, FlowRecord};
+use flownet::{DecoderLimits, DecoderStats, ExportDecoder, ExportFormat, FlowRecord};
 use flowtree_core::Popularity;
 use std::collections::BTreeMap;
 
@@ -61,6 +61,9 @@ pub struct PipelineStats {
     pub wire_bytes: u64,
     /// Batches handed to the daemon.
     pub batches: u64,
+    /// Under-filled window buckets force-flushed (oldest first) to
+    /// honor the open-window budget under memory pressure.
+    pub window_sheds: u64,
 }
 
 /// Streaming decode→bucket→batch front end for one [`SiteDaemon`].
@@ -73,19 +76,30 @@ pub struct IngestPipeline {
     pending: BTreeMap<u64, Vec<(u64, FlowKey, Popularity)>>,
     /// Start of the newest window any record has reached.
     newest_window: u64,
+    /// Max distinct open window buckets (0 = unbounded); exceeding it
+    /// sheds the oldest bucket to the daemon.
+    max_open_windows: usize,
     stats: PipelineStats,
 }
 
 impl IngestPipeline {
     /// Wraps `daemon` with a streaming front end flushing `batch`
-    /// records per window bucket (clamped to ≥ 1).
+    /// records per window bucket (clamped to ≥ 1), with default
+    /// [`DecoderLimits`].
     pub fn new(daemon: SiteDaemon, batch: usize) -> IngestPipeline {
+        IngestPipeline::with_limits(daemon, batch, DecoderLimits::default())
+    }
+
+    /// Like [`IngestPipeline::new`] with explicit decoder hardening
+    /// limits for the template caches.
+    pub fn with_limits(daemon: SiteDaemon, batch: usize, limits: DecoderLimits) -> IngestPipeline {
         IngestPipeline {
             daemon,
-            decoder: ExportDecoder::new(),
+            decoder: ExportDecoder::with_limits(limits),
             batch: batch.max(1),
             pending: BTreeMap::new(),
             newest_window: 0,
+            max_open_windows: 0,
             stats: PipelineStats::default(),
         }
     }
@@ -100,6 +114,20 @@ impl IngestPipeline {
         &self.stats
     }
 
+    /// The decoder's hardening counters (template cache activity,
+    /// records dropped for lack of a template).
+    pub fn decoder_stats(&self) -> DecoderStats {
+        self.decoder.stats()
+    }
+
+    /// Sets the open-window budget: more than `windows` distinct
+    /// buffered window buckets sheds the oldest to the daemon
+    /// (0 = unbounded). Live-reloadable; takes effect on the next
+    /// record.
+    pub fn set_max_open_windows(&mut self, windows: usize) {
+        self.max_open_windows = windows;
+    }
+
     /// Records currently buffered (not yet handed to the daemon).
     pub fn buffered(&self) -> usize {
         self.pending.values().map(Vec::len).sum()
@@ -111,7 +139,21 @@ impl IngestPipeline {
     /// payloads are counted, not fatal — the loop must survive router
     /// reboots and hostile probes.
     pub fn push_packet(&mut self, payload: &[u8]) -> Vec<Summary> {
-        match flownet::decode_export_packet(&mut self.decoder, payload) {
+        match self.decode_packet_at(payload, 0) {
+            Some(records) => self.push_records(&records),
+            None => Vec::new(),
+        }
+    }
+
+    /// Decode-only half of [`IngestPipeline::push_packet`]: counts the
+    /// packet (or the decode error) and its wire bytes, advances the
+    /// template caches' clock to `now_ms`, and hands the records back
+    /// **without** ingesting them — so a caller can apply per-exporter
+    /// admission control between decode and
+    /// [`IngestPipeline::push_records`]. `None` means the payload was
+    /// malformed (already counted).
+    pub fn decode_packet_at(&mut self, payload: &[u8], now_ms: u64) -> Option<Vec<FlowRecord>> {
+        match flownet::decode_export_packet_at(&mut self.decoder, payload, now_ms) {
             Ok((format, records)) => {
                 self.stats.packets += 1;
                 match format {
@@ -121,11 +163,11 @@ impl IngestPipeline {
                 }
                 self.stats.wire_bytes += payload.len() as u64;
                 self.daemon.note_raw_bytes(payload.len() as u64);
-                self.push_records(&records)
+                Some(records)
             }
             Err(_) => {
                 self.stats.decode_errors += 1;
-                Vec::new()
+                None
             }
         }
     }
@@ -172,6 +214,18 @@ impl IngestPipeline {
         }
         if self.buffered() >= self.batch.saturating_mul(MAX_BUFFERED_BATCHES) {
             self.flush_through(u64::MAX, &mut out);
+        }
+        // Open-window budget: a hostile clock scattering records over
+        // many distinct windows grows one bucket per window; past the
+        // budget, shed the oldest bucket (the daemon applies its own
+        // late-drop policy) so bucket count — not just record count —
+        // stays bounded.
+        while self.max_open_windows > 0 && self.pending.len() > self.max_open_windows {
+            let oldest = *self.pending.keys().next().expect("non-empty");
+            let items = self.pending.remove(&oldest).expect("bucket present");
+            self.stats.batches += 1;
+            self.stats.window_sheds += 1;
+            out.extend(self.daemon.ingest_stamped_batch(&items));
         }
         out
     }

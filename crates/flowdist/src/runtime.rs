@@ -14,11 +14,15 @@
 //! every open window), then joins the forwarder after it has pushed
 //! the final frames upstream, then frees the stats port.
 
-use crate::listen::{spawn_udp_ingest, IngestGauges, IngestReport, UdpIngestHandle};
+use crate::admission::{AdmissionConfig, AdmissionKnobs};
+use crate::listen::{
+    spawn_udp_ingest_with, IngestGauges, IngestOptions, IngestReport, UdpIngestHandle,
+};
 use crate::ops::{spawn_ops, OpsHandle, OpsRequest, OpsResponse};
 use crate::pipeline::IngestPipeline;
 use crate::{DaemonConfig, DistError, SiteDaemon, TransferMode};
 use flowkey::Schema;
+use flownet::DecoderLimits;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,11 +50,22 @@ pub struct SiteNodeConfig {
     pub budget: usize,
     /// Records per pipeline batch.
     pub batch: usize,
+    /// Requested UDP receive buffer (`SO_RCVBUF`, best-effort; the
+    /// achieved size shows as `recv_buffer_bytes` in stats).
+    pub receive_buffer_bytes: Option<usize>,
+    /// Decoder hardening limits (template caps/timeouts/bounds).
+    pub limits: DecoderLimits,
+    /// Per-exporter admission quotas (live-reloadable).
+    pub admission: AdmissionConfig,
+    /// Max distinct buffered window buckets before oldest-first
+    /// shedding (0 = unbounded; live-reloadable).
+    pub max_open_windows: u64,
 }
 
 impl SiteNodeConfig {
     /// Defaults for one site shipping to `upstream`: 5-minute windows,
-    /// unsharded, the five-feature schema.
+    /// unsharded, the five-feature schema, default hardening limits,
+    /// quotas off.
     pub fn new(site: u16, upstream: impl Into<String>) -> SiteNodeConfig {
         SiteNodeConfig {
             site,
@@ -61,6 +76,10 @@ impl SiteNodeConfig {
             shards: 1,
             budget: 1 << 16,
             batch: crate::pipeline::DEFAULT_BATCH,
+            receive_buffer_bytes: None,
+            limits: DecoderLimits::default(),
+            admission: AdmissionConfig::default(),
+            max_open_windows: 256,
         }
     }
 }
@@ -98,6 +117,7 @@ pub struct SiteRuntime {
     forward: std::thread::JoinHandle<()>,
     gauges: Arc<IngestGauges>,
     fwd: Arc<ForwardGauges>,
+    knobs: Arc<AdmissionKnobs>,
     ops: Option<OpsHandle>,
 }
 
@@ -111,9 +131,15 @@ impl SiteRuntime {
         dcfg.tree = flowtree_core::Config::with_budget(cfg.budget);
         dcfg.transfer = TransferMode::Full;
         dcfg.shards = cfg.shards.max(1);
-        let pipeline = IngestPipeline::new(SiteDaemon::new(dcfg), cfg.batch.max(1));
+        let pipeline =
+            IngestPipeline::with_limits(SiteDaemon::new(dcfg), cfg.batch.max(1), cfg.limits);
         let (tx, rx) = crossbeam::channel::bounded::<Vec<u8>>(256);
-        let ingest = spawn_udp_ingest(&cfg.listen, pipeline, tx)?;
+        let knobs = Arc::new(AdmissionKnobs::new(cfg.admission, cfg.max_open_windows));
+        let opts = IngestOptions {
+            receive_buffer_bytes: cfg.receive_buffer_bytes,
+            knobs: Arc::clone(&knobs),
+        };
+        let ingest = spawn_udp_ingest_with(&cfg.listen, pipeline, tx, opts)?;
         let gauges = ingest.gauges();
         let fwd = Arc::new(ForwardGauges::default());
         let fwd_loop = Arc::clone(&fwd);
@@ -127,8 +153,9 @@ impl SiteRuntime {
                 let site = cfg.site;
                 let g = Arc::clone(&gauges);
                 let f = Arc::clone(&fwd);
+                let k = Arc::clone(&knobs);
                 Some(
-                    spawn_ops(addr, move |req| site_ops(site, &g, &f, req))
+                    spawn_ops(addr, move |req| site_ops(site, &g, &f, &k, req))
                         .map_err(DistError::Io)?,
                 )
             }
@@ -140,8 +167,15 @@ impl SiteRuntime {
             forward,
             gauges,
             fwd,
+            knobs,
             ops,
         })
+    }
+
+    /// The live admission/budget knobs — the same block the ops
+    /// endpoint's `POST /reload` writes.
+    pub fn knobs(&self) -> Arc<AdmissionKnobs> {
+        Arc::clone(&self.knobs)
     }
 
     /// The site id.
@@ -190,31 +224,99 @@ fn site_ops(
     site: u16,
     gauges: &IngestGauges,
     fwd: &ForwardGauges,
+    knobs: &AdmissionKnobs,
     req: &OpsRequest,
 ) -> OpsResponse {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/health") => OpsResponse::ok(format!("ok true\nrole site\nsite {site}")),
         ("GET", "/stats" | "/") => {
             let s = gauges.snapshot();
-            OpsResponse::ok(format!(
-                "role site\nsite {site}\npackets {}\ndecode_errors {}\nrecords {}\nlate_drops {}\nsummaries {}\nframes_sent {}\nframes_dropped {}\nforwarded {}\nforward_reconnects {}\nforward_abandoned {}",
-                s.packets,
-                s.decode_errors,
-                s.records,
-                s.late_drops,
-                s.summaries,
-                s.frames_sent,
-                s.frames_dropped,
-                fwd.forwarded.load(Ordering::Relaxed),
-                fwd.reconnects.load(Ordering::Relaxed),
-                fwd.abandoned.load(Ordering::Relaxed),
-            ))
+            let cfg = knobs.load();
+            let mut body = format!("role site\nsite {site}\n");
+            let mut line = |k: &str, v: u64| {
+                body.push_str(k);
+                body.push(' ');
+                body.push_str(&v.to_string());
+                body.push('\n');
+            };
+            line("datagrams", s.datagrams);
+            line("packets", s.packets);
+            line("decode_errors", s.decode_errors);
+            line("quota_packet_drops", s.quota_packet_drops);
+            line("quota_record_drops", s.quota_record_drops);
+            line("records", s.records);
+            line("records_no_template", s.records_no_template);
+            line("templates_live", s.templates);
+            line("templates_evicted", s.templates_evicted);
+            line("templates_rejected", s.templates_rejected);
+            line("window_sheds", s.window_sheds);
+            line("backpressure_waits", s.backpressure_waits);
+            line("exporters_tracked", s.exporters);
+            line("exporters_evicted", s.exporters_evicted);
+            line("recv_buffer_bytes", s.recv_buffer_bytes);
+            line("late_drops", s.late_drops);
+            line("summaries", s.summaries);
+            line("frames_sent", s.frames_sent);
+            line("frames_dropped", s.frames_dropped);
+            line("forwarded", fwd.forwarded.load(Ordering::Relaxed));
+            line("forward_reconnects", fwd.reconnects.load(Ordering::Relaxed));
+            line("forward_abandoned", fwd.abandoned.load(Ordering::Relaxed));
+            line("knob_packet_rate", cfg.packet_rate);
+            line("knob_packet_burst", cfg.packet_burst);
+            line("knob_record_rate", cfg.record_rate);
+            line("knob_record_burst", cfg.record_burst);
+            line("knob_max_exporters", cfg.max_exporters as u64);
+            line("knob_max_open_windows", knobs.max_open_windows());
+            body.pop();
+            OpsResponse::ok(body)
         }
-        // Site knobs (window span, shards) are structural — nothing
-        // applies without a restart, so a reload is a recognized no-op.
-        ("POST", "/reload") => OpsResponse::ok("unchanged (site nodes have no reloadable keys)"),
+        ("POST", "/reload") => match parse_site_reload(&req.body, knobs) {
+            Ok(applied) => OpsResponse::ok(applied),
+            Err(e) => OpsResponse::bad_request(e),
+        },
         _ => OpsResponse::not_found(),
     }
+}
+
+/// Applies a `POST /reload` body (`key=value` lines; keys
+/// `packet-rate`, `packet-burst`, `record-rate`, `record-burst`,
+/// `max-exporters`, `max-open-windows`) to the live admission knobs.
+/// Unknown keys or unparsable values fail the whole request so a
+/// typoed reload never half-applies silently — the same all-or-nothing
+/// grammar the relay's reload endpoint speaks.
+fn parse_site_reload(body: &str, knobs: &AdmissionKnobs) -> Result<String, String> {
+    let mut cfg = knobs.load();
+    let mut windows = knobs.max_open_windows();
+    let mut applied = Vec::new();
+    for raw in body.lines() {
+        let lineno = raw.trim();
+        if lineno.is_empty() || lineno.starts_with('#') {
+            continue;
+        }
+        let (key, value) = lineno
+            .split_once('=')
+            .ok_or_else(|| format!("malformed line (want key=value): {lineno:?}"))?;
+        let (key, value) = (key.trim(), value.trim());
+        let parsed: u64 = value
+            .parse()
+            .map_err(|_| format!("{key}: not a number: {value:?}"))?;
+        match key {
+            "packet-rate" => cfg.packet_rate = parsed,
+            "packet-burst" => cfg.packet_burst = parsed,
+            "record-rate" => cfg.record_rate = parsed,
+            "record-burst" => cfg.record_burst = parsed,
+            "max-exporters" => cfg.max_exporters = parsed as usize,
+            "max-open-windows" => windows = parsed,
+            other => return Err(format!("unknown key: {other}")),
+        }
+        applied.push(format!("{key}={parsed}"));
+    }
+    if applied.is_empty() {
+        return Ok("unchanged".to_string());
+    }
+    knobs.store(cfg);
+    knobs.set_max_open_windows(windows);
+    Ok(format!("applied {}", applied.join(" ")))
 }
 
 /// Ships queued frames upstream until the channel closes, then drains

@@ -1,0 +1,117 @@
+//! Best-effort socket receive-buffer sizing (`SO_RCVBUF`).
+//!
+//! A collector drinking from a UDP firehose lives or dies by the
+//! kernel receive buffer: the default is far too small for a burst of
+//! exporters flushing at once, and every overflow is an invisible
+//! drop. std exposes no API for `SO_RCVBUF`, so this module holds the
+//! workspace's only `unsafe` — two raw `setsockopt`/`getsockopt`
+//! calls on an fd we own, gated to Linux (elsewhere the knob reports
+//! back `None` and the caller proceeds with the OS default).
+//!
+//! Everything is best-effort by design: the kernel clamps requests to
+//! `net.core.rmem_max` (and doubles them for bookkeeping), so the
+//! *achieved* size — what [`set_recv_buffer`] returns — is the truth
+//! to surface in stats, not the requested one.
+
+/// Requests a receive buffer of `bytes` for `socket` and returns the
+/// size the kernel actually granted (`None` when the platform has no
+/// support or the call failed — the socket keeps its default).
+#[cfg(target_os = "linux")]
+pub fn set_recv_buffer(socket: &std::net::UdpSocket, bytes: usize) -> Option<usize> {
+    use std::os::fd::AsRawFd;
+    imp::set_and_read_rcvbuf(socket.as_raw_fd(), bytes)
+}
+
+/// Non-Linux fallback: no support, socket keeps the OS default.
+#[cfg(not(target_os = "linux"))]
+pub fn set_recv_buffer(_socket: &std::net::UdpSocket, _bytes: usize) -> Option<usize> {
+    None
+}
+
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod imp {
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    // asm-generic values, correct for every Linux target this
+    // workspace builds (x86_64, aarch64, riscv).
+    const SOL_SOCKET: c_int = 1;
+    const SO_RCVBUF: c_int = 8;
+
+    // std links libc on Linux; declaring the two symbols here avoids a
+    // crate dependency the offline build environment cannot add.
+    unsafe extern "C" {
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            value: *const c_void,
+            len: c_uint,
+        ) -> c_int;
+        fn getsockopt(
+            fd: c_int,
+            level: c_int,
+            name: c_int,
+            value: *mut c_void,
+            len: *mut c_uint,
+        ) -> c_int;
+    }
+
+    pub fn set_and_read_rcvbuf(fd: c_int, bytes: usize) -> Option<usize> {
+        let requested: c_int = bytes.min(c_int::MAX as usize) as c_int;
+        // SAFETY: fd is a live socket owned by the caller for the
+        // duration of the call; the value pointer and length describe
+        // a properly aligned c_int on this stack frame.
+        let rc = unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_RCVBUF,
+                (&requested as *const c_int).cast(),
+                std::mem::size_of::<c_int>() as c_uint,
+            )
+        };
+        if rc != 0 {
+            return None;
+        }
+        let mut achieved: c_int = 0;
+        let mut len = std::mem::size_of::<c_int>() as c_uint;
+        // SAFETY: same fd; the out-pointer and in/out length describe
+        // the `achieved` c_int above.
+        let rc = unsafe {
+            getsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_RCVBUF,
+                (&mut achieved as *mut c_int).cast(),
+                &mut len,
+            )
+        };
+        if rc != 0 || achieved < 0 {
+            return None;
+        }
+        Some(achieved as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn achieved_size_is_reported_and_nonzero() {
+        let sock = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+        let achieved = set_recv_buffer(&sock, 256 * 1024);
+        // The kernel may clamp (rmem_max) or double, but it grants
+        // *something* and reports it back.
+        let achieved = achieved.expect("linux supports SO_RCVBUF");
+        assert!(achieved > 0);
+    }
+
+    #[test]
+    fn zero_request_does_not_panic() {
+        let sock = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+        let _ = set_recv_buffer(&sock, 0);
+    }
+}

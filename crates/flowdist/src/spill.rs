@@ -91,6 +91,9 @@ pub struct SpillStats {
     pub recovered_frames: u64,
     /// Trailing bytes truncated at open (torn tail after a crash).
     pub torn_bytes: u64,
+    /// Disk I/O failures after which the queue dropped its disk
+    /// backing and continued memory-only (see [`SpillQueue::push`]).
+    pub io_errors: u64,
 }
 
 /// One queued frame: its queue sequence number and payload.
@@ -228,16 +231,40 @@ impl SpillQueue {
     /// Appends a frame; it stays queued until acked or shed. Returns
     /// the frames shed to honor the byte bound (oldest first) so the
     /// caller can rewind their windows' export state.
-    pub fn push(&mut self, bytes: Vec<u8>) -> Result<Vec<SpillRecord>, DistError> {
+    ///
+    /// Disk trouble (a full or read-only volume, a yanked mount) never
+    /// fails the push and never poisons the caller: the queue drops
+    /// its disk backing, counts the event
+    /// ([`SpillStats::io_errors`]), and continues memory-only with the
+    /// same bounding and shed accounting — durability is lost, the
+    /// export path is not.
+    pub fn push(&mut self, bytes: Vec<u8>) -> Vec<SpillRecord> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.pushed_frames += 1;
         self.stats.pushed_bytes += bytes.len() as u64;
-        if self.dir.is_some() {
-            self.append_record(seq, &bytes)?;
+        if self.dir.is_some() && self.append_record(seq, &bytes).is_err() {
+            self.degrade();
         }
         self.pending.push_back(SpillRecord { seq, bytes });
         self.enforce_bound()
+    }
+
+    /// Whether the queue still has a disk backing (false after
+    /// [`SpillQueue::in_memory`] or an I/O degrade).
+    pub fn disk_backed(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Drops the disk backing after an I/O failure: pending frames
+    /// stay queued in memory, future appends skip disk, and the event
+    /// is counted. The on-disk files are left as-is — stale next to a
+    /// newer ledger at worst, re-reconciled by the next clean open.
+    fn degrade(&mut self) {
+        self.stats.io_errors += 1;
+        self.dir = None;
+        self.active = None;
+        self.segments.clear();
     }
 
     fn append_record(&mut self, seq: u64, bytes: &[u8]) -> Result<(), DistError> {
@@ -287,10 +314,11 @@ impl SpillQueue {
 
     /// Releases every frame with `seq < upto`: they are delivered and
     /// acknowledged. Persists the new floor and deletes fully-acked
-    /// segments.
-    pub fn ack_through(&mut self, upto: u64) -> Result<(), DistError> {
+    /// segments; ledger I/O trouble degrades to memory-only (see
+    /// [`SpillQueue::push`]) rather than failing the ack.
+    pub fn ack_through(&mut self, upto: u64) {
         if upto <= self.floor {
-            return Ok(());
+            return;
         }
         while let Some(front) = self.pending.front() {
             if front.seq < upto {
@@ -301,8 +329,13 @@ impl SpillQueue {
             }
         }
         self.floor = self.floor.max(upto);
-        self.persist_floor()?;
-        self.drop_acked_segments()
+        if self
+            .persist_floor()
+            .and_then(|()| self.drop_acked_segments())
+            .is_err()
+        {
+            self.degrade();
+        }
     }
 
     fn persist_floor(&mut self) -> Result<(), DistError> {
@@ -340,10 +373,10 @@ impl SpillQueue {
         Ok(())
     }
 
-    fn enforce_bound(&mut self) -> Result<Vec<SpillRecord>, DistError> {
+    fn enforce_bound(&mut self) -> Vec<SpillRecord> {
         let mut shed = Vec::new();
         if self.cfg.max_bytes == 0 {
-            return Ok(shed);
+            return shed;
         }
         while self.pending_bytes() > self.cfg.max_bytes && self.pending.len() > 1 {
             let rec = self.pending.pop_front().expect("nonempty");
@@ -352,11 +385,15 @@ impl SpillQueue {
             self.floor = self.floor.max(rec.seq + 1);
             shed.push(rec);
         }
-        if !shed.is_empty() {
-            self.persist_floor()?;
-            self.drop_acked_segments()?;
+        if !shed.is_empty()
+            && self
+                .persist_floor()
+                .and_then(|()| self.drop_acked_segments())
+                .is_err()
+        {
+            self.degrade();
         }
-        Ok(shed)
+        shed
     }
 
     /// Payload bytes currently pending (unacked).
@@ -491,9 +528,9 @@ mod tests {
         {
             let mut q = SpillQueue::open(&dir, cfg.clone()).unwrap();
             for i in 0..10 {
-                assert!(q.push(frame(i, 100)).unwrap().is_empty());
+                assert!(q.push(frame(i, 100)).is_empty());
             }
-            q.ack_through(4).unwrap();
+            q.ack_through(4);
             assert_eq!(q.len(), 6);
             assert_eq!(q.acked_floor(), 4);
         }
@@ -516,7 +553,7 @@ mod tests {
         {
             let mut q = SpillQueue::open(&dir, cfg.clone()).unwrap();
             for i in 0..3 {
-                q.push(frame(i, 64)).unwrap();
+                q.push(frame(i, 64));
             }
         }
         // Corrupt: append a half-written record to the segment.
@@ -529,7 +566,7 @@ mod tests {
         assert_eq!(q.stats().torn_bytes, 6);
         // And the truncation leaves the file appendable.
         let mut q = q;
-        q.push(frame(3, 64)).unwrap();
+        q.push(frame(3, 64));
         drop(q);
         let q = SpillQueue::open(&dir, cfg).unwrap();
         assert_eq!(q.len(), 4);
@@ -543,7 +580,7 @@ mod tests {
         {
             let mut q = SpillQueue::open(&dir, cfg.clone()).unwrap();
             for i in 0..4 {
-                q.push(frame(i, 32)).unwrap();
+                q.push(frame(i, 32));
             }
         }
         let seg = dir.join(format!("spill-{:020}.seg", 0));
@@ -564,12 +601,12 @@ mod tests {
             ..SpillConfig::default()
         });
         for i in 0..3 {
-            assert!(q.push(frame(i, 300)).unwrap().is_empty());
+            assert!(q.push(frame(i, 300)).is_empty());
         }
-        let shed = q.push(frame(3, 300)).unwrap();
+        let shed = q.push(frame(3, 300));
         assert_eq!(shed.len(), 1, "oldest shed to fit 1000 bytes");
         assert_eq!(shed[0].seq, 0);
-        let shed = q.push(frame(4, 300)).unwrap();
+        let shed = q.push(frame(4, 300));
         assert_eq!(shed.len(), 1);
         assert_eq!(shed[0].seq, 1);
         assert_eq!(q.stats().shed_frames, 2);
@@ -577,7 +614,7 @@ mod tests {
         assert_eq!(q.len(), 3);
         // An oversized single frame is never shed to nothing: the
         // newest frame always stays queued.
-        let shed = q.push(frame(5, 5_000)).unwrap();
+        let shed = q.push(frame(5, 5_000));
         assert_eq!(q.len(), 1);
         assert_eq!(shed.len(), 3);
     }
@@ -592,12 +629,12 @@ mod tests {
         };
         let mut q = SpillQueue::open(&dir, cfg.clone()).unwrap();
         for i in 0..12 {
-            q.push(frame(i, 200)).unwrap();
+            q.push(frame(i, 200));
         }
         assert!(q.pending_bytes() <= 2_000);
         assert!(q.stats().shed_frames > 0);
         // Ack everything; all but the active segment file disappear.
-        q.ack_through(q.next_seq()).unwrap();
+        q.ack_through(q.next_seq());
         assert!(q.is_empty());
         let segs = fs::read_dir(&dir)
             .unwrap()
@@ -629,7 +666,7 @@ mod tests {
         {
             let mut q = SpillQueue::open(&dir, cfg.clone()).unwrap();
             for i in 0..8 {
-                q.push(frame(i, 100)).unwrap();
+                q.push(frame(i, 100));
             }
             assert!(q.segments.len() > 1, "rotation produced segments");
         }
@@ -644,13 +681,58 @@ mod tests {
     fn replayed_acks_and_backward_acks_are_no_ops() {
         let mut q = SpillQueue::in_memory(SpillConfig::default());
         for i in 0..5 {
-            q.push(frame(i, 10)).unwrap();
+            q.push(frame(i, 10));
         }
-        q.ack_through(3).unwrap();
+        q.ack_through(3);
         assert_eq!(q.len(), 2);
-        q.ack_through(3).unwrap();
-        q.ack_through(1).unwrap();
+        q.ack_through(3);
+        q.ack_through(1);
         assert_eq!(q.len(), 2, "stale acks change nothing");
         assert_eq!(q.acked_floor(), 3);
+    }
+
+    // The degrade tests force I/O errors by planting a *directory*
+    // where the queue will create its next file (EISDIR) — a read-only
+    // mode bit would not do: the suite may run as root, which
+    // bypasses permission checks entirely.
+
+    #[test]
+    fn segment_write_failure_degrades_to_memory_not_poison() {
+        let dir = tmpdir("degrade-seg");
+        let mut q = SpillQueue::open(&dir, SpillConfig::default()).unwrap();
+        assert!(q.disk_backed());
+        // The first push would create spill-<0>.seg; make that path a
+        // directory so the open fails.
+        fs::create_dir_all(dir.join(format!("spill-{:020}.seg", 0))).unwrap();
+        let shed = q.push(frame(0, 100));
+        assert!(shed.is_empty());
+        assert!(!q.disk_backed(), "disk backing dropped");
+        assert_eq!(q.stats().io_errors, 1);
+        assert_eq!(q.len(), 1, "the frame still queues in memory");
+        // The queue keeps working memory-only; no second error count.
+        q.push(frame(1, 100));
+        q.ack_through(1);
+        assert_eq!(q.stats().io_errors, 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pending().next().unwrap().seq, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ledger_write_failure_degrades_to_memory_not_poison() {
+        let dir = tmpdir("degrade-ledger");
+        let mut q = SpillQueue::open(&dir, SpillConfig::default()).unwrap();
+        q.push(frame(0, 100));
+        q.push(frame(1, 100));
+        assert_eq!(q.stats().io_errors, 0, "appends were healthy");
+        // persist_floor creates ledger.tmp; make that path a directory.
+        fs::create_dir_all(dir.join("ledger.tmp")).unwrap();
+        q.ack_through(1);
+        assert!(!q.disk_backed());
+        assert_eq!(q.stats().io_errors, 1);
+        assert_eq!(q.stats().acked_frames, 1, "the ack itself landed");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.acked_floor(), 1);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -10,6 +10,7 @@
 //! ingest pipeline can treat "bytes from a router" as one stream
 //! regardless of format.
 
+use crate::limits::DecoderLimits;
 use crate::record::FlowRecord;
 use crate::{ipfix, netflow5, netflow9, ParseError};
 
@@ -41,23 +42,79 @@ impl core::fmt::Display for ExportFormat {
     }
 }
 
+/// Aggregated hardening counters across an [`ExportDecoder`]'s
+/// template caches, plus the running record-drop count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecoderStats {
+    /// Templates currently cached (v9 + IPFIX).
+    pub templates: usize,
+    /// Templates learned (including refreshes).
+    pub templates_learned: u64,
+    /// Templates rejected for violating shape bounds
+    /// ([`DecoderLimits::max_fields`] / `max_record_bytes`).
+    pub templates_rejected: u64,
+    /// Templates evicted to honor a count cap.
+    pub templates_evicted_cap: u64,
+    /// Templates evicted as unused past the timeout.
+    pub templates_evicted_timeout: u64,
+    /// Template withdrawals honored (IPFIX, RFC 7011 §8.1).
+    pub templates_withdrawn: u64,
+    /// Withdrawals of templates not cached (already evicted or never
+    /// learned) — counted, never fatal.
+    pub withdrawals_unknown: u64,
+    /// Data records/sets dropped for lack of a template or usable
+    /// addresses (`drop_events_without_templates` semantics: counted
+    /// and dropped, never buffered).
+    pub records_skipped: u64,
+}
+
 /// A format-agnostic export-packet decoder: the state (v9 and IPFIX
 /// template caches) for one exporter-facing socket.
 #[derive(Debug, Default)]
 pub struct ExportDecoder {
     v9: netflow9::Decoder,
     ipfix: ipfix::Decoder,
+    records_skipped: u64,
 }
 
 impl ExportDecoder {
-    /// Creates a decoder with empty template caches.
+    /// Creates a decoder with empty template caches and default
+    /// [`DecoderLimits`].
     pub fn new() -> ExportDecoder {
         ExportDecoder::default()
+    }
+
+    /// Creates a decoder whose template caches enforce `limits`.
+    pub fn with_limits(limits: DecoderLimits) -> ExportDecoder {
+        ExportDecoder {
+            v9: netflow9::Decoder::with_limits(limits),
+            ipfix: ipfix::Decoder::with_limits(limits),
+            records_skipped: 0,
+        }
     }
 
     /// Templates currently cached across the stateful dialects.
     pub fn template_count(&self) -> usize {
         self.v9.template_count() + self.ipfix.template_count()
+    }
+
+    /// Hardening counters summed over both template caches. Every
+    /// template a hostile exporter flooded at this decoder is either
+    /// live (`templates`), `templates_rejected`, withdrawn, or in one
+    /// of the two eviction counters — nothing disappears unaccounted.
+    pub fn stats(&self) -> DecoderStats {
+        let v9 = self.v9.template_stats();
+        let ipfix = self.ipfix.template_stats();
+        DecoderStats {
+            templates: self.template_count(),
+            templates_learned: v9.learned + ipfix.learned,
+            templates_rejected: v9.rejected + ipfix.rejected,
+            templates_evicted_cap: v9.evicted_cap + ipfix.evicted_cap,
+            templates_evicted_timeout: v9.evicted_timeout + ipfix.evicted_timeout,
+            templates_withdrawn: v9.withdrawn + ipfix.withdrawn,
+            withdrawals_unknown: v9.withdrawn_unknown + ipfix.withdrawn_unknown,
+            records_skipped: self.records_skipped,
+        }
     }
 }
 
@@ -71,19 +128,34 @@ pub fn decode_export_packet(
     decoder: &mut ExportDecoder,
     payload: &[u8],
 ) -> Result<(ExportFormat, Vec<FlowRecord>), ParseError> {
+    decode_export_packet_at(decoder, payload, 0)
+}
+
+/// Like [`decode_export_packet`], advancing the template caches'
+/// injected clock to `now_ms` first so idle templates age out
+/// ([`DecoderLimits::template_timeout_ms`]). A regressing clock is
+/// clamped; passing 0 leaves time unchanged.
+pub fn decode_export_packet_at(
+    decoder: &mut ExportDecoder,
+    payload: &[u8],
+    now_ms: u64,
+) -> Result<(ExportFormat, Vec<FlowRecord>), ParseError> {
     if payload.len() < 2 {
         return Err(ParseError::Truncated);
     }
     match u16::from_be_bytes([payload[0], payload[1]]) {
         netflow5::VERSION => netflow5::decode(payload).map(|(_, r)| (ExportFormat::NetflowV5, r)),
-        netflow9::VERSION => decoder
-            .v9
-            .decode(payload)
-            .map(|(r, _)| (ExportFormat::NetflowV9, r)),
+        netflow9::VERSION => decoder.v9.decode_at(payload, now_ms).map(|(r, info)| {
+            decoder.records_skipped += info.records_skipped as u64;
+            (ExportFormat::NetflowV9, r)
+        }),
         ipfix::VERSION => decoder
             .ipfix
-            .decode_message(payload)
-            .map(|(r, _)| (ExportFormat::Ipfix, r)),
+            .decode_message_at(payload, now_ms)
+            .map(|(r, info)| {
+                decoder.records_skipped += info.records_skipped as u64;
+                (ExportFormat::Ipfix, r)
+            }),
         _ => Err(ParseError::Unsupported("unknown export version")),
     }
 }

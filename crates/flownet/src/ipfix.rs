@@ -14,9 +14,9 @@
 //!   RFC 7011 §7;
 //! * options template sets (id 3) are skipped gracefully.
 
+use crate::limits::{DecoderLimits, TemplateCache, TemplateCacheStats};
 use crate::record::FlowRecord;
 use crate::ParseError;
-use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 /// IPFIX protocol version.
@@ -181,21 +181,39 @@ fn push_set(body: &mut Vec<u8>, set_id: u16, content: &[u8]) {
     body.extend_from_slice(content);
 }
 
-/// A stateful IPFIX decoder with a template cache.
+/// A stateful IPFIX decoder with a bounded template cache (see
+/// [`crate::limits`]).
 #[derive(Debug, Default)]
 pub struct Decoder {
-    templates: HashMap<(u32, u16), Template>,
+    templates: TemplateCache<Template>,
 }
 
 impl Decoder {
-    /// Creates an empty decoder (no templates known yet).
+    /// Creates an empty decoder with default [`DecoderLimits`].
     pub fn new() -> Decoder {
         Decoder::default()
+    }
+
+    /// Creates an empty decoder enforcing `limits`.
+    pub fn with_limits(limits: DecoderLimits) -> Decoder {
+        Decoder {
+            templates: TemplateCache::new(limits),
+        }
     }
 
     /// Number of cached templates.
     pub fn template_count(&self) -> usize {
         self.templates.len()
+    }
+
+    /// Cached template count for one observation domain.
+    pub fn template_count_for(&self, domain: u32) -> usize {
+        self.templates.domain_len(domain)
+    }
+
+    /// Template-cache limit counters (evictions, withdrawals, ...).
+    pub fn template_stats(&self) -> TemplateCacheStats {
+        self.templates.stats()
     }
 
     /// Decodes one message, learning templates and extracting flow
@@ -205,6 +223,18 @@ impl Decoder {
         &mut self,
         bytes: &[u8],
     ) -> Result<(Vec<FlowRecord>, MessageInfo), ParseError> {
+        self.decode_message_at(bytes, 0)
+    }
+
+    /// Like [`Decoder::decode_message`], advancing the cache's injected
+    /// clock to `now_ms` first (drives template timeout eviction; a
+    /// regressing clock is clamped).
+    pub fn decode_message_at(
+        &mut self,
+        bytes: &[u8],
+        now_ms: u64,
+    ) -> Result<(Vec<FlowRecord>, MessageInfo), ParseError> {
+        self.templates.advance(now_ms);
         if bytes.len() < HEADER_LEN {
             return Err(ParseError::Truncated);
         }
@@ -250,6 +280,7 @@ impl Decoder {
 
     fn learn_templates(&mut self, domain: u32, mut content: &[u8]) -> Result<usize, ParseError> {
         let mut learned = 0;
+        let limits = self.templates.limits();
         // Trailing padding shorter than a template header is legal.
         while content.len() >= 4 {
             let tid = u16::from_be_bytes([content[0], content[1]]);
@@ -258,9 +289,32 @@ impl Decoder {
                 return Err(ParseError::Malformed("template id < 256"));
             }
             if field_count == 0 {
-                // Template withdrawal (RFC 7011 §8.1).
-                self.templates.remove(&(domain, tid));
+                // Template withdrawal (RFC 7011 §8.1). Withdrawing a
+                // template we already evicted (or never had) is
+                // counted by the cache, never an error.
+                self.templates.remove(domain, tid);
                 content = &content[4..];
+                continue;
+            }
+            if limits.max_fields > 0 && field_count > limits.max_fields {
+                // Oversized template: walk its field list (lengths are
+                // self-delimiting) without caching it.
+                let mut off = 4;
+                for _ in 0..field_count {
+                    if content.len() < off + 4 {
+                        return Err(ParseError::Truncated);
+                    }
+                    let raw_id = u16::from_be_bytes([content[off], content[off + 1]]);
+                    off += 4;
+                    if raw_id & 0x8000 != 0 {
+                        if content.len() < off + 4 {
+                            return Err(ParseError::Truncated);
+                        }
+                        off += 4;
+                    }
+                }
+                self.templates.reject();
+                content = &content[off..];
                 continue;
             }
             let mut fields = Vec::with_capacity(field_count);
@@ -291,8 +345,14 @@ impl Decoder {
                     record_len += len as usize;
                 }
             }
+            if limits.max_record_bytes > 0 && record_len > limits.max_record_bytes {
+                self.templates.reject();
+                content = &content[off..];
+                continue;
+            }
             self.templates.insert(
-                (domain, tid),
+                domain,
+                tid,
                 Template {
                     fields,
                     record_len,
@@ -306,14 +366,14 @@ impl Decoder {
     }
 
     fn decode_data_set(
-        &self,
+        &mut self,
         domain: u32,
         tid: u16,
         mut content: &[u8],
         records: &mut Vec<FlowRecord>,
         info: &mut MessageInfo,
     ) {
-        let Some(template) = self.templates.get(&(domain, tid)) else {
+        let Some(template) = self.templates.get(domain, tid) else {
             // Data before its template: count every byte as skipped work.
             info.records_skipped += 1;
             return;

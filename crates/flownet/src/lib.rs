@@ -20,6 +20,9 @@
 //! * [`export`] — a unified [`decode_export_packet`] entry point over
 //!   all three export dialects, holding the template caches the
 //!   stateful ones need.
+//! * [`limits`] — hostile-exporter hardening: [`DecoderLimits`] caps
+//!   (template counts, timeouts, field/record bounds) enforced by a
+//!   bounded LRU [`limits::TemplateCache`] in both stateful dialects.
 //! * [`exporter`] — a router's flow cache: aggregates a packet stream
 //!   into flow records with active/idle timeouts.
 //!
@@ -44,6 +47,7 @@ pub mod exporter;
 pub mod ipfix;
 pub mod ipv4;
 pub mod ipv6;
+pub mod limits;
 pub mod netflow5;
 pub mod netflow9;
 pub mod pcap;
@@ -55,10 +59,13 @@ pub mod udp;
 mod meta;
 
 pub use ethernet::{EtherType, EthernetFrame};
-pub use export::{decode_export_packet, ExportDecoder, ExportFormat};
+pub use export::{
+    decode_export_packet, decode_export_packet_at, DecoderStats, ExportDecoder, ExportFormat,
+};
 pub use exporter::{FlowCache, FlowCacheConfig};
 pub use ipv4::Ipv4Packet;
 pub use ipv6::Ipv6Packet;
+pub use limits::DecoderLimits;
 pub use meta::{parse_ethernet, parse_ip, PacketMeta};
 pub use record::FlowRecord;
 pub use tcp::TcpSegment;

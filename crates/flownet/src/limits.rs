@@ -1,0 +1,389 @@
+//! Decoder hardening: the bounds a public-facing collector must hold
+//! against hostile or broken exporters.
+//!
+//! The template-based dialects (NetFlow v9, IPFIX) are stateful: a
+//! decoder caches every template an exporter announces and keeps it
+//! until withdrawn. An exporter that floods distinct template ids (or
+//! distinct observation domains) therefore grows an unhardened cache
+//! without bound, and a template claiming thousands of fields makes
+//! every data record arbitrarily expensive. [`DecoderLimits`] names
+//! the caps; [`TemplateCache`] enforces them for both dialects:
+//!
+//! * **per-domain and global count caps** — inserting past a cap
+//!   evicts the least-recently-*used* template first (use = a data set
+//!   decoded through it, or a refresh), so an id flood displaces idle
+//!   state, never the template actively carrying records;
+//! * **timeout eviction** — templates unused for
+//!   [`DecoderLimits::template_timeout_ms`] of caller-supplied time
+//!   are dropped, so a vanished exporter's state ages out;
+//! * **withdrawal-safe accounting** — withdrawing a template the cache
+//!   already evicted (or never had) is counted
+//!   ([`TemplateCacheStats::withdrawn_unknown`]) and never corrupts
+//!   the per-domain bookkeeping;
+//! * **shape bounds** — templates over
+//!   [`DecoderLimits::max_fields`] fields or
+//!   [`DecoderLimits::max_record_bytes`] of fixed record width are
+//!   rejected outright (counted, parse continues).
+//!
+//! Time is injected (`advance`), never read from a clock: hostile
+//! input replays deterministically in tests, and the exporter's own
+//! header timestamps — which it controls — are never trusted for
+//! eviction.
+
+use std::collections::HashMap;
+
+/// Hard bounds a hostile exporter cannot push a template cache past.
+/// A field set to 0 disables that bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecoderLimits {
+    /// Max cached templates per observation domain / source id.
+    pub max_templates_per_domain: usize,
+    /// Max cached templates across all domains of one decoder.
+    pub max_templates: usize,
+    /// Evict templates unused for this many ms of injected time.
+    pub template_timeout_ms: u64,
+    /// Max fields one template may declare; beyond it, rejected.
+    pub max_fields: usize,
+    /// Max fixed record width (bytes) one template may span.
+    pub max_record_bytes: usize,
+}
+
+impl Default for DecoderLimits {
+    /// Production-safe defaults: generous for benign exporters (a real
+    /// router announces tens of templates), hard walls for hostile
+    /// ones.
+    fn default() -> DecoderLimits {
+        DecoderLimits {
+            max_templates_per_domain: 256,
+            max_templates: 4_096,
+            template_timeout_ms: 1_800_000,
+            max_fields: 128,
+            max_record_bytes: 4_096,
+        }
+    }
+}
+
+impl DecoderLimits {
+    /// No bounds at all — the pre-hardening behavior, for tools that
+    /// decode trusted captures.
+    pub fn unbounded() -> DecoderLimits {
+        DecoderLimits {
+            max_templates_per_domain: 0,
+            max_templates: 0,
+            template_timeout_ms: 0,
+            max_fields: 0,
+            max_record_bytes: 0,
+        }
+    }
+}
+
+/// What the cache did to stay within its limits (monotonic counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TemplateCacheStats {
+    /// Templates inserted (including refreshes of a cached id).
+    pub learned: u64,
+    /// Templates rejected for violating shape bounds.
+    pub rejected: u64,
+    /// Templates evicted to honor a count cap.
+    pub evicted_cap: u64,
+    /// Templates evicted as unused past the timeout.
+    pub evicted_timeout: u64,
+    /// Withdrawals of a cached template (honored).
+    pub withdrawn: u64,
+    /// Withdrawals of a template not cached — already evicted,
+    /// already withdrawn, or never learned. Counted, never fatal.
+    pub withdrawn_unknown: u64,
+}
+
+impl TemplateCacheStats {
+    /// Every eviction, regardless of reason.
+    pub fn evicted(&self) -> u64 {
+        self.evicted_cap + self.evicted_timeout
+    }
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    value: T,
+    /// Logical LRU clock (bumped on every touch).
+    used_tick: u64,
+    /// Injected time of the last touch (for timeout eviction).
+    used_ms: u64,
+}
+
+/// A bounded, evicting template cache keyed by
+/// `(observation domain, template id)` — see the module docs.
+#[derive(Debug)]
+pub struct TemplateCache<T> {
+    limits: DecoderLimits,
+    map: HashMap<(u32, u16), Entry<T>>,
+    /// Live entries per domain (kept exact across evictions and
+    /// withdrawals — the "withdrawal-safe accounting").
+    per_domain: HashMap<u32, usize>,
+    tick: u64,
+    now_ms: u64,
+    last_sweep_ms: u64,
+    stats: TemplateCacheStats,
+}
+
+impl<T> Default for TemplateCache<T> {
+    fn default() -> TemplateCache<T> {
+        TemplateCache::new(DecoderLimits::default())
+    }
+}
+
+impl<T> TemplateCache<T> {
+    /// An empty cache honoring `limits`.
+    pub fn new(limits: DecoderLimits) -> TemplateCache<T> {
+        TemplateCache {
+            limits,
+            map: HashMap::new(),
+            per_domain: HashMap::new(),
+            tick: 0,
+            now_ms: 0,
+            last_sweep_ms: 0,
+            stats: TemplateCacheStats::default(),
+        }
+    }
+
+    /// The limits this cache enforces.
+    pub fn limits(&self) -> DecoderLimits {
+        self.limits
+    }
+
+    /// Advances injected time (monotonic: a regressing caller clock is
+    /// clamped) and sweeps timed-out entries. Sweeps are amortized to
+    /// every quarter-timeout so a packet flood does not pay a full
+    /// scan per packet.
+    pub fn advance(&mut self, now_ms: u64) {
+        if now_ms <= self.now_ms {
+            return;
+        }
+        self.now_ms = now_ms;
+        let timeout = self.limits.template_timeout_ms;
+        if timeout == 0 {
+            return;
+        }
+        if self.now_ms - self.last_sweep_ms < (timeout / 4).max(1) {
+            return;
+        }
+        self.last_sweep_ms = self.now_ms;
+        let cutoff = self.now_ms.saturating_sub(timeout);
+        let dead: Vec<(u32, u16)> = self
+            .map
+            .iter()
+            .filter(|(_, e)| e.used_ms < cutoff)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in dead {
+            self.evict(key);
+            self.stats.evicted_timeout += 1;
+        }
+    }
+
+    /// The injected time the cache currently holds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Looks a template up, marking it used (LRU + timeout).
+    pub fn get(&mut self, domain: u32, tid: u16) -> Option<&T> {
+        self.tick += 1;
+        let (tick, now) = (self.tick, self.now_ms);
+        self.map.get_mut(&(domain, tid)).map(|e| {
+            e.used_tick = tick;
+            e.used_ms = now;
+            &e.value
+        })
+    }
+
+    /// Inserts (or refreshes) a template, evicting LRU entries as the
+    /// caps require. Shape bounds are the caller's to check (it knows
+    /// the field layout) — see [`TemplateCache::reject`].
+    pub fn insert(&mut self, domain: u32, tid: u16, value: T) {
+        self.tick += 1;
+        self.stats.learned += 1;
+        let entry = Entry {
+            value,
+            used_tick: self.tick,
+            used_ms: self.now_ms,
+        };
+        if let Some(slot) = self.map.get_mut(&(domain, tid)) {
+            *slot = entry; // refresh: no count change
+            return;
+        }
+        let per = self.limits.max_templates_per_domain;
+        if per > 0 && self.per_domain.get(&domain).copied().unwrap_or(0) >= per {
+            if let Some(key) = self.lru_key(Some(domain)) {
+                self.evict(key);
+                self.stats.evicted_cap += 1;
+            }
+        }
+        let global = self.limits.max_templates;
+        if global > 0 && self.map.len() >= global {
+            if let Some(key) = self.lru_key(None) {
+                self.evict(key);
+                self.stats.evicted_cap += 1;
+            }
+        }
+        self.map.insert((domain, tid), entry);
+        *self.per_domain.entry(domain).or_insert(0) += 1;
+    }
+
+    /// Records a template rejected for violating shape bounds.
+    pub fn reject(&mut self) {
+        self.stats.rejected += 1;
+    }
+
+    /// Withdraws a template. Returns whether it was cached; a miss
+    /// (already evicted or never learned) is counted, never an error.
+    pub fn remove(&mut self, domain: u32, tid: u16) -> bool {
+        if self.map.remove(&(domain, tid)).is_some() {
+            self.drop_domain_count(domain);
+            self.stats.withdrawn += 1;
+            true
+        } else {
+            self.stats.withdrawn_unknown += 1;
+            false
+        }
+    }
+
+    /// Cached templates across all domains.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cached templates of one domain.
+    pub fn domain_len(&self, domain: u32) -> usize {
+        self.per_domain.get(&domain).copied().unwrap_or(0)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> TemplateCacheStats {
+        self.stats
+    }
+
+    /// Least-recently-used key, within `domain` or globally. O(n) —
+    /// only reached when a cap is already hit, and n is bounded by
+    /// that same cap.
+    fn lru_key(&self, domain: Option<u32>) -> Option<(u32, u16)> {
+        self.map
+            .iter()
+            .filter(|((d, _), _)| domain.is_none_or(|want| *d == want))
+            .min_by_key(|(_, e)| e.used_tick)
+            .map(|(k, _)| *k)
+    }
+
+    fn evict(&mut self, key: (u32, u16)) {
+        if self.map.remove(&key).is_some() {
+            self.drop_domain_count(key.0);
+        }
+    }
+
+    fn drop_domain_count(&mut self, domain: u32) {
+        if let Some(n) = self.per_domain.get_mut(&domain) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.per_domain.remove(&domain);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(per: usize, global: usize, timeout: u64) -> TemplateCache<u32> {
+        TemplateCache::new(DecoderLimits {
+            max_templates_per_domain: per,
+            max_templates: global,
+            template_timeout_ms: timeout,
+            max_fields: 0,
+            max_record_bytes: 0,
+        })
+    }
+
+    #[test]
+    fn per_domain_cap_evicts_least_recently_used() {
+        let mut c = cache(2, 0, 0);
+        c.insert(1, 256, 0);
+        c.insert(1, 257, 1);
+        assert_eq!(c.get(1, 256), Some(&0)); // 256 is now fresher
+        c.insert(1, 258, 2); // cap: 257 (LRU) goes
+        assert_eq!(c.domain_len(1), 2);
+        assert!(c.get(1, 257).is_none());
+        assert_eq!(c.get(1, 256), Some(&0));
+        assert_eq!(c.stats().evicted_cap, 1);
+    }
+
+    #[test]
+    fn global_cap_holds_across_domains() {
+        let mut c = cache(0, 3, 0);
+        for d in 0..5u32 {
+            c.insert(d, 256, d);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().evicted_cap, 2);
+        // The survivors are the most recent three.
+        assert!(c.get(0, 256).is_none() && c.get(1, 256).is_none());
+        assert!(c.get(4, 256).is_some());
+    }
+
+    #[test]
+    fn refresh_does_not_double_count() {
+        let mut c = cache(2, 0, 0);
+        c.insert(7, 300, 1);
+        c.insert(7, 300, 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.domain_len(7), 1);
+        assert_eq!(c.get(7, 300), Some(&2));
+        assert_eq!(c.stats().learned, 2);
+        assert_eq!(c.stats().evicted_cap, 0);
+    }
+
+    #[test]
+    fn timeout_evicts_only_idle_entries() {
+        let mut c = cache(0, 0, 100);
+        c.insert(1, 256, 0);
+        c.insert(1, 257, 1);
+        c.advance(90);
+        assert!(c.get(1, 257).is_some()); // touched at 90
+        c.advance(160); // 256 idle since 0 → out; 257 idle 70ms → stays
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evicted_timeout, 1);
+        assert!(c.get(1, 256).is_none());
+    }
+
+    #[test]
+    fn time_never_regresses() {
+        let mut c = cache(0, 0, 100);
+        c.advance(500);
+        c.insert(1, 256, 0);
+        c.advance(10); // hostile header clock going backwards
+        assert_eq!(c.now_ms(), 500);
+        assert!(c.get(1, 256).is_some());
+    }
+
+    #[test]
+    fn withdrawal_of_missing_template_is_counted_not_corrupting() {
+        let mut c = cache(1, 0, 0);
+        c.insert(1, 256, 0);
+        c.insert(1, 257, 1); // evicts 256 by cap
+        assert!(!c.remove(1, 256), "already evicted");
+        assert!(c.remove(1, 257));
+        assert!(!c.remove(1, 257), "double withdrawal");
+        assert_eq!(c.stats().withdrawn, 1);
+        assert_eq!(c.stats().withdrawn_unknown, 2);
+        assert_eq!(c.domain_len(1), 0);
+        assert_eq!(c.len(), 0);
+        // The accounting still admits new inserts up to the cap.
+        c.insert(1, 300, 9);
+        assert_eq!(c.domain_len(1), 1);
+    }
+}

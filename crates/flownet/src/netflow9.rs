@@ -8,9 +8,9 @@
 //! IPFIX information elements, so the record decoding logic is shared
 //! in spirit with [`crate::ipfix`] but implemented against v9 framing.
 
+use crate::limits::{DecoderLimits, TemplateCache, TemplateCacheStats};
 use crate::record::FlowRecord;
 use crate::ParseError;
-use std::collections::HashMap;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
 
 /// NetFlow v9 version number.
@@ -145,16 +145,24 @@ fn push_set(body: &mut Vec<u8>, id: u16, content: &[u8]) {
     body.extend(std::iter::repeat_n(0u8, pad));
 }
 
-/// Stateful v9 decoder with a per-source template cache.
+/// Stateful v9 decoder with a bounded per-source template cache (see
+/// [`crate::limits`]).
 #[derive(Debug, Default)]
 pub struct Decoder {
-    templates: HashMap<(u32, u16), Template>,
+    templates: TemplateCache<Template>,
 }
 
 impl Decoder {
-    /// Creates an empty decoder.
+    /// Creates an empty decoder with default [`DecoderLimits`].
     pub fn new() -> Decoder {
         Decoder::default()
+    }
+
+    /// Creates an empty decoder enforcing `limits`.
+    pub fn with_limits(limits: DecoderLimits) -> Decoder {
+        Decoder {
+            templates: TemplateCache::new(limits),
+        }
     }
 
     /// Cached template count.
@@ -162,8 +170,30 @@ impl Decoder {
         self.templates.len()
     }
 
+    /// Cached template count for one source id.
+    pub fn template_count_for(&self, source: u32) -> usize {
+        self.templates.domain_len(source)
+    }
+
+    /// Template-cache limit counters (evictions, rejections, ...).
+    pub fn template_stats(&self) -> TemplateCacheStats {
+        self.templates.stats()
+    }
+
     /// Decodes one packet into records plus packet info.
     pub fn decode(&mut self, bytes: &[u8]) -> Result<(Vec<FlowRecord>, PacketInfo), ParseError> {
+        self.decode_at(bytes, 0)
+    }
+
+    /// Like [`Decoder::decode`], advancing the cache's injected clock
+    /// to `now_ms` first (drives template timeout eviction; a
+    /// regressing clock is clamped).
+    pub fn decode_at(
+        &mut self,
+        bytes: &[u8],
+        now_ms: u64,
+    ) -> Result<(Vec<FlowRecord>, PacketInfo), ParseError> {
+        self.templates.advance(now_ms);
         if bytes.len() < HEADER_LEN {
             return Err(ParseError::Truncated);
         }
@@ -212,6 +242,7 @@ impl Decoder {
 
     fn learn(&mut self, source: u32, mut content: &[u8]) -> Result<usize, ParseError> {
         let mut learned = 0;
+        let limits = self.templates.limits();
         while content.len() >= 4 {
             let tid = u16::from_be_bytes([content[0], content[1]]);
             let count = u16::from_be_bytes([content[2], content[3]]) as usize;
@@ -225,6 +256,13 @@ impl Decoder {
             if content.len() < 4 + count * 4 {
                 return Err(ParseError::Truncated);
             }
+            if limits.max_fields > 0 && count > limits.max_fields {
+                // Oversized template: reject it, keep parsing — the
+                // field list is length-delimited so we can step over.
+                self.templates.reject();
+                content = &content[4 + count * 4..];
+                continue;
+            }
             let mut fields = Vec::with_capacity(count);
             let mut record_len = 0usize;
             for i in 0..count {
@@ -237,8 +275,13 @@ impl Decoder {
             if record_len == 0 {
                 return Err(ParseError::Malformed("empty template record"));
             }
+            if limits.max_record_bytes > 0 && record_len > limits.max_record_bytes {
+                self.templates.reject();
+                content = &content[4 + count * 4..];
+                continue;
+            }
             self.templates
-                .insert((source, tid), Template { fields, record_len });
+                .insert(source, tid, Template { fields, record_len });
             learned += 1;
             content = &content[4 + count * 4..];
         }
@@ -247,7 +290,7 @@ impl Decoder {
 
     #[allow(clippy::too_many_arguments)]
     fn decode_data(
-        &self,
+        &mut self,
         source: u32,
         tid: u16,
         mut content: &[u8],
@@ -256,7 +299,7 @@ impl Decoder {
         records: &mut Vec<FlowRecord>,
         info: &mut PacketInfo,
     ) {
-        let Some(template) = self.templates.get(&(source, tid)) else {
+        let Some(template) = self.templates.get(source, tid) else {
             info.records_skipped += 1;
             return;
         };

@@ -1,0 +1,275 @@
+//! Hostile-exporter hardening at the decoder layer: bounded template
+//! caches under floods, eviction/withdrawal edges (RFC 7011 §8.1),
+//! timeout eviction, and conservation of the template accounting.
+
+use flownet::export::{decode_export_packet_at, ExportDecoder};
+use flownet::{ipfix, netflow9, DecoderLimits};
+
+/// Builds an IPFIX message with the given raw sets for `domain`.
+fn ipfix_msg(domain: u32, sets: &[(u16, Vec<u8>)]) -> Vec<u8> {
+    let mut body = Vec::new();
+    for (id, content) in sets {
+        body.extend_from_slice(&id.to_be_bytes());
+        body.extend_from_slice(&((content.len() + 4) as u16).to_be_bytes());
+        body.extend_from_slice(content);
+    }
+    let mut msg = Vec::new();
+    msg.extend_from_slice(&ipfix::VERSION.to_be_bytes());
+    msg.extend_from_slice(&((ipfix::HEADER_LEN + body.len()) as u16).to_be_bytes());
+    msg.extend_from_slice(&0u32.to_be_bytes()); // export time
+    msg.extend_from_slice(&0u32.to_be_bytes()); // sequence
+    msg.extend_from_slice(&domain.to_be_bytes());
+    msg.extend_from_slice(&body);
+    msg
+}
+
+/// Template-set content: one template record.
+fn tpl(tid: u16, fields: &[(u16, u16)]) -> Vec<u8> {
+    let mut t = Vec::new();
+    t.extend_from_slice(&tid.to_be_bytes());
+    t.extend_from_slice(&(fields.len() as u16).to_be_bytes());
+    for (id, len) in fields {
+        t.extend_from_slice(&id.to_be_bytes());
+        t.extend_from_slice(&len.to_be_bytes());
+    }
+    t
+}
+
+/// Template-withdrawal content (field count 0, RFC 7011 §8.1).
+fn withdrawal(tid: u16) -> Vec<u8> {
+    let mut t = Vec::new();
+    t.extend_from_slice(&tid.to_be_bytes());
+    t.extend_from_slice(&0u16.to_be_bytes());
+    t
+}
+
+/// An src/dst-only template: 8-byte records any tid can carry.
+const ADDR_FIELDS: &[(u16, u16)] = &[
+    (ipfix::ie::SOURCE_IPV4_ADDRESS, 4),
+    (ipfix::ie::DESTINATION_IPV4_ADDRESS, 4),
+];
+
+fn addr_record(i: u8) -> Vec<u8> {
+    vec![10, 0, 0, i, 192, 0, 2, i]
+}
+
+/// Builds a v9 packet with the given raw flowsets for `source`.
+fn v9_pkt(source: u32, sets: &[(u16, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&netflow9::VERSION.to_be_bytes());
+    out.extend_from_slice(&0u16.to_be_bytes()); // record count (unused)
+    out.extend_from_slice(&0u32.to_be_bytes()); // sysuptime
+    out.extend_from_slice(&0u32.to_be_bytes()); // unix secs
+    out.extend_from_slice(&0u32.to_be_bytes()); // sequence
+    out.extend_from_slice(&source.to_be_bytes());
+    for (id, content) in sets {
+        out.extend_from_slice(&id.to_be_bytes());
+        out.extend_from_slice(&((content.len() + 4) as u16).to_be_bytes());
+        out.extend_from_slice(content);
+    }
+    out
+}
+
+fn tight(per: usize, global: usize, timeout_ms: u64) -> DecoderLimits {
+    DecoderLimits {
+        max_templates_per_domain: per,
+        max_templates: global,
+        template_timeout_ms: timeout_ms,
+        max_fields: 8,
+        max_record_bytes: 256,
+    }
+}
+
+#[test]
+fn withdrawal_of_an_already_evicted_template_is_counted_not_fatal() {
+    let mut dec = ipfix::Decoder::with_limits(tight(1, 0, 0));
+    dec.decode_message(&ipfix_msg(7, &[(2, tpl(256, ADDR_FIELDS))]))
+        .unwrap();
+    // Learning 257 evicts 256 (per-domain cap 1).
+    dec.decode_message(&ipfix_msg(7, &[(2, tpl(257, ADDR_FIELDS))]))
+        .unwrap();
+    assert_eq!(dec.template_count(), 1);
+    assert_eq!(dec.template_stats().evicted_cap, 1);
+    // The exporter withdraws 256 — which the cache already dropped.
+    dec.decode_message(&ipfix_msg(7, &[(2, withdrawal(256))]))
+        .unwrap();
+    let stats = dec.template_stats();
+    assert_eq!(stats.withdrawn_unknown, 1);
+    assert_eq!(stats.withdrawn, 0);
+    // The honored withdrawal still works and the accounting stays
+    // exact: the domain can learn fresh templates up to its cap.
+    dec.decode_message(&ipfix_msg(7, &[(2, withdrawal(257))]))
+        .unwrap();
+    assert_eq!(dec.template_stats().withdrawn, 1);
+    assert_eq!(dec.template_count(), 0);
+    dec.decode_message(&ipfix_msg(7, &[(2, tpl(300, ADDR_FIELDS))]))
+        .unwrap();
+    assert_eq!(dec.template_count_for(7), 1);
+}
+
+#[test]
+fn cap_eviction_racing_a_data_set_in_the_same_message() {
+    let mut dec = ipfix::Decoder::with_limits(tight(1, 0, 0));
+    // One message: learn 256, learn 257 (evicting 256 by cap), then a
+    // data set still referencing 256 — its records must be dropped and
+    // counted, while 257's data set in the same message decodes.
+    let msg = ipfix_msg(
+        9,
+        &[
+            (2, tpl(256, ADDR_FIELDS)),
+            (2, tpl(257, ADDR_FIELDS)),
+            (256, addr_record(1)),
+            (257, addr_record(2)),
+        ],
+    );
+    let (records, info) = dec.decode_message(&msg).unwrap();
+    assert_eq!(records.len(), 1, "only 257's record survives");
+    assert_eq!(
+        records[0].src,
+        "10.0.0.2".parse::<std::net::IpAddr>().unwrap()
+    );
+    assert_eq!(info.records_skipped, 1, "256's data set counted as dropped");
+    assert_eq!(dec.template_stats().evicted_cap, 1);
+}
+
+#[test]
+fn timeout_eviction_then_relearn_resumes_decode_ipfix() {
+    let mut dec = ipfix::Decoder::with_limits(tight(0, 0, 1_000));
+    let learn = ipfix_msg(3, &[(2, tpl(256, ADDR_FIELDS))]);
+    let data = ipfix_msg(3, &[(256, addr_record(5))]);
+    dec.decode_message_at(&learn, 1_000).unwrap();
+    let (records, _) = dec.decode_message_at(&data, 1_200).unwrap();
+    assert_eq!(records.len(), 1);
+    // Idle past the timeout: the template ages out before the data
+    // set in this very message is reached.
+    let (records, info) = dec.decode_message_at(&data, 5_000).unwrap();
+    assert!(records.is_empty());
+    assert_eq!(info.records_skipped, 1);
+    assert_eq!(dec.template_stats().evicted_timeout, 1);
+    // Re-learning the template resumes decode.
+    dec.decode_message_at(&learn, 5_000).unwrap();
+    let (records, _) = dec.decode_message_at(&data, 5_001).unwrap();
+    assert_eq!(records.len(), 1);
+}
+
+#[test]
+fn timeout_eviction_then_relearn_resumes_decode_v9() {
+    let v9_fields: &[(u16, u16)] = &[
+        (netflow9::field::IPV4_SRC_ADDR, 4),
+        (netflow9::field::IPV4_DST_ADDR, 4),
+    ];
+    let mut dec = netflow9::Decoder::with_limits(tight(0, 0, 1_000));
+    let learn = v9_pkt(3, &[(0, tpl(300, v9_fields))]);
+    let data = v9_pkt(3, &[(300, addr_record(6))]);
+    dec.decode_at(&learn, 1_000).unwrap();
+    let (records, _) = dec.decode_at(&data, 1_200).unwrap();
+    assert_eq!(records.len(), 1);
+    let (records, info) = dec.decode_at(&data, 5_000).unwrap();
+    assert!(records.is_empty());
+    assert_eq!(info.records_skipped, 1);
+    assert_eq!(dec.template_stats().evicted_timeout, 1);
+    dec.decode_at(&learn, 5_000).unwrap();
+    let (records, _) = dec.decode_at(&data, 5_001).unwrap();
+    assert_eq!(records.len(), 1);
+}
+
+#[test]
+fn oversized_templates_are_rejected_and_parsing_continues() {
+    // v9: a 9-field template when max_fields is 8 is rejected; the
+    // next template in the same flowset still learns.
+    let wide: Vec<(u16, u16)> = (0..9).map(|i| (100 + i as u16, 4)).collect();
+    let mut content = tpl(300, &wide);
+    content.extend_from_slice(&tpl(
+        301,
+        &[
+            (netflow9::field::IPV4_SRC_ADDR, 4),
+            (netflow9::field::IPV4_DST_ADDR, 4),
+        ],
+    ));
+    let mut dec = netflow9::Decoder::with_limits(tight(0, 0, 0));
+    let (_, info) = dec.decode(&v9_pkt(1, &[(0, content)])).unwrap();
+    assert_eq!(info.templates_learned, 1);
+    assert_eq!(dec.template_stats().rejected, 1);
+    assert_eq!(dec.template_count(), 1);
+
+    // IPFIX: a template spanning more than max_record_bytes is
+    // rejected the same way.
+    let fat: &[(u16, u16)] = &[(100, 200), (101, 200)]; // 400 > 256
+    let mut dec = ipfix::Decoder::with_limits(tight(0, 0, 0));
+    let mut content = tpl(256, fat);
+    content.extend_from_slice(&tpl(257, ADDR_FIELDS));
+    let (_, info) = dec.decode_message(&ipfix_msg(1, &[(2, content)])).unwrap();
+    assert_eq!(info.templates_learned, 1);
+    assert_eq!(dec.template_stats().rejected, 1);
+    assert_eq!(dec.template_count(), 1);
+}
+
+#[test]
+fn template_flood_cannot_grow_past_caps_and_is_fully_accounted() {
+    let mut dec = ExportDecoder::with_limits(DecoderLimits {
+        max_templates_per_domain: 4,
+        max_templates: 16,
+        template_timeout_ms: 0,
+        max_fields: 8,
+        max_record_bytes: 256,
+    });
+    // Flood distinct (domain, tid) pairs across both stateful
+    // dialects — far more than the caps allow.
+    for domain in 0..10u32 {
+        for tid in 0..20u16 {
+            let msg = ipfix_msg(domain, &[(2, tpl(256 + tid, ADDR_FIELDS))]);
+            decode_export_packet_at(&mut dec, &msg, 0).unwrap();
+            let pkt = v9_pkt(domain, &[(0, tpl(256 + tid, ADDR_FIELDS))]);
+            decode_export_packet_at(&mut dec, &pkt, 0).unwrap();
+            assert!(dec.template_count() <= 32, "16 per dialect cache");
+        }
+    }
+    let stats = dec.stats();
+    // Conservation: every distinct template learned is either still
+    // live or in exactly one drop counter (no tid was refreshed, so
+    // learned counts distinct inserts; nothing was withdrawn).
+    assert_eq!(stats.templates_learned, 400);
+    assert_eq!(
+        stats.templates_learned,
+        stats.templates as u64 + stats.templates_evicted_cap + stats.templates_evicted_timeout,
+    );
+    assert_eq!(stats.templates_rejected, 0);
+}
+
+#[test]
+fn seeded_mutation_fuzz_never_panics_with_tight_limits() {
+    // Deterministic splitmix64 mutations over valid v9/IPFIX packets,
+    // decoded with tight limits and advancing time: no panic, cache
+    // never exceeds the caps.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut dec = ExportDecoder::with_limits(DecoderLimits {
+        max_templates_per_domain: 2,
+        max_templates: 8,
+        template_timeout_ms: 500,
+        max_fields: 4,
+        max_record_bytes: 64,
+    });
+    let seeds = [
+        ipfix_msg(5, &[(2, tpl(256, ADDR_FIELDS)), (256, addr_record(1))]),
+        v9_pkt(5, &[(0, tpl(300, ADDR_FIELDS)), (300, addr_record(2))]),
+    ];
+    for round in 0..4_000u64 {
+        let mut pkt = seeds[(next() % 2) as usize].clone();
+        for _ in 0..(next() % 4) {
+            let i = (next() as usize) % pkt.len();
+            pkt[i] ^= next() as u8;
+        }
+        if next() % 5 == 0 {
+            pkt.truncate((next() as usize) % (pkt.len() + 1));
+        }
+        let _ = decode_export_packet_at(&mut dec, &pkt, round * 7);
+        assert!(dec.template_count() <= 16, "caps hold under mutation");
+    }
+}

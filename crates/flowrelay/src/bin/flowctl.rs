@@ -198,6 +198,9 @@ impl ThreadFleet {
             cfg.window_ms = s.window_ms;
             cfg.budget = s.budget;
             cfg.batch = s.batch;
+            cfg.receive_buffer_bytes = s.receive_buffer_bytes;
+            cfg.admission = s.admission;
+            cfg.max_open_windows = s.max_open_windows;
             let rt = SiteRuntime::start(cfg).map_err(|e| format!("site {}: {e}", s.site))?;
             println!(
                 "flowctl: site {} listen={} stats={}",
@@ -548,6 +551,9 @@ fn run_spawned(spec: &FleetSpec, args: &Args, deadline: Duration) {
         cfg.window_ms = s.window_ms;
         cfg.budget = s.budget;
         cfg.batch = s.batch;
+        cfg.receive_buffer_bytes = s.receive_buffer_bytes;
+        cfg.admission = s.admission;
+        cfg.max_open_windows = s.max_open_windows;
         let rt =
             SiteRuntime::start(cfg).unwrap_or_else(|e| fail(format_args!("site {}: {e}", s.site)));
         println!("flowctl: site {} listen={}", s.site, rt.ingest_addr());
@@ -834,13 +840,102 @@ fn smoke(spec: &FleetSpec, records_per_site: usize, deadline: Duration) {
         fail(format_args!("reload did not apply: {body}"));
     }
 
+    // Hostile phase: garbage and template-less data at the first site
+    // must be counted and dropped — never crash a node or skew the
+    // datagram accounting identity — and the site's admission knobs
+    // must reload live.
+    let hostile_site = &fleet.sites[0];
+    let site_stats_addr = hostile_site
+        .stats_addr()
+        .unwrap_or_else(|| fail("smoke needs a stats endpoint on site 0"))
+        .to_string();
+    let before = ops_request(&site_stats_addr, "GET", "/stats", "")
+        .unwrap_or_else(|e| fail(format_args!("site stats: {e}")))
+        .1;
+    let decode_errors_before = stat_field(&before, "decode_errors").unwrap_or(0);
+    let no_template_before = stat_field(&before, "records_no_template").unwrap_or(0);
+    // (a) Pure garbage — a decode error.
+    sender
+        .send_to(
+            b"not netflow at all, not even close",
+            hostile_site.ingest_addr(),
+        )
+        .unwrap_or_else(|e| fail(format_args!("hostile send: {e}")));
+    // (b) A well-formed v9 packet whose data flowset names a template
+    // that was never announced — records counted as template-less and
+    // dropped, never buffered.
+    let mut v9 = Vec::new();
+    v9.extend_from_slice(&9u16.to_be_bytes()); // version
+    v9.extend_from_slice(&1u16.to_be_bytes()); // count
+    v9.extend_from_slice(&0u32.to_be_bytes()); // sysuptime
+    v9.extend_from_slice(&((now_ms / 1_000) as u32).to_be_bytes());
+    v9.extend_from_slice(&1u32.to_be_bytes()); // sequence
+    v9.extend_from_slice(&0u32.to_be_bytes()); // source id
+    v9.extend_from_slice(&999u16.to_be_bytes()); // unknown template id
+    v9.extend_from_slice(&12u16.to_be_bytes()); // flowset length
+    v9.extend_from_slice(&[0xAB; 8]); // 8 opaque payload bytes
+    sender
+        .send_to(&v9, hostile_site.ingest_addr())
+        .unwrap_or_else(|e| fail(format_args!("hostile send: {e}")));
+    let wait_until = Instant::now() + Duration::from_secs(30);
+    let site_body = loop {
+        let (_, body) = ops_request(&site_stats_addr, "GET", "/stats", "")
+            .unwrap_or_else(|e| fail(format_args!("site stats: {e}")));
+        if stat_field(&body, "decode_errors").unwrap_or(0) > decode_errors_before
+            && stat_field(&body, "records_no_template").unwrap_or(0) > no_template_before
+        {
+            break body;
+        }
+        if Instant::now() > wait_until {
+            fail(format_args!(
+                "hostile drops never surfaced in site stats:\n{body}"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    // The site must still be healthy, and every datagram it received
+    // must sit in exactly one counter.
+    let (status, body) = ops_request(&site_stats_addr, "GET", "/health", "")
+        .unwrap_or_else(|e| fail(format_args!("site health after hostility: {e}")));
+    if status != 200 || !body.contains("ok true") {
+        fail(format_args!("site unhealthy after hostile traffic: {body}"));
+    }
+    let datagrams = stat_field(&site_body, "datagrams").unwrap_or(0);
+    let accounted = stat_field(&site_body, "packets").unwrap_or(0)
+        + stat_field(&site_body, "decode_errors").unwrap_or(0)
+        + stat_field(&site_body, "quota_packet_drops").unwrap_or(0);
+    if datagrams != accounted {
+        fail(format_args!(
+            "datagram accounting identity broken: {datagrams} received, {accounted} accounted:\n{site_body}"
+        ));
+    }
+    // Site knobs reload live (all-or-nothing grammar, like relays).
+    let (status, body) = ops_request(&site_stats_addr, "POST", "/reload", "packet-rate=5000\n")
+        .unwrap_or_else(|e| fail(format_args!("site reload: {e}")));
+    if status != 200 {
+        fail(format_args!("site reload returned {status}: {body}"));
+    }
+    let (_, body) = ops_request(&site_stats_addr, "GET", "/stats", "")
+        .unwrap_or_else(|e| fail(format_args!("site stats after reload: {e}")));
+    if stat_field(&body, "knob_packet_rate") != Some(5_000) {
+        fail(format_args!("site reload did not apply: {body}"));
+    }
+    let (status, body) = ops_request(&site_stats_addr, "POST", "/reload", "bogus-knob=1\n")
+        .unwrap_or_else(|e| fail(format_args!("site reload: {e}")));
+    if status == 200 {
+        fail(format_args!("unknown reload key was accepted: {body}"));
+    }
+
+    let hostile_decode_errors = stat_field(&site_body, "decode_errors").unwrap_or(0);
+    let hostile_no_template = stat_field(&site_body, "records_no_template").unwrap_or(0);
     let relays = fleet.relays.len();
     let sites = fleet.sites.len();
     fleet.drain(deadline);
     println!(
         "flowctl smoke: ok — relays={relays} sites={sites} records={sent} \
          root_frames={root_frames} stats_endpoints={endpoints} reload=applied \
-         {route} elapsed_ms={}",
+         hostile=accounted decode_errors={hostile_decode_errors} \
+         records_no_template={hostile_no_template} {route} elapsed_ms={}",
         t0.elapsed().as_millis()
     );
 }

@@ -290,7 +290,7 @@ impl ExportShipper {
         self.stats.enqueued += 1;
         let m = meta_of(summary);
         let seq = self.spill.next_seq();
-        let shed = self.spill.push(bytes).unwrap_or_default();
+        let shed = self.spill.push(bytes);
         self.meta.insert(seq, m);
         let mut rewind: Vec<u64> = Vec::new();
         for rec in &shed {
@@ -437,7 +437,7 @@ impl ExportShipper {
             let release = self.spill.next_seq();
             self.stats.legacy_released += self.meta.len() as u64;
             self.meta.clear();
-            let _ = self.spill.ack_through(release);
+            self.spill.ack_through(release);
         }
         true
     }
@@ -533,7 +533,7 @@ impl ExportShipper {
             .next()
             .copied()
             .unwrap_or_else(|| self.spill.next_seq());
-        let _ = self.spill.ack_through(floor);
+        self.spill.ack_through(floor);
         released
     }
 
@@ -674,6 +674,53 @@ mod tests {
             tree: Config::with_budget(1 << 20),
             export: Default::default(),
         }))
+    }
+
+    #[test]
+    fn spill_io_error_degrades_shipper_to_memory_not_poison() {
+        // A state dir the *second* segment write must fail in: with a
+        // 1-byte segment budget every push rotates, and the rotation
+        // target `spill-…1.seg` is pre-created as a *directory* —
+        // EISDIR even for root, which ignores read-only mode bits.
+        let dir = std::env::temp_dir().join(format!("flowrelay-degrade-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ShipperConfig {
+            upstream: "127.0.0.1:1".into(),
+            handshake_ms: 10,
+            stall_ms: 10_000,
+            tree: Config::with_budget(1 << 20),
+            backoff: BackoffConfig::default(),
+        };
+        let spill_cfg = SpillConfig {
+            segment_bytes: 1,
+            ..SpillConfig::default()
+        };
+        let spill = SpillQueue::open(&dir, spill_cfg).unwrap();
+        std::fs::create_dir_all(dir.join(format!("spill-{:020}.seg", 1))).unwrap();
+        let mut s = ExportShipper::new(cfg, spill, 1);
+        assert!(s.enqueue(&export(0, 1)).is_empty());
+        assert_eq!(s.spill_stats().io_errors, 0, "first segment is healthy");
+        // The second enqueue survives the write failure: the frame
+        // pends in memory, the event is counted once, and later
+        // enqueues and acks proceed as if configured memory-only.
+        assert!(s.enqueue(&export(1, 1)).is_empty());
+        assert_eq!(s.spill_stats().io_errors, 1);
+        assert_eq!(s.pending_len(), 2);
+        assert!(s.enqueue(&export(2, 1)).is_empty());
+        assert_eq!(s.spill_stats().io_errors, 1, "degrade counted once");
+        assert_eq!(s.pending_len(), 3);
+        let relay = relay_mutex();
+        s.handle_ack(
+            SlotPos {
+                window_start_ms: 0,
+                span_ms: 1_000,
+                exporter: 100,
+                epoch: 1,
+            },
+            &relay,
+        );
+        assert_eq!(s.pending_len(), 2, "the window-0 frame released");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -943,6 +943,7 @@ fn relay_ops(
                 line("spill_acked_floor", s.acked_frames.to_string());
                 line("spill_recovered_frames", s.recovered_frames.to_string());
                 line("spill_torn_bytes", s.torn_bytes.to_string());
+                line("spill_io_errors", s.io_errors.to_string());
             }
             OpsResponse::ok(body)
         }

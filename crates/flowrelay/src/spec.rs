@@ -26,7 +26,11 @@
 //! ```
 //!
 //! Recognised keys — `[site N]`: `listen`, `upstream` (required),
-//! `stats`, `window-ms`, `batch`, `budget`. `[relay NAME]`:
+//! `stats`, `window-ms`, `batch`, `budget`, plus the ingest-hardening
+//! knobs `receive-buffer-bytes`, `packet-rate`, `packet-burst`,
+//! `record-rate`, `record-burst`, `max-exporters`,
+//! `max-open-windows` (see the README's Hardening section).
+//! `[relay NAME]`:
 //! `agg-site` (required), `sites`, `parent`, `ingest`, `query`,
 //! `stats`, `mode`, `linger-ms`, `drain-every-ms`, `max-bases`,
 //! `budget`, `retention-ms`, `state-dir`, `fsync`, `spill-max-bytes`,
@@ -64,6 +68,13 @@ pub struct SiteSpec {
     pub batch: usize,
     /// Tree node budget.
     pub budget: usize,
+    /// Requested UDP `SO_RCVBUF` (best-effort; `None` = OS default).
+    pub receive_buffer_bytes: Option<usize>,
+    /// Per-exporter admission quotas (0 rates = unlimited).
+    pub admission: flowdist::AdmissionConfig,
+    /// Open-window bucket budget for the ingest pipeline (0 =
+    /// unbounded).
+    pub max_open_windows: u64,
 }
 
 /// One relay node in a fleet spec: the full [`NodeConfig`] (its
@@ -142,6 +153,13 @@ struct Defaults {
     batch: Option<usize>,
     stats: Option<String>,
     state_root: Option<String>,
+    receive_buffer_bytes: Option<usize>,
+    packet_rate: Option<u64>,
+    packet_burst: Option<u64>,
+    record_rate: Option<u64>,
+    record_burst: Option<u64>,
+    max_exporters: Option<usize>,
+    max_open_windows: Option<u64>,
 }
 
 /// What section the parser is currently inside.
@@ -250,6 +268,15 @@ impl FleetSpec {
                 "batch" => defaults.batch = Some(parse_num(lineno, &k, &v)?),
                 "stats" => defaults.stats = Some(v),
                 "state-root" => defaults.state_root = Some(v),
+                "receive-buffer-bytes" => {
+                    defaults.receive_buffer_bytes = Some(parse_num(lineno, &k, &v)?)
+                }
+                "packet-rate" => defaults.packet_rate = Some(parse_num(lineno, &k, &v)?),
+                "packet-burst" => defaults.packet_burst = Some(parse_num(lineno, &k, &v)?),
+                "record-rate" => defaults.record_rate = Some(parse_num(lineno, &k, &v)?),
+                "record-burst" => defaults.record_burst = Some(parse_num(lineno, &k, &v)?),
+                "max-exporters" => defaults.max_exporters = Some(parse_num(lineno, &k, &v)?),
+                "max-open-windows" => defaults.max_open_windows = Some(parse_num(lineno, &k, &v)?),
                 _ => {
                     return Err(syntax(lineno, format!("unknown [defaults] key: {k}")));
                 }
@@ -258,6 +285,22 @@ impl FleetSpec {
 
         let mut out_sites = Vec::with_capacity(sites.len());
         for (site, lines) in sites {
+            let mut admission = flowdist::AdmissionConfig::default();
+            if let Some(v) = defaults.packet_rate {
+                admission.packet_rate = v;
+            }
+            if let Some(v) = defaults.packet_burst {
+                admission.packet_burst = v;
+            }
+            if let Some(v) = defaults.record_rate {
+                admission.record_rate = v;
+            }
+            if let Some(v) = defaults.record_burst {
+                admission.record_burst = v;
+            }
+            if let Some(v) = defaults.max_exporters {
+                admission.max_exporters = v;
+            }
             let mut s = SiteSpec {
                 site,
                 listen: "127.0.0.1:0".into(),
@@ -266,6 +309,9 @@ impl FleetSpec {
                 window_ms: defaults.window_ms.unwrap_or(300_000),
                 batch: defaults.batch.unwrap_or(flowdist::pipeline::DEFAULT_BATCH),
                 budget: defaults.budget.unwrap_or(1 << 16),
+                receive_buffer_bytes: defaults.receive_buffer_bytes,
+                admission,
+                max_open_windows: defaults.max_open_windows.unwrap_or(256),
             };
             for (lineno, k, v) in lines {
                 match k.as_str() {
@@ -275,6 +321,15 @@ impl FleetSpec {
                     "window-ms" => s.window_ms = parse_num(lineno, &k, &v)?,
                     "batch" => s.batch = parse_num(lineno, &k, &v)?,
                     "budget" => s.budget = parse_num(lineno, &k, &v)?,
+                    "receive-buffer-bytes" => {
+                        s.receive_buffer_bytes = Some(parse_num(lineno, &k, &v)?)
+                    }
+                    "packet-rate" => s.admission.packet_rate = parse_num(lineno, &k, &v)?,
+                    "packet-burst" => s.admission.packet_burst = parse_num(lineno, &k, &v)?,
+                    "record-rate" => s.admission.record_rate = parse_num(lineno, &k, &v)?,
+                    "record-burst" => s.admission.record_burst = parse_num(lineno, &k, &v)?,
+                    "max-exporters" => s.admission.max_exporters = parse_num(lineno, &k, &v)?,
+                    "max-open-windows" => s.max_open_windows = parse_num(lineno, &k, &v)?,
                     _ => {
                         return Err(syntax(lineno, format!("unknown [site {site}] key: {k}")));
                     }

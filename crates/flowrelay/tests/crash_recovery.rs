@@ -131,7 +131,7 @@ fn drain(tier: &mut Tier) {
             e.epoch.map(|h| h.epoch).unwrap_or(0),
         );
         let seq = tier.spill.next_seq();
-        tier.spill.push(e.encode()).unwrap();
+        tier.spill.push(e.encode());
         tier.meta.insert(seq, m);
     }
 }
@@ -175,7 +175,7 @@ fn deliver(tier: &mut Tier, root: &mut Relay) {
                     .next()
                     .copied()
                     .unwrap_or_else(|| tier.spill.next_seq());
-                tier.spill.ack_through(floor).unwrap();
+                tier.spill.ack_through(floor);
             }
             FrameOutcome::NeedsRebase(pos) => {
                 // Orphan delta: no ack, ask the tier to rewind the
