@@ -230,6 +230,8 @@ fn main() {
         raw_bytes: u64,
     }
     let mut pipeline_rows: Vec<PipelineRow> = Vec::new();
+    // (records/s metrics off, records/s metrics on), from E7e.
+    let mut instrumentation: Option<(f64, f64)> = None;
     if args.has("pipeline") {
         // Same workload as E7c, but as timestamped flow records behind
         // pre-encoded NetFlow v5 export packets. Encoding is the
@@ -314,6 +316,70 @@ fn main() {
             ]);
             pipeline_rows.push(row);
         }
+
+        // ---- E7e: instrumentation overhead ----------------------------
+        // The same single-shard run with the hot-path latency
+        // histograms attached — the price of observability on the
+        // tightest loop we have. Without the `hot-timers` feature the
+        // stopwatches are zero-sized no-ops and the two rows must
+        // coincide (`cargo run -p flowbench --no-default-features`).
+        let run_once = |instrumented: bool| -> f64 {
+            let mut dcfg = DaemonConfig::new(1);
+            dcfg.window_ms = 1_000;
+            dcfg.schema = schema;
+            dcfg.tree = tree_cfg;
+            dcfg.shards = 1;
+            let mut pipe = IngestPipeline::new(SiteDaemon::new(dcfg), batch);
+            if instrumented {
+                let reg = flowmetrics::Registry::new();
+                pipe.set_latency_instruments(
+                    reg.histogram("flowtree_decode_seconds", "Per-packet decode latency."),
+                    reg.histogram("flowtree_flush_seconds", "Per-batch flush latency."),
+                );
+            }
+            let start = Instant::now();
+            let mut summaries = 0usize;
+            for payload in &payloads {
+                summaries += pipe.push_packet(payload).len();
+            }
+            summaries += pipe.finish().0.len();
+            let secs = start.elapsed().as_secs_f64();
+            assert!(summaries > 0, "pipeline produced summaries");
+            n_records as f64 / secs
+        };
+        println!(
+            "\n== E7e: instrumentation overhead, single-shard pipeline \
+             (hot-path timers {}) ==\n",
+            if flowmetrics::Stopwatch::enabled() {
+                "compiled in"
+            } else {
+                "compiled out"
+            }
+        );
+        // Warm once, then an ABBA schedule with means: run position
+        // drifts throughput by far more than the timers do (allocator
+        // and cache state shift monotonically across runs), and the
+        // balanced order cancels any linear drift instead of charging
+        // it to whichever path ran second.
+        let _ = run_once(false);
+        let (mut off_rates, mut on_rates) = (Vec::new(), Vec::new());
+        for &instrumented in &[false, true, true, false] {
+            let rate = run_once(instrumented);
+            if instrumented {
+                on_rates.push(rate);
+            } else {
+                off_rates.push(rate);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (off, on) = (mean(&off_rates), mean(&on_rates));
+        let overhead = (off / on - 1.0) * 100.0;
+        println!("  metrics off: {:.2} M records/s", off / 1e6);
+        println!(
+            "  metrics on:  {:.2} M records/s  ({overhead:+.2}% overhead)",
+            on / 1e6
+        );
+        instrumentation = Some((off, on));
     }
 
     // ---- BENCH_ingest.json --------------------------------------------
@@ -344,9 +410,7 @@ fn main() {
         ));
     }
     json.push_str("  ]");
-    if pipeline_rows.is_empty() {
-        json.push('\n');
-    } else {
+    if !pipeline_rows.is_empty() {
         json.push_str(",\n  \"pipeline\": [\n");
         for (i, r) in pipeline_rows.iter().enumerate() {
             json.push_str(&format!(
@@ -365,9 +429,18 @@ fn main() {
                 },
             ));
         }
-        json.push_str("  ]\n");
+        json.push_str("  ]");
     }
-    json.push_str("}\n");
+    if let Some((off, on)) = instrumentation {
+        json.push_str(&format!(
+            ",\n  \"instrumentation\": {{\"timers_compiled\": {}, \
+             \"records_per_sec_off\": {off:.0}, \"records_per_sec_on\": {on:.0}, \
+             \"overhead_pct\": {:.2}}}",
+            flowmetrics::Stopwatch::enabled(),
+            (off / on - 1.0) * 100.0,
+        ));
+    }
+    json.push_str("\n}\n");
     match std::fs::write(&json_path, &json) {
         Ok(()) => println!("\nwrote {json_path}"),
         Err(e) => eprintln!("\ncould not write {json_path}: {e}"),

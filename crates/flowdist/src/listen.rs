@@ -215,6 +215,19 @@ pub struct IngestReport {
     pub error: Option<std::io::Error>,
 }
 
+/// Optional observability hooks for the ingest loop — the pieces the
+/// snapshot counters can't carry: an instantaneous open-window gauge
+/// and shed events with a *why* attached.
+#[derive(Debug, Clone, Default)]
+pub struct IngestTelemetry {
+    /// Set to the pipeline's open window-bucket count after every
+    /// datagram.
+    pub open_windows: Option<flowmetrics::Gauge>,
+    /// Receives a `window_shed` event whenever the open-window budget
+    /// force-flushes buckets.
+    pub events: Option<flowmetrics::EventRing>,
+}
+
 /// Tuning for [`spawn_udp_ingest_with`] beyond the defaults.
 #[derive(Debug, Clone, Default)]
 pub struct IngestOptions {
@@ -225,6 +238,8 @@ pub struct IngestOptions {
     /// Live-reloadable admission quotas + open-window budget, shared
     /// with whoever serves `POST /reload`.
     pub knobs: Arc<AdmissionKnobs>,
+    /// Observability hooks (see [`IngestTelemetry`]).
+    pub telemetry: IngestTelemetry,
 }
 
 /// A running `listen → pipeline` loop (see [`spawn_udp_ingest`]).
@@ -294,9 +309,20 @@ pub fn spawn_udp_ingest_with(
     let stop_flag = Arc::clone(&stop);
     let loop_gauges = Arc::clone(&gauges);
     let knobs = opts.knobs;
+    let telemetry = opts.telemetry;
     let join = std::thread::Builder::new()
         .name("udp-ingest".into())
-        .spawn(move || ingest_loop(socket, pipeline, frames, stop_flag, loop_gauges, knobs))
+        .spawn(move || {
+            ingest_loop(
+                socket,
+                pipeline,
+                frames,
+                stop_flag,
+                loop_gauges,
+                knobs,
+                telemetry,
+            )
+        })
         .map_err(DistError::Io)?;
     Ok(UdpIngestHandle {
         addr: local,
@@ -320,12 +346,14 @@ fn ingest_loop(
     stop: Arc<AtomicBool>,
     gauges: Arc<IngestGauges>,
     knobs: Arc<AdmissionKnobs>,
+    telemetry: IngestTelemetry,
 ) -> IngestReport {
     let mut buf = vec![0u8; 65_536];
     let (mut sent, mut dropped, mut waits) = (0u64, 0u64, 0u64);
     let mut datagrams = 0u64;
     let mut admission = AdmissionControl::new();
     let mut error = None;
+    let mut seen_sheds = 0u64;
     // Backpressure without a shutdown deadlock: a full channel parks
     // this thread in 1 ms waits (a slow consumer throttles ingest),
     // but once the stop flag is up, undeliverable frames are dropped
@@ -393,6 +421,20 @@ fn ingest_loop(
                     dropped,
                     waits,
                 );
+                if let Some(g) = &telemetry.open_windows {
+                    g.set(pipeline.open_windows() as i64);
+                }
+                if let Some(ring) = &telemetry.events {
+                    let sheds = pipeline.stats().window_sheds;
+                    if sheds > seen_sheds {
+                        ring.push(
+                            now_ms,
+                            "window_shed",
+                            format!("buckets={} total={sheds}", sheds - seen_sheds),
+                        );
+                        seen_sheds = sheds;
+                    }
+                }
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock

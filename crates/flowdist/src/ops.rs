@@ -100,29 +100,50 @@ impl Drop for OpsHandle {
     }
 }
 
-/// Binds `addr` and serves ops requests on a background thread. The
-/// handler runs on that thread, one request at a time — keep it cheap
-/// (snapshot counters, flip a flag), this is a stats page, not an API
-/// gateway.
+/// How long a single ops connection may take to deliver its request
+/// or absorb its response before the server hangs up. Scrapes are
+/// local one-packet exchanges; anything slower is a stalled or
+/// hostile peer that must not hold resources.
+const CONN_TIMEOUT: Duration = Duration::from_millis(2_000);
+
+/// Binds `addr` and serves ops requests on a background thread. Each
+/// accepted connection is handed to a short-lived thread with read
+/// *and* write timeouts, so one slow or stalled scraper can't block
+/// `/health` for the whole node; the handler itself must be
+/// thread-safe and cheap (snapshot counters, flip a flag) — this is a
+/// stats page, not an API gateway.
 pub fn spawn_ops<F>(addr: &str, handler: F) -> std::io::Result<OpsHandle>
 where
-    F: Fn(&OpsRequest) -> OpsResponse + Send + 'static,
+    F: Fn(&OpsRequest) -> OpsResponse + Send + Sync + 'static,
 {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
+    let handler = Arc::new(handler);
     let join = std::thread::Builder::new()
         .name("ops".into())
         .spawn(move || {
             while !stop_flag.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        // Served inline: a stats scrape is one small
-                        // read + one small write, and serialized
-                        // requests keep the handler borrow simple.
-                        let _ = serve_one(stream, &handler);
+                        // One short-lived thread per connection: the
+                        // accept loop goes right back to listening, so
+                        // a scraper that stalls mid-request only ties
+                        // up its own thread until the timeout fires.
+                        let handler = Arc::clone(&handler);
+                        let spawned =
+                            std::thread::Builder::new()
+                                .name("ops-conn".into())
+                                .spawn(move || {
+                                    let _ = serve_one(stream, &*handler);
+                                });
+                        if spawned.is_err() {
+                            // Thread exhaustion: shed the connection
+                            // rather than wedge the accept loop.
+                            continue;
+                        }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(20));
@@ -142,7 +163,8 @@ fn serve_one<F>(mut stream: TcpStream, handler: &F) -> std::io::Result<()>
 where
     F: Fn(&OpsRequest) -> OpsResponse,
 {
-    stream.set_read_timeout(Some(Duration::from_millis(2_000)))?;
+    stream.set_read_timeout(Some(CONN_TIMEOUT))?;
+    stream.set_write_timeout(Some(CONN_TIMEOUT))?;
     stream.set_nonblocking(false)?;
     let req = match read_request(&mut stream) {
         Ok(Some(r)) => r,
@@ -315,5 +337,35 @@ mod tests {
         // The port is released: a new bind on the same address works.
         let rebind = std::net::TcpListener::bind(&addr);
         assert!(rebind.is_ok(), "port not freed: {rebind:?}");
+    }
+
+    /// The satellite fix this PR pins: a scraper that connects and
+    /// then stalls must not block other requests — connections are
+    /// served concurrently with per-connection timeouts.
+    #[test]
+    fn stalled_scraper_does_not_block_health() {
+        let handle = spawn_ops("127.0.0.1:0", |req| match req.path.as_str() {
+            "/health" => OpsResponse::ok("ok true"),
+            _ => OpsResponse::not_found(),
+        })
+        .unwrap();
+        let addr = handle.local_addr().to_string();
+
+        // Open a connection and send nothing: without per-connection
+        // threads this parks the accept loop in read() for the whole
+        // read-timeout window.
+        let stalled = TcpStream::connect(&addr).unwrap();
+
+        let start = std::time::Instant::now();
+        let (status, body) = ops_request(&addr, "GET", "/health", "").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.trim(), "ok true");
+        assert!(
+            start.elapsed() < Duration::from_millis(1_500),
+            "health blocked behind a stalled connection: {:?}",
+            start.elapsed()
+        );
+        drop(stalled);
+        handle.stop();
     }
 }

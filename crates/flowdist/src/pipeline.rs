@@ -27,6 +27,7 @@ use crate::daemon::SiteDaemon;
 use crate::summary::Summary;
 use crate::window::WindowId;
 use flowkey::FlowKey;
+use flowmetrics::{Histogram, Stopwatch};
 use flownet::{DecoderLimits, DecoderStats, ExportDecoder, ExportFormat, FlowRecord};
 use flowtree_core::Popularity;
 use std::collections::BTreeMap;
@@ -80,6 +81,10 @@ pub struct IngestPipeline {
     /// sheds the oldest bucket to the daemon.
     max_open_windows: usize,
     stats: PipelineStats,
+    /// Per-packet decode latency, when the owner wired a registry.
+    decode_hist: Option<Histogram>,
+    /// Per-batch flush latency (one `ingest_stamped_batch` call).
+    flush_hist: Option<Histogram>,
 }
 
 impl IngestPipeline {
@@ -101,7 +106,18 @@ impl IngestPipeline {
             newest_window: 0,
             max_open_windows: 0,
             stats: PipelineStats::default(),
+            decode_hist: None,
+            flush_hist: None,
         }
+    }
+
+    /// Attaches hot-path latency histograms: `decode` observes each
+    /// export-packet decode, `flush` each batch handed to the daemon.
+    /// Timing costs one `Instant` pair per packet/batch and is
+    /// compiled out entirely without the `hot-timers` feature.
+    pub fn set_latency_instruments(&mut self, decode: Histogram, flush: Histogram) {
+        self.decode_hist = Some(decode);
+        self.flush_hist = Some(flush);
     }
 
     /// The wrapped daemon (stats, open windows).
@@ -133,6 +149,11 @@ impl IngestPipeline {
         self.pending.values().map(Vec::len).sum()
     }
 
+    /// Distinct window buckets currently open in the pipeline.
+    pub fn open_windows(&self) -> usize {
+        self.pending.len()
+    }
+
     /// Feeds one raw exporter payload (NetFlow v5/v9 or IPFIX,
     /// auto-detected; template caches persist across packets). Returns
     /// summaries of any windows that closed as a consequence. Malformed
@@ -153,7 +174,12 @@ impl IngestPipeline {
     /// [`IngestPipeline::push_records`]. `None` means the payload was
     /// malformed (already counted).
     pub fn decode_packet_at(&mut self, payload: &[u8], now_ms: u64) -> Option<Vec<FlowRecord>> {
-        match flownet::decode_export_packet_at(&mut self.decoder, payload, now_ms) {
+        let sw = self.decode_hist.as_ref().map(|_| Stopwatch::start());
+        let decoded = flownet::decode_export_packet_at(&mut self.decoder, payload, now_ms);
+        if let (Some(sw), Some(h)) = (sw, &self.decode_hist) {
+            sw.observe(h);
+        }
+        match decoded {
             Ok((format, records)) => {
                 self.stats.packets += 1;
                 match format {
@@ -225,7 +251,7 @@ impl IngestPipeline {
             let items = self.pending.remove(&oldest).expect("bucket present");
             self.stats.batches += 1;
             self.stats.window_sheds += 1;
-            out.extend(self.daemon.ingest_stamped_batch(&items));
+            self.ingest_batch(&items, &mut out);
         }
         out
     }
@@ -259,7 +285,16 @@ impl IngestPipeline {
         for start in starts {
             let items = self.pending.remove(&start).expect("bucket present");
             self.stats.batches += 1;
-            out.extend(self.daemon.ingest_stamped_batch(&items));
+            self.ingest_batch(&items, out);
+        }
+    }
+
+    /// One timed batch handed to the daemon.
+    fn ingest_batch(&mut self, items: &[(u64, FlowKey, Popularity)], out: &mut Vec<Summary>) {
+        let sw = self.flush_hist.as_ref().map(|_| Stopwatch::start());
+        out.extend(self.daemon.ingest_stamped_batch(items));
+        if let (Some(sw), Some(h)) = (sw, &self.flush_hist) {
+            sw.observe(h);
         }
     }
 }

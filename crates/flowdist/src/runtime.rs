@@ -16,18 +16,20 @@
 
 use crate::admission::{AdmissionConfig, AdmissionKnobs};
 use crate::listen::{
-    spawn_udp_ingest_with, IngestGauges, IngestOptions, IngestReport, UdpIngestHandle,
+    spawn_udp_ingest_with, IngestGauges, IngestOptions, IngestReport, IngestSnapshot,
+    IngestTelemetry, UdpIngestHandle,
 };
 use crate::ops::{spawn_ops, OpsHandle, OpsRequest, OpsResponse};
 use crate::pipeline::IngestPipeline;
 use crate::{DaemonConfig, DistError, SiteDaemon, TransferMode};
 use flowkey::Schema;
+use flowmetrics::{EventRing, KvValue, Registry};
 use flownet::DecoderLimits;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Everything one site node needs, as a value (superseding ad-hoc
 /// wiring): where to listen, where to ship, and the daemon knobs.
@@ -95,6 +97,16 @@ struct ForwardGauges {
     abandoned: AtomicU64,
 }
 
+/// Shared observability state of one site node: the metric registry
+/// behind `GET /metrics`, the event ring behind `GET /events`, and the
+/// boot instant behind `/health`'s `uptime_ms`.
+#[derive(Debug, Clone)]
+struct SiteTelemetry {
+    registry: Registry,
+    events: EventRing,
+    started: Instant,
+}
+
 /// What [`SiteRuntime::drain`] hands back.
 #[derive(Debug)]
 pub struct SiteDrainReport {
@@ -131,13 +143,35 @@ impl SiteRuntime {
         dcfg.tree = flowtree_core::Config::with_budget(cfg.budget);
         dcfg.transfer = TransferMode::Full;
         dcfg.shards = cfg.shards.max(1);
-        let pipeline =
+        let mut pipeline =
             IngestPipeline::with_limits(SiteDaemon::new(dcfg), cfg.batch.max(1), cfg.limits);
+        let telemetry = SiteTelemetry {
+            registry: Registry::new(),
+            events: EventRing::new(256),
+            started: Instant::now(),
+        };
+        pipeline.set_latency_instruments(
+            telemetry.registry.histogram(
+                "flowtree_decode_seconds",
+                "Export-packet decode latency (one datagram through the dialect decoders).",
+            ),
+            telemetry.registry.histogram(
+                "flowtree_flush_seconds",
+                "Pipeline flush latency (one record batch into the windowed trees).",
+            ),
+        );
         let (tx, rx) = crossbeam::channel::bounded::<Vec<u8>>(256);
         let knobs = Arc::new(AdmissionKnobs::new(cfg.admission, cfg.max_open_windows));
         let opts = IngestOptions {
             receive_buffer_bytes: cfg.receive_buffer_bytes,
             knobs: Arc::clone(&knobs),
+            telemetry: IngestTelemetry {
+                open_windows: Some(telemetry.registry.gauge(
+                    "flowtree_open_windows",
+                    "Distinct window buckets currently open in the ingest pipeline.",
+                )),
+                events: Some(telemetry.events.clone()),
+            },
         };
         let ingest = spawn_udp_ingest_with(&cfg.listen, pipeline, tx, opts)?;
         let gauges = ingest.gauges();
@@ -154,8 +188,9 @@ impl SiteRuntime {
                 let g = Arc::clone(&gauges);
                 let f = Arc::clone(&fwd);
                 let k = Arc::clone(&knobs);
+                let tel = telemetry.clone();
                 Some(
-                    spawn_ops(addr, move |req| site_ops(site, &g, &f, &k, req))
+                    spawn_ops(addr, move |req| site_ops(site, &g, &f, &k, &tel, req))
                         .map_err(DistError::Io)?,
                 )
             }
@@ -219,63 +254,251 @@ impl SiteRuntime {
     }
 }
 
+/// The workspace version every node reports in `/health` — how
+/// `flowctl top` spots a mixed-version or crash-restarted fleet.
+pub fn build_version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
+
+/// The shared `/health` tail: `uptime_ms` (restarts reset it — a
+/// freshly low value on a long-lived fleet flags a crash-restart) and
+/// the build version.
+pub fn health_tail(started: Instant) -> String {
+    format!(
+        "uptime_ms {}\nversion {}",
+        started.elapsed().as_millis(),
+        build_version()
+    )
+}
+
+/// The site node's stats as ordered key/value pairs — the single
+/// source both the legacy plaintext page and `/stats.json` render
+/// from, so the two can never drift.
+fn site_stat_pairs(
+    site: u16,
+    s: &IngestSnapshot,
+    fwd: &ForwardGauges,
+    knobs: &AdmissionKnobs,
+) -> Vec<(String, KvValue)> {
+    let cfg = knobs.load();
+    let mut pairs: Vec<(String, KvValue)> = vec![
+        ("role".into(), "site".into()),
+        ("site".into(), KvValue::U64(site as u64)),
+    ];
+    let mut line = |k: &str, v: u64| pairs.push((k.to_string(), KvValue::U64(v)));
+    line("datagrams", s.datagrams);
+    line("packets", s.packets);
+    line("decode_errors", s.decode_errors);
+    line("quota_packet_drops", s.quota_packet_drops);
+    line("quota_record_drops", s.quota_record_drops);
+    line("records", s.records);
+    line("records_no_template", s.records_no_template);
+    line("templates_live", s.templates);
+    line("templates_evicted", s.templates_evicted);
+    line("templates_rejected", s.templates_rejected);
+    line("window_sheds", s.window_sheds);
+    line("backpressure_waits", s.backpressure_waits);
+    line("exporters_tracked", s.exporters);
+    line("exporters_evicted", s.exporters_evicted);
+    line("recv_buffer_bytes", s.recv_buffer_bytes);
+    line("late_drops", s.late_drops);
+    line("summaries", s.summaries);
+    line("frames_sent", s.frames_sent);
+    line("frames_dropped", s.frames_dropped);
+    line("forwarded", fwd.forwarded.load(Ordering::Relaxed));
+    line("forward_reconnects", fwd.reconnects.load(Ordering::Relaxed));
+    line("forward_abandoned", fwd.abandoned.load(Ordering::Relaxed));
+    line("knob_packet_rate", cfg.packet_rate);
+    line("knob_packet_burst", cfg.packet_burst);
+    line("knob_record_rate", cfg.record_rate);
+    line("knob_record_burst", cfg.record_burst);
+    line("knob_max_exporters", cfg.max_exporters as u64);
+    line("knob_max_open_windows", knobs.max_open_windows());
+    pairs
+}
+
+/// Mirrors the site's snapshot counters into its registry so a
+/// `/metrics` scrape sees every ad-hoc counter as a first-class
+/// Prometheus series next to the live histograms/gauges.
+fn sync_site_registry(site: u16, tel: &SiteTelemetry, s: &IngestSnapshot, fwd: &ForwardGauges) {
+    let reg = &tel.registry;
+    let node = format!("site{site}");
+    reg.gauge_with(
+        "flowtree_build_info",
+        "Constant 1; identity in labels.",
+        &[
+            ("role", "site"),
+            ("node", &node),
+            ("version", build_version()),
+        ],
+    )
+    .set(1);
+    reg.gauge("flowtree_uptime_seconds", "Seconds since this node booted.")
+        .set(tel.started.elapsed().as_secs() as i64);
+    let c = |name: &str, help: &str, v: u64| reg.counter(name, help).set(v);
+    let g = |name: &str, help: &str, v: u64| reg.gauge(name, help).set(v as i64);
+    c(
+        "flowtree_ingest_datagrams_total",
+        "Raw datagrams received (admitted or not).",
+        s.datagrams,
+    );
+    c(
+        "flowtree_ingest_packets_total",
+        "Export packets decoded successfully.",
+        s.packets,
+    );
+    c(
+        "flowtree_ingest_decode_errors_total",
+        "Payloads that failed to decode.",
+        s.decode_errors,
+    );
+    c(
+        "flowtree_ingest_quota_packet_drops_total",
+        "Datagrams denied by a per-exporter packet quota.",
+        s.quota_packet_drops,
+    );
+    c(
+        "flowtree_ingest_quota_record_drops_total",
+        "Records denied by a per-exporter record quota.",
+        s.quota_record_drops,
+    );
+    c(
+        "flowtree_ingest_records_total",
+        "Flow records extracted.",
+        s.records,
+    );
+    c(
+        "flowtree_ingest_records_no_template_total",
+        "Records dropped for lack of a template.",
+        s.records_no_template,
+    );
+    g(
+        "flowtree_templates_live",
+        "Templates currently cached by the decoders.",
+        s.templates,
+    );
+    c(
+        "flowtree_templates_evicted_total",
+        "Templates evicted (count cap + timeout).",
+        s.templates_evicted,
+    );
+    c(
+        "flowtree_templates_rejected_total",
+        "Templates rejected for violating shape bounds.",
+        s.templates_rejected,
+    );
+    c(
+        "flowtree_window_sheds_total",
+        "Window buckets force-flushed to honor the open-window budget.",
+        s.window_sheds,
+    );
+    c(
+        "flowtree_backpressure_waits_total",
+        "1 ms waits spent on a full frames channel.",
+        s.backpressure_waits,
+    );
+    g(
+        "flowtree_exporters_tracked",
+        "Exporter addresses currently tracked by admission control.",
+        s.exporters,
+    );
+    c(
+        "flowtree_exporters_evicted_total",
+        "Exporter entries evicted to bound the table.",
+        s.exporters_evicted,
+    );
+    g(
+        "flowtree_recv_buffer_bytes",
+        "Achieved socket receive buffer (0 = OS default).",
+        s.recv_buffer_bytes,
+    );
+    c(
+        "flowtree_late_drops_total",
+        "Records dropped as older than any open window.",
+        s.late_drops,
+    );
+    c(
+        "flowtree_summaries_total",
+        "Summaries emitted by the daemon.",
+        s.summaries,
+    );
+    c(
+        "flowtree_frames_sent_total",
+        "Summary frames shipped through the channel.",
+        s.frames_sent,
+    );
+    c(
+        "flowtree_frames_dropped_total",
+        "Frames dropped (receiver gone or full channel while stopping).",
+        s.frames_dropped,
+    );
+    c(
+        "flowtree_forward_frames_total",
+        "Frames written upstream by the TCP forwarder.",
+        fwd.forwarded.load(Ordering::Relaxed),
+    );
+    c(
+        "flowtree_forward_reconnects_total",
+        "Upstream reconnect attempts by the forwarder.",
+        fwd.reconnects.load(Ordering::Relaxed),
+    );
+    c(
+        "flowtree_forward_abandoned_total",
+        "Frames abandoned because the upstream stayed unreachable while draining.",
+        fwd.abandoned.load(Ordering::Relaxed),
+    );
+    c(
+        "flowtree_events_total",
+        "Operational events recorded (including ones the ring evicted).",
+        tel.events.total(),
+    );
+}
+
 /// Renders the site node's ops surface.
 fn site_ops(
     site: u16,
     gauges: &IngestGauges,
     fwd: &ForwardGauges,
     knobs: &AdmissionKnobs,
+    tel: &SiteTelemetry,
     req: &OpsRequest,
 ) -> OpsResponse {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/health") => OpsResponse::ok(format!("ok true\nrole site\nsite {site}")),
+        ("GET", "/health") => OpsResponse::ok(format!(
+            "ok true\nrole site\nsite {site}\n{}",
+            health_tail(tel.started)
+        )),
         ("GET", "/stats" | "/") => {
-            let s = gauges.snapshot();
-            let cfg = knobs.load();
-            let mut body = format!("role site\nsite {site}\n");
-            let mut line = |k: &str, v: u64| {
-                body.push_str(k);
-                body.push(' ');
-                body.push_str(&v.to_string());
-                body.push('\n');
-            };
-            line("datagrams", s.datagrams);
-            line("packets", s.packets);
-            line("decode_errors", s.decode_errors);
-            line("quota_packet_drops", s.quota_packet_drops);
-            line("quota_record_drops", s.quota_record_drops);
-            line("records", s.records);
-            line("records_no_template", s.records_no_template);
-            line("templates_live", s.templates);
-            line("templates_evicted", s.templates_evicted);
-            line("templates_rejected", s.templates_rejected);
-            line("window_sheds", s.window_sheds);
-            line("backpressure_waits", s.backpressure_waits);
-            line("exporters_tracked", s.exporters);
-            line("exporters_evicted", s.exporters_evicted);
-            line("recv_buffer_bytes", s.recv_buffer_bytes);
-            line("late_drops", s.late_drops);
-            line("summaries", s.summaries);
-            line("frames_sent", s.frames_sent);
-            line("frames_dropped", s.frames_dropped);
-            line("forwarded", fwd.forwarded.load(Ordering::Relaxed));
-            line("forward_reconnects", fwd.reconnects.load(Ordering::Relaxed));
-            line("forward_abandoned", fwd.abandoned.load(Ordering::Relaxed));
-            line("knob_packet_rate", cfg.packet_rate);
-            line("knob_packet_burst", cfg.packet_burst);
-            line("knob_record_rate", cfg.record_rate);
-            line("knob_record_burst", cfg.record_burst);
-            line("knob_max_exporters", cfg.max_exporters as u64);
-            line("knob_max_open_windows", knobs.max_open_windows());
+            let pairs = site_stat_pairs(site, &gauges.snapshot(), fwd, knobs);
+            let mut body = flowmetrics::render_kv_text(&pairs);
             body.pop();
             OpsResponse::ok(body)
         }
+        ("GET", "/stats.json") => {
+            let pairs = site_stat_pairs(site, &gauges.snapshot(), fwd, knobs);
+            OpsResponse::ok(flowmetrics::render_kv_json(&pairs))
+        }
+        ("GET", "/metrics") => {
+            sync_site_registry(site, tel, &gauges.snapshot(), fwd);
+            OpsResponse::ok(tel.registry.render_prometheus())
+        }
+        ("GET", "/events") => OpsResponse::ok(tel.events.render_text()),
         ("POST", "/reload") => match parse_site_reload(&req.body, knobs) {
-            Ok(applied) => OpsResponse::ok(applied),
+            Ok(applied) => {
+                tel.events.push(epoch_ms_now(), "reload", applied.clone());
+                OpsResponse::ok(applied)
+            }
             Err(e) => OpsResponse::bad_request(e),
         },
         _ => OpsResponse::not_found(),
     }
+}
+
+fn epoch_ms_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 /// Applies a `POST /reload` body (`key=value` lines; keys

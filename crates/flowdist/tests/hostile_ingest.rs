@@ -201,6 +201,7 @@ fn udp_loop_accounts_every_datagram_exactly_once() {
         IngestOptions {
             receive_buffer_bytes: Some(1 << 20),
             knobs: Arc::clone(&knobs),
+            telemetry: Default::default(),
         },
     )
     .expect("bind");
@@ -280,6 +281,7 @@ fn knob_reload_takes_effect_without_restart() {
         IngestOptions {
             receive_buffer_bytes: None,
             knobs: Arc::clone(&knobs),
+            telemetry: Default::default(),
         },
     )
     .expect("bind");

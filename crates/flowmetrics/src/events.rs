@@ -1,0 +1,127 @@
+//! Bounded in-memory ring of operational events.
+//!
+//! Counters say *that* something moved; the event ring says *why*:
+//! a rebase was honored, a delta export fell back to full, the spill
+//! queue shed frames, the node restarted after a crash. Every node
+//! keeps one ring and serves it as `GET /events`, newest last, one
+//! `ts_ms kind detail` line per event. The ring is bounded — a
+//! misbehaving fleet can't grow a node's memory — and push is a short
+//! critical section off every hot path (events are rare by
+//! definition).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One operational event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Wall-clock milliseconds since the Unix epoch.
+    pub ts_ms: u64,
+    /// Stable machine-greppable kind, e.g. `rebase`, `delta_fallback`,
+    /// `spill_shed`, `crash_restart`, `window_shed`, `reload`.
+    pub kind: &'static str,
+    /// Human-oriented detail.
+    pub detail: String,
+}
+
+/// A bounded, shareable event ring (clones share the buffer).
+#[derive(Clone)]
+pub struct EventRing {
+    inner: Arc<Mutex<Ring>>,
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRing")
+            .field("total", &self.total())
+            .finish()
+    }
+}
+
+struct Ring {
+    cap: usize,
+    /// Events ever pushed, including ones the bound evicted.
+    total: u64,
+    buf: VecDeque<Event>,
+}
+
+impl EventRing {
+    /// A ring keeping the newest `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> EventRing {
+        EventRing {
+            inner: Arc::new(Mutex::new(Ring {
+                cap: cap.max(1),
+                total: 0,
+                buf: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Records an event, evicting the oldest past the bound.
+    pub fn push(&self, ts_ms: u64, kind: &'static str, detail: String) {
+        let mut ring = self.inner.lock().expect("event ring");
+        ring.total += 1;
+        if ring.buf.len() == ring.cap {
+            ring.buf.pop_front();
+        }
+        ring.buf.push_back(Event {
+            ts_ms,
+            kind,
+            detail,
+        });
+    }
+
+    /// Events currently held, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner
+            .lock()
+            .expect("event ring")
+            .buf
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Events ever pushed (monotonic, survives eviction).
+    pub fn total(&self) -> u64 {
+        self.inner.lock().expect("event ring").total
+    }
+
+    /// `ts_ms kind detail` lines, oldest first — the `/events` body.
+    pub fn render_text(&self) -> String {
+        let ring = self.inner.lock().expect("event ring");
+        let mut out = String::new();
+        for e in &ring.buf {
+            out.push_str(&format!("{} {} {}\n", e.ts_ms, e.kind, e.detail));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_and_counts_total() {
+        let ring = EventRing::new(3);
+        for i in 0..5u64 {
+            ring.push(1000 + i, "test", format!("event {i}"));
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].detail, "event 2");
+        assert_eq!(events[2].detail, "event 4");
+        assert_eq!(ring.total(), 5);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let ring = EventRing::new(8);
+        let other = ring.clone();
+        other.push(7, "shared", "hello".to_string());
+        assert_eq!(ring.snapshot().len(), 1);
+        let text = ring.render_text();
+        assert_eq!(text, "7 shared hello\n");
+    }
+}

@@ -49,9 +49,13 @@ flowctl — declarative Flowtree fleet launcher
 USAGE:
     flowctl check <spec>             validate a fleet spec, print the tiers
     flowctl run <spec> [--spawn]     boot the fleet; stdin commands:
-                                     status | reload <relay|all> k=v … | drain
-                                     (EOF drains)
-    flowctl smoke <spec>             boot, ingest, query, reload, drain; for CI
+                                     status | top | reload <relay|all> k=v …
+                                     | drain (EOF drains)
+    flowctl smoke <spec>             boot, ingest, query, scrape, reload, drain
+    flowctl top <spec>               scrape /metrics on a *running* fleet's
+                                     pinned stats ports, print the per-tier view
+    flowctl scrape <spec>            scrape and conformance-check /metrics on
+                                     every node, one line per node
 
 FLAGS:
     --spawn               run relays as supervised relayd child processes
@@ -135,6 +139,8 @@ fn main() {
         "check" => check(&spec),
         "run" => run(&spec, &args, deadline),
         "smoke" => smoke(&spec, args.num("records", 400usize), deadline),
+        "top" => fleet_top(&spec),
+        "scrape" => fleet_scrape(&spec),
         other => fail(format_args!("unknown command {other}\n{HELP}")),
     }
 }
@@ -161,6 +167,82 @@ fn check(spec: &FleetSpec) {
         spec.sites.len(),
         spec.boot_order()
     );
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-wide metrics: top / scrape
+// ---------------------------------------------------------------------------
+
+/// Stats addresses the spec pins, labelled for error messages. `:0`
+/// binds are skipped with a note — those ports only resolve inside a
+/// running `flowctl run` process (use its `top` stdin command there).
+fn spec_stats_addrs(spec: &FleetSpec) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut take = |label: String, addr: Option<&String>| match addr {
+        Some(a) => {
+            let unresolved = a
+                .parse::<SocketAddr>()
+                .map(|sa| sa.port() == 0)
+                .unwrap_or_else(|_| a.ends_with(":0"));
+            if unresolved {
+                log(format_args!(
+                    "flowctl: skipping {label}: stats bind {a} resolves only at runtime"
+                ));
+            } else {
+                out.push((label, a.clone()));
+            }
+        }
+        None => log(format_args!("flowctl: skipping {label}: no stats endpoint")),
+    };
+    for r in &spec.relays {
+        take(format!("relay {}", r.node.name), r.node.stats.as_ref());
+    }
+    for s in &spec.sites {
+        take(format!("site {}", s.site), s.stats.as_ref());
+    }
+    out
+}
+
+/// Scrapes every pinned stats endpoint of a running fleet; any
+/// unreachable or non-conformant node is fatal (both commands exist
+/// to catch exactly that).
+fn scrape_fleet_spec(spec: &FleetSpec) -> Vec<flowrelay::fleetview::NodeMetrics> {
+    let addrs = spec_stats_addrs(spec);
+    if addrs.is_empty() {
+        fail(
+            "no scrapeable stats endpoints in the spec — pin stats ports, \
+             or use the `top` stdin command under `flowctl run`",
+        );
+    }
+    let mut nodes = Vec::new();
+    for (label, addr) in addrs {
+        match flowrelay::fleetview::scrape(&addr) {
+            Ok(n) => nodes.push(n),
+            Err(e) => fail(format_args!("{label}: {e}")),
+        }
+    }
+    nodes
+}
+
+fn fleet_top(spec: &FleetSpec) {
+    let nodes = scrape_fleet_spec(spec);
+    let rows = flowrelay::fleetview::aggregate(&nodes);
+    print!("{}", flowrelay::fleetview::render_table(&rows));
+}
+
+fn fleet_scrape(spec: &FleetSpec) {
+    let nodes = scrape_fleet_spec(spec);
+    for n in &nodes {
+        println!(
+            "ok {} {} addr={} version={} series={}",
+            n.role,
+            n.node,
+            n.addr,
+            n.version,
+            n.series.len()
+        );
+    }
+    println!("scraped {} nodes, exposition valid on all", nodes.len());
 }
 
 // ---------------------------------------------------------------------------
@@ -215,6 +297,30 @@ impl ThreadFleet {
 
     fn relay(&self, name: &str) -> Option<&NodeRuntime> {
         self.relays.iter().find(|r| r.name() == name)
+    }
+
+    /// Scrapes `/metrics` on every live node over its *resolved* stats
+    /// address (works with `:0` binds, unlike the spec-driven `flowctl
+    /// top`). First unreachable or non-conformant node is the error.
+    fn scrape(&self) -> Result<Vec<flowrelay::fleetview::NodeMetrics>, String> {
+        let mut nodes = Vec::new();
+        for rt in &self.relays {
+            if let Some(addr) = rt.stats_addr() {
+                nodes.push(
+                    flowrelay::fleetview::scrape(&addr.to_string())
+                        .map_err(|e| format!("relay {}: {e}", rt.name()))?,
+                );
+            }
+        }
+        for site in &self.sites {
+            if let Some(addr) = site.stats_addr() {
+                nodes.push(
+                    flowrelay::fleetview::scrape(&addr.to_string())
+                        .map_err(|e| format!("site {}: {e}", site.site()))?,
+                );
+            }
+        }
+        Ok(nodes)
     }
 
     /// Leaves-first drain: sites flush to leaf relays, every relay
@@ -280,6 +386,13 @@ fn run(spec: &FleetSpec, args: &Args, deadline: Duration) {
                     );
                 }
             }
+            Some("top") => match fleet.scrape() {
+                Ok(nodes) => {
+                    let rows = flowrelay::fleetview::aggregate(&nodes);
+                    print!("{}", flowrelay::fleetview::render_table(&rows));
+                }
+                Err(e) => println!("error {e}"),
+            },
             Some("reload") => {
                 let Some(target) = words.next() else {
                     println!("error reload needs a relay name or all");
@@ -639,6 +752,19 @@ fn run_spawned(spec: &FleetSpec, args: &Args, deadline: Duration) {
                     );
                 }
             }
+            Some("top") => {
+                // Children bind their own stats ports, so the spec's
+                // pinned addresses are the only handle we have here.
+                let mut nodes = Vec::new();
+                for (label, addr) in spec_stats_addrs(spec) {
+                    match flowrelay::fleetview::scrape(&addr) {
+                        Ok(n) => nodes.push(n),
+                        Err(e) => println!("error {label}: {e}"),
+                    }
+                }
+                let rows = flowrelay::fleetview::aggregate(&nodes);
+                print!("{}", flowrelay::fleetview::render_table(&rows));
+            }
             Some("reload") => {
                 let Some(target) = words.next() else {
                     println!("error reload needs a relay name or all");
@@ -926,6 +1052,65 @@ fn smoke(spec: &FleetSpec, records_per_site: usize, deadline: Duration) {
         fail(format_args!("unknown reload key was accepted: {body}"));
     }
 
+    // Metrics phase: every node must serve a conformant Prometheus
+    // exposition (fleetview::scrape validates as it parses), the
+    // hot-path histograms must have observed the real work above —
+    // export ship→ack RTT on a shipping relay, query latency on the
+    // root — and the JSON view must agree with the plaintext one.
+    let wait_until = Instant::now() + Duration::from_secs(30);
+    let (nodes, rtt_count, query_count) = loop {
+        let nodes = fleet.scrape().unwrap_or_else(|e| fail(e));
+        let rtt: f64 = nodes
+            .iter()
+            .filter(|n| n.role == "relay")
+            .map(|n| n.get("flowtree_export_rtt_seconds_count"))
+            .sum();
+        let query: f64 = nodes
+            .iter()
+            .filter(|n| n.role == "root")
+            .map(|n| n.get("flowtree_query_seconds_count"))
+            .sum();
+        if rtt > 0.0 && query > 0.0 {
+            break (nodes, rtt as u64, query as u64);
+        }
+        if Instant::now() > wait_until {
+            fail(format_args!(
+                "hot-path histograms never filled: export_rtt_count={rtt} query_count={query}"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    let metrics_nodes = nodes.len();
+    let check_roundtrip = |addr: &str, keys: &[&str]| {
+        let (s1, text) = ops_request(addr, "GET", "/stats", "")
+            .unwrap_or_else(|e| fail(format_args!("stats of {addr}: {e}")));
+        let (s2, json) = ops_request(addr, "GET", "/stats.json", "")
+            .unwrap_or_else(|e| fail(format_args!("stats.json of {addr}: {e}")));
+        if s1 != 200 || s2 != 200 {
+            fail(format_args!("stats endpoints of {addr} returned {s1}/{s2}"));
+        }
+        for key in keys {
+            let plain = stat_field(&text, key);
+            let js = json_field(&json, key);
+            if plain.is_none() || plain != js {
+                fail(format_args!(
+                    "JSON and plaintext stats disagree on {key} at {addr}: \
+                     {plain:?} vs {js:?}"
+                ));
+            }
+        }
+    };
+    check_roundtrip(
+        &root_stats_addr,
+        &["rejected", "replayed", "stored_windows"],
+    );
+    check_roundtrip(
+        &site_stats_addr,
+        &["datagrams", "summaries", "decode_errors"],
+    );
+    let rows = flowrelay::fleetview::aggregate(&nodes);
+    print!("{}", flowrelay::fleetview::render_table(&rows));
+
     let hostile_decode_errors = stat_field(&site_body, "decode_errors").unwrap_or(0);
     let hostile_no_template = stat_field(&site_body, "records_no_template").unwrap_or(0);
     let relays = fleet.relays.len();
@@ -935,7 +1120,8 @@ fn smoke(spec: &FleetSpec, records_per_site: usize, deadline: Duration) {
         "flowctl smoke: ok — relays={relays} sites={sites} records={sent} \
          root_frames={root_frames} stats_endpoints={endpoints} reload=applied \
          hostile=accounted decode_errors={hostile_decode_errors} \
-         records_no_template={hostile_no_template} {route} elapsed_ms={}",
+         records_no_template={hostile_no_template} metrics_nodes={metrics_nodes} \
+         export_rtt_count={rtt_count} query_count={query_count} {route} elapsed_ms={}",
         t0.elapsed().as_millis()
     );
 }
@@ -945,4 +1131,15 @@ fn stat_field(body: &str, key: &str) -> Option<u64> {
     body.lines()
         .find_map(|l| l.strip_prefix(key).map(str::trim))
         .and_then(|v| v.parse().ok())
+}
+
+/// Reads an integer field out of the flat `/stats.json` object.
+fn json_field(body: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)? + needle.len();
+    let rest = body[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }

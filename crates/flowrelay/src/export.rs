@@ -224,6 +224,10 @@ struct PendingMeta {
     exporter: u16,
     /// The epoch the frame advances its slot to (0 = pre-epoch frame).
     epoch: u64,
+    /// When the frame first hit the wire (0 = never sent yet). Resends
+    /// keep the first timestamp: ship→ack RTT honestly includes every
+    /// reconnect the frame lived through.
+    sent_at_ms: u64,
 }
 
 struct Conn {
@@ -256,6 +260,8 @@ pub struct ExportShipper {
     conn: Option<Conn>,
     backoff: Backoff,
     stats: ShipperStats,
+    /// Ship→ack round-trip latency, when the node wired one in.
+    rtt: Option<flowmetrics::Histogram>,
 }
 
 impl ExportShipper {
@@ -278,7 +284,14 @@ impl ExportShipper {
             conn: None,
             backoff,
             stats: ShipperStats::default(),
+            rtt: None,
         }
+    }
+
+    /// Wires in a ship→ack RTT histogram: observed once per acked
+    /// frame, from first wire write to the releasing ack.
+    pub fn set_rtt_histogram(&mut self, hist: flowmetrics::Histogram) {
+        self.rtt = Some(hist);
     }
 
     /// Queues one drained export durably. Returns the window starts of
@@ -426,6 +439,11 @@ impl ExportShipper {
             conn.send_from = rec.seq + 1;
             sent += 1;
             sent_bytes += rec.bytes.len() as u64;
+            if let Some(m) = self.meta.get_mut(&rec.seq) {
+                if m.sent_at_ms == 0 {
+                    m.sent_at_ms = now_ms;
+                }
+            }
         }
         if sent > 0 {
             conn.last_progress_ms = now_ms;
@@ -452,7 +470,7 @@ impl ExportShipper {
             };
             match frame {
                 Ok(ControlFrame::Ack(slot)) => {
-                    if self.handle_ack(slot, relay) > 0 {
+                    if self.handle_ack(slot, relay, now_ms) > 0 {
                         if let Some(conn) = self.conn.as_mut() {
                             conn.last_progress_ms = now_ms;
                         }
@@ -481,7 +499,7 @@ impl ExportShipper {
     /// ≤ `e`; a zero-epoch ack (v1/v2 receiver position) releases only
     /// the oldest pre-epoch frame of the slot and can never release an
     /// epoch-advancing one. Returns the number of frames released.
-    fn handle_ack(&mut self, slot: SlotPos, relay: &Mutex<Relay>) -> u64 {
+    fn handle_ack(&mut self, slot: SlotPos, relay: &Mutex<Relay>, now_ms: u64) -> u64 {
         let candidates: Vec<u64> = self
             .meta
             .iter()
@@ -495,6 +513,11 @@ impl ExportShipper {
             return 0;
         }
         let mut released = 0u64;
+        let observe_rtt = |m: PendingMeta| {
+            if let (Some(h), true) = (self.rtt.as_ref(), m.sent_at_ms > 0) {
+                h.observe_secs(now_ms.saturating_sub(m.sent_at_ms) as f64 / 1_000.0);
+            }
+        };
         if slot.epoch == 0 {
             let oldest_pre_epoch = candidates
                 .iter()
@@ -502,7 +525,9 @@ impl ExportShipper {
                 .find(|seq| self.meta.get(seq).is_some_and(|m| m.epoch == 0));
             match oldest_pre_epoch {
                 Some(seq) => {
-                    self.meta.remove(&seq);
+                    if let Some(m) = self.meta.remove(&seq) {
+                        observe_rtt(m);
+                    }
                     released = 1;
                 }
                 None => {
@@ -513,7 +538,9 @@ impl ExportShipper {
         } else {
             for seq in candidates {
                 if self.meta.get(&seq).is_some_and(|m| m.epoch <= slot.epoch) {
-                    self.meta.remove(&seq);
+                    if let Some(m) = self.meta.remove(&seq) {
+                        observe_rtt(m);
+                    }
                     released += 1;
                 }
             }
@@ -542,6 +569,12 @@ impl ExportShipper {
         self.spill.len()
     }
 
+    /// Payload bytes those pending frames hold (the spill queue's
+    /// live footprint).
+    pub fn pending_bytes(&self) -> u64 {
+        self.spill.pending_bytes()
+    }
+
     /// Whether an upstream connection is currently established.
     pub fn is_connected(&self) -> bool {
         self.conn.is_some()
@@ -568,6 +601,7 @@ fn meta_of(s: &Summary) -> PendingMeta {
         window_start_ms: s.window.start_ms,
         exporter: s.site,
         epoch: s.epoch.map(|e| e.epoch).unwrap_or(0),
+        sent_at_ms: 0,
     }
 }
 
@@ -718,6 +752,7 @@ mod tests {
                 epoch: 1,
             },
             &relay,
+            0,
         );
         assert_eq!(s.pending_len(), 2, "the window-0 frame released");
         let _ = std::fs::remove_dir_all(&dir);
@@ -740,6 +775,7 @@ mod tests {
                 epoch: 2,
             },
             &relay,
+            0,
         );
         assert_eq!(s.pending_len(), 1);
         assert_eq!(s.stats().acked_frames, 2);
@@ -752,6 +788,7 @@ mod tests {
                 epoch: 2,
             },
             &relay,
+            0,
         );
         assert_eq!(s.stats().stale_acks, 1);
         // Zero-epoch ack cannot release the remaining v3 frame.
@@ -763,6 +800,7 @@ mod tests {
                 epoch: 0,
             },
             &relay,
+            0,
         );
         assert_eq!(s.stats().hostile_acks, 1);
         assert_eq!(s.pending_len(), 1);

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod fleetview;
 pub mod journal;
 pub mod plan;
 pub mod relay;

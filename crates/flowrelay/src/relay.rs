@@ -931,6 +931,28 @@ impl Relay {
         self.journal.as_ref().and_then(|j| j.error())
     }
 
+    /// Windows the export scheduler currently tracks (retention has
+    /// not evicted them).
+    pub fn stored_window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The export watermark lag at `now_ms`: how far behind wall time
+    /// the oldest window with *unexported* content is, measured from
+    /// that window's end. 0 = every stored window's content has been
+    /// drained for export (the node is keeping up), or nothing is
+    /// stored. A lag that only grows across scrapes is the fleet-level
+    /// signal that an upstream outage (or a stuck scheduler) is
+    /// pinning windows.
+    pub fn export_watermark_lag_ms(&self, now_ms: u64) -> u64 {
+        let span = self.span_ms.unwrap_or(0);
+        self.windows
+            .iter()
+            .find(|(_, st)| st.content_epoch > st.exported_epoch)
+            .map(|(start, _)| now_ms.saturating_sub(start.saturating_add(span)))
+            .unwrap_or(0)
+    }
+
     fn journal_append(&mut self, rec: crate::journal::Record<'_>) {
         let wants_compact = match self.journal.as_mut() {
             Some(j) => {

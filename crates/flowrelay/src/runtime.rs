@@ -37,11 +37,13 @@ use crate::export::{ExportShipper, ShipperConfig, ShipperStats};
 use crate::journal::{JournalConfig, RecoveryReport};
 use crate::plan::QueryRouter;
 use crate::relay::{ExportConfig, ExportMode, Relay, RelayConfig, RelayLedger};
-use crate::server::{answer_query, serve_acked_ingest};
+use crate::server::{answer_query, serve_acked_ingest_timed};
 use crate::topology::{RelaySpec, RelayTopology};
 use crate::{BackoffConfig, SteadyClock};
 use flowdist::ops::{spawn_ops, OpsHandle, OpsRequest, OpsResponse};
+use flowdist::runtime::health_tail;
 use flowdist::{FsyncPolicy, SpillConfig, SpillQueue, SpillStats};
+use flowmetrics::{EventRing, KvValue, Registry, Stopwatch};
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -211,6 +213,49 @@ struct SchedParams {
 struct SchedState {
     shipper: Option<ExportShipper>,
     journal_fault_logged: bool,
+    /// Where scheduler-detected operational events land (`/events`).
+    events: EventRing,
+    /// Ledger counters as of the last event sweep — the deltas become
+    /// events.
+    seen: LedgerSeen,
+}
+
+/// The ledger counters the event detector watches. Only *changes*
+/// matter; the absolute values already live in the ledger itself.
+#[derive(Debug, Clone, Copy, Default)]
+struct LedgerSeen {
+    delta_fallbacks: u64,
+    base_losses: u64,
+    rebase_rewinds: u64,
+    spill_sheds: u64,
+}
+
+impl LedgerSeen {
+    fn of(l: &RelayLedger) -> LedgerSeen {
+        LedgerSeen {
+            delta_fallbacks: l.delta_fallbacks,
+            base_losses: l.base_losses,
+            rebase_rewinds: l.rebase_rewinds,
+            spill_sheds: l.spill_sheds,
+        }
+    }
+}
+
+/// Shared observability state of one relay node: the metric registry
+/// behind `GET /metrics`, the event ring behind `GET /events`, and the
+/// boot instant behind `/health`'s `uptime_ms`.
+#[derive(Debug, Clone)]
+struct RelayTelemetry {
+    registry: Registry,
+    events: EventRing,
+    started: Instant,
+}
+
+fn epoch_ms_now() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 /// One running relay node (see the module docs).
@@ -305,6 +350,38 @@ impl NodeRuntime {
                 ));
             }
         }
+        let telemetry = RelayTelemetry {
+            registry: Registry::new(),
+            events: EventRing::new(256),
+            started: Instant::now(),
+        };
+        if let Some(report) = &recovery {
+            if report.wal_records > 0 || report.snapshot_slots > 0 {
+                telemetry.events.push(
+                    epoch_ms_now(),
+                    "crash_restart",
+                    format!(
+                        "gen {} wal_records {} torn_bytes {}",
+                        report.generation, report.wal_records, report.torn_bytes
+                    ),
+                );
+            }
+        }
+        if rewound > 0 {
+            telemetry.events.push(
+                epoch_ms_now(),
+                "rewound",
+                format!("unacked_exports {rewound}"),
+            );
+        }
+        let update_hist = telemetry.registry.histogram(
+            "flowtree_tree_update_seconds",
+            "One downstream summary frame classified and merged into the windowed trees.",
+        );
+        let query_hist = telemetry.registry.histogram(
+            "flowtree_query_seconds",
+            "One query planned, routed over the stored windows, and rendered.",
+        );
         let relay = Arc::new(Mutex::new(relay));
 
         // The durable shipper (only with an upstream).
@@ -329,7 +406,7 @@ impl NodeRuntime {
                     }
                     None => SpillQueue::in_memory(spill_cfg),
                 };
-                Some(ExportShipper::new(
+                let mut shipper = ExportShipper::new(
                     ShipperConfig {
                         upstream: addr.clone(),
                         handshake_ms: 1_000,
@@ -342,13 +419,24 @@ impl NodeRuntime {
                     },
                     spill,
                     u64::from(cfg.agg_site) ^ (u64::from(std::process::id()) << 17),
-                ))
+                );
+                shipper.set_rtt_histogram(telemetry.registry.histogram(
+                    "flowtree_export_rtt_seconds",
+                    "Ship-to-ack round trip of one export frame (first wire write to releasing ack).",
+                ));
+                Some(shipper)
             }
             None => None,
         };
+        // Seed the event detector with the recovered ledger so a
+        // journaled restart does not replay pre-crash counts as fresh
+        // events.
+        let seen = LedgerSeen::of(relay.lock().expect("relay lock").ledger());
         let sched = Arc::new(Mutex::new(SchedState {
             shipper,
             journal_fault_logged: false,
+            events: telemetry.events.clone(),
+            seen,
         }));
         let params = Arc::new(Mutex::new(SchedParams {
             retention_ms: cfg.retention_ms,
@@ -370,8 +458,10 @@ impl NodeRuntime {
         let ingest_join = {
             let relay = Arc::clone(&relay);
             let stop = Arc::clone(&accept_stop);
+            let update_hist = update_hist.clone();
             spawn_accept_loop("relay-ingest", ingest, stop, move |mut conn| {
                 let relay = Arc::clone(&relay);
+                let update_hist = update_hist.clone();
                 let _ = std::thread::Builder::new()
                     .name("relay-ingest-conn".into())
                     .spawn(move || {
@@ -380,7 +470,7 @@ impl NodeRuntime {
                         // hello; pure one-way v1–v3 senders get
                         // exactly the legacy silence. Locks the relay
                         // per frame, not per connection.
-                        let _ = serve_acked_ingest(&mut conn, &relay);
+                        let _ = serve_acked_ingest_timed(&mut conn, &relay, Some(&update_hist));
                     });
             })
             .map_err(|err| RuntimeError::Bind {
@@ -405,9 +495,11 @@ impl NodeRuntime {
             let relay = Arc::clone(&relay);
             let topo = topo.clone();
             let stop = Arc::clone(&accept_stop);
+            let query_hist = query_hist.clone();
             spawn_accept_loop("relay-query", queries, stop, move |conn| {
                 let relay = Arc::clone(&relay);
                 let topo = topo.clone();
+                let query_hist = query_hist.clone();
                 let _ = std::thread::Builder::new()
                     .name("relay-query-conn".into())
                     .spawn(move || {
@@ -418,10 +510,14 @@ impl NodeRuntime {
                         // the connection's lifetime, so pipelined
                         // frames survive its read-ahead.
                         let _ = flowdist::framing::serve_framed(conn, |frame| {
+                            let sw = Stopwatch::start();
                             let guard = relay.lock().expect("relay lock");
                             let relays = std::slice::from_ref(&*guard);
                             let router = QueryRouter::new(&topo, relays);
-                            Some(answer_query(&router, &frame))
+                            let out = answer_query(&router, &frame);
+                            drop(guard);
+                            sw.observe(&query_hist);
+                            Some(out)
                         });
                     });
             })
@@ -485,9 +581,12 @@ impl NodeRuntime {
                 let name = cfg.name.clone();
                 let is_root = cfg.upstream.is_none();
                 let agg_site = cfg.agg_site;
+                let tel = telemetry.clone();
                 Some(
                     spawn_ops(addr, move |req| {
-                        relay_ops(&name, agg_site, is_root, &relay, &sched, &params, &run, req)
+                        relay_ops(
+                            &name, agg_site, is_root, &relay, &sched, &params, &run, &tel, req,
+                        )
                     })
                     .map_err(|err| RuntimeError::Bind {
                         what: "stats",
@@ -831,6 +930,32 @@ fn scheduler_pass(
             sched.journal_fault_logged = true;
         }
     }
+    note_ledger_events(relay, sched, now);
+}
+
+/// Turns ledger-counter movement since the last pass into `/events`
+/// entries — the *why* behind the counters (a delta fell back to a
+/// full frame, a window rebased, the spill bound shed exports).
+fn note_ledger_events(relay: &Arc<Mutex<Relay>>, sched: &mut SchedState, ts_ms: u64) {
+    let l = *relay.lock().expect("relay lock").ledger();
+    let seen = sched.seen;
+    let events = &sched.events;
+    let emit = |kind: &'static str, delta: u64| {
+        if delta > 0 {
+            events.push(ts_ms, kind, format!("count {delta}"));
+        }
+    };
+    emit(
+        "delta_fallback",
+        l.delta_fallbacks.saturating_sub(seen.delta_fallbacks),
+    );
+    emit("base_loss", l.base_losses.saturating_sub(seen.base_losses));
+    emit(
+        "rebase",
+        l.rebase_rewinds.saturating_sub(seen.rebase_rewinds),
+    );
+    emit("spill_shed", l.spill_sheds.saturating_sub(seen.spill_sheds));
+    sched.seen = LedgerSeen::of(&l);
 }
 
 /// Feeds spill-shed deltas across one enqueue batch into the ledger
@@ -846,6 +971,390 @@ fn note_sheds(relay: &Arc<Mutex<Relay>>, before: &SpillStats, after: &SpillStats
     }
 }
 
+/// One coherent observation of the node, gathered under the relay and
+/// scheduler locks once per ops request — the single source the
+/// legacy plaintext page, `/stats.json`, and the `/metrics` sync all
+/// render from, so the three can never drift.
+struct ObsSnap {
+    export: ExportConfig,
+    params: SchedParams,
+    journal_degraded: bool,
+    ledger: RelayLedger,
+    stored_windows: usize,
+    lag_ms: u64,
+    pending: usize,
+    pending_bytes: u64,
+    connected: bool,
+    acked_mode: Option<bool>,
+    shipper: Option<ShipperStats>,
+    spill: Option<SpillStats>,
+}
+
+fn observe(
+    relay: &Arc<Mutex<Relay>>,
+    sched: &Arc<Mutex<SchedState>>,
+    params: &Arc<Mutex<SchedParams>>,
+) -> ObsSnap {
+    let now_ms = epoch_ms_now();
+    let (ledger, export, journal_degraded, stored_windows, lag_ms) = {
+        let guard = relay.lock().expect("relay lock");
+        (
+            *guard.ledger(),
+            *guard.export_config(),
+            guard.journal_error().is_some(),
+            guard.stored_window_count(),
+            guard.export_watermark_lag_ms(now_ms),
+        )
+    };
+    let p = *params.lock().expect("params lock");
+    let guard = sched.lock().expect("sched lock");
+    let (pending, pending_bytes, connected, acked_mode, shipper, spill) =
+        match guard.shipper.as_ref() {
+            Some(s) => (
+                s.pending_len(),
+                s.pending_bytes(),
+                s.is_connected(),
+                s.acked_mode(),
+                Some(s.stats()),
+                Some(s.spill_stats()),
+            ),
+            None => (0, 0, false, None, None, None),
+        };
+    drop(guard);
+    ObsSnap {
+        export,
+        params: p,
+        journal_degraded,
+        ledger,
+        stored_windows,
+        lag_ms,
+        pending,
+        pending_bytes,
+        connected,
+        acked_mode,
+        shipper,
+        spill,
+    }
+}
+
+/// The relay node's stats as ordered key/value pairs — key set and
+/// order are exactly the pre-JSON plaintext page's.
+fn relay_stat_pairs(role: &str, name: &str, agg_site: u16, o: &ObsSnap) -> Vec<(String, KvValue)> {
+    let mut pairs: Vec<(String, KvValue)> = Vec::with_capacity(48);
+    let mut kv = |k: &str, v: KvValue| pairs.push((k.to_string(), v));
+    kv("role", role.into());
+    kv("name", name.into());
+    kv("agg_site", KvValue::U64(u64::from(agg_site)));
+    kv("mode", format!("{:?}", o.export.mode).to_lowercase().into());
+    kv("linger_ms", KvValue::U64(o.export.linger_ms));
+    kv("retention_ms", KvValue::U64(o.params.retention_ms));
+    kv("drain_every_ms", KvValue::U64(o.params.drain_every_ms));
+    kv("max_bases", KvValue::U64(o.export.max_bases as u64));
+    kv("journal_degraded", KvValue::Bool(o.journal_degraded));
+    let l = &o.ledger;
+    kv("frames", KvValue::U64(l.frames));
+    kv("site_frames", KvValue::U64(l.site_frames));
+    kv("agg_frames", KvValue::U64(l.agg_frames));
+    kv("rejected", KvValue::U64(l.rejected));
+    kv("replayed", KvValue::U64(l.replayed));
+    kv("exported", KvValue::U64(l.exported));
+    kv("exported_bytes", KvValue::U64(l.exported_bytes));
+    kv("full_exports", KvValue::U64(l.full_exports));
+    kv("delta_exports", KvValue::U64(l.delta_exports));
+    kv("delta_fallbacks", KvValue::U64(l.delta_fallbacks));
+    kv("base_losses", KvValue::U64(l.base_losses));
+    kv("late_downstream", KvValue::U64(l.late_downstream));
+    kv("rebase_requests", KvValue::U64(l.rebase_requests));
+    kv("rebase_rewinds", KvValue::U64(l.rebase_rewinds));
+    kv("reconnect_attempts", KvValue::U64(l.reconnect_attempts));
+    kv("reconnect_failures", KvValue::U64(l.reconnect_failures));
+    kv("backoff_ms_total", KvValue::U64(l.backoff_ms_total));
+    kv("spill_sheds", KvValue::U64(l.spill_sheds));
+    kv("spill_shed_bytes", KvValue::U64(l.spill_shed_bytes));
+    kv("export_pending", KvValue::U64(o.pending as u64));
+    kv("upstream_connected", KvValue::Bool(o.connected));
+    kv(
+        "acked_mode",
+        match o.acked_mode {
+            Some(true) => "acked",
+            Some(false) => "legacy",
+            None => "none",
+        }
+        .into(),
+    );
+    if let Some(s) = &o.shipper {
+        kv("ship_enqueued", KvValue::U64(s.enqueued));
+        kv("ship_sent_frames", KvValue::U64(s.sent_frames));
+        kv("ship_sent_bytes", KvValue::U64(s.sent_bytes));
+        kv("ship_acked_frames", KvValue::U64(s.acked_frames));
+        kv("ship_legacy_released", KvValue::U64(s.legacy_released));
+        kv("ship_rebase_honored", KvValue::U64(s.rebase_honored));
+        kv("ship_stall_recycles", KvValue::U64(s.stall_recycles));
+        kv("ship_handshakes", KvValue::U64(s.handshakes));
+        kv("ship_legacy_sessions", KvValue::U64(s.legacy_sessions));
+    }
+    if let Some(s) = &o.spill {
+        kv("spill_pushed_frames", KvValue::U64(s.pushed_frames));
+        kv("spill_pushed_bytes", KvValue::U64(s.pushed_bytes));
+        kv("spill_acked_floor", KvValue::U64(s.acked_frames));
+        kv("spill_recovered_frames", KvValue::U64(s.recovered_frames));
+        kv("spill_torn_bytes", KvValue::U64(s.torn_bytes));
+        kv("spill_io_errors", KvValue::U64(s.io_errors));
+    }
+    // New observability-layer keys, appended so legacy scrapers keep
+    // their line positions.
+    kv("stored_windows", KvValue::U64(o.stored_windows as u64));
+    kv("export_watermark_lag_ms", KvValue::U64(o.lag_ms));
+    kv("export_pending_bytes", KvValue::U64(o.pending_bytes));
+    pairs
+}
+
+/// Mirrors one observation into the node's registry so a `/metrics`
+/// scrape sees the ledger, shipper, and spill counters as first-class
+/// Prometheus series next to the live latency histograms.
+fn sync_relay_registry(tel: &RelayTelemetry, role: &str, name: &str, o: &ObsSnap) {
+    let reg = &tel.registry;
+    reg.gauge_with(
+        "flowtree_build_info",
+        "Constant 1; identity in labels.",
+        &[
+            ("role", role),
+            ("node", name),
+            ("version", flowdist::runtime::build_version()),
+        ],
+    )
+    .set(1);
+    reg.gauge("flowtree_uptime_seconds", "Seconds since this node booted.")
+        .set(tel.started.elapsed().as_secs() as i64);
+    let c = |name: &str, help: &str, v: u64| reg.counter(name, help).set(v);
+    let g = |name: &str, help: &str, v: i64| reg.gauge(name, help).set(v);
+    let l = &o.ledger;
+    c(
+        "flowtree_relay_frames_total",
+        "Downstream summary frames accepted.",
+        l.frames,
+    );
+    c(
+        "flowtree_relay_site_frames_total",
+        "Plain per-site frames among them.",
+        l.site_frames,
+    );
+    c(
+        "flowtree_relay_agg_frames_total",
+        "Aggregate (provenance-carrying) frames among them.",
+        l.agg_frames,
+    );
+    c(
+        "flowtree_relay_rejected_total",
+        "Frames rejected (malformed, coverage violations, overlaps).",
+        l.rejected,
+    );
+    c(
+        "flowtree_relay_replayed_total",
+        "At-least-once replays recognized and acked without re-applying.",
+        l.replayed,
+    );
+    c(
+        "flowtree_relay_exported_total",
+        "Aggregates exported upstream (full and delta frames).",
+        l.exported,
+    );
+    c(
+        "flowtree_relay_exported_bytes_total",
+        "Encoded bytes of those exports.",
+        l.exported_bytes,
+    );
+    c(
+        "flowtree_relay_full_exports_total",
+        "Full frames among the exports.",
+        l.full_exports,
+    );
+    c(
+        "flowtree_relay_delta_exports_total",
+        "Delta frames among the exports.",
+        l.delta_exports,
+    );
+    c(
+        "flowtree_relay_delta_fallbacks_total",
+        "Deltas that fell back to full frames.",
+        l.delta_fallbacks,
+    );
+    c(
+        "flowtree_relay_base_losses_total",
+        "Fallbacks caused by a dropped re-aggregation base.",
+        l.base_losses,
+    );
+    c(
+        "flowtree_relay_late_downstream_total",
+        "Frames accepted for windows already exported upstream.",
+        l.late_downstream,
+    );
+    c(
+        "flowtree_relay_rebase_requests_total",
+        "Deltas whose declared base was ahead; answered with a rebase-request.",
+        l.rebase_requests,
+    );
+    c(
+        "flowtree_relay_rebase_rewinds_total",
+        "Windows rewound to full rebasing re-exports on downstream request.",
+        l.rebase_rewinds,
+    );
+    c(
+        "flowtree_relay_reconnect_attempts_total",
+        "Upstream connection attempts by the export shipper.",
+        l.reconnect_attempts,
+    );
+    c(
+        "flowtree_relay_reconnect_failures_total",
+        "Failed connection attempts among them.",
+        l.reconnect_failures,
+    );
+    c(
+        "flowtree_relay_backoff_ms_total",
+        "Milliseconds the shipper backed off between attempts.",
+        l.backoff_ms_total,
+    );
+    c(
+        "flowtree_relay_spill_sheds_total",
+        "Pending exports shed by the spill byte bound.",
+        l.spill_sheds,
+    );
+    c(
+        "flowtree_relay_spill_shed_bytes_total",
+        "Payload bytes those shed frames carried.",
+        l.spill_shed_bytes,
+    );
+    g(
+        "flowtree_stored_windows",
+        "Windows the export scheduler currently tracks.",
+        o.stored_windows as i64,
+    );
+    g(
+        "flowtree_export_watermark_lag_seconds",
+        "Age of the oldest window with unexported content (0 = keeping up).",
+        (o.lag_ms / 1_000) as i64,
+    );
+    g(
+        "flowtree_export_pending_frames",
+        "Export frames awaiting upstream acknowledgment.",
+        o.pending as i64,
+    );
+    g(
+        "flowtree_spill_pending_bytes",
+        "Payload bytes the pending exports hold in the spill queue.",
+        o.pending_bytes as i64,
+    );
+    g(
+        "flowtree_upstream_connected",
+        "1 when an upstream connection is established.",
+        i64::from(o.connected),
+    );
+    if let Some(s) = &o.shipper {
+        c(
+            "flowtree_ship_enqueued_total",
+            "Frames handed to the durable shipper.",
+            s.enqueued,
+        );
+        c(
+            "flowtree_ship_sent_frames_total",
+            "Frames written to the wire (including resends).",
+            s.sent_frames,
+        );
+        c(
+            "flowtree_ship_sent_bytes_total",
+            "Bytes written to the wire.",
+            s.sent_bytes,
+        );
+        c(
+            "flowtree_ship_acked_frames_total",
+            "Frames released by a receiver ack.",
+            s.acked_frames,
+        );
+        c(
+            "flowtree_ship_legacy_released_total",
+            "Frames released by the legacy flushed-write contract.",
+            s.legacy_released,
+        );
+        c(
+            "flowtree_ship_rebase_honored_total",
+            "Rebase-requests honored (window rewound).",
+            s.rebase_honored,
+        );
+        c(
+            "flowtree_ship_stale_acks_total",
+            "Acks that matched nothing pending.",
+            s.stale_acks,
+        );
+        c(
+            "flowtree_ship_hostile_acks_total",
+            "Zero-epoch acks that claimed epoch-advancing frames; ignored.",
+            s.hostile_acks,
+        );
+        c(
+            "flowtree_ship_stall_recycles_total",
+            "Connections recycled because acks went silent.",
+            s.stall_recycles,
+        );
+        c(
+            "flowtree_ship_handshakes_total",
+            "Completed hello handshakes (ack mode negotiated).",
+            s.handshakes,
+        );
+        c(
+            "flowtree_ship_legacy_sessions_total",
+            "Connections that fell back to legacy fire-and-forget.",
+            s.legacy_sessions,
+        );
+    }
+    if let Some(s) = &o.spill {
+        c(
+            "flowtree_spill_pushed_frames_total",
+            "Frames pushed into the spill queue.",
+            s.pushed_frames,
+        );
+        c(
+            "flowtree_spill_pushed_bytes_total",
+            "Payload bytes pushed into the spill queue.",
+            s.pushed_bytes,
+        );
+        c(
+            "flowtree_spill_acked_frames_total",
+            "Frames released from the spill queue by acks.",
+            s.acked_frames,
+        );
+        c(
+            "flowtree_spill_shed_frames_total",
+            "Frames shed by the spill byte bound.",
+            s.shed_frames,
+        );
+        c(
+            "flowtree_spill_shed_bytes_total",
+            "Payload bytes the shed frames carried.",
+            s.shed_bytes,
+        );
+        c(
+            "flowtree_spill_recovered_frames_total",
+            "Frames recovered from disk at startup.",
+            s.recovered_frames,
+        );
+        c(
+            "flowtree_spill_torn_bytes_total",
+            "Torn tail bytes truncated during recovery.",
+            s.torn_bytes,
+        );
+        c(
+            "flowtree_spill_io_errors_total",
+            "Spill writes degraded to memory-only by I/O errors.",
+            s.io_errors,
+        );
+    }
+    c(
+        "flowtree_events_total",
+        "Operational events recorded (including ones the ring evicted).",
+        tel.events.total(),
+    );
+}
+
 /// Renders the relay node's ops surface.
 #[allow(clippy::too_many_arguments)]
 fn relay_ops(
@@ -856,6 +1365,7 @@ fn relay_ops(
     sched: &Arc<Mutex<SchedState>>,
     params: &Arc<Mutex<SchedParams>>,
     run: &Arc<(Mutex<bool>, Condvar)>,
+    tel: &RelayTelemetry,
     req: &OpsRequest,
 ) -> OpsResponse {
     let role = if is_root { "root" } else { "relay" };
@@ -863,111 +1373,38 @@ fn relay_ops(
         ("GET", "/health") => {
             let healthy = relay.lock().expect("relay lock").journal_error().is_none();
             OpsResponse::ok(format!(
-                "ok {healthy}\nrole {role}\nname {name}\nagg_site {agg_site}"
+                "ok {healthy}\nrole {role}\nname {name}\nagg_site {agg_site}\n{}",
+                health_tail(tel.started)
             ))
         }
         ("GET", "/stats" | "/") => {
-            let (ledger, export, journal_degraded) = {
-                let guard = relay.lock().expect("relay lock");
-                (
-                    *guard.ledger(),
-                    *guard.export_config(),
-                    guard.journal_error().is_some(),
-                )
-            };
-            let p = *params.lock().expect("params lock");
-            let (pending, connected, acked_mode, shipper, spill) = {
-                let guard = sched.lock().expect("sched lock");
-                match guard.shipper.as_ref() {
-                    Some(s) => (
-                        s.pending_len(),
-                        s.is_connected(),
-                        s.acked_mode(),
-                        Some(s.stats()),
-                        Some(s.spill_stats()),
-                    ),
-                    None => (0, false, None, None, None),
-                }
-            };
-            let mut body = String::with_capacity(1024);
-            let mut line = |k: &str, v: String| {
-                body.push_str(k);
-                body.push(' ');
-                body.push_str(&v);
-                body.push('\n');
-            };
-            line("role", role.into());
-            line("name", name.into());
-            line("agg_site", agg_site.to_string());
-            line("mode", format!("{:?}", export.mode).to_lowercase());
-            line("linger_ms", export.linger_ms.to_string());
-            line("retention_ms", p.retention_ms.to_string());
-            line("drain_every_ms", p.drain_every_ms.to_string());
-            line("max_bases", export.max_bases.to_string());
-            line("journal_degraded", journal_degraded.to_string());
-            line("frames", ledger.frames.to_string());
-            line("site_frames", ledger.site_frames.to_string());
-            line("agg_frames", ledger.agg_frames.to_string());
-            line("rejected", ledger.rejected.to_string());
-            line("replayed", ledger.replayed.to_string());
-            line("exported", ledger.exported.to_string());
-            line("exported_bytes", ledger.exported_bytes.to_string());
-            line("full_exports", ledger.full_exports.to_string());
-            line("delta_exports", ledger.delta_exports.to_string());
-            line("delta_fallbacks", ledger.delta_fallbacks.to_string());
-            line("base_losses", ledger.base_losses.to_string());
-            line("late_downstream", ledger.late_downstream.to_string());
-            line("rebase_requests", ledger.rebase_requests.to_string());
-            line("rebase_rewinds", ledger.rebase_rewinds.to_string());
-            line("reconnect_attempts", ledger.reconnect_attempts.to_string());
-            line("reconnect_failures", ledger.reconnect_failures.to_string());
-            line("backoff_ms_total", ledger.backoff_ms_total.to_string());
-            line("spill_sheds", ledger.spill_sheds.to_string());
-            line("spill_shed_bytes", ledger.spill_shed_bytes.to_string());
-            line("export_pending", pending.to_string());
-            line("upstream_connected", connected.to_string());
-            line(
-                "acked_mode",
-                match acked_mode {
-                    Some(true) => "acked".into(),
-                    Some(false) => "legacy".into(),
-                    None => "none".into(),
-                },
-            );
-            if let Some(s) = shipper {
-                render_shipper(&mut line, &s);
-            }
-            if let Some(s) = spill {
-                line("spill_pushed_frames", s.pushed_frames.to_string());
-                line("spill_pushed_bytes", s.pushed_bytes.to_string());
-                line("spill_acked_floor", s.acked_frames.to_string());
-                line("spill_recovered_frames", s.recovered_frames.to_string());
-                line("spill_torn_bytes", s.torn_bytes.to_string());
-                line("spill_io_errors", s.io_errors.to_string());
-            }
-            OpsResponse::ok(body)
+            let o = observe(relay, sched, params);
+            OpsResponse::ok(flowmetrics::render_kv_text(&relay_stat_pairs(
+                role, name, agg_site, &o,
+            )))
         }
+        ("GET", "/stats.json") => {
+            let o = observe(relay, sched, params);
+            OpsResponse::ok(flowmetrics::render_kv_json(&relay_stat_pairs(
+                role, name, agg_site, &o,
+            )))
+        }
+        ("GET", "/metrics") => {
+            let o = observe(relay, sched, params);
+            sync_relay_registry(tel, role, name, &o);
+            OpsResponse::ok(tel.registry.render_prometheus())
+        }
+        ("GET", "/events") => OpsResponse::ok(tel.events.render_text()),
         ("POST", "/reload") => match parse_reload_body(&req.body, relay, params) {
             Ok(applied) => {
                 run.1.notify_all();
+                tel.events.push(epoch_ms_now(), "reload", applied.clone());
                 OpsResponse::ok(applied)
             }
             Err(e) => OpsResponse::bad_request(e),
         },
         _ => OpsResponse::not_found(),
     }
-}
-
-fn render_shipper(line: &mut impl FnMut(&str, String), s: &ShipperStats) {
-    line("ship_enqueued", s.enqueued.to_string());
-    line("ship_sent_frames", s.sent_frames.to_string());
-    line("ship_sent_bytes", s.sent_bytes.to_string());
-    line("ship_acked_frames", s.acked_frames.to_string());
-    line("ship_legacy_released", s.legacy_released.to_string());
-    line("ship_rebase_honored", s.rebase_honored.to_string());
-    line("ship_stall_recycles", s.stall_recycles.to_string());
-    line("ship_handshakes", s.handshakes.to_string());
-    line("ship_legacy_sessions", s.legacy_sessions.to_string());
 }
 
 /// Applies a `POST /reload` body (`key=value` lines; keys `mode`,

@@ -63,6 +63,18 @@ pub fn serve_acked_ingest(
     stream: &mut TcpStream,
     relay: &Mutex<Relay>,
 ) -> Result<(usize, usize), RelayError> {
+    serve_acked_ingest_timed(stream, relay, None)
+}
+
+/// [`serve_acked_ingest`] with an optional tree-update latency
+/// histogram: each summary frame's lock-classify-apply is timed (the
+/// merge of one downstream frame into the windowed trees — the relay's
+/// hot path). Control frames are not timed.
+pub fn serve_acked_ingest_timed(
+    stream: &mut TcpStream,
+    relay: &Mutex<Relay>,
+    update_hist: Option<&flowmetrics::Histogram>,
+) -> Result<(usize, usize), RelayError> {
     let (mut applied, mut rejected) = (0usize, 0usize);
     let mut acks_negotiated = false;
     let owned = stream.try_clone().map_err(io_err)?;
@@ -87,7 +99,11 @@ pub fn serve_acked_ingest(
                 }
             };
         }
+        let sw = update_hist.map(|_| flowmetrics::Stopwatch::start());
         let outcome = relay.lock().expect("relay lock").ingest_classified(&frame);
+        if let (Some(sw), Some(h)) = (sw, update_hist) {
+            sw.observe(h);
+        }
         match outcome {
             FrameOutcome::Applied(pos) | FrameOutcome::Replayed(pos) => {
                 applied += 1;
