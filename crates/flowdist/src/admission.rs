@@ -60,6 +60,10 @@ pub struct AdmissionKnobs {
     record_burst: AtomicU64,
     max_exporters: AtomicU64,
     max_open_windows: AtomicU64,
+    /// Core pinning for listen lanes and shard workers (0 = off).
+    /// Lanes re-check per loop iteration, so `pin-cores=0` on the
+    /// reload path unpins live threads.
+    pin_cores: AtomicU64,
 }
 
 impl AdmissionKnobs {
@@ -102,6 +106,17 @@ impl AdmissionKnobs {
     /// Sets the open-window budget (reload path).
     pub fn set_max_open_windows(&self, windows: u64) {
         self.max_open_windows.store(windows, Ordering::Relaxed);
+    }
+
+    /// Whether listen lanes and shard workers should pin to cores.
+    pub fn pin_cores(&self) -> bool {
+        self.pin_cores.load(Ordering::Relaxed) != 0
+    }
+
+    /// Toggles core pinning (reload path; lanes apply or clear their
+    /// affinity on the next loop iteration).
+    pub fn set_pin_cores(&self, pin: bool) {
+        self.pin_cores.store(pin as u64, Ordering::Relaxed);
     }
 }
 

@@ -47,6 +47,10 @@ pub struct DaemonConfig {
     /// shards with the paper's `merge`, so emitted [`Summary`] bytes
     /// have exactly the shape of an unsharded daemon's.
     pub shards: usize,
+    /// Pin shard worker threads to cores (opt-in, best-effort, Linux
+    /// only). Applies to worker pools spawned after the flag is set —
+    /// i.e. from the next window on, when toggled live.
+    pub pin_cores: bool,
 }
 
 impl DaemonConfig {
@@ -61,6 +65,7 @@ impl DaemonConfig {
             transfer: TransferMode::Full,
             open_windows: 2,
             shards: 1,
+            pin_cores: false,
         }
     }
 
@@ -126,6 +131,28 @@ impl SiteDaemon {
         &self.stats
     }
 
+    /// Current event-time watermark (ms) — the newest record timestamp
+    /// this daemon has seen.
+    pub fn watermark(&self) -> u64 {
+        self.watermark_ms
+    }
+
+    /// Toggles core pinning for shard worker pools spawned from now on
+    /// (live-reload path of the `pin-cores` knob; pools already running
+    /// keep their affinity until their window closes).
+    pub fn set_pin_workers(&mut self, pin: bool) {
+        self.cfg.pin_cores = pin;
+    }
+
+    /// A fresh sharded tree for one window, honoring the pinning knob.
+    /// Associated (not `&self`) so `open.entry(..).or_insert_with` can
+    /// call it while `self.open` is borrowed.
+    fn window_tree(cfg: &DaemonConfig) -> ShardedTree {
+        let mut t = ShardedTree::new(cfg.schema, cfg.tree, cfg.shards);
+        t.set_pin_workers(cfg.pin_cores);
+        t
+    }
+
     /// Currently open windows (oldest first).
     pub fn open_windows(&self) -> Vec<WindowId> {
         self.open
@@ -165,7 +192,7 @@ impl SiteDaemon {
         let tree = self
             .open
             .entry(window.start_ms)
-            .or_insert_with(|| ShardedTree::new(self.cfg.schema, self.cfg.tree, self.cfg.shards));
+            .or_insert_with(|| Self::window_tree(&self.cfg));
         tree.insert(key, pop);
         out
     }
@@ -196,7 +223,7 @@ impl SiteDaemon {
         let tree = self
             .open
             .entry(window.start_ms)
-            .or_insert_with(|| ShardedTree::new(self.cfg.schema, self.cfg.tree, self.cfg.shards));
+            .or_insert_with(|| Self::window_tree(&self.cfg));
         tree.par_insert_batch(batch);
         out
     }
@@ -240,9 +267,10 @@ impl SiteDaemon {
             if w_max < oldest_open {
                 self.stats.late_drops += items.len() as u64;
             } else {
-                let tree = self.open.entry(w_max).or_insert_with(|| {
-                    ShardedTree::new(self.cfg.schema, self.cfg.tree, self.cfg.shards)
-                });
+                let tree = self
+                    .open
+                    .entry(w_max)
+                    .or_insert_with(|| Self::window_tree(&self.cfg));
                 tree.par_insert_iter(items.iter().map(|(_, k, p)| (k, *p)), items.len());
             }
             return self.advance_watermark(max_ts);
@@ -260,10 +288,79 @@ impl SiteDaemon {
             }
         }
         for (start_ms, batch) in per_window {
-            let tree = self.open.entry(start_ms).or_insert_with(|| {
-                ShardedTree::new(self.cfg.schema, self.cfg.tree, self.cfg.shards)
-            });
+            let tree = self
+                .open
+                .entry(start_ms)
+                .or_insert_with(|| Self::window_tree(&self.cfg));
             tree.par_insert_batch(&batch);
+        }
+        self.advance_watermark(max_ts)
+    }
+
+    /// [`Self::ingest_stamped_batch`] for items whose keys are
+    /// **already canonicalized and hashed** — each item carries
+    /// `(event_time_ms, key_hash, key, mass)`. The streaming pipeline
+    /// hashes every record exactly once at decode time and this path
+    /// routes shards by that carried hash, so flush time does zero
+    /// re-canonicalizing and re-hashing. Semantics (window routing,
+    /// lateness, watermark, counters) are identical to the stamped
+    /// path.
+    pub fn ingest_prehashed_batch(
+        &mut self,
+        items: &[(u64, u64, flowkey::FlowKey, Popularity)],
+    ) -> Vec<Summary> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let span = self.cfg.window_ms;
+        let (mut max_ts, mut w_min, mut w_max) = (0u64, u64::MAX, 0u64);
+        for (ts, _, _, _) in items {
+            max_ts = max_ts.max(*ts);
+            let w = WindowId::containing(*ts, span).start_ms;
+            w_min = w_min.min(w);
+            w_max = w_max.max(w);
+        }
+        self.stats.records += items.len() as u64;
+        // Lateness is judged against the horizon as of arrival; the
+        // batch's own newest timestamp must not retro-drop its peers.
+        let oldest_open = self.oldest_allowed();
+        if w_min == w_max {
+            // The common shape — the pipeline sends window-bucketed
+            // batches — feeds the shards straight from the input slice.
+            if w_max < oldest_open {
+                self.stats.late_drops += items.len() as u64;
+            } else {
+                let tree = self
+                    .open
+                    .entry(w_max)
+                    .or_insert_with(|| Self::window_tree(&self.cfg));
+                tree.par_insert_prehashed_iter(
+                    items.iter().map(|(_, h, k, p)| (*h, *k, *p)),
+                    items.len(),
+                );
+            }
+            return self.advance_watermark(max_ts);
+        }
+        let mut per_window: BTreeMap<u64, Vec<(u64, flowkey::FlowKey, Popularity)>> =
+            BTreeMap::new();
+        for (ts, hash, key, pop) in items {
+            let window = WindowId::containing(*ts, span);
+            if window.start_ms < oldest_open {
+                self.stats.late_drops += 1;
+            } else {
+                per_window
+                    .entry(window.start_ms)
+                    .or_default()
+                    .push((*hash, *key, *pop));
+            }
+        }
+        for (start_ms, batch) in per_window {
+            let len = batch.len();
+            let tree = self
+                .open
+                .entry(start_ms)
+                .or_insert_with(|| Self::window_tree(&self.cfg));
+            tree.par_insert_prehashed_iter(batch.into_iter(), len);
         }
         self.advance_watermark(max_ts)
     }
@@ -315,16 +412,24 @@ impl SiteDaemon {
             start_ms,
             span_ms: self.cfg.window_ms,
         };
-        let (kind, wire_tree) = match (self.cfg.transfer, &self.last_emitted) {
-            (TransferMode::Delta, Some((_, prev))) => {
-                let delta = FlowTree::diffed(&tree, prev).expect("same schema within one daemon");
-                (SummaryKind::Delta, delta)
+        // Full mode moves the tree into the summary (the old path
+        // cloned every window's tree just to keep a value it then
+        // dropped); delta mode is the only one that must retain it as
+        // the next delta's base.
+        let (kind, wire_tree) = match self.cfg.transfer {
+            TransferMode::Delta => {
+                let wire = match &self.last_emitted {
+                    Some((_, prev)) => (
+                        SummaryKind::Delta,
+                        FlowTree::diffed(&tree, prev).expect("same schema within one daemon"),
+                    ),
+                    None => (SummaryKind::Full, tree.clone()),
+                };
+                self.last_emitted = Some((start_ms, tree));
+                wire
             }
-            _ => (SummaryKind::Full, tree.clone()),
+            TransferMode::Full => (SummaryKind::Full, tree),
         };
-        if self.cfg.transfer == TransferMode::Delta {
-            self.last_emitted = Some((start_ms, tree));
-        }
         self.seq += 1;
         let summary = Summary {
             site: self.cfg.site,
@@ -336,7 +441,8 @@ impl SiteDaemon {
             tree: wire_tree,
         };
         self.stats.summaries += 1;
-        self.stats.summary_bytes += summary.encode().len() as u64;
+        // Exact arithmetic size — no throwaway encode on the close path.
+        self.stats.summary_bytes += summary.encoded_size() as u64;
         summary
     }
 }

@@ -1,0 +1,1264 @@
+//! Multi-lane UDP ingest: N independent listen→decode→pipeline lanes
+//! merged into one summary stream at window close.
+//!
+//! The single-reader loop in [`crate::listen`] serializes every
+//! datagram through one thread — one syscall, one decoder, one
+//! admission table, one pipeline. At site export rates that reader is
+//! the ceiling, not the tree. This module rebuilds the ingest edge so
+//! it scales with cores:
+//!
+//! * **N sockets, one port** — [`crate::sockopt::bind_reuseport`]
+//!   binds N `SO_REUSEPORT` sockets to the same address and the kernel
+//!   fans exporters across them (hashed by flow, so one exporter's
+//!   stream stays on one lane). Where reuseport is unavailable (or
+//!   disabled), a single reader thread fans datagrams out to the lanes
+//!   over lock-free SPSC rings ([`crate::ring`]), routed by exporter
+//!   address hash so per-exporter admission state stays lane-local.
+//! * **Batched receive** — every socket is drained through
+//!   [`crate::mrecv::BatchReceiver`] (`recvmmsg`, up to 64 datagrams
+//!   per syscall, portable fallback included).
+//! * **Lane-local hot path** — each lane owns its own
+//!   [`IngestPipeline`] (decoder + template caches), its own
+//!   [`AdmissionControl`] table, and its own windowed daemon; no lock
+//!   is shared between lanes while datagrams flow.
+//! * **Merge at the edge of the window, not the packet** — lanes ship
+//!   each closed window's tree to a merger thread, which combines the
+//!   per-lane trees with the paper's structural
+//!   [`FlowTree::merge_many`] once *every* lane's event-time watermark
+//!   has passed the window, then encodes and ships one [`Summary`]
+//!   frame. Because summaries are canonical encodings of node
+//!   multisets, the merged bytes are identical to what a single-lane
+//!   daemon would have emitted over the same records (property-pinned
+//!   in the test suite).
+//! * **Opt-in core pinning** — lanes re-check the shared
+//!   [`AdmissionKnobs::pin_cores`] knob every loop iteration and
+//!   apply/clear their CPU affinity live, so `pin-cores=0` on the
+//!   reload path unpins a running site.
+//!
+//! Watermark discipline: the merger holds a window until the *minimum*
+//! lane watermark closes it (the same `open_windows` horizon the
+//! daemon uses), so a slow lane can never have its stragglers shut out
+//! by a fast one. A lane that has seen no traffic holds emission until
+//! shutdown — under reuseport the kernel spreads exporters across all
+//! lanes, and the fanout reader hashes exporters across all lanes, so
+//! a persistently idle lane means a mostly idle site.
+//!
+//! With `lanes == 1` this collapses to the familiar single-reader
+//! loop (one lane, pass-through merge) and the emitted frames are
+//! byte-identical to [`crate::listen::spawn_udp_ingest`]'s.
+
+use crate::admission::{AdmissionControl, AdmissionKnobs, AdmissionStats};
+use crate::daemon::{DaemonConfig, DaemonStats, TransferMode};
+use crate::listen::{IngestReport, IngestSnapshot, IngestTelemetry};
+use crate::mrecv::BatchReceiver;
+use crate::pipeline::{IngestPipeline, PipelineStats};
+use crate::ring;
+use crate::summary::{Summary, SummaryKind};
+use crate::window::WindowId;
+use crate::DistError;
+use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+use flowmetrics::Histogram;
+use flownet::DecoderStats;
+use flowtree_core::FlowTree;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Hard cap on lanes (sockets/threads) per listen address.
+pub const MAX_LANES: usize = 64;
+
+/// Fanout ring capacity per lane (datagrams), fallback mode only.
+const RING_CAPACITY: usize = 1_024;
+
+/// Tuning for [`spawn_multi_lane_ingest`].
+#[derive(Debug, Clone)]
+pub struct LaneOptions {
+    /// Listen lanes (clamped to `1..=MAX_LANES`). 1 = the classic
+    /// single-reader loop.
+    pub lanes: usize,
+    /// Datagrams per receive syscall (clamped to
+    /// `1..=`[`crate::mrecv::MAX_RECV_BATCH`]).
+    pub recv_batch: usize,
+    /// Try `SO_REUSEPORT` multi-socket mode for `lanes > 1` (Linux);
+    /// `false` — or an unsupported platform — selects the portable
+    /// single-socket fanout-ring mode.
+    pub reuseport: bool,
+    /// Force the portable single-datagram receive path even where
+    /// `recvmmsg` exists (fallback-matrix tests, CI fallback leg).
+    pub force_fallback_recv: bool,
+    /// Requested `SO_RCVBUF` per socket (best-effort; achieved size
+    /// lands in each lane's gauges). `None` keeps the OS default.
+    pub receive_buffer_bytes: Option<usize>,
+    /// Live-reloadable admission quotas, open-window budget, and the
+    /// `pin-cores` toggle, shared with whoever serves `POST /reload`.
+    pub knobs: Arc<AdmissionKnobs>,
+    /// Observability hooks (wired to lane 0, whose open-window gauge
+    /// and shed events mirror the single-reader loop's).
+    pub telemetry: IngestTelemetry,
+    /// Observes the datagram count of every receive batch.
+    pub batch_hist: Option<Histogram>,
+}
+
+impl Default for LaneOptions {
+    fn default() -> LaneOptions {
+        LaneOptions {
+            lanes: 1,
+            recv_batch: 32,
+            reuseport: true,
+            force_fallback_recv: false,
+            receive_buffer_bytes: None,
+            knobs: Arc::default(),
+            telemetry: IngestTelemetry::default(),
+            batch_hist: None,
+        }
+    }
+}
+
+/// Live counters of one lane, published by its thread after every
+/// receive batch (plus `backpressure_waits`, bumped by the fanout
+/// reader when this lane's ring is full).
+#[derive(Debug, Default)]
+pub struct LaneGauges {
+    /// Raw datagrams this lane received (admitted or not).
+    pub datagrams: AtomicU64,
+    /// Export packets decoded successfully.
+    pub packets: AtomicU64,
+    /// Payloads that failed to decode.
+    pub decode_errors: AtomicU64,
+    /// Datagrams denied by a per-exporter packet quota.
+    pub quota_packet_drops: AtomicU64,
+    /// Records denied by a per-exporter record quota.
+    pub quota_record_drops: AtomicU64,
+    /// Flow records extracted.
+    pub records: AtomicU64,
+    /// Data records/sets dropped for lack of a template.
+    pub records_no_template: AtomicU64,
+    /// Templates currently cached by this lane's decoder.
+    pub templates: AtomicU64,
+    /// Templates evicted (count cap + timeout).
+    pub templates_evicted: AtomicU64,
+    /// Templates rejected for violating shape bounds.
+    pub templates_rejected: AtomicU64,
+    /// Window buckets force-flushed to honor the open-window budget.
+    pub window_sheds: AtomicU64,
+    /// Exporter addresses tracked by this lane's admission table.
+    pub exporters: AtomicU64,
+    /// Exporter entries evicted to bound the table.
+    pub exporters_evicted: AtomicU64,
+    /// Records dropped as older than any open window.
+    pub late_drops: AtomicU64,
+    /// Achieved socket receive buffer (0 = OS default / shared
+    /// fanout socket).
+    pub recv_buffer_bytes: AtomicU64,
+    /// Successful receive batches (syscalls in reuseport mode; ring
+    /// bursts in fanout mode). `datagrams / recv_batches` is the mean
+    /// batch size.
+    pub recv_batches: AtomicU64,
+    /// 1 ms waits the fanout reader spent on this lane's full ring.
+    pub backpressure_waits: AtomicU64,
+    /// 1 when the lane thread currently holds a CPU affinity pin.
+    pub pinned: AtomicU64,
+}
+
+/// One coherent-enough reading of a lane's gauges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LaneSnapshot {
+    /// Raw datagrams this lane received.
+    pub datagrams: u64,
+    /// Export packets decoded successfully.
+    pub packets: u64,
+    /// Payloads that failed to decode.
+    pub decode_errors: u64,
+    /// Datagrams denied by a per-exporter packet quota.
+    pub quota_packet_drops: u64,
+    /// Records denied by a per-exporter record quota.
+    pub quota_record_drops: u64,
+    /// Flow records extracted.
+    pub records: u64,
+    /// Records dropped as older than any open window.
+    pub late_drops: u64,
+    /// Successful receive batches.
+    pub recv_batches: u64,
+    /// 1 ms fanout-reader waits on this lane's full ring.
+    pub backpressure_waits: u64,
+    /// Achieved socket receive buffer for this lane's socket.
+    pub recv_buffer_bytes: u64,
+    /// Whether the lane thread is currently pinned to a core.
+    pub pinned: bool,
+}
+
+impl LaneGauges {
+    fn snapshot(&self) -> LaneSnapshot {
+        LaneSnapshot {
+            datagrams: self.datagrams.load(Ordering::Relaxed),
+            packets: self.packets.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            quota_packet_drops: self.quota_packet_drops.load(Ordering::Relaxed),
+            quota_record_drops: self.quota_record_drops.load(Ordering::Relaxed),
+            records: self.records.load(Ordering::Relaxed),
+            late_drops: self.late_drops.load(Ordering::Relaxed),
+            recv_batches: self.recv_batches.load(Ordering::Relaxed),
+            backpressure_waits: self.backpressure_waits.load(Ordering::Relaxed),
+            recv_buffer_bytes: self.recv_buffer_bytes.load(Ordering::Relaxed),
+            pinned: self.pinned.load(Ordering::Relaxed) != 0,
+        }
+    }
+}
+
+/// Counters the merger thread publishes while running.
+#[derive(Debug, Default)]
+struct MergerGauges {
+    summaries: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_dropped: AtomicU64,
+    waits: AtomicU64,
+}
+
+/// A cloneable read-side view over every lane's gauges plus the
+/// merger's — what a stats endpoint holds while the engine runs.
+#[derive(Debug, Clone)]
+pub struct MultiGaugeView {
+    lanes: Arc<Vec<Arc<LaneGauges>>>,
+    merger: Arc<MergerGauges>,
+}
+
+impl MultiGaugeView {
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// One lane's counters.
+    pub fn lane(&self, i: usize) -> LaneSnapshot {
+        self.lanes[i].snapshot()
+    }
+
+    /// The aggregate view in the same shape the single-reader loop
+    /// publishes: lane counters summed, merger counters for the
+    /// summary/frame side.
+    pub fn snapshot(&self) -> IngestSnapshot {
+        let mut s = IngestSnapshot::default();
+        for lane in self.lanes.iter() {
+            s.datagrams += lane.datagrams.load(Ordering::Relaxed);
+            s.packets += lane.packets.load(Ordering::Relaxed);
+            s.decode_errors += lane.decode_errors.load(Ordering::Relaxed);
+            s.quota_packet_drops += lane.quota_packet_drops.load(Ordering::Relaxed);
+            s.quota_record_drops += lane.quota_record_drops.load(Ordering::Relaxed);
+            s.records += lane.records.load(Ordering::Relaxed);
+            s.records_no_template += lane.records_no_template.load(Ordering::Relaxed);
+            s.templates += lane.templates.load(Ordering::Relaxed);
+            s.templates_evicted += lane.templates_evicted.load(Ordering::Relaxed);
+            s.templates_rejected += lane.templates_rejected.load(Ordering::Relaxed);
+            s.window_sheds += lane.window_sheds.load(Ordering::Relaxed);
+            s.exporters += lane.exporters.load(Ordering::Relaxed);
+            s.exporters_evicted += lane.exporters_evicted.load(Ordering::Relaxed);
+            s.late_drops += lane.late_drops.load(Ordering::Relaxed);
+            s.recv_buffer_bytes += lane.recv_buffer_bytes.load(Ordering::Relaxed);
+            s.backpressure_waits += lane.backpressure_waits.load(Ordering::Relaxed);
+        }
+        s.backpressure_waits += self.merger.waits.load(Ordering::Relaxed);
+        s.summaries = self.merger.summaries.load(Ordering::Relaxed);
+        s.frames_sent = self.merger.frames_sent.load(Ordering::Relaxed);
+        s.frames_dropped = self.merger.frames_dropped.load(Ordering::Relaxed);
+        s
+    }
+}
+
+/// What one lane thread hands back on shutdown.
+#[derive(Debug)]
+struct LaneDone {
+    datagrams: u64,
+    pipeline: PipelineStats,
+    decoder: DecoderStats,
+    admission: AdmissionStats,
+    daemon: DaemonStats,
+    error: Option<std::io::Error>,
+}
+
+/// What the merger thread hands back on shutdown.
+#[derive(Debug)]
+struct MergerDone {
+    summaries: u64,
+    summary_bytes: u64,
+    frames_sent: u64,
+    frames_dropped: u64,
+    waits: u64,
+}
+
+/// Lane → merger traffic.
+// Clone only because the channel shim's `Sender: Clone` derive
+// demands it of the payload; events are never actually cloned.
+#[derive(Clone)]
+enum LaneEvent {
+    /// Lane `lane`'s daemon closed window `start_ms` with this tree.
+    /// Boxed: a `FlowTree` dwarfs the watermark variant and events sit
+    /// in a channel queue.
+    Closed { start_ms: u64, tree: Box<FlowTree> },
+    /// Lane `lane`'s event-time watermark advanced to `ts`.
+    Watermark { lane: usize, ts: u64 },
+}
+
+/// A running multi-lane ingest engine (see [`spawn_multi_lane_ingest`]).
+#[derive(Debug)]
+pub struct MultiIngestHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    lanes: Vec<std::thread::JoinHandle<LaneDone>>,
+    reader: Option<std::thread::JoinHandle<(Option<std::io::Error>, u64)>>,
+    merger: std::thread::JoinHandle<MergerDone>,
+    view: MultiGaugeView,
+    reuseport: bool,
+}
+
+impl MultiIngestHandle {
+    /// The bound local address (useful with a `:0` bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the engine runs in `SO_REUSEPORT` multi-socket mode
+    /// (`false`: single socket fanning out over rings, or one lane).
+    pub fn is_reuseport(&self) -> bool {
+        self.reuseport
+    }
+
+    /// The live gauge view (lane counters + aggregate snapshot).
+    pub fn view(&self) -> MultiGaugeView {
+        self.view.clone()
+    }
+
+    /// Stops the engine: every lane drains its socket (or ring),
+    /// flushes its pipeline, the merger emits every residual window,
+    /// and the aggregated counters come back in the single-loop
+    /// [`IngestReport`] shape (lane counters summed; `daemon.summaries`
+    /// / `summary_bytes` are the merger's emitted stream).
+    pub fn stop(self) -> IngestReport {
+        self.stop.store(true, Ordering::Relaxed);
+        let mut error = None;
+        let mut reader_waits = 0u64;
+        if let Some(reader) = self.reader {
+            let (err, waits) = reader.join().expect("fanout reader panicked");
+            error = err;
+            reader_waits = waits;
+        }
+        let dones: Vec<LaneDone> = self
+            .lanes
+            .into_iter()
+            .map(|h| h.join().expect("lane thread panicked"))
+            .collect();
+        // Lanes joined → their event senders dropped → the merger's
+        // receive loop ends and it emits every residual window.
+        let m = self.merger.join().expect("merger thread panicked");
+        let mut datagrams = 0u64;
+        let mut pipeline = PipelineStats::default();
+        let mut decoder = DecoderStats::default();
+        let mut admission = AdmissionStats::default();
+        let mut daemon = DaemonStats::default();
+        for d in dones {
+            datagrams += d.datagrams;
+            pipeline.packets += d.pipeline.packets;
+            pipeline.packets_v5 += d.pipeline.packets_v5;
+            pipeline.packets_v9 += d.pipeline.packets_v9;
+            pipeline.packets_ipfix += d.pipeline.packets_ipfix;
+            pipeline.decode_errors += d.pipeline.decode_errors;
+            pipeline.records += d.pipeline.records;
+            pipeline.wire_bytes += d.pipeline.wire_bytes;
+            pipeline.batches += d.pipeline.batches;
+            pipeline.window_sheds += d.pipeline.window_sheds;
+            decoder.templates += d.decoder.templates;
+            decoder.templates_learned += d.decoder.templates_learned;
+            decoder.templates_rejected += d.decoder.templates_rejected;
+            decoder.templates_evicted_cap += d.decoder.templates_evicted_cap;
+            decoder.templates_evicted_timeout += d.decoder.templates_evicted_timeout;
+            decoder.templates_withdrawn += d.decoder.templates_withdrawn;
+            decoder.withdrawals_unknown += d.decoder.withdrawals_unknown;
+            decoder.records_skipped += d.decoder.records_skipped;
+            admission.packet_drops += d.admission.packet_drops;
+            admission.record_drops += d.admission.record_drops;
+            admission.exporters_evicted += d.admission.exporters_evicted;
+            daemon.records += d.daemon.records;
+            daemon.raw_bytes += d.daemon.raw_bytes;
+            daemon.late_drops += d.daemon.late_drops;
+            if error.is_none() {
+                error = d.error;
+            }
+        }
+        daemon.summaries = m.summaries;
+        daemon.summary_bytes = m.summary_bytes;
+        IngestReport {
+            datagrams,
+            pipeline,
+            decoder,
+            admission,
+            daemon,
+            frames_sent: m.frames_sent,
+            frames_dropped: m.frames_dropped,
+            backpressure_waits: reader_waits + m.waits,
+            error,
+        }
+    }
+}
+
+fn epoch_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Which lane an exporter address routes to in fanout mode: a
+/// deterministic hash of the source IP, so one exporter's stream —
+/// and its admission state and template cache — stays on one lane.
+fn lane_of(peer: &SocketAddr, lanes: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    peer.ip().hash(&mut h);
+    ((h.finish() as u128 * lanes as u128) >> 64) as usize
+}
+
+/// Binds `addr` across `opts.lanes` lanes and spawns the engine:
+/// lane threads (each fed by its own `SO_REUSEPORT` socket, or by a
+/// fanout ring off one socket), plus a merger thread that combines
+/// per-lane window trees and ships encoded [`Summary`] frames through
+/// `frames`. `pipeline_for(lane)` supplies each lane's pipeline; all
+/// lanes must share one [`DaemonConfig`] with
+/// [`TransferMode::Full`] (delta encoding is a stream-global property
+/// and belongs downstream of the merge).
+pub fn spawn_multi_lane_ingest<F>(
+    addr: &str,
+    mut pipeline_for: F,
+    frames: Sender<Vec<u8>>,
+    opts: LaneOptions,
+) -> Result<MultiIngestHandle, DistError>
+where
+    F: FnMut(usize) -> IngestPipeline,
+{
+    let lanes = opts.lanes.clamp(1, MAX_LANES);
+    let mut pipelines: Vec<IngestPipeline> = (0..lanes).map(&mut pipeline_for).collect();
+    let cfg = *pipelines[0].daemon().config();
+    assert_eq!(
+        cfg.transfer,
+        TransferMode::Full,
+        "multi-lane ingest merges full window trees; delta-encode downstream"
+    );
+
+    // Bind: N reuseport sockets when asked and supported, else one
+    // socket (fanout rings carry it to the lanes).
+    let mut sockets: Vec<UdpSocket> = Vec::new();
+    let mut reuseport = false;
+    if lanes > 1 && opts.reuseport {
+        let target: Option<SocketAddr> = {
+            use std::net::ToSocketAddrs;
+            addr.to_socket_addrs().ok().and_then(|mut it| it.next())
+        };
+        if let Some(target) = target {
+            if let Some(first) = crate::sockopt::bind_reuseport(target) {
+                let bound = first.local_addr().map_err(DistError::Io)?;
+                sockets.push(first);
+                for _ in 1..lanes {
+                    match crate::sockopt::bind_reuseport(bound) {
+                        Some(s) => sockets.push(s),
+                        None => break,
+                    }
+                }
+                if sockets.len() == lanes {
+                    reuseport = true;
+                } else {
+                    sockets.clear();
+                }
+            }
+        }
+    }
+    if sockets.is_empty() {
+        sockets.push(UdpSocket::bind(addr).map_err(DistError::Io)?);
+    }
+    let local = sockets[0].local_addr().map_err(DistError::Io)?;
+
+    let lane_gauges: Vec<Arc<LaneGauges>> = (0..lanes).map(|_| Arc::default()).collect();
+    for (i, s) in sockets.iter().enumerate() {
+        s.set_read_timeout(Some(Duration::from_millis(20)))
+            .map_err(DistError::Io)?;
+        if let Some(bytes) = opts.receive_buffer_bytes {
+            let achieved = crate::sockopt::set_recv_buffer(s, bytes).unwrap_or(0);
+            // In fanout mode the single socket's buffer is lane 0's
+            // gauge; the other lanes report 0 (no socket of their own).
+            lane_gauges[i]
+                .recv_buffer_bytes
+                .store(achieved as u64, Ordering::Relaxed);
+        }
+    }
+
+    let merger_gauges = Arc::new(MergerGauges::default());
+    let stop = Arc::new(AtomicBool::new(false));
+    let (events_tx, events_rx) = unbounded::<LaneEvent>();
+
+    let merger = {
+        let frames = frames.clone();
+        let stop = Arc::clone(&stop);
+        let gauges = Arc::clone(&merger_gauges);
+        std::thread::Builder::new()
+            .name("lane-merger".into())
+            .spawn(move || merger_loop(events_rx, cfg, lanes, frames, stop, gauges))
+            .map_err(DistError::Io)?
+    };
+
+    let mut lane_handles = Vec::with_capacity(lanes);
+    let mut reader = None;
+    let recv_batch = opts.recv_batch;
+    let make_receiver = move || {
+        if opts.force_fallback_recv {
+            BatchReceiver::force_fallback(recv_batch)
+        } else {
+            BatchReceiver::new(recv_batch)
+        }
+    };
+
+    if reuseport || lanes == 1 {
+        for (i, socket) in sockets.into_iter().enumerate() {
+            let mut lane = Lane {
+                idx: i,
+                pipeline: pipelines.remove(0),
+                admission: AdmissionControl::new(),
+                knobs: Arc::clone(&opts.knobs),
+                gauges: Arc::clone(&lane_gauges[i]),
+                events: events_tx.clone(),
+                telemetry: if i == 0 {
+                    opts.telemetry.clone()
+                } else {
+                    IngestTelemetry::default()
+                },
+                batch_hist: opts.batch_hist.clone(),
+                datagrams: 0,
+                wm_sent: 0,
+                pinned: false,
+                seen_sheds: 0,
+            };
+            let stop = Arc::clone(&stop);
+            let mut recv = make_receiver();
+            lane_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("lane-{i}"))
+                    .spawn(move || lane.run_socket(socket, &mut recv, &stop))
+                    .map_err(DistError::Io)?,
+            );
+        }
+    } else {
+        // Fanout mode: one reader, N rings, N lane threads.
+        let mut producers = Vec::with_capacity(lanes);
+        for (i, _) in lane_gauges.iter().enumerate() {
+            let (tx, rx) = ring::spsc::<(Vec<u8>, SocketAddr)>(RING_CAPACITY);
+            producers.push(tx);
+            let mut lane = Lane {
+                idx: i,
+                pipeline: pipelines.remove(0),
+                admission: AdmissionControl::new(),
+                knobs: Arc::clone(&opts.knobs),
+                gauges: Arc::clone(&lane_gauges[i]),
+                events: events_tx.clone(),
+                telemetry: if i == 0 {
+                    opts.telemetry.clone()
+                } else {
+                    IngestTelemetry::default()
+                },
+                batch_hist: opts.batch_hist.clone(),
+                datagrams: 0,
+                wm_sent: 0,
+                pinned: false,
+                seen_sheds: 0,
+            };
+            lane_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("lane-{i}"))
+                    .spawn(move || lane.run_ring(rx, recv_batch.max(1)))
+                    .map_err(DistError::Io)?,
+            );
+        }
+        let socket = sockets.pop().expect("one fanout socket");
+        let stop = Arc::clone(&stop);
+        let gauges: Vec<Arc<LaneGauges>> = lane_gauges.clone();
+        let mut recv = make_receiver();
+        reader = Some(
+            std::thread::Builder::new()
+                .name("lane-fanout".into())
+                .spawn(move || fanout_loop(socket, &mut recv, producers, gauges, &stop))
+                .map_err(DistError::Io)?,
+        );
+    }
+    drop(events_tx);
+
+    // `pipelines` must have been fully consumed by lane construction.
+    debug_assert!(pipelines.is_empty());
+
+    Ok(MultiIngestHandle {
+        addr: local,
+        stop,
+        lanes: lane_handles,
+        reader,
+        merger,
+        view: MultiGaugeView {
+            lanes: Arc::new(lane_gauges),
+            merger: merger_gauges,
+        },
+        reuseport,
+    })
+}
+
+/// One lane's state, shared by the socket and ring run loops.
+struct Lane {
+    idx: usize,
+    pipeline: IngestPipeline,
+    admission: AdmissionControl,
+    knobs: Arc<AdmissionKnobs>,
+    gauges: Arc<LaneGauges>,
+    events: Sender<LaneEvent>,
+    telemetry: IngestTelemetry,
+    batch_hist: Option<Histogram>,
+    datagrams: u64,
+    /// Highest daemon watermark already announced to the merger.
+    wm_sent: u64,
+    pinned: bool,
+    seen_sheds: u64,
+}
+
+impl Lane {
+    /// Reuseport mode: this lane owns `socket` outright.
+    fn run_socket(
+        &mut self,
+        socket: UdpSocket,
+        recv: &mut BatchReceiver,
+        stop: &AtomicBool,
+    ) -> LaneDone {
+        let mut error = None;
+        'listen: loop {
+            let stopping = stop.load(Ordering::Relaxed);
+            self.refresh_pinning();
+            match recv.recv(&socket) {
+                Ok(n) => {
+                    let now_ms = epoch_ms();
+                    for i in 0..n {
+                        let (payload, peer) = recv.datagram(i);
+                        self.process_datagram(payload, peer, now_ms);
+                    }
+                    self.after_batch(n as u64, now_ms);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Socket drained; a raised stop flag can now end
+                    // the loop without losing queued datagrams.
+                    if stopping {
+                        break 'listen;
+                    }
+                }
+                Err(e) => {
+                    error = Some(e);
+                    break 'listen;
+                }
+            }
+            if stopping {
+                // Stop requested while data still flowed: switch to a
+                // non-blocking final drain so shutdown stays prompt.
+                if socket.set_nonblocking(true).is_err() {
+                    break 'listen;
+                }
+            }
+        }
+        self.finish(error)
+    }
+
+    /// Fanout mode: this lane drains its SPSC ring; the reader owns
+    /// the socket. Ends when the reader is gone and the ring is empty.
+    fn run_ring(
+        &mut self,
+        rx: ring::Consumer<(Vec<u8>, SocketAddr)>,
+        burst_max: usize,
+    ) -> LaneDone {
+        let mut burst = 0u64;
+        loop {
+            match rx.try_pop() {
+                Some((payload, peer)) => {
+                    let now_ms = epoch_ms();
+                    self.process_datagram(&payload, peer, now_ms);
+                    burst += 1;
+                    if burst >= burst_max as u64 {
+                        self.after_batch(burst, now_ms);
+                        burst = 0;
+                    }
+                }
+                None => {
+                    if burst > 0 {
+                        self.after_batch(burst, epoch_ms());
+                        burst = 0;
+                    }
+                    if rx.sender_gone() && rx.is_empty() {
+                        break;
+                    }
+                    self.refresh_pinning();
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+        self.finish(None)
+    }
+
+    /// The per-datagram hot path — identical admission discipline to
+    /// the single-reader loop, so the edge identity `datagrams ==
+    /// packets + decode_errors + quota_packet_drops` holds per lane.
+    fn process_datagram(&mut self, payload: &[u8], peer: SocketAddr, now_ms: u64) {
+        self.datagrams += 1;
+        let cfg = self.knobs.load();
+        self.pipeline
+            .set_max_open_windows(self.knobs.max_open_windows() as usize);
+        if self.admission.admit_packet(peer.ip(), &cfg, now_ms) {
+            if let Some(records) = self.pipeline.decode_packet_at(payload, now_ms) {
+                if self
+                    .admission
+                    .admit_records(peer.ip(), records.len(), &cfg, now_ms)
+                {
+                    for s in self.pipeline.push_records(&records) {
+                        let _ = self.events.send(LaneEvent::Closed {
+                            start_ms: s.window.start_ms,
+                            tree: Box::new(s.tree),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Book-keeping after each receive batch: gauges, the batch-size
+    /// histogram, the merger watermark, and lane-0 telemetry.
+    fn after_batch(&mut self, batch: u64, now_ms: u64) {
+        self.gauges.recv_batches.fetch_add(1, Ordering::Relaxed);
+        if let Some(h) = &self.batch_hist {
+            h.observe_secs(batch as f64);
+        }
+        self.publish();
+        let wm = self.pipeline.daemon().watermark();
+        if wm > self.wm_sent {
+            self.wm_sent = wm;
+            let _ = self.events.send(LaneEvent::Watermark {
+                lane: self.idx,
+                ts: wm,
+            });
+        }
+        if let Some(g) = &self.telemetry.open_windows {
+            g.set(self.pipeline.open_windows() as i64);
+        }
+        if let Some(ring) = &self.telemetry.events {
+            let sheds = self.pipeline.stats().window_sheds;
+            if sheds > self.seen_sheds {
+                ring.push(
+                    now_ms,
+                    "window_shed",
+                    format!("buckets={} total={sheds}", sheds - self.seen_sheds),
+                );
+                self.seen_sheds = sheds;
+            }
+        }
+    }
+
+    /// Applies or clears CPU affinity to track the live `pin-cores`
+    /// knob (lane `i` → core `i` modulo online CPUs).
+    fn refresh_pinning(&mut self) {
+        let want = self.knobs.pin_cores();
+        if want != self.pinned {
+            let ok = if want {
+                crate::sockopt::pin_current_thread(self.idx)
+            } else {
+                crate::sockopt::unpin_current_thread()
+            };
+            self.pinned = want && ok;
+            self.gauges
+                .pinned
+                .store(self.pinned as u64, Ordering::Relaxed);
+        }
+        // Worker pools of future windows follow the same knob.
+        self.pipeline.set_pin_workers(want);
+    }
+
+    /// Publishes the lane's counters (store semantics — this thread is
+    /// the only writer of every field except `backpressure_waits`).
+    fn publish(&self) {
+        let g = &self.gauges;
+        let p = self.pipeline.stats();
+        let d = self.pipeline.decoder_stats();
+        let dm = self.pipeline.daemon().stats();
+        let a = self.admission.stats();
+        g.datagrams.store(self.datagrams, Ordering::Relaxed);
+        g.packets.store(p.packets, Ordering::Relaxed);
+        g.decode_errors.store(p.decode_errors, Ordering::Relaxed);
+        g.quota_packet_drops
+            .store(a.packet_drops, Ordering::Relaxed);
+        g.quota_record_drops
+            .store(a.record_drops, Ordering::Relaxed);
+        g.records.store(p.records, Ordering::Relaxed);
+        g.records_no_template
+            .store(d.records_skipped, Ordering::Relaxed);
+        g.templates.store(d.templates as u64, Ordering::Relaxed);
+        g.templates_evicted.store(
+            d.templates_evicted_cap + d.templates_evicted_timeout,
+            Ordering::Relaxed,
+        );
+        g.templates_rejected
+            .store(d.templates_rejected, Ordering::Relaxed);
+        g.window_sheds.store(p.window_sheds, Ordering::Relaxed);
+        g.exporters
+            .store(self.admission.exporters() as u64, Ordering::Relaxed);
+        g.exporters_evicted
+            .store(a.exporters_evicted, Ordering::Relaxed);
+        g.late_drops.store(dm.late_drops, Ordering::Relaxed);
+    }
+
+    /// Flushes the pipeline, ships residual window trees to the
+    /// merger, and returns the lane's counters.
+    fn finish(&mut self, error: Option<std::io::Error>) -> LaneDone {
+        // `IngestPipeline::finish` consumes the pipeline; swap in a
+        // throwaway so `self` stays usable for the final publish.
+        let cfg = *self.pipeline.daemon().config();
+        let pipeline = std::mem::replace(
+            &mut self.pipeline,
+            IngestPipeline::new(crate::daemon::SiteDaemon::new(cfg), 1),
+        );
+        let stats = *pipeline.stats();
+        let decoder = pipeline.decoder_stats();
+        let (rest, daemon) = pipeline.finish();
+        for s in rest {
+            let _ = self.events.send(LaneEvent::Closed {
+                start_ms: s.window.start_ms,
+                tree: Box::new(s.tree),
+            });
+        }
+        // Final publish so the gauges match the report exactly.
+        let g = &self.gauges;
+        g.datagrams.store(self.datagrams, Ordering::Relaxed);
+        g.packets.store(stats.packets, Ordering::Relaxed);
+        g.decode_errors
+            .store(stats.decode_errors, Ordering::Relaxed);
+        g.records.store(stats.records, Ordering::Relaxed);
+        g.late_drops
+            .store(daemon.stats().late_drops, Ordering::Relaxed);
+        LaneDone {
+            datagrams: self.datagrams,
+            pipeline: stats,
+            decoder,
+            admission: self.admission.stats(),
+            daemon: *daemon.stats(),
+            error,
+        }
+    }
+}
+
+/// Fanout mode's reader: drains the single socket and routes each
+/// datagram to its exporter's lane over that lane's SPSC ring. A full
+/// ring is backpressure (1 ms waits, counted against the lane), never
+/// a silent drop — except when the lane is gone entirely.
+fn fanout_loop(
+    socket: UdpSocket,
+    recv: &mut BatchReceiver,
+    producers: Vec<ring::Producer<(Vec<u8>, SocketAddr)>>,
+    gauges: Vec<Arc<LaneGauges>>,
+    stop: &AtomicBool,
+) -> (Option<std::io::Error>, u64) {
+    let lanes = producers.len();
+    let mut waits = 0u64;
+    let mut error = None;
+    'listen: loop {
+        let stopping = stop.load(Ordering::Relaxed);
+        match recv.recv(&socket) {
+            Ok(n) => {
+                for i in 0..n {
+                    let (payload, peer) = recv.datagram(i);
+                    let lane = lane_of(&peer, lanes);
+                    let mut item = (payload.to_vec(), peer);
+                    loop {
+                        match producers[lane].try_push(item) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                if producers[lane].receiver_gone() {
+                                    break;
+                                }
+                                item = back;
+                                waits += 1;
+                                gauges[lane]
+                                    .backpressure_waits
+                                    .fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stopping {
+                    break 'listen;
+                }
+            }
+            Err(e) => {
+                error = Some(e);
+                break 'listen;
+            }
+        }
+        if stopping && socket.set_nonblocking(true).is_err() {
+            break 'listen;
+        }
+    }
+    // Dropping the producers tells each lane "no more datagrams".
+    (error, waits)
+}
+
+/// The merger: collects per-lane window trees, emits each window —
+/// merged via the paper's structural `merge_many` — once every lane's
+/// watermark has closed it, and ships the encoded frames.
+fn merger_loop(
+    events: Receiver<LaneEvent>,
+    cfg: DaemonConfig,
+    lanes: usize,
+    frames: Sender<Vec<u8>>,
+    stop: Arc<AtomicBool>,
+    gauges: Arc<MergerGauges>,
+) -> MergerDone {
+    let mut wins: BTreeMap<u64, Vec<FlowTree>> = BTreeMap::new();
+    let mut wm = vec![0u64; lanes];
+    let mut done = MergerDone {
+        summaries: 0,
+        summary_bytes: 0,
+        frames_sent: 0,
+        frames_dropped: 0,
+        waits: 0,
+    };
+    let mut seq = 0u64;
+
+    let horizon = |min_wm: u64| -> u64 {
+        let span = cfg.window_ms;
+        let current = min_wm / span * span;
+        current.saturating_sub(span * (cfg.open_windows as u64 - 1))
+    };
+
+    // The same ship-or-drop discipline as the single-reader loop: a
+    // full channel is backpressure until stop, then drops are counted.
+    let emit = |start_ms: u64, trees: Vec<FlowTree>, done: &mut MergerDone, seq: &mut u64| {
+        let mut trees = trees;
+        let tree = if trees.len() == 1 {
+            trees.pop().expect("one tree")
+        } else {
+            let mut out = FlowTree::new(cfg.schema, cfg.tree);
+            let refs: Vec<&FlowTree> = trees.iter().collect();
+            out.merge_many(&refs).expect("lanes share one schema");
+            out
+        };
+        *seq += 1;
+        let summary = Summary {
+            site: cfg.site,
+            window: WindowId {
+                start_ms,
+                span_ms: cfg.window_ms,
+            },
+            seq: *seq,
+            kind: SummaryKind::Full,
+            provenance: None,
+            epoch: None,
+            tree,
+        };
+        let mut frame = summary.encode();
+        done.summaries += 1;
+        done.summary_bytes += frame.len() as u64;
+        loop {
+            match frames.try_send(frame) {
+                Ok(()) => {
+                    done.frames_sent += 1;
+                    break;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    done.frames_dropped += 1;
+                    break;
+                }
+                Err(TrySendError::Full(f)) => {
+                    if stop.load(Ordering::Relaxed) {
+                        done.frames_dropped += 1;
+                        break;
+                    }
+                    frame = f;
+                    done.waits += 1;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+        gauges.summaries.store(done.summaries, Ordering::Relaxed);
+        gauges
+            .frames_sent
+            .store(done.frames_sent, Ordering::Relaxed);
+        gauges
+            .frames_dropped
+            .store(done.frames_dropped, Ordering::Relaxed);
+        gauges.waits.store(done.waits, Ordering::Relaxed);
+    };
+
+    while let Ok(ev) = events.recv() {
+        match ev {
+            LaneEvent::Closed { start_ms, tree } => {
+                wins.entry(start_ms).or_default().push(*tree);
+            }
+            LaneEvent::Watermark { lane, ts } => {
+                if ts > wm[lane] {
+                    wm[lane] = ts;
+                }
+            }
+        }
+        let min_wm = wm.iter().copied().min().unwrap_or(0);
+        let h = horizon(min_wm);
+        while let Some((&w, _)) = wins.iter().next() {
+            if w >= h {
+                break;
+            }
+            let trees = wins.remove(&w).expect("window present");
+            emit(w, trees, &mut done, &mut seq);
+        }
+    }
+    // Every lane finished (senders dropped): emit residual windows,
+    // oldest first — the merger-side analogue of `SiteDaemon::flush`.
+    let residual: Vec<u64> = wins.keys().copied().collect();
+    for w in residual {
+        let trees = wins.remove(&w).expect("window present");
+        emit(w, trees, &mut done, &mut seq);
+    }
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::{DaemonConfig, SiteDaemon};
+    use crate::net::export_netflow;
+    use crate::Collector;
+    use crossbeam::channel;
+    use flowkey::Schema;
+    use flownet::FlowRecord;
+    use flowtree_core::Config;
+
+    fn mk_pipeline(window_ms: u64) -> impl FnMut(usize) -> IngestPipeline {
+        move |_lane| {
+            let mut cfg = DaemonConfig::new(7);
+            cfg.window_ms = window_ms;
+            cfg.schema = Schema::five_feature();
+            cfg.tree = Config::with_budget(4_096);
+            cfg.transfer = TransferMode::Full;
+            IngestPipeline::new(SiteDaemon::new(cfg), 64)
+        }
+    }
+
+    fn record(ts_ms: u64, host: u8, packets: u64) -> FlowRecord {
+        let mut r = FlowRecord::v4(
+            [10, 7, 0, host],
+            [192, 0, 2, 1],
+            1234,
+            443,
+            6,
+            packets,
+            packets * 100,
+        );
+        r.first_ms = ts_ms;
+        r.last_ms = ts_ms;
+        r
+    }
+
+    fn run_engine(opts: LaneOptions, senders: usize) -> (IngestReport, Vec<Vec<u8>>, usize) {
+        let (tx, rx) = channel::bounded::<Vec<u8>>(256);
+        let handle = spawn_multi_lane_ingest("127.0.0.1:0", mk_pipeline(1_000), tx, opts).unwrap();
+        let to = handle.local_addr();
+        let reuse = handle.is_reuseport() as usize;
+        // `senders` exporters, each with its own socket (distinct
+        // source ports; under reuseport the kernel spreads them).
+        for s in 0..senders {
+            let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+            let records: Vec<FlowRecord> = (0..30)
+                .map(|i| {
+                    record(
+                        (i / 10) * 1_000 + 100 + i,
+                        (s * 8 + (i % 8) as usize) as u8,
+                        2,
+                    )
+                })
+                .collect();
+            export_netflow(&sock, to, &records, 10_000).unwrap();
+        }
+        // Let delivery settle before stopping (loopback is fast, but
+        // the reuseport fanout can land on any lane).
+        std::thread::sleep(Duration::from_millis(120));
+        let report = handle.stop();
+        let frames: Vec<Vec<u8>> = rx.try_iter().collect();
+        (report, frames, reuse)
+    }
+
+    fn check(report: &IngestReport, frames: &[Vec<u8>], senders: u64) {
+        assert!(report.error.is_none());
+        assert_eq!(report.pipeline.records, senders * 30);
+        assert_eq!(report.daemon.records, senders * 30);
+        assert_eq!(report.daemon.late_drops, 0);
+        // The edge identity, summed over lanes.
+        assert_eq!(
+            report.datagrams,
+            report.pipeline.packets + report.pipeline.decode_errors + report.admission.packet_drops
+        );
+        assert_eq!(report.frames_dropped, 0);
+        let mut collector = Collector::new(Schema::five_feature(), Config::with_budget(8_192));
+        for f in frames {
+            collector.apply_bytes(f).unwrap();
+        }
+        assert_eq!(
+            collector.merged(None, 0, u64::MAX).total().packets as u64,
+            senders * 60,
+            "all mass survives the lane merge"
+        );
+    }
+
+    #[test]
+    fn single_lane_behaves_like_the_classic_loop() {
+        let (report, frames, _) = run_engine(LaneOptions::default(), 1);
+        check(&report, &frames, 1);
+        assert_eq!(report.daemon.summaries, 3);
+    }
+
+    #[test]
+    fn multi_lane_reuseport_conserves_every_record() {
+        let opts = LaneOptions {
+            lanes: 4,
+            ..LaneOptions::default()
+        };
+        let (report, frames, _) = run_engine(opts, 4);
+        check(&report, &frames, 4);
+    }
+
+    #[test]
+    fn fanout_ring_mode_conserves_every_record() {
+        let opts = LaneOptions {
+            lanes: 3,
+            reuseport: false,
+            ..LaneOptions::default()
+        };
+        let (report, frames, reuse) = run_engine(opts, 4);
+        assert_eq!(reuse, 0, "reuseport disabled selects fanout mode");
+        check(&report, &frames, 4);
+    }
+
+    #[test]
+    fn fanout_with_forced_fallback_recv_conserves_every_record() {
+        let opts = LaneOptions {
+            lanes: 2,
+            reuseport: false,
+            force_fallback_recv: true,
+            ..LaneOptions::default()
+        };
+        let (report, frames, _) = run_engine(opts, 3);
+        check(&report, &frames, 3);
+    }
+
+    #[test]
+    fn gauges_aggregate_across_lanes() {
+        let (tx, rx) = channel::bounded::<Vec<u8>>(64);
+        let opts = LaneOptions {
+            lanes: 2,
+            reuseport: false,
+            ..LaneOptions::default()
+        };
+        let handle = spawn_multi_lane_ingest("127.0.0.1:0", mk_pipeline(1_000), tx, opts).unwrap();
+        let to = handle.local_addr();
+        let view = handle.view();
+        assert_eq!(view.lanes(), 2);
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let records: Vec<FlowRecord> = (0..10).map(|i| record(100 + i, i as u8, 1)).collect();
+        export_netflow(&sock, to, &records, 10_000).unwrap();
+        // Wait until the engine has seen the datagram.
+        for _ in 0..100 {
+            if view.snapshot().datagrams >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let snap = view.snapshot();
+        assert!(snap.datagrams >= 1);
+        assert_eq!(
+            snap.datagrams,
+            view.lane(0).datagrams + view.lane(1).datagrams,
+            "aggregate is the lane sum"
+        );
+        let report = handle.stop();
+        assert_eq!(report.pipeline.records, 10);
+        drop(rx);
+    }
+
+    #[test]
+    fn stop_with_no_traffic_is_clean() {
+        let (tx, rx) = channel::bounded::<Vec<u8>>(8);
+        let opts = LaneOptions {
+            lanes: 4,
+            ..LaneOptions::default()
+        };
+        let handle = spawn_multi_lane_ingest("127.0.0.1:0", mk_pipeline(1_000), tx, opts).unwrap();
+        let report = handle.stop();
+        assert!(report.error.is_none());
+        assert_eq!(report.datagrams, 0);
+        assert_eq!(report.daemon.summaries, 0);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn full_undrained_channel_does_not_deadlock_stop() {
+        let (tx, rx) = channel::bounded::<Vec<u8>>(1);
+        let opts = LaneOptions {
+            lanes: 2,
+            reuseport: false,
+            ..LaneOptions::default()
+        };
+        let handle = spawn_multi_lane_ingest("127.0.0.1:0", mk_pipeline(1_000), tx, opts).unwrap();
+        let to = handle.local_addr();
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let records: Vec<FlowRecord> = (0..5).map(|w| record(w * 1_000 + 100, 1, 1)).collect();
+        export_netflow(&sock, to, &records, 10_000).unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+        let report = handle.stop();
+        assert_eq!(
+            report.frames_sent + report.frames_dropped,
+            report.daemon.summaries,
+            "every summary is accounted for"
+        );
+        drop(rx);
+    }
+
+    #[test]
+    fn pin_cores_knob_pins_and_unpins_live() {
+        let knobs = Arc::new(AdmissionKnobs::default());
+        let (tx, _rx) = channel::bounded::<Vec<u8>>(64);
+        let opts = LaneOptions {
+            lanes: 1,
+            knobs: Arc::clone(&knobs),
+            ..LaneOptions::default()
+        };
+        let handle = spawn_multi_lane_ingest("127.0.0.1:0", mk_pipeline(1_000), tx, opts).unwrap();
+        let view = handle.view();
+        knobs.set_pin_cores(true);
+        let want = cfg!(target_os = "linux");
+        for _ in 0..100 {
+            if view.lane(0).pinned == want {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(view.lane(0).pinned, want);
+        knobs.set_pin_cores(false);
+        for _ in 0..100 {
+            if !view.lane(0).pinned {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(!view.lane(0).pinned, "reload-off unpins a live lane");
+        handle.stop();
+    }
+}

@@ -42,6 +42,15 @@
 //! * [`admission`] — per-exporter token-bucket quotas over a bounded
 //!   exporter table, with live-reloadable knobs shared between the
 //!   ingest loop and the ops endpoint.
+//! * [`lane`] — the multi-lane ingest edge: N `SO_REUSEPORT`
+//!   listen→decode→pipeline lanes (batched `recvmmsg`, lane-local
+//!   admission and template caches, opt-in core pinning) merged
+//!   lane→site only at window close via the paper's structural
+//!   `merge`, so the hot path takes zero cross-lane locks.
+//! * [`mrecv`] — batched UDP receive (`recvmmsg`) behind a reusable
+//!   buffer arena, with a portable single-datagram fallback.
+//! * [`ring`] — the lock-free SPSC ring the portable fallback uses to
+//!   fan one socket out to N lanes.
 //! * [`faultnet`] — a seeded hostile-exporter generator (template
 //!   floods, oversized fields, missing templates, truncation, garbage)
 //!   for deterministic fault-injection tests.
@@ -54,9 +63,12 @@
 //!   (append-only CRC-checked segments with an acked-floor ledger), so
 //!   pending exports survive process death.
 
-// `deny` rather than `forbid`: the one exception is the scoped
-// `#[allow(unsafe_code)]` in `sockopt`, which wraps the two raw
-// setsockopt/getsockopt calls std has no safe API for (SO_RCVBUF).
+// `deny` rather than `forbid`: the exceptions are the scoped
+// `#[allow(unsafe_code)]` seams in `sockopt` (raw setsockopt /
+// getsockopt / SO_REUSEPORT bind / sched_setaffinity — std has no
+// safe API for any of them), `mrecv` (the batched `recvmmsg(2)`
+// syscall), and `ring` (the SPSC slot cells whose soundness the
+// split Producer/Consumer types enforce).
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -67,10 +79,13 @@ pub mod control;
 pub mod daemon;
 pub mod faultnet;
 pub mod framing;
+pub mod lane;
 pub mod listen;
+pub mod mrecv;
 pub mod net;
 pub mod ops;
 pub mod pipeline;
+pub mod ring;
 pub mod runtime;
 pub mod shard;
 pub mod sim;
@@ -87,10 +102,12 @@ pub use collector::{Collector, TransferLedger, ViewCacheStats};
 pub use control::{ControlFrame, SlotPos, FEATURE_ACKS};
 pub use daemon::{DaemonConfig, DaemonStats, SiteDaemon, TransferMode};
 pub use framing::{FramedConn, MAX_FRAME};
+pub use lane::{LaneOptions, LaneSnapshot, MultiIngestHandle};
 pub use listen::{
     spawn_udp_ingest, spawn_udp_ingest_with, IngestGauges, IngestOptions, IngestReport,
     IngestSnapshot, UdpIngestHandle,
 };
+pub use mrecv::{BatchReceiver, MAX_RECV_BATCH};
 pub use pipeline::{IngestPipeline, PipelineStats};
 pub use runtime::{SiteDrainReport, SiteNodeConfig, SiteRuntime};
 pub use shard::ShardedTree;

@@ -5,11 +5,13 @@
 //! ("each router exports its data to a close-by Flowtree daemon"):
 //! routers push NetFlow v5/v9/IPFIX packets; the pipeline decodes them
 //! through one [`flownet::ExportDecoder`] (template caches included),
-//! stamps every record with **its own** event time, buckets records by
-//! open window, and feeds the daemon in batches through
-//! [`SiteDaemon::ingest_stamped_batch`] instead of per-record calls —
-//! so the sharded worker pool sees real batches and the per-record
-//! ingest overhead disappears from the hot path.
+//! stamps every record with **its own** event time, canonicalizes and
+//! hashes each flow key exactly once, buckets records by open window,
+//! and feeds the daemon in batches through
+//! [`SiteDaemon::ingest_prehashed_batch`] instead of per-record calls —
+//! so the sharded worker pool sees real batches routed by the carried
+//! hash and neither per-record call overhead nor flush-time re-hashing
+//! survives on the hot path.
 //!
 //! Window correctness: buckets flush **oldest window first**, and a
 //! bucket reaching the batch threshold flushes every older bucket
@@ -26,7 +28,7 @@
 use crate::daemon::SiteDaemon;
 use crate::summary::Summary;
 use crate::window::WindowId;
-use flowkey::FlowKey;
+use flowkey::{key_hash, FlowKey};
 use flowmetrics::{Histogram, Stopwatch};
 use flownet::{DecoderLimits, DecoderStats, ExportDecoder, ExportFormat, FlowRecord};
 use flowtree_core::Popularity;
@@ -73,8 +75,11 @@ pub struct IngestPipeline {
     daemon: SiteDaemon,
     decoder: ExportDecoder,
     batch: usize,
-    /// Per open window: records stamped with their own event time.
-    pending: BTreeMap<u64, Vec<(u64, FlowKey, Popularity)>>,
+    /// Per open window: records stamped with their own event time and
+    /// carrying their canonicalized key's hash — computed exactly once
+    /// here at push time, so flush-time shard routing re-hashes
+    /// nothing.
+    pending: BTreeMap<u64, Vec<(u64, u64, FlowKey, Popularity)>>,
     /// Start of the newest window any record has reached.
     newest_window: u64,
     /// Max distinct open window buckets (0 = unbounded); exceeding it
@@ -134,6 +139,13 @@ impl IngestPipeline {
     /// records dropped for lack of a template).
     pub fn decoder_stats(&self) -> DecoderStats {
         self.decoder.stats()
+    }
+
+    /// Toggles core pinning for the daemon's shard worker pools (the
+    /// `pin-cores` knob's live-reload path; applies from the next
+    /// window's pool on).
+    pub fn set_pin_workers(&mut self, pin: bool) {
+        self.daemon.set_pin_workers(pin);
     }
 
     /// Sets the open-window budget: more than `windows` distinct
@@ -217,6 +229,7 @@ impl IngestPipeline {
         let raise = |w: u64, flush_up_to: &mut Option<u64>| {
             *flush_up_to = Some(flush_up_to.map_or(w, |have: u64| have.max(w)));
         };
+        let schema = self.daemon.config().schema;
         for r in records {
             self.stats.records += 1;
             let ts = r.last_ms;
@@ -229,8 +242,13 @@ impl IngestPipeline {
                 }
                 self.newest_window = start_ms;
             }
+            // Canonicalize + hash once, here; the hash rides with the
+            // record so the daemon's shard router and the tree index
+            // both reuse it.
+            let key = schema.canonicalize(&r.flow_key());
+            let hash = key_hash(&key);
             let bucket = self.pending.entry(start_ms).or_default();
-            bucket.push((ts, r.flow_key(), Popularity::flow(r.packets, r.bytes)));
+            bucket.push((ts, hash, key, Popularity::flow(r.packets, r.bytes)));
             if bucket.len() >= self.batch {
                 raise(start_ms, &mut flush_up_to);
             }
@@ -289,10 +307,10 @@ impl IngestPipeline {
         }
     }
 
-    /// One timed batch handed to the daemon.
-    fn ingest_batch(&mut self, items: &[(u64, FlowKey, Popularity)], out: &mut Vec<Summary>) {
+    /// One timed batch handed to the daemon (prehashed fast path).
+    fn ingest_batch(&mut self, items: &[(u64, u64, FlowKey, Popularity)], out: &mut Vec<Summary>) {
         let sw = self.flush_hist.as_ref().map(|_| Stopwatch::start());
-        out.extend(self.daemon.ingest_stamped_batch(items));
+        out.extend(self.daemon.ingest_prehashed_batch(items));
         if let (Some(sw), Some(h)) = (sw, &self.flush_hist) {
             sw.observe(h);
         }

@@ -1,0 +1,247 @@
+//! Lock-free single-producer / single-consumer ring.
+//!
+//! The portable ingest fallback (no `SO_REUSEPORT`) keeps one reader
+//! thread on the socket and fans datagrams out to N lane threads.
+//! Going through a mutex-backed channel there would put a lock on
+//! every datagram — exactly what the lane architecture exists to
+//! avoid — so the fanout hop is this minimal SPSC ring: a power-of-two
+//! slot array with an acquire/release head/tail pair, one atomic load
+//! and one store per push/pop, no locks, no allocation after
+//! construction.
+//!
+//! [`spsc`] returns a split `(Producer, Consumer)` pair so the
+//! single-producer / single-consumer contract is enforced by the type
+//! system (neither endpoint is `Clone`); the `unsafe` inside is the
+//! slot-cell access that contract makes sound, scoped with the same
+//! `#[allow(unsafe_code)]` discipline as `sockopt` and `mrecv`.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared ring state. Slots in `head..tail` (mod capacity) are
+/// initialized; the producer only writes at `tail`, the consumer only
+/// reads at `head`, and the release/acquire pairing on each index
+/// hands ownership of a slot's contents across threads.
+struct Shared<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+}
+
+// SAFETY: the producer/consumer split guarantees at most one thread
+// touches each end; slot handoff is ordered by the release store of
+// the index that publishes it.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for Shared<T> {}
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Send for Shared<T> {}
+
+/// The write end of an SPSC ring. Not `Clone` — exactly one producer.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The read end of an SPSC ring. Not `Clone` — exactly one consumer.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a ring with at least `capacity` slots (rounded up to a
+/// power of two, minimum 2).
+pub fn spsc<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let shared = Arc::new(Shared {
+        slots,
+        mask: cap - 1,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        Producer {
+            shared: Arc::clone(&shared),
+        },
+        Consumer { shared },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Pushes `item`, or hands it back when the ring is full.
+    #[allow(unsafe_code)]
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let s = &*self.shared;
+        let tail = s.tail.load(Ordering::Relaxed);
+        let head = s.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > s.mask {
+            return Err(item);
+        }
+        // SAFETY: `tail - head <= mask` means this slot is vacant and
+        // the consumer will not touch it until the release store of
+        // `tail + 1` below publishes it; we are the only producer.
+        unsafe {
+            (*s.slots[tail & s.mask].get()).write(item);
+        }
+        s.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// True when the consumer end has been dropped.
+    pub fn receiver_gone(&self) -> bool {
+        Arc::strong_count(&self.shared) == 1
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Pops the oldest item, or `None` when the ring is empty.
+    #[allow(unsafe_code)]
+    pub fn try_pop(&self) -> Option<T> {
+        let s = &*self.shared;
+        let head = s.head.load(Ordering::Relaxed);
+        let tail = s.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: `head != tail` means the producer's release store
+        // published this slot; we are the only consumer, and the
+        // release store of `head + 1` below returns the slot to the
+        // producer only after the value has been moved out.
+        let item = unsafe { (*s.slots[head & s.mask].get()).assume_init_read() };
+        s.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(item)
+    }
+
+    /// Number of items currently queued (a racy snapshot, exact only
+    /// when the producer is quiescent).
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(s.head.load(Ordering::Relaxed))
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when the producer end has been dropped.
+    pub fn sender_gone(&self) -> bool {
+        Arc::strong_count(&self.shared) == 1
+    }
+}
+
+impl<T> Drop for Shared<T> {
+    #[allow(unsafe_code)]
+    fn drop(&mut self) {
+        // Drop any items still queued. &mut self: no concurrency here.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        let mut i = head;
+        while i != tail {
+            // SAFETY: slots in head..tail are initialized and owned
+            // solely by us now.
+            unsafe {
+                (*self.slots[i & self.mask].get()).assume_init_drop();
+            }
+            i = i.wrapping_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let (tx, rx) = spsc::<u32>(4);
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert_eq!(tx.try_push(99), Err(99), "ring of 4 holds exactly 4");
+        for i in 0..4 {
+            assert_eq!(rx.try_pop(), Some(i));
+        }
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let (tx, rx) = spsc::<u8>(3);
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert!(tx.try_push(9).is_err());
+        assert_eq!(rx.len(), 4);
+    }
+
+    #[test]
+    fn cross_thread_stream_is_lossless_and_ordered() {
+        const N: u64 = 100_000;
+        let (tx, rx) = spsc::<u64>(64);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.try_push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expect = 0u64;
+        while expect < N {
+            if let Some(v) = rx.try_pop() {
+                assert_eq!(v, expect);
+                expect += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn endpoint_drop_is_observable() {
+        let (tx, rx) = spsc::<u8>(2);
+        assert!(!tx.receiver_gone());
+        drop(rx);
+        assert!(tx.receiver_gone());
+
+        let (tx2, rx2) = spsc::<u8>(2);
+        tx2.try_push(7).unwrap();
+        drop(tx2);
+        assert!(rx2.sender_gone());
+        // Items pushed before the drop still drain.
+        assert_eq!(rx2.try_pop(), Some(7));
+    }
+
+    #[test]
+    fn queued_items_are_dropped_with_the_ring() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (tx, rx) = spsc::<D>(4);
+        assert!(tx.try_push(D).is_ok());
+        assert!(tx.try_push(D).is_ok());
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+    }
+}

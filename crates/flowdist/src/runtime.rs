@@ -15,10 +15,8 @@
 //! the final frames upstream, then frees the stats port.
 
 use crate::admission::{AdmissionConfig, AdmissionKnobs};
-use crate::listen::{
-    spawn_udp_ingest_with, IngestGauges, IngestOptions, IngestReport, IngestSnapshot,
-    IngestTelemetry, UdpIngestHandle,
-};
+use crate::lane::{spawn_multi_lane_ingest, LaneOptions, MultiGaugeView, MultiIngestHandle};
+use crate::listen::{IngestReport, IngestTelemetry};
 use crate::ops::{spawn_ops, OpsHandle, OpsRequest, OpsResponse};
 use crate::pipeline::IngestPipeline;
 use crate::{DaemonConfig, DistError, SiteDaemon, TransferMode};
@@ -62,6 +60,18 @@ pub struct SiteNodeConfig {
     /// Max distinct buffered window buckets before oldest-first
     /// shedding (0 = unbounded; live-reloadable).
     pub max_open_windows: u64,
+    /// Independent listen→pipeline lanes (1 = the classic
+    /// single-reader loop; see [`crate::lane`]).
+    pub lanes: usize,
+    /// Datagrams pulled per receive syscall (`recvmmsg` batch size).
+    pub recv_batch: usize,
+    /// Multi-socket `SO_REUSEPORT` mode for `lanes > 1` where the
+    /// platform supports it (`false` forces the portable fanout-ring
+    /// mode).
+    pub reuseport: bool,
+    /// Pin lane threads and shard workers to cores (live-reloadable
+    /// via `pin-cores` on `POST /reload`).
+    pub pin_cores: bool,
 }
 
 impl SiteNodeConfig {
@@ -82,6 +92,10 @@ impl SiteNodeConfig {
             limits: DecoderLimits::default(),
             admission: AdmissionConfig::default(),
             max_open_windows: 256,
+            lanes: 1,
+            recv_batch: 32,
+            reuseport: true,
+            pin_cores: false,
         }
     }
 }
@@ -125,9 +139,9 @@ pub struct SiteDrainReport {
 #[derive(Debug)]
 pub struct SiteRuntime {
     site: u16,
-    ingest: UdpIngestHandle,
+    ingest: MultiIngestHandle,
     forward: std::thread::JoinHandle<()>,
-    gauges: Arc<IngestGauges>,
+    gauges: MultiGaugeView,
     fwd: Arc<ForwardGauges>,
     knobs: Arc<AdmissionKnobs>,
     ops: Option<OpsHandle>,
@@ -143,26 +157,35 @@ impl SiteRuntime {
         dcfg.tree = flowtree_core::Config::with_budget(cfg.budget);
         dcfg.transfer = TransferMode::Full;
         dcfg.shards = cfg.shards.max(1);
-        let mut pipeline =
-            IngestPipeline::with_limits(SiteDaemon::new(dcfg), cfg.batch.max(1), cfg.limits);
+        dcfg.pin_cores = cfg.pin_cores;
         let telemetry = SiteTelemetry {
             registry: Registry::new(),
             events: EventRing::new(256),
             started: Instant::now(),
         };
-        pipeline.set_latency_instruments(
-            telemetry.registry.histogram(
-                "flowtree_decode_seconds",
-                "Export-packet decode latency (one datagram through the dialect decoders).",
-            ),
-            telemetry.registry.histogram(
-                "flowtree_flush_seconds",
-                "Pipeline flush latency (one record batch into the windowed trees).",
-            ),
+        let decode_hist = telemetry.registry.histogram(
+            "flowtree_decode_seconds",
+            "Export-packet decode latency (one datagram through the dialect decoders).",
         );
+        let flush_hist = telemetry.registry.histogram(
+            "flowtree_flush_seconds",
+            "Pipeline flush latency (one record batch into the windowed trees).",
+        );
+        let batch = cfg.batch.max(1);
+        let limits = cfg.limits;
+        let pipeline_for = move |_lane: usize| {
+            let mut p = IngestPipeline::with_limits(SiteDaemon::new(dcfg), batch, limits);
+            p.set_latency_instruments(decode_hist.clone(), flush_hist.clone());
+            p
+        };
         let (tx, rx) = crossbeam::channel::bounded::<Vec<u8>>(256);
         let knobs = Arc::new(AdmissionKnobs::new(cfg.admission, cfg.max_open_windows));
-        let opts = IngestOptions {
+        knobs.set_pin_cores(cfg.pin_cores);
+        let opts = LaneOptions {
+            lanes: cfg.lanes.max(1),
+            recv_batch: cfg.recv_batch.max(1),
+            reuseport: cfg.reuseport,
+            force_fallback_recv: false,
             receive_buffer_bytes: cfg.receive_buffer_bytes,
             knobs: Arc::clone(&knobs),
             telemetry: IngestTelemetry {
@@ -172,9 +195,14 @@ impl SiteRuntime {
                 )),
                 events: Some(telemetry.events.clone()),
             },
+            batch_hist: Some(telemetry.registry.histogram_with_bounds(
+                "flowtree_lane_batch_size",
+                "Datagrams delivered per receive batch (recvmmsg syscall or ring burst).",
+                &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+            )),
         };
-        let ingest = spawn_udp_ingest_with(&cfg.listen, pipeline, tx, opts)?;
-        let gauges = ingest.gauges();
+        let ingest = spawn_multi_lane_ingest(&cfg.listen, pipeline_for, tx, opts)?;
+        let gauges = ingest.view();
         let fwd = Arc::new(ForwardGauges::default());
         let fwd_loop = Arc::clone(&fwd);
         let upstream = cfg.upstream.clone();
@@ -185,7 +213,7 @@ impl SiteRuntime {
         let ops = match &cfg.stats {
             Some(addr) => {
                 let site = cfg.site;
-                let g = Arc::clone(&gauges);
+                let g = gauges.clone();
                 let f = Arc::clone(&fwd);
                 let k = Arc::clone(&knobs);
                 let tel = telemetry.clone();
@@ -276,10 +304,11 @@ pub fn health_tail(started: Instant) -> String {
 /// from, so the two can never drift.
 fn site_stat_pairs(
     site: u16,
-    s: &IngestSnapshot,
+    view: &MultiGaugeView,
     fwd: &ForwardGauges,
     knobs: &AdmissionKnobs,
 ) -> Vec<(String, KvValue)> {
+    let s = &view.snapshot();
     let cfg = knobs.load();
     let mut pairs: Vec<(String, KvValue)> = vec![
         ("role".into(), "site".into()),
@@ -314,13 +343,24 @@ fn site_stat_pairs(
     line("knob_record_burst", cfg.record_burst);
     line("knob_max_exporters", cfg.max_exporters as u64);
     line("knob_max_open_windows", knobs.max_open_windows());
+    line("knob_pin_cores", knobs.pin_cores() as u64);
+    line("lanes", view.lanes() as u64);
+    for i in 0..view.lanes() {
+        let l = view.lane(i);
+        line(&format!("lane{i}_datagrams"), l.datagrams);
+        line(&format!("lane{i}_records"), l.records);
+        line(&format!("lane{i}_recv_batches"), l.recv_batches);
+        line(&format!("lane{i}_backpressure_waits"), l.backpressure_waits);
+        line(&format!("lane{i}_pinned"), l.pinned as u64);
+    }
     pairs
 }
 
 /// Mirrors the site's snapshot counters into its registry so a
 /// `/metrics` scrape sees every ad-hoc counter as a first-class
 /// Prometheus series next to the live histograms/gauges.
-fn sync_site_registry(site: u16, tel: &SiteTelemetry, s: &IngestSnapshot, fwd: &ForwardGauges) {
+fn sync_site_registry(site: u16, tel: &SiteTelemetry, view: &MultiGaugeView, fwd: &ForwardGauges) {
+    let s = &view.snapshot();
     let reg = &tel.registry;
     let node = format!("site{site}");
     reg.gauge_with(
@@ -452,12 +492,52 @@ fn sync_site_registry(site: u16, tel: &SiteTelemetry, s: &IngestSnapshot, fwd: &
         "Operational events recorded (including ones the ring evicted).",
         tel.events.total(),
     );
+    g(
+        "flowtree_lanes",
+        "Configured ingest lanes on this site node.",
+        view.lanes() as u64,
+    );
+    for i in 0..view.lanes() {
+        let l = view.lane(i);
+        let lane = i.to_string();
+        let labels: &[(&str, &str)] = &[("lane", lane.as_str())];
+        reg.counter_with(
+            "flowtree_lane_datagrams_total",
+            "Raw datagrams received by one ingest lane.",
+            labels,
+        )
+        .set(l.datagrams);
+        reg.counter_with(
+            "flowtree_lane_records_total",
+            "Flow records extracted by one ingest lane.",
+            labels,
+        )
+        .set(l.records);
+        reg.counter_with(
+            "flowtree_lane_recv_batches_total",
+            "Successful receive batches (syscalls or ring bursts) on one lane.",
+            labels,
+        )
+        .set(l.recv_batches);
+        reg.counter_with(
+            "flowtree_lane_backpressure_waits_total",
+            "1 ms fanout-reader waits on one lane's full ring.",
+            labels,
+        )
+        .set(l.backpressure_waits);
+        reg.gauge_with(
+            "flowtree_lane_pinned",
+            "Whether the lane thread currently holds a CPU affinity pin.",
+            labels,
+        )
+        .set(l.pinned as i64);
+    }
 }
 
 /// Renders the site node's ops surface.
 fn site_ops(
     site: u16,
-    gauges: &IngestGauges,
+    gauges: &MultiGaugeView,
     fwd: &ForwardGauges,
     knobs: &AdmissionKnobs,
     tel: &SiteTelemetry,
@@ -469,17 +549,17 @@ fn site_ops(
             health_tail(tel.started)
         )),
         ("GET", "/stats" | "/") => {
-            let pairs = site_stat_pairs(site, &gauges.snapshot(), fwd, knobs);
+            let pairs = site_stat_pairs(site, gauges, fwd, knobs);
             let mut body = flowmetrics::render_kv_text(&pairs);
             body.pop();
             OpsResponse::ok(body)
         }
         ("GET", "/stats.json") => {
-            let pairs = site_stat_pairs(site, &gauges.snapshot(), fwd, knobs);
+            let pairs = site_stat_pairs(site, gauges, fwd, knobs);
             OpsResponse::ok(flowmetrics::render_kv_json(&pairs))
         }
         ("GET", "/metrics") => {
-            sync_site_registry(site, tel, &gauges.snapshot(), fwd);
+            sync_site_registry(site, tel, gauges, fwd);
             OpsResponse::ok(tel.registry.render_prometheus())
         }
         ("GET", "/events") => OpsResponse::ok(tel.events.render_text()),
@@ -503,13 +583,15 @@ fn epoch_ms_now() -> u64 {
 
 /// Applies a `POST /reload` body (`key=value` lines; keys
 /// `packet-rate`, `packet-burst`, `record-rate`, `record-burst`,
-/// `max-exporters`, `max-open-windows`) to the live admission knobs.
+/// `max-exporters`, `max-open-windows`, `pin-cores`) to the live
+/// admission knobs.
 /// Unknown keys or unparsable values fail the whole request so a
 /// typoed reload never half-applies silently — the same all-or-nothing
 /// grammar the relay's reload endpoint speaks.
 fn parse_site_reload(body: &str, knobs: &AdmissionKnobs) -> Result<String, String> {
     let mut cfg = knobs.load();
     let mut windows = knobs.max_open_windows();
+    let mut pin = knobs.pin_cores();
     let mut applied = Vec::new();
     for raw in body.lines() {
         let lineno = raw.trim();
@@ -530,6 +612,7 @@ fn parse_site_reload(body: &str, knobs: &AdmissionKnobs) -> Result<String, Strin
             "record-burst" => cfg.record_burst = parsed,
             "max-exporters" => cfg.max_exporters = parsed as usize,
             "max-open-windows" => windows = parsed,
+            "pin-cores" => pin = parsed != 0,
             other => return Err(format!("unknown key: {other}")),
         }
         applied.push(format!("{key}={parsed}"));
@@ -539,6 +622,7 @@ fn parse_site_reload(body: &str, knobs: &AdmissionKnobs) -> Result<String, Strin
     }
     knobs.store(cfg);
     knobs.set_max_open_windows(windows);
+    knobs.set_pin_cores(pin);
     Ok(format!("applied {}", applied.join(" ")))
 }
 

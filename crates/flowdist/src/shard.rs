@@ -45,6 +45,9 @@ pub struct ShardedTree {
     cfg: Config,
     /// Persistent shard workers; spawned on first parallel batch.
     pool: Option<WorkerPool>,
+    /// Pin worker `i` to core `i` when the pool spawns (opt-in;
+    /// best-effort, Linux only).
+    pin_workers: bool,
     /// Per-shard staging for single-record inserts while the pool is
     /// active: records accumulate lock-cheap and ride the queue as one
     /// bucket, keeping the per-record path free of per-record
@@ -79,8 +82,16 @@ impl ShardedTree {
             schema,
             cfg,
             pool: None,
+            pin_workers: false,
             staging: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
         }
+    }
+
+    /// Opts the (not-yet-spawned) worker pool into CPU pinning: worker
+    /// `i` pins itself to core `i` modulo online CPUs. No effect on a
+    /// pool that is already running.
+    pub fn set_pin_workers(&mut self, pin: bool) {
+        self.pin_workers = pin;
     }
 
     /// Number of shards.
@@ -212,8 +223,66 @@ impl ShardedTree {
             return;
         }
         let buckets = self.bucketize_iter(items, len_hint);
+        self.dispatch_buckets(buckets);
+    }
+
+    /// [`Self::par_insert_iter`] over items whose keys are **already
+    /// canonicalized and hashed** — the streaming pipeline hashes each
+    /// record once at decode time, so routing here is pure arithmetic
+    /// on the carried hash: no re-canonicalize, no re-hash per record
+    /// at flush time (the shard-degradation root cause the bench rows
+    /// exposed).
+    pub fn par_insert_prehashed_iter(
+        &mut self,
+        items: impl Iterator<Item = (u64, FlowKey, Popularity)>,
+        len_hint: usize,
+    ) {
+        let n = self.shards.len();
+        if n == 1 || (self.pool.is_none() && len_hint < PAR_SPAWN_MIN) {
+            self.drain_workers();
+            if n == 1 {
+                // Single shard: no routing at all, one bucket, one lock.
+                let mut bucket: Vec<(u64, FlowKey, Popularity)> = items.collect();
+                if !bucket.is_empty() {
+                    self.lock_shard(0).insert_batch_prehashed(&mut bucket);
+                }
+                return;
+            }
+            let mut buckets = self.bucketize_prehashed(items, len_hint);
+            for (i, bucket) in buckets.iter_mut().enumerate() {
+                if !bucket.is_empty() {
+                    self.lock_shard(i).insert_batch_prehashed(bucket);
+                }
+            }
+            return;
+        }
+        let buckets = self.bucketize_prehashed(items, len_hint);
+        self.dispatch_buckets(buckets);
+    }
+
+    /// Routes already-hashed items into per-shard buckets (no
+    /// canonicalize, no hash — just the multiply-shift).
+    fn bucketize_prehashed(
+        &self,
+        items: impl Iterator<Item = (u64, FlowKey, Popularity)>,
+        len_hint: usize,
+    ) -> Vec<Vec<(u64, FlowKey, Popularity)>> {
+        let n = self.shards.len();
+        let mut buckets: Vec<Vec<(u64, FlowKey, Popularity)>> = (0..n)
+            .map(|_| Vec::with_capacity(len_hint / n + 1))
+            .collect();
+        for (h, k, p) in items {
+            buckets[self.shard_of(h)].push((h, k, p));
+        }
+        buckets
+    }
+
+    /// Queues per-shard buckets on the worker pool (spawning it on
+    /// first use), after flushing staged single inserts so per-shard
+    /// FIFO order holds.
+    fn dispatch_buckets(&mut self, buckets: Vec<Vec<(u64, FlowKey, Popularity)>>) {
         if self.pool.is_none() {
-            self.pool = Some(WorkerPool::spawn(&self.shards));
+            self.pool = Some(WorkerPool::spawn(&self.shards, self.pin_workers));
         }
         let pool = self.pool.as_ref().expect("pool just ensured");
         // Staged single-record inserts precede this batch in program
@@ -332,6 +401,7 @@ impl Clone for ShardedTree {
             schema: self.schema,
             cfg: self.cfg,
             pool: None,
+            pin_workers: self.pin_workers,
             staging: (0..self.shards.len())
                 .map(|_| Mutex::new(Vec::new()))
                 .collect(),
@@ -439,6 +509,36 @@ mod tests {
         let (fa, fb) = (st.fold(), seq.fold());
         assert_eq!(fa.total(), fb.total());
         assert_eq!(fa.len(), fb.len());
+    }
+
+    #[test]
+    fn prehashed_batches_agree_with_rehashing_paths() {
+        let batch = mixed_batch(1_500);
+        let schema = Schema::five_feature();
+        for shards in [1usize, 4] {
+            let mut a = ShardedTree::new(schema, Config::with_budget(2_048), shards);
+            let mut b = ShardedTree::new(schema, Config::with_budget(2_048), shards);
+            a.par_insert_batch(&batch);
+            let prehashed: Vec<_> = batch
+                .iter()
+                .map(|(k, p)| {
+                    let k = schema.canonicalize(k);
+                    (key_hash(&k), k, *p)
+                })
+                .collect();
+            b.par_insert_prehashed_iter(prehashed.into_iter(), batch.len());
+            let (fa, fb) = (a.fold(), b.fold());
+            assert_eq!(fa.total(), fb.total());
+            assert_eq!(fa.len(), fb.len());
+            let mut ma: Vec<_> = fa.iter().map(|v| (*v.key, v.comp)).collect();
+            let mut mb: Vec<_> = fb.iter().map(|v| (*v.key, v.comp)).collect();
+            ma.sort_by_key(|(k, _)| *k);
+            mb.sort_by_key(|(k, _)| *k);
+            assert_eq!(
+                ma, mb,
+                "{shards} shards: prehashed routing is a pure refactor"
+            );
+        }
     }
 
     #[test]

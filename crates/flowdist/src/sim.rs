@@ -126,6 +126,7 @@ where
                 transfer: cfg.transfer,
                 open_windows: 2,
                 shards: 1,
+                pin_cores: false,
             })
         })
         .collect();
@@ -224,6 +225,7 @@ where
                     transfer: cfg.transfer,
                     open_windows: 2,
                     shards: 1,
+                    pin_cores: false,
                 });
                 for meta in rx {
                     for record in cache.observe(&meta) {

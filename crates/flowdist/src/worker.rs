@@ -27,8 +27,12 @@ use std::thread::JoinHandle;
 pub(crate) type Bucket = Vec<(u64, FlowKey, Popularity)>;
 
 /// Buckets a shard queue may hold before submitters block
-/// (backpressure, not unbounded memory).
-const QUEUE_DEPTH: usize = 4;
+/// (backpressure, not unbounded memory). Deep enough that a producer
+/// briefly outrunning a shard does not rendezvous-stall on every
+/// submit — the 4-deep queue this replaces showed up directly in the
+/// BENCH_ingest.json shard-degradation rows — while still bounding
+/// buffered buckets per shard to a few batches.
+const QUEUE_DEPTH: usize = 16;
 
 #[derive(Debug)]
 enum Job {
@@ -47,14 +51,22 @@ pub(crate) struct WorkerPool {
 
 impl WorkerPool {
     /// Spawns one worker per tree. Workers run until the pool is
-    /// dropped; dropping joins them after their queues empty.
-    pub(crate) fn spawn(trees: &[Arc<Mutex<FlowTree>>]) -> WorkerPool {
+    /// dropped; dropping joins them after their queues empty. With
+    /// `pin` set, worker `i` pins itself to core `i` (modulo online
+    /// CPUs) — best-effort, a failed affinity call leaves the worker
+    /// floating.
+    pub(crate) fn spawn(trees: &[Arc<Mutex<FlowTree>>], pin: bool) -> WorkerPool {
         let mut queues = Vec::with_capacity(trees.len());
         let mut handles = Vec::with_capacity(trees.len());
-        for tree in trees {
+        for (i, tree) in trees.iter().enumerate() {
             let (tx, rx) = bounded::<Job>(QUEUE_DEPTH);
             let tree = Arc::clone(tree);
-            handles.push(std::thread::spawn(move || worker_loop(&tree, &rx)));
+            handles.push(std::thread::spawn(move || {
+                if pin {
+                    crate::sockopt::pin_current_thread(i);
+                }
+                worker_loop(&tree, &rx)
+            }));
             queues.push(tx);
         }
         WorkerPool { queues, handles }

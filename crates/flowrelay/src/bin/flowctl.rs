@@ -283,6 +283,10 @@ impl ThreadFleet {
             cfg.receive_buffer_bytes = s.receive_buffer_bytes;
             cfg.admission = s.admission;
             cfg.max_open_windows = s.max_open_windows;
+            cfg.lanes = s.lanes;
+            cfg.recv_batch = s.recv_batch;
+            cfg.reuseport = s.reuseport;
+            cfg.pin_cores = s.pin_cores;
             let rt = SiteRuntime::start(cfg).map_err(|e| format!("site {}: {e}", s.site))?;
             println!(
                 "flowctl: site {} listen={} stats={}",
@@ -667,6 +671,10 @@ fn run_spawned(spec: &FleetSpec, args: &Args, deadline: Duration) {
         cfg.receive_buffer_bytes = s.receive_buffer_bytes;
         cfg.admission = s.admission;
         cfg.max_open_windows = s.max_open_windows;
+        cfg.lanes = s.lanes;
+        cfg.recv_batch = s.recv_batch;
+        cfg.reuseport = s.reuseport;
+        cfg.pin_cores = s.pin_cores;
         let rt =
             SiteRuntime::start(cfg).unwrap_or_else(|e| fail(format_args!("site {}: {e}", s.site)));
         println!("flowctl: site {} listen={}", s.site, rt.ingest_addr());
@@ -1106,8 +1114,31 @@ fn smoke(spec: &FleetSpec, records_per_site: usize, deadline: Duration) {
     );
     check_roundtrip(
         &site_stats_addr,
-        &["datagrams", "summaries", "decode_errors"],
+        &[
+            "datagrams",
+            "summaries",
+            "decode_errors",
+            "lanes",
+            "lane0_datagrams",
+        ],
     );
+    // Per-lane observability: every site must break its aggregate
+    // datagram count down by ingest lane, and the lane family must
+    // re-sum to the aggregate — in /stats (checked above via the
+    // lane0_* keys) and in the Prometheus exposition.
+    for n in nodes.iter().filter(|n| n.role == "site") {
+        if n.get("flowtree_lanes") < 1.0 {
+            fail(format_args!("site {} reports no ingest lanes", n.node));
+        }
+        let per_lane = n.get("flowtree_lane_datagrams_total");
+        let total = n.get("flowtree_ingest_datagrams_total");
+        if per_lane != total {
+            fail(format_args!(
+                "site {} lane datagrams do not re-sum: lanes={per_lane} total={total}",
+                n.node
+            ));
+        }
+    }
     let rows = flowrelay::fleetview::aggregate(&nodes);
     print!("{}", flowrelay::fleetview::render_table(&rows));
 

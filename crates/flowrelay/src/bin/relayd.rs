@@ -45,6 +45,8 @@ FLAGS:
     --linger-ms N         wall-clock grace past a window's end before it exports [default: 2000]
     --drain-every-ms N    export-scheduler tick             [default: 1000]
     --max-bases N         pinned re-aggregation bases kept  [default: 64]
+    --max-base-nodes N    total tree nodes the pinned bases may hold
+                          together (memory-honest base bound) [default: 1048576]
     --budget N            tree node budget                  [default: 1048576]
     --retention-ms N      evict windows older than this (0 = keep forever) [default: 86400000]
     --state-dir DIR       durable journal + export spill root; a restart
@@ -128,6 +130,7 @@ fn main() {
     cfg.linger_ms = args.num("linger-ms", 2_000);
     cfg.drain_every_ms = args.num("drain-every-ms", 1_000);
     cfg.max_bases = args.num("max-bases", 64);
+    cfg.max_base_nodes = args.num("max-base-nodes", 1 << 20);
     cfg.budget = args.num("budget", 1 << 20);
     cfg.retention_ms = args.num("retention-ms", 86_400_000);
     cfg.state_dir = args.get("state-dir").map(PathBuf::from);
@@ -240,6 +243,7 @@ fn control_loop(name: &str, runtime: NodeRuntime, drain_deadline: Duration) {
                         ("retention-ms", Ok(n)) => r.retention_ms = n,
                         ("drain-every-ms", Ok(n)) => r.drain_every_ms = n,
                         ("max-bases", Ok(n)) => r.max_bases = n as usize,
+                        ("max-base-nodes", Ok(n)) => r.max_base_nodes = n as usize,
                         _ => {
                             bad = Some(format!("bad reload arg: {kv}"));
                             break;

@@ -78,6 +78,10 @@ pub struct NodeConfig {
     pub drain_every_ms: u64,
     /// Pinned re-aggregation bases kept.
     pub max_bases: usize,
+    /// Total tree nodes the pinned bases may hold together — the
+    /// memory-honest bound on base state (a few huge bases cost more
+    /// than many small ones; see `ExportConfig::max_base_nodes`).
+    pub max_base_nodes: usize,
     /// Tree node budget.
     pub budget: usize,
     /// Evict windows older than this (ms; 0 = keep forever).
@@ -113,6 +117,7 @@ impl NodeConfig {
             linger_ms: 2_000,
             drain_every_ms: 1_000,
             max_bases: 64,
+            max_base_nodes: ExportConfig::default().max_base_nodes,
             budget: 1 << 20,
             retention_ms: 86_400_000,
             state_dir: None,
@@ -141,6 +146,8 @@ pub struct NodeReload {
     pub drain_every_ms: u64,
     /// Pinned re-aggregation bases kept.
     pub max_bases: usize,
+    /// Total node budget across the pinned bases.
+    pub max_base_nodes: usize,
 }
 
 /// Why a node failed to start.
@@ -317,7 +324,7 @@ impl NodeRuntime {
                 mode: cfg.mode,
                 linger_ms: cfg.linger_ms,
                 max_bases: cfg.max_bases,
-                ..ExportConfig::default()
+                max_base_nodes: cfg.max_base_nodes,
             },
         };
         let (mut relay, recovery) = match &cfg.state_dir {
@@ -678,6 +685,7 @@ impl NodeRuntime {
             retention_ms: p.retention_ms,
             drain_every_ms: p.drain_every_ms,
             max_bases: e.max_bases,
+            max_base_nodes: e.max_base_nodes,
         }
     }
 
@@ -692,7 +700,7 @@ impl NodeRuntime {
                 mode: r.mode,
                 linger_ms: r.linger_ms,
                 max_bases: r.max_bases.max(1),
-                ..*relay.export_config()
+                max_base_nodes: r.max_base_nodes.max(1),
             };
             relay.set_export_config(export);
         }
@@ -1106,6 +1114,10 @@ fn relay_stat_pairs(role: &str, name: &str, agg_site: u16, o: &ObsSnap) -> Vec<(
     kv("stored_windows", KvValue::U64(o.stored_windows as u64));
     kv("export_watermark_lag_ms", KvValue::U64(o.lag_ms));
     kv("export_pending_bytes", KvValue::U64(o.pending_bytes));
+    kv(
+        "max_base_nodes",
+        KvValue::U64(o.export.max_base_nodes as u64),
+    );
     pairs
 }
 
@@ -1408,9 +1420,9 @@ fn relay_ops(
 }
 
 /// Applies a `POST /reload` body (`key=value` lines; keys `mode`,
-/// `linger-ms`, `retention-ms`, `drain-every-ms`, `max-bases`) to the
-/// live node. Unknown keys fail the whole request so a typoed reload
-/// never half-applies silently.
+/// `linger-ms`, `retention-ms`, `drain-every-ms`, `max-bases`,
+/// `max-base-nodes`) to the live node. Unknown keys fail the whole
+/// request so a typoed reload never half-applies silently.
 fn parse_reload_body(
     body: &str,
     relay: &Arc<Mutex<Relay>>,
@@ -1439,6 +1451,7 @@ fn parse_reload_body(
             }
             "linger-ms" => export.linger_ms = parse_u64(k, v)?,
             "max-bases" => export.max_bases = parse_u64(k, v)?.max(1) as usize,
+            "max-base-nodes" => export.max_base_nodes = parse_u64(k, v)?.max(1) as usize,
             "retention-ms" => p.retention_ms = parse_u64(k, v)?,
             "drain-every-ms" => p.drain_every_ms = parse_u64(k, v)?.max(1),
             _ => return Err(format!("unknown reload key: {k}")),

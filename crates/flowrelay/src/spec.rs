@@ -26,15 +26,18 @@
 //! ```
 //!
 //! Recognised keys — `[site N]`: `listen`, `upstream` (required),
-//! `stats`, `window-ms`, `batch`, `budget`, plus the ingest-hardening
+//! `stats`, `window-ms`, `batch`, `budget`, the ingest-hardening
 //! knobs `receive-buffer-bytes`, `packet-rate`, `packet-burst`,
 //! `record-rate`, `record-burst`, `max-exporters`,
-//! `max-open-windows` (see the README's Hardening section).
+//! `max-open-windows` (see the README's Hardening section), plus the
+//! scaling knobs `lanes`, `recv-batch`, `reuseport`, `pin-cores`
+//! (see the README's Performance section).
 //! `[relay NAME]`:
 //! `agg-site` (required), `sites`, `parent`, `ingest`, `query`,
 //! `stats`, `mode`, `linger-ms`, `drain-every-ms`, `max-bases`,
-//! `budget`, `retention-ms`, `state-dir`, `fsync`, `spill-max-bytes`,
-//! `reconnect-base-ms`, `reconnect-max-ms`, `ack-stall-ms`.
+//! `max-base-nodes`, `budget`, `retention-ms`, `state-dir`, `fsync`,
+//! `spill-max-bytes`, `reconnect-base-ms`, `reconnect-max-ms`,
+//! `ack-stall-ms`.
 //! `[defaults]` accepts any of these except the identity keys
 //! (`upstream`, `parent`, `agg-site`, `sites`, `state-dir`) plus
 //! `state-root` (each relay with no explicit `state-dir` gets
@@ -75,6 +78,15 @@ pub struct SiteSpec {
     /// Open-window bucket budget for the ingest pipeline (0 =
     /// unbounded).
     pub max_open_windows: u64,
+    /// Independent listen→pipeline ingest lanes (1 = single reader).
+    pub lanes: usize,
+    /// Datagrams pulled per receive syscall.
+    pub recv_batch: usize,
+    /// Multi-socket `SO_REUSEPORT` mode for `lanes > 1` where
+    /// supported.
+    pub reuseport: bool,
+    /// Pin lane threads and shard workers to cores.
+    pub pin_cores: bool,
 }
 
 /// One relay node in a fleet spec: the full [`NodeConfig`] (its
@@ -160,6 +172,11 @@ struct Defaults {
     record_burst: Option<u64>,
     max_exporters: Option<usize>,
     max_open_windows: Option<u64>,
+    lanes: Option<usize>,
+    recv_batch: Option<usize>,
+    reuseport: Option<bool>,
+    pin_cores: Option<bool>,
+    max_base_nodes: Option<usize>,
 }
 
 /// What section the parser is currently inside.
@@ -277,6 +294,11 @@ impl FleetSpec {
                 "record-burst" => defaults.record_burst = Some(parse_num(lineno, &k, &v)?),
                 "max-exporters" => defaults.max_exporters = Some(parse_num(lineno, &k, &v)?),
                 "max-open-windows" => defaults.max_open_windows = Some(parse_num(lineno, &k, &v)?),
+                "lanes" => defaults.lanes = Some(parse_num(lineno, &k, &v)?),
+                "recv-batch" => defaults.recv_batch = Some(parse_num(lineno, &k, &v)?),
+                "reuseport" => defaults.reuseport = Some(parse_bool(lineno, &k, &v)?),
+                "pin-cores" => defaults.pin_cores = Some(parse_bool(lineno, &k, &v)?),
+                "max-base-nodes" => defaults.max_base_nodes = Some(parse_num(lineno, &k, &v)?),
                 _ => {
                     return Err(syntax(lineno, format!("unknown [defaults] key: {k}")));
                 }
@@ -312,6 +334,10 @@ impl FleetSpec {
                 receive_buffer_bytes: defaults.receive_buffer_bytes,
                 admission,
                 max_open_windows: defaults.max_open_windows.unwrap_or(256),
+                lanes: defaults.lanes.unwrap_or(1),
+                recv_batch: defaults.recv_batch.unwrap_or(32),
+                reuseport: defaults.reuseport.unwrap_or(true),
+                pin_cores: defaults.pin_cores.unwrap_or(false),
             };
             for (lineno, k, v) in lines {
                 match k.as_str() {
@@ -330,6 +356,10 @@ impl FleetSpec {
                     "record-burst" => s.admission.record_burst = parse_num(lineno, &k, &v)?,
                     "max-exporters" => s.admission.max_exporters = parse_num(lineno, &k, &v)?,
                     "max-open-windows" => s.max_open_windows = parse_num(lineno, &k, &v)?,
+                    "lanes" => s.lanes = parse_num(lineno, &k, &v)?,
+                    "recv-batch" => s.recv_batch = parse_num(lineno, &k, &v)?,
+                    "reuseport" => s.reuseport = parse_bool(lineno, &k, &v)?,
+                    "pin-cores" => s.pin_cores = parse_bool(lineno, &k, &v)?,
                     _ => {
                         return Err(syntax(lineno, format!("unknown [site {site}] key: {k}")));
                     }
@@ -359,6 +389,9 @@ impl FleetSpec {
             }
             if let Some(v) = defaults.max_bases {
                 node.max_bases = v;
+            }
+            if let Some(v) = defaults.max_base_nodes {
+                node.max_base_nodes = v;
             }
             if let Some(v) = defaults.budget {
                 node.budget = v;
@@ -401,6 +434,7 @@ impl FleetSpec {
                     "linger-ms" => node.linger_ms = parse_num(lineno, &k, &v)?,
                     "drain-every-ms" => node.drain_every_ms = parse_num(lineno, &k, &v)?,
                     "max-bases" => node.max_bases = parse_num(lineno, &k, &v)?,
+                    "max-base-nodes" => node.max_base_nodes = parse_num(lineno, &k, &v)?,
                     "budget" => node.budget = parse_num(lineno, &k, &v)?,
                     "retention-ms" => node.retention_ms = parse_num(lineno, &k, &v)?,
                     "state-dir" => node.state_dir = Some(PathBuf::from(v)),
@@ -542,6 +576,17 @@ fn parse_num<T: std::str::FromStr>(line: usize, k: &str, v: &str) -> Result<T, S
     })
 }
 
+fn parse_bool(line: usize, k: &str, v: &str) -> Result<bool, SpecError> {
+    match v {
+        "1" | "true" | "on" => Ok(true),
+        "0" | "false" | "off" => Ok(false),
+        _ => Err(SpecError::Syntax {
+            line,
+            msg: format!("{k} must be 0/1 (or true/false), got {v}"),
+        }),
+    }
+}
+
 fn parse_site_list(line: usize, v: &str) -> Result<Vec<u16>, SpecError> {
     v.split(',')
         .map(|s| {
@@ -676,6 +721,63 @@ agg-site = 2000
         let err =
             FleetSpec::parse("[site 0]\n[relay root]\nagg-site = 9\nsites = 0\n").unwrap_err();
         assert!(err.to_string().contains("upstream"), "{err}");
+    }
+
+    #[test]
+    fn lane_and_base_knobs_parse_with_defaults_and_overrides() {
+        let spec = FleetSpec::parse(
+            "\
+[defaults]
+lanes = 4
+recv-batch = 16
+reuseport = off
+pin-cores = on
+max-base-nodes = 500000
+
+[site 0]
+listen = 127.0.0.1:0
+upstream = root
+
+[site 1]
+upstream = root
+lanes = 2
+recv-batch = 64
+reuseport = on
+pin-cores = 0
+
+[relay root]
+agg-site = 100
+sites = 0,1
+max-base-nodes = 250000
+",
+        )
+        .unwrap();
+        // Defaults inherited.
+        assert_eq!(spec.sites[0].lanes, 4);
+        assert_eq!(spec.sites[0].recv_batch, 16);
+        assert!(!spec.sites[0].reuseport);
+        assert!(spec.sites[0].pin_cores);
+        // Per-site overrides win, with both boolean spellings.
+        assert_eq!(spec.sites[1].lanes, 2);
+        assert_eq!(spec.sites[1].recv_batch, 64);
+        assert!(spec.sites[1].reuseport);
+        assert!(!spec.sites[1].pin_cores);
+        // The per-relay key beats the [defaults] value.
+        let root = spec.relay("root").unwrap();
+        assert_eq!(root.node.max_base_nodes, 250_000);
+
+        // Built-in defaults when nothing is said.
+        let spec =
+            FleetSpec::parse("[site 0]\nupstream = root\n[relay root]\nagg-site = 1\nsites = 0\n")
+                .unwrap();
+        assert_eq!(spec.sites[0].lanes, 1);
+        assert_eq!(spec.sites[0].recv_batch, 32);
+        assert!(spec.sites[0].reuseport);
+        assert!(!spec.sites[0].pin_cores);
+
+        // A bad boolean names the offending value.
+        let err = FleetSpec::parse("[defaults]\nreuseport = sideways\n").unwrap_err();
+        assert!(err.to_string().contains("sideways"), "{err}");
     }
 
     #[test]

@@ -80,6 +80,11 @@ pub mod channel {
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
             self.0.iter()
         }
+
+        /// Iterates over the values queued right now, without blocking.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.try_iter()
+        }
     }
 
     impl<T> IntoIterator for Receiver<T> {
