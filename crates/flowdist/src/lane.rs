@@ -38,10 +38,23 @@
 //! Watermark discipline: the merger holds a window until the *minimum*
 //! lane watermark closes it (the same `open_windows` horizon the
 //! daemon uses), so a slow lane can never have its stragglers shut out
-//! by a fast one. A lane that has seen no traffic holds emission until
-//! shutdown — under reuseport the kernel spreads exporters across all
-//! lanes, and the fanout reader hashes exporters across all lanes, so
-//! a persistently idle lane means a mostly idle site.
+//! by a fast one. A lane only participates in that minimum while the
+//! merger is hearing from it, though: with fewer exporters than lanes
+//! (the kernel hashes one exporter's stream to one socket, and the
+//! fanout reader hashes by exporter IP) some lanes are idle in the
+//! steady state, and letting an idle lane pin the minimum at zero
+//! would stall emission forever while closed windows buffered without
+//! bound. So a lane that has sent no event for
+//! [`LaneOptions::idle_lane_ms`] of wall clock is excluded until it
+//! speaks again, and when *every* lane has gone idle the highest lane
+//! watermark stands in — which is exactly the watermark a single
+//! reader would have computed over the same records. The cost is the
+//! standard idle-source tradeoff: a lane that wakes after the timeout
+//! holding records for an already-emitted window has that window's
+//! tree counted and dropped (`merger_stale_windows`, the tree-level
+//! analogue of the daemon's late record drops) rather than merged —
+//! re-emitting the window would *replace* it at the collector, which
+//! is worse.
 //!
 //! With `lanes == 1` this collapses to the familiar single-reader
 //! loop (one lane, pass-through merge) and the emitted frames are
@@ -56,7 +69,7 @@ use crate::ring;
 use crate::summary::{Summary, SummaryKind};
 use crate::window::WindowId;
 use crate::DistError;
-use crossbeam::channel::{unbounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use flowmetrics::Histogram;
 use flownet::DecoderStats;
 use flowtree_core::FlowTree;
@@ -72,6 +85,12 @@ pub const MAX_LANES: usize = 64;
 
 /// Fanout ring capacity per lane (datagrams), fallback mode only.
 const RING_CAPACITY: usize = 1_024;
+
+/// Default [`LaneOptions::idle_lane_ms`]: long enough that a lane
+/// merely catching its breath between receive batches is never
+/// excluded, short enough that a few-exporter site starts emitting
+/// within seconds of boot.
+pub const DEFAULT_IDLE_LANE_MS: u64 = 2_000;
 
 /// Tuning for [`spawn_multi_lane_ingest`].
 #[derive(Debug, Clone)]
@@ -100,6 +119,11 @@ pub struct LaneOptions {
     pub telemetry: IngestTelemetry,
     /// Observes the datagram count of every receive batch.
     pub batch_hist: Option<Histogram>,
+    /// Wall-clock milliseconds after which a lane the merger has not
+    /// heard from stops holding back window emission (see the module
+    /// docs on watermark discipline). 0 = never exclude: idle lanes
+    /// then hold every window open until shutdown.
+    pub idle_lane_ms: u64,
 }
 
 impl Default for LaneOptions {
@@ -113,6 +137,7 @@ impl Default for LaneOptions {
             knobs: Arc::default(),
             telemetry: IngestTelemetry::default(),
             batch_hist: None,
+            idle_lane_ms: DEFAULT_IDLE_LANE_MS,
         }
     }
 }
@@ -159,6 +184,11 @@ pub struct LaneGauges {
     pub recv_batches: AtomicU64,
     /// 1 ms waits the fanout reader spent on this lane's full ring.
     pub backpressure_waits: AtomicU64,
+    /// Datagrams the fanout reader discarded because this lane's ring
+    /// consumer was gone (lane thread exited). Keeps the reader-side
+    /// loss observable: these datagrams never reach any lane, so they
+    /// are absent from the per-lane accounting identity by design.
+    pub dead_drops: AtomicU64,
     /// 1 when the lane thread currently holds a CPU affinity pin.
     pub pinned: AtomicU64,
 }
@@ -184,6 +214,9 @@ pub struct LaneSnapshot {
     pub recv_batches: u64,
     /// 1 ms fanout-reader waits on this lane's full ring.
     pub backpressure_waits: u64,
+    /// Datagrams the fanout reader discarded because this lane's ring
+    /// consumer was gone.
+    pub dead_drops: u64,
     /// Achieved socket receive buffer for this lane's socket.
     pub recv_buffer_bytes: u64,
     /// Whether the lane thread is currently pinned to a core.
@@ -202,6 +235,7 @@ impl LaneGauges {
             late_drops: self.late_drops.load(Ordering::Relaxed),
             recv_batches: self.recv_batches.load(Ordering::Relaxed),
             backpressure_waits: self.backpressure_waits.load(Ordering::Relaxed),
+            dead_drops: self.dead_drops.load(Ordering::Relaxed),
             recv_buffer_bytes: self.recv_buffer_bytes.load(Ordering::Relaxed),
             pinned: self.pinned.load(Ordering::Relaxed) != 0,
         }
@@ -215,6 +249,9 @@ struct MergerGauges {
     frames_sent: AtomicU64,
     frames_dropped: AtomicU64,
     waits: AtomicU64,
+    /// Straggler window trees dropped because their window was
+    /// already emitted past an idle-excluded lane.
+    stale_windows: AtomicU64,
 }
 
 /// A cloneable read-side view over every lane's gauges plus the
@@ -234,6 +271,14 @@ impl MultiGaugeView {
     /// One lane's counters.
     pub fn lane(&self, i: usize) -> LaneSnapshot {
         self.lanes[i].snapshot()
+    }
+
+    /// Straggler window trees the merger dropped because their window
+    /// had already been emitted past an idle-excluded lane — the
+    /// tree-level analogue of the daemon's late record drops. Zero in
+    /// healthy operation.
+    pub fn merger_stale_windows(&self) -> u64 {
+        self.merger.stale_windows.load(Ordering::Relaxed)
     }
 
     /// The aggregate view in the same shape the single-reader loop
@@ -296,7 +341,11 @@ enum LaneEvent {
     /// Lane `lane`'s daemon closed window `start_ms` with this tree.
     /// Boxed: a `FlowTree` dwarfs the watermark variant and events sit
     /// in a channel queue.
-    Closed { start_ms: u64, tree: Box<FlowTree> },
+    Closed {
+        lane: usize,
+        start_ms: u64,
+        tree: Box<FlowTree>,
+    },
     /// Lane `lane`'s event-time watermark advanced to `ts`.
     Watermark { lane: usize, ts: u64 },
 }
@@ -498,9 +547,10 @@ where
         let frames = frames.clone();
         let stop = Arc::clone(&stop);
         let gauges = Arc::clone(&merger_gauges);
+        let idle_lane_ms = opts.idle_lane_ms;
         std::thread::Builder::new()
             .name("lane-merger".into())
-            .spawn(move || merger_loop(events_rx, cfg, lanes, frames, stop, gauges))
+            .spawn(move || merger_loop(events_rx, cfg, lanes, idle_lane_ms, frames, stop, gauges))
             .map_err(DistError::Io)?
     };
 
@@ -673,7 +723,7 @@ impl Lane {
     /// the socket. Ends when the reader is gone and the ring is empty.
     fn run_ring(
         &mut self,
-        rx: ring::Consumer<(Vec<u8>, SocketAddr)>,
+        mut rx: ring::Consumer<(Vec<u8>, SocketAddr)>,
         burst_max: usize,
     ) -> LaneDone {
         let mut burst = 0u64;
@@ -720,6 +770,7 @@ impl Lane {
                 {
                     for s in self.pipeline.push_records(&records) {
                         let _ = self.events.send(LaneEvent::Closed {
+                            lane: self.idx,
                             start_ms: s.window.start_ms,
                             tree: Box::new(s.tree),
                         });
@@ -730,8 +781,11 @@ impl Lane {
     }
 
     /// Book-keeping after each receive batch: gauges, the batch-size
-    /// histogram, the merger watermark, and lane-0 telemetry.
+    /// histogram, the merger watermark, lane-0 telemetry, and the live
+    /// pinning knob — re-checked here so a reload propagates on every
+    /// burst boundary even when the socket (or ring) never drains.
     fn after_batch(&mut self, batch: u64, now_ms: u64) {
+        self.refresh_pinning();
         self.gauges.recv_batches.fetch_add(1, Ordering::Relaxed);
         if let Some(h) = &self.batch_hist {
             h.observe_secs(batch as f64);
@@ -828,6 +882,7 @@ impl Lane {
         let (rest, daemon) = pipeline.finish();
         for s in rest {
             let _ = self.events.send(LaneEvent::Closed {
+                lane: self.idx,
                 start_ms: s.window.start_ms,
                 tree: Box::new(s.tree),
             });
@@ -855,11 +910,13 @@ impl Lane {
 /// Fanout mode's reader: drains the single socket and routes each
 /// datagram to its exporter's lane over that lane's SPSC ring. A full
 /// ring is backpressure (1 ms waits, counted against the lane), never
-/// a silent drop — except when the lane is gone entirely.
+/// a silent drop — and when a lane is gone entirely (its thread
+/// exited), the discarded datagram is counted in that lane's
+/// `dead_drops` gauge so even that loss stays observable.
 fn fanout_loop(
     socket: UdpSocket,
     recv: &mut BatchReceiver,
-    producers: Vec<ring::Producer<(Vec<u8>, SocketAddr)>>,
+    mut producers: Vec<ring::Producer<(Vec<u8>, SocketAddr)>>,
     gauges: Vec<Arc<LaneGauges>>,
     stop: &AtomicBool,
 ) -> (Option<std::io::Error>, u64) {
@@ -879,6 +936,7 @@ fn fanout_loop(
                             Ok(()) => break,
                             Err(back) => {
                                 if producers[lane].receiver_gone() {
+                                    gauges[lane].dead_drops.fetch_add(1, Ordering::Relaxed);
                                     break;
                                 }
                                 item = back;
@@ -914,18 +972,29 @@ fn fanout_loop(
 }
 
 /// The merger: collects per-lane window trees, emits each window —
-/// merged via the paper's structural `merge_many` — once every lane's
-/// watermark has closed it, and ships the encoded frames.
+/// merged via the paper's structural `merge_many` — once every lane
+/// the merger is still hearing from has closed it (see the module
+/// docs on idle-lane exclusion), and ships the encoded frames.
 fn merger_loop(
     events: Receiver<LaneEvent>,
     cfg: DaemonConfig,
     lanes: usize,
+    idle_lane_ms: u64,
     frames: Sender<Vec<u8>>,
     stop: Arc<AtomicBool>,
     gauges: Arc<MergerGauges>,
 ) -> MergerDone {
     let mut wins: BTreeMap<u64, Vec<FlowTree>> = BTreeMap::new();
     let mut wm = vec![0u64; lanes];
+    // Wall clock of the last event heard from each lane; a lane quiet
+    // for longer than `idle_lane_ms` stops holding back emission.
+    let idle = Duration::from_millis(idle_lane_ms);
+    let mut last_ev = vec![std::time::Instant::now(); lanes];
+    // Exclusive emission horizon: every window below it has been
+    // shipped, so a straggler tree arriving under it can only be
+    // counted and dropped (re-emitting would replace the window
+    // wholesale at the collector).
+    let mut emitted_to = 0u64;
     let mut done = MergerDone {
         summaries: 0,
         summary_bytes: 0,
@@ -1000,21 +1069,58 @@ fn merger_loop(
         gauges.waits.store(done.waits, Ordering::Relaxed);
     };
 
-    while let Ok(ev) = events.recv() {
+    loop {
+        // A timeout tick (no event) still falls through to the
+        // emission pass below: that is what lets windows close once
+        // idle lanes age out even though nothing new arrives.
+        let ev = match events.recv_timeout(Duration::from_millis(100)) {
+            Ok(ev) => Some(ev),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
         match ev {
-            LaneEvent::Closed { start_ms, tree } => {
-                wins.entry(start_ms).or_default().push(*tree);
+            Some(LaneEvent::Closed {
+                lane,
+                start_ms,
+                tree,
+            }) => {
+                last_ev[lane] = std::time::Instant::now();
+                if start_ms < emitted_to {
+                    gauges.stale_windows.fetch_add(1, Ordering::Relaxed);
+                    drop(tree);
+                } else {
+                    wins.entry(start_ms).or_default().push(*tree);
+                }
             }
-            LaneEvent::Watermark { lane, ts } => {
+            Some(LaneEvent::Watermark { lane, ts }) => {
+                last_ev[lane] = std::time::Instant::now();
                 if ts > wm[lane] {
                     wm[lane] = ts;
                 }
             }
+            None => {}
         }
-        let min_wm = wm.iter().copied().min().unwrap_or(0);
-        let h = horizon(min_wm);
+        // Effective watermark: minimum over lanes heard from within
+        // the idle timeout; with every lane idle, the maximum stands
+        // in — exactly the watermark one reader would have computed
+        // over the same records, since nothing is in flight anywhere.
+        let now = std::time::Instant::now();
+        let eff_wm = wm
+            .iter()
+            .zip(&last_ev)
+            .filter(|&(_, t)| idle_lane_ms == 0 || now.duration_since(*t) < idle)
+            .map(|(&w, _)| w)
+            .min()
+            .unwrap_or_else(|| wm.iter().copied().max().unwrap_or(0));
+        let h = horizon(eff_wm);
+        if h > emitted_to {
+            emitted_to = h;
+        }
+        // Emit below `emitted_to`, not `h`: an idle lane rejoining
+        // with a lower watermark can pull `h` back down, but shipped
+        // windows stay shipped and buffered ones keep their horizon.
         while let Some((&w, _)) = wins.iter().next() {
-            if w >= h {
+            if w >= emitted_to {
                 break;
             }
             let trees = wins.remove(&w).expect("window present");
@@ -1157,6 +1263,46 @@ mod tests {
         };
         let (report, frames, _) = run_engine(opts, 3);
         check(&report, &frames, 3);
+    }
+
+    #[test]
+    fn idle_lanes_do_not_stall_emission() {
+        let (tx, rx) = channel::bounded::<Vec<u8>>(64);
+        let opts = LaneOptions {
+            lanes: 4,
+            // Fanout mode hashes by exporter IP: one exporter lands on
+            // exactly one lane and the other three stay idle forever —
+            // the regression scenario where the minimum watermark used
+            // to pin emission at zero until shutdown.
+            reuseport: false,
+            idle_lane_ms: 100,
+            ..LaneOptions::default()
+        };
+        let handle = spawn_multi_lane_ingest("127.0.0.1:0", mk_pipeline(1_000), tx, opts).unwrap();
+        let to = handle.local_addr();
+        let view = handle.view();
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let mut live_frame = false;
+        for round in 0..40u64 {
+            let records: Vec<FlowRecord> = (0..5)
+                .map(|i| record(round * 1_000 + 100 + i, (i % 8) as u8, 1))
+                .collect();
+            export_netflow(&sock, to, &records, 10_000).unwrap();
+            std::thread::sleep(Duration::from_millis(50));
+            if rx.try_recv().is_ok() {
+                live_frame = true;
+                break;
+            }
+        }
+        assert!(
+            live_frame,
+            "windows must close while three of four lanes sit idle"
+        );
+        assert_eq!(view.merger_stale_windows(), 0);
+        let report = handle.stop();
+        assert!(report.error.is_none());
+        assert_eq!(report.daemon.late_drops, 0);
+        assert!(report.daemon.summaries >= 1);
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub struct BatchReceiver {
     metas: Vec<(usize, SocketAddr)>,
     filled: usize,
     batched: bool,
+    /// Kernel-facing `recvmmsg` arrays (sockaddr storage, iovecs,
+    /// mmsghdrs), allocated once alongside the payload arena so the
+    /// hot receive path performs no per-call allocation.
+    #[cfg(target_os = "linux")]
+    scratch: imp::Scratch,
 }
 
 impl BatchReceiver {
@@ -67,6 +72,9 @@ impl BatchReceiver {
             metas: Vec::with_capacity(cap),
             filled: 0,
             batched,
+            // The fallback path never calls recvmmsg; skip its arrays.
+            #[cfg(target_os = "linux")]
+            scratch: imp::Scratch::new(if batched { cap } else { 0 }),
         }
     }
 
@@ -89,7 +97,7 @@ impl BatchReceiver {
         self.metas.clear();
         #[cfg(target_os = "linux")]
         if self.batched {
-            let n = imp::recvmmsg_into(socket, &mut self.bufs, &mut self.metas)?;
+            let n = imp::recvmmsg_into(socket, &mut self.bufs, &mut self.metas, &mut self.scratch)?;
             self.filled = n;
             return Ok(n);
         }
@@ -200,42 +208,83 @@ mod imp {
         }
     }
 
+    /// The kernel-facing arrays a `recvmmsg` call writes through,
+    /// allocated once per [`super::BatchReceiver`] and reused across
+    /// calls. The raw pointers inside `iovecs`/`hdrs` are dead between
+    /// calls: [`recvmmsg_into`] rewrites every one from the live
+    /// payload arena and `names` before each syscall, so the arrays
+    /// carry no stale provenance across moves of the receiver.
+    pub struct Scratch {
+        names: Vec<[u8; NAME_BYTES]>,
+        iovecs: Vec<IoVec>,
+        hdrs: Vec<MMsgHdr>,
+    }
+
+    // SAFETY: the raw pointers inside are only meaningful during a
+    // `recvmmsg_into` call on the thread that owns the receiver, and
+    // are refreshed at the top of every call — between calls they are
+    // inert bytes, so moving a Scratch across threads is sound.
+    #[allow(unsafe_code)]
+    unsafe impl Send for Scratch {}
+
+    impl Scratch {
+        pub fn new(n: usize) -> Scratch {
+            Scratch {
+                names: vec![[0u8; NAME_BYTES]; n],
+                iovecs: (0..n)
+                    .map(|_| IoVec {
+                        base: std::ptr::null_mut(),
+                        len: 0,
+                    })
+                    .collect(),
+                hdrs: (0..n)
+                    .map(|_| MMsgHdr {
+                        hdr: MsgHdr {
+                            name: std::ptr::null_mut(),
+                            namelen: 0,
+                            iov: std::ptr::null_mut(),
+                            iovlen: 0,
+                            control: std::ptr::null_mut(),
+                            controllen: 0,
+                            flags: 0,
+                        },
+                        len: 0,
+                    })
+                    .collect(),
+            }
+        }
+    }
+
     pub fn recvmmsg_into(
         socket: &UdpSocket,
         bufs: &mut [Box<[u8]>],
         metas: &mut Vec<(usize, SocketAddr)>,
+        scratch: &mut Scratch,
     ) -> io::Result<usize> {
-        let n = bufs.len();
-        let mut names = vec![[0u8; NAME_BYTES]; n];
-        let mut iovecs: Vec<IoVec> = bufs
-            .iter_mut()
-            .map(|b| IoVec {
-                base: b.as_mut_ptr().cast(),
-                len: b.len(),
-            })
-            .collect();
-        let mut hdrs: Vec<MMsgHdr> = (0..n)
-            .map(|i| MMsgHdr {
-                hdr: MsgHdr {
-                    name: names[i].as_mut_ptr().cast(),
-                    namelen: NAME_BYTES as c_uint,
-                    iov: &mut iovecs[i] as *mut IoVec,
-                    iovlen: 1,
-                    control: std::ptr::null_mut(),
-                    controllen: 0,
-                    flags: 0,
-                },
-                len: 0,
-            })
-            .collect();
-        // SAFETY: every pointer in `hdrs` refers to storage (`bufs`,
-        // `names`, `iovecs`) that outlives this call and is not moved
-        // while the kernel writes through it; vlen matches the vector
-        // length; the fd is a live socket borrowed for the call.
+        let n = bufs.len().min(scratch.hdrs.len());
+        // Refresh every kernel-visible pointer from the live arena.
+        // The kernel also writes `namelen`/`flags` back per message,
+        // so each field is reset on every call, not just at build.
+        for (i, buf) in bufs.iter_mut().enumerate().take(n) {
+            scratch.iovecs[i].base = buf.as_mut_ptr().cast();
+            scratch.iovecs[i].len = buf.len();
+            let h = &mut scratch.hdrs[i];
+            h.hdr.name = scratch.names[i].as_mut_ptr().cast();
+            h.hdr.namelen = NAME_BYTES as c_uint;
+            h.hdr.iov = &mut scratch.iovecs[i] as *mut IoVec;
+            h.hdr.iovlen = 1;
+            h.hdr.flags = 0;
+            h.len = 0;
+        }
+        // SAFETY: every pointer in `hdrs` was just rewritten to refer
+        // to storage (`bufs`, `scratch.names`, `scratch.iovecs`) that
+        // outlives this call and is not moved while the kernel writes
+        // through it; vlen matches the refreshed prefix; the fd is a
+        // live socket borrowed for the call.
         let rc = unsafe {
             recvmmsg(
                 socket.as_raw_fd(),
-                hdrs.as_mut_ptr().cast(),
+                scratch.hdrs.as_mut_ptr().cast(),
                 n as c_uint,
                 MSG_WAITFORONE,
                 std::ptr::null_mut(),
@@ -245,8 +294,8 @@ mod imp {
             return Err(io::Error::last_os_error());
         }
         let got = rc as usize;
-        for (i, h) in hdrs.iter().take(got).enumerate() {
-            let peer = parse_sockaddr(&names[i], h.hdr.namelen as usize)
+        for (i, h) in scratch.hdrs.iter().take(got).enumerate() {
+            let peer = parse_sockaddr(&scratch.names[i], h.hdr.namelen as usize)
                 .unwrap_or_else(|| SocketAddr::from(([0, 0, 0, 0], 0)));
             metas.push((h.len as usize, peer));
         }

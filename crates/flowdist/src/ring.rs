@@ -11,9 +11,13 @@
 //!
 //! [`spsc`] returns a split `(Producer, Consumer)` pair so the
 //! single-producer / single-consumer contract is enforced by the type
-//! system (neither endpoint is `Clone`); the `unsafe` inside is the
-//! slot-cell access that contract makes sound, scoped with the same
-//! `#[allow(unsafe_code)]` discipline as `sockopt` and `mrecv`.
+//! system: neither endpoint is `Clone`, and both [`Producer::try_push`]
+//! and [`Consumer::try_pop`] take `&mut self`, so even a shared
+//! reference smuggled across threads (the endpoints are `Sync` through
+//! their `Arc`) cannot run two pushes — or two pops — concurrently.
+//! The `unsafe` inside is the slot-cell access that contract makes
+//! sound, scoped with the same `#[allow(unsafe_code)]` discipline as
+//! `sockopt` and `mrecv`.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
@@ -73,8 +77,12 @@ pub fn spsc<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
 
 impl<T> Producer<T> {
     /// Pushes `item`, or hands it back when the ring is full.
+    ///
+    /// `&mut self` is load-bearing: it makes concurrent pushes through
+    /// a shared `&Producer` unrepresentable in safe code, which is
+    /// what the `unsafe` slot write below relies on.
     #[allow(unsafe_code)]
-    pub fn try_push(&self, item: T) -> Result<(), T> {
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
         let s = &*self.shared;
         let tail = s.tail.load(Ordering::Relaxed);
         let head = s.head.load(Ordering::Acquire);
@@ -99,8 +107,11 @@ impl<T> Producer<T> {
 
 impl<T> Consumer<T> {
     /// Pops the oldest item, or `None` when the ring is empty.
+    ///
+    /// `&mut self` mirrors [`Producer::try_push`]: it rules out two
+    /// threads popping through a shared `&Consumer` at once.
     #[allow(unsafe_code)]
-    pub fn try_pop(&self) -> Option<T> {
+    pub fn try_pop(&mut self) -> Option<T> {
         let s = &*self.shared;
         let head = s.head.load(Ordering::Relaxed);
         let tail = s.tail.load(Ordering::Acquire);
@@ -160,7 +171,7 @@ mod tests {
 
     #[test]
     fn fifo_order_and_capacity() {
-        let (tx, rx) = spsc::<u32>(4);
+        let (mut tx, mut rx) = spsc::<u32>(4);
         for i in 0..4 {
             tx.try_push(i).unwrap();
         }
@@ -173,7 +184,7 @@ mod tests {
 
     #[test]
     fn capacity_rounds_up() {
-        let (tx, rx) = spsc::<u8>(3);
+        let (mut tx, rx) = spsc::<u8>(3);
         for i in 0..4 {
             tx.try_push(i).unwrap();
         }
@@ -184,7 +195,7 @@ mod tests {
     #[test]
     fn cross_thread_stream_is_lossless_and_ordered() {
         const N: u64 = 100_000;
-        let (tx, rx) = spsc::<u64>(64);
+        let (mut tx, mut rx) = spsc::<u64>(64);
         let producer = std::thread::spawn(move || {
             for i in 0..N {
                 let mut v = i;
@@ -219,7 +230,7 @@ mod tests {
         drop(rx);
         assert!(tx.receiver_gone());
 
-        let (tx2, rx2) = spsc::<u8>(2);
+        let (mut tx2, mut rx2) = spsc::<u8>(2);
         tx2.try_push(7).unwrap();
         drop(tx2);
         assert!(rx2.sender_gone());
@@ -237,7 +248,7 @@ mod tests {
                 DROPS.fetch_add(1, Ordering::SeqCst);
             }
         }
-        let (tx, rx) = spsc::<D>(4);
+        let (mut tx, rx) = spsc::<D>(4);
         assert!(tx.try_push(D).is_ok());
         assert!(tx.try_push(D).is_ok());
         drop(tx);

@@ -200,6 +200,7 @@ impl SiteRuntime {
                 "Datagrams delivered per receive batch (recvmmsg syscall or ring burst).",
                 &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
             )),
+            ..LaneOptions::default()
         };
         let ingest = spawn_multi_lane_ingest(&cfg.listen, pipeline_for, tx, opts)?;
         let gauges = ingest.view();
@@ -345,12 +346,14 @@ fn site_stat_pairs(
     line("knob_max_open_windows", knobs.max_open_windows());
     line("knob_pin_cores", knobs.pin_cores() as u64);
     line("lanes", view.lanes() as u64);
+    line("merger_stale_windows", view.merger_stale_windows());
     for i in 0..view.lanes() {
         let l = view.lane(i);
         line(&format!("lane{i}_datagrams"), l.datagrams);
         line(&format!("lane{i}_records"), l.records);
         line(&format!("lane{i}_recv_batches"), l.recv_batches);
         line(&format!("lane{i}_backpressure_waits"), l.backpressure_waits);
+        line(&format!("lane{i}_dead_drops"), l.dead_drops);
         line(&format!("lane{i}_pinned"), l.pinned as u64);
     }
     pairs
@@ -497,6 +500,12 @@ fn sync_site_registry(site: u16, tel: &SiteTelemetry, view: &MultiGaugeView, fwd
         "Configured ingest lanes on this site node.",
         view.lanes() as u64,
     );
+    c(
+        "flowtree_merger_stale_windows_total",
+        "Straggler window trees dropped because the window was already emitted \
+         past an idle-excluded lane.",
+        view.merger_stale_windows(),
+    );
     for i in 0..view.lanes() {
         let l = view.lane(i);
         let lane = i.to_string();
@@ -525,6 +534,13 @@ fn sync_site_registry(site: u16, tel: &SiteTelemetry, view: &MultiGaugeView, fwd
             labels,
         )
         .set(l.backpressure_waits);
+        reg.counter_with(
+            "flowtree_lane_dead_drops_total",
+            "Datagrams the fanout reader discarded because the lane's ring \
+             consumer was gone.",
+            labels,
+        )
+        .set(l.dead_drops);
         reg.gauge_with(
             "flowtree_lane_pinned",
             "Whether the lane thread currently holds a CPU affinity pin.",

@@ -36,6 +36,17 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Receiver::recv_timeout`]: either nothing
+    /// arrived within the timeout, or the queue is empty *and* every
+    /// sender is gone (buffered values are always delivered first).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No value arrived in time; senders still exist.
+        Timeout,
+        /// No value queued and every sender has been dropped.
+        Disconnected,
+    }
+
     /// Error returned by [`Receiver::try_recv`]: either the queue is
     /// momentarily empty, or it is empty *and* every sender is gone
     /// (buffered values are always delivered before `Disconnected`).
@@ -66,6 +77,14 @@ pub mod channel {
         /// Blocks for the next value; errors when all senders are gone.
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks for the next value at most `timeout`.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
 
         /// Non-blocking receive.
@@ -156,6 +175,24 @@ mod tests {
         assert_eq!(tx.try_send(2), Err(channel::TrySendError::Full(2)));
         drop(rx);
         assert_eq!(tx.try_send(3), Err(channel::TrySendError::Disconnected(3)));
+    }
+
+    #[test]
+    fn recv_timeout_reports_timeout_then_value_then_disconnected() {
+        use std::time::Duration;
+        let (tx, rx) = channel::bounded::<u8>(2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        drop(tx);
+        // Buffered values drain before the disconnect surfaces.
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(5));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]
